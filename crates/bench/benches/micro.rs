@@ -1,0 +1,133 @@
+//! Micro-benchmarks of every substrate: classfile codec, bytecode
+//! verifier, VM startup per profile, mutator application, MCMC selection,
+//! and coverage-uniqueness checking.
+
+use classfuzz_classfile::ClassFile;
+use classfuzz_core::seeds::SeedCorpus;
+use classfuzz_coverage::{SuiteIndex, UniquenessCriterion};
+use classfuzz_jimple::{lift::lift_class, lower::lower_class, IrClass};
+use classfuzz_mcmc::MutatorChain;
+use classfuzz_mutation::{registry, MutationCtx};
+use classfuzz_vm::{Jvm, VmSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn hello_bytes() -> Vec<u8> {
+    lower_class(&IrClass::with_hello_main("bench/Hello", "Completed!")).to_bytes()
+}
+
+fn bench_classfile_codec(c: &mut Criterion) {
+    let bytes = hello_bytes();
+    let class = ClassFile::from_bytes(&bytes).unwrap();
+    c.bench_function("classfile/parse", |b| {
+        b.iter(|| ClassFile::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+    c.bench_function("classfile/write", |b| {
+        b.iter(|| std::hint::black_box(&class).to_bytes())
+    });
+}
+
+fn bench_jimple(c: &mut Criterion) {
+    let ir = IrClass::with_hello_main("bench/Jimple", "x");
+    let cf = lower_class(&ir);
+    c.bench_function("jimple/lower", |b| {
+        b.iter(|| lower_class(std::hint::black_box(&ir)))
+    });
+    c.bench_function("jimple/lift", |b| {
+        b.iter(|| lift_class(std::hint::black_box(&cf)).unwrap())
+    });
+}
+
+fn bench_vm_startup(c: &mut Criterion) {
+    let bytes = hello_bytes();
+    let mut group = c.benchmark_group("vm/startup");
+    for spec in VmSpec::all_five() {
+        let name = spec.name.clone();
+        let jvm = Jvm::new(spec);
+        group.bench_function(name, |b| {
+            b.iter(|| jvm.run(std::hint::black_box(&bytes)))
+        });
+    }
+    group.finish();
+    let reference = Jvm::new(VmSpec::hotspot9());
+    c.bench_function("vm/startup-traced (reference)", |b| {
+        b.iter(|| reference.run_traced(std::hint::black_box(&bytes)))
+    });
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mutators = registry::all_mutators();
+    let donors = vec![IrClass::with_hello_main("bench/Donor", "d")];
+    let seed = IrClass::with_hello_main("bench/Seed", "s");
+    c.bench_function("mutation/apply-all-129", |b| {
+        b.iter_batched(
+            || (StdRng::seed_from_u64(1), seed.clone()),
+            |(mut rng, mut class)| {
+                let mut ctx = MutationCtx::new(&mut rng, &donors);
+                for m in &mutators {
+                    let _ = m.apply(&mut class, &mut ctx);
+                }
+                class
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mcmc(c: &mut Criterion) {
+    c.bench_function("mcmc/select-1000", |b| {
+        b.iter_batched(
+            || (MutatorChain::new(129, 3.0 / 129.0), StdRng::seed_from_u64(2)),
+            |(mut chain, mut rng)| {
+                for _ in 0..1000 {
+                    let id = chain.select(&mut rng);
+                    if id % 7 == 0 {
+                        chain.record_success(id);
+                    }
+                }
+                chain
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    // Real traces from the reference VM over a small corpus.
+    let reference = Jvm::new(VmSpec::hotspot9());
+    let traces: Vec<_> = SeedCorpus::generate(20, 3)
+        .to_bytes()
+        .iter()
+        .filter_map(|b| reference.run_traced(b).trace)
+        .collect();
+    for criterion in [
+        UniquenessCriterion::St,
+        UniquenessCriterion::StBr,
+        UniquenessCriterion::Tr,
+    ] {
+        c.bench_function(&format!("coverage/uniqueness-{criterion}"), |b| {
+            b.iter_batched(
+                || SuiteIndex::new(criterion),
+                |mut index| {
+                    for t in &traces {
+                        index.insert_if_unique(t);
+                    }
+                    index.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_classfile_codec,
+    bench_jimple,
+    bench_vm_startup,
+    bench_mutation,
+    bench_mcmc,
+    bench_coverage
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! One benchmark per paper table/figure: each measures the time to
+//! regenerate that experiment at smoke-test scale, and doubles as a
+//! regression check that the drivers stay runnable under `cargo bench`.
+
+use classfuzz_bench::{
+    baseline_eval, classfuzz_stbr_campaign, table4_campaigns, table6_rows, table7_eval, Scale,
+};
+use classfuzz_core::report::{self, mutator_series};
+use classfuzz_mutation::registry;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn scale() -> Scale {
+    Scale::small()
+}
+
+fn bench_table4(c: &mut Criterion) {
+    c.bench_function("experiments/table4", |b| {
+        b.iter(|| table4_campaigns(std::hint::black_box(scale())))
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mutators = registry::all_mutators();
+    c.bench_function("experiments/table5", |b| {
+        b.iter(|| {
+            let campaign = classfuzz_stbr_campaign(scale());
+            report::format_table5(&campaign, &mutators)
+        })
+    });
+}
+
+fn bench_table6(c: &mut Criterion) {
+    // Campaigns once; benchmark the differential evaluation itself.
+    let campaigns: Vec<_> = table4_campaigns(scale()).into_iter().take(1).collect();
+    c.bench_function("experiments/table6", |b| {
+        b.iter(|| table6_rows(scale(), std::hint::black_box(&campaigns)))
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let campaign = classfuzz_stbr_campaign(scale());
+    let bytes = campaign.test_bytes();
+    c.bench_function("experiments/table7", |b| {
+        b.iter(|| table7_eval(std::hint::black_box(&bytes)))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let campaign = classfuzz_stbr_campaign(scale());
+    let mutators = registry::all_mutators();
+    c.bench_function("experiments/fig4-series", |b| {
+        b.iter(|| mutator_series(std::hint::black_box(&campaign.mutator_stats), &mutators))
+    });
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    c.bench_function("experiments/baseline", |b| {
+        b.iter(|| baseline_eval(std::hint::black_box(Scale::small())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table4, bench_table5, bench_table6, bench_table7, bench_fig4, bench_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,328 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--seeds N] [--iterations N] [--rng-seed S]
+//!
+//! experiments:
+//!   phases     Table 1  — startup phases and their error classes
+//!   problem1   Fig. 2   — the <clinit> HotSpot/J9 discrepancy
+//!   problem2             — verification-policy discrepancies
+//!   problem3             — throws-clause/internal-class discrepancy
+//!   problem4             — GIJ leniency discrepancies
+//!   fig3                 — an encoded output sequence
+//!   table4               — classfile-generation results (6 algorithms)
+//!   table5               — top-ten mutators of classfuzz[stbr]
+//!   table6               — differential-testing results per suite
+//!   table7               — per-JVM phase histogram of TestClasses[stbr]
+//!   fig4                 — mutator success-rate/frequency series
+//!   baseline             — the §1 preliminary study (JRE-corpus diff rate)
+//!   all                  — everything above
+//! ```
+
+use classfuzz_bench::{
+    baseline_eval, classfuzz_stbr_campaign, table4_campaigns, table6_rows, table7_eval, Scale,
+};
+use classfuzz_classfile::MethodAccess;
+use classfuzz_core::diff::DifferentialHarness;
+use classfuzz_core::report;
+use classfuzz_jimple::{lower::lower_class, IrClass, IrMethod, JType};
+use classfuzz_mutation::registry;
+use classfuzz_vm::Phase;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut scale = Scale::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                scale.seeds = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.seeds);
+                i += 2;
+            }
+            "--iterations" => {
+                scale.iterations =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.iterations);
+                i += 2;
+            }
+            "--rng-seed" => {
+                scale.rng_seed =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.rng_seed);
+                i += 2;
+            }
+            other => {
+                experiment = other.to_string();
+                i += 1;
+            }
+        }
+    }
+
+    match experiment.as_str() {
+        "phases" => phases(),
+        "problem1" => problem1(),
+        "problem2" => problem2(),
+        "problem3" => problem3(),
+        "problem4" => problem4(),
+        "fig3" => fig3(),
+        "table4" => table4(scale),
+        "table5" => table5(scale),
+        "table6" => table6(scale),
+        "table7" => table7(scale),
+        "fig4" => fig4(scale),
+        "baseline" => baseline(scale),
+        "ablation" => ablation(scale),
+        "versions" => versions(),
+        "all" => {
+            phases();
+            problem1();
+            problem2();
+            problem3();
+            problem4();
+            fig3();
+            baseline(scale);
+            versions();
+            tables_and_figures(scale);
+            ablation(scale);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; see the doc comment in repro.rs");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn phases() {
+    println!("== Table 1: JVM startup phases ==");
+    for phase in Phase::all() {
+        println!("  {} = {}", phase.code(), phase.describe());
+    }
+    println!();
+}
+
+/// Figure 2 / Problem 1: `public abstract <clinit>` without code.
+fn clinit_mutant() -> IrClass {
+    let mut class = IrClass::with_hello_main("M1436188543", "Completed!");
+    class.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "<clinit>",
+        vec![],
+        None,
+    ));
+    class
+}
+
+fn show_vector(harness: &DifferentialHarness, class: &IrClass) {
+    let vector = harness.run(&lower_class(class).to_bytes());
+    println!("  encoded sequence: {vector}");
+    for (jvm, outcome) in harness.jvms().iter().zip(vector.outcomes()) {
+        println!("    {:22} -> {outcome}", jvm.spec().name);
+    }
+    println!();
+}
+
+fn problem1() {
+    println!("== Problem 1: <clinit> of no consequence (Figure 2) ==");
+    let harness = DifferentialHarness::paper_five();
+    show_vector(&harness, &clinit_mutant());
+}
+
+fn problem2() {
+    use classfuzz_jimple::{Body, Expr, InvokeExpr, InvokeKind, Stmt, Target, Value};
+    println!("== Problem 2: per-VM verification policies (M1433982529) ==");
+    // Pass a String argument where the callee declares java/util/Map.
+    let mut class = IrClass::with_hello_main("M1433982529", "Completed!");
+    let mut body = Body::new();
+    body.declare("s", JType::string());
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("s".into()),
+        value: Expr::Use(Value::str("confused")),
+    });
+    body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Static,
+        class: "helper/Unloaded".into(),
+        name: "getBoolean".into(),
+        params: vec![JType::object("java/util/Map")],
+        ret: Some(JType::Boolean),
+        receiver: None,
+        args: vec![Value::local("s")],
+    }));
+    body.stmts.push(Stmt::Return(None));
+    class.methods.push(IrMethod {
+        access: MethodAccess::PROTECTED,
+        name: "internalTransform".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let harness = DifferentialHarness::paper_five();
+    show_vector(&harness, &class);
+}
+
+fn problem3() {
+    println!("== Problem 3: throws-clause of an internal class (M1437121261) ==");
+    let mut class = IrClass::with_hello_main("M1437121261", "Completed!");
+    class.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    let harness = DifferentialHarness::paper_five();
+    show_vector(&harness, &class);
+}
+
+fn problem4() {
+    use classfuzz_classfile::ClassAccess;
+    println!("== Problem 4: GIJ leniency ==");
+    let harness = DifferentialHarness::paper_five();
+
+    println!("-- interface with a main method --");
+    let mut iface = IrClass::with_hello_main("p/IfaceMain", "Completed!");
+    iface.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    show_vector(&harness, &iface);
+
+    println!("-- interface extending java/lang/Exception --");
+    let mut bad_super = IrClass::new("p/BadIface");
+    bad_super.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    bad_super.super_class = Some("java/lang/Exception".into());
+    show_vector(&harness, &bad_super);
+
+    println!("-- duplicate fields --");
+    let mut dup = IrClass::with_hello_main("p/DupFields", "Completed!");
+    for _ in 0..2 {
+        dup.fields.push(classfuzz_jimple::IrField {
+            access: classfuzz_classfile::FieldAccess::PUBLIC,
+            name: "twin".into(),
+            ty: JType::Int,
+            constant_value: None,
+        });
+    }
+    show_vector(&harness, &dup);
+
+    println!("-- abstract <init> with a parameter list --");
+    let mut init = IrClass::with_hello_main("p/BadInit", "Completed!");
+    // Abstract class, so only the <init>-signature policy is in play
+    // (GIJ also rejects abstract methods in *concrete* classes).
+    init.access = ClassAccess::PUBLIC | ClassAccess::ABSTRACT | ClassAccess::SUPER;
+    init.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "<init>",
+        vec![JType::Int, JType::Int, JType::Int, JType::Boolean],
+        None,
+    ));
+    show_vector(&harness, &init);
+}
+
+fn fig3() {
+    println!("== Figure 3: an encoded sequence of test outputs ==");
+    let harness = DifferentialHarness::paper_five();
+    let vector = harness.run(&lower_class(&clinit_mutant()).to_bytes());
+    print!("  ");
+    for name in harness.names() {
+        print!("{name:>22}");
+    }
+    println!();
+    print!("  ");
+    for digit in vector.encoded() {
+        print!("{digit:>22}");
+    }
+    println!("\n  (theoretically 5^5 possibilities; a discrepancy = not all equal)\n");
+}
+
+fn table4(scale: Scale) {
+    let campaigns = table4_campaigns(scale);
+    println!("{}", report::format_table4(&campaigns));
+}
+
+fn table5(scale: Scale) {
+    let campaign = classfuzz_stbr_campaign(scale);
+    println!("{}", report::format_table5(&campaign, &registry::all_mutators()));
+}
+
+fn table6(scale: Scale) {
+    let campaigns = table4_campaigns(scale);
+    let rows = table6_rows(scale, &campaigns);
+    println!("{}", report::format_table6(&rows));
+}
+
+fn table7(scale: Scale) {
+    let campaign = classfuzz_stbr_campaign(scale);
+    let (eval, names) = table7_eval(&campaign.test_bytes());
+    println!(
+        "{}",
+        report::format_table7(&eval, &names)
+    );
+}
+
+fn fig4(scale: Scale) {
+    let mutators = registry::all_mutators();
+    let stbr = classfuzz_stbr_campaign(scale);
+    let series = report::mutator_series(&stbr.mutator_stats, &mutators);
+    println!(
+        "{}",
+        report::format_figure4(&series, "classfuzz[stbr] (4a: succ, 4b: freq)")
+    );
+    let unique = classfuzz_bench::uniquefuzz_campaign(scale);
+    let series_u = report::mutator_series(&unique.mutator_stats, &mutators);
+    println!("{}", report::format_figure4(&series_u, "uniquefuzz (4c: freq)"));
+}
+
+fn baseline(scale: Scale) {
+    let eval = baseline_eval(scale);
+    println!("== Preliminary study (§1): the environment baseline ==");
+    println!(
+        "  {} / {} classfiles trigger discrepancies (diff = {:.1}%, {} distinct)",
+        eval.discrepancies,
+        eval.total,
+        eval.diff_rate() * 100.0,
+        eval.distinct_count()
+    );
+    println!("  (paper: 364 / 21,736 = 1.7% on the JRE7 libraries)\n");
+}
+
+/// Runs the campaign-based tables once, sharing the expensive campaigns.
+fn tables_and_figures(scale: Scale) {
+    let campaigns = table4_campaigns(scale);
+    println!("{}", report::format_table4(&campaigns));
+    let mutators = registry::all_mutators();
+    let stbr = &campaigns[0];
+    println!("{}", report::format_table5(stbr, &mutators));
+    let rows = table6_rows(scale, &campaigns);
+    println!("{}", report::format_table6(&rows));
+    let (eval, names) = table7_eval(&stbr.test_bytes());
+    println!("{}", report::format_table7(&eval, &names));
+    let series = report::mutator_series(&stbr.mutator_stats, &mutators);
+    println!(
+        "{}",
+        report::format_figure4(&series, "classfuzz[stbr] (4a: succ, 4b: freq)")
+    );
+    let unique = &campaigns[3];
+    let series_u = report::mutator_series(&unique.mutator_stats, &mutators);
+    println!("{}", report::format_figure4(&series_u, "uniquefuzz (4c: freq)"));
+}
+
+// --- Ablations and extensions (see DESIGN.md §3) -----------------------------
+
+/// `repro ablation`: p-sensitivity and knob-attribution ablations.
+fn ablation(scale: Scale) {
+    println!("== Ablation: MCMC geometric parameter p ==");
+    let ps = [1.0 / 129.0, 0.015, 3.0 / 129.0, 0.05, 0.10, 0.25];
+    for (p, test_classes) in classfuzz_bench::ablation_p(scale, &ps) {
+        println!("  p = {p:.4} -> |TestClasses| = {test_classes}");
+    }
+    println!();
+    println!("== Ablation: which policy knob causes which discrepancies ==");
+    for (label, discrepancies) in classfuzz_bench::ablation_knobs(scale) {
+        println!("  {label:<40} -> {discrepancies} discrepancy-triggering TestClasses");
+    }
+    println!();
+}
+
+/// `repro versions`: the version-sweep extension.
+fn versions() {
+    println!("== Extension: classfile major-version sweep ==");
+    println!("  (phases per VM, Table 3 column order: HS7 HS8 HS9 J9 GIJ)");
+    let versions = [45u16, 46, 48, 49, 50, 51, 52, 53, 54];
+    println!("  {:>8} {:>18} {:>28}", "version", "valid class", "interface w/o ABSTRACT");
+    for (v, ok, iface) in classfuzz_bench::version_sweep(&versions) {
+        let fmt = |p: &[u8]| p.iter().map(u8::to_string).collect::<Vec<_>>().join("");
+        println!("  {v:>8} {:>18} {:>28}", fmt(&ok), fmt(&iface));
+    }
+    println!();
+}

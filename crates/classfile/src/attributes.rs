@@ -1,0 +1,145 @@
+//! Classfile attributes (JVMS §4.7).
+//!
+//! `Code`, `Exceptions`, `ConstantValue`, `SourceFile`, and `InnerClasses`
+//! are fully decoded; anything else (including `StackMapTable`, which our
+//! reference verifier re-derives by type inference) is kept as raw bytes so
+//! it round-trips untouched.
+
+use crate::constant_pool::ConstIndex;
+use crate::instruction::Instruction;
+
+/// One entry of a `Code` attribute's exception table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionTableEntry {
+    /// Start of the protected range (inclusive code offset).
+    pub start_pc: u16,
+    /// End of the protected range (exclusive code offset).
+    pub end_pc: u16,
+    /// Handler entry point.
+    pub handler_pc: u16,
+    /// `Class` constant of the caught type; index 0 catches everything.
+    pub catch_type: ConstIndex,
+}
+
+/// A decoded `Code` attribute (JVMS §4.7.3).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodeAttribute {
+    /// Declared maximum operand-stack depth.
+    pub max_stack: u16,
+    /// Declared number of local-variable slots.
+    pub max_locals: u16,
+    /// The decoded instruction stream (absolute branch targets).
+    pub instructions: Vec<Instruction>,
+    /// Exception handlers protecting ranges of the code.
+    pub exception_table: Vec<ExceptionTableEntry>,
+    /// Nested attributes (`LineNumberTable` etc.), kept raw.
+    pub attributes: Vec<Attribute>,
+}
+
+/// One entry of an `InnerClasses` attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerClassEntry {
+    /// `Class` constant of the inner class.
+    pub inner_class: ConstIndex,
+    /// `Class` constant of the outer class (0 if not a member).
+    pub outer_class: ConstIndex,
+    /// `Utf8` constant of the simple name (0 if anonymous).
+    pub inner_name: ConstIndex,
+    /// Access flags of the inner class as declared in source.
+    pub inner_flags: u16,
+}
+
+/// A classfile attribute, decoded where the toolchain needs structure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attribute {
+    /// Method bytecode and metadata.
+    Code(CodeAttribute),
+    /// Checked exceptions a method declares (`throws` clause): `Class`
+    /// constant indices.
+    Exceptions(Vec<ConstIndex>),
+    /// Initial value of a `static final` field.
+    ConstantValue(ConstIndex),
+    /// Source file name (`Utf8` index).
+    SourceFile(ConstIndex),
+    /// Nest of inner-class records.
+    InnerClasses(Vec<InnerClassEntry>),
+    /// Marks a compiler-generated member.
+    Synthetic,
+    /// Marks a deprecated member.
+    Deprecated,
+    /// Generic signature (`Utf8` index).
+    Signature(ConstIndex),
+    /// Any attribute this crate does not decode: name + raw payload.
+    Unknown {
+        /// `Utf8` index of the attribute name.
+        name: ConstIndex,
+        /// Undecoded payload bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl Attribute {
+    /// The attribute's name as it appears in the classfile, when fixed.
+    ///
+    /// [`Attribute::Unknown`] returns `None`; its name lives in the constant
+    /// pool.
+    pub fn fixed_name(&self) -> Option<&'static str> {
+        Some(match self {
+            Attribute::Code(_) => "Code",
+            Attribute::Exceptions(_) => "Exceptions",
+            Attribute::ConstantValue(_) => "ConstantValue",
+            Attribute::SourceFile(_) => "SourceFile",
+            Attribute::InnerClasses(_) => "InnerClasses",
+            Attribute::Synthetic => "Synthetic",
+            Attribute::Deprecated => "Deprecated",
+            Attribute::Signature(_) => "Signature",
+            Attribute::Unknown { .. } => return None,
+        })
+    }
+
+    /// Returns the decoded `Code` payload, if this is a `Code` attribute.
+    pub fn as_code(&self) -> Option<&CodeAttribute> {
+        match self {
+            Attribute::Code(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`Attribute::as_code`].
+    pub fn as_code_mut(&mut self) -> Option<&mut CodeAttribute> {
+        match self {
+            Attribute::Code(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn fixed_names() {
+        assert_eq!(Attribute::Synthetic.fixed_name(), Some("Synthetic"));
+        assert_eq!(
+            Attribute::Unknown { name: ConstIndex(1), data: vec![] }.fixed_name(),
+            None
+        );
+    }
+
+    #[test]
+    fn code_accessors() {
+        let mut attr = Attribute::Code(CodeAttribute {
+            max_stack: 1,
+            max_locals: 1,
+            instructions: vec![Instruction::Simple(Opcode::Return)],
+            exception_table: vec![],
+            attributes: vec![],
+        });
+        assert_eq!(attr.as_code().unwrap().max_stack, 1);
+        attr.as_code_mut().unwrap().max_stack = 2;
+        assert_eq!(attr.as_code().unwrap().max_stack, 2);
+        assert!(Attribute::Deprecated.as_code().is_none());
+    }
+}

@@ -1,0 +1,313 @@
+//! The top-level [`ClassFile`] structure (JVMS §4.1) and its builder.
+
+use crate::attributes::{Attribute, CodeAttribute};
+use crate::constant_pool::{ConstIndex, ConstantPool};
+use crate::error::ClassReadError;
+use crate::flags::{ClassAccess, FieldAccess, MethodAccess};
+
+/// The classfile magic number, `0xCAFEBABE`.
+pub const MAGIC: u32 = 0xCAFE_BABE;
+
+/// A field declaration (JVMS §4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldInfo {
+    /// Access and property flags.
+    pub access: FieldAccess,
+    /// `Utf8` index of the field name.
+    pub name: ConstIndex,
+    /// `Utf8` index of the field descriptor.
+    pub descriptor: ConstIndex,
+    /// Attributes (`ConstantValue`, `Synthetic`, …).
+    pub attributes: Vec<Attribute>,
+}
+
+/// A method declaration (JVMS §4.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodInfo {
+    /// Access and property flags.
+    pub access: MethodAccess,
+    /// `Utf8` index of the method name.
+    pub name: ConstIndex,
+    /// `Utf8` index of the method descriptor.
+    pub descriptor: ConstIndex,
+    /// Attributes (`Code`, `Exceptions`, …).
+    pub attributes: Vec<Attribute>,
+}
+
+impl MethodInfo {
+    /// The method's `Code` attribute, if any.
+    pub fn code(&self) -> Option<&CodeAttribute> {
+        self.attributes.iter().find_map(Attribute::as_code)
+    }
+
+    /// Mutable variant of [`MethodInfo::code`].
+    pub fn code_mut(&mut self) -> Option<&mut CodeAttribute> {
+        self.attributes.iter_mut().find_map(Attribute::as_code_mut)
+    }
+
+    /// `Class` indices of the method's declared (`throws`) exceptions.
+    pub fn declared_exceptions(&self) -> &[ConstIndex] {
+        for a in &self.attributes {
+            if let Attribute::Exceptions(e) = a {
+                return e;
+            }
+        }
+        &[]
+    }
+}
+
+/// An in-memory classfile.
+///
+/// All invariants of the *format* hold (the structure can always be
+/// serialized); invariants of the *specification* (consistent flags, valid
+/// references) deliberately may not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassFile {
+    /// Minor format version.
+    pub minor_version: u16,
+    /// Major format version (51 = Java 7, per the paper's setup).
+    pub major_version: u16,
+    /// The constant pool.
+    pub constant_pool: ConstantPool,
+    /// Class-level access flags.
+    pub access: ClassAccess,
+    /// `Class` constant of this class.
+    pub this_class: ConstIndex,
+    /// `Class` constant of the superclass; 0 only for `java/lang/Object`.
+    pub super_class: ConstIndex,
+    /// `Class` constants of directly implemented interfaces.
+    pub interfaces: Vec<ConstIndex>,
+    /// Declared fields.
+    pub fields: Vec<FieldInfo>,
+    /// Declared methods.
+    pub methods: Vec<MethodInfo>,
+    /// Class-level attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+impl ClassFile {
+    /// Major version for the J2SE 7 platform — the version the paper pins
+    /// all mutants to (§3.1.1).
+    pub const MAJOR_JAVA7: u16 = 51;
+
+    /// Starts building a class named `name` (binary form, e.g. `"a/b/C"`).
+    pub fn builder(name: &str) -> ClassBuilder {
+        ClassBuilder::new(name)
+    }
+
+    /// Resolves this class's own binary name from the constant pool.
+    pub fn this_class_name(&self) -> Option<String> {
+        self.constant_pool.class_name(self.this_class)
+    }
+
+    /// Resolves the superclass's binary name; `None` when `super_class`
+    /// is 0 or dangling.
+    pub fn super_class_name(&self) -> Option<String> {
+        self.constant_pool.class_name(self.super_class)
+    }
+
+    /// Resolves the binary names of implemented interfaces, skipping any
+    /// dangling entries.
+    pub fn interface_names(&self) -> Vec<String> {
+        self.interfaces
+            .iter()
+            .filter_map(|&i| self.constant_pool.class_name(i))
+            .collect()
+    }
+
+    /// Finds a method by name and descriptor text.
+    pub fn find_method(&self, name: &str, descriptor: &str) -> Option<&MethodInfo> {
+        self.methods.iter().find(|m| {
+            self.constant_pool.utf8_text(m.name) == Some(name)
+                && self.constant_pool.utf8_text(m.descriptor) == Some(descriptor)
+        })
+    }
+
+    /// Finds a field by name.
+    pub fn find_field(&self, name: &str) -> Option<&FieldInfo> {
+        self.fields
+            .iter()
+            .find(|f| self.constant_pool.utf8_text(f.name) == Some(name))
+    }
+
+    /// Serializes to classfile bytes. Infallible: any representable
+    /// structure has an encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::writer::write_class(self)
+    }
+
+    /// Parses a classfile from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassReadError`] when the bytes are not structurally
+    /// decodable (bad magic, truncation, unknown constant tags or opcodes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ClassFile, ClassReadError> {
+        crate::reader::read_class(bytes)
+    }
+}
+
+/// Builder for [`ClassFile`] values.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_classfile::{ClassFile, ClassAccess};
+///
+/// let class = ClassFile::builder("demo/A")
+///     .flags(ClassAccess::PUBLIC | ClassAccess::SUPER)
+///     .super_class("java/lang/Object")
+///     .interface("java/lang/Runnable")
+///     .build();
+/// assert_eq!(class.interface_names(), vec!["java/lang/Runnable"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassBuilder {
+    class: ClassFile,
+}
+
+impl ClassBuilder {
+    /// Creates a builder for a class named `name`.
+    pub fn new(name: &str) -> Self {
+        let mut cp = ConstantPool::new();
+        let this_class = cp.class(name);
+        ClassBuilder {
+            class: ClassFile {
+                minor_version: 0,
+                major_version: ClassFile::MAJOR_JAVA7,
+                constant_pool: cp,
+                access: ClassAccess::PUBLIC | ClassAccess::SUPER,
+                this_class,
+                super_class: ConstIndex(0),
+                interfaces: Vec::new(),
+                fields: Vec::new(),
+                methods: Vec::new(),
+                attributes: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the format version.
+    pub fn version(mut self, major: u16, minor: u16) -> Self {
+        self.class.major_version = major;
+        self.class.minor_version = minor;
+        self
+    }
+
+    /// Sets the class access flags.
+    pub fn flags(mut self, flags: ClassAccess) -> Self {
+        self.class.access = flags;
+        self
+    }
+
+    /// Sets the superclass by binary name.
+    pub fn super_class(mut self, name: &str) -> Self {
+        self.class.super_class = self.class.constant_pool.class(name);
+        self
+    }
+
+    /// Adds an implemented interface by binary name.
+    pub fn interface(mut self, name: &str) -> Self {
+        let idx = self.class.constant_pool.class(name);
+        self.class.interfaces.push(idx);
+        self
+    }
+
+    /// Adds a field.
+    pub fn field(mut self, access: FieldAccess, name: &str, descriptor: &str) -> Self {
+        let name = self.class.constant_pool.utf8(name);
+        let descriptor = self.class.constant_pool.utf8(descriptor);
+        self.class.fields.push(FieldInfo { access, name, descriptor, attributes: Vec::new() });
+        self
+    }
+
+    /// Adds a method with the given `Code` attribute.
+    pub fn method(
+        mut self,
+        access: MethodAccess,
+        name: &str,
+        descriptor: &str,
+        code: CodeAttribute,
+    ) -> Self {
+        let name = self.class.constant_pool.utf8(name);
+        let descriptor = self.class.constant_pool.utf8(descriptor);
+        self.class.methods.push(MethodInfo {
+            access,
+            name,
+            descriptor,
+            attributes: vec![Attribute::Code(code)],
+        });
+        self
+    }
+
+    /// Adds a method with no `Code` attribute (abstract/native shape).
+    pub fn method_without_code(
+        mut self,
+        access: MethodAccess,
+        name: &str,
+        descriptor: &str,
+    ) -> Self {
+        let name = self.class.constant_pool.utf8(name);
+        let descriptor = self.class.constant_pool.utf8(descriptor);
+        self.class.methods.push(MethodInfo { access, name, descriptor, attributes: Vec::new() });
+        self
+    }
+
+    /// Grants mutable access to the pool for callers assembling bytecode.
+    pub fn constant_pool_mut(&mut self) -> &mut ConstantPool {
+        &mut self.class.constant_pool
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> ClassFile {
+        self.class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::Instruction;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn builder_produces_resolvable_names() {
+        let c = ClassFile::builder("p/Q")
+            .super_class("java/lang/Object")
+            .interface("I1")
+            .interface("I2")
+            .field(FieldAccess::PRIVATE, "f", "I")
+            .method_without_code(MethodAccess::PUBLIC | MethodAccess::ABSTRACT, "m", "()V")
+            .build();
+        assert_eq!(c.this_class_name().as_deref(), Some("p/Q"));
+        assert_eq!(c.super_class_name().as_deref(), Some("java/lang/Object"));
+        assert_eq!(c.interface_names(), vec!["I1", "I2"]);
+        assert!(c.find_field("f").is_some());
+        assert!(c.find_method("m", "()V").is_some());
+        assert!(c.find_method("m", "()I").is_none());
+    }
+
+    #[test]
+    fn method_code_lookup() {
+        let code = CodeAttribute {
+            max_stack: 0,
+            max_locals: 1,
+            instructions: vec![Instruction::Simple(Opcode::Return)],
+            exception_table: vec![],
+            attributes: vec![],
+        };
+        let c = ClassFile::builder("X")
+            .method(MethodAccess::PUBLIC, "go", "()V", code)
+            .build();
+        let m = c.find_method("go", "()V").unwrap();
+        assert_eq!(m.code().unwrap().instructions.len(), 1);
+        assert!(m.declared_exceptions().is_empty());
+    }
+
+    #[test]
+    fn zero_super_resolves_to_none() {
+        let c = ClassFile::builder("java/lang/Object").build();
+        assert_eq!(c.super_class, ConstIndex(0));
+        assert_eq!(c.super_class_name(), None);
+    }
+}

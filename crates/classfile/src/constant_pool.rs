@@ -1,0 +1,396 @@
+//! The classfile constant pool (JVMS §4.4).
+//!
+//! The pool is 1-indexed; `CONSTANT_Long` and `CONSTANT_Double` entries occupy
+//! two slots, the second of which is unusable. [`ConstantPool`] preserves that
+//! layout exactly so indices written by [`crate::ClassFile::to_bytes`] match
+//! what a real JVM expects.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A 1-based index into the constant pool.
+///
+/// Index `0` is representable (mutators may deliberately produce dangling
+/// zero references) but never valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ConstIndex(pub u16);
+
+impl fmt::Display for ConstIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u16> for ConstIndex {
+    fn from(v: u16) -> Self {
+        ConstIndex(v)
+    }
+}
+
+impl From<ConstIndex> for u16 {
+    fn from(v: ConstIndex) -> u16 {
+        v.0
+    }
+}
+
+/// One constant-pool entry (JVMS table 4.4-A, Java SE 7 tag set).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// `CONSTANT_Utf8` — modified-UTF-8 text. Stored as a Rust string; the
+    /// (rare) surrogate encodings of real modified UTF-8 are normalized away.
+    Utf8(String),
+    /// `CONSTANT_Integer`.
+    Integer(i32),
+    /// `CONSTANT_Float`.
+    Float(f32),
+    /// `CONSTANT_Long` (occupies two slots).
+    Long(i64),
+    /// `CONSTANT_Double` (occupies two slots).
+    Double(f64),
+    /// `CONSTANT_Class` — points at a `Utf8` binary class name.
+    Class(ConstIndex),
+    /// `CONSTANT_String` — points at a `Utf8`.
+    String(ConstIndex),
+    /// `CONSTANT_Fieldref` — (class, name-and-type).
+    FieldRef(ConstIndex, ConstIndex),
+    /// `CONSTANT_Methodref` — (class, name-and-type).
+    MethodRef(ConstIndex, ConstIndex),
+    /// `CONSTANT_InterfaceMethodref` — (class, name-and-type).
+    InterfaceMethodRef(ConstIndex, ConstIndex),
+    /// `CONSTANT_NameAndType` — (name `Utf8`, descriptor `Utf8`).
+    NameAndType(ConstIndex, ConstIndex),
+    /// `CONSTANT_MethodHandle` — (reference kind, reference index).
+    MethodHandle(u8, ConstIndex),
+    /// `CONSTANT_MethodType` — points at a descriptor `Utf8`.
+    MethodType(ConstIndex),
+    /// `CONSTANT_InvokeDynamic` — (bootstrap method attr index, name-and-type).
+    InvokeDynamic(u16, ConstIndex),
+    /// Padding slot following a `Long`/`Double`. Never serialized.
+    Unusable,
+}
+
+impl Constant {
+    /// The JVMS tag byte for this entry, or `None` for the padding slot.
+    pub fn tag(&self) -> Option<u8> {
+        Some(match self {
+            Constant::Utf8(_) => 1,
+            Constant::Integer(_) => 3,
+            Constant::Float(_) => 4,
+            Constant::Long(_) => 5,
+            Constant::Double(_) => 6,
+            Constant::Class(_) => 7,
+            Constant::String(_) => 8,
+            Constant::FieldRef(..) => 9,
+            Constant::MethodRef(..) => 10,
+            Constant::InterfaceMethodRef(..) => 11,
+            Constant::NameAndType(..) => 12,
+            Constant::MethodHandle(..) => 15,
+            Constant::MethodType(_) => 16,
+            Constant::InvokeDynamic(..) => 18,
+            Constant::Unusable => return None,
+        })
+    }
+
+    /// Returns `true` for `Long` and `Double`, which occupy two pool slots.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, Constant::Long(_) | Constant::Double(_))
+    }
+
+    /// A short human-readable name for the entry kind (used by the printer).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Constant::Utf8(_) => "Utf8",
+            Constant::Integer(_) => "Integer",
+            Constant::Float(_) => "Float",
+            Constant::Long(_) => "Long",
+            Constant::Double(_) => "Double",
+            Constant::Class(_) => "Class",
+            Constant::String(_) => "String",
+            Constant::FieldRef(..) => "Fieldref",
+            Constant::MethodRef(..) => "Methodref",
+            Constant::InterfaceMethodRef(..) => "InterfaceMethodref",
+            Constant::NameAndType(..) => "NameAndType",
+            Constant::MethodHandle(..) => "MethodHandle",
+            Constant::MethodType(_) => "MethodType",
+            Constant::InvokeDynamic(..) => "InvokeDynamic",
+            Constant::Unusable => "Unusable",
+        }
+    }
+}
+
+/// The constant pool of a classfile.
+///
+/// Entries are stored with real JVMS slot numbering: `entry(ConstIndex(1))`
+/// is the first entry, and wide entries are followed by an
+/// [`Constant::Unusable`] padding slot.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_classfile::{Constant, ConstantPool};
+///
+/// let mut cp = ConstantPool::new();
+/// let name = cp.utf8("java/lang/Object");
+/// let class = cp.class("java/lang/Object");
+/// assert_eq!(cp.utf8("java/lang/Object"), name); // deduplicated
+/// assert_eq!(cp.class_name(class), Some("java/lang/Object".to_string()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConstantPool {
+    entries: Vec<Constant>,
+    utf8_dedup: HashMap<String, ConstIndex>,
+}
+
+impl ConstantPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ConstantPool::default()
+    }
+
+    /// Number of slots (the classfile's `constant_pool_count` is this + 1).
+    pub fn slot_count(&self) -> u16 {
+        self.entries.len() as u16
+    }
+
+    /// Returns the entry at `index`, or `None` when the index is 0, out of
+    /// range, or a padding slot is addressed.
+    pub fn entry(&self, index: ConstIndex) -> Option<&Constant> {
+        if index.0 == 0 {
+            return None;
+        }
+        self.entries.get(index.0 as usize - 1)
+    }
+
+    /// Iterates over `(index, entry)` pairs, including padding slots.
+    pub fn iter(&self) -> impl Iterator<Item = (ConstIndex, &Constant)> {
+        self.entries.iter().enumerate().map(|(i, c)| (ConstIndex(i as u16 + 1), c))
+    }
+
+    /// Appends an entry verbatim (no deduplication) and returns its index.
+    ///
+    /// Wide entries automatically append their padding slot.
+    pub fn push(&mut self, constant: Constant) -> ConstIndex {
+        let wide = constant.is_wide();
+        if let Constant::Utf8(ref s) = constant {
+            let idx = ConstIndex(self.entries.len() as u16 + 1);
+            self.utf8_dedup.entry(s.clone()).or_insert(idx);
+        }
+        self.entries.push(constant);
+        let index = ConstIndex(self.entries.len() as u16);
+        if wide {
+            self.entries.push(Constant::Unusable);
+        }
+        index
+    }
+
+    /// Interns a `Utf8` entry, reusing an existing identical entry.
+    pub fn utf8(&mut self, text: &str) -> ConstIndex {
+        if let Some(&idx) = self.utf8_dedup.get(text) {
+            return idx;
+        }
+        self.push(Constant::Utf8(text.to_string()))
+    }
+
+    /// Interns a `Class` entry for the binary name `name`.
+    pub fn class(&mut self, name: &str) -> ConstIndex {
+        let name_idx = self.utf8(name);
+        self.find_or_push(Constant::Class(name_idx))
+    }
+
+    /// Interns a `String` entry for `text`.
+    pub fn string(&mut self, text: &str) -> ConstIndex {
+        let idx = self.utf8(text);
+        self.find_or_push(Constant::String(idx))
+    }
+
+    /// Interns an `Integer` entry.
+    pub fn integer(&mut self, value: i32) -> ConstIndex {
+        self.find_or_push(Constant::Integer(value))
+    }
+
+    /// Interns a `Long` entry.
+    pub fn long(&mut self, value: i64) -> ConstIndex {
+        self.find_or_push(Constant::Long(value))
+    }
+
+    /// Interns a `Float` entry (bit-exact comparison).
+    pub fn float(&mut self, value: f32) -> ConstIndex {
+        for (i, c) in self.iter() {
+            if let Constant::Float(v) = c {
+                if v.to_bits() == value.to_bits() {
+                    return i;
+                }
+            }
+        }
+        self.push(Constant::Float(value))
+    }
+
+    /// Interns a `Double` entry (bit-exact comparison).
+    pub fn double(&mut self, value: f64) -> ConstIndex {
+        for (i, c) in self.iter() {
+            if let Constant::Double(v) = c {
+                if v.to_bits() == value.to_bits() {
+                    return i;
+                }
+            }
+        }
+        self.push(Constant::Double(value))
+    }
+
+    /// Interns a `NameAndType` entry.
+    pub fn name_and_type(&mut self, name: &str, descriptor: &str) -> ConstIndex {
+        let n = self.utf8(name);
+        let d = self.utf8(descriptor);
+        self.find_or_push(Constant::NameAndType(n, d))
+    }
+
+    /// Interns a `Fieldref` entry.
+    pub fn field_ref(&mut self, class: &str, name: &str, descriptor: &str) -> ConstIndex {
+        let c = self.class(class);
+        let nt = self.name_and_type(name, descriptor);
+        self.find_or_push(Constant::FieldRef(c, nt))
+    }
+
+    /// Interns a `Methodref` entry.
+    pub fn method_ref(&mut self, class: &str, name: &str, descriptor: &str) -> ConstIndex {
+        let c = self.class(class);
+        let nt = self.name_and_type(name, descriptor);
+        self.find_or_push(Constant::MethodRef(c, nt))
+    }
+
+    /// Interns an `InterfaceMethodref` entry.
+    pub fn interface_method_ref(
+        &mut self,
+        class: &str,
+        name: &str,
+        descriptor: &str,
+    ) -> ConstIndex {
+        let c = self.class(class);
+        let nt = self.name_and_type(name, descriptor);
+        self.find_or_push(Constant::InterfaceMethodRef(c, nt))
+    }
+
+    fn find_or_push(&mut self, constant: Constant) -> ConstIndex {
+        for (i, c) in self.iter() {
+            if *c == constant {
+                return i;
+            }
+        }
+        self.push(constant)
+    }
+
+    /// Resolves a `Utf8` entry to its text.
+    pub fn utf8_text(&self, index: ConstIndex) -> Option<&str> {
+        match self.entry(index)? {
+            Constant::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Resolves a `Class` entry to its binary name.
+    pub fn class_name(&self, index: ConstIndex) -> Option<String> {
+        match self.entry(index)? {
+            Constant::Class(n) => self.utf8_text(*n).map(str::to_string),
+            _ => None,
+        }
+    }
+
+    /// Resolves a `NameAndType` entry to `(name, descriptor)`.
+    pub fn name_and_type_parts(&self, index: ConstIndex) -> Option<(String, String)> {
+        match self.entry(index)? {
+            Constant::NameAndType(n, d) => {
+                Some((self.utf8_text(*n)?.to_string(), self.utf8_text(*d)?.to_string()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Resolves any of the three `*ref` kinds to `(class, name, descriptor)`.
+    pub fn member_ref_parts(&self, index: ConstIndex) -> Option<(String, String, String)> {
+        let (class_idx, nt_idx) = match self.entry(index)? {
+            Constant::FieldRef(c, nt)
+            | Constant::MethodRef(c, nt)
+            | Constant::InterfaceMethodRef(c, nt) => (*c, *nt),
+            _ => return None,
+        };
+        let class = self.class_name(class_idx)?;
+        let (name, desc) = self.name_and_type_parts(nt_idx)?;
+        Some((class, name, desc))
+    }
+}
+
+impl fmt::Display for ConstantPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Constant pool:")?;
+        for (idx, c) in self.iter() {
+            if matches!(c, Constant::Unusable) {
+                continue;
+            }
+            writeln!(f, "  {idx} = {} {c:?}", c.kind_name())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_based_indexing() {
+        let mut cp = ConstantPool::new();
+        let a = cp.utf8("a");
+        assert_eq!(a, ConstIndex(1));
+        assert_eq!(cp.utf8_text(a), Some("a"));
+        assert_eq!(cp.entry(ConstIndex(0)), None);
+    }
+
+    #[test]
+    fn wide_entries_take_two_slots() {
+        let mut cp = ConstantPool::new();
+        let l = cp.long(7);
+        assert_eq!(l, ConstIndex(1));
+        assert_eq!(cp.entry(ConstIndex(2)), Some(&Constant::Unusable));
+        let next = cp.utf8("x");
+        assert_eq!(next, ConstIndex(3));
+        assert_eq!(cp.slot_count(), 3);
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut cp = ConstantPool::new();
+        let a = cp.class("java/lang/Object");
+        let b = cp.class("java/lang/Object");
+        assert_eq!(a, b);
+        let m1 = cp.method_ref("A", "m", "()V");
+        let m2 = cp.method_ref("A", "m", "()V");
+        assert_eq!(m1, m2);
+        let m3 = cp.method_ref("A", "m", "()I");
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn member_ref_resolution() {
+        let mut cp = ConstantPool::new();
+        let r = cp.field_ref("java/lang/System", "out", "Ljava/io/PrintStream;");
+        assert_eq!(
+            cp.member_ref_parts(r),
+            Some((
+                "java/lang/System".to_string(),
+                "out".to_string(),
+                "Ljava/io/PrintStream;".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn float_interning_is_bit_exact() {
+        let mut cp = ConstantPool::new();
+        let a = cp.float(0.0);
+        let b = cp.float(-0.0);
+        assert_ne!(a, b);
+        let c = cp.float(f32::NAN);
+        let d = cp.float(f32::NAN);
+        assert_eq!(c, d);
+    }
+}

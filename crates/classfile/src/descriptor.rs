@@ -1,0 +1,312 @@
+//! Field and method descriptors (JVMS §4.3).
+//!
+//! Descriptors are the compact type grammar of the classfile format:
+//! `I`, `Ljava/lang/String;`, `[[D`, `(ILjava/lang/Object;)V`, and so on.
+
+use std::fmt;
+
+use crate::error::DescriptorError;
+
+/// A parsed field type (JVMS §4.3.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldType {
+    /// `B` — byte.
+    Byte,
+    /// `C` — char.
+    Char,
+    /// `D` — double.
+    Double,
+    /// `F` — float.
+    Float,
+    /// `I` — int.
+    Int,
+    /// `J` — long.
+    Long,
+    /// `S` — short.
+    Short,
+    /// `Z` — boolean.
+    Boolean,
+    /// `L<binary name>;` — a class or interface reference.
+    Object(String),
+    /// `[<component>` — an array of the component type.
+    Array(Box<FieldType>),
+}
+
+impl FieldType {
+    /// Convenience constructor for an object type.
+    pub fn object(name: impl Into<String>) -> Self {
+        FieldType::Object(name.into())
+    }
+
+    /// Convenience constructor for an array of `component`.
+    pub fn array(component: FieldType) -> Self {
+        FieldType::Array(Box::new(component))
+    }
+
+    /// Parses one field descriptor, requiring the whole string be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError`] when the text is not a single valid
+    /// field descriptor.
+    pub fn parse(descriptor: &str) -> Result<Self, DescriptorError> {
+        let bytes = descriptor.as_bytes();
+        let mut pos = 0;
+        let ty = parse_field_type(descriptor, bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(DescriptorError::new(descriptor, pos));
+        }
+        Ok(ty)
+    }
+
+    /// Returns `true` for `long` and `double`, which occupy two local slots.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, FieldType::Long | FieldType::Double)
+    }
+
+    /// Returns `true` for object and array types.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, FieldType::Object(_) | FieldType::Array(_))
+    }
+
+    /// Number of local-variable slots a value of this type occupies (1 or 2).
+    pub fn slot_width(&self) -> u16 {
+        if self.is_wide() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Renders the descriptor text (`I`, `Ljava/lang/String;`, `[J`, …).
+    pub fn to_descriptor(&self) -> String {
+        let mut s = String::new();
+        write_field_type(&mut s, self);
+        s
+    }
+
+    /// Renders the Java-source spelling (`int`, `java.lang.String[]`, …).
+    pub fn to_java(&self) -> String {
+        match self {
+            FieldType::Byte => "byte".to_string(),
+            FieldType::Char => "char".to_string(),
+            FieldType::Double => "double".to_string(),
+            FieldType::Float => "float".to_string(),
+            FieldType::Int => "int".to_string(),
+            FieldType::Long => "long".to_string(),
+            FieldType::Short => "short".to_string(),
+            FieldType::Boolean => "boolean".to_string(),
+            FieldType::Object(name) => name.replace('/', "."),
+            FieldType::Array(c) => format!("{}[]", c.to_java()),
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_descriptor())
+    }
+}
+
+fn parse_field_type(
+    full: &str,
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<FieldType, DescriptorError> {
+    let err = |p: usize| DescriptorError::new(full, p);
+    let b = *bytes.get(*pos).ok_or_else(|| err(*pos))?;
+    *pos += 1;
+    Ok(match b {
+        b'B' => FieldType::Byte,
+        b'C' => FieldType::Char,
+        b'D' => FieldType::Double,
+        b'F' => FieldType::Float,
+        b'I' => FieldType::Int,
+        b'J' => FieldType::Long,
+        b'S' => FieldType::Short,
+        b'Z' => FieldType::Boolean,
+        b'L' => {
+            let start = *pos;
+            while *pos < bytes.len() && bytes[*pos] != b';' {
+                *pos += 1;
+            }
+            if *pos >= bytes.len() || *pos == start {
+                return Err(err(*pos));
+            }
+            let name = full[start..*pos].to_string();
+            *pos += 1; // consume ';'
+            FieldType::Object(name)
+        }
+        b'[' => FieldType::Array(Box::new(parse_field_type(full, bytes, pos)?)),
+        _ => return Err(err(*pos - 1)),
+    })
+}
+
+fn write_field_type(out: &mut String, ty: &FieldType) {
+    match ty {
+        FieldType::Byte => out.push('B'),
+        FieldType::Char => out.push('C'),
+        FieldType::Double => out.push('D'),
+        FieldType::Float => out.push('F'),
+        FieldType::Int => out.push('I'),
+        FieldType::Long => out.push('J'),
+        FieldType::Short => out.push('S'),
+        FieldType::Boolean => out.push('Z'),
+        FieldType::Object(name) => {
+            out.push('L');
+            out.push_str(name);
+            out.push(';');
+        }
+        FieldType::Array(c) => {
+            out.push('[');
+            write_field_type(out, c);
+        }
+    }
+}
+
+/// A parsed method descriptor: parameter types and an optional return type
+/// (`None` means `void`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodDescriptor {
+    /// Parameter types, in declaration order.
+    pub params: Vec<FieldType>,
+    /// Return type; `None` is `void`.
+    pub ret: Option<FieldType>,
+}
+
+impl MethodDescriptor {
+    /// Builds a descriptor from parts.
+    pub fn new(params: Vec<FieldType>, ret: Option<FieldType>) -> Self {
+        MethodDescriptor { params, ret }
+    }
+
+    /// The descriptor of a `void m()` method.
+    pub fn void_no_args() -> Self {
+        MethodDescriptor { params: Vec::new(), ret: None }
+    }
+
+    /// Parses a method descriptor such as `(ILjava/lang/String;)V`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescriptorError`] when the text is not a valid method
+    /// descriptor or has trailing characters.
+    pub fn parse(descriptor: &str) -> Result<Self, DescriptorError> {
+        let bytes = descriptor.as_bytes();
+        let err = |p: usize| DescriptorError::new(descriptor, p);
+        if bytes.first() != Some(&b'(') {
+            return Err(err(0));
+        }
+        let mut pos = 1;
+        let mut params = Vec::new();
+        while *bytes.get(pos).ok_or_else(|| err(pos))? != b')' {
+            params.push(parse_field_type(descriptor, bytes, &mut pos)?);
+        }
+        pos += 1; // consume ')'
+        let ret = if bytes.get(pos) == Some(&b'V') {
+            pos += 1;
+            None
+        } else {
+            Some(parse_field_type(descriptor, bytes, &mut pos)?)
+        };
+        if pos != bytes.len() {
+            return Err(err(pos));
+        }
+        Ok(MethodDescriptor { params, ret })
+    }
+
+    /// Renders the descriptor text.
+    pub fn to_descriptor(&self) -> String {
+        let mut s = String::from("(");
+        for p in &self.params {
+            write_field_type(&mut s, p);
+        }
+        s.push(')');
+        match &self.ret {
+            Some(t) => write_field_type(&mut s, t),
+            None => s.push('V'),
+        }
+        s
+    }
+
+    /// Number of local-variable slots the parameters occupy (wide types
+    /// count twice); the receiver slot is *not* included.
+    pub fn param_slots(&self) -> u16 {
+        self.params.iter().map(FieldType::slot_width).sum()
+    }
+}
+
+impl fmt::Display for MethodDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_descriptor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_primitives() {
+        assert_eq!(FieldType::parse("I").unwrap(), FieldType::Int);
+        assert_eq!(FieldType::parse("Z").unwrap(), FieldType::Boolean);
+        assert_eq!(FieldType::parse("D").unwrap(), FieldType::Double);
+    }
+
+    #[test]
+    fn parse_object_and_array() {
+        assert_eq!(
+            FieldType::parse("Ljava/lang/String;").unwrap(),
+            FieldType::object("java/lang/String")
+        );
+        assert_eq!(
+            FieldType::parse("[[I").unwrap(),
+            FieldType::array(FieldType::array(FieldType::Int))
+        );
+    }
+
+    #[test]
+    fn reject_malformed_field_types() {
+        assert!(FieldType::parse("").is_err());
+        assert!(FieldType::parse("L;").is_err());
+        assert!(FieldType::parse("Ljava/lang/String").is_err());
+        assert!(FieldType::parse("II").is_err());
+        assert!(FieldType::parse("Q").is_err());
+        assert!(FieldType::parse("[").is_err());
+    }
+
+    #[test]
+    fn parse_method_descriptors() {
+        let d = MethodDescriptor::parse("(ILjava/lang/String;[J)V").unwrap();
+        assert_eq!(d.params.len(), 3);
+        assert_eq!(d.ret, None);
+        assert_eq!(d.to_descriptor(), "(ILjava/lang/String;[J)V");
+
+        let d = MethodDescriptor::parse("()Ljava/lang/Object;").unwrap();
+        assert!(d.params.is_empty());
+        assert_eq!(d.ret, Some(FieldType::object("java/lang/Object")));
+    }
+
+    #[test]
+    fn reject_malformed_method_descriptors() {
+        assert!(MethodDescriptor::parse("").is_err());
+        assert!(MethodDescriptor::parse("()").is_err());
+        assert!(MethodDescriptor::parse("(IV").is_err());
+        assert!(MethodDescriptor::parse("()VV").is_err());
+        assert!(MethodDescriptor::parse("I()V").is_err());
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let d = MethodDescriptor::parse("(IJD)V").unwrap();
+        assert_eq!(d.param_slots(), 5);
+        assert_eq!(FieldType::Long.slot_width(), 2);
+        assert_eq!(FieldType::Int.slot_width(), 1);
+    }
+
+    #[test]
+    fn java_rendering() {
+        assert_eq!(FieldType::parse("[Ljava/lang/String;").unwrap().to_java(), "java.lang.String[]");
+        assert_eq!(FieldType::Int.to_java(), "int");
+    }
+}

@@ -1,0 +1,300 @@
+//! Access and property flags for classes, fields, and methods (JVMS §4.1,
+//! §4.5, §4.6).
+//!
+//! The three flag types are small hand-rolled bitsets over `u16`. Arbitrary
+//! bit patterns — including reserved and contradictory combinations — are
+//! representable on purpose: mutators set them and JVM profiles judge them.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+macro_rules! access_flags {
+    (
+        $(#[$meta:meta])*
+        $name:ident {
+            $( $(#[$fmeta:meta])* $flag:ident = $value:expr, $kw:expr; )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u16);
+
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($value); )*
+
+            /// The empty flag set.
+            pub const fn empty() -> Self {
+                $name(0)
+            }
+
+            /// Constructs a flag set from a raw `u16`, keeping every bit.
+            pub const fn from_bits(bits: u16) -> Self {
+                $name(bits)
+            }
+
+            /// The raw `u16` encoding of this flag set.
+            pub const fn bits(self) -> u16 {
+                self.0
+            }
+
+            /// Returns `true` if every flag in `other` is also set in `self`.
+            pub const fn contains(self, other: Self) -> bool {
+                self.0 & other.0 == other.0
+            }
+
+            /// Returns `true` if any flag in `other` is set in `self`.
+            pub const fn intersects(self, other: Self) -> bool {
+                self.0 & other.0 != 0
+            }
+
+            /// Returns `self` with every flag in `other` also set.
+            pub const fn with(self, other: Self) -> Self {
+                $name(self.0 | other.0)
+            }
+
+            /// Returns `self` with every flag in `other` cleared.
+            pub const fn without(self, other: Self) -> Self {
+                $name(self.0 & !other.0)
+            }
+
+            /// Returns `self` with the flags in `other` toggled.
+            pub const fn toggled(self, other: Self) -> Self {
+                $name(self.0 ^ other.0)
+            }
+
+            /// Returns `true` if no flag is set.
+            pub const fn is_empty(self) -> bool {
+                self.0 == 0
+            }
+
+            /// The Java-source keywords corresponding to the set flags, in
+            /// canonical order. Flags without a keyword are omitted.
+            pub fn keywords(self) -> Vec<&'static str> {
+                let mut out = Vec::new();
+                $(
+                    if self.contains($name::$flag) {
+                        let kw: &'static str = $kw;
+                        if !kw.is_empty() {
+                            out.push(kw);
+                        }
+                    }
+                )*
+                out
+            }
+
+            /// All individually named flags of this kind.
+            pub fn all_named() -> &'static [(&'static str, $name)] {
+                &[ $( (stringify!($flag), $name::$flag), )* ]
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name {
+                $name(self.0 | rhs.0)
+            }
+        }
+
+        impl BitOrAssign for $name {
+            fn bitor_assign(&mut self, rhs: $name) {
+                self.0 |= rhs.0;
+            }
+        }
+
+        impl BitAnd for $name {
+            type Output = $name;
+            fn bitand(self, rhs: $name) -> $name {
+                $name(self.0 & rhs.0)
+            }
+        }
+
+        impl Not for $name {
+            type Output = $name;
+            fn not(self) -> $name {
+                $name(!self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut first = true;
+                $(
+                    if self.contains($name::$flag) {
+                        if !first {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "ACC_{}", stringify!($flag))?;
+                        first = false;
+                    }
+                )*
+                if first {
+                    write!(f, "0x0000")?;
+                }
+                Ok(())
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::UpperHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Binary for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.0, f)
+            }
+        }
+
+        impl fmt::Octal for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Octal::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(bits: u16) -> Self {
+                $name(bits)
+            }
+        }
+
+        impl From<$name> for u16 {
+            fn from(flags: $name) -> u16 {
+                flags.0
+            }
+        }
+    };
+}
+
+access_flags! {
+    /// Class-level access and property flags (JVMS table 4.1-A).
+    ClassAccess {
+        /// Declared `public`.
+        PUBLIC = 0x0001, "public";
+        /// Declared `final`; no subclasses allowed.
+        FINAL = 0x0010, "final";
+        /// Treat superclass methods specially when invoked by `invokespecial`.
+        SUPER = 0x0020, "";
+        /// Is an interface, not a class.
+        INTERFACE = 0x0200, "interface";
+        /// Declared `abstract`; must not be instantiated.
+        ABSTRACT = 0x0400, "abstract";
+        /// Not present in source; generated by a compiler.
+        SYNTHETIC = 0x1000, "";
+        /// Declared as an annotation type.
+        ANNOTATION = 0x2000, "@interface";
+        /// Declared as an enum type.
+        ENUM = 0x4000, "enum";
+    }
+}
+
+access_flags! {
+    /// Field access and property flags (JVMS table 4.5-A).
+    FieldAccess {
+        /// Declared `public`.
+        PUBLIC = 0x0001, "public";
+        /// Declared `private`.
+        PRIVATE = 0x0002, "private";
+        /// Declared `protected`.
+        PROTECTED = 0x0004, "protected";
+        /// Declared `static`.
+        STATIC = 0x0008, "static";
+        /// Declared `final`.
+        FINAL = 0x0010, "final";
+        /// Declared `volatile`.
+        VOLATILE = 0x0040, "volatile";
+        /// Declared `transient`.
+        TRANSIENT = 0x0080, "transient";
+        /// Not present in source; generated by a compiler.
+        SYNTHETIC = 0x1000, "";
+        /// Declared as an element of an enum.
+        ENUM = 0x4000, "";
+    }
+}
+
+access_flags! {
+    /// Method access and property flags (JVMS table 4.6-A).
+    MethodAccess {
+        /// Declared `public`.
+        PUBLIC = 0x0001, "public";
+        /// Declared `private`.
+        PRIVATE = 0x0002, "private";
+        /// Declared `protected`.
+        PROTECTED = 0x0004, "protected";
+        /// Declared `static`.
+        STATIC = 0x0008, "static";
+        /// Declared `final`.
+        FINAL = 0x0010, "final";
+        /// Declared `synchronized`.
+        SYNCHRONIZED = 0x0020, "synchronized";
+        /// A bridge method generated by the compiler.
+        BRIDGE = 0x0040, "";
+        /// Declared with a variable number of arguments.
+        VARARGS = 0x0080, "";
+        /// Declared `native`.
+        NATIVE = 0x0100, "native";
+        /// Declared `abstract`; no implementation provided.
+        ABSTRACT = 0x0400, "abstract";
+        /// Declared `strictfp`.
+        STRICT = 0x0800, "strictfp";
+        /// Not present in source; generated by a compiler.
+        SYNTHETIC = 0x1000, "";
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_contains() {
+        let f = ClassAccess::PUBLIC | ClassAccess::FINAL;
+        assert!(f.contains(ClassAccess::PUBLIC));
+        assert!(f.contains(ClassAccess::FINAL));
+        assert!(!f.contains(ClassAccess::INTERFACE));
+        assert!(f.intersects(ClassAccess::FINAL | ClassAccess::ENUM));
+        assert!(!f.intersects(ClassAccess::ENUM));
+    }
+
+    #[test]
+    fn with_without_toggle() {
+        let f = MethodAccess::PUBLIC.with(MethodAccess::STATIC);
+        assert_eq!(f, MethodAccess::PUBLIC | MethodAccess::STATIC);
+        assert_eq!(f.without(MethodAccess::PUBLIC), MethodAccess::STATIC);
+        assert_eq!(f.toggled(MethodAccess::STATIC), MethodAccess::PUBLIC);
+    }
+
+    #[test]
+    fn roundtrip_raw_bits() {
+        let f = FieldAccess::from_bits(0xFFFF);
+        assert_eq!(f.bits(), 0xFFFF);
+        assert_eq!(u16::from(f), 0xFFFF);
+        assert_eq!(FieldAccess::from(0x0019).bits(), 0x0019);
+    }
+
+    #[test]
+    fn display_names_flags() {
+        let f = MethodAccess::PUBLIC | MethodAccess::ABSTRACT;
+        assert_eq!(f.to_string(), "ACC_PUBLIC ACC_ABSTRACT");
+        assert_eq!(MethodAccess::empty().to_string(), "0x0000");
+    }
+
+    #[test]
+    fn keywords_follow_source_order() {
+        let f = MethodAccess::PUBLIC | MethodAccess::STATIC | MethodAccess::SYNTHETIC;
+        assert_eq!(f.keywords(), vec!["public", "static"]);
+    }
+
+    #[test]
+    fn all_named_is_complete() {
+        assert_eq!(ClassAccess::all_named().len(), 8);
+        assert_eq!(FieldAccess::all_named().len(), 9);
+        assert_eq!(MethodAccess::all_named().len(), 12);
+    }
+}

@@ -1,0 +1,379 @@
+//! The JVM opcode set (JVMS §6.5) with operand-shape metadata.
+
+use std::fmt;
+
+/// The shape of the operand bytes that follow an opcode in the code array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandKind {
+    /// No operand bytes.
+    None,
+    /// One signed byte immediate (`bipush`).
+    I1,
+    /// One signed 16-bit immediate (`sipush`).
+    I2,
+    /// One unsigned byte constant-pool index (`ldc`).
+    CpU1,
+    /// One unsigned 16-bit constant-pool index.
+    CpU2,
+    /// One unsigned byte local-variable index (wideable).
+    Local,
+    /// `iinc`: local index + signed delta (wideable).
+    Iinc,
+    /// Signed 16-bit branch offset.
+    Branch2,
+    /// Signed 32-bit branch offset (`goto_w`, `jsr_w`).
+    Branch4,
+    /// `invokeinterface`: cp index, count byte, zero byte.
+    InvokeInterface,
+    /// `invokedynamic`: cp index, two zero bytes.
+    InvokeDynamic,
+    /// `newarray`: primitive array-type code byte.
+    NewArrayType,
+    /// `multianewarray`: cp index + dimension byte.
+    MultiANewArray,
+    /// `tableswitch`: padded variable-length operands.
+    TableSwitch,
+    /// `lookupswitch`: padded variable-length operands.
+    LookupSwitch,
+    /// `wide` prefix: modifies the following local-indexed instruction.
+    Wide,
+}
+
+macro_rules! opcodes {
+    ( $( $byte:expr => $variant:ident, $mnemonic:expr, $kind:ident; )* ) => {
+        /// A JVM opcode. The discriminant is the opcode byte itself.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u8)]
+        #[allow(missing_docs)] // variants mirror the JVMS mnemonics one-to-one
+        pub enum Opcode {
+            $( $variant = $byte, )*
+        }
+
+        impl Opcode {
+            /// Decodes an opcode byte; `None` for bytes with no assigned
+            /// instruction (including the reserved `breakpoint`/`impdep`).
+            pub fn from_byte(byte: u8) -> Option<Opcode> {
+                match byte {
+                    $( $byte => Some(Opcode::$variant), )*
+                    _ => None,
+                }
+            }
+
+            /// The JVMS mnemonic, e.g. `"invokevirtual"`.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$variant => $mnemonic, )*
+                }
+            }
+
+            /// The operand shape following this opcode.
+            pub fn operand_kind(self) -> OperandKind {
+                match self {
+                    $( Opcode::$variant => OperandKind::$kind, )*
+                }
+            }
+
+            /// Every defined opcode, in opcode-byte order.
+            pub fn all() -> &'static [Opcode] {
+                &[ $( Opcode::$variant, )* ]
+            }
+        }
+    };
+}
+
+opcodes! {
+    0x00 => Nop, "nop", None;
+    0x01 => AconstNull, "aconst_null", None;
+    0x02 => IconstM1, "iconst_m1", None;
+    0x03 => Iconst0, "iconst_0", None;
+    0x04 => Iconst1, "iconst_1", None;
+    0x05 => Iconst2, "iconst_2", None;
+    0x06 => Iconst3, "iconst_3", None;
+    0x07 => Iconst4, "iconst_4", None;
+    0x08 => Iconst5, "iconst_5", None;
+    0x09 => Lconst0, "lconst_0", None;
+    0x0a => Lconst1, "lconst_1", None;
+    0x0b => Fconst0, "fconst_0", None;
+    0x0c => Fconst1, "fconst_1", None;
+    0x0d => Fconst2, "fconst_2", None;
+    0x0e => Dconst0, "dconst_0", None;
+    0x0f => Dconst1, "dconst_1", None;
+    0x10 => Bipush, "bipush", I1;
+    0x11 => Sipush, "sipush", I2;
+    0x12 => Ldc, "ldc", CpU1;
+    0x13 => LdcW, "ldc_w", CpU2;
+    0x14 => Ldc2W, "ldc2_w", CpU2;
+    0x15 => Iload, "iload", Local;
+    0x16 => Lload, "lload", Local;
+    0x17 => Fload, "fload", Local;
+    0x18 => Dload, "dload", Local;
+    0x19 => Aload, "aload", Local;
+    0x1a => Iload0, "iload_0", None;
+    0x1b => Iload1, "iload_1", None;
+    0x1c => Iload2, "iload_2", None;
+    0x1d => Iload3, "iload_3", None;
+    0x1e => Lload0, "lload_0", None;
+    0x1f => Lload1, "lload_1", None;
+    0x20 => Lload2, "lload_2", None;
+    0x21 => Lload3, "lload_3", None;
+    0x22 => Fload0, "fload_0", None;
+    0x23 => Fload1, "fload_1", None;
+    0x24 => Fload2, "fload_2", None;
+    0x25 => Fload3, "fload_3", None;
+    0x26 => Dload0, "dload_0", None;
+    0x27 => Dload1, "dload_1", None;
+    0x28 => Dload2, "dload_2", None;
+    0x29 => Dload3, "dload_3", None;
+    0x2a => Aload0, "aload_0", None;
+    0x2b => Aload1, "aload_1", None;
+    0x2c => Aload2, "aload_2", None;
+    0x2d => Aload3, "aload_3", None;
+    0x2e => Iaload, "iaload", None;
+    0x2f => Laload, "laload", None;
+    0x30 => Faload, "faload", None;
+    0x31 => Daload, "daload", None;
+    0x32 => Aaload, "aaload", None;
+    0x33 => Baload, "baload", None;
+    0x34 => Caload, "caload", None;
+    0x35 => Saload, "saload", None;
+    0x36 => Istore, "istore", Local;
+    0x37 => Lstore, "lstore", Local;
+    0x38 => Fstore, "fstore", Local;
+    0x39 => Dstore, "dstore", Local;
+    0x3a => Astore, "astore", Local;
+    0x3b => Istore0, "istore_0", None;
+    0x3c => Istore1, "istore_1", None;
+    0x3d => Istore2, "istore_2", None;
+    0x3e => Istore3, "istore_3", None;
+    0x3f => Lstore0, "lstore_0", None;
+    0x40 => Lstore1, "lstore_1", None;
+    0x41 => Lstore2, "lstore_2", None;
+    0x42 => Lstore3, "lstore_3", None;
+    0x43 => Fstore0, "fstore_0", None;
+    0x44 => Fstore1, "fstore_1", None;
+    0x45 => Fstore2, "fstore_2", None;
+    0x46 => Fstore3, "fstore_3", None;
+    0x47 => Dstore0, "dstore_0", None;
+    0x48 => Dstore1, "dstore_1", None;
+    0x49 => Dstore2, "dstore_2", None;
+    0x4a => Dstore3, "dstore_3", None;
+    0x4b => Astore0, "astore_0", None;
+    0x4c => Astore1, "astore_1", None;
+    0x4d => Astore2, "astore_2", None;
+    0x4e => Astore3, "astore_3", None;
+    0x4f => Iastore, "iastore", None;
+    0x50 => Lastore, "lastore", None;
+    0x51 => Fastore, "fastore", None;
+    0x52 => Dastore, "dastore", None;
+    0x53 => Aastore, "aastore", None;
+    0x54 => Bastore, "bastore", None;
+    0x55 => Castore, "castore", None;
+    0x56 => Sastore, "sastore", None;
+    0x57 => Pop, "pop", None;
+    0x58 => Pop2, "pop2", None;
+    0x59 => Dup, "dup", None;
+    0x5a => DupX1, "dup_x1", None;
+    0x5b => DupX2, "dup_x2", None;
+    0x5c => Dup2, "dup2", None;
+    0x5d => Dup2X1, "dup2_x1", None;
+    0x5e => Dup2X2, "dup2_x2", None;
+    0x5f => Swap, "swap", None;
+    0x60 => Iadd, "iadd", None;
+    0x61 => Ladd, "ladd", None;
+    0x62 => Fadd, "fadd", None;
+    0x63 => Dadd, "dadd", None;
+    0x64 => Isub, "isub", None;
+    0x65 => Lsub, "lsub", None;
+    0x66 => Fsub, "fsub", None;
+    0x67 => Dsub, "dsub", None;
+    0x68 => Imul, "imul", None;
+    0x69 => Lmul, "lmul", None;
+    0x6a => Fmul, "fmul", None;
+    0x6b => Dmul, "dmul", None;
+    0x6c => Idiv, "idiv", None;
+    0x6d => Ldiv, "ldiv", None;
+    0x6e => Fdiv, "fdiv", None;
+    0x6f => Ddiv, "ddiv", None;
+    0x70 => Irem, "irem", None;
+    0x71 => Lrem, "lrem", None;
+    0x72 => Frem, "frem", None;
+    0x73 => Drem, "drem", None;
+    0x74 => Ineg, "ineg", None;
+    0x75 => Lneg, "lneg", None;
+    0x76 => Fneg, "fneg", None;
+    0x77 => Dneg, "dneg", None;
+    0x78 => Ishl, "ishl", None;
+    0x79 => Lshl, "lshl", None;
+    0x7a => Ishr, "ishr", None;
+    0x7b => Lshr, "lshr", None;
+    0x7c => Iushr, "iushr", None;
+    0x7d => Lushr, "lushr", None;
+    0x7e => Iand, "iand", None;
+    0x7f => Land, "land", None;
+    0x80 => Ior, "ior", None;
+    0x81 => Lor, "lor", None;
+    0x82 => Ixor, "ixor", None;
+    0x83 => Lxor, "lxor", None;
+    0x84 => Iinc, "iinc", Iinc;
+    0x85 => I2l, "i2l", None;
+    0x86 => I2f, "i2f", None;
+    0x87 => I2d, "i2d", None;
+    0x88 => L2i, "l2i", None;
+    0x89 => L2f, "l2f", None;
+    0x8a => L2d, "l2d", None;
+    0x8b => F2i, "f2i", None;
+    0x8c => F2l, "f2l", None;
+    0x8d => F2d, "f2d", None;
+    0x8e => D2i, "d2i", None;
+    0x8f => D2l, "d2l", None;
+    0x90 => D2f, "d2f", None;
+    0x91 => I2b, "i2b", None;
+    0x92 => I2c, "i2c", None;
+    0x93 => I2s, "i2s", None;
+    0x94 => Lcmp, "lcmp", None;
+    0x95 => Fcmpl, "fcmpl", None;
+    0x96 => Fcmpg, "fcmpg", None;
+    0x97 => Dcmpl, "dcmpl", None;
+    0x98 => Dcmpg, "dcmpg", None;
+    0x99 => Ifeq, "ifeq", Branch2;
+    0x9a => Ifne, "ifne", Branch2;
+    0x9b => Iflt, "iflt", Branch2;
+    0x9c => Ifge, "ifge", Branch2;
+    0x9d => Ifgt, "ifgt", Branch2;
+    0x9e => Ifle, "ifle", Branch2;
+    0x9f => IfIcmpeq, "if_icmpeq", Branch2;
+    0xa0 => IfIcmpne, "if_icmpne", Branch2;
+    0xa1 => IfIcmplt, "if_icmplt", Branch2;
+    0xa2 => IfIcmpge, "if_icmpge", Branch2;
+    0xa3 => IfIcmpgt, "if_icmpgt", Branch2;
+    0xa4 => IfIcmple, "if_icmple", Branch2;
+    0xa5 => IfAcmpeq, "if_acmpeq", Branch2;
+    0xa6 => IfAcmpne, "if_acmpne", Branch2;
+    0xa7 => Goto, "goto", Branch2;
+    0xa8 => Jsr, "jsr", Branch2;
+    0xa9 => Ret, "ret", Local;
+    0xaa => Tableswitch, "tableswitch", TableSwitch;
+    0xab => Lookupswitch, "lookupswitch", LookupSwitch;
+    0xac => Ireturn, "ireturn", None;
+    0xad => Lreturn, "lreturn", None;
+    0xae => Freturn, "freturn", None;
+    0xaf => Dreturn, "dreturn", None;
+    0xb0 => Areturn, "areturn", None;
+    0xb1 => Return, "return", None;
+    0xb2 => Getstatic, "getstatic", CpU2;
+    0xb3 => Putstatic, "putstatic", CpU2;
+    0xb4 => Getfield, "getfield", CpU2;
+    0xb5 => Putfield, "putfield", CpU2;
+    0xb6 => Invokevirtual, "invokevirtual", CpU2;
+    0xb7 => Invokespecial, "invokespecial", CpU2;
+    0xb8 => Invokestatic, "invokestatic", CpU2;
+    0xb9 => Invokeinterface, "invokeinterface", InvokeInterface;
+    0xba => Invokedynamic, "invokedynamic", InvokeDynamic;
+    0xbb => New, "new", CpU2;
+    0xbc => Newarray, "newarray", NewArrayType;
+    0xbd => Anewarray, "anewarray", CpU2;
+    0xbe => Arraylength, "arraylength", None;
+    0xbf => Athrow, "athrow", None;
+    0xc0 => Checkcast, "checkcast", CpU2;
+    0xc1 => Instanceof, "instanceof", CpU2;
+    0xc2 => Monitorenter, "monitorenter", None;
+    0xc3 => Monitorexit, "monitorexit", None;
+    0xc4 => Wide, "wide", Wide;
+    0xc5 => Multianewarray, "multianewarray", MultiANewArray;
+    0xc6 => Ifnull, "ifnull", Branch2;
+    0xc7 => Ifnonnull, "ifnonnull", Branch2;
+    0xc8 => GotoW, "goto_w", Branch4;
+    0xc9 => JsrW, "jsr_w", Branch4;
+}
+
+impl Opcode {
+    /// The opcode byte.
+    pub fn byte(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns `true` for the conditional and unconditional branch opcodes
+    /// (not including switches).
+    pub fn is_branch(self) -> bool {
+        matches!(self.operand_kind(), OperandKind::Branch2 | OperandKind::Branch4)
+    }
+
+    /// Returns `true` for the six `*return` opcodes.
+    pub fn is_return(self) -> bool {
+        matches!(
+            self,
+            Opcode::Ireturn
+                | Opcode::Lreturn
+                | Opcode::Freturn
+                | Opcode::Dreturn
+                | Opcode::Areturn
+                | Opcode::Return
+        )
+    }
+
+    /// Returns `true` if control never falls through to the next
+    /// instruction (returns, `goto`, `athrow`, switches, `ret`).
+    pub fn ends_basic_block(self) -> bool {
+        self.is_return()
+            || matches!(
+                self,
+                Opcode::Goto
+                    | Opcode::GotoW
+                    | Opcode::Athrow
+                    | Opcode::Tableswitch
+                    | Opcode::Lookupswitch
+                    | Opcode::Ret
+            )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        for &op in Opcode::all() {
+            assert_eq!(Opcode::from_byte(op.byte()), Some(op));
+        }
+    }
+
+    #[test]
+    fn undefined_bytes_rejected() {
+        assert_eq!(Opcode::from_byte(0xca), None); // breakpoint (reserved)
+        assert_eq!(Opcode::from_byte(0xff), None); // impdep2 (reserved)
+        assert_eq!(Opcode::from_byte(0xd0), None);
+    }
+
+    #[test]
+    fn full_instruction_set_present() {
+        // JVMS defines 0x00..=0xc9 contiguously.
+        assert_eq!(Opcode::all().len(), 0xca);
+        for b in 0x00..=0xc9u8 {
+            assert!(Opcode::from_byte(b).is_some(), "missing opcode {b:#04x}");
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Opcode::Goto.is_branch());
+        assert!(!Opcode::Tableswitch.is_branch());
+        assert!(Opcode::Tableswitch.ends_basic_block());
+        assert!(Opcode::Return.is_return());
+        assert!(Opcode::Athrow.ends_basic_block());
+        assert!(!Opcode::Iadd.ends_basic_block());
+    }
+
+    #[test]
+    fn mnemonics_match_spec_samples() {
+        assert_eq!(Opcode::Invokevirtual.mnemonic(), "invokevirtual");
+        assert_eq!(Opcode::IconstM1.mnemonic(), "iconst_m1");
+        assert_eq!(Opcode::Dup2X1.mnemonic(), "dup2_x1");
+    }
+}

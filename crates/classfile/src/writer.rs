@@ -1,0 +1,193 @@
+//! Byte-level classfile serializer.
+//!
+//! Serialization is infallible: every representable [`ClassFile`] has an
+//! encoding. Attribute names for decoded attributes are interned into a
+//! working copy of the constant pool before the header is emitted (interning
+//! never renumbers existing entries, so operand indices stay valid).
+
+use crate::attributes::{Attribute, CodeAttribute};
+use crate::class::{ClassFile, FieldInfo, MethodInfo, MAGIC};
+use crate::constant_pool::{Constant, ConstantPool};
+use crate::instruction::encode_code;
+use crate::mutf8;
+
+pub(crate) fn write_class(class: &ClassFile) -> Vec<u8> {
+    // Intern all attribute names first so the pool is final before we emit it.
+    let mut cp = class.constant_pool.clone();
+    let mut body = Vec::new();
+
+    push_u2(&mut body, class.access.bits());
+    push_u2(&mut body, class.this_class.0);
+    push_u2(&mut body, class.super_class.0);
+    push_u2(&mut body, class.interfaces.len() as u16);
+    for i in &class.interfaces {
+        push_u2(&mut body, i.0);
+    }
+    push_u2(&mut body, class.fields.len() as u16);
+    for f in &class.fields {
+        write_field(&mut body, f, &mut cp);
+    }
+    push_u2(&mut body, class.methods.len() as u16);
+    for m in &class.methods {
+        write_method(&mut body, m, &mut cp);
+    }
+    write_attributes(&mut body, &class.attributes, &mut cp);
+
+    let mut out = Vec::with_capacity(body.len() + 64);
+    push_u4(&mut out, MAGIC);
+    push_u2(&mut out, class.minor_version);
+    push_u2(&mut out, class.major_version);
+    write_constant_pool(&mut out, &cp);
+    out.extend_from_slice(&body);
+    out
+}
+
+fn write_constant_pool(out: &mut Vec<u8>, cp: &ConstantPool) {
+    push_u2(out, cp.slot_count() + 1);
+    for (_, entry) in cp.iter() {
+        match entry {
+            Constant::Utf8(s) => {
+                out.push(1);
+                let bytes = mutf8::encode(s);
+                push_u2(out, bytes.len() as u16);
+                out.extend_from_slice(&bytes);
+            }
+            Constant::Integer(v) => {
+                out.push(3);
+                push_u4(out, *v as u32);
+            }
+            Constant::Float(v) => {
+                out.push(4);
+                push_u4(out, v.to_bits());
+            }
+            Constant::Long(v) => {
+                out.push(5);
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            Constant::Double(v) => {
+                out.push(6);
+                out.extend_from_slice(&v.to_bits().to_be_bytes());
+            }
+            Constant::Class(i) => {
+                out.push(7);
+                push_u2(out, i.0);
+            }
+            Constant::String(i) => {
+                out.push(8);
+                push_u2(out, i.0);
+            }
+            Constant::FieldRef(c, nt) => {
+                out.push(9);
+                push_u2(out, c.0);
+                push_u2(out, nt.0);
+            }
+            Constant::MethodRef(c, nt) => {
+                out.push(10);
+                push_u2(out, c.0);
+                push_u2(out, nt.0);
+            }
+            Constant::InterfaceMethodRef(c, nt) => {
+                out.push(11);
+                push_u2(out, c.0);
+                push_u2(out, nt.0);
+            }
+            Constant::NameAndType(n, d) => {
+                out.push(12);
+                push_u2(out, n.0);
+                push_u2(out, d.0);
+            }
+            Constant::MethodHandle(kind, r) => {
+                out.push(15);
+                out.push(*kind);
+                push_u2(out, r.0);
+            }
+            Constant::MethodType(d) => {
+                out.push(16);
+                push_u2(out, d.0);
+            }
+            Constant::InvokeDynamic(bsm, nt) => {
+                out.push(18);
+                push_u2(out, *bsm);
+                push_u2(out, nt.0);
+            }
+            Constant::Unusable => {} // padding after Long/Double: no bytes
+        }
+    }
+}
+
+fn write_field(out: &mut Vec<u8>, field: &FieldInfo, cp: &mut ConstantPool) {
+    push_u2(out, field.access.bits());
+    push_u2(out, field.name.0);
+    push_u2(out, field.descriptor.0);
+    write_attributes(out, &field.attributes, cp);
+}
+
+fn write_method(out: &mut Vec<u8>, method: &MethodInfo, cp: &mut ConstantPool) {
+    push_u2(out, method.access.bits());
+    push_u2(out, method.name.0);
+    push_u2(out, method.descriptor.0);
+    write_attributes(out, &method.attributes, cp);
+}
+
+fn write_attributes(out: &mut Vec<u8>, attrs: &[Attribute], cp: &mut ConstantPool) {
+    push_u2(out, attrs.len() as u16);
+    for attr in attrs {
+        let (name_idx, payload) = match attr {
+            Attribute::Code(code) => (cp.utf8("Code"), encode_code_attr(code, cp)),
+            Attribute::Exceptions(list) => {
+                let mut p = Vec::with_capacity(2 + list.len() * 2);
+                push_u2(&mut p, list.len() as u16);
+                for e in list {
+                    push_u2(&mut p, e.0);
+                }
+                (cp.utf8("Exceptions"), p)
+            }
+            Attribute::ConstantValue(i) => (cp.utf8("ConstantValue"), i.0.to_be_bytes().to_vec()),
+            Attribute::SourceFile(i) => (cp.utf8("SourceFile"), i.0.to_be_bytes().to_vec()),
+            Attribute::Signature(i) => (cp.utf8("Signature"), i.0.to_be_bytes().to_vec()),
+            Attribute::InnerClasses(entries) => {
+                let mut p = Vec::with_capacity(2 + entries.len() * 8);
+                push_u2(&mut p, entries.len() as u16);
+                for e in entries {
+                    push_u2(&mut p, e.inner_class.0);
+                    push_u2(&mut p, e.outer_class.0);
+                    push_u2(&mut p, e.inner_name.0);
+                    push_u2(&mut p, e.inner_flags);
+                }
+                (cp.utf8("InnerClasses"), p)
+            }
+            Attribute::Synthetic => (cp.utf8("Synthetic"), Vec::new()),
+            Attribute::Deprecated => (cp.utf8("Deprecated"), Vec::new()),
+            Attribute::Unknown { name, data } => (*name, data.clone()),
+        };
+        push_u2(out, name_idx.0);
+        push_u4(out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+    }
+}
+
+fn encode_code_attr(code: &CodeAttribute, cp: &mut ConstantPool) -> Vec<u8> {
+    let mut p = Vec::new();
+    push_u2(&mut p, code.max_stack);
+    push_u2(&mut p, code.max_locals);
+    let bytes = encode_code(&code.instructions);
+    push_u4(&mut p, bytes.len() as u32);
+    p.extend_from_slice(&bytes);
+    push_u2(&mut p, code.exception_table.len() as u16);
+    for e in &code.exception_table {
+        push_u2(&mut p, e.start_pc);
+        push_u2(&mut p, e.end_pc);
+        push_u2(&mut p, e.handler_pc);
+        push_u2(&mut p, e.catch_type.0);
+    }
+    write_attributes(&mut p, &code.attributes, cp);
+    p
+}
+
+fn push_u2(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn push_u4(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}

@@ -1,0 +1,196 @@
+//! Byte-level tests of the classfile codec: golden headers, edge-case
+//! constant pools, and property-based instruction round-trips.
+
+use classfuzz_classfile::attributes::{Attribute, CodeAttribute, ExceptionTableEntry};
+use classfuzz_classfile::instruction::{decode_code, encode_code};
+use classfuzz_classfile::{
+    ClassAccess, ClassFile, ConstIndex, Constant, FieldAccess, Instruction, LookupSwitch,
+    MethodAccess, Opcode, TableSwitch, MAGIC,
+};
+use proptest::prelude::*;
+
+#[test]
+fn header_bytes_are_exact() {
+    let class = ClassFile::builder("A").build();
+    let bytes = class.to_bytes();
+    assert_eq!(&bytes[0..4], &MAGIC.to_be_bytes());
+    assert_eq!(&bytes[4..6], &[0, 0], "minor version");
+    assert_eq!(&bytes[6..8], &[0, 51], "major version 51 (Java 7)");
+}
+
+#[test]
+fn empty_input_and_truncations_fail_cleanly() {
+    assert!(ClassFile::from_bytes(&[]).is_err());
+    let full = ClassFile::builder("A").super_class("java/lang/Object").build().to_bytes();
+    for cut in 1..full.len() {
+        assert!(
+            ClassFile::from_bytes(&full[..cut]).is_err(),
+            "truncation at {cut} must fail"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_reports_value() {
+    let err = ClassFile::from_bytes(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 51]).unwrap_err();
+    assert!(err.to_string().contains("0xdeadbeef"));
+}
+
+#[test]
+fn long_and_double_survive_roundtrip() {
+    let mut builder = ClassFile::builder("Wide");
+    builder.constant_pool_mut().long(i64::MIN);
+    builder.constant_pool_mut().double(f64::MAX);
+    builder.constant_pool_mut().long(-1);
+    let class = builder.build();
+    let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
+    let longs: Vec<i64> = parsed
+        .constant_pool
+        .iter()
+        .filter_map(|(_, c)| match c {
+            Constant::Long(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(longs, vec![i64::MIN, -1]);
+}
+
+#[test]
+fn unicode_class_names_roundtrip() {
+    let class = ClassFile::builder("pkg/Класс日本").build();
+    let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
+    assert_eq!(parsed.this_class_name().as_deref(), Some("pkg/Класс日本"));
+}
+
+#[test]
+fn exception_table_roundtrip() {
+    let code = CodeAttribute {
+        max_stack: 1,
+        max_locals: 1,
+        instructions: vec![
+            Instruction::Simple(Opcode::Nop),
+            Instruction::Simple(Opcode::Return),
+        ],
+        exception_table: vec![ExceptionTableEntry {
+            start_pc: 0,
+            end_pc: 1,
+            handler_pc: 1,
+            catch_type: ConstIndex(0),
+        }],
+        attributes: vec![],
+    };
+    let class = ClassFile::builder("Try")
+        .super_class("java/lang/Object")
+        .method(MethodAccess::STATIC, "m", "()V", code)
+        .build();
+    let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
+    let table = &parsed.find_method("m", "()V").unwrap().code().unwrap().exception_table;
+    assert_eq!(table.len(), 1);
+    assert_eq!(table[0].end_pc, 1);
+}
+
+#[test]
+fn unknown_attributes_are_preserved_verbatim() {
+    let mut builder = ClassFile::builder("Attrs");
+    let name = builder.constant_pool_mut().utf8("MadeUpAttribute");
+    let mut class = builder.build();
+    class.attributes.push(Attribute::Unknown { name, data: vec![1, 2, 3, 4] });
+    let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
+    assert!(matches!(
+        &parsed.attributes[0],
+        Attribute::Unknown { data, .. } if data == &vec![1, 2, 3, 4]
+    ));
+}
+
+#[test]
+fn flags_roundtrip_raw_including_reserved_bits() {
+    let mut class = ClassFile::builder("F")
+        .flags(ClassAccess::from_bits(0xFFFF))
+        .field(FieldAccess::from_bits(0xABCD), "f", "I")
+        .build();
+    class.methods.push(classfuzz_classfile::MethodInfo {
+        access: MethodAccess::from_bits(0x1234),
+        name: class.constant_pool.utf8("m"),
+        descriptor: class.constant_pool.utf8("()V"),
+        attributes: vec![],
+    });
+    let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
+    assert_eq!(parsed.access.bits(), 0xFFFF);
+    assert_eq!(parsed.fields[0].access.bits(), 0xABCD);
+    assert_eq!(parsed.methods[0].access.bits(), 0x1234);
+}
+
+fn instruction_strategy() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Simple(Opcode::Nop)),
+        Just(Instruction::Simple(Opcode::Iadd)),
+        Just(Instruction::Simple(Opcode::Dup2X2)),
+        Just(Instruction::Simple(Opcode::Return)),
+        any::<i8>().prop_map(Instruction::Bipush),
+        any::<i16>().prop_map(Instruction::Sipush),
+        (1u16..=255).prop_map(|i| Instruction::Ldc(ConstIndex(i))),
+        (1u16..=9000).prop_map(|i| Instruction::LdcW(ConstIndex(i))),
+        (0u16..=1000).prop_map(|i| Instruction::Local(Opcode::Iload, i)),
+        (0u16..=1000).prop_map(|i| Instruction::Local(Opcode::Astore, i)),
+        (0u16..400u16, -2000i16..2000).prop_map(|(index, delta)| Instruction::Iinc {
+            index,
+            delta
+        }),
+        (1u16..2000).prop_map(|i| Instruction::Field(Opcode::Getstatic, ConstIndex(i))),
+        (1u16..2000).prop_map(|i| Instruction::Invoke(Opcode::Invokevirtual, ConstIndex(i))),
+        (1u16..2000, 1u8..20).prop_map(|(i, count)| Instruction::InvokeInterface {
+            index: ConstIndex(i),
+            count
+        }),
+        (1u16..2000).prop_map(|i| Instruction::New(ConstIndex(i))),
+        (4u8..=11).prop_map(Instruction::NewArray),
+        (1u16..2000, 1u8..5).prop_map(|(i, dims)| Instruction::MultiANewArray {
+            index: ConstIndex(i),
+            dims
+        }),
+    ]
+}
+
+proptest! {
+    /// Any sequence of operand-bearing instructions encodes and decodes to
+    /// itself, regardless of alignment shifts introduced by earlier items.
+    #[test]
+    fn instruction_stream_roundtrip(
+        insns in proptest::collection::vec(instruction_strategy(), 0..60)
+    ) {
+        let bytes = encode_code(&insns);
+        let decoded = decode_code(&bytes).expect("round-trip decode");
+        let got: Vec<Instruction> = decoded.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, insns);
+    }
+
+    /// Switch padding is correct at every alignment offset.
+    #[test]
+    fn switches_roundtrip_at_any_alignment(
+        pad in 0usize..8,
+        keys in proptest::collection::btree_set(-500i32..500, 1..8)
+    ) {
+        let mut insns: Vec<Instruction> =
+            (0..pad).map(|_| Instruction::Simple(Opcode::Nop)).collect();
+        insns.push(Instruction::LookupSwitch(LookupSwitch {
+            default: 0,
+            pairs: keys.iter().map(|&k| (k, 0)).collect(),
+        }));
+        insns.push(Instruction::TableSwitch(TableSwitch {
+            default: 0,
+            low: 3,
+            high: 5,
+            targets: vec![0, 0, 0],
+        }));
+        let bytes = encode_code(&insns);
+        let decoded = decode_code(&bytes).expect("switch decode");
+        let got: Vec<Instruction> = decoded.into_iter().map(|(_, i)| i).collect();
+        prop_assert_eq!(got, insns);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_code(&bytes);
+    }
+}

@@ -1,0 +1,232 @@
+//! `classfuzz` — the command-line front end.
+//!
+//! ```text
+//! classfuzz disasm <file.class>                  javap-style disassembly
+//! classfuzz jimple <file.class>                  lift to Jimple text
+//! classfuzz run    <file.class> [--vm NAME]      run on one profile
+//! classfuzz diff   <file.class>                  run on all five profiles
+//! classfuzz fuzz   [--seeds N] [--iterations N] [--rng-seed S]
+//!                  [--criterion st|stbr|tr] [--out DIR]
+//!                                                Algorithm 1 campaign;
+//!                                                discrepancy triggers are
+//!                                                written to DIR as .class
+//! classfuzz reduce <file.class> [--out FILE]     HDD-minimize a trigger
+//! classfuzz seeds  --out DIR [--count N] [--rng-seed S]
+//!                                                write a seed corpus as .class files
+//! ```
+//!
+//! VM names: `hotspot7`, `hotspot8`, `hotspot9`, `j9`, `gij`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use classfuzz_core::diff::DifferentialHarness;
+use classfuzz_core::engine::{run_campaign, Algorithm, CampaignConfig};
+use classfuzz_core::seeds::SeedCorpus;
+use classfuzz_coverage::UniquenessCriterion;
+use classfuzz_jimple::{lift::lift_class, lower::lower_class, printer as jimple_printer};
+use classfuzz_vm::{Jvm, VmSpec};
+
+mod args;
+
+use args::Parsed;
+
+fn main() -> ExitCode {
+    let parsed = match args::parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(parsed: &Parsed) -> Result<(), String> {
+    match parsed.command.as_str() {
+        "disasm" => disasm(parsed.file()?),
+        "jimple" => jimple(parsed.file()?),
+        "run" => run(parsed.file()?, parsed.flag("vm").unwrap_or("hotspot9")),
+        "diff" => diff(parsed.file()?),
+        "fuzz" => fuzz(parsed),
+        "reduce" => reduce_cmd(parsed),
+        "seeds" => seeds(parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", args::USAGE)),
+    }
+}
+
+fn read_class_bytes(path: &Path) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+fn vm_by_name(name: &str) -> Result<VmSpec, String> {
+    Ok(match name {
+        "hotspot7" => VmSpec::hotspot7(),
+        "hotspot8" => VmSpec::hotspot8(),
+        "hotspot9" => VmSpec::hotspot9(),
+        "j9" => VmSpec::j9(),
+        "gij" => VmSpec::gij(),
+        other => {
+            return Err(format!(
+                "unknown VM {other:?} (expected hotspot7|hotspot8|hotspot9|j9|gij)"
+            ))
+        }
+    })
+}
+
+fn disasm(path: &Path) -> Result<(), String> {
+    let bytes = read_class_bytes(path)?;
+    let cf = classfuzz_classfile::ClassFile::from_bytes(&bytes)
+        .map_err(|e| format!("not a decodable classfile: {e}"))?;
+    print!("{}", classfuzz_classfile::printer::disassemble(&cf));
+    Ok(())
+}
+
+fn jimple(path: &Path) -> Result<(), String> {
+    let bytes = read_class_bytes(path)?;
+    let cf = classfuzz_classfile::ClassFile::from_bytes(&bytes)
+        .map_err(|e| format!("not a decodable classfile: {e}"))?;
+    let ir = lift_class(&cf).map_err(|e| format!("cannot lift to Jimple: {e}"))?;
+    print!("{}", jimple_printer::print_class(&ir));
+    Ok(())
+}
+
+fn run(path: &Path, vm: &str) -> Result<(), String> {
+    let bytes = read_class_bytes(path)?;
+    let spec = vm_by_name(vm)?;
+    let name = spec.name.clone();
+    let result = Jvm::new(spec).run(&bytes);
+    println!("{name}: {}", result.outcome);
+    if let classfuzz_vm::Outcome::Invoked { stdout } = &result.outcome {
+        for line in stdout {
+            println!("  stdout | {line}");
+        }
+    }
+    Ok(())
+}
+
+fn diff(path: &Path) -> Result<(), String> {
+    let bytes = read_class_bytes(path)?;
+    let harness = DifferentialHarness::paper_five();
+    let vector = harness.run(&bytes);
+    println!(
+        "encoded: {vector}{}",
+        if vector.is_discrepancy() { "  [DISCREPANCY]" } else { "" }
+    );
+    for (jvm, outcome) in harness.jvms().iter().zip(vector.outcomes()) {
+        println!("  {:22} {outcome}", jvm.spec().name);
+    }
+    Ok(())
+}
+
+fn fuzz(parsed: &Parsed) -> Result<(), String> {
+    let seeds: usize = parsed.flag_parse("seeds", 60)?;
+    let iterations: usize = parsed.flag_parse("iterations", 1000)?;
+    let rng_seed: u64 = parsed.flag_parse("rng-seed", 20160613)?;
+    let criterion = match parsed.flag("criterion").unwrap_or("stbr") {
+        "st" => UniquenessCriterion::St,
+        "stbr" => UniquenessCriterion::StBr,
+        "tr" => UniquenessCriterion::Tr,
+        other => return Err(format!("unknown criterion {other:?} (st|stbr|tr)")),
+    };
+    let out_dir = parsed.flag("out").map(PathBuf::from);
+
+    let corpus = SeedCorpus::generate(seeds, rng_seed).into_classes();
+    eprintln!("fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}");
+    let result = run_campaign(
+        &corpus,
+        &CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed),
+    );
+    eprintln!(
+        "generated {} classfiles, accepted {} representatives (succ {:.1}%)",
+        result.gen_classes.len(),
+        result.test_classes.len(),
+        result.success_rate() * 100.0
+    );
+
+    let harness = DifferentialHarness::paper_five();
+    let mut found = 0usize;
+    for (n, &idx) in result.test_classes.iter().enumerate() {
+        let generated = &result.gen_classes[idx];
+        let vector = harness.run(&generated.bytes);
+        if !vector.is_discrepancy() {
+            continue;
+        }
+        found += 1;
+        println!("discrepancy #{found}: encoded {vector} (test class {n})");
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+            let file = dir.join(format!("trigger_{found:04}_{}.class", vector.key()));
+            std::fs::write(&file, &generated.bytes)
+                .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+            println!("  written to {}", file.display());
+        }
+    }
+    println!(
+        "{found} / {} representative classfiles trigger discrepancies",
+        result.test_classes.len()
+    );
+    Ok(())
+}
+
+fn seeds(parsed: &Parsed) -> Result<(), String> {
+    let count: usize = parsed.flag_parse("count", 50)?;
+    let rng_seed: u64 = parsed.flag_parse("rng-seed", 20160613)?;
+    let dir = PathBuf::from(parsed.flag("out").ok_or("seeds needs --out DIR")?);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let corpus = SeedCorpus::generate(count, rng_seed);
+    for (class, bytes) in corpus.classes().iter().zip(corpus.to_bytes()) {
+        let simple = class.name.rsplit('/').next().unwrap_or("Seed");
+        let file = dir.join(format!("{simple}.class"));
+        std::fs::write(&file, bytes)
+            .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    }
+    println!("wrote {count} seed classfiles to {}", dir.display());
+    Ok(())
+}
+
+fn reduce_cmd(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed.file()?;
+    let bytes = read_class_bytes(path)?;
+    let cf = classfuzz_classfile::ClassFile::from_bytes(&bytes)
+        .map_err(|e| format!("not a decodable classfile: {e}"))?;
+    let ir = lift_class(&cf).map_err(|e| format!("cannot lift for reduction: {e}"))?;
+
+    let harness = DifferentialHarness::paper_five();
+    let original = harness.run(&bytes);
+    if !original.is_discrepancy() {
+        return Err(format!(
+            "{} does not trigger a discrepancy (encoded {original}); nothing to reduce",
+            path.display()
+        ));
+    }
+    println!("reducing while the encoded outcome stays {original} ...");
+    let (reduced, stats) = classfuzz_reduce::reduce(&ir, |candidate| {
+        harness.run(&lower_class(candidate).to_bytes()) == original
+    });
+    println!(
+        "done: {} attempts, {} deletions kept, {} passes",
+        stats.attempts, stats.kept_deletions, stats.passes
+    );
+    println!("{}", jimple_printer::print_class(&reduced));
+    let out = parsed
+        .flag("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| path.with_extension("reduced.class"));
+    std::fs::write(&out, lower_class(&reduced).to_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("reduced classfile written to {}", out.display());
+    Ok(())
+}

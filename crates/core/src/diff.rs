@@ -1,0 +1,170 @@
+//! The differential-testing harness (§2.3): run a classfile on the five
+//! JVMs and encode the per-VM outcomes into the paper's phase sequence.
+
+use std::fmt;
+
+use classfuzz_vm::{Jvm, Outcome, Phase, VmSpec};
+
+/// The encoded result of one classfile across all tested JVMs — Figure 3's
+/// sequence of phase digits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeVector {
+    outcomes: Vec<Outcome>,
+}
+
+impl OutcomeVector {
+    /// Wraps raw outcomes (one per JVM, in harness order).
+    pub fn new(outcomes: Vec<Outcome>) -> OutcomeVector {
+        OutcomeVector { outcomes }
+    }
+
+    /// Per-JVM outcomes.
+    pub fn outcomes(&self) -> &[Outcome] {
+        &self.outcomes
+    }
+
+    /// Phase digits, e.g. `[0, 0, 0, 1, 2]` (Figure 3).
+    pub fn encoded(&self) -> Vec<u8> {
+        self.outcomes.iter().map(|o| o.phase().code()).collect()
+    }
+
+    /// The category key: two discrepancies with the same key are "one
+    /// distinct discrepancy" in the paper's counting.
+    pub fn key(&self) -> String {
+        self.encoded().iter().map(u8::to_string).collect::<Vec<_>>().join("")
+    }
+
+    /// A discrepancy: the sequence is not all the same digit.
+    pub fn is_discrepancy(&self) -> bool {
+        let enc = self.encoded();
+        enc.iter().any(|&p| p != enc[0])
+    }
+
+    /// All JVMs normally invoked the class.
+    pub fn all_invoked(&self) -> bool {
+        self.encoded().iter().all(|&p| p == 0)
+    }
+
+    /// All JVMs rejected the class in the same phase.
+    pub fn all_rejected_same_stage(&self) -> bool {
+        let enc = self.encoded();
+        enc[0] != 0 && enc.iter().all(|&p| p == enc[0])
+    }
+}
+
+impl fmt::Display for OutcomeVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// A set of JVMs driven in lockstep.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_core::diff::DifferentialHarness;
+/// use classfuzz_jimple::{lower::lower_class, IrClass};
+///
+/// let harness = DifferentialHarness::paper_five();
+/// let bytes = lower_class(&IrClass::with_hello_main("d/T", "Completed!")).to_bytes();
+/// let vector = harness.run(&bytes);
+/// assert_eq!(vector.key(), "00000");
+/// assert!(!vector.is_discrepancy());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DifferentialHarness {
+    jvms: Vec<Jvm>,
+}
+
+impl DifferentialHarness {
+    /// Builds a harness from explicit profiles.
+    pub fn new(specs: Vec<VmSpec>) -> DifferentialHarness {
+        DifferentialHarness { jvms: specs.into_iter().map(Jvm::new).collect() }
+    }
+
+    /// The paper's Table 3 lineup: HotSpot 7/8/9, J9, GIJ.
+    pub fn paper_five() -> DifferentialHarness {
+        DifferentialHarness::new(VmSpec::all_five())
+    }
+
+    /// The JVMs, in column order.
+    pub fn jvms(&self) -> &[Jvm] {
+        &self.jvms
+    }
+
+    /// VM display names, in column order.
+    pub fn names(&self) -> Vec<String> {
+        self.jvms.iter().map(|j| j.spec().name.clone()).collect()
+    }
+
+    /// Runs one classfile on every JVM.
+    pub fn run(&self, class_bytes: &[u8]) -> OutcomeVector {
+        OutcomeVector::new(
+            self.jvms.iter().map(|j| j.run(class_bytes).outcome).collect(),
+        )
+    }
+
+    /// Runs a classfile and also reports, per JVM, the phase digit — a
+    /// convenience for Table 7-style per-VM histograms.
+    pub fn run_phases(&self, class_bytes: &[u8]) -> Vec<Phase> {
+        self.jvms.iter().map(|j| j.run(class_bytes).outcome.phase()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classfuzz_classfile::MethodAccess;
+    use classfuzz_jimple::{lower::lower_class, IrClass, IrMethod};
+
+    #[test]
+    fn figure3_shape_from_clinit_mutant() {
+        // Figure 2's class: HotSpot columns invoke (0), J9 rejects at
+        // loading (1).
+        let mut class = IrClass::with_hello_main("M1436188543", "Completed!");
+        class.methods.push(IrMethod::abstract_method(
+            MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+            "<clinit>",
+            vec![],
+            None,
+        ));
+        let harness = DifferentialHarness::paper_five();
+        let v = harness.run(&lower_class(&class).to_bytes());
+        assert!(v.is_discrepancy());
+        let enc = v.encoded();
+        assert_eq!(&enc[0..3], &[0, 0, 0], "HotSpot releases invoke normally");
+        assert_eq!(enc[3], 1, "J9 rejects at loading");
+    }
+
+    #[test]
+    fn vector_classification() {
+        let ok = OutcomeVector::new(vec![Outcome::Invoked { stdout: vec![] }; 5]);
+        assert!(ok.all_invoked());
+        assert!(!ok.is_discrepancy());
+        assert!(!ok.all_rejected_same_stage());
+        assert_eq!(ok.key(), "00000");
+
+        let rejected = OutcomeVector::new(vec![
+            Outcome::rejected(
+                Phase::Linking,
+                classfuzz_vm::JvmErrorKind::VerifyError,
+                "x"
+            );
+            5
+        ]);
+        assert!(rejected.all_rejected_same_stage());
+        assert!(!rejected.is_discrepancy());
+        assert_eq!(rejected.key(), "22222");
+    }
+
+    #[test]
+    fn harness_names_follow_table3_order() {
+        let harness = DifferentialHarness::paper_five();
+        let names = harness.names();
+        assert_eq!(names.len(), 5);
+        assert!(names[0].contains("Java 7"));
+        assert!(names[3].contains("J9"));
+        assert!(names[4].contains("GIJ"));
+    }
+}

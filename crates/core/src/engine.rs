@@ -1,0 +1,377 @@
+//! The fuzzing campaigns: classfuzz (Algorithm 1) and the three comparison
+//! algorithms of §3.1.2 — uniquefuzz, greedyfuzz, randfuzz.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use classfuzz_coverage::{GlobalCoverage, SuiteIndex, UniquenessCriterion};
+use classfuzz_jimple::{lower::lower_class, IrClass};
+use classfuzz_mcmc::{MutatorChain, MutatorStats, UniformSelector};
+use classfuzz_mutation::{registry, MutationCtx, Mutator};
+use classfuzz_vm::{Jvm, VmSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which fuzzing algorithm a campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Coverage-directed, MCMC mutator selection, uniqueness acceptance.
+    Classfuzz(UniquenessCriterion),
+    /// Uniqueness acceptance (always `[stbr]`, as in §3.1.2), uniform
+    /// mutator selection.
+    Uniquefuzz,
+    /// Accept only mutants that increase accumulated coverage.
+    Greedyfuzz,
+    /// Accept everything; no coverage at all.
+    Randfuzz,
+}
+
+impl Algorithm {
+    /// Table-header label, e.g. `"classfuzz[stbr]"`.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Classfuzz(c) => format!("classfuzz{c}"),
+            Algorithm::Uniquefuzz => "uniquefuzz".to_string(),
+            Algorithm::Greedyfuzz => "greedyfuzz".to_string(),
+            Algorithm::Randfuzz => "randfuzz".to_string(),
+        }
+    }
+
+    /// The six algorithm configurations evaluated in Table 4, in column
+    /// order.
+    pub fn table4_lineup() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Classfuzz(UniquenessCriterion::StBr),
+            Algorithm::Classfuzz(UniquenessCriterion::St),
+            Algorithm::Classfuzz(UniquenessCriterion::Tr),
+            Algorithm::Uniquefuzz,
+            Algorithm::Greedyfuzz,
+            Algorithm::Randfuzz,
+        ]
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The algorithm to run.
+    pub algorithm: Algorithm,
+    /// Iteration budget (the paper used a 3-day wall clock; we use
+    /// iterations for reproducibility).
+    pub iterations: usize,
+    /// Master RNG seed.
+    pub rng_seed: u64,
+    /// Geometric parameter for MCMC selection (ignored by the baselines).
+    pub p: f64,
+}
+
+impl CampaignConfig {
+    /// A config with the paper's `p = 3/129` and the given budget.
+    pub fn new(algorithm: Algorithm, iterations: usize, rng_seed: u64) -> CampaignConfig {
+        CampaignConfig { algorithm, iterations, rng_seed, p: 3.0 / 129.0 }
+    }
+}
+
+/// One generated mutant.
+#[derive(Debug, Clone)]
+pub struct GeneratedClass {
+    /// The mutated IR class (after the `main` supplement).
+    pub class: IrClass,
+    /// Its classfile bytes.
+    pub bytes: Vec<u8>,
+    /// The mutator that produced it.
+    pub mutator_id: usize,
+    /// Whether it was accepted into `TestClasses`.
+    pub accepted: bool,
+}
+
+/// The outcome of a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Iterations consumed.
+    pub iterations: usize,
+    /// Every generated mutant, in generation order (`GenClasses`).
+    pub gen_classes: Vec<GeneratedClass>,
+    /// Indices into `gen_classes` of accepted mutants (`TestClasses`,
+    /// seeds already excluded per Algorithm 1 line 19).
+    pub test_classes: Vec<usize>,
+    /// Per-mutator selection/success statistics (Figure 4 data).
+    pub mutator_stats: Vec<MutatorStats>,
+    /// Wall-clock duration of the campaign.
+    pub elapsed: Duration,
+    /// Number of seeds the campaign started from.
+    pub seed_count: usize,
+}
+
+impl CampaignResult {
+    /// `succ(X) = |TestClasses| / #iterations` (§3.1.3).
+    pub fn success_rate(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.test_classes.len() as f64 / self.iterations as f64
+        }
+    }
+
+    /// Bytes of every generated class.
+    pub fn gen_bytes(&self) -> Vec<Vec<u8>> {
+        self.gen_classes.iter().map(|g| g.bytes.clone()).collect()
+    }
+
+    /// Bytes of the accepted test classes.
+    pub fn test_bytes(&self) -> Vec<Vec<u8>> {
+        self.test_classes.iter().map(|&i| self.gen_classes[i].bytes.clone()).collect()
+    }
+
+    /// Average seconds spent per generated class (Table 4 row 5 analogue).
+    pub fn secs_per_generated(&self) -> f64 {
+        if self.gen_classes.is_empty() {
+            0.0
+        } else {
+            self.elapsed.as_secs_f64() / self.gen_classes.len() as f64
+        }
+    }
+
+    /// Average seconds spent per accepted test class (Table 4 row 6).
+    pub fn secs_per_test(&self) -> f64 {
+        if self.test_classes.is_empty() {
+            0.0
+        } else {
+            self.elapsed.as_secs_f64() / self.test_classes.len() as f64
+        }
+    }
+}
+
+enum Selector {
+    Chain(MutatorChain),
+    Uniform(UniformSelector),
+}
+
+impl Selector {
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        match self {
+            Selector::Chain(c) => c.select(rng),
+            Selector::Uniform(u) => u.select(rng),
+        }
+    }
+
+    fn record_success(&mut self, id: usize) {
+        match self {
+            Selector::Chain(c) => c.record_success(id),
+            Selector::Uniform(u) => u.record_success(id),
+        }
+    }
+
+    fn stats(&self) -> Vec<MutatorStats> {
+        match self {
+            Selector::Chain(c) => c.all_stats().to_vec(),
+            Selector::Uniform(u) => u.all_stats().to_vec(),
+        }
+    }
+}
+
+enum Acceptance {
+    Unique(SuiteIndex),
+    Greedy(GlobalCoverage),
+    All,
+}
+
+/// Runs one campaign over `seeds` — Algorithm 1 for classfuzz, the
+/// §3.1.2 variants otherwise.
+///
+/// Deterministic for a fixed `CampaignConfig` (wall-clock fields aside).
+pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResult {
+    let start = Instant::now();
+    let mutators: Vec<Mutator> = registry::all_mutators();
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let reference = Jvm::new(VmSpec::hotspot9());
+
+    let mut selector = match config.algorithm {
+        Algorithm::Classfuzz(_) => Selector::Chain(MutatorChain::new(mutators.len(), config.p)),
+        _ => Selector::Uniform(UniformSelector::new(mutators.len())),
+    };
+    let mut acceptance = match config.algorithm {
+        Algorithm::Classfuzz(criterion) => Acceptance::Unique(SuiteIndex::new(criterion)),
+        Algorithm::Uniquefuzz => Acceptance::Unique(SuiteIndex::new(UniquenessCriterion::StBr)),
+        Algorithm::Greedyfuzz => Acceptance::Greedy(GlobalCoverage::new()),
+        Algorithm::Randfuzz => Acceptance::All,
+    };
+
+    // Seed the acceptance state with the seeds' own traces (Algorithm 1
+    // line 1: TestClasses ← Seeds), so mutants must differ from seeds too.
+    match &mut acceptance {
+        Acceptance::Unique(index) => {
+            for seed in seeds {
+                let bytes = lower_class(seed).to_bytes();
+                if let Some(trace) = reference.run_traced(&bytes).trace {
+                    index.insert(&trace);
+                }
+            }
+        }
+        Acceptance::Greedy(global) => {
+            for seed in seeds {
+                let bytes = lower_class(seed).to_bytes();
+                if let Some(trace) = reference.run_traced(&bytes).trace {
+                    global.absorb(&trace);
+                }
+            }
+        }
+        Acceptance::All => {}
+    }
+
+    // The mutation pool: seeds plus accepted mutants (line 14).
+    let mut pool: Vec<IrClass> = seeds.to_vec();
+    let mut gen_classes: Vec<GeneratedClass> = Vec::new();
+    let mut test_classes: Vec<usize> = Vec::new();
+
+    for _ in 0..config.iterations {
+        if pool.is_empty() {
+            break;
+        }
+        let pick = rng.gen_range(0..pool.len());
+        let mutator_id = selector.select(&mut rng);
+        let mut mutant = pool[pick].clone();
+        let applied = {
+            let mut ctx = MutationCtx::new(&mut rng, seeds);
+            mutators[mutator_id].apply(&mut mutant, &mut ctx)
+        };
+        if applied.is_err() {
+            // Iteration consumed, no classfile generated (§3.2's
+            // "classfiles are not generated during some iterations").
+            continue;
+        }
+        // §2.2.1: supplement each mutant with a message-printing main.
+        mutant.ensure_main("Completed!");
+        let bytes = lower_class(&mutant).to_bytes();
+
+        let accepted = match &mut acceptance {
+            Acceptance::All => true,
+            Acceptance::Unique(index) => match reference.run_traced(&bytes).trace {
+                Some(trace) => index.insert_if_unique(&trace),
+                None => false,
+            },
+            Acceptance::Greedy(global) => match reference.run_traced(&bytes).trace {
+                Some(trace) => global.absorb(&trace),
+                None => false,
+            },
+        };
+
+        let gen_index = gen_classes.len();
+        gen_classes.push(GeneratedClass {
+            class: mutant.clone(),
+            bytes,
+            mutator_id,
+            accepted,
+        });
+        if accepted {
+            test_classes.push(gen_index);
+            pool.push(mutant);
+            selector.record_success(mutator_id);
+        }
+    }
+
+    CampaignResult {
+        algorithm: config.algorithm,
+        iterations: config.iterations,
+        gen_classes,
+        test_classes,
+        mutator_stats: selector.stats(),
+        elapsed: start.elapsed(),
+        seed_count: seeds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::SeedCorpus;
+
+    fn small_seeds() -> Vec<IrClass> {
+        SeedCorpus::generate(12, 21).into_classes()
+    }
+
+    #[test]
+    fn randfuzz_accepts_everything() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(Algorithm::Randfuzz, 60, 1);
+        let result = run_campaign(&seeds, &cfg);
+        assert_eq!(result.test_classes.len(), result.gen_classes.len());
+        assert!(result.success_rate() > 0.5, "most iterations should generate");
+    }
+
+    #[test]
+    fn classfuzz_rejects_coverage_duplicates() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(
+            Algorithm::Classfuzz(UniquenessCriterion::StBr),
+            120,
+            2,
+        );
+        let result = run_campaign(&seeds, &cfg);
+        assert!(
+            result.test_classes.len() < result.gen_classes.len(),
+            "uniqueness must reject some mutants"
+        );
+        assert!(!result.test_classes.is_empty(), "some mutants must be representative");
+    }
+
+    #[test]
+    fn greedy_accepts_fewest() {
+        let seeds = small_seeds();
+        let unique = run_campaign(
+            &seeds,
+            &CampaignConfig::new(Algorithm::Uniquefuzz, 150, 3),
+        );
+        let greedy = run_campaign(
+            &seeds,
+            &CampaignConfig::new(Algorithm::Greedyfuzz, 150, 3),
+        );
+        assert!(
+            greedy.test_classes.len() < unique.test_classes.len(),
+            "greedy ({}) should accept fewer than unique ({})",
+            greedy.test_classes.len(),
+            unique.test_classes.len()
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_mod_timing() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(
+            Algorithm::Classfuzz(UniquenessCriterion::StBr),
+            80,
+            7,
+        );
+        let a = run_campaign(&seeds, &cfg);
+        let b = run_campaign(&seeds, &cfg);
+        assert_eq!(a.test_classes, b.test_classes);
+        assert_eq!(a.gen_classes.len(), b.gen_classes.len());
+        assert_eq!(
+            a.gen_classes.iter().map(|g| &g.bytes).collect::<Vec<_>>(),
+            b.gen_classes.iter().map(|g| &g.bytes).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn mcmc_stats_track_successes() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(
+            Algorithm::Classfuzz(UniquenessCriterion::StBr),
+            100,
+            11,
+        );
+        let result = run_campaign(&seeds, &cfg);
+        let total_selected: u64 = result.mutator_stats.iter().map(|s| s.selected).sum();
+        let total_successes: u64 = result.mutator_stats.iter().map(|s| s.successes).sum();
+        assert_eq!(total_selected as usize, result.iterations);
+        assert_eq!(total_successes as usize, result.test_classes.len());
+    }
+}

@@ -1,0 +1,254 @@
+//! Report rendering: the rows and series of the paper's Tables 4–7 and
+//! Figure 4, as fixed-width text.
+
+use std::fmt::Write as _;
+
+use classfuzz_mcmc::MutatorStats;
+use classfuzz_mutation::Mutator;
+
+use crate::analyze::SuiteEvaluation;
+use crate::engine::CampaignResult;
+
+/// One point of the Figure 4 series: a mutator's success rate and its
+/// selection frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutatorPoint {
+    /// Mutator id.
+    pub id: usize,
+    /// Human-readable name.
+    pub name: String,
+    /// `succ(mu)` — successes / selections.
+    pub success_rate: f64,
+    /// Selection frequency — selections / total selections.
+    pub frequency: f64,
+    /// Raw selection count.
+    pub selected: u64,
+    /// Raw success count.
+    pub successes: u64,
+}
+
+/// Builds the Figure 4 series: mutators sorted descending by success rate
+/// (ties by id), with selection frequencies.
+pub fn mutator_series(stats: &[MutatorStats], mutators: &[Mutator]) -> Vec<MutatorPoint> {
+    let total: u64 = stats.iter().map(|s| s.selected).sum();
+    let mut points: Vec<MutatorPoint> = stats
+        .iter()
+        .enumerate()
+        .map(|(id, s)| MutatorPoint {
+            id,
+            name: mutators.get(id).map(|m| m.name.clone()).unwrap_or_else(|| format!("#{id}")),
+            success_rate: s.success_rate(),
+            frequency: if total == 0 { 0.0 } else { s.selected as f64 / total as f64 },
+            selected: s.selected,
+            successes: s.successes,
+        })
+        .collect();
+    points.sort_by(|a, b| {
+        b.success_rate
+            .partial_cmp(&a.success_rate)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    points
+}
+
+/// Renders Table 4: classfile-generation results, one column per algorithm.
+pub fn format_table4(rows: &[CampaignResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 4: Results on classfile generation");
+    let _ = write!(out, "{:<38}", "");
+    for r in rows {
+        let _ = write!(out, "{:>18}", r.algorithm.label());
+    }
+    let _ = writeln!(out);
+    let line = |label: &str, vals: Vec<String>| {
+        let mut s = format!("{label:<38}");
+        for v in vals {
+            let _ = write!(s, "{v:>18}");
+        }
+        s
+    };
+    let _ = writeln!(
+        out,
+        "{}",
+        line("#iterations", rows.iter().map(|r| r.iterations.to_string()).collect())
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line("|GenClasses|", rows.iter().map(|r| r.gen_classes.len().to_string()).collect())
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line("|TestClasses|", rows.iter().map(|r| r.test_classes.len().to_string()).collect())
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line(
+            "succ",
+            rows.iter().map(|r| format!("{:.1}%", r.success_rate() * 100.0)).collect()
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line(
+            "avg time per generated class (ms)",
+            rows.iter().map(|r| format!("{:.2}", r.secs_per_generated() * 1e3)).collect()
+        )
+    );
+    let _ = writeln!(
+        out,
+        "{}",
+        line(
+            "avg time per test class (ms)",
+            rows.iter().map(|r| format!("{:.2}", r.secs_per_test() * 1e3)).collect()
+        )
+    );
+    out
+}
+
+/// Renders Table 5: the top ten mutators by success rate.
+pub fn format_table5(result: &CampaignResult, mutators: &[Mutator]) -> String {
+    let series = mutator_series(&result.mutator_stats, mutators);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5: Top ten mutators ({})", result.algorithm.label());
+    let _ = writeln!(out, "{:<58} {:>10} {:>10}", "Mutator", "Succ rate", "Frequency");
+    for p in series.iter().filter(|p| p.selected > 0).take(10) {
+        let _ = writeln!(
+            out,
+            "{:<58} {:>10.3} {:>10.3}",
+            p.name, p.success_rate, p.frequency
+        );
+    }
+    out
+}
+
+/// One labelled suite evaluation for Table 6.
+#[derive(Debug, Clone)]
+pub struct Table6Row {
+    /// Column label, e.g. `"classfuzz[stbr] TestClasses"`.
+    pub label: String,
+    /// The evaluation.
+    pub eval: SuiteEvaluation,
+}
+
+/// Renders Table 6: differential-testing results per suite.
+pub fn format_table6(rows: &[Table6Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 6: Results on testing of JVMs");
+    let _ = writeln!(
+        out,
+        "{:<34} {:>8} {:>12} {:>14} {:>14} {:>10} {:>8}",
+        "Suite", "classes", "all invoked", "all same-stage", "discrepancies", "distinct", "diff"
+    );
+    for row in rows {
+        let e = &row.eval;
+        let _ = writeln!(
+            out,
+            "{:<34} {:>8} {:>12} {:>14} {:>14} {:>10} {:>7.1}%",
+            row.label,
+            e.total,
+            e.all_invoked,
+            e.all_rejected_same_stage,
+            e.discrepancies,
+            e.distinct_count(),
+            e.diff_rate() * 100.0
+        );
+    }
+    out
+}
+
+/// Renders Table 7: the per-VM phase histogram of one suite.
+pub fn format_table7(eval: &SuiteEvaluation, vm_names: &[String]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 7: Per-JVM outcomes");
+    let _ = write!(out, "{:<46}", "");
+    for name in vm_names {
+        let _ = write!(out, "{name:>22}");
+    }
+    let _ = writeln!(out);
+    let labels = [
+        "Normally invoked",
+        "Rejected during the creation/loading phase",
+        "Rejected during the linking phase",
+        "Rejected during the initialization phase",
+        "Rejected at runtime",
+    ];
+    for (phase, label) in labels.iter().enumerate() {
+        let _ = write!(out, "{label:<46}");
+        for vm in &eval.per_vm_phase {
+            let _ = write!(out, "{:>22}", vm[phase]);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Figure 4 data as aligned columns (rank, success rate,
+/// frequency) suitable for plotting.
+pub fn format_figure4(points: &[MutatorPoint], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 4 series: {title}");
+    let _ = writeln!(out, "{:>5} {:>10} {:>10}  name", "rank", "succ", "freq");
+    for (rank, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>10.3} {:>10.3}  {}",
+            rank + 1,
+            p.success_rate,
+            p.frequency,
+            p.name
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_campaign, Algorithm, CampaignConfig};
+    use crate::seeds::SeedCorpus;
+    use classfuzz_coverage::UniquenessCriterion;
+    use classfuzz_mutation::registry;
+
+    #[test]
+    fn series_is_sorted_and_normalized() {
+        let seeds = SeedCorpus::generate(8, 42).into_classes();
+        let result = run_campaign(
+            &seeds,
+            &CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 60, 5),
+        );
+        let mutators = registry::all_mutators();
+        let series = mutator_series(&result.mutator_stats, &mutators);
+        assert_eq!(series.len(), 129);
+        for pair in series.windows(2) {
+            assert!(pair[0].success_rate >= pair[1].success_rate);
+        }
+        let freq_sum: f64 = series.iter().map(|p| p.frequency).sum();
+        assert!((freq_sum - 1.0).abs() < 1e-9, "frequencies sum to 1, got {freq_sum}");
+    }
+
+    #[test]
+    fn tables_render_nonempty() {
+        let seeds = SeedCorpus::generate(6, 1).into_classes();
+        let result = run_campaign(
+            &seeds,
+            &CampaignConfig::new(Algorithm::Randfuzz, 20, 2),
+        );
+        let mutators = registry::all_mutators();
+        let t4 = format_table4(std::slice::from_ref(&result));
+        assert!(t4.contains("randfuzz"));
+        assert!(t4.contains("succ"));
+        let t5 = format_table5(&result, &mutators);
+        assert!(t5.contains("Top ten"));
+        let harness = crate::diff::DifferentialHarness::paper_five();
+        let eval = crate::analyze::evaluate_suite(&harness, &result.test_bytes());
+        let t6 = format_table6(&[Table6Row { label: "randfuzz".into(), eval: eval.clone() }]);
+        assert!(t6.contains("diff"));
+        let t7 = format_table7(&eval, &harness.names());
+        assert!(t7.contains("Rejected during the linking phase"));
+    }
+}

@@ -1,0 +1,616 @@
+//! Synthetic seed-corpus generation — the stand-in for the paper's 1,216
+//! classfiles sampled from the JRE 7 libraries (§3.1.1).
+//!
+//! Seeds are *valid* classes with varied shapes: plain classes, interfaces,
+//! abstract classes, subclasses of library types, arithmetic/loop/branch
+//! bodies, try/catch, switches, string building, `throws` clauses. A small
+//! fraction deliberately references generation-sensitive library classes
+//! (`jre/ext/LegacySupport`, `jre/util/StreamKit`, `jre/beans/AbstractEditor`),
+//! reproducing the environment-induced discrepancy baseline of the paper's
+//! preliminary study (≈ 2–3 % of seeds).
+
+use classfuzz_classfile::{ClassAccess, FieldAccess, MethodAccess};
+use classfuzz_jimple::builder::{default_constructor, MethodBuilder};
+use classfuzz_jimple::{
+    BinOp, Body, CatchClause, CondOp, Const, Expr, InvokeExpr, InvokeKind, IrClass, IrField,
+    IrMethod, JType, Label, Stmt, Target, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic seed corpus.
+#[derive(Debug, Clone)]
+pub struct SeedCorpus {
+    classes: Vec<IrClass>,
+}
+
+impl SeedCorpus {
+    /// Generates `count` seed classes from `seed`.
+    pub fn generate(count: usize, seed: u64) -> SeedCorpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut classes = Vec::with_capacity(count);
+        for i in 0..count {
+            classes.push(generate_seed_class(i, &mut rng));
+        }
+        SeedCorpus { classes }
+    }
+
+    /// The seed classes.
+    pub fn classes(&self) -> &[IrClass] {
+        &self.classes
+    }
+
+    /// Consumes the corpus, yielding its classes.
+    pub fn into_classes(self) -> Vec<IrClass> {
+        self.classes
+    }
+
+    /// Serializes every seed to classfile bytes.
+    pub fn to_bytes(&self) -> Vec<Vec<u8>> {
+        self.classes
+            .iter()
+            .map(|c| classfuzz_jimple::lower::lower_class(c).to_bytes())
+            .collect()
+    }
+}
+
+fn generate_seed_class(index: usize, rng: &mut StdRng) -> IrClass {
+    // Template mix: mostly plain behavioral classes, a sprinkle of
+    // hierarchy/interface/environment-sensitive shapes.
+    let roll = rng.gen_range(0..100u32);
+    let name = format!("seed/M{}{index}", 1_430_000_000u64 + index as u64 * 7919);
+    let mut class = match roll {
+        0..=22 => arithmetic_class(&name, rng),
+        23..=34 => stringy_class(&name, rng),
+        35..=44 => branchy_class(&name, rng),
+        45..=52 => try_catch_class(&name, rng),
+        53..=60 => fieldful_class(&name, rng),
+        61..=68 => interface_seed(&name, rng),
+        69..=74 => abstract_seed(&name, rng),
+        75..=80 => subclass_seed(&name, rng),
+        81..=84 => throwsy_class(&name, rng),
+        85..=89 => array_class(&name, rng),
+        90..=93 => casting_class(&name, rng),
+        94..=96 => clinit_class(&name, rng),
+        _ => environment_sensitive_class(&name, rng),
+    };
+    // Interfaces keep no main: a static main with code would itself be a
+    // (GIJ-only-invocable) discrepancy, and the JRE corpus this corpus
+    // mimics is dominated by quietly rejected mainless classes.
+    if !class.is_interface() {
+        class.ensure_main("Completed!");
+    }
+    class
+}
+
+fn arithmetic_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let a = rng.gen_range(1..100);
+    let b = rng.gen_range(1..100);
+    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Xor]
+        [rng.gen_range(0..5)];
+    let m = MethodBuilder::new("compute", MethodAccess::PUBLIC | MethodAccess::STATIC)
+        .param(JType::Int)
+        .returns(JType::Int)
+        .local("x", JType::Int)
+        .local("acc", JType::Int)
+        .bind_param("x", 0)
+        .assign("acc", Expr::BinOp(op, JType::Int, Value::local("x"), Value::int(a)))
+        .assign(
+            "acc",
+            Expr::BinOp(BinOp::Add, JType::Int, Value::local("acc"), Value::int(b)),
+        )
+        .ret_value(Value::local("acc"))
+        .build();
+    class.methods.push(m);
+    if rng.gen_bool(0.5) {
+        let m2 = MethodBuilder::new("wide", MethodAccess::PUBLIC | MethodAccess::STATIC)
+            .param(JType::Long)
+            .returns(JType::Long)
+            .local("l", JType::Long)
+            .bind_param("l", 0)
+            .assign(
+                "l",
+                Expr::BinOp(
+                    BinOp::Mul,
+                    JType::Long,
+                    Value::local("l"),
+                    Value::Const(Const::Long(rng.gen_range(2..1000))),
+                ),
+            )
+            .ret_value(Value::local("l"))
+            .build();
+        class.methods.push(m2);
+    }
+    class
+}
+
+fn stringy_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let greeting = format!("msg{}", rng.gen_range(0..1000));
+    let m = MethodBuilder::new("describe", MethodAccess::PUBLIC | MethodAccess::STATIC)
+        .returns(JType::string())
+        .local("s", JType::string())
+        .assign("s", Expr::Use(Value::str(greeting)))
+        .assign(
+            "s",
+            Expr::Invoke(InvokeExpr {
+                kind: InvokeKind::Virtual,
+                class: "java/lang/String".into(),
+                name: "concat".into(),
+                params: vec![JType::string()],
+                ret: Some(JType::string()),
+                receiver: Some(Value::local("s")),
+                args: vec![Value::str("!")],
+            }),
+        )
+        .ret_value(Value::local("s"))
+        .build();
+    class.methods.push(m);
+    class
+}
+
+fn branchy_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let limit = rng.gen_range(2..20);
+    let mut body = Body::new();
+    body.declare("i", JType::Int);
+    body.declare("sum", JType::Int);
+    let top = Label(0);
+    let done = Label(1);
+    body.stmts.extend([
+        Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Assign { target: Target::Local("sum".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Label(top),
+        Stmt::If {
+            op: CondOp::Ge,
+            a: Value::local("i"),
+            b: Some(Value::int(limit)),
+            target: done,
+        },
+        Stmt::Assign {
+            target: Target::Local("sum".into()),
+            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("sum"), Value::local("i")),
+        },
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("i"), Value::int(1)),
+        },
+        Stmt::Goto(top),
+        Stmt::Label(done),
+        Stmt::Return(Some(Value::local("sum"))),
+    ]);
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "loopSum".into(),
+        params: vec![],
+        ret: Some(JType::Int),
+        exceptions: vec![],
+        body: Some(body),
+    });
+    if rng.gen_bool(0.4) {
+        // A switch-shaped method.
+        let mut body = Body::new();
+        body.declare("k", JType::Int);
+        let (l0, l1, ld) = (Label(10), Label(11), Label(12));
+        body.stmts.extend([
+            Stmt::Assign {
+                target: Target::Local("k".into()),
+                value: Expr::Use(Value::int(rng.gen_range(0..3))),
+            },
+            Stmt::Switch {
+                key: Value::local("k"),
+                cases: vec![(0, l0), (1, l1)],
+                default: ld,
+            },
+            Stmt::Label(l0),
+            Stmt::Return(Some(Value::int(10))),
+            Stmt::Label(l1),
+            Stmt::Return(Some(Value::int(20))),
+            Stmt::Label(ld),
+            Stmt::Return(Some(Value::int(-1))),
+        ]);
+        class.methods.push(IrMethod {
+            access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+            name: "pick".into(),
+            params: vec![],
+            ret: Some(JType::Int),
+            exceptions: vec![],
+            body: Some(body),
+        });
+    }
+    class
+}
+
+fn try_catch_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let divisor = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..9) };
+    let mut body = Body::new();
+    body.declare("x", JType::Int);
+    body.declare("$e", JType::object("java/lang/Throwable"));
+    let (start, end, handler, out) = (Label(0), Label(1), Label(2), Label(3));
+    body.stmts.extend([
+        Stmt::Label(start),
+        Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::BinOp(BinOp::Div, JType::Int, Value::int(100), Value::int(divisor)),
+        },
+        Stmt::Label(end),
+        Stmt::Goto(out),
+        Stmt::Label(handler),
+        Stmt::Assign {
+            target: Target::Local("$e".into()),
+            value: Expr::CaughtException,
+        },
+        Stmt::Assign { target: Target::Local("x".into()), value: Expr::Use(Value::int(-1)) },
+        Stmt::Label(out),
+        Stmt::Return(Some(Value::local("x"))),
+    ]);
+    body.catches.push(CatchClause {
+        start,
+        end,
+        handler,
+        exception: Some("java/lang/ArithmeticException".into()),
+    });
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "guarded".into(),
+        params: vec![],
+        ret: Some(JType::Int),
+        exceptions: vec![],
+        body: Some(body),
+    });
+    class
+}
+
+fn fieldful_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    class.fields.push(IrField {
+        access: FieldAccess::PROTECTED | FieldAccess::FINAL,
+        name: "MAP".into(),
+        ty: JType::object("java/util/Map"),
+        constant_value: None,
+    });
+    class.fields.push(IrField {
+        access: FieldAccess::PRIVATE | FieldAccess::STATIC,
+        name: "counter".into(),
+        ty: JType::Int,
+        constant_value: None,
+    });
+    class.fields.push(IrField {
+        access: FieldAccess::PUBLIC | FieldAccess::STATIC | FieldAccess::FINAL,
+        name: "LIMIT".into(),
+        ty: JType::Int,
+        constant_value: Some(Const::Int(rng.gen_range(1..1000))),
+    });
+    let m = MethodBuilder::new("bump", MethodAccess::PUBLIC | MethodAccess::STATIC)
+        .returns(JType::Int)
+        .local("c", JType::Int)
+        .assign("c", Expr::StaticField(name.to_string(), "counter".into(), JType::Int))
+        .assign("c", Expr::BinOp(BinOp::Add, JType::Int, Value::local("c"), Value::int(1)))
+        .stmt(Stmt::Assign {
+            target: Target::StaticField(name.to_string(), "counter".into(), JType::Int),
+            value: Expr::Use(Value::local("c")),
+        })
+        .ret_value(Value::local("c"))
+        .build();
+    class.methods.push(m);
+    class
+}
+
+fn interface_seed(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    class.methods.clear();
+    let n = rng.gen_range(1..4);
+    for i in 0..n {
+        class.methods.push(IrMethod::abstract_method(
+            MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+            format!("op{i}"),
+            vec![JType::Int],
+            Some(JType::Int),
+        ));
+    }
+    class.fields.push(IrField {
+        access: FieldAccess::PUBLIC | FieldAccess::STATIC | FieldAccess::FINAL,
+        name: "VERSION".into(),
+        ty: JType::Int,
+        constant_value: Some(Const::Int(rng.gen_range(1..10))),
+    });
+    class
+}
+
+fn abstract_seed(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.access = ClassAccess::PUBLIC | ClassAccess::ABSTRACT | ClassAccess::SUPER;
+    class.methods.push(default_constructor("java/lang/Object"));
+    class.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "template",
+        vec![],
+        None,
+    ));
+    if rng.gen_bool(0.5) {
+        class.interfaces.push("java/lang/Runnable".into());
+        let m = MethodBuilder::new("run", MethodAccess::PUBLIC).ret().build();
+        class.methods.push(m);
+    }
+    class
+}
+
+fn subclass_seed(name: &str, rng: &mut StdRng) -> IrClass {
+    let supers = ["java/lang/Thread", "java/lang/Exception", "java/util/HashMap"];
+    let sup = supers[rng.gen_range(0..supers.len())];
+    let mut class = IrClass::new(name);
+    class.super_class = Some(sup.to_string());
+    class.methods.push(default_constructor(sup));
+    class
+}
+
+fn throwsy_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let mut m = MethodBuilder::new("risky", MethodAccess::PUBLIC | MethodAccess::STATIC)
+        .throws("java/io/IOException")
+        .ret()
+        .build();
+    if rng.gen_bool(0.4) {
+        m.exceptions.push("java/lang/RuntimeException".into());
+    }
+    class.methods.push(m);
+    class
+}
+
+fn array_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let len = rng.gen_range(2..12);
+    let mut body = Body::new();
+    body.declare("a", JType::array(JType::Int));
+    body.declare("i", JType::Int);
+    body.declare("sum", JType::Int);
+    let (top, done) = (Label(0), Label(1));
+    body.stmts.extend([
+        Stmt::Assign {
+            target: Target::Local("a".into()),
+            value: Expr::NewArray(JType::Int, Value::int(len)),
+        },
+        Stmt::Assign {
+            target: Target::ArrayElem(JType::Int, Value::local("a"), Value::int(0)),
+            value: Expr::Use(Value::int(rng.gen_range(1..50))),
+        },
+        Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Assign { target: Target::Local("sum".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Label(top),
+        Stmt::If {
+            op: CondOp::Ge,
+            a: Value::local("i"),
+            b: Some(Value::int(len)),
+            target: done,
+        },
+        Stmt::Assign {
+            target: Target::Local("sum".into()),
+            value: Expr::BinOp(
+                BinOp::Add,
+                JType::Int,
+                Value::local("sum"),
+                Value::local("i"),
+            ),
+        },
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("i"), Value::int(1)),
+        },
+        Stmt::Goto(top),
+        Stmt::Label(done),
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::ArrayLen(Value::local("a")),
+        },
+        Stmt::Return(Some(Value::local("sum"))),
+    ]);
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "fill".into(),
+        params: vec![],
+        ret: Some(JType::Int),
+        exceptions: vec![],
+        body: Some(body),
+    });
+    class
+}
+
+fn casting_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    // An upcast/instanceof/downcast chain through the library hierarchy.
+    let mut body = Body::new();
+    body.declare("o", JType::jobject());
+    body.declare("t", JType::object("java/lang/Thread"));
+    body.declare("b", JType::Int);
+    let skip = Label(0);
+    body.stmts.extend([
+        Stmt::Assign {
+            target: Target::Local("t".into()),
+            value: Expr::New("java/lang/Thread".into()),
+        },
+        Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Special,
+            class: "java/lang/Thread".into(),
+            name: "<init>".into(),
+            params: vec![],
+            ret: None,
+            receiver: Some(Value::local("t")),
+            args: vec![],
+        }),
+        Stmt::Assign {
+            target: Target::Local("o".into()),
+            value: Expr::Use(Value::local("t")),
+        },
+        Stmt::Assign {
+            target: Target::Local("b".into()),
+            value: Expr::InstanceOf("java/lang/Runnable".into(), Value::local("o")),
+        },
+        Stmt::If { op: CondOp::Eq, a: Value::local("b"), b: None, target: skip },
+        Stmt::Assign {
+            target: Target::Local("t".into()),
+            value: Expr::Cast(JType::object("java/lang/Thread"), Value::local("o")),
+        },
+        Stmt::Label(skip),
+        Stmt::Return(Some(Value::local("b"))),
+    ]);
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: if rng.gen_bool(0.5) { "probe" } else { "classify" }.into(),
+        params: vec![],
+        ret: Some(JType::Int),
+        exceptions: vec![],
+        body: Some(body),
+    });
+    class
+}
+
+/// A class with a static initializer: `<clinit>` guards a division with a
+/// locally-assigned divisor. Valid as generated — but statement-deleting
+/// mutants can strip the guard assignment, turning the divisor into zero
+/// and producing `ExceptionInInitializerError`s (Table 7's row 4).
+fn clinit_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    class.fields.push(IrField {
+        access: FieldAccess::PUBLIC | FieldAccess::STATIC,
+        name: "RATIO".into(),
+        ty: JType::Int,
+        constant_value: None,
+    });
+    let divisor = rng.gen_range(1..9);
+    let mut body = Body::new();
+    body.declare("d", JType::Int);
+    body.declare("r", JType::Int);
+    body.stmts.extend([
+        // `d` starts at zero, then is set nonzero: statement-deleting
+        // mutants that drop the second assignment leave a verifiable
+        // divide-by-zero for the initialization phase to hit.
+        Stmt::Assign {
+            target: Target::Local("d".into()),
+            value: Expr::Use(Value::int(0)),
+        },
+        Stmt::Assign {
+            target: Target::Local("d".into()),
+            value: Expr::Use(Value::int(divisor)),
+        },
+        Stmt::Assign {
+            target: Target::Local("r".into()),
+            value: Expr::BinOp(BinOp::Div, JType::Int, Value::int(100), Value::local("d")),
+        },
+        Stmt::Assign {
+            target: Target::StaticField(name.to_string(), "RATIO".into(), JType::Int),
+            value: Expr::Use(Value::local("r")),
+        },
+        Stmt::Return(None),
+    ]);
+    class.methods.push(IrMethod {
+        access: MethodAccess::STATIC,
+        name: "<clinit>".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    class
+}
+
+/// Classes referencing generation-gated library classes — the source of the
+/// paper's preliminary-study discrepancies (`NoClassDefFoundError`s and the
+/// `EnumEditor` `VerifyError` across JRE generations).
+fn environment_sensitive_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    match rng.gen_range(0..3u32) {
+        0 => {
+            // Extends a class removed after JRE 7.
+            class.super_class = Some("jre/ext/LegacySupport".into());
+            class.methods.push(default_constructor("jre/ext/LegacySupport"));
+        }
+        1 => {
+            // Extends a class that turned final in JRE 8 — the EnumEditor case.
+            class.super_class = Some("jre/beans/AbstractEditor".into());
+            class.methods.push(default_constructor("jre/beans/AbstractEditor"));
+        }
+        _ => {
+            // Extends a class added in JRE 8.
+            class.super_class = Some("jre/util/StreamKit".into());
+            class.methods.push(default_constructor("jre/util/StreamKit"));
+        }
+    }
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classfuzz_vm::{Jvm, Phase, VmSpec};
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = SeedCorpus::generate(50, 9);
+        let b = SeedCorpus::generate(50, 9);
+        assert_eq!(a.classes(), b.classes());
+        let c = SeedCorpus::generate(50, 10);
+        assert_ne!(a.classes(), c.classes());
+    }
+
+    #[test]
+    fn all_seeds_have_main_and_unique_names() {
+        let corpus = SeedCorpus::generate(80, 3);
+        let mut names = std::collections::BTreeSet::new();
+        for c in corpus.classes() {
+            // Interfaces deliberately carry no main (see generate_seed_class).
+            if !c.is_interface() {
+                assert!(c.find_method("main").is_some(), "{} lacks main", c.name);
+            }
+            assert!(names.insert(c.name.clone()), "duplicate seed name {}", c.name);
+        }
+    }
+
+    #[test]
+    fn most_seeds_run_on_the_reference_vm() {
+        let corpus = SeedCorpus::generate(60, 4);
+        let jvm = Jvm::new(VmSpec::hotspot9());
+        let invoked = corpus
+            .to_bytes()
+            .iter()
+            .filter(|b| jvm.run(b).outcome.phase() == Phase::Invoked)
+            .count();
+        // Environment-sensitive seeds may be rejected; the bulk must run.
+        assert!(
+            invoked * 10 >= corpus.classes().len() * 8,
+            "only {invoked}/60 seeds run on hotspot9"
+        );
+    }
+
+    #[test]
+    fn seed_baseline_contains_env_discrepancies() {
+        // Across 5 VMs, a small fraction of seeds behave differently —
+        // the paper's 1.7–3.0 % baseline, environment-induced.
+        let corpus = SeedCorpus::generate(150, 5);
+        let jvms: Vec<Jvm> = VmSpec::all_five().into_iter().map(Jvm::new).collect();
+        let mut discrepancies = 0;
+        for bytes in corpus.to_bytes() {
+            let phases: Vec<u8> =
+                jvms.iter().map(|j| j.run(&bytes).outcome.phase().code()).collect();
+            if phases.iter().any(|&p| p != phases[0]) {
+                discrepancies += 1;
+            }
+        }
+        assert!(discrepancies > 0, "no environment discrepancies in the seed corpus");
+        assert!(
+            discrepancies * 100 / 150 < 20,
+            "too many baseline discrepancies: {discrepancies}/150"
+        );
+    }
+}

@@ -1,0 +1,379 @@
+#![warn(missing_docs)]
+//! Tracefiles, coverage statistics, and the coverage-uniqueness criteria of
+//! classfuzz (§2.2.3 of the paper).
+//!
+//! A [`TraceFile`] records which *statement sites* and *branch sites* of the
+//! reference JVM an execution hit — the role GCOV/LCOV output plays in the
+//! paper. The three acceptance criteria are implemented exactly as defined:
+//!
+//! * **`[st]`** — unique statement-coverage statistic;
+//! * **`[stbr]`** — unique (statement, branch) statistic pair;
+//! * **`[tr]`** — statically distinct tracefile, checked via the `⊕` merge
+//!   operator.
+//!
+//! [`SuiteIndex`] is the incremental form used inside the fuzzing loop: it
+//! answers "is this trace unique w.r.t. the accepted test suite?" in O(1)
+//! for the statistic criteria.
+//!
+//! # Examples
+//!
+//! ```
+//! use classfuzz_coverage::{SuiteIndex, TraceFile, UniquenessCriterion};
+//!
+//! let mut index = SuiteIndex::new(UniquenessCriterion::StBr);
+//! let mut a = TraceFile::new();
+//! a.hit_stmt(1);
+//! a.hit_branch(10, true);
+//! assert!(index.insert_if_unique(&a));
+//! assert!(!index.insert_if_unique(&a)); // identical coverage: rejected
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A statement-site or branch-site identifier.
+///
+/// Site ids are stable hashes of `(file, line, column)` in the reference
+/// JVM's source — the analogue of GCOV line/arc identifiers.
+pub type SiteId = u32;
+
+/// Computes a stable site id from a source position.
+///
+/// Uses FNV-1a so ids are deterministic across runs and platforms.
+pub const fn site_id(file: &str, line: u32, column: u32) -> SiteId {
+    let mut hash: u32 = 0x811c_9dc5;
+    let bytes = file.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+        i += 1;
+    }
+    hash ^= line;
+    hash = hash.wrapping_mul(0x0100_0193);
+    hash ^= column;
+    hash.wrapping_mul(0x0100_0193)
+}
+
+/// Coverage statistics: the `(stmt, br)` pair the paper compares under
+/// `[st]` and `[stbr]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CoverageStats {
+    /// Number of distinct statement sites hit.
+    pub stmt: usize,
+    /// Number of distinct branch (site, direction) pairs hit.
+    pub br: usize,
+}
+
+impl fmt::Display for CoverageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.stmt, self.br)
+    }
+}
+
+/// An execution tracefile: the sets of statement and branch sites hit by one
+/// run of the reference JVM.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceFile {
+    stmts: BTreeSet<SiteId>,
+    branches: BTreeSet<(SiteId, bool)>,
+}
+
+impl TraceFile {
+    /// Creates an empty tracefile.
+    pub fn new() -> Self {
+        TraceFile::default()
+    }
+
+    /// Records a statement site hit.
+    pub fn hit_stmt(&mut self, site: SiteId) {
+        self.stmts.insert(site);
+    }
+
+    /// Records a branch outcome at a site.
+    pub fn hit_branch(&mut self, site: SiteId, taken: bool) {
+        self.branches.insert((site, taken));
+    }
+
+    /// The statement-site set.
+    pub fn stmts(&self) -> &BTreeSet<SiteId> {
+        &self.stmts
+    }
+
+    /// The branch set.
+    pub fn branches(&self) -> &BTreeSet<(SiteId, bool)> {
+        &self.branches
+    }
+
+    /// The `(stmt, br)` coverage statistics.
+    pub fn stats(&self) -> CoverageStats {
+        CoverageStats { stmt: self.stmts.len(), br: self.branches.len() }
+    }
+
+    /// The `⊕` operator: merges two tracefiles into one covering the union
+    /// of their sites.
+    pub fn merge(&self, other: &TraceFile) -> TraceFile {
+        let mut out = self.clone();
+        out.stmts.extend(other.stmts.iter().copied());
+        out.branches.extend(other.branches.iter().copied());
+        out
+    }
+
+    /// `[tr]`'s static-equality check, phrased as in the paper:
+    /// `tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt` and likewise for
+    /// branches.
+    pub fn statically_equal(&self, other: &TraceFile) -> bool {
+        let merged = self.merge(other);
+        self.stats() == other.stats()
+            && other.stats() == merged.stats()
+            && self.stmts == merged.stmts
+            && self.branches == merged.branches
+    }
+
+    /// Returns `true` when no sites were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty() && self.branches.is_empty()
+    }
+}
+
+/// Which uniqueness discipline the fuzzer applies when accepting mutants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UniquenessCriterion {
+    /// `[st]`: unique statement-coverage statistic.
+    St,
+    /// `[stbr]`: unique (statement, branch) statistic pair.
+    StBr,
+    /// `[tr]`: statically distinct tracefile (merge-based comparison).
+    Tr,
+}
+
+impl UniquenessCriterion {
+    /// The paper's bracketed label, e.g. `"[stbr]"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            UniquenessCriterion::St => "[st]",
+            UniquenessCriterion::StBr => "[stbr]",
+            UniquenessCriterion::Tr => "[tr]",
+        }
+    }
+}
+
+impl fmt::Display for UniquenessCriterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An incremental index over an accepted test suite's tracefiles, answering
+/// coverage-uniqueness queries.
+#[derive(Debug, Clone)]
+pub struct SuiteIndex {
+    criterion: UniquenessCriterion,
+    /// `[st]`: set of seen stmt statistics. `[stbr]`: seen (stmt, br) pairs.
+    seen_stats: BTreeSet<(usize, usize)>,
+    /// `[tr]` only: traces bucketed by statistics for set comparison.
+    traces_by_stats: BTreeMap<(usize, usize), Vec<TraceFile>>,
+    len: usize,
+}
+
+impl SuiteIndex {
+    /// Creates an empty index using `criterion`.
+    pub fn new(criterion: UniquenessCriterion) -> Self {
+        SuiteIndex {
+            criterion,
+            seen_stats: BTreeSet::new(),
+            traces_by_stats: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// The criterion this index enforces.
+    pub fn criterion(&self) -> UniquenessCriterion {
+        self.criterion
+    }
+
+    /// Number of accepted traces.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no trace has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn key(&self, stats: CoverageStats) -> (usize, usize) {
+        match self.criterion {
+            UniquenessCriterion::St => (stats.stmt, 0),
+            UniquenessCriterion::StBr | UniquenessCriterion::Tr => (stats.stmt, stats.br),
+        }
+    }
+
+    /// Is `trace` representative (coverage-unique) w.r.t. the accepted suite?
+    pub fn is_unique(&self, trace: &TraceFile) -> bool {
+        let key = self.key(trace.stats());
+        match self.criterion {
+            UniquenessCriterion::St | UniquenessCriterion::StBr => {
+                !self.seen_stats.contains(&key)
+            }
+            UniquenessCriterion::Tr => match self.traces_by_stats.get(&key) {
+                None => true,
+                Some(bucket) => !bucket.iter().any(|t| t.statically_equal(trace)),
+            },
+        }
+    }
+
+    /// Records `trace` as accepted (caller has already checked uniqueness or
+    /// wants to force-seed the suite).
+    pub fn insert(&mut self, trace: &TraceFile) {
+        let key = self.key(trace.stats());
+        self.seen_stats.insert(key);
+        if self.criterion == UniquenessCriterion::Tr {
+            self.traces_by_stats.entry(key).or_default().push(trace.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Accepts `trace` iff it is unique; returns whether it was accepted.
+    pub fn insert_if_unique(&mut self, trace: &TraceFile) -> bool {
+        if self.is_unique(trace) {
+            self.insert(trace);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Accumulative coverage across a whole campaign — the acceptance rule of
+/// the *greedyfuzz* baseline (§3.1.2): accept a mutant only when it
+/// increases total coverage.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalCoverage {
+    stmts: BTreeSet<SiteId>,
+    branches: BTreeSet<(SiteId, bool)>,
+}
+
+impl GlobalCoverage {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        GlobalCoverage::default()
+    }
+
+    /// Folds `trace` in; returns `true` when it contributed any new site.
+    pub fn absorb(&mut self, trace: &TraceFile) -> bool {
+        let before = self.stmts.len() + self.branches.len();
+        self.stmts.extend(trace.stmts().iter().copied());
+        self.branches.extend(trace.branches().iter().copied());
+        self.stmts.len() + self.branches.len() > before
+    }
+
+    /// Total accumulated statistics.
+    pub fn stats(&self) -> CoverageStats {
+        CoverageStats { stmt: self.stmts.len(), br: self.branches.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(stmts: &[u32], branches: &[(u32, bool)]) -> TraceFile {
+        let mut t = TraceFile::new();
+        for &s in stmts {
+            t.hit_stmt(s);
+        }
+        for &(s, d) in branches {
+            t.hit_branch(s, d);
+        }
+        t
+    }
+
+    #[test]
+    fn site_ids_are_stable_and_distinct() {
+        let a = site_id("loader.rs", 10, 4);
+        let b = site_id("loader.rs", 10, 4);
+        let c = site_id("loader.rs", 11, 4);
+        let d = site_id("linker.rs", 10, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn stats_count_distinct_sites() {
+        let t = trace(&[1, 2, 2, 3], &[(9, true), (9, false), (9, true)]);
+        assert_eq!(t.stats(), CoverageStats { stmt: 3, br: 2 });
+        assert_eq!(t.stats().to_string(), "3/2");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let a = trace(&[1, 2], &[(9, true)]);
+        let b = trace(&[2, 3], &[(9, false)]);
+        let m = a.merge(&b);
+        assert_eq!(m.stats(), CoverageStats { stmt: 3, br: 2 });
+        // ⊕ is commutative and idempotent.
+        assert_eq!(m, b.merge(&a));
+        assert_eq!(m.merge(&m), m);
+    }
+
+    #[test]
+    fn static_equality_distinguishes_same_stats() {
+        // Same statistics (2 stmts, 1 branch) but different site sets —
+        // the 16-classfile situation the paper reports under [tr].
+        let a = trace(&[1, 2], &[(9, true)]);
+        let b = trace(&[1, 3], &[(9, true)]);
+        assert_eq!(a.stats(), b.stats());
+        assert!(!a.statically_equal(&b));
+        assert!(a.statically_equal(&a.clone()));
+    }
+
+    #[test]
+    fn st_ignores_branch_dimension() {
+        let mut idx = SuiteIndex::new(UniquenessCriterion::St);
+        let a = trace(&[1, 2], &[(9, true)]);
+        let b = trace(&[3, 4], &[(9, false), (10, true)]);
+        assert!(idx.insert_if_unique(&a));
+        // b has the same stmt count (2): rejected under [st]...
+        assert!(!idx.insert_if_unique(&b));
+        // ...but accepted under [stbr] (branch count differs).
+        let mut idx2 = SuiteIndex::new(UniquenessCriterion::StBr);
+        assert!(idx2.insert_if_unique(&a));
+        assert!(idx2.insert_if_unique(&b));
+    }
+
+    #[test]
+    fn tr_distinguishes_equal_stats_different_sets() {
+        let mut idx = SuiteIndex::new(UniquenessCriterion::Tr);
+        let a = trace(&[1, 2], &[(9, true)]);
+        let b = trace(&[1, 3], &[(9, true)]);
+        assert!(idx.insert_if_unique(&a));
+        assert!(idx.insert_if_unique(&b)); // [tr] accepts; [stbr] would not
+        assert!(!idx.insert_if_unique(&a.clone()));
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn greedy_accumulation() {
+        let mut g = GlobalCoverage::new();
+        assert!(g.absorb(&trace(&[1, 2], &[])));
+        assert!(!g.absorb(&trace(&[1], &[]))); // no new coverage
+        assert!(g.absorb(&trace(&[1], &[(5, true)])));
+        assert_eq!(g.stats(), CoverageStats { stmt: 2, br: 1 });
+    }
+
+    #[test]
+    fn criterion_labels() {
+        assert_eq!(UniquenessCriterion::St.label(), "[st]");
+        assert_eq!(UniquenessCriterion::StBr.to_string(), "[stbr]");
+        assert_eq!(UniquenessCriterion::Tr.label(), "[tr]");
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let t = TraceFile::new();
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), CoverageStats::default());
+    }
+}

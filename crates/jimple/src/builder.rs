@@ -1,0 +1,239 @@
+//! Ergonomic construction of IR methods (used by the seed generator, the
+//! examples, and tests).
+
+use classfuzz_classfile::MethodAccess;
+
+use crate::class::{Body, IrMethod};
+use crate::stmt::{CondOp, Expr, InvokeExpr, InvokeKind, Label, Stmt, Target, Value};
+use crate::types::JType;
+
+/// A fluent builder for [`IrMethod`] bodies.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_classfile::MethodAccess;
+/// use classfuzz_jimple::builder::MethodBuilder;
+/// use classfuzz_jimple::{JType, Value};
+///
+/// let method = MethodBuilder::new("sum", MethodAccess::PUBLIC | MethodAccess::STATIC)
+///     .param(JType::Int)
+///     .param(JType::Int)
+///     .returns(JType::Int)
+///     .local("a", JType::Int)
+///     .bind_param("a", 0)
+///     .ret_value(Value::local("a"))
+///     .build();
+/// assert_eq!(method.descriptor(), "(II)I");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MethodBuilder {
+    method: IrMethod,
+    next_label: u32,
+}
+
+impl MethodBuilder {
+    /// Starts a method named `name` with the given flags, `void` return and
+    /// no parameters.
+    pub fn new(name: impl Into<String>, access: MethodAccess) -> Self {
+        MethodBuilder {
+            method: IrMethod {
+                access,
+                name: name.into(),
+                params: Vec::new(),
+                ret: None,
+                exceptions: Vec::new(),
+                body: Some(Body::new()),
+            },
+            next_label: 0,
+        }
+    }
+
+    /// Appends a parameter type.
+    pub fn param(mut self, ty: JType) -> Self {
+        self.method.params.push(ty);
+        self
+    }
+
+    /// Sets the return type.
+    pub fn returns(mut self, ty: JType) -> Self {
+        self.method.ret = Some(ty);
+        self
+    }
+
+    /// Adds a declared (`throws`) exception.
+    pub fn throws(mut self, class: impl Into<String>) -> Self {
+        self.method.exceptions.push(class.into());
+        self
+    }
+
+    /// Declares a local variable.
+    pub fn local(mut self, name: impl Into<String>, ty: JType) -> Self {
+        self.body().declare(name, ty);
+        self
+    }
+
+    /// Emits `name := @parameter<index>` (a Jimple identity statement).
+    pub fn bind_param(mut self, name: impl Into<String>, index: u16) -> Self {
+        let name = name.into();
+        self.body().stmts.push(Stmt::Assign {
+            target: Target::Local(name),
+            value: Expr::Param(index),
+        });
+        self
+    }
+
+    /// Emits `name := @this`.
+    pub fn bind_this(mut self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        self.body()
+            .stmts
+            .push(Stmt::Assign { target: Target::Local(name), value: Expr::This });
+        self
+    }
+
+    /// Emits `local = expr`.
+    pub fn assign(mut self, local: impl Into<String>, expr: Expr) -> Self {
+        self.body().stmts.push(Stmt::Assign {
+            target: Target::Local(local.into()),
+            value: expr,
+        });
+        self
+    }
+
+    /// Emits an arbitrary statement.
+    pub fn stmt(mut self, stmt: Stmt) -> Self {
+        self.body().stmts.push(stmt);
+        self
+    }
+
+    /// Emits a `void` return.
+    pub fn ret(mut self) -> Self {
+        self.body().stmts.push(Stmt::Return(None));
+        self
+    }
+
+    /// Emits `return value`.
+    pub fn ret_value(mut self, value: Value) -> Self {
+        self.body().stmts.push(Stmt::Return(Some(value)));
+        self
+    }
+
+    /// Reserves a fresh label.
+    pub fn fresh_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Emits a label marker.
+    pub fn mark(mut self, label: Label) -> Self {
+        self.body().stmts.push(Stmt::Label(label));
+        self
+    }
+
+    /// Emits `if a <op> b goto label`.
+    pub fn branch_if(mut self, op: CondOp, a: Value, b: Option<Value>, label: Label) -> Self {
+        self.body().stmts.push(Stmt::If { op, a, b, target: label });
+        self
+    }
+
+    /// Emits `goto label`.
+    pub fn goto(mut self, label: Label) -> Self {
+        self.body().stmts.push(Stmt::Goto(label));
+        self
+    }
+
+    /// Emits a `System.out.println(message)` call through a fresh local.
+    pub fn println(mut self, stream_local: &str, message: &str) -> Self {
+        let out = JType::object("java/io/PrintStream");
+        if self.body().local_type(stream_local).is_none() {
+            self.body().declare(stream_local, out.clone());
+        }
+        self.body().stmts.push(Stmt::Assign {
+            target: Target::Local(stream_local.to_string()),
+            value: Expr::StaticField("java/lang/System".into(), "out".into(), out),
+        });
+        self.body().stmts.push(Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Virtual,
+            class: "java/io/PrintStream".into(),
+            name: "println".into(),
+            params: vec![JType::string()],
+            ret: None,
+            receiver: Some(Value::local(stream_local)),
+            args: vec![Value::str(message)],
+        }));
+        self
+    }
+
+    /// Calls `super.<init>()` on `this` — the standard constructor prologue.
+    pub fn super_init(mut self, super_class: &str) -> Self {
+        self.body().stmts.push(Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Special,
+            class: super_class.to_string(),
+            name: "<init>".into(),
+            params: vec![],
+            ret: None,
+            receiver: Some(Value::local("this$")),
+            args: vec![],
+        }));
+        self
+    }
+
+    fn body(&mut self) -> &mut Body {
+        self.method.body.as_mut().expect("MethodBuilder always has a body")
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> IrMethod {
+        self.method
+    }
+}
+
+/// Builds a conventional constructor: binds `this`, calls `super.<init>()`,
+/// and returns.
+pub fn default_constructor(super_class: &str) -> IrMethod {
+    MethodBuilder::new("<init>", MethodAccess::PUBLIC)
+        .local("this$", JType::jobject())
+        .bind_this("this$")
+        .super_init(super_class)
+        .ret()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_descriptor_and_body() {
+        let m = MethodBuilder::new("m", MethodAccess::PUBLIC)
+            .param(JType::Int)
+            .returns(JType::Long)
+            .throws("java/io/IOException")
+            .local("x", JType::Int)
+            .bind_param("x", 0)
+            .ret_value(Value::local("x"))
+            .build();
+        assert_eq!(m.descriptor(), "(I)J");
+        assert_eq!(m.exceptions, vec!["java/io/IOException"]);
+        assert_eq!(m.body.as_ref().unwrap().stmts.len(), 2);
+    }
+
+    #[test]
+    fn default_constructor_shape() {
+        let ctor = default_constructor("java/lang/Object");
+        assert!(ctor.is_named_init());
+        let body = ctor.body.as_ref().unwrap();
+        assert!(matches!(body.stmts[1], Stmt::Invoke(ref inv) if inv.name == "<init>"));
+        assert!(matches!(body.stmts[2], Stmt::Return(None)));
+    }
+
+    #[test]
+    fn fresh_labels_are_distinct() {
+        let mut b = MethodBuilder::new("m", MethodAccess::PUBLIC);
+        let l1 = b.fresh_label();
+        let l2 = b.fresh_label();
+        assert_ne!(l1, l2);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! A Soot-like intermediate representation ("Jimple") for the classfuzz
+//! reproduction.
+//!
+//! The paper mutates classfiles through Soot: a classfile is read into a
+//! `SootClass`, rewritten by a mutator, and dumped back to bytes. This crate
+//! plays Soot's role:
+//!
+//! * [`IrClass`] / [`IrField`] / [`IrMethod`] model a class symbolically
+//!   (names instead of constant-pool indices), so mutators can freely rename
+//!   members, change types, or rewire the hierarchy — including into
+//!   *illegal* configurations.
+//! * [`lower::lower_class`] assembles an [`IrClass`] into a real
+//!   [`classfuzz_classfile::ClassFile`], computing `max_stack`/`max_locals`
+//!   and building the constant pool.
+//! * [`lift::lift_class`] decompiles a classfile back into the IR (the
+//!   direction Soot calls "jimplification").
+//!
+//! Deliberate asymmetry, mirroring how the paper produces verifier
+//! discrepancies: when lowering an assignment, the *store* opcode follows
+//! the assigned expression's type while subsequent *loads* follow the
+//! local's declared type. Mutating a local's declared type therefore yields
+//! type-confused bytecode exactly like the paper's
+//! `int $i0 → java.lang.String $i0` example.
+//!
+//! # Examples
+//!
+//! ```
+//! use classfuzz_jimple::{IrClass, lower};
+//!
+//! let class = IrClass::with_hello_main("demo/Hello", "Completed!");
+//! let classfile = lower::lower_class(&class);
+//! assert_eq!(classfile.this_class_name().as_deref(), Some("demo/Hello"));
+//! ```
+
+pub mod builder;
+pub mod class;
+pub mod lift;
+pub mod lower;
+pub mod printer;
+pub mod stmt;
+pub mod types;
+
+pub use class::{Body, CatchClause, IrClass, IrField, IrMethod, LocalDecl};
+pub use lift::LiftError;
+pub use stmt::{BinOp, CondOp, Const, Expr, InvokeExpr, InvokeKind, Label, Stmt, Target, Value};
+pub use types::JType;

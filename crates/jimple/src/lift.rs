@@ -1,0 +1,988 @@
+//! Lifting ("jimplification"): decompile a classfile back into the IR.
+//!
+//! The lifter performs the naive stack-to-local translation Soot uses for its
+//! initial Jimple: a symbolic operand stack holds only [`Value`]s; every
+//! computed result is materialized into a fresh `$t<n>` temporary. Branch
+//! targets must be reached with an empty symbolic stack (true for
+//! compiler-shaped code and for everything this workspace's lowerer emits).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use classfuzz_classfile::instruction::encode_code;
+use classfuzz_classfile::{
+    ClassFile, Constant, FieldType, Instruction, MethodDescriptor, MethodInfo, Opcode,
+};
+
+use crate::class::{Body, CatchClause, IrClass, IrField, IrMethod};
+use crate::stmt::{BinOp, CondOp, Const, Expr, InvokeExpr, InvokeKind, Label, Stmt, Target, Value};
+use crate::types::JType;
+
+/// Why a method (or class) could not be lifted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The method used an instruction the naive lifter does not model.
+    UnsupportedOpcode(Opcode),
+    /// A branch target was reached with a non-empty symbolic stack.
+    StackAtMerge {
+        /// Code offset of the merge point.
+        pc: u32,
+    },
+    /// The symbolic stack underflowed (invalid bytecode).
+    StackUnderflow {
+        /// Code offset of the faulting instruction.
+        pc: u32,
+    },
+    /// A constant-pool reference could not be resolved symbolically.
+    BadConstant {
+        /// Code offset of the faulting instruction.
+        pc: u32,
+    },
+    /// A member descriptor failed to parse.
+    BadDescriptor(String),
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::UnsupportedOpcode(op) => write!(f, "unsupported opcode {op}"),
+            LiftError::StackAtMerge { pc } => {
+                write!(f, "non-empty symbolic stack at merge point pc {pc}")
+            }
+            LiftError::StackUnderflow { pc } => write!(f, "symbolic stack underflow at pc {pc}"),
+            LiftError::BadConstant { pc } => {
+                write!(f, "unresolvable constant-pool reference at pc {pc}")
+            }
+            LiftError::BadDescriptor(d) => write!(f, "bad descriptor {d:?}"),
+        }
+    }
+}
+
+impl Error for LiftError {}
+
+/// Lifts a whole classfile into the IR.
+///
+/// # Errors
+///
+/// Returns the first [`LiftError`] encountered. Methods without code lift to
+/// bodiless [`IrMethod`]s.
+pub fn lift_class(cf: &ClassFile) -> Result<IrClass, LiftError> {
+    let name = cf
+        .this_class_name()
+        .unwrap_or_else(|| format!("$unnamed{}", cf.this_class.0));
+    let mut class = IrClass::new(name);
+    class.access = cf.access;
+    class.super_class = cf.super_class_name();
+    class.interfaces = cf.interface_names();
+    class.major_version = cf.major_version;
+    class.fields.clear();
+    class.methods.clear();
+
+    for f in &cf.fields {
+        let fname = cf.constant_pool.utf8_text(f.name).unwrap_or("$badname").to_string();
+        let desc = cf.constant_pool.utf8_text(f.descriptor).unwrap_or("I");
+        let ty = FieldType::parse(desc)
+            .map(|t| JType::from_field_type(&t))
+            .map_err(|_| LiftError::BadDescriptor(desc.to_string()))?;
+        let constant_value = f.attributes.iter().find_map(|a| match a {
+            classfuzz_classfile::Attribute::ConstantValue(idx) => {
+                match cf.constant_pool.entry(*idx) {
+                    Some(Constant::Integer(v)) => Some(Const::Int(*v)),
+                    Some(Constant::Long(v)) => Some(Const::Long(*v)),
+                    Some(Constant::Float(v)) => Some(Const::Float(*v)),
+                    Some(Constant::Double(v)) => Some(Const::Double(*v)),
+                    Some(Constant::String(s)) => {
+                        cf.constant_pool.utf8_text(*s).map(|t| Const::Str(t.to_string()))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        });
+        class.fields.push(IrField { access: f.access, name: fname, ty, constant_value });
+    }
+
+    for m in &cf.methods {
+        class.methods.push(lift_method(cf, m)?);
+    }
+    Ok(class)
+}
+
+fn lift_method(cf: &ClassFile, m: &MethodInfo) -> Result<IrMethod, LiftError> {
+    let name = cf.constant_pool.utf8_text(m.name).unwrap_or("$badname").to_string();
+    let desc_text = cf.constant_pool.utf8_text(m.descriptor).unwrap_or("()V");
+    let desc = MethodDescriptor::parse(desc_text)
+        .map_err(|_| LiftError::BadDescriptor(desc_text.to_string()))?;
+    let params: Vec<JType> = desc.params.iter().map(JType::from_field_type).collect();
+    let ret = desc.ret.as_ref().map(JType::from_field_type);
+    let exceptions = m
+        .declared_exceptions()
+        .iter()
+        .filter_map(|&e| cf.constant_pool.class_name(e))
+        .collect();
+    let is_static = m.access.contains(classfuzz_classfile::MethodAccess::STATIC);
+    let body = match m.code() {
+        Some(code) => Some(lift_body(cf, code, &params, ret.as_ref(), is_static)?),
+        None => None,
+    };
+    Ok(IrMethod { access: m.access, name, params, ret, exceptions, body })
+}
+
+struct Lifter<'a> {
+    cf: &'a ClassFile,
+    body: Body,
+    stack: Vec<Value>,
+    /// slot -> (local name, current type)
+    slot_types: BTreeMap<u16, JType>,
+    next_temp: u32,
+    labels: BTreeMap<u32, Label>, // pc -> label
+}
+
+fn lift_body(
+    cf: &ClassFile,
+    code: &classfuzz_classfile::CodeAttribute,
+    params: &[JType],
+    _ret: Option<&JType>,
+    is_static: bool,
+) -> Result<Body, LiftError> {
+    let bytes = encode_code(&code.instructions);
+    let insns = classfuzz_classfile::instruction::decode_code(&bytes)
+        .expect("re-decoding freshly encoded code cannot fail");
+
+    // Collect every branch/handler target so labels exist before use.
+    let mut targets: BTreeSet<u32> = BTreeSet::new();
+    for (_, insn) in &insns {
+        match insn {
+            Instruction::Branch(_, t) => {
+                targets.insert(*t);
+            }
+            Instruction::TableSwitch(ts) => {
+                targets.insert(ts.default);
+                targets.extend(ts.targets.iter().copied());
+            }
+            Instruction::LookupSwitch(ls) => {
+                targets.insert(ls.default);
+                targets.extend(ls.pairs.iter().map(|(_, t)| *t));
+            }
+            _ => {}
+        }
+    }
+    let mut handler_pcs: BTreeSet<u32> = BTreeSet::new();
+    for e in &code.exception_table {
+        targets.insert(e.start_pc as u32);
+        targets.insert(e.end_pc as u32);
+        targets.insert(e.handler_pc as u32);
+        handler_pcs.insert(e.handler_pc as u32);
+    }
+
+    let mut lifter = Lifter {
+        cf,
+        body: Body::new(),
+        stack: Vec::new(),
+        slot_types: BTreeMap::new(),
+        next_temp: 0,
+        labels: BTreeMap::new(),
+    };
+    for (i, t) in targets.iter().enumerate() {
+        lifter.labels.insert(*t, Label(i as u32));
+    }
+
+    // Bind parameter slots: identity assignments, like Jimple's `:=` forms.
+    let mut slot = 0u16;
+    if !is_static {
+        lifter.declare_slot(0, JType::jobject());
+        lifter.body.stmts.push(Stmt::Assign {
+            target: Target::Local(slot_name(0)),
+            value: Expr::This,
+        });
+        slot = 1;
+    }
+    for (i, p) in params.iter().enumerate() {
+        lifter.declare_slot(slot, p.clone());
+        lifter.body.stmts.push(Stmt::Assign {
+            target: Target::Local(slot_name(slot)),
+            value: Expr::Param(i as u16),
+        });
+        slot += p.slot_width();
+    }
+
+    for (pc, insn) in &insns {
+        if let Some(label) = lifter.labels.get(pc).copied() {
+            if !lifter.stack.is_empty() {
+                return Err(LiftError::StackAtMerge { pc: *pc });
+            }
+            lifter.body.stmts.push(Stmt::Label(label));
+            if handler_pcs.contains(pc) {
+                // The caught exception is conceptually on the stack here.
+                let t = lifter.fresh_temp(JType::object("java/lang/Throwable"));
+                lifter.body.stmts.push(Stmt::Assign {
+                    target: Target::Local(t.clone()),
+                    value: Expr::CaughtException,
+                });
+                lifter.stack.push(Value::Local(t));
+            }
+        }
+        lifter.instruction(*pc, insn)?;
+    }
+
+    for e in &code.exception_table {
+        let exception = if e.catch_type.0 == 0 {
+            None
+        } else {
+            cf.constant_pool.class_name(e.catch_type)
+        };
+        lifter.body.catches.push(CatchClause {
+            start: lifter.labels[&(e.start_pc as u32)],
+            end: lifter.labels[&(e.end_pc as u32)],
+            handler: lifter.labels[&(e.handler_pc as u32)],
+            exception,
+        });
+    }
+    Ok(lifter.body)
+}
+
+fn slot_name(slot: u16) -> String {
+    format!("v{slot}")
+}
+
+impl Lifter<'_> {
+    fn declare_slot(&mut self, slot: u16, ty: JType) {
+        if let Some(existing) = self.slot_types.get(&slot) {
+            if *existing == ty {
+                return;
+            }
+        }
+        self.slot_types.insert(slot, ty.clone());
+        let name = slot_name(slot);
+        if self.body.local_type(&name).is_none() {
+            self.body.declare(name, ty);
+        }
+    }
+
+    fn fresh_temp(&mut self, ty: JType) -> String {
+        let name = format!("$t{}", self.next_temp);
+        self.next_temp += 1;
+        self.body.declare(name.clone(), ty);
+        name
+    }
+
+    fn pop(&mut self, pc: u32) -> Result<Value, LiftError> {
+        self.stack.pop().ok_or(LiftError::StackUnderflow { pc })
+    }
+
+    /// Materializes `expr` into a fresh temporary and pushes it.
+    fn materialize(&mut self, expr: Expr, ty: JType) {
+        let t = self.fresh_temp(ty);
+        self.body.stmts.push(Stmt::Assign { target: Target::Local(t.clone()), value: expr });
+        self.stack.push(Value::Local(t));
+    }
+
+    fn value_type(&self, v: &Value) -> JType {
+        match v {
+            Value::Local(n) => self.body.local_type(n).cloned().unwrap_or_else(JType::jobject),
+            Value::Const(c) => c.jtype().unwrap_or_else(JType::jobject),
+        }
+    }
+
+    fn label(&self, pc: u32) -> Label {
+        self.labels.get(&pc).copied().unwrap_or(Label(u32::MAX))
+    }
+
+    fn member_parts(&self, pc: u32, idx: classfuzz_classfile::ConstIndex)
+        -> Result<(String, String, String), LiftError> {
+        self.cf
+            .constant_pool
+            .member_ref_parts(idx)
+            .ok_or(LiftError::BadConstant { pc })
+    }
+
+    fn field_access(
+        &self,
+        pc: u32,
+        idx: classfuzz_classfile::ConstIndex,
+    ) -> Result<(String, String, JType), LiftError> {
+        let (class, name, desc) = self.member_parts(pc, idx)?;
+        let ty = FieldType::parse(&desc)
+            .map(|t| JType::from_field_type(&t))
+            .map_err(|_| LiftError::BadDescriptor(desc))?;
+        Ok((class, name, ty))
+    }
+
+    fn invoke_parts(
+        &self,
+        pc: u32,
+        idx: classfuzz_classfile::ConstIndex,
+        kind: InvokeKind,
+    ) -> Result<InvokeExpr, LiftError> {
+        let (class, name, desc) = self.member_parts(pc, idx)?;
+        let d = MethodDescriptor::parse(&desc).map_err(|_| LiftError::BadDescriptor(desc))?;
+        Ok(InvokeExpr {
+            kind,
+            class,
+            name,
+            params: d.params.iter().map(JType::from_field_type).collect(),
+            ret: d.ret.as_ref().map(JType::from_field_type),
+            receiver: None,
+            args: Vec::new(),
+        })
+    }
+
+    fn do_invoke(&mut self, pc: u32, mut inv: InvokeExpr, has_receiver: bool)
+        -> Result<(), LiftError> {
+        let mut args = Vec::with_capacity(inv.params.len());
+        for _ in 0..inv.params.len() {
+            args.push(self.pop(pc)?);
+        }
+        args.reverse();
+        inv.args = args;
+        if has_receiver {
+            inv.receiver = Some(self.pop(pc)?);
+        }
+        match inv.ret.clone() {
+            Some(ty) => self.materialize(Expr::Invoke(inv), ty),
+            None => self.body.stmts.push(Stmt::Invoke(inv)),
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, slot: u16, default_ty: JType) {
+        let ty = self.slot_types.get(&slot).cloned().unwrap_or_else(|| {
+            default_ty.clone()
+        });
+        self.declare_slot(slot, ty);
+        self.stack.push(Value::Local(slot_name(slot)));
+    }
+
+    fn store(&mut self, pc: u32, slot: u16) -> Result<(), LiftError> {
+        let v = self.pop(pc)?;
+        let ty = self.value_type(&v);
+        self.declare_slot(slot, ty);
+        self.body.stmts.push(Stmt::Assign {
+            target: Target::Local(slot_name(slot)),
+            value: Expr::Use(v),
+        });
+        Ok(())
+    }
+
+    fn binop(&mut self, pc: u32, op: BinOp, ty: JType) -> Result<(), LiftError> {
+        let b = self.pop(pc)?;
+        let a = self.pop(pc)?;
+        let result = if op == BinOp::Cmp { JType::Int } else { ty.clone() };
+        self.materialize(Expr::BinOp(op, ty, a, b), result);
+        Ok(())
+    }
+
+    fn shift(&mut self, pc: u32, op: BinOp, ty: JType) -> Result<(), LiftError> {
+        // Shift amount is always int; operand type drives the opcode family.
+        self.binop(pc, op, ty)
+    }
+
+    fn conv(&mut self, pc: u32, to: JType) -> Result<(), LiftError> {
+        let v = self.pop(pc)?;
+        self.materialize(Expr::Cast(to.clone(), v), to);
+        Ok(())
+    }
+
+    fn if_zero(&mut self, pc: u32, op: CondOp, target: u32) -> Result<(), LiftError> {
+        let a = self.pop(pc)?;
+        self.body.stmts.push(Stmt::If { op, a, b: None, target: self.label(target) });
+        Ok(())
+    }
+
+    fn if_cmp(&mut self, pc: u32, op: CondOp, target: u32) -> Result<(), LiftError> {
+        let b = self.pop(pc)?;
+        let a = self.pop(pc)?;
+        self.body.stmts.push(Stmt::If { op, a, b: Some(b), target: self.label(target) });
+        Ok(())
+    }
+
+    fn array_load(&mut self, pc: u32, elem: JType) -> Result<(), LiftError> {
+        let idx = self.pop(pc)?;
+        let arr = self.pop(pc)?;
+        self.materialize(Expr::ArrayLoad(elem.clone(), arr, idx), elem);
+        Ok(())
+    }
+
+    fn array_store(&mut self, pc: u32, elem: JType) -> Result<(), LiftError> {
+        let v = self.pop(pc)?;
+        let idx = self.pop(pc)?;
+        let arr = self.pop(pc)?;
+        self.body.stmts.push(Stmt::Assign {
+            target: Target::ArrayElem(elem, arr, idx),
+            value: Expr::Use(v),
+        });
+        Ok(())
+    }
+
+    fn instruction(&mut self, pc: u32, insn: &Instruction) -> Result<(), LiftError> {
+        use Opcode::*;
+        match insn {
+            Instruction::Simple(op) => self.simple(pc, *op),
+            Instruction::Bipush(v) => {
+                self.stack.push(Value::int(*v as i32));
+                Ok(())
+            }
+            Instruction::Sipush(v) => {
+                self.stack.push(Value::int(*v as i32));
+                Ok(())
+            }
+            Instruction::Ldc(idx) | Instruction::LdcW(idx) | Instruction::Ldc2W(idx) => {
+                let c = match self.cf.constant_pool.entry(*idx) {
+                    Some(Constant::Integer(v)) => Const::Int(*v),
+                    Some(Constant::Long(v)) => Const::Long(*v),
+                    Some(Constant::Float(v)) => Const::Float(*v),
+                    Some(Constant::Double(v)) => Const::Double(*v),
+                    Some(Constant::String(s)) => Const::Str(
+                        self.cf
+                            .constant_pool
+                            .utf8_text(*s)
+                            .ok_or(LiftError::BadConstant { pc })?
+                            .to_string(),
+                    ),
+                    Some(Constant::Class(_)) => Const::Class(
+                        self.cf
+                            .constant_pool
+                            .class_name(*idx)
+                            .ok_or(LiftError::BadConstant { pc })?,
+                    ),
+                    _ => return Err(LiftError::BadConstant { pc }),
+                };
+                self.stack.push(Value::Const(c));
+                Ok(())
+            }
+            Instruction::Local(op, slot) => match op {
+                Iload => {
+                    self.load(*slot, JType::Int);
+                    Ok(())
+                }
+                Lload => {
+                    self.load(*slot, JType::Long);
+                    Ok(())
+                }
+                Fload => {
+                    self.load(*slot, JType::Float);
+                    Ok(())
+                }
+                Dload => {
+                    self.load(*slot, JType::Double);
+                    Ok(())
+                }
+                Aload => {
+                    self.load(*slot, JType::jobject());
+                    Ok(())
+                }
+                Istore | Lstore | Fstore | Dstore | Astore => self.store(pc, *slot),
+                Ret => Err(LiftError::UnsupportedOpcode(Ret)),
+                other => Err(LiftError::UnsupportedOpcode(*other)),
+            },
+            Instruction::Iinc { index, delta } => {
+                self.declare_slot(*index, JType::Int);
+                let name = slot_name(*index);
+                self.body.stmts.push(Stmt::Assign {
+                    target: Target::Local(name.clone()),
+                    value: Expr::BinOp(
+                        BinOp::Add,
+                        JType::Int,
+                        Value::Local(name),
+                        Value::int(*delta as i32),
+                    ),
+                });
+                Ok(())
+            }
+            Instruction::Branch(op, target) => match op {
+                Goto | GotoW => {
+                    self.body.stmts.push(Stmt::Goto(self.label(*target)));
+                    Ok(())
+                }
+                Ifeq => self.if_zero(pc, CondOp::Eq, *target),
+                Ifne => self.if_zero(pc, CondOp::Ne, *target),
+                Iflt => self.if_zero(pc, CondOp::Lt, *target),
+                Ifge => self.if_zero(pc, CondOp::Ge, *target),
+                Ifgt => self.if_zero(pc, CondOp::Gt, *target),
+                Ifle => self.if_zero(pc, CondOp::Le, *target),
+                Ifnull => self.if_zero(pc, CondOp::Eq, *target),
+                Ifnonnull => self.if_zero(pc, CondOp::Ne, *target),
+                IfIcmpeq | IfAcmpeq => self.if_cmp(pc, CondOp::Eq, *target),
+                IfIcmpne | IfAcmpne => self.if_cmp(pc, CondOp::Ne, *target),
+                IfIcmplt => self.if_cmp(pc, CondOp::Lt, *target),
+                IfIcmpge => self.if_cmp(pc, CondOp::Ge, *target),
+                IfIcmpgt => self.if_cmp(pc, CondOp::Gt, *target),
+                IfIcmple => self.if_cmp(pc, CondOp::Le, *target),
+                Jsr | JsrW => Err(LiftError::UnsupportedOpcode(*op)),
+                other => Err(LiftError::UnsupportedOpcode(*other)),
+            },
+            Instruction::Field(op, idx) => {
+                let (class, name, ty) = self.field_access(pc, *idx)?;
+                match op {
+                    Getstatic => {
+                        self.materialize(Expr::StaticField(class, name, ty.clone()), ty);
+                        Ok(())
+                    }
+                    Putstatic => {
+                        let v = self.pop(pc)?;
+                        self.body.stmts.push(Stmt::Assign {
+                            target: Target::StaticField(class, name, ty),
+                            value: Expr::Use(v),
+                        });
+                        Ok(())
+                    }
+                    Getfield => {
+                        let recv = self.pop(pc)?;
+                        self.materialize(
+                            Expr::InstanceField(recv, class, name, ty.clone()),
+                            ty,
+                        );
+                        Ok(())
+                    }
+                    Putfield => {
+                        let v = self.pop(pc)?;
+                        let recv = self.pop(pc)?;
+                        self.body.stmts.push(Stmt::Assign {
+                            target: Target::InstanceField(recv, class, name, ty),
+                            value: Expr::Use(v),
+                        });
+                        Ok(())
+                    }
+                    other => Err(LiftError::UnsupportedOpcode(*other)),
+                }
+            }
+            Instruction::Invoke(op, idx) => {
+                let kind = match op {
+                    Invokevirtual => InvokeKind::Virtual,
+                    Invokespecial => InvokeKind::Special,
+                    Invokestatic => InvokeKind::Static,
+                    other => return Err(LiftError::UnsupportedOpcode(*other)),
+                };
+                let inv = self.invoke_parts(pc, *idx, kind)?;
+                self.do_invoke(pc, inv, kind != InvokeKind::Static)
+            }
+            Instruction::InvokeInterface { index, .. } => {
+                let inv = self.invoke_parts(pc, *index, InvokeKind::Interface)?;
+                self.do_invoke(pc, inv, true)
+            }
+            Instruction::InvokeDynamic(_) => {
+                Err(LiftError::UnsupportedOpcode(Invokedynamic))
+            }
+            Instruction::New(idx) => {
+                let class = self
+                    .cf
+                    .constant_pool
+                    .class_name(*idx)
+                    .ok_or(LiftError::BadConstant { pc })?;
+                self.materialize(Expr::New(class.clone()), JType::object(class));
+                Ok(())
+            }
+            Instruction::NewArray(atype) => {
+                let elem = match atype {
+                    4 => JType::Boolean,
+                    5 => JType::Char,
+                    6 => JType::Float,
+                    7 => JType::Double,
+                    8 => JType::Byte,
+                    9 => JType::Short,
+                    10 => JType::Int,
+                    11 => JType::Long,
+                    _ => return Err(LiftError::BadConstant { pc }),
+                };
+                let len = self.pop(pc)?;
+                self.materialize(
+                    Expr::NewArray(elem.clone(), len),
+                    JType::array(elem),
+                );
+                Ok(())
+            }
+            Instruction::ANewArray(idx) => {
+                let class = self
+                    .cf
+                    .constant_pool
+                    .class_name(*idx)
+                    .ok_or(LiftError::BadConstant { pc })?;
+                let len = self.pop(pc)?;
+                let elem = JType::object(class);
+                self.materialize(Expr::NewArray(elem.clone(), len), JType::array(elem));
+                Ok(())
+            }
+            Instruction::CheckCast(idx) => {
+                let class = self
+                    .cf
+                    .constant_pool
+                    .class_name(*idx)
+                    .ok_or(LiftError::BadConstant { pc })?;
+                let v = self.pop(pc)?;
+                let ty = JType::object(class);
+                self.materialize(Expr::Cast(ty.clone(), v), ty);
+                Ok(())
+            }
+            Instruction::InstanceOf(idx) => {
+                let class = self
+                    .cf
+                    .constant_pool
+                    .class_name(*idx)
+                    .ok_or(LiftError::BadConstant { pc })?;
+                let v = self.pop(pc)?;
+                self.materialize(Expr::InstanceOf(class, v), JType::Int);
+                Ok(())
+            }
+            Instruction::MultiANewArray { .. } => {
+                Err(LiftError::UnsupportedOpcode(Multianewarray))
+            }
+            Instruction::TableSwitch(ts) => {
+                let key = self.pop(pc)?;
+                let cases = ts
+                    .targets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (ts.low + i as i32, self.label(*t)))
+                    .collect();
+                self.body.stmts.push(Stmt::Switch {
+                    key,
+                    cases,
+                    default: self.label(ts.default),
+                });
+                Ok(())
+            }
+            Instruction::LookupSwitch(ls) => {
+                let key = self.pop(pc)?;
+                let cases = ls.pairs.iter().map(|(k, t)| (*k, self.label(*t))).collect();
+                self.body.stmts.push(Stmt::Switch {
+                    key,
+                    cases,
+                    default: self.label(ls.default),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn simple(&mut self, pc: u32, op: Opcode) -> Result<(), LiftError> {
+        use Opcode::*;
+        match op {
+            Nop => {
+                self.body.stmts.push(Stmt::Nop);
+                Ok(())
+            }
+            AconstNull => {
+                self.stack.push(Value::null());
+                Ok(())
+            }
+            IconstM1 | Iconst0 | Iconst1 | Iconst2 | Iconst3 | Iconst4 | Iconst5 => {
+                self.stack.push(Value::int(op.byte() as i32 - Iconst0.byte() as i32));
+                Ok(())
+            }
+            Lconst0 | Lconst1 => {
+                self.stack
+                    .push(Value::Const(Const::Long((op.byte() - Lconst0.byte()) as i64)));
+                Ok(())
+            }
+            Fconst0 | Fconst1 | Fconst2 => {
+                self.stack
+                    .push(Value::Const(Const::Float((op.byte() - Fconst0.byte()) as f32)));
+                Ok(())
+            }
+            Dconst0 | Dconst1 => {
+                self.stack
+                    .push(Value::Const(Const::Double((op.byte() - Dconst0.byte()) as f64)));
+                Ok(())
+            }
+            Iload0 | Iload1 | Iload2 | Iload3 => {
+                self.load((op.byte() - Iload0.byte()) as u16, JType::Int);
+                Ok(())
+            }
+            Lload0 | Lload1 | Lload2 | Lload3 => {
+                self.load((op.byte() - Lload0.byte()) as u16, JType::Long);
+                Ok(())
+            }
+            Fload0 | Fload1 | Fload2 | Fload3 => {
+                self.load((op.byte() - Fload0.byte()) as u16, JType::Float);
+                Ok(())
+            }
+            Dload0 | Dload1 | Dload2 | Dload3 => {
+                self.load((op.byte() - Dload0.byte()) as u16, JType::Double);
+                Ok(())
+            }
+            Aload0 | Aload1 | Aload2 | Aload3 => {
+                self.load((op.byte() - Aload0.byte()) as u16, JType::jobject());
+                Ok(())
+            }
+            Istore0 | Istore1 | Istore2 | Istore3 => {
+                self.store(pc, (op.byte() - Istore0.byte()) as u16)
+            }
+            Lstore0 | Lstore1 | Lstore2 | Lstore3 => {
+                self.store(pc, (op.byte() - Lstore0.byte()) as u16)
+            }
+            Fstore0 | Fstore1 | Fstore2 | Fstore3 => {
+                self.store(pc, (op.byte() - Fstore0.byte()) as u16)
+            }
+            Dstore0 | Dstore1 | Dstore2 | Dstore3 => {
+                self.store(pc, (op.byte() - Dstore0.byte()) as u16)
+            }
+            Astore0 | Astore1 | Astore2 | Astore3 => {
+                self.store(pc, (op.byte() - Astore0.byte()) as u16)
+            }
+            Iaload => self.array_load(pc, JType::Int),
+            Laload => self.array_load(pc, JType::Long),
+            Faload => self.array_load(pc, JType::Float),
+            Daload => self.array_load(pc, JType::Double),
+            Aaload => self.array_load(pc, JType::jobject()),
+            Baload => self.array_load(pc, JType::Byte),
+            Caload => self.array_load(pc, JType::Char),
+            Saload => self.array_load(pc, JType::Short),
+            Iastore => self.array_store(pc, JType::Int),
+            Lastore => self.array_store(pc, JType::Long),
+            Fastore => self.array_store(pc, JType::Float),
+            Dastore => self.array_store(pc, JType::Double),
+            Aastore => self.array_store(pc, JType::jobject()),
+            Bastore => self.array_store(pc, JType::Byte),
+            Castore => self.array_store(pc, JType::Char),
+            Sastore => self.array_store(pc, JType::Short),
+            Pop => {
+                self.pop(pc)?;
+                Ok(())
+            }
+            Pop2 => {
+                let v = self.pop(pc)?;
+                if !self.value_type(&v).is_wide() {
+                    self.pop(pc)?;
+                }
+                Ok(())
+            }
+            Dup => {
+                let v = self.pop(pc)?;
+                self.stack.push(v.clone());
+                self.stack.push(v);
+                Ok(())
+            }
+            Dup2 => {
+                let v = self.pop(pc)?;
+                if self.value_type(&v).is_wide() {
+                    self.stack.push(v.clone());
+                    self.stack.push(v);
+                } else {
+                    let u = self.pop(pc)?;
+                    self.stack.push(u.clone());
+                    self.stack.push(v.clone());
+                    self.stack.push(u);
+                    self.stack.push(v);
+                }
+                Ok(())
+            }
+            Swap => {
+                let v = self.pop(pc)?;
+                let u = self.pop(pc)?;
+                self.stack.push(v);
+                self.stack.push(u);
+                Ok(())
+            }
+            DupX1 | DupX2 | Dup2X1 | Dup2X2 => Err(LiftError::UnsupportedOpcode(op)),
+            Iadd => self.binop(pc, BinOp::Add, JType::Int),
+            Ladd => self.binop(pc, BinOp::Add, JType::Long),
+            Fadd => self.binop(pc, BinOp::Add, JType::Float),
+            Dadd => self.binop(pc, BinOp::Add, JType::Double),
+            Isub => self.binop(pc, BinOp::Sub, JType::Int),
+            Lsub => self.binop(pc, BinOp::Sub, JType::Long),
+            Fsub => self.binop(pc, BinOp::Sub, JType::Float),
+            Dsub => self.binop(pc, BinOp::Sub, JType::Double),
+            Imul => self.binop(pc, BinOp::Mul, JType::Int),
+            Lmul => self.binop(pc, BinOp::Mul, JType::Long),
+            Fmul => self.binop(pc, BinOp::Mul, JType::Float),
+            Dmul => self.binop(pc, BinOp::Mul, JType::Double),
+            Idiv => self.binop(pc, BinOp::Div, JType::Int),
+            Ldiv => self.binop(pc, BinOp::Div, JType::Long),
+            Fdiv => self.binop(pc, BinOp::Div, JType::Float),
+            Ddiv => self.binop(pc, BinOp::Div, JType::Double),
+            Irem => self.binop(pc, BinOp::Rem, JType::Int),
+            Lrem => self.binop(pc, BinOp::Rem, JType::Long),
+            Frem => self.binop(pc, BinOp::Rem, JType::Float),
+            Drem => self.binop(pc, BinOp::Rem, JType::Double),
+            Ineg => {
+                let v = self.pop(pc)?;
+                self.materialize(Expr::Neg(JType::Int, v), JType::Int);
+                Ok(())
+            }
+            Lneg => {
+                let v = self.pop(pc)?;
+                self.materialize(Expr::Neg(JType::Long, v), JType::Long);
+                Ok(())
+            }
+            Fneg => {
+                let v = self.pop(pc)?;
+                self.materialize(Expr::Neg(JType::Float, v), JType::Float);
+                Ok(())
+            }
+            Dneg => {
+                let v = self.pop(pc)?;
+                self.materialize(Expr::Neg(JType::Double, v), JType::Double);
+                Ok(())
+            }
+            Ishl => self.shift(pc, BinOp::Shl, JType::Int),
+            Lshl => self.shift(pc, BinOp::Shl, JType::Long),
+            Ishr => self.shift(pc, BinOp::Shr, JType::Int),
+            Lshr => self.shift(pc, BinOp::Shr, JType::Long),
+            Iushr => self.shift(pc, BinOp::Ushr, JType::Int),
+            Lushr => self.shift(pc, BinOp::Ushr, JType::Long),
+            Iand => self.binop(pc, BinOp::And, JType::Int),
+            Land => self.binop(pc, BinOp::And, JType::Long),
+            Ior => self.binop(pc, BinOp::Or, JType::Int),
+            Lor => self.binop(pc, BinOp::Or, JType::Long),
+            Ixor => self.binop(pc, BinOp::Xor, JType::Int),
+            Lxor => self.binop(pc, BinOp::Xor, JType::Long),
+            I2l => self.conv(pc, JType::Long),
+            I2f => self.conv(pc, JType::Float),
+            I2d => self.conv(pc, JType::Double),
+            L2i => self.conv(pc, JType::Int),
+            L2f => self.conv(pc, JType::Float),
+            L2d => self.conv(pc, JType::Double),
+            F2i => self.conv(pc, JType::Int),
+            F2l => self.conv(pc, JType::Long),
+            F2d => self.conv(pc, JType::Double),
+            D2i => self.conv(pc, JType::Int),
+            D2l => self.conv(pc, JType::Long),
+            D2f => self.conv(pc, JType::Float),
+            I2b => self.conv(pc, JType::Byte),
+            I2c => self.conv(pc, JType::Char),
+            I2s => self.conv(pc, JType::Short),
+            Lcmp => self.binop(pc, BinOp::Cmp, JType::Long),
+            Fcmpl | Fcmpg => self.binop(pc, BinOp::Cmp, JType::Float),
+            Dcmpl | Dcmpg => self.binop(pc, BinOp::Cmp, JType::Double),
+            Ireturn | Lreturn | Freturn | Dreturn | Areturn => {
+                let v = self.pop(pc)?;
+                self.body.stmts.push(Stmt::Return(Some(v)));
+                self.stack.clear();
+                Ok(())
+            }
+            Return => {
+                self.body.stmts.push(Stmt::Return(None));
+                self.stack.clear();
+                Ok(())
+            }
+            Arraylength => {
+                let v = self.pop(pc)?;
+                self.materialize(Expr::ArrayLen(v), JType::Int);
+                Ok(())
+            }
+            Athrow => {
+                let v = self.pop(pc)?;
+                self.body.stmts.push(Stmt::Throw(v));
+                self.stack.clear();
+                Ok(())
+            }
+            Monitorenter => {
+                let v = self.pop(pc)?;
+                self.body.stmts.push(Stmt::EnterMonitor(v));
+                Ok(())
+            }
+            Monitorexit => {
+                let v = self.pop(pc)?;
+                self.body.stmts.push(Stmt::ExitMonitor(v));
+                Ok(())
+            }
+            other => Err(LiftError::UnsupportedOpcode(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_class;
+
+    #[test]
+    fn lift_lowered_hello_main() {
+        let original = IrClass::with_hello_main("RT", "Completed!");
+        let cf = lower_class(&original);
+        let lifted = lift_class(&cf).expect("lift");
+        assert_eq!(lifted.name, "RT");
+        let main = lifted.find_method("main").expect("main");
+        let body = main.body.as_ref().unwrap();
+        // println call survives as a statement.
+        assert!(body.stmts.iter().any(|s| matches!(
+            s,
+            Stmt::Invoke(inv) if inv.name == "println"
+        )));
+        assert!(body.stmts.iter().any(|s| matches!(s, Stmt::Return(None))));
+    }
+
+    #[test]
+    fn lifted_class_lowers_to_valid_bytes() {
+        let original = IrClass::with_hello_main("RT2", "x");
+        let cf1 = lower_class(&original);
+        let lifted = lift_class(&cf1).unwrap();
+        let cf2 = lower_class(&lifted);
+        let parsed = ClassFile::from_bytes(&cf2.to_bytes()).expect("re-parse");
+        let main = parsed.find_method("main", "([Ljava/lang/String;)V").unwrap();
+        let ops: Vec<Opcode> =
+            main.code().unwrap().instructions.iter().map(|i| i.opcode()).collect();
+        assert!(ops.contains(&Opcode::Invokevirtual));
+        assert!(ops.contains(&Opcode::Getstatic));
+        assert_eq!(*ops.last().unwrap(), Opcode::Return);
+    }
+
+    #[test]
+    fn lift_loop_with_branches() {
+        use crate::stmt::*;
+        let mut class = IrClass::new("Loop");
+        let mut body = Body::new();
+        body.declare("i", JType::Int);
+        body.stmts.extend([
+            Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
+            Stmt::Label(Label(0)),
+            Stmt::If {
+                op: CondOp::Ge,
+                a: Value::local("i"),
+                b: Some(Value::int(3)),
+                target: Label(1),
+            },
+            Stmt::Assign {
+                target: Target::Local("i".into()),
+                value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("i"), Value::int(1)),
+            },
+            Stmt::Goto(Label(0)),
+            Stmt::Label(Label(1)),
+            Stmt::Return(None),
+        ]);
+        class.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::STATIC,
+            name: "loop".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let cf = lower_class(&class);
+        let lifted = lift_class(&cf).expect("lift loop");
+        let body = lifted.find_method("loop").unwrap().body.as_ref().unwrap();
+        let gotos = body.stmts.iter().filter(|s| matches!(s, Stmt::Goto(_))).count();
+        let ifs = body.stmts.iter().filter(|s| matches!(s, Stmt::If { .. })).count();
+        assert_eq!(gotos, 1);
+        assert_eq!(ifs, 1);
+    }
+
+    #[test]
+    fn unsupported_opcode_reported() {
+        use classfuzz_classfile::attributes::CodeAttribute;
+        use classfuzz_classfile::MethodAccess;
+        let cf = ClassFile::builder("Bad")
+            .super_class("java/lang/Object")
+            .method(
+                MethodAccess::STATIC,
+                "m",
+                "()V",
+                CodeAttribute {
+                    max_stack: 1,
+                    max_locals: 0,
+                    instructions: vec![
+                        Instruction::Branch(Opcode::Jsr, 0),
+                        Instruction::Simple(Opcode::Return),
+                    ],
+                    exception_table: vec![],
+                    attributes: vec![],
+                },
+            )
+            .build();
+        assert!(matches!(
+            lift_class(&cf),
+            Err(LiftError::UnsupportedOpcode(Opcode::Jsr))
+        ));
+    }
+}

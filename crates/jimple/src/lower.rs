@@ -1,0 +1,976 @@
+//! Lowering: assemble an [`IrClass`] into a real classfile.
+//!
+//! Lowering is **total**: every IR class produces bytes, including IR that a
+//! JVM must reject. Opcode selection follows static types; when mutators have
+//! made the types inconsistent, the produced bytecode is inconsistent in
+//! exactly the same way Soot dumps inconsistent Jimple — which is the point.
+
+use std::collections::HashMap;
+
+use classfuzz_classfile::attributes::{Attribute, CodeAttribute, ExceptionTableEntry};
+use classfuzz_classfile::{
+    ClassFile, ConstIndex, ConstantPool, FieldInfo, Instruction, MethodInfo, Opcode,
+};
+
+use crate::class::{Body, IrClass, IrMethod};
+use crate::stmt::{BinOp, CondOp, Const, Expr, InvokeExpr, InvokeKind, Label, Stmt, Target, Value};
+use crate::types::JType;
+
+/// Lowers a whole IR class to a classfile.
+pub fn lower_class(class: &IrClass) -> ClassFile {
+    let mut cp = ConstantPool::new();
+    let this_class = cp.class(&class.name);
+    let super_class = match &class.super_class {
+        Some(name) => cp.class(name),
+        None => ConstIndex(0),
+    };
+    let interfaces: Vec<ConstIndex> = class.interfaces.iter().map(|i| cp.class(i)).collect();
+
+    let mut fields = Vec::with_capacity(class.fields.len());
+    for f in &class.fields {
+        let name = cp.utf8(&f.name);
+        let descriptor = cp.utf8(&f.ty.descriptor());
+        let mut attributes = Vec::new();
+        if let Some(cv) = &f.constant_value {
+            if let Some(idx) = const_value_index(&mut cp, cv) {
+                attributes.push(Attribute::ConstantValue(idx));
+            }
+        }
+        fields.push(FieldInfo { access: f.access, name, descriptor, attributes });
+    }
+
+    let mut methods = Vec::with_capacity(class.methods.len());
+    for m in &class.methods {
+        methods.push(lower_method(m, &mut cp));
+    }
+
+    ClassFile {
+        minor_version: 0,
+        major_version: class.major_version,
+        constant_pool: cp,
+        access: class.access,
+        this_class,
+        super_class,
+        interfaces,
+        fields,
+        methods,
+        attributes: Vec::new(),
+    }
+}
+
+fn const_value_index(cp: &mut ConstantPool, cv: &Const) -> Option<ConstIndex> {
+    Some(match cv {
+        Const::Int(v) => cp.integer(*v),
+        Const::Long(v) => cp.long(*v),
+        Const::Float(v) => cp.float(*v),
+        Const::Double(v) => cp.double(*v),
+        Const::Str(s) => cp.string(s),
+        Const::Null | Const::Class(_) => return None,
+    })
+}
+
+fn lower_method(method: &IrMethod, cp: &mut ConstantPool) -> MethodInfo {
+    let name = cp.utf8(&method.name);
+    let descriptor = cp.utf8(&method.descriptor());
+    let mut attributes = Vec::new();
+    if !method.exceptions.is_empty() {
+        let list = method.exceptions.iter().map(|e| cp.class(e)).collect();
+        attributes.push(Attribute::Exceptions(list));
+    }
+    if let Some(body) = &method.body {
+        attributes.push(Attribute::Code(lower_body(method, body, cp)));
+    }
+    MethodInfo { access: method.access, name, descriptor, attributes }
+}
+
+/// Per-method assembler state.
+struct Asm<'a> {
+    cp: &'a mut ConstantPool,
+    /// Emitted instructions; `Branch` targets and switch targets hold *label
+    /// ids* until `finish` patches them to code offsets.
+    insns: Vec<Instruction>,
+    /// Label id → index into `insns` of the first instruction after it.
+    label_at: HashMap<u32, usize>,
+    slots: HashMap<String, (u16, JType)>,
+    next_slot: u16,
+    depth: i32,
+    max_depth: i32,
+    is_static: bool,
+    params: Vec<JType>,
+    ret: Option<JType>,
+}
+
+fn lower_body(method: &IrMethod, body: &Body, cp: &mut ConstantPool) -> CodeAttribute {
+    let is_static = method
+        .access
+        .contains(classfuzz_classfile::MethodAccess::STATIC);
+    let mut asm = Asm {
+        cp,
+        insns: Vec::new(),
+        label_at: HashMap::new(),
+        slots: HashMap::new(),
+        next_slot: 0,
+        depth: 0,
+        max_depth: 0,
+        is_static,
+        params: method.params.clone(),
+        ret: method.ret.clone(),
+    };
+    if !is_static {
+        asm.next_slot = 1; // slot 0 = this
+    }
+    for p in &method.params {
+        asm.next_slot += p.slot_width();
+    }
+    for local in &body.locals {
+        let slot = asm.next_slot;
+        asm.next_slot += local.ty.slot_width();
+        asm.slots.insert(local.name.clone(), (slot, local.ty.clone()));
+    }
+    for stmt in &body.stmts {
+        asm.stmt(stmt);
+    }
+
+    // Two-pass label resolution: compute offsets, then patch targets.
+    let mut offsets = Vec::with_capacity(asm.insns.len() + 1);
+    let mut pc = 0u32;
+    for insn in &asm.insns {
+        offsets.push(pc);
+        pc += insn.encoded_len(pc);
+    }
+    offsets.push(pc); // offset just past the last instruction
+    let label_pc = |label_id: u32, label_at: &HashMap<u32, usize>| -> u32 {
+        match label_at.get(&label_id) {
+            Some(&idx) => offsets[idx],
+            None => 0, // dangling label (mutation artifact): branch to entry
+        }
+    };
+    for insn in &mut asm.insns {
+        match insn {
+            Instruction::Branch(_, target) => *target = label_pc(*target, &asm.label_at),
+            Instruction::TableSwitch(ts) => {
+                ts.default = label_pc(ts.default, &asm.label_at);
+                for t in &mut ts.targets {
+                    *t = label_pc(*t, &asm.label_at);
+                }
+            }
+            Instruction::LookupSwitch(ls) => {
+                ls.default = label_pc(ls.default, &asm.label_at);
+                for (_, t) in &mut ls.pairs {
+                    *t = label_pc(*t, &asm.label_at);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let exception_table = body
+        .catches
+        .iter()
+        .map(|c| ExceptionTableEntry {
+            start_pc: label_pc(c.start.0, &asm.label_at) as u16,
+            end_pc: label_pc(c.end.0, &asm.label_at) as u16,
+            handler_pc: label_pc(c.handler.0, &asm.label_at) as u16,
+            catch_type: match &c.exception {
+                Some(name) => asm.cp.class(name),
+                None => ConstIndex(0),
+            },
+        })
+        .collect();
+
+    CodeAttribute {
+        max_stack: asm.max_depth.max(0) as u16,
+        max_locals: asm.next_slot.max(if is_static { 0 } else { 1 }),
+        instructions: asm.insns,
+        exception_table,
+        attributes: Vec::new(),
+    }
+}
+
+impl Asm<'_> {
+    fn emit(&mut self, insn: Instruction) {
+        self.insns.push(insn);
+    }
+
+    fn push(&mut self, width: u16) {
+        self.depth += width as i32;
+        self.max_depth = self.max_depth.max(self.depth);
+    }
+
+    fn pop(&mut self, width: u16) {
+        self.depth -= width as i32;
+    }
+
+    /// Slot and declared type of a local; unknown names (dangling after a
+    /// mutation) get a fresh reference-typed slot so lowering stays total.
+    fn local(&mut self, name: &str) -> (u16, JType) {
+        if let Some((slot, ty)) = self.slots.get(name) {
+            return (*slot, ty.clone());
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        let ty = JType::jobject();
+        self.slots.insert(name.to_string(), (slot, ty.clone()));
+        (slot, ty)
+    }
+
+    fn param_slot(&self, n: u16) -> (u16, JType) {
+        let mut slot = if self.is_static { 0 } else { 1 };
+        for (i, p) in self.params.iter().enumerate() {
+            if i as u16 == n {
+                return (slot, p.clone());
+            }
+            slot += p.slot_width();
+        }
+        (slot, JType::jobject()) // out-of-range parameter reference
+    }
+
+    /// Pushes a value, returning its static type (`None` = null).
+    fn value(&mut self, v: &Value) -> Option<JType> {
+        match v {
+            Value::Local(name) => {
+                let (slot, ty) = self.local(name);
+                self.load_local(slot, &ty);
+                Some(ty)
+            }
+            Value::Const(c) => self.constant(c),
+        }
+    }
+
+    fn constant(&mut self, c: &Const) -> Option<JType> {
+        match c {
+            Const::Int(v) => {
+                let insn = match *v {
+                    -1 => Instruction::Simple(Opcode::IconstM1),
+                    0 => Instruction::Simple(Opcode::Iconst0),
+                    1 => Instruction::Simple(Opcode::Iconst1),
+                    2 => Instruction::Simple(Opcode::Iconst2),
+                    3 => Instruction::Simple(Opcode::Iconst3),
+                    4 => Instruction::Simple(Opcode::Iconst4),
+                    5 => Instruction::Simple(Opcode::Iconst5),
+                    v if (i8::MIN as i32..=i8::MAX as i32).contains(&v) => {
+                        Instruction::Bipush(v as i8)
+                    }
+                    v if (i16::MIN as i32..=i16::MAX as i32).contains(&v) => {
+                        Instruction::Sipush(v as i16)
+                    }
+                    v => {
+                        let idx = self.cp.integer(v);
+                        ldc_for(idx)
+                    }
+                };
+                self.emit(insn);
+                self.push(1);
+                Some(JType::Int)
+            }
+            Const::Long(v) => {
+                let insn = match *v {
+                    0 => Instruction::Simple(Opcode::Lconst0),
+                    1 => Instruction::Simple(Opcode::Lconst1),
+                    v => {
+                        let idx = self.cp.long(v);
+                        Instruction::Ldc2W(idx)
+                    }
+                };
+                self.emit(insn);
+                self.push(2);
+                Some(JType::Long)
+            }
+            Const::Float(v) => {
+                let insn = if v.to_bits() == 0.0f32.to_bits() {
+                    Instruction::Simple(Opcode::Fconst0)
+                } else if *v == 1.0 {
+                    Instruction::Simple(Opcode::Fconst1)
+                } else if *v == 2.0 {
+                    Instruction::Simple(Opcode::Fconst2)
+                } else {
+                    let idx = self.cp.float(*v);
+                    ldc_for(idx)
+                };
+                self.emit(insn);
+                self.push(1);
+                Some(JType::Float)
+            }
+            Const::Double(v) => {
+                let insn = if v.to_bits() == 0.0f64.to_bits() {
+                    Instruction::Simple(Opcode::Dconst0)
+                } else if *v == 1.0 {
+                    Instruction::Simple(Opcode::Dconst1)
+                } else {
+                    let idx = self.cp.double(*v);
+                    Instruction::Ldc2W(idx)
+                };
+                self.emit(insn);
+                self.push(2);
+                Some(JType::Double)
+            }
+            Const::Str(s) => {
+                let idx = self.cp.string(s);
+                self.emit(ldc_for(idx));
+                self.push(1);
+                Some(JType::string())
+            }
+            Const::Null => {
+                self.emit(Instruction::Simple(Opcode::AconstNull));
+                self.push(1);
+                None
+            }
+            Const::Class(name) => {
+                let idx = self.cp.class(name);
+                self.emit(ldc_for(idx));
+                self.push(1);
+                Some(JType::object("java/lang/Class"))
+            }
+        }
+    }
+
+    fn load_local(&mut self, slot: u16, ty: &JType) {
+        let op = match ty {
+            t if t.is_int_like() => Opcode::Iload,
+            JType::Long => Opcode::Lload,
+            JType::Float => Opcode::Fload,
+            JType::Double => Opcode::Dload,
+            _ => Opcode::Aload,
+        };
+        self.emit(Instruction::Local(op, slot));
+        self.push(ty.slot_width());
+    }
+
+    fn store_local(&mut self, slot: u16, ty: &JType) {
+        let op = match ty {
+            t if t.is_int_like() => Opcode::Istore,
+            JType::Long => Opcode::Lstore,
+            JType::Float => Opcode::Fstore,
+            JType::Double => Opcode::Dstore,
+            _ => Opcode::Astore,
+        };
+        self.emit(Instruction::Local(op, slot));
+        self.pop(ty.slot_width());
+    }
+
+    /// Emits an expression, returning the static type of the pushed value
+    /// (`None` for null; the *store* opcode follows this type).
+    fn expr(&mut self, e: &Expr) -> Option<JType> {
+        match e {
+            Expr::Use(v) => self.value(v),
+            Expr::BinOp(op, ty, a, b) => {
+                self.value(a);
+                self.value(b);
+                self.binop(*op, ty)
+            }
+            Expr::Neg(ty, v) => {
+                self.value(v);
+                let op = match ty {
+                    JType::Long => Opcode::Lneg,
+                    JType::Float => Opcode::Fneg,
+                    JType::Double => Opcode::Dneg,
+                    _ => Opcode::Ineg,
+                };
+                self.emit(Instruction::Simple(op));
+                Some(ty.clone())
+            }
+            Expr::Cast(ty, v) => {
+                let from = self.value(v);
+                self.cast(from.as_ref(), ty);
+                Some(ty.clone())
+            }
+            Expr::InstanceOf(class, v) => {
+                self.value(v);
+                let idx = self.cp.class(class);
+                self.emit(Instruction::InstanceOf(idx));
+                // pops a ref (1), pushes an int (1): net zero
+                Some(JType::Int)
+            }
+            Expr::New(class) => {
+                let idx = self.cp.class(class);
+                self.emit(Instruction::New(idx));
+                self.push(1);
+                Some(JType::object(class.clone()))
+            }
+            Expr::NewArray(elem, len) => {
+                self.value(len);
+                match elem.newarray_code() {
+                    Some(code) => self.emit(Instruction::NewArray(code)),
+                    None => {
+                        let name = match elem {
+                            JType::Object(n) => n.clone(),
+                            other => other.descriptor(),
+                        };
+                        let idx = self.cp.class(&name);
+                        self.emit(Instruction::ANewArray(idx));
+                    }
+                }
+                Some(JType::array(elem.clone()))
+            }
+            Expr::ArrayLen(v) => {
+                self.value(v);
+                self.emit(Instruction::Simple(Opcode::Arraylength));
+                Some(JType::Int)
+            }
+            Expr::ArrayLoad(elem, arr, idx) => {
+                self.value(arr);
+                self.value(idx);
+                let op = array_load_op(elem);
+                self.emit(Instruction::Simple(op));
+                self.pop(2);
+                self.push(elem.slot_width());
+                Some(elem.clone())
+            }
+            Expr::StaticField(class, name, ty) => {
+                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                self.emit(Instruction::Field(Opcode::Getstatic, idx));
+                self.push(ty.slot_width());
+                Some(ty.clone())
+            }
+            Expr::InstanceField(recv, class, name, ty) => {
+                self.value(recv);
+                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                self.emit(Instruction::Field(Opcode::Getfield, idx));
+                self.pop(1);
+                self.push(ty.slot_width());
+                Some(ty.clone())
+            }
+            Expr::Invoke(inv) => self.invoke(inv),
+            Expr::Param(n) => {
+                let (slot, ty) = self.param_slot(*n);
+                self.load_local(slot, &ty);
+                Some(ty)
+            }
+            Expr::This => {
+                self.emit(Instruction::Local(Opcode::Aload, 0));
+                self.push(1);
+                Some(JType::jobject())
+            }
+            Expr::CaughtException => {
+                // The exception object is already on the stack at handler
+                // entry; account for it without emitting code.
+                self.push(1);
+                Some(JType::object("java/lang/Throwable"))
+            }
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, ty: &JType) -> Option<JType> {
+        use BinOp::*;
+        use Opcode::*;
+        let (insn, result) = match (op, ty) {
+            (Cmp, JType::Long) => (Lcmp, JType::Int),
+            (Cmp, JType::Float) => (Fcmpl, JType::Int),
+            (Cmp, JType::Double) => (Dcmpl, JType::Int),
+            (Cmp, _) => (Isub, JType::Int),
+            (Add, JType::Long) => (Ladd, JType::Long),
+            (Add, JType::Float) => (Fadd, JType::Float),
+            (Add, JType::Double) => (Dadd, JType::Double),
+            (Add, _) => (Iadd, JType::Int),
+            (Sub, JType::Long) => (Lsub, JType::Long),
+            (Sub, JType::Float) => (Fsub, JType::Float),
+            (Sub, JType::Double) => (Dsub, JType::Double),
+            (Sub, _) => (Isub, JType::Int),
+            (Mul, JType::Long) => (Lmul, JType::Long),
+            (Mul, JType::Float) => (Fmul, JType::Float),
+            (Mul, JType::Double) => (Dmul, JType::Double),
+            (Mul, _) => (Imul, JType::Int),
+            (Div, JType::Long) => (Ldiv, JType::Long),
+            (Div, JType::Float) => (Fdiv, JType::Float),
+            (Div, JType::Double) => (Ddiv, JType::Double),
+            (Div, _) => (Idiv, JType::Int),
+            (Rem, JType::Long) => (Lrem, JType::Long),
+            (Rem, JType::Float) => (Frem, JType::Float),
+            (Rem, JType::Double) => (Drem, JType::Double),
+            (Rem, _) => (Irem, JType::Int),
+            (And, JType::Long) => (Land, JType::Long),
+            (And, _) => (Iand, JType::Int),
+            (Or, JType::Long) => (Lor, JType::Long),
+            (Or, _) => (Ior, JType::Int),
+            (Xor, JType::Long) => (Lxor, JType::Long),
+            (Xor, _) => (Ixor, JType::Int),
+            (Shl, JType::Long) => (Lshl, JType::Long),
+            (Shl, _) => (Ishl, JType::Int),
+            (Shr, JType::Long) => (Lshr, JType::Long),
+            (Shr, _) => (Ishr, JType::Int),
+            (Ushr, JType::Long) => (Lushr, JType::Long),
+            (Ushr, _) => (Iushr, JType::Int),
+        };
+        self.emit(Instruction::Simple(insn));
+        // Operand widths were pushed by `value`; net effect: two operands
+        // popped, one result pushed.
+        self.pop(2 * ty.slot_width());
+        self.push(result.slot_width());
+        Some(result)
+    }
+
+    fn cast(&mut self, from: Option<&JType>, to: &JType) {
+        if to.is_reference() {
+            let name = match to {
+                JType::Object(n) => n.clone(),
+                other => other.descriptor(),
+            };
+            let idx = self.cp.class(&name);
+            self.emit(Instruction::CheckCast(idx));
+            return;
+        }
+        let from = match from {
+            Some(f) if !f.is_reference() => f.clone(),
+            _ => return, // reference-to-primitive "cast": leave as-is
+        };
+        use Opcode::*;
+        let seq: &[Opcode] = match (&from, to) {
+            (f, t) if f == t => &[],
+            (f, JType::Long) if f.is_int_like() => &[I2l],
+            (f, JType::Float) if f.is_int_like() => &[I2f],
+            (f, JType::Double) if f.is_int_like() => &[I2d],
+            (f, JType::Byte) if f.is_int_like() => &[I2b],
+            (f, JType::Char) if f.is_int_like() => &[I2c],
+            (f, JType::Short) if f.is_int_like() => &[I2s],
+            (f, JType::Int) if f.is_int_like() => &[],
+            (f, JType::Boolean) if f.is_int_like() => &[],
+            (JType::Long, JType::Int) => &[L2i],
+            (JType::Long, JType::Float) => &[L2f],
+            (JType::Long, JType::Double) => &[L2d],
+            (JType::Long, t) if t.is_int_like() => &[L2i],
+            (JType::Float, JType::Int) => &[F2i],
+            (JType::Float, JType::Long) => &[F2l],
+            (JType::Float, JType::Double) => &[F2d],
+            (JType::Float, t) if t.is_int_like() => &[F2i],
+            (JType::Double, JType::Int) => &[D2i],
+            (JType::Double, JType::Long) => &[D2l],
+            (JType::Double, JType::Float) => &[D2f],
+            (JType::Double, t) if t.is_int_like() => &[D2i],
+            _ => &[],
+        };
+        for &op in seq {
+            self.emit(Instruction::Simple(op));
+        }
+        self.pop(from.slot_width());
+        self.push(to.slot_width());
+    }
+
+    fn invoke(&mut self, inv: &InvokeExpr) -> Option<JType> {
+        if let Some(recv) = &inv.receiver {
+            self.value(recv);
+        }
+        for arg in &inv.args {
+            self.value(arg);
+        }
+        let desc = inv.descriptor();
+        let arg_width: u16 = inv.params.iter().map(JType::slot_width).sum();
+        let recv_width: u16 = if inv.receiver.is_some() { 1 } else { 0 };
+        match inv.kind {
+            InvokeKind::Virtual => {
+                let idx = self.cp.method_ref(&inv.class, &inv.name, &desc);
+                self.emit(Instruction::Invoke(Opcode::Invokevirtual, idx));
+            }
+            InvokeKind::Special => {
+                let idx = self.cp.method_ref(&inv.class, &inv.name, &desc);
+                self.emit(Instruction::Invoke(Opcode::Invokespecial, idx));
+            }
+            InvokeKind::Static => {
+                let idx = self.cp.method_ref(&inv.class, &inv.name, &desc);
+                self.emit(Instruction::Invoke(Opcode::Invokestatic, idx));
+            }
+            InvokeKind::Interface => {
+                let idx = self.cp.interface_method_ref(&inv.class, &inv.name, &desc);
+                let count = (1 + arg_width) as u8;
+                self.emit(Instruction::InvokeInterface { index: idx, count });
+            }
+        }
+        self.pop(arg_width + recv_width);
+        if let Some(ret) = &inv.ret {
+            self.push(ret.slot_width());
+        }
+        inv.ret.clone()
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Assign { target, value } => self.assign(target, value),
+            Stmt::Invoke(inv) => {
+                let ret = self.invoke(inv);
+                if let Some(ty) = ret {
+                    let op = if ty.is_wide() { Opcode::Pop2 } else { Opcode::Pop };
+                    self.emit(Instruction::Simple(op));
+                    self.pop(ty.slot_width());
+                }
+            }
+            Stmt::Return(None) => {
+                self.emit(Instruction::Simple(Opcode::Return));
+            }
+            Stmt::Return(Some(v)) => {
+                let vty = self.value(v);
+                let ty = self.ret.clone().or(vty);
+                let op = match &ty {
+                    Some(t) if t.is_int_like() => Opcode::Ireturn,
+                    Some(JType::Long) => Opcode::Lreturn,
+                    Some(JType::Float) => Opcode::Freturn,
+                    Some(JType::Double) => Opcode::Dreturn,
+                    _ => Opcode::Areturn,
+                };
+                self.emit(Instruction::Simple(op));
+                self.pop(ty.map_or(1, |t| t.slot_width()));
+            }
+            Stmt::If { op, a, b, target } => self.branch_if(*op, a, b.as_ref(), *target),
+            Stmt::Goto(label) => {
+                self.emit(Instruction::Branch(Opcode::Goto, label.0));
+            }
+            Stmt::Label(label) => {
+                self.label_at.insert(label.0, self.insns.len());
+            }
+            Stmt::Throw(v) => {
+                self.value(v);
+                self.emit(Instruction::Simple(Opcode::Athrow));
+                self.pop(1);
+            }
+            Stmt::Nop => self.emit(Instruction::Simple(Opcode::Nop)),
+            Stmt::EnterMonitor(v) => {
+                self.value(v);
+                self.emit(Instruction::Simple(Opcode::Monitorenter));
+                self.pop(1);
+            }
+            Stmt::ExitMonitor(v) => {
+                self.value(v);
+                self.emit(Instruction::Simple(Opcode::Monitorexit));
+                self.pop(1);
+            }
+            Stmt::Switch { key, cases, default } => {
+                self.value(key);
+                let mut pairs: Vec<(i32, u32)> =
+                    cases.iter().map(|(k, l)| (*k, l.0)).collect();
+                pairs.sort_by_key(|(k, _)| *k);
+                self.emit(Instruction::LookupSwitch(
+                    classfuzz_classfile::LookupSwitch { default: default.0, pairs },
+                ));
+                self.pop(1);
+            }
+        }
+    }
+
+    fn assign(&mut self, target: &Target, value: &Expr) {
+        match target {
+            Target::Local(name) => {
+                let ty = self.expr(value);
+                // Stores follow the *assigned value's* type; a later load
+                // follows the declared type. Type-mutated locals thus become
+                // verifier bait, mirroring the paper's Table 2 example.
+                let store_ty = ty.unwrap_or_else(JType::jobject);
+                let (slot, _) = self.local(name);
+                self.store_local(slot, &store_ty);
+            }
+            Target::StaticField(class, name, ty) => {
+                let vty = self.expr(value);
+                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                self.emit(Instruction::Field(Opcode::Putstatic, idx));
+                self.pop(vty.map_or(1, |t| t.slot_width()));
+            }
+            Target::InstanceField(recv, class, name, ty) => {
+                self.value(recv);
+                let vty = self.expr(value);
+                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                self.emit(Instruction::Field(Opcode::Putfield, idx));
+                self.pop(1 + vty.map_or(1, |t| t.slot_width()));
+            }
+            Target::ArrayElem(elem, arr, idx) => {
+                self.value(arr);
+                self.value(idx);
+                self.expr(value);
+                let op = array_store_op(elem);
+                self.emit(Instruction::Simple(op));
+                self.pop(2 + elem.slot_width());
+            }
+        }
+    }
+
+    fn branch_if(&mut self, op: CondOp, a: &Value, b: Option<&Value>, target: Label) {
+        let aty = self.value(a);
+        let a_is_ref = aty.as_ref().is_none_or(JType::is_reference);
+        match b {
+            None => {
+                let insn = if a_is_ref {
+                    match op {
+                        CondOp::Ne => Opcode::Ifnonnull,
+                        _ => Opcode::Ifnull,
+                    }
+                } else if aty.as_ref().is_some_and(|t| t.is_wide() || *t == JType::Float) {
+                    // Compare wide/float against zero: emit the cmp first.
+                    let zero_ty = aty.clone().unwrap_or(JType::Long);
+                    match zero_ty {
+                        JType::Long => {
+                            self.constant(&Const::Long(0));
+                            self.emit(Instruction::Simple(Opcode::Lcmp));
+                            self.pop(4);
+                            self.push(1);
+                        }
+                        JType::Float => {
+                            self.constant(&Const::Float(0.0));
+                            self.emit(Instruction::Simple(Opcode::Fcmpl));
+                            self.pop(2);
+                            self.push(1);
+                        }
+                        _ => {
+                            self.constant(&Const::Double(0.0));
+                            self.emit(Instruction::Simple(Opcode::Dcmpl));
+                            self.pop(4);
+                            self.push(1);
+                        }
+                    }
+                    zero_if_op(op)
+                } else {
+                    zero_if_op(op)
+                };
+                self.emit(Instruction::Branch(insn, target.0));
+                self.pop(1);
+            }
+            Some(b) => {
+                let bty = self.value(b);
+                let refs = a_is_ref && bty.as_ref().is_none_or(JType::is_reference);
+                let wide = aty.as_ref().is_some_and(|t| t.is_wide())
+                    || matches!(aty, Some(JType::Float));
+                if wide {
+                    let cmp = match aty {
+                        Some(JType::Long) => Opcode::Lcmp,
+                        Some(JType::Float) => Opcode::Fcmpl,
+                        _ => Opcode::Dcmpl,
+                    };
+                    let w = aty.as_ref().map_or(2, |t| t.slot_width());
+                    self.emit(Instruction::Simple(cmp));
+                    self.pop(2 * w);
+                    self.push(1);
+                    self.emit(Instruction::Branch(zero_if_op(op), target.0));
+                    self.pop(1);
+                } else {
+                    let insn = if refs {
+                        match op {
+                            CondOp::Ne => Opcode::IfAcmpne,
+                            _ => Opcode::IfAcmpeq,
+                        }
+                    } else {
+                        match op {
+                            CondOp::Eq => Opcode::IfIcmpeq,
+                            CondOp::Ne => Opcode::IfIcmpne,
+                            CondOp::Lt => Opcode::IfIcmplt,
+                            CondOp::Ge => Opcode::IfIcmpge,
+                            CondOp::Gt => Opcode::IfIcmpgt,
+                            CondOp::Le => Opcode::IfIcmple,
+                        }
+                    };
+                    self.emit(Instruction::Branch(insn, target.0));
+                    self.pop(2);
+                }
+            }
+        }
+    }
+}
+
+fn zero_if_op(op: CondOp) -> Opcode {
+    match op {
+        CondOp::Eq => Opcode::Ifeq,
+        CondOp::Ne => Opcode::Ifne,
+        CondOp::Lt => Opcode::Iflt,
+        CondOp::Ge => Opcode::Ifge,
+        CondOp::Gt => Opcode::Ifgt,
+        CondOp::Le => Opcode::Ifle,
+    }
+}
+
+fn ldc_for(idx: ConstIndex) -> Instruction {
+    if idx.0 > 0xff {
+        Instruction::LdcW(idx)
+    } else {
+        Instruction::Ldc(idx)
+    }
+}
+
+fn array_load_op(elem: &JType) -> Opcode {
+    match elem {
+        JType::Boolean | JType::Byte => Opcode::Baload,
+        JType::Char => Opcode::Caload,
+        JType::Short => Opcode::Saload,
+        JType::Int => Opcode::Iaload,
+        JType::Long => Opcode::Laload,
+        JType::Float => Opcode::Faload,
+        JType::Double => Opcode::Daload,
+        _ => Opcode::Aaload,
+    }
+}
+
+fn array_store_op(elem: &JType) -> Opcode {
+    match elem {
+        JType::Boolean | JType::Byte => Opcode::Bastore,
+        JType::Char => Opcode::Castore,
+        JType::Short => Opcode::Sastore,
+        JType::Int => Opcode::Iastore,
+        JType::Long => Opcode::Lastore,
+        JType::Float => Opcode::Fastore,
+        JType::Double => Opcode::Dastore,
+        _ => Opcode::Aastore,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{IrField, LocalDecl};
+    use classfuzz_classfile::{FieldAccess, MethodAccess};
+
+    #[test]
+    fn hello_main_lowering_matches_figure_2_shape() {
+        let class = IrClass::with_hello_main("M1436188543", "Completed!");
+        let cf = lower_class(&class);
+        let m = cf.find_method("main", "([Ljava/lang/String;)V").unwrap();
+        let code = m.code().unwrap();
+        assert_eq!(code.max_stack, 2);
+        // static main with one param + one declared local
+        assert_eq!(code.max_locals, 2);
+        let ops: Vec<Opcode> = code.instructions.iter().map(|i| i.opcode()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Opcode::Getstatic,
+                Opcode::Astore,
+                Opcode::Aload,
+                Opcode::Ldc,
+                Opcode::Invokevirtual,
+                Opcode::Return
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_resolve_to_offsets() {
+        let mut class = IrClass::new("Loop");
+        let mut body = Body::new();
+        body.declare("i", JType::Int);
+        let top = Label(0);
+        let done = Label(1);
+        body.stmts.extend([
+            Stmt::Assign {
+                target: Target::Local("i".into()),
+                value: Expr::Use(Value::int(0)),
+            },
+            Stmt::Label(top),
+            Stmt::If { op: CondOp::Ge, a: Value::local("i"), b: Some(Value::int(10)), target: done },
+            Stmt::Assign {
+                target: Target::Local("i".into()),
+                value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("i"), Value::int(1)),
+            },
+            Stmt::Goto(top),
+            Stmt::Label(done),
+            Stmt::Return(None),
+        ]);
+        class.methods.push(IrMethod {
+            access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+            name: "run".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let cf = lower_class(&class);
+        let code = cf.find_method("run", "()V").unwrap().code().unwrap();
+        // Re-encode and re-decode to prove branch targets are valid offsets.
+        let bytes = classfuzz_classfile::instruction::encode_code(&code.instructions);
+        let decoded = classfuzz_classfile::instruction::decode_code(&bytes).unwrap();
+        let starts: Vec<u32> = decoded.iter().map(|(pc, _)| *pc).collect();
+        for (_, insn) in &decoded {
+            if let Instruction::Branch(_, t) = insn {
+                assert!(starts.contains(t), "branch target {t} not an instruction start");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_constants_use_ldc2w() {
+        let mut class = IrClass::new("Wide");
+        let mut body = Body::new();
+        body.declare("x", JType::Long);
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::Use(Value::Const(Const::Long(1_000_000_007))),
+        });
+        body.stmts.push(Stmt::Return(None));
+        class.methods.push(IrMethod {
+            access: MethodAccess::STATIC,
+            name: "go".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let cf = lower_class(&class);
+        let code = cf.find_method("go", "()V").unwrap().code().unwrap();
+        assert_eq!(code.instructions[0].opcode(), Opcode::Ldc2W);
+        assert_eq!(code.max_stack, 2);
+    }
+
+    #[test]
+    fn constant_value_attribute_for_static_final() {
+        let mut class = IrClass::new("Consts");
+        class.fields.push(IrField {
+            access: FieldAccess::PUBLIC | FieldAccess::STATIC | FieldAccess::FINAL,
+            name: "N".into(),
+            ty: JType::Int,
+            constant_value: Some(Const::Int(42)),
+        });
+        let cf = lower_class(&class);
+        let f = cf.find_field("N").unwrap();
+        assert!(f
+            .attributes
+            .iter()
+            .any(|a| matches!(a, Attribute::ConstantValue(_))));
+    }
+
+    #[test]
+    fn throws_clause_lowered_to_exceptions_attribute() {
+        let mut class = IrClass::new("Thrower");
+        class.methods.push(IrMethod {
+            access: MethodAccess::PUBLIC,
+            name: "m".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec!["java/io/IOException".into()],
+            body: None,
+        });
+        let cf = lower_class(&class);
+        let m = cf.find_method("m", "()V").unwrap();
+        assert_eq!(m.declared_exceptions().len(), 1);
+        assert_eq!(
+            cf.constant_pool.class_name(m.declared_exceptions()[0]).as_deref(),
+            Some("java/io/IOException")
+        );
+    }
+
+    #[test]
+    fn bytes_roundtrip_through_reader() {
+        let class = IrClass::with_hello_main("RT", "ok");
+        let cf = lower_class(&class);
+        let bytes = cf.to_bytes();
+        let parsed = ClassFile::from_bytes(&bytes).unwrap();
+        // Serialization interns attribute-name Utf8s, so compare re-encoded
+        // bytes (a fixpoint) rather than the in-memory structures.
+        assert_eq!(parsed.to_bytes(), bytes);
+        assert_eq!(parsed.methods.len(), cf.methods.len());
+        assert_eq!(parsed.this_class_name(), cf.this_class_name());
+    }
+
+    #[test]
+    fn undeclared_local_gets_fresh_slot() {
+        let mut class = IrClass::new("Dangling");
+        let mut body = Body::new();
+        body.locals.push(LocalDecl { name: "a".into(), ty: JType::Int });
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("ghost".into()),
+            value: Expr::Use(Value::int(1)),
+        });
+        body.stmts.push(Stmt::Return(None));
+        class.methods.push(IrMethod {
+            access: MethodAccess::STATIC,
+            name: "go".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let cf = lower_class(&class);
+        let code = cf.find_method("go", "()V").unwrap().code().unwrap();
+        assert!(code.max_locals >= 2);
+    }
+}

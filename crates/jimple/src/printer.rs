@@ -1,0 +1,218 @@
+//! Jimple-style textual rendering of IR classes — the notation used in the
+//! paper's Table 2 examples.
+
+use std::fmt::Write as _;
+
+use crate::class::{IrClass, IrMethod};
+use crate::stmt::{Expr, InvokeExpr, InvokeKind, Stmt, Target};
+
+/// Renders a whole class in Jimple-like syntax.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_jimple::{printer, IrClass};
+///
+/// let class = IrClass::with_hello_main("M1437185190", "Executed");
+/// let text = printer::print_class(&class);
+/// assert!(text.contains("class M1437185190 extends java.lang.Object"));
+/// assert!(text.contains("virtualinvoke"));
+/// ```
+pub fn print_class(class: &IrClass) -> String {
+    let mut out = String::new();
+    let mut keywords = class.access.keywords();
+    if class.is_interface() {
+        // `interface` is printed as the declaration head; `abstract` is
+        // implied for interfaces.
+        keywords.retain(|k| *k != "interface" && *k != "abstract");
+    }
+    let kws = keywords.join(" ");
+    let head = if class.is_interface() { "interface " } else { "class " };
+    let _ = write!(out, "{kws}{}{head}{}", if kws.is_empty() { "" } else { " " }, dotty(&class.name));
+    if let Some(sup) = &class.super_class {
+        let _ = write!(out, " extends {}", dotty(sup));
+    }
+    if !class.interfaces.is_empty() {
+        let names: Vec<String> = class.interfaces.iter().map(|i| dotty(i)).collect();
+        let _ = write!(out, " implements {}", names.join(", "));
+    }
+    let _ = writeln!(out, " {{");
+    for f in &class.fields {
+        let kws = f.access.keywords().join(" ");
+        let sep = if kws.is_empty() { "" } else { " " };
+        let _ = writeln!(out, "  {kws}{sep}{} {};", f.ty.to_java(), f.name);
+    }
+    for m in &class.methods {
+        let _ = writeln!(out, "{}", print_method(m));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders one method.
+pub fn print_method(method: &IrMethod) -> String {
+    let mut out = String::new();
+    let kws = method.access.keywords().join(" ");
+    let sep = if kws.is_empty() { "" } else { " " };
+    let ret = method.ret.as_ref().map(|t| t.to_java()).unwrap_or_else(|| "void".into());
+    let params: Vec<String> = method.params.iter().map(|p| p.to_java()).collect();
+    let _ = write!(out, "  {kws}{sep}{ret} {}({})", method.name, params.join(", "));
+    if !method.exceptions.is_empty() {
+        let names: Vec<String> = method.exceptions.iter().map(|e| dotty(e)).collect();
+        let _ = write!(out, " throws {}", names.join(", "));
+    }
+    match &method.body {
+        None => {
+            let _ = write!(out, ";");
+        }
+        Some(body) => {
+            let _ = writeln!(out, " {{");
+            for l in &body.locals {
+                let _ = writeln!(out, "    {} {};", l.ty.to_java(), l.name);
+            }
+            for s in &body.stmts {
+                match s {
+                    Stmt::Label(l) => {
+                        let _ = writeln!(out, "   {l}:");
+                    }
+                    other => {
+                        let _ = writeln!(out, "    {};", print_stmt(other));
+                    }
+                }
+            }
+            let _ = write!(out, "  }}");
+        }
+    }
+    out
+}
+
+fn dotty(binary_name: &str) -> String {
+    binary_name.replace('/', ".")
+}
+
+fn print_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            let is_identity =
+                matches!(value, Expr::Param(_) | Expr::This | Expr::CaughtException);
+            let eq = if is_identity { ":=" } else { "=" };
+            format!("{} {eq} {}", print_target(target), print_expr(value))
+        }
+        Stmt::Invoke(inv) => print_invoke(inv),
+        Stmt::Return(None) => "return".to_string(),
+        Stmt::Return(Some(v)) => format!("return {v}"),
+        Stmt::If { op, a, b, target } => match b {
+            Some(b) => format!("if {a} {} {b} goto {target}", op.symbol()),
+            None => format!("if {a} {} 0 goto {target}", op.symbol()),
+        },
+        Stmt::Goto(l) => format!("goto {l}"),
+        Stmt::Label(l) => format!("{l}:"),
+        Stmt::Throw(v) => format!("throw {v}"),
+        Stmt::Nop => "nop".to_string(),
+        Stmt::EnterMonitor(v) => format!("entermonitor {v}"),
+        Stmt::ExitMonitor(v) => format!("exitmonitor {v}"),
+        Stmt::Switch { key, cases, default } => {
+            let arms: Vec<String> =
+                cases.iter().map(|(k, l)| format!("case {k}: goto {l}")).collect();
+            format!("switch({key}) {{ {}; default: goto {default} }}", arms.join("; "))
+        }
+    }
+}
+
+fn print_target(target: &Target) -> String {
+    match target {
+        Target::Local(n) => n.clone(),
+        Target::StaticField(c, n, ty) => format!("<{}: {} {n}>", dotty(c), ty.to_java()),
+        Target::InstanceField(r, c, n, ty) => {
+            format!("{r}.<{}: {} {n}>", dotty(c), ty.to_java())
+        }
+        Target::ArrayElem(_, a, i) => format!("{a}[{i}]"),
+    }
+}
+
+fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Use(v) => v.to_string(),
+        Expr::BinOp(op, _, a, b) => format!("{a} {op:?} {b}").to_lowercase(),
+        Expr::Neg(_, v) => format!("neg {v}"),
+        Expr::Cast(ty, v) => format!("({}) {v}", ty.to_java()),
+        Expr::InstanceOf(c, v) => format!("{v} instanceof {}", dotty(c)),
+        Expr::New(c) => format!("new {}", dotty(c)),
+        Expr::NewArray(ty, len) => format!("newarray ({})[{len}]", ty.to_java()),
+        Expr::ArrayLen(v) => format!("lengthof {v}"),
+        Expr::ArrayLoad(_, a, i) => format!("{a}[{i}]"),
+        Expr::StaticField(c, n, ty) => format!("<{}: {} {n}>", dotty(c), ty.to_java()),
+        Expr::InstanceField(r, c, n, ty) => {
+            format!("{r}.<{}: {} {n}>", dotty(c), ty.to_java())
+        }
+        Expr::Invoke(inv) => print_invoke(inv),
+        Expr::Param(n) => format!("@parameter{n}"),
+        Expr::This => "@this".to_string(),
+        Expr::CaughtException => "@caughtexception".to_string(),
+    }
+}
+
+fn print_invoke(inv: &InvokeExpr) -> String {
+    let kind = match inv.kind {
+        InvokeKind::Virtual => "virtualinvoke",
+        InvokeKind::Special => "specialinvoke",
+        InvokeKind::Static => "staticinvoke",
+        InvokeKind::Interface => "interfaceinvoke",
+    };
+    let ret = inv.ret.as_ref().map(|t| t.to_java()).unwrap_or_else(|| "void".into());
+    let params: Vec<String> = inv.params.iter().map(|p| p.to_java()).collect();
+    let args: Vec<String> = inv.args.iter().map(|a| a.to_string()).collect();
+    let sig = format!("<{}: {ret} {}({})>", dotty(&inv.class), inv.name, params.join(","));
+    match &inv.receiver {
+        Some(r) => format!("{kind} {r}.{sig}({})", args.join(", ")),
+        None => format!("{kind} {sig}({})", args.join(", ")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::JType;
+    use classfuzz_classfile::{ClassAccess, FieldAccess};
+
+    #[test]
+    fn paper_table2_style_rendering() {
+        let mut class = IrClass::with_hello_main("M1437185190", "Executed");
+        class.interfaces.push("java/security/PrivilegedAction".into());
+        class.fields.push(crate::class::IrField {
+            access: FieldAccess::PROTECTED | FieldAccess::FINAL,
+            name: "MAP".into(),
+            ty: JType::object("java/util/Map"),
+            constant_value: None,
+        });
+        let text = print_class(&class);
+        assert!(text.contains("implements java.security.PrivilegedAction"));
+        assert!(text.contains("protected final java.util.Map MAP;"));
+        assert!(text.contains(
+            "virtualinvoke r1.<java.io.PrintStream: void println(java.lang.String)>(\"Executed\")"
+        ));
+    }
+
+    #[test]
+    fn interface_rendering() {
+        let mut c = IrClass::new("I");
+        c.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+        let text = print_class(&c);
+        assert!(text.contains("public interface I"));
+    }
+
+    #[test]
+    fn identity_statements_use_walrus() {
+        let m = crate::builder::MethodBuilder::new(
+            "m",
+            classfuzz_classfile::MethodAccess::PUBLIC,
+        )
+        .param(JType::Int)
+        .local("x", JType::Int)
+        .bind_param("x", 0)
+        .ret()
+        .build();
+        let text = print_method(&m);
+        assert!(text.contains("x := @parameter0"));
+    }
+}

@@ -1,0 +1,332 @@
+//! The IR statement and expression language (Jimple-like three-address form).
+
+use std::fmt;
+
+use crate::types::JType;
+
+/// A branch label. Labels are scoped to one method body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "label{}", self.0)
+    }
+}
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// An `int`-like constant (also used for boolean/byte/char/short).
+    Int(i32),
+    /// A `long` constant.
+    Long(i64),
+    /// A `float` constant.
+    Float(f32),
+    /// A `double` constant.
+    Double(f64),
+    /// A `String` literal.
+    Str(String),
+    /// The `null` reference.
+    Null,
+    /// A class literal (`Foo.class`), by binary name.
+    Class(String),
+}
+
+impl Const {
+    /// The static type of the constant; `None` for `null` (untyped).
+    pub fn jtype(&self) -> Option<JType> {
+        Some(match self {
+            Const::Int(_) => JType::Int,
+            Const::Long(_) => JType::Long,
+            Const::Float(_) => JType::Float,
+            Const::Double(_) => JType::Double,
+            Const::Str(_) => JType::string(),
+            Const::Null => return None,
+            Const::Class(_) => JType::object("java/lang/Class"),
+        })
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(v) => write!(f, "{v}"),
+            Const::Long(v) => write!(f, "{v}L"),
+            Const::Float(v) => write!(f, "{v}F"),
+            Const::Double(v) => write!(f, "{v}"),
+            Const::Str(s) => write!(f, "{s:?}"),
+            Const::Null => write!(f, "null"),
+            Const::Class(c) => write!(f, "class \"{c}\""),
+        }
+    }
+}
+
+/// A simple value: a local variable or a constant. Values are the atoms of
+/// the three-address form; composite computation lives in [`Expr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A named local variable.
+    Local(String),
+    /// A literal constant.
+    Const(Const),
+}
+
+impl Value {
+    /// Convenience constructor for a local reference.
+    pub fn local(name: impl Into<String>) -> Self {
+        Value::Local(name.into())
+    }
+
+    /// Convenience constructor for an `int` constant.
+    pub fn int(v: i32) -> Self {
+        Value::Const(Const::Int(v))
+    }
+
+    /// Convenience constructor for a string constant.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Const(Const::Str(s.into()))
+    }
+
+    /// The `null` constant.
+    pub fn null() -> Self {
+        Value::Const(Const::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Local(n) => write!(f, "{n}"),
+            Value::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary operators over stack values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // arithmetic/bitwise names are self-describing
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Ushr,
+    /// `lcmp`/`fcmpl`/`dcmpl`-style three-way comparison producing an int.
+    Cmp,
+}
+
+/// Comparison operators for [`Stmt::If`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CondOp {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Gt,
+    Le,
+}
+
+impl CondOp {
+    /// The operator's source spelling (`==`, `!=`, …).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CondOp::Eq => "==",
+            CondOp::Ne => "!=",
+            CondOp::Lt => "<",
+            CondOp::Ge => ">=",
+            CondOp::Gt => ">",
+            CondOp::Le => "<=",
+        }
+    }
+}
+
+/// The dispatch kind of a method invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// `invokevirtual`.
+    Virtual,
+    /// `invokespecial` (constructors, private, super calls).
+    Special,
+    /// `invokestatic`.
+    Static,
+    /// `invokeinterface`.
+    Interface,
+}
+
+/// A symbolic method invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvokeExpr {
+    /// Dispatch kind.
+    pub kind: InvokeKind,
+    /// Binary name of the declaring class.
+    pub class: String,
+    /// Method name.
+    pub name: String,
+    /// Declared parameter types.
+    pub params: Vec<JType>,
+    /// Declared return type (`None` = void).
+    pub ret: Option<JType>,
+    /// Receiver value; `None` for static calls.
+    pub receiver: Option<Value>,
+    /// Argument values, matching `params` positionally.
+    pub args: Vec<Value>,
+}
+
+impl InvokeExpr {
+    /// The method descriptor text of the callee.
+    pub fn descriptor(&self) -> String {
+        crate::types::method_descriptor(&self.params, self.ret.as_ref())
+    }
+}
+
+/// A computed value: the right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A bare value (local or constant).
+    Use(Value),
+    /// Binary arithmetic on two values of type `ty`.
+    BinOp(BinOp, JType, Value, Value),
+    /// Arithmetic negation.
+    Neg(JType, Value),
+    /// Reference cast (`checkcast`) or primitive conversion.
+    Cast(JType, Value),
+    /// `instanceof` test against a class.
+    InstanceOf(String, Value),
+    /// Allocation of a class instance (uninitialized until `<init>`).
+    New(String),
+    /// Allocation of a one-dimensional array with the given length.
+    NewArray(JType, Value),
+    /// `arraylength`.
+    ArrayLen(Value),
+    /// `array[index]` load; `ty` is the element type.
+    ArrayLoad(JType, Value, Value),
+    /// Read of a static field `class.name : ty`.
+    StaticField(String, String, JType),
+    /// Read of an instance field `receiver.name : ty` declared in `class`.
+    InstanceField(Value, String, String, JType),
+    /// A method invocation used for its result.
+    Invoke(InvokeExpr),
+    /// The n-th method parameter (identity statement RHS).
+    Param(u16),
+    /// The receiver (`@this`) of an instance method.
+    This,
+    /// The exception object at a handler entry (`@caughtexception`).
+    CaughtException,
+}
+
+/// The left-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A local variable.
+    Local(String),
+    /// A static field `class.name : ty`.
+    StaticField(String, String, JType),
+    /// An instance field of `receiver`.
+    InstanceField(Value, String, String, JType),
+    /// An array element `array[index]`; the element type guides the opcode.
+    ArrayElem(JType, Value, Value),
+}
+
+/// One IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target = expr`.
+    Assign {
+        /// Where the value goes.
+        target: Target,
+        /// The computed value.
+        value: Expr,
+    },
+    /// An invocation evaluated for effect only.
+    Invoke(InvokeExpr),
+    /// `return` or `return v`.
+    Return(Option<Value>),
+    /// Conditional branch: `if a <op> b goto target` (b omitted compares
+    /// against zero/null).
+    If {
+        /// Comparison operator.
+        op: CondOp,
+        /// Left operand.
+        a: Value,
+        /// Right operand; `None` compares `a` against zero (int) or null
+        /// (reference).
+        b: Option<Value>,
+        /// Branch target label.
+        target: Label,
+    },
+    /// Unconditional jump.
+    Goto(Label),
+    /// A jump target marker.
+    Label(Label),
+    /// `throw v`.
+    Throw(Value),
+    /// `nop`.
+    Nop,
+    /// `monitorenter`.
+    EnterMonitor(Value),
+    /// `monitorexit`.
+    ExitMonitor(Value),
+    /// `switch (key)` with match/target pairs and a default label
+    /// (lowered to `lookupswitch`/`tableswitch`).
+    Switch {
+        /// The switched value (int-like).
+        key: Value,
+        /// `(match, label)` pairs.
+        cases: Vec<(i32, Label)>,
+        /// Default label.
+        default: Label,
+    },
+}
+
+impl Stmt {
+    /// Returns `true` when control cannot fall through this statement.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Return(_) | Stmt::Goto(_) | Stmt::Throw(_) | Stmt::Switch { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_descriptor() {
+        let inv = InvokeExpr {
+            kind: InvokeKind::Virtual,
+            class: "java/io/PrintStream".into(),
+            name: "println".into(),
+            params: vec![JType::string()],
+            ret: None,
+            receiver: Some(Value::local("r1")),
+            args: vec![Value::str("hi")],
+        };
+        assert_eq!(inv.descriptor(), "(Ljava/lang/String;)V");
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Stmt::Return(None).is_terminator());
+        assert!(Stmt::Goto(Label(0)).is_terminator());
+        assert!(Stmt::Throw(Value::null()).is_terminator());
+        assert!(!Stmt::Nop.is_terminator());
+        assert!(!Stmt::Label(Label(0)).is_terminator());
+    }
+
+    #[test]
+    fn const_types() {
+        assert_eq!(Const::Int(1).jtype(), Some(JType::Int));
+        assert_eq!(Const::Null.jtype(), None);
+        assert_eq!(Const::Str("x".into()).jtype(), Some(JType::string()));
+    }
+}

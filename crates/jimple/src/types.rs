@@ -1,0 +1,195 @@
+//! IR-level Java types and their mapping to classfile descriptors.
+
+use std::fmt;
+
+use classfuzz_classfile::FieldType;
+
+/// A Java value type as seen by the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JType {
+    /// `boolean`.
+    Boolean,
+    /// `byte`.
+    Byte,
+    /// `char`.
+    Char,
+    /// `short`.
+    Short,
+    /// `int`.
+    Int,
+    /// `long`.
+    Long,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// A class or interface reference, by binary name.
+    Object(String),
+    /// An array of the component type.
+    Array(Box<JType>),
+}
+
+impl JType {
+    /// Convenience constructor for an object type.
+    pub fn object(name: impl Into<String>) -> Self {
+        JType::Object(name.into())
+    }
+
+    /// Convenience constructor for an array of `component`.
+    pub fn array(component: JType) -> Self {
+        JType::Array(Box::new(component))
+    }
+
+    /// The ubiquitous `java/lang/String` object type.
+    pub fn string() -> Self {
+        JType::object("java/lang/String")
+    }
+
+    /// The root `java/lang/Object` type.
+    pub fn jobject() -> Self {
+        JType::object("java/lang/Object")
+    }
+
+    /// Returns `true` for `long` and `double` (two stack/local slots).
+    pub fn is_wide(&self) -> bool {
+        matches!(self, JType::Long | JType::Double)
+    }
+
+    /// Returns `true` for object and array types.
+    pub fn is_reference(&self) -> bool {
+        matches!(self, JType::Object(_) | JType::Array(_))
+    }
+
+    /// Returns `true` for the types the JVM models as `int` on the stack.
+    pub fn is_int_like(&self) -> bool {
+        matches!(
+            self,
+            JType::Boolean | JType::Byte | JType::Char | JType::Short | JType::Int
+        )
+    }
+
+    /// Slot width (1 or 2).
+    pub fn slot_width(&self) -> u16 {
+        if self.is_wide() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Converts to the classfile descriptor type.
+    pub fn to_field_type(&self) -> FieldType {
+        match self {
+            JType::Boolean => FieldType::Boolean,
+            JType::Byte => FieldType::Byte,
+            JType::Char => FieldType::Char,
+            JType::Short => FieldType::Short,
+            JType::Int => FieldType::Int,
+            JType::Long => FieldType::Long,
+            JType::Float => FieldType::Float,
+            JType::Double => FieldType::Double,
+            JType::Object(name) => FieldType::Object(name.clone()),
+            JType::Array(c) => FieldType::Array(Box::new(c.to_field_type())),
+        }
+    }
+
+    /// Converts from the classfile descriptor type.
+    pub fn from_field_type(ft: &FieldType) -> Self {
+        match ft {
+            FieldType::Boolean => JType::Boolean,
+            FieldType::Byte => JType::Byte,
+            FieldType::Char => JType::Char,
+            FieldType::Short => JType::Short,
+            FieldType::Int => JType::Int,
+            FieldType::Long => JType::Long,
+            FieldType::Float => JType::Float,
+            FieldType::Double => JType::Double,
+            FieldType::Object(name) => JType::Object(name.clone()),
+            FieldType::Array(c) => JType::Array(Box::new(JType::from_field_type(c))),
+        }
+    }
+
+    /// The descriptor text of this type.
+    pub fn descriptor(&self) -> String {
+        self.to_field_type().to_descriptor()
+    }
+
+    /// The Java-source spelling of this type.
+    pub fn to_java(&self) -> String {
+        self.to_field_type().to_java()
+    }
+
+    /// The `newarray` primitive array-type code (JVMS table 6.5), if this is
+    /// a primitive type.
+    pub fn newarray_code(&self) -> Option<u8> {
+        Some(match self {
+            JType::Boolean => 4,
+            JType::Char => 5,
+            JType::Float => 6,
+            JType::Double => 7,
+            JType::Byte => 8,
+            JType::Short => 9,
+            JType::Int => 10,
+            JType::Long => 11,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for JType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_java())
+    }
+}
+
+/// Builds a method descriptor string from IR parameter and return types.
+pub fn method_descriptor(params: &[JType], ret: Option<&JType>) -> String {
+    let mut s = String::from("(");
+    for p in params {
+        s.push_str(&p.descriptor());
+    }
+    s.push(')');
+    match ret {
+        Some(t) => s.push_str(&t.descriptor()),
+        None => s.push('V'),
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_roundtrip() {
+        for ty in [
+            JType::Int,
+            JType::Double,
+            JType::string(),
+            JType::array(JType::array(JType::Long)),
+        ] {
+            let ft = ty.to_field_type();
+            assert_eq!(JType::from_field_type(&ft), ty);
+        }
+    }
+
+    #[test]
+    fn method_descriptor_rendering() {
+        assert_eq!(method_descriptor(&[], None), "()V");
+        assert_eq!(
+            method_descriptor(&[JType::array(JType::string())], None),
+            "([Ljava/lang/String;)V"
+        );
+        assert_eq!(method_descriptor(&[JType::Int, JType::Long], Some(&JType::Int)), "(IJ)I");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(JType::Long.is_wide());
+        assert!(JType::Boolean.is_int_like());
+        assert!(JType::string().is_reference());
+        assert_eq!(JType::Double.slot_width(), 2);
+        assert_eq!(JType::Int.newarray_code(), Some(10));
+        assert_eq!(JType::string().newarray_code(), None);
+    }
+}

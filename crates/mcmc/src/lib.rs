@@ -1,0 +1,456 @@
+#![warn(missing_docs)]
+//! Metropolis–Hastings mutator selection (§2.2.2 of the paper).
+//!
+//! Classfuzz samples *mutators* from a Markov chain whose stationary
+//! distribution is geometric over the mutators sorted by success rate: the
+//! more representative classfiles a mutator has produced, the more often it
+//! is drawn, while even the worst mutator keeps a non-negligible chance.
+//!
+//! The acceptance rule is the Metropolis choice the paper derives for a
+//! symmetric uniform proposal:
+//!
+//! ```text
+//! A(mu₁ → mu₂) = min(1, Pr(mu₂)/Pr(mu₁)) = min(1, (1−p)^(k₂−k₁))
+//! ```
+//!
+//! where `k₁`, `k₂` are the 1-based ranks of the two mutators in the
+//! success-rate ordering. (Algorithm 1's line 10 prints the stopping
+//! condition with the comparison inverted; we implement the Metropolis
+//! formula of §2.2.2, which the text derives explicitly.)
+//!
+//! # Examples
+//!
+//! ```
+//! use classfuzz_mcmc::{estimate_p, MutatorChain};
+//! use rand::SeedableRng;
+//!
+//! let p = estimate_p(129, 0.001).recommended;
+//! let mut chain = MutatorChain::new(129, p);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let id = chain.select(&mut rng);
+//! chain.record_success(id); // it produced a representative classfile
+//! ```
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Result of estimating the geometric parameter `p` (§2.2.2,
+/// *Parameter estimation*).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PEstimate {
+    /// Smallest admissible `p` (from the 95 %-mass condition).
+    pub lower: f64,
+    /// Largest admissible `p` (from the ε-floor condition).
+    pub upper: f64,
+    /// The paper's choice: `3/n` when it lies in range, else the midpoint.
+    pub recommended: f64,
+}
+
+/// Estimates the admissible range for the geometric parameter `p` over `n`
+/// mutators, with minimum tail probability `epsilon`.
+///
+/// The three conditions of §2.2.2:
+///
+/// 1. `Σₖ Pr(X=k) ≥ 0.95` — the distribution's mass is concentrated on the
+///    `n` mutators;
+/// 2. `p ≥ 1/n` — the best mutator is favored over uniform choice;
+/// 3. `(1−p)^(n−1) · p > ε` — the worst mutator keeps a real chance.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `epsilon` is not in `(0, 1)`.
+pub fn estimate_p(n: usize, epsilon: f64) -> PEstimate {
+    assert!(n >= 2, "need at least two mutators");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    let nf = n as f64;
+    // Condition 1: 1 - (1-p)^n >= 0.95  ⇔  p >= 1 - 0.05^(1/n).
+    let lower_mass = 1.0 - 0.05_f64.powf(1.0 / nf);
+    // Condition 2.
+    let lower = lower_mass.max(1.0 / nf);
+    // Condition 3: binary-search the largest p with (1-p)^(n-1) * p > ε.
+    let tail = |p: f64| (1.0 - p).powi(n as i32 - 1) * p;
+    let mut lo = lower;
+    let mut hi = 0.5;
+    if tail(lo) <= epsilon {
+        // Degenerate: even the smallest admissible p violates the floor.
+        return PEstimate { lower, upper: lower, recommended: lower };
+    }
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        if tail(mid) > epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let upper = lo;
+    let paper_choice = 3.0 / nf;
+    let recommended = if paper_choice >= lower && paper_choice <= upper {
+        paper_choice
+    } else {
+        (lower + upper) / 2.0
+    };
+    PEstimate { lower, upper, recommended }
+}
+
+/// Per-mutator bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutatorStats {
+    /// How many times the mutator was selected for a mutation attempt.
+    pub selected: u64,
+    /// How many representative classfiles it produced.
+    pub successes: u64,
+}
+
+impl MutatorStats {
+    /// `succ(mu)` from §2.2.2; 0 when never selected.
+    pub fn success_rate(&self) -> f64 {
+        if self.selected == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.selected as f64
+        }
+    }
+}
+
+/// The Markov chain over mutator indices.
+#[derive(Debug, Clone)]
+pub struct MutatorChain {
+    p: f64,
+    stats: Vec<MutatorStats>,
+    /// Mutator ids in descending success-rate order (rank 1 first).
+    order: Vec<usize>,
+    /// id → 0-based rank.
+    rank_of: Vec<usize>,
+    current: usize,
+    proposals_tried: u64,
+}
+
+impl MutatorChain {
+    /// Creates a chain over `count` mutators with geometric parameter `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `p` is not in `(0, 1)`.
+    pub fn new(count: usize, p: f64) -> MutatorChain {
+        assert!(count > 0, "need at least one mutator");
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1)");
+        MutatorChain {
+            p,
+            stats: vec![MutatorStats::default(); count],
+            order: (0..count).collect(),
+            rank_of: (0..count).collect(),
+            current: 0,
+            proposals_tried: 0,
+        }
+    }
+
+    /// Number of mutators in the chain.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Returns `true` when the chain tracks no mutators (never: `new`
+    /// rejects a zero count), kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// The geometric parameter.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// One Metropolis–Hastings step (Algorithm 1, lines 6–10): proposes a
+    /// mutator uniformly and accepts it with probability
+    /// `min(1, (1−p)^(k₂−k₁))`; a rejected proposal re-selects the current
+    /// mutator (the Metropolis "hold" that makes the chain's stationary
+    /// distribution the truncated geometric — re-proposing instead would
+    /// bias it, which this crate's statistical test demonstrates).
+    pub fn select(&mut self, rng: &mut StdRng) -> usize {
+        let k1 = self.rank_of[self.current] as f64;
+        self.proposals_tried += 1;
+        let candidate = rng.gen_range(0..self.stats.len());
+        let k2 = self.rank_of[candidate] as f64;
+        let acceptance = (1.0 - self.p).powf(k2 - k1).min(1.0);
+        if rng.gen::<f64>() < acceptance {
+            self.current = candidate;
+        }
+        self.stats[self.current].selected += 1;
+        self.current
+    }
+
+    /// Records that mutator `id` produced a representative classfile and
+    /// re-sorts the rank order (Algorithm 1, lines 15–16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn record_success(&mut self, id: usize) {
+        self.stats[id].successes += 1;
+        self.resort();
+    }
+
+    fn resort(&mut self) {
+        // Descending by success rate, ties by id for determinism.
+        self.order.sort_by(|&a, &b| {
+            let ra = self.stats[a].success_rate();
+            let rb = self.stats[b].success_rate();
+            rb.partial_cmp(&ra)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for (rank, &id) in self.order.iter().enumerate() {
+            self.rank_of[id] = rank;
+        }
+    }
+
+    /// Per-mutator statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn stats(&self, id: usize) -> MutatorStats {
+        self.stats[id]
+    }
+
+    /// All statistics, indexed by mutator id.
+    pub fn all_stats(&self) -> &[MutatorStats] {
+        &self.stats
+    }
+
+    /// Current rank order (best first).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Mean proposals evaluated per selection (exactly 1.0 for this
+    /// Metropolis kernel; kept as a diagnostic for alternative kernels).
+    pub fn proposals_per_selection(&self) -> f64 {
+        let total: u64 = self.stats.iter().map(|s| s.selected).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.proposals_tried as f64 / total as f64
+        }
+    }
+}
+
+/// Uniform mutator selection — what *uniquefuzz*, *greedyfuzz*, and
+/// *randfuzz* use (§3.1.2): no guidance, every mutator equally likely.
+#[derive(Debug, Clone)]
+pub struct UniformSelector {
+    stats: Vec<MutatorStats>,
+}
+
+impl UniformSelector {
+    /// Creates a selector over `count` mutators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(count: usize) -> UniformSelector {
+        assert!(count > 0, "need at least one mutator");
+        UniformSelector { stats: vec![MutatorStats::default(); count] }
+    }
+
+    /// Selects a mutator uniformly at random.
+    pub fn select(&mut self, rng: &mut StdRng) -> usize {
+        let id = rng.gen_range(0..self.stats.len());
+        self.stats[id].selected += 1;
+        id
+    }
+
+    /// Records a success (tracked for Figure 4c-style reporting only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn record_success(&mut self, id: usize) {
+        self.stats[id].successes += 1;
+    }
+
+    /// All statistics, indexed by mutator id.
+    pub fn all_stats(&self) -> &[MutatorStats] {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_estimate_matches_paper_window() {
+        // §2.2.2: for 129 mutators and ε = 0.001 the admissible p is
+        // roughly (0.022, 0.025) and the paper picks 3/129 ≈ 0.023.
+        let est = estimate_p(129, 0.001);
+        assert!(est.lower > 0.020 && est.lower < 0.0235, "lower = {}", est.lower);
+        assert!(est.upper > 0.0235 && est.upper < 0.026, "upper = {}", est.upper);
+        assert!((est.recommended - 3.0 / 129.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_estimate_conditions_hold_at_recommendation() {
+        let est = estimate_p(129, 0.001);
+        let p = est.recommended;
+        let mass: f64 = (1..=129).map(|k| (1.0 - p).powi(k - 1) * p).sum();
+        assert!((0.95..=1.0).contains(&mass));
+        assert!(p >= 1.0 / 129.0);
+        assert!((1.0 - p).powi(128) * p > 0.001);
+    }
+
+    #[test]
+    fn better_rank_is_always_accepted() {
+        // Directly check the acceptance formula's two regimes.
+        let p: f64 = 3.0 / 129.0;
+        let up = (1.0 - p).powf(-5.0).min(1.0); // k2 < k1: better
+        assert_eq!(up, 1.0);
+        let down = (1.0 - p).powf(10.0).min(1.0); // k2 > k1: worse
+        assert!(down < 1.0 && down > 0.0);
+    }
+
+    #[test]
+    fn chain_prefers_successful_mutators() {
+        let mut chain = MutatorChain::new(10, 0.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        // Teach the chain: mutator 3 always succeeds, others never.
+        for _ in 0..200 {
+            let id = chain.select(&mut rng);
+            if id == 3 {
+                chain.record_success(3);
+            }
+        }
+        assert_eq!(chain.order()[0], 3, "mutator 3 should hold rank 1");
+        // Now sample and confirm 3 is drawn far above uniform (10%).
+        let mut hits = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if chain.select(&mut rng) == 3 {
+                hits += 1;
+                chain.record_success(3);
+            }
+        }
+        assert!(
+            hits as f64 / n as f64 > 0.15,
+            "rank-1 mutator sampled only {hits}/{n} times"
+        );
+    }
+
+    #[test]
+    fn worst_mutator_retains_a_chance() {
+        let mut chain = MutatorChain::new(129, 3.0 / 129.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        // Make mutator 0 dominant.
+        for _ in 0..50 {
+            let id = chain.select(&mut rng);
+            if id == 0 {
+                chain.record_success(0);
+            }
+        }
+        // The lowest-ranked mutator must still be selectable.
+        let mut seen_worst = false;
+        let worst = *chain.order().last().unwrap();
+        for _ in 0..5000 {
+            if chain.select(&mut rng) == worst {
+                seen_worst = true;
+                break;
+            }
+        }
+        assert!(seen_worst, "condition 3: the worst mutator never sampled");
+    }
+
+    #[test]
+    fn success_rate_bookkeeping() {
+        let mut chain = MutatorChain::new(3, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let id = chain.select(&mut rng);
+        chain.record_success(id);
+        assert_eq!(chain.stats(id).selected, 1);
+        assert_eq!(chain.stats(id).successes, 1);
+        assert!((chain.stats(id).success_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(MutatorStats::default().success_rate(), 0.0);
+        assert!(chain.proposals_per_selection() >= 1.0);
+    }
+
+    #[test]
+    fn uniform_selector_is_unbiased() {
+        let mut sel = UniformSelector::new(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[sel.select(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "uniform counts skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut chain = MutatorChain::new(129, 3.0 / 129.0);
+            let mut rng = StdRng::seed_from_u64(5);
+            (0..100).map(|_| chain.select(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod stationary_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// With ranks frozen, the chain's empirical selection frequencies must
+    /// converge to the truncated geometric distribution the paper targets:
+    /// `Pr(rank k) ∝ (1−p)^(k−1) · p`.
+    #[test]
+    fn chain_converges_to_truncated_geometric() {
+        let n = 20usize;
+        let p = 0.15f64;
+        let mut chain = MutatorChain::new(n, p);
+        // Freeze a known rank order: id 0 best, id n−1 worst. Success rates
+        // are set by direct bookkeeping (select+record in a fixed pattern),
+        // then never updated again during the measurement phase.
+        let mut rng = StdRng::seed_from_u64(99);
+        for id in 0..n {
+            // Give id a success rate of (n − id)/n by simulating history.
+            for _ in 0..(n - id) {
+                chain.stats[id].selected += 1;
+                chain.stats[id].successes += 1;
+            }
+            for _ in 0..id {
+                chain.stats[id].selected += 1;
+            }
+        }
+        chain.resort();
+        assert_eq!(chain.order()[0], 0, "id 0 holds rank 1");
+        assert_eq!(chain.order()[n - 1], n - 1, "id n−1 holds the last rank");
+
+        let samples = 200_000usize;
+        let mut counts = vec![0u32; n];
+        for _ in 0..samples {
+            counts[chain.select(&mut rng)] += 1;
+        }
+        // Normalized truncated geometric over ranks 1..=n.
+        let norm: f64 = (0..n).map(|k| (1.0 - p).powi(k as i32)).sum();
+        for (id, &count) in counts.iter().enumerate() {
+            let expected = (1.0 - p).powi(id as i32) / norm;
+            let observed = count as f64 / samples as f64;
+            assert!(
+                (observed - expected).abs() < 0.02 + 0.2 * expected,
+                "rank {id}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+        // Monotone decreasing by rank (allowing small sampling noise on
+        // adjacent ranks, strict across a 5-rank gap).
+        for k in 0..n - 5 {
+            assert!(
+                counts[k] > counts[k + 5],
+                "frequency must decay with rank: {counts:?}"
+            );
+        }
+    }
+}

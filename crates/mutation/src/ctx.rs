@@ -1,0 +1,175 @@
+//! Mutation context: randomness, donor classes, and shared name/type pools.
+
+use std::error::Error;
+use std::fmt;
+
+use classfuzz_jimple::{IrClass, JType};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Why a mutator could not be applied to a particular class.
+///
+/// Mirrors the paper's observation that "classfiles are not generated during
+/// some iterations" (§3.2): a mutator needing a field cannot fire on a
+/// fieldless class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The class lacks the construct this mutator rewrites.
+    NotApplicable {
+        /// What was missing, e.g. `"no fields"`.
+        reason: &'static str,
+    },
+}
+
+impl MutationError {
+    /// Shorthand constructor.
+    pub fn not_applicable(reason: &'static str) -> Self {
+        MutationError::NotApplicable { reason }
+    }
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::NotApplicable { reason } => {
+                write!(f, "mutator not applicable: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MutationError {}
+
+/// Everything a mutator may draw on while rewriting a class.
+pub struct MutationCtx<'a> {
+    /// Deterministic randomness for the whole campaign.
+    pub rng: &'a mut StdRng,
+    /// Donor classes for cross-class mutators ("replace all methods with
+    /// those of another class").
+    pub donors: &'a [IrClass],
+    counter: u64,
+}
+
+/// Library classes worth pointing a hierarchy mutation at: a mix of open,
+/// final, interface, generation-gated, internal, and missing names — each
+/// chosen to light up a different VM policy path.
+pub const SUPERCLASS_POOL: &[&str] = &[
+    "java/lang/Object",
+    "java/lang/Thread",
+    "java/lang/Exception",
+    "java/lang/String",          // final everywhere
+    "java/util/Map",             // interface
+    "java/util/HashMap",
+    "jre/beans/AbstractEditor",  // final only from JRE 8 on
+    "jre/ext/LegacySupport",     // removed after JRE 7
+    "jre/util/StreamKit",        // added in JRE 8
+    "sun/internal/PiscesKit",    // internal: Java 9 encapsulation
+    "missing/NoSuchClass",
+];
+
+/// Interfaces (and deliberate non-interfaces) for `implements` mutations.
+pub const INTERFACE_POOL: &[&str] = &[
+    "java/lang/Runnable",
+    "java/security/PrivilegedAction",
+    "java/lang/Comparable",
+    "java/io/Serializable",
+    "java/util/Map",
+    "java/util/Enumeration",
+    "java/lang/Thread",        // not an interface
+    "missing/NoSuchInterface", // does not exist
+];
+
+/// Exception classes for `throws`-clause mutations.
+pub const EXCEPTION_POOL: &[&str] = &[
+    "java/lang/Exception",
+    "java/lang/RuntimeException",
+    "java/io/IOException",
+    "java/io/FileNotFoundException",
+    "java/lang/Error",
+    "sun/internal/PiscesKit$2", // internal: the Problem 3 shape
+    "missing/GhostException",
+];
+
+impl<'a> MutationCtx<'a> {
+    /// Creates a context over `rng` and a donor pool.
+    pub fn new(rng: &'a mut StdRng, donors: &'a [IrClass]) -> Self {
+        MutationCtx { rng, donors, counter: 0 }
+    }
+
+    /// Picks a uniformly random index below `len`; `None` when empty.
+    pub fn index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.rng.gen_range(0..len))
+        }
+    }
+
+    /// Picks a random element of `items`.
+    pub fn pick<'t, T>(&mut self, items: &'t [T]) -> Option<&'t T> {
+        self.index(items.len()).map(|i| &items[i])
+    }
+
+    /// A fresh identifier with the given prefix (deterministic per context).
+    pub fn fresh_name(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}{}", self.counter, self.rng.gen_range(0..1000))
+    }
+
+    /// A random value type from a policy-relevant pool.
+    pub fn random_type(&mut self) -> JType {
+        let choices: [JType; 9] = [
+            JType::Int,
+            JType::Long,
+            JType::Boolean,
+            JType::Double,
+            JType::string(),
+            JType::jobject(),
+            JType::object("java/util/Map"),
+            JType::object("java/lang/Thread"),
+            JType::array(JType::Int),
+        ];
+        choices[self.rng.gen_range(0..choices.len())].clone()
+    }
+
+    /// A random donor class, when any exist.
+    pub fn donor(&mut self) -> Option<&'a IrClass> {
+        self.index(self.donors.len()).map(|i| &self.donors[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let donors: Vec<IrClass> = vec![];
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut ctx = MutationCtx::new(&mut rng, &donors);
+            (ctx.fresh_name("m"), ctx.random_type(), ctx.index(10))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_pools_yield_none() {
+        let donors: Vec<IrClass> = vec![];
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ctx = MutationCtx::new(&mut rng, &donors);
+        assert_eq!(ctx.index(0), None);
+        assert!(ctx.donor().is_none());
+        let empty: [u8; 0] = [];
+        assert!(ctx.pick(&empty).is_none());
+    }
+
+    #[test]
+    fn pools_cover_policy_dimensions() {
+        assert!(SUPERCLASS_POOL.contains(&"java/lang/String")); // final
+        assert!(SUPERCLASS_POOL.contains(&"java/util/Map")); // interface
+        assert!(SUPERCLASS_POOL.contains(&"missing/NoSuchClass")); // missing
+        assert!(EXCEPTION_POOL.contains(&"sun/internal/PiscesKit$2")); // internal
+    }
+}

@@ -1,0 +1,789 @@
+//! Mutator definitions and their application semantics.
+
+use classfuzz_classfile::{ClassAccess, FieldAccess, MethodAccess};
+use classfuzz_jimple::{Const, IrClass, IrField, IrMethod, JType, Stmt};
+
+use crate::ctx::{MutationCtx, MutationError, EXCEPTION_POOL, INTERFACE_POOL, SUPERCLASS_POOL};
+
+/// What part of the class a mutator rewrites (Table 2's left column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MutTarget {
+    /// Class-level attributes (flags, name, superclass, version).
+    Class,
+    /// The `implements` list.
+    Interface,
+    /// Field declarations.
+    Field,
+    /// Method declarations.
+    Method,
+    /// `throws` clauses.
+    Exception,
+    /// Parameter lists.
+    Parameter,
+    /// Local-variable declarations.
+    LocalVar,
+    /// Statement-level (Jimple-file) rewrites — exactly 6 of these.
+    Stmt,
+}
+
+/// The concrete rewrite a mutator performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutOp {
+    // --- class ----------------------------------------------------------
+    /// Set a class access flag.
+    AddClassFlag(u16),
+    /// Clear a class access flag.
+    RemoveClassFlag(u16),
+    /// Zero all class access flags.
+    ClearClassFlags,
+    /// Rename the class to a fresh legal name.
+    RenameClass,
+    /// Rename the class to a name with illegal characters.
+    RenameClassIllegal,
+    /// Prefix a random package.
+    SetPackage,
+    /// Strip any package prefix.
+    StripPackage,
+    /// Set the superclass to a specific name.
+    SetSuper(String),
+    /// Set the superclass to a random pool entry.
+    SetSuperRandom,
+    /// Set the superclass to the class itself (circularity).
+    SetSuperSelf,
+    /// Clear the superclass entry.
+    ClearSuper,
+    /// Set the classfile major version.
+    SetMajorVersion(u16),
+    /// Turn the class into an interface (flags only; members untouched).
+    MakeInterface,
+    // --- interface list ---------------------------------------------------
+    /// Add a specific interface.
+    AddInterface(String),
+    /// Add a random pool interface.
+    AddInterfaceRandom,
+    /// Delete one implemented interface.
+    DeleteInterface,
+    /// Delete every implemented interface.
+    DeleteAllInterfaces,
+    /// Duplicate an implemented interface entry.
+    DuplicateInterface,
+    // --- fields -----------------------------------------------------------
+    /// Insert a fresh field of the given type (`None` = random).
+    InsertField(Option<JType>),
+    /// Insert a `static final` field with a `ConstantValue`.
+    InsertConstField,
+    /// Insert an exact duplicate of an existing field.
+    InsertDuplicateField,
+    /// Delete one field.
+    DeleteField,
+    /// Delete every field.
+    DeleteAllFields,
+    /// Rename one field.
+    RenameField,
+    /// Rename one field to an illegal name.
+    RenameFieldIllegal,
+    /// Set a field access flag.
+    AddFieldFlag(u16),
+    /// Clear a field access flag.
+    RemoveFieldFlag(u16),
+    /// Zero one field's access flags.
+    ClearFieldFlags,
+    /// Change one field's type (`None` = random).
+    ChangeFieldType(Option<JType>),
+    /// Replace all fields with a donor class's fields (Table 5, rank 5).
+    ReplaceFieldsWithDonor,
+    // --- methods ----------------------------------------------------------
+    /// Insert a fresh no-op instance method.
+    InsertVoidMethod,
+    /// Insert a fresh no-op static method.
+    InsertStaticMethod,
+    /// Insert a duplicate of an existing method.
+    InsertDuplicateMethod,
+    /// Insert `public abstract <clinit>()` without code — Figure 2.
+    InsertAbstractClinit,
+    /// Insert a printing `main` method.
+    InsertMainMethod,
+    /// Delete one method (Table 5, rank 10).
+    DeleteMethod,
+    /// Delete every method.
+    DeleteAllMethods,
+    /// Rename one method (Table 5, rank 4).
+    RenameMethod,
+    /// Rename one method to a fixed special name.
+    RenameMethodTo(String),
+    /// Rename one method to an illegal name.
+    RenameMethodIllegal,
+    /// Set a method access flag.
+    AddMethodFlag(u16),
+    /// Clear a method access flag.
+    RemoveMethodFlag(u16),
+    /// Zero one method's access flags.
+    ClearMethodFlags,
+    /// Add `ACC_ABSTRACT` and delete the opcode (the paper's Problem 1
+    /// construction).
+    MakeMethodAbstractDropBody,
+    /// Add `ACC_NATIVE` and delete the body.
+    MakeMethodNativeDropBody,
+    /// Change one method's return type (Table 5, rank 6; `None` = void).
+    ChangeReturnType(Option<JType>),
+    /// Change one method's return type randomly.
+    ChangeReturnTypeRandom,
+    /// Remove the `Code` attribute but keep the flags.
+    DropMethodBody,
+    /// Give an abstract/native method an empty body.
+    AddEmptyBodyToAbstract,
+    /// Replace all methods with a donor class's methods (Table 5, rank 1).
+    ReplaceMethodsWithDonor,
+    /// Swap the bodies of two methods.
+    SwapMethodBodies,
+    // --- exceptions ---------------------------------------------------------
+    /// Add one declared exception (Table 5, rank 7).
+    AddThrown(String),
+    /// Add a random pool exception.
+    AddThrownRandom,
+    /// Add a list of declared exceptions (Table 5, rank 2).
+    AddThrownList,
+    /// Delete one declared exception.
+    DeleteThrown,
+    /// Delete all declared exceptions of one method.
+    DeleteAllThrown,
+    /// Duplicate a declared exception.
+    DuplicateThrown,
+    // --- parameters ----------------------------------------------------------
+    /// Insert a parameter at the front (Table 2's example shape).
+    InsertParamFront(JType),
+    /// Insert a parameter at the end.
+    InsertParamEnd(JType),
+    /// Delete one parameter.
+    DeleteParam,
+    /// Delete every parameter.
+    DeleteAllParams,
+    /// Change one parameter's type (`None` = random) — the M1433982529
+    /// construction.
+    ChangeParamType(Option<JType>),
+    // --- locals ---------------------------------------------------------------
+    /// Insert a local of the given type (`None` = random).
+    InsertLocal(Option<JType>),
+    /// Delete a local declaration, leaving its uses dangling.
+    DeleteLocal,
+    /// Rename a local declaration, leaving its uses dangling.
+    RenameLocal,
+    /// Change a local's declared type (`None` = random) — Table 2's
+    /// `int $i0 → java.lang.String $i0`.
+    ChangeLocalType(Option<JType>),
+    // --- statements (the 6 Jimple-file mutators) -------------------------------
+    /// Insert a `nop` at a random position.
+    InsertStmt,
+    /// Delete one statement.
+    DeleteStmt,
+    /// Duplicate one statement.
+    DuplicateStmt,
+    /// Swap two adjacent statements (Table 2's reordering example).
+    SwapStmts,
+    /// Replace one statement with `nop`.
+    ReplaceStmtWithNop,
+    /// Delete every `return` statement (execution falls off the end).
+    DeleteReturns,
+}
+
+/// One of the 129 mutation operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutator {
+    /// Stable index (0..129) — the MCMC chain keys success rates by this.
+    pub id: usize,
+    /// Human-readable description used in Table 5-style reports.
+    pub name: String,
+    /// Which construct it rewrites.
+    pub target: MutTarget,
+    /// The rewrite itself.
+    pub op: MutOp,
+}
+
+impl Mutator {
+    /// Applies the mutator to `class`.
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError::NotApplicable`] when the class lacks the construct
+    /// this mutator rewrites (no fields, no body, …).
+    pub fn apply(&self, class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<(), MutationError> {
+        apply_op(&self.op, class, ctx)
+    }
+}
+
+fn na(reason: &'static str) -> MutationError {
+    MutationError::not_applicable(reason)
+}
+
+fn pick_method(class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<usize, MutationError> {
+    ctx.index(class.methods.len()).ok_or(na("no methods"))
+}
+
+fn pick_method_with_body(
+    class: &mut IrClass,
+    ctx: &mut MutationCtx<'_>,
+) -> Result<usize, MutationError> {
+    let candidates: Vec<usize> = class
+        .methods
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.body.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    ctx.pick(&candidates).copied().ok_or(na("no method has a body"))
+}
+
+fn pick_field(class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<usize, MutationError> {
+    ctx.index(class.fields.len()).ok_or(na("no fields"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn apply_op(
+    op: &MutOp,
+    class: &mut IrClass,
+    ctx: &mut MutationCtx<'_>,
+) -> Result<(), MutationError> {
+    match op {
+        // --- class -------------------------------------------------------
+        MutOp::AddClassFlag(bits) => {
+            class.access = class.access.with(ClassAccess::from_bits(*bits));
+        }
+        MutOp::RemoveClassFlag(bits) => {
+            class.access = class.access.without(ClassAccess::from_bits(*bits));
+        }
+        MutOp::ClearClassFlags => class.access = ClassAccess::empty(),
+        MutOp::RenameClass => class.name = ctx.fresh_name("M"),
+        MutOp::RenameClassIllegal => class.name = format!("{};bad", class.name),
+        MutOp::SetPackage => {
+            let simple = class.name.rsplit('/').next().unwrap_or("C").to_string();
+            let pkg = ctx.fresh_name("pkg");
+            class.name = format!("{pkg}/{simple}");
+        }
+        MutOp::StripPackage => {
+            class.name = class.name.rsplit('/').next().unwrap_or("C").to_string();
+        }
+        MutOp::SetSuper(name) => class.super_class = Some(name.clone()),
+        MutOp::SetSuperRandom => {
+            let name = ctx.pick(SUPERCLASS_POOL).expect("pool is non-empty");
+            class.super_class = Some((*name).to_string());
+        }
+        MutOp::SetSuperSelf => class.super_class = Some(class.name.clone()),
+        MutOp::ClearSuper => class.super_class = None,
+        MutOp::SetMajorVersion(v) => class.major_version = *v,
+        MutOp::MakeInterface => {
+            class.access = class
+                .access
+                .with(ClassAccess::INTERFACE | ClassAccess::ABSTRACT)
+                .without(ClassAccess::FINAL | ClassAccess::SUPER);
+        }
+        // --- interface list ------------------------------------------------
+        MutOp::AddInterface(name) => class.interfaces.push(name.clone()),
+        MutOp::AddInterfaceRandom => {
+            let name = ctx.pick(INTERFACE_POOL).expect("pool is non-empty");
+            class.interfaces.push((*name).to_string());
+        }
+        MutOp::DeleteInterface => {
+            let i = ctx.index(class.interfaces.len()).ok_or(na("no interfaces"))?;
+            class.interfaces.remove(i);
+        }
+        MutOp::DeleteAllInterfaces => {
+            if class.interfaces.is_empty() {
+                return Err(na("no interfaces"));
+            }
+            class.interfaces.clear();
+        }
+        MutOp::DuplicateInterface => {
+            let i = ctx.index(class.interfaces.len()).ok_or(na("no interfaces"))?;
+            let dup = class.interfaces[i].clone();
+            class.interfaces.push(dup);
+        }
+        // --- fields ----------------------------------------------------------
+        MutOp::InsertField(ty) => {
+            let ty = ty.clone().unwrap_or_else(|| ctx.random_type());
+            let name = ctx.fresh_name("f");
+            class.fields.push(IrField {
+                access: FieldAccess::PUBLIC,
+                name,
+                ty,
+                constant_value: None,
+            });
+        }
+        MutOp::InsertConstField => {
+            let name = ctx.fresh_name("CONST");
+            class.fields.push(IrField {
+                access: FieldAccess::PUBLIC | FieldAccess::STATIC | FieldAccess::FINAL,
+                name,
+                ty: JType::Int,
+                constant_value: Some(Const::Int(42)),
+            });
+        }
+        MutOp::InsertDuplicateField => {
+            let i = pick_field(class, ctx)?;
+            let dup = class.fields[i].clone();
+            class.fields.push(dup);
+        }
+        MutOp::DeleteField => {
+            let i = pick_field(class, ctx)?;
+            class.fields.remove(i);
+        }
+        MutOp::DeleteAllFields => {
+            if class.fields.is_empty() {
+                return Err(na("no fields"));
+            }
+            class.fields.clear();
+        }
+        MutOp::RenameField => {
+            let i = pick_field(class, ctx)?;
+            class.fields[i].name = ctx.fresh_name("f");
+        }
+        MutOp::RenameFieldIllegal => {
+            let i = pick_field(class, ctx)?;
+            class.fields[i].name = "bad.name;".to_string();
+        }
+        MutOp::AddFieldFlag(bits) => {
+            let i = pick_field(class, ctx)?;
+            class.fields[i].access =
+                class.fields[i].access.with(FieldAccess::from_bits(*bits));
+        }
+        MutOp::RemoveFieldFlag(bits) => {
+            let i = pick_field(class, ctx)?;
+            class.fields[i].access =
+                class.fields[i].access.without(FieldAccess::from_bits(*bits));
+        }
+        MutOp::ClearFieldFlags => {
+            let i = pick_field(class, ctx)?;
+            class.fields[i].access = FieldAccess::empty();
+        }
+        MutOp::ChangeFieldType(ty) => {
+            let i = pick_field(class, ctx)?;
+            class.fields[i].ty = ty.clone().unwrap_or_else(|| ctx.random_type());
+        }
+        MutOp::ReplaceFieldsWithDonor => {
+            let donor = ctx.donor().ok_or(na("no donor classes"))?;
+            class.fields = donor.fields.clone();
+        }
+        // --- methods -----------------------------------------------------------
+        MutOp::InsertVoidMethod => {
+            let name = ctx.fresh_name("m");
+            let mut body = classfuzz_jimple::Body::new();
+            body.stmts.push(Stmt::Return(None));
+            class.methods.push(IrMethod {
+                access: MethodAccess::PUBLIC,
+                name,
+                params: vec![],
+                ret: None,
+                exceptions: vec![],
+                body: Some(body),
+            });
+        }
+        MutOp::InsertStaticMethod => {
+            let name = ctx.fresh_name("s");
+            let mut body = classfuzz_jimple::Body::new();
+            body.stmts.push(Stmt::Return(Some(classfuzz_jimple::Value::int(0))));
+            class.methods.push(IrMethod {
+                access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+                name,
+                params: vec![JType::Int],
+                ret: Some(JType::Int),
+                exceptions: vec![],
+                body: Some(body),
+            });
+        }
+        MutOp::InsertDuplicateMethod => {
+            let i = pick_method(class, ctx)?;
+            let dup = class.methods[i].clone();
+            class.methods.push(dup);
+        }
+        MutOp::InsertAbstractClinit => {
+            class.methods.push(IrMethod::abstract_method(
+                MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+                "<clinit>",
+                vec![],
+                None,
+            ));
+        }
+        MutOp::InsertMainMethod => {
+            class.methods.push(IrClass::print_main("Executed"));
+        }
+        MutOp::DeleteMethod => {
+            let i = pick_method(class, ctx)?;
+            class.methods.remove(i);
+        }
+        MutOp::DeleteAllMethods => {
+            if class.methods.is_empty() {
+                return Err(na("no methods"));
+            }
+            class.methods.clear();
+        }
+        MutOp::RenameMethod => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].name = ctx.fresh_name("renamed");
+        }
+        MutOp::RenameMethodTo(name) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].name = name.clone();
+        }
+        MutOp::RenameMethodIllegal => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].name = "bad;name".to_string();
+        }
+        MutOp::AddMethodFlag(bits) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].access =
+                class.methods[i].access.with(MethodAccess::from_bits(*bits));
+        }
+        MutOp::RemoveMethodFlag(bits) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].access =
+                class.methods[i].access.without(MethodAccess::from_bits(*bits));
+        }
+        MutOp::ClearMethodFlags => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].access = MethodAccess::empty();
+        }
+        MutOp::MakeMethodAbstractDropBody => {
+            let i = pick_method_with_body(class, ctx)?;
+            class.methods[i].access = class.methods[i].access.with(MethodAccess::ABSTRACT);
+            class.methods[i].body = None;
+        }
+        MutOp::MakeMethodNativeDropBody => {
+            let i = pick_method_with_body(class, ctx)?;
+            class.methods[i].access = class.methods[i].access.with(MethodAccess::NATIVE);
+            class.methods[i].body = None;
+        }
+        MutOp::ChangeReturnType(ty) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].ret = ty.clone();
+        }
+        MutOp::ChangeReturnTypeRandom => {
+            let i = pick_method(class, ctx)?;
+            let ty = ctx.random_type();
+            class.methods[i].ret = Some(ty);
+        }
+        MutOp::DropMethodBody => {
+            let i = pick_method_with_body(class, ctx)?;
+            class.methods[i].body = None;
+        }
+        MutOp::AddEmptyBodyToAbstract => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.body.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no bodiless method"))?;
+            let mut body = classfuzz_jimple::Body::new();
+            body.stmts.push(Stmt::Return(None));
+            class.methods[i].body = Some(body);
+        }
+        MutOp::ReplaceMethodsWithDonor => {
+            let donor = ctx.donor().ok_or(na("no donor classes"))?;
+            class.methods = donor.methods.clone();
+        }
+        MutOp::SwapMethodBodies => {
+            let with_body: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.body.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if with_body.len() < 2 {
+                return Err(na("fewer than two methods with bodies"));
+            }
+            let a = *ctx.pick(&with_body).expect("non-empty");
+            let mut b = *ctx.pick(&with_body).expect("non-empty");
+            if a == b {
+                b = with_body[(with_body.iter().position(|&x| x == a).unwrap() + 1)
+                    % with_body.len()];
+            }
+            class.methods.swap(a, b);
+            // Swap back names/signatures so only the *bodies* moved.
+            let (low, high) = if a < b { (a, b) } else { (b, a) };
+            let (front, back) = class.methods.split_at_mut(high);
+            let ma = &mut front[low];
+            let mb = &mut back[0];
+            std::mem::swap(&mut ma.name, &mut mb.name);
+            std::mem::swap(&mut ma.params, &mut mb.params);
+            std::mem::swap(&mut ma.ret, &mut mb.ret);
+            std::mem::swap(&mut ma.access, &mut mb.access);
+            std::mem::swap(&mut ma.exceptions, &mut mb.exceptions);
+        }
+        // --- exceptions -----------------------------------------------------------
+        MutOp::AddThrown(name) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].exceptions.push(name.clone());
+        }
+        MutOp::AddThrownRandom => {
+            let i = pick_method(class, ctx)?;
+            let name = ctx.pick(EXCEPTION_POOL).expect("pool is non-empty");
+            class.methods[i].exceptions.push((*name).to_string());
+        }
+        MutOp::AddThrownList => {
+            let i = pick_method(class, ctx)?;
+            for name in EXCEPTION_POOL.iter().take(3) {
+                class.methods[i].exceptions.push((*name).to_string());
+            }
+        }
+        MutOp::DeleteThrown => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.exceptions.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no declared exceptions"))?;
+            let j = ctx.index(class.methods[i].exceptions.len()).expect("non-empty");
+            class.methods[i].exceptions.remove(j);
+        }
+        MutOp::DeleteAllThrown => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.exceptions.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no declared exceptions"))?;
+            class.methods[i].exceptions.clear();
+        }
+        MutOp::DuplicateThrown => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.exceptions.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no declared exceptions"))?;
+            let j = ctx.index(class.methods[i].exceptions.len()).expect("non-empty");
+            let dup = class.methods[i].exceptions[j].clone();
+            class.methods[i].exceptions.push(dup);
+        }
+        // --- parameters -------------------------------------------------------------
+        MutOp::InsertParamFront(ty) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].params.insert(0, ty.clone());
+        }
+        MutOp::InsertParamEnd(ty) => {
+            let i = pick_method(class, ctx)?;
+            class.methods[i].params.push(ty.clone());
+        }
+        MutOp::DeleteParam => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.params.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no parameters"))?;
+            let j = ctx.index(class.methods[i].params.len()).expect("non-empty");
+            class.methods[i].params.remove(j);
+        }
+        MutOp::DeleteAllParams => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.params.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no parameters"))?;
+            class.methods[i].params.clear();
+        }
+        MutOp::ChangeParamType(ty) => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.params.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no parameters"))?;
+            let j = ctx.index(class.methods[i].params.len()).expect("non-empty");
+            class.methods[i].params[j] = ty.clone().unwrap_or_else(|| ctx.random_type());
+        }
+        // --- locals --------------------------------------------------------------------
+        MutOp::InsertLocal(ty) => {
+            let i = pick_method_with_body(class, ctx)?;
+            let ty = ty.clone().unwrap_or_else(|| ctx.random_type());
+            let name = ctx.fresh_name("$v");
+            class.methods[i]
+                .body
+                .as_mut()
+                .expect("picked a method with a body")
+                .declare(name, ty);
+        }
+        MutOp::DeleteLocal => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.locals.len()).ok_or(na("no locals"))?;
+            body.locals.remove(j);
+        }
+        MutOp::RenameLocal => {
+            let i = pick_method_with_body(class, ctx)?;
+            let fresh = ctx.fresh_name("$r");
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.locals.len()).ok_or(na("no locals"))?;
+            body.locals[j].name = fresh;
+        }
+        MutOp::ChangeLocalType(ty) => {
+            let i = pick_method_with_body(class, ctx)?;
+            let new_ty = ty.clone().unwrap_or_else(|| ctx.random_type());
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.locals.len()).ok_or(na("no locals"))?;
+            body.locals[j].ty = new_ty;
+        }
+        // --- statements --------------------------------------------------------------------
+        MutOp::InsertStmt => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let at = ctx.index(body.stmts.len() + 1).unwrap_or(0);
+            body.stmts.insert(at, Stmt::Nop);
+        }
+        MutOp::DeleteStmt => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.stmts.len()).ok_or(na("empty body"))?;
+            body.stmts.remove(j);
+        }
+        MutOp::DuplicateStmt => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.stmts.len()).ok_or(na("empty body"))?;
+            let dup = body.stmts[j].clone();
+            body.stmts.insert(j, dup);
+        }
+        MutOp::SwapStmts => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            if body.stmts.len() < 2 {
+                return Err(na("fewer than two statements"));
+            }
+            let j = ctx.index(body.stmts.len() - 1).expect("non-empty");
+            body.stmts.swap(j, j + 1);
+        }
+        MutOp::ReplaceStmtWithNop => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.stmts.len()).ok_or(na("empty body"))?;
+            body.stmts[j] = Stmt::Nop;
+        }
+        MutOp::DeleteReturns => {
+            let i = pick_method_with_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let before = body.stmts.len();
+            body.stmts.retain(|s| !matches!(s, Stmt::Return(_)));
+            if body.stmts.len() == before {
+                return Err(na("no return statements"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_and_donors() -> (rand::rngs::StdRng, Vec<IrClass>) {
+        let mut donor = IrClass::with_hello_main("donor/D", "donated");
+        donor.fields.push(IrField {
+            access: FieldAccess::PRIVATE,
+            name: "df".into(),
+            ty: JType::Long,
+            constant_value: None,
+        });
+        (rand::rngs::StdRng::seed_from_u64(99), vec![donor])
+    }
+
+    fn apply(op: MutOp, class: &mut IrClass) -> Result<(), MutationError> {
+        let (mut rng, donors) = ctx_and_donors();
+        let mut ctx = MutationCtx::new(&mut rng, &donors);
+        let m = Mutator { id: 0, name: "t".into(), target: MutTarget::Class, op };
+        m.apply(class, &mut ctx)
+    }
+
+    #[test]
+    fn figure2_construction() {
+        let mut class = IrClass::with_hello_main("M", "Completed!");
+        apply(MutOp::InsertAbstractClinit, &mut class).unwrap();
+        let m = class.methods.last().unwrap();
+        assert_eq!(m.name, "<clinit>");
+        assert!(m.access.contains(MethodAccess::ABSTRACT));
+        assert!(m.body.is_none());
+    }
+
+    #[test]
+    fn donor_replacement() {
+        let mut class = IrClass::with_hello_main("M", "x");
+        apply(MutOp::ReplaceFieldsWithDonor, &mut class).unwrap();
+        assert_eq!(class.fields.len(), 1);
+        assert_eq!(class.fields[0].name, "df");
+        apply(MutOp::ReplaceMethodsWithDonor, &mut class).unwrap();
+        assert_eq!(class.methods.len(), 1);
+    }
+
+    #[test]
+    fn not_applicable_on_missing_construct() {
+        let mut class = IrClass::new("Empty");
+        assert!(apply(MutOp::DeleteField, &mut class).is_err());
+        assert!(apply(MutOp::DeleteMethod, &mut class).is_err());
+        assert!(apply(MutOp::DeleteInterface, &mut class).is_err());
+        assert!(apply(MutOp::DeleteStmt, &mut class).is_err());
+    }
+
+    #[test]
+    fn superclass_mutations() {
+        let mut class = IrClass::new("M");
+        apply(MutOp::SetSuper("java/lang/Thread".into()), &mut class).unwrap();
+        assert_eq!(class.super_class.as_deref(), Some("java/lang/Thread"));
+        apply(MutOp::SetSuperSelf, &mut class).unwrap();
+        assert_eq!(class.super_class.as_deref(), Some("M"));
+        apply(MutOp::ClearSuper, &mut class).unwrap();
+        assert_eq!(class.super_class, None);
+    }
+
+    #[test]
+    fn delete_returns_makes_fall_through() {
+        let mut class = IrClass::with_hello_main("M", "x");
+        apply(MutOp::DeleteReturns, &mut class).unwrap();
+        let body = class.methods[0].body.as_ref().unwrap();
+        assert!(!body.stmts.iter().any(|s| matches!(s, Stmt::Return(_))));
+    }
+
+    #[test]
+    fn swap_bodies_keeps_signatures() {
+        let mut class = IrClass::with_hello_main("M", "x");
+        let mut body = classfuzz_jimple::Body::new();
+        body.stmts.push(Stmt::Return(None));
+        class.methods.push(IrMethod {
+            access: MethodAccess::PRIVATE,
+            name: "other".into(),
+            params: vec![JType::Int],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let names: Vec<String> = class.methods.iter().map(|m| m.name.clone()).collect();
+        apply(MutOp::SwapMethodBodies, &mut class).unwrap();
+        let names_after: Vec<String> =
+            class.methods.iter().map(|m| m.name.clone()).collect();
+        assert_eq!(names, names_after, "signatures stay in place, bodies move");
+    }
+
+    #[test]
+    fn param_type_change_hits_first_param() {
+        let mut class = IrClass::with_hello_main("M", "x");
+        apply(
+            MutOp::ChangeParamType(Some(JType::object("java/util/Map"))),
+            &mut class,
+        )
+        .unwrap();
+        assert_eq!(class.methods[0].params[0], JType::object("java/util/Map"));
+    }
+}

@@ -1,0 +1,379 @@
+//! The mutator registry: exactly **129** mutators, 123 syntactic + 6
+//! statement-level, matching §2.2.1 of the paper.
+
+use classfuzz_classfile::{ClassAccess, FieldAccess, MethodAccess};
+use classfuzz_jimple::JType;
+
+use crate::ops::{MutOp, MutTarget, Mutator};
+
+struct Registry {
+    out: Vec<Mutator>,
+}
+
+impl Registry {
+    fn add(&mut self, target: MutTarget, name: &str, op: MutOp) {
+        let id = self.out.len();
+        self.out.push(Mutator { id, name: name.to_string(), target, op });
+    }
+}
+
+/// Builds the full mutator set. The returned vector is stable: ids equal
+/// indices, and the composition never changes at runtime.
+pub fn all_mutators() -> Vec<Mutator> {
+    let mut r = Registry { out: Vec::with_capacity(129) };
+    use MutTarget::*;
+
+    // --- Class (36) -------------------------------------------------------
+    for (flag, label) in [
+        (ClassAccess::PUBLIC, "public"),
+        (ClassAccess::FINAL, "final"),
+        (ClassAccess::SUPER, "super"),
+        (ClassAccess::INTERFACE, "interface"),
+        (ClassAccess::ABSTRACT, "abstract"),
+        (ClassAccess::SYNTHETIC, "synthetic"),
+        (ClassAccess::ANNOTATION, "annotation"),
+        (ClassAccess::ENUM, "enum"),
+    ] {
+        r.add(Class, &format!("class: add {label} flag"), MutOp::AddClassFlag(flag.bits()));
+    }
+    for (flag, label) in [
+        (ClassAccess::PUBLIC, "public"),
+        (ClassAccess::FINAL, "final"),
+        (ClassAccess::SUPER, "super"),
+        (ClassAccess::INTERFACE, "interface"),
+        (ClassAccess::ABSTRACT, "abstract"),
+    ] {
+        r.add(
+            Class,
+            &format!("class: remove {label} flag"),
+            MutOp::RemoveClassFlag(flag.bits()),
+        );
+    }
+    r.add(Class, "class: clear all flags", MutOp::ClearClassFlags);
+    r.add(Class, "class: convert to interface", MutOp::MakeInterface);
+    r.add(Class, "class: rename", MutOp::RenameClass);
+    r.add(Class, "class: rename to illegal name", MutOp::RenameClassIllegal);
+    r.add(Class, "class: set package name", MutOp::SetPackage);
+    r.add(Class, "class: strip package name", MutOp::StripPackage);
+    for (sup, label) in [
+        ("java/lang/Object", "Object"),
+        ("java/lang/Thread", "Thread"),
+        ("java/lang/Exception", "Exception"),
+        ("java/lang/String", "String (final)"),
+        ("java/util/Map", "Map (interface)"),
+        ("jre/beans/AbstractEditor", "AbstractEditor (final since JRE8)"),
+        ("jre/ext/LegacySupport", "LegacySupport (removed after JRE7)"),
+        ("sun/internal/PiscesKit", "PiscesKit (internal)"),
+        ("missing/NoSuchClass", "a missing class"),
+    ] {
+        r.add(
+            Class,
+            &format!("class: set superclass to {label}"),
+            MutOp::SetSuper(sup.to_string()),
+        );
+    }
+    r.add(
+        Class,
+        "class: set superclass from a random class list",
+        MutOp::SetSuperRandom,
+    );
+    r.add(Class, "class: set superclass to itself", MutOp::SetSuperSelf);
+    r.add(Class, "class: clear superclass entry", MutOp::ClearSuper);
+    for v in [46u16, 50, 52, 53, 99] {
+        r.add(Class, &format!("class: set major version to {v}"), MutOp::SetMajorVersion(v));
+    }
+
+    // --- Interface list (9) ------------------------------------------------
+    for (iface, label) in [
+        ("java/lang/Runnable", "Runnable"),
+        ("java/security/PrivilegedAction", "PrivilegedAction"),
+        ("java/io/Serializable", "Serializable"),
+        ("java/lang/Thread", "Thread (not an interface)"),
+        ("missing/NoSuchInterface", "a missing interface"),
+    ] {
+        r.add(
+            Interface,
+            &format!("interface: implement {label}"),
+            MutOp::AddInterface(iface.to_string()),
+        );
+    }
+    r.add(Interface, "interface: implement a random interface", MutOp::AddInterfaceRandom);
+    r.add(Interface, "interface: delete one", MutOp::DeleteInterface);
+    r.add(Interface, "interface: delete all", MutOp::DeleteAllInterfaces);
+    r.add(Interface, "interface: duplicate one", MutOp::DuplicateInterface);
+
+    // --- Field (22) ---------------------------------------------------------
+    r.add(Field, "field: insert with random type", MutOp::InsertField(None));
+    r.add(Field, "field: insert int field", MutOp::InsertField(Some(JType::Int)));
+    r.add(Field, "field: insert String field", MutOp::InsertField(Some(JType::string())));
+    r.add(Field, "field: insert static final with ConstantValue", MutOp::InsertConstField);
+    r.add(Field, "field: insert duplicate of an existing field", MutOp::InsertDuplicateField);
+    r.add(Field, "field: delete one", MutOp::DeleteField);
+    r.add(Field, "field: delete all", MutOp::DeleteAllFields);
+    r.add(Field, "field: rename one", MutOp::RenameField);
+    r.add(Field, "field: rename to illegal name", MutOp::RenameFieldIllegal);
+    for (flag, label) in [
+        (FieldAccess::STATIC.bits(), "static"),
+        (FieldAccess::FINAL.bits(), "final"),
+        (FieldAccess::PRIVATE.bits(), "private"),
+        (FieldAccess::VOLATILE.bits(), "volatile"),
+        (
+            (FieldAccess::PUBLIC | FieldAccess::PRIVATE).bits(),
+            "public+private (conflict)",
+        ),
+        (
+            (FieldAccess::FINAL | FieldAccess::VOLATILE).bits(),
+            "final+volatile (conflict)",
+        ),
+    ] {
+        r.add(Field, &format!("field: add {label} flag"), MutOp::AddFieldFlag(flag));
+    }
+    r.add(Field, "field: remove public flag", MutOp::RemoveFieldFlag(FieldAccess::PUBLIC.bits()));
+    r.add(Field, "field: remove static flag", MutOp::RemoveFieldFlag(FieldAccess::STATIC.bits()));
+    r.add(Field, "field: clear all flags", MutOp::ClearFieldFlags);
+    r.add(Field, "field: change type randomly", MutOp::ChangeFieldType(None));
+    r.add(
+        Field,
+        "field: change type to Object",
+        MutOp::ChangeFieldType(Some(JType::jobject())),
+    );
+    r.add(Field, "field: change type to int", MutOp::ChangeFieldType(Some(JType::Int)));
+    r.add(
+        Field,
+        "field: replace all with another class's fields",
+        MutOp::ReplaceFieldsWithDonor,
+    );
+
+    // --- Method (34) -----------------------------------------------------------
+    r.add(Method, "method: insert a void method", MutOp::InsertVoidMethod);
+    r.add(Method, "method: insert a static method", MutOp::InsertStaticMethod);
+    r.add(Method, "method: insert duplicate of an existing method", MutOp::InsertDuplicateMethod);
+    r.add(
+        Method,
+        "method: insert public abstract <clinit> without code",
+        MutOp::InsertAbstractClinit,
+    );
+    r.add(Method, "method: insert a main method", MutOp::InsertMainMethod);
+    r.add(Method, "method: delete one", MutOp::DeleteMethod);
+    r.add(Method, "method: delete all", MutOp::DeleteAllMethods);
+    r.add(Method, "method: rename one", MutOp::RenameMethod);
+    r.add(Method, "method: rename to <clinit>", MutOp::RenameMethodTo("<clinit>".into()));
+    r.add(Method, "method: rename to <init>", MutOp::RenameMethodTo("<init>".into()));
+    r.add(Method, "method: rename to main", MutOp::RenameMethodTo("main".into()));
+    r.add(Method, "method: rename to illegal name", MutOp::RenameMethodIllegal);
+    for (flag, label) in [
+        (MethodAccess::STATIC.bits(), "static"),
+        (MethodAccess::ABSTRACT.bits(), "abstract"),
+        (MethodAccess::FINAL.bits(), "final"),
+        (MethodAccess::NATIVE.bits(), "native"),
+        (MethodAccess::PRIVATE.bits(), "private"),
+        (MethodAccess::SYNCHRONIZED.bits(), "synchronized"),
+        (MethodAccess::STRICT.bits(), "strictfp"),
+        (
+            (MethodAccess::PUBLIC | MethodAccess::PRIVATE).bits(),
+            "public+private (conflict)",
+        ),
+    ] {
+        r.add(Method, &format!("method: add {label} flag"), MutOp::AddMethodFlag(flag));
+    }
+    r.add(Method, "method: remove static flag", MutOp::RemoveMethodFlag(MethodAccess::STATIC.bits()));
+    r.add(Method, "method: remove public flag", MutOp::RemoveMethodFlag(MethodAccess::PUBLIC.bits()));
+    r.add(
+        Method,
+        "method: remove abstract flag",
+        MutOp::RemoveMethodFlag(MethodAccess::ABSTRACT.bits()),
+    );
+    r.add(Method, "method: clear all flags", MutOp::ClearMethodFlags);
+    r.add(
+        Method,
+        "method: add abstract flag and delete its opcode",
+        MutOp::MakeMethodAbstractDropBody,
+    );
+    r.add(
+        Method,
+        "method: add native flag and delete its body",
+        MutOp::MakeMethodNativeDropBody,
+    );
+    r.add(Method, "method: change return type to void", MutOp::ChangeReturnType(None));
+    r.add(
+        Method,
+        "method: change return type to int",
+        MutOp::ChangeReturnType(Some(JType::Int)),
+    );
+    r.add(
+        Method,
+        "method: change return type to Thread",
+        MutOp::ChangeReturnType(Some(JType::object("java/lang/Thread"))),
+    );
+    r.add(Method, "method: change return type randomly", MutOp::ChangeReturnTypeRandom);
+    r.add(Method, "method: drop Code attribute keeping flags", MutOp::DropMethodBody);
+    r.add(Method, "method: give a bodiless method an empty body", MutOp::AddEmptyBodyToAbstract);
+    r.add(
+        Method,
+        "method: replace all with another class's methods",
+        MutOp::ReplaceMethodsWithDonor,
+    );
+    r.add(Method, "method: swap two method bodies", MutOp::SwapMethodBodies);
+
+    // --- Exception (9) ------------------------------------------------------------
+    r.add(
+        Exception,
+        "exception: add thrown IOException",
+        MutOp::AddThrown("java/io/IOException".into()),
+    );
+    r.add(
+        Exception,
+        "exception: add thrown RuntimeException",
+        MutOp::AddThrown("java/lang/RuntimeException".into()),
+    );
+    r.add(
+        Exception,
+        "exception: add thrown internal class",
+        MutOp::AddThrown("sun/internal/PiscesKit$2".into()),
+    );
+    r.add(
+        Exception,
+        "exception: add thrown missing class",
+        MutOp::AddThrown("missing/GhostException".into()),
+    );
+    r.add(Exception, "exception: add one thrown at random", MutOp::AddThrownRandom);
+    r.add(Exception, "exception: add a list of exceptions thrown", MutOp::AddThrownList);
+    r.add(Exception, "exception: delete one thrown", MutOp::DeleteThrown);
+    r.add(Exception, "exception: delete all thrown", MutOp::DeleteAllThrown);
+    r.add(Exception, "exception: duplicate one thrown", MutOp::DuplicateThrown);
+
+    // --- Parameter (7) ---------------------------------------------------------------
+    r.add(
+        Parameter,
+        "parameter: insert Object at front",
+        MutOp::InsertParamFront(JType::jobject()),
+    );
+    r.add(Parameter, "parameter: insert int at end", MutOp::InsertParamEnd(JType::Int));
+    r.add(Parameter, "parameter: delete one", MutOp::DeleteParam);
+    r.add(Parameter, "parameter: delete all", MutOp::DeleteAllParams);
+    r.add(Parameter, "parameter: change a type randomly", MutOp::ChangeParamType(None));
+    r.add(
+        Parameter,
+        "parameter: change a type to String",
+        MutOp::ChangeParamType(Some(JType::string())),
+    );
+    r.add(
+        Parameter,
+        "parameter: change a type to Map",
+        MutOp::ChangeParamType(Some(JType::object("java/util/Map"))),
+    );
+
+    // --- Local variable (6) --------------------------------------------------------------
+    r.add(LocalVar, "local: insert with random type", MutOp::InsertLocal(None));
+    r.add(LocalVar, "local: insert int local", MutOp::InsertLocal(Some(JType::Int)));
+    r.add(LocalVar, "local: delete a declaration", MutOp::DeleteLocal);
+    r.add(LocalVar, "local: rename a declaration", MutOp::RenameLocal);
+    r.add(LocalVar, "local: change a type randomly", MutOp::ChangeLocalType(None));
+    r.add(
+        LocalVar,
+        "local: change a type to String",
+        MutOp::ChangeLocalType(Some(JType::string())),
+    );
+
+    // --- Jimple-file statements (6) --------------------------------------------------------
+    r.add(Stmt, "stmt: insert a statement", MutOp::InsertStmt);
+    r.add(Stmt, "stmt: delete a statement", MutOp::DeleteStmt);
+    r.add(Stmt, "stmt: duplicate a statement", MutOp::DuplicateStmt);
+    r.add(Stmt, "stmt: swap two adjacent statements", MutOp::SwapStmts);
+    r.add(Stmt, "stmt: replace a statement with nop", MutOp::ReplaceStmtWithNop);
+    r.add(Stmt, "stmt: delete return statements", MutOp::DeleteReturns);
+
+    debug_assert_eq!(r.out.len(), 129);
+    r.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::MutationCtx;
+    use classfuzz_jimple::IrClass;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exactly_129_mutators_with_paper_split() {
+        let all = all_mutators();
+        assert_eq!(all.len(), 129, "the paper defines 129 mutators");
+        let stmt_level = all.iter().filter(|m| m.target == MutTarget::Stmt).count();
+        assert_eq!(stmt_level, 6, "six mutators rewrite Jimple files");
+        assert_eq!(all.len() - stmt_level, 123, "123 syntactic mutators");
+    }
+
+    #[test]
+    fn ids_are_stable_indices_and_names_unique() {
+        let all = all_mutators();
+        let mut names = std::collections::BTreeSet::new();
+        for (i, m) in all.iter().enumerate() {
+            assert_eq!(m.id, i);
+            assert!(names.insert(m.name.clone()), "duplicate mutator name {}", m.name);
+        }
+    }
+
+    #[test]
+    fn every_mutator_applies_or_reports_not_applicable() {
+        let all = all_mutators();
+        let donors = vec![IrClass::with_hello_main("donor/D", "d")];
+        for m in &all {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(m.id as u64);
+            let mut ctx = MutationCtx::new(&mut rng, &donors);
+            let mut class = IrClass::with_hello_main("seed/S", "Completed!");
+            class.methods.push(classfuzz_jimple::IrMethod::abstract_method(
+                classfuzz_classfile::MethodAccess::PUBLIC
+                    | classfuzz_classfile::MethodAccess::ABSTRACT,
+                "helper",
+                vec![classfuzz_jimple::JType::Int],
+                None,
+            ));
+            class.interfaces.push("java/lang/Runnable".into());
+            class.fields.push(classfuzz_jimple::IrField {
+                access: classfuzz_classfile::FieldAccess::PUBLIC,
+                name: "f".into(),
+                ty: classfuzz_jimple::JType::Int,
+                constant_value: None,
+            });
+            class.methods[1].exceptions.push("java/io/IOException".into());
+            // Must not panic; either mutates or reports NotApplicable.
+            let _ = m.apply(&mut class, &mut ctx);
+        }
+    }
+
+    #[test]
+    fn every_mutant_still_lowers_to_bytes() {
+        let all = all_mutators();
+        let donors = vec![IrClass::with_hello_main("donor/D", "d")];
+        for m in &all {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + m.id as u64);
+            let mut ctx = MutationCtx::new(&mut rng, &donors);
+            let mut class = IrClass::with_hello_main("seed/S", "Completed!");
+            if m.apply(&mut class, &mut ctx).is_ok() {
+                // Lowering is total even for illegal mutants.
+                let bytes = classfuzz_jimple::lower::lower_class(&class).to_bytes();
+                assert!(!bytes.is_empty(), "mutator {} produced no bytes", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn targets_cover_all_table2_rows() {
+        let all = all_mutators();
+        for target in [
+            MutTarget::Class,
+            MutTarget::Interface,
+            MutTarget::Field,
+            MutTarget::Method,
+            MutTarget::Exception,
+            MutTarget::Parameter,
+            MutTarget::LocalVar,
+            MutTarget::Stmt,
+        ] {
+            assert!(
+                all.iter().any(|m| m.target == target),
+                "no mutator targets {target:?}"
+            );
+        }
+    }
+}

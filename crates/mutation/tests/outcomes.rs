@@ -1,0 +1,133 @@
+//! Characterization tests: representative mutators applied to a known seed
+//! must steer the five JVM profiles into the documented discrepancy
+//! classes. (These are the per-mutator analogues of the paper's §3.3
+//! case-study table.)
+
+use classfuzz_jimple::{lower::lower_class, IrClass};
+use classfuzz_mutation::ops::{MutOp, MutTarget, Mutator};
+use classfuzz_mutation::MutationCtx;
+use classfuzz_vm::{Jvm, VmSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn phases_after(op: MutOp, seed_rng: u64) -> Vec<u8> {
+    let donors = vec![IrClass::with_hello_main("donor/D", "d")];
+    let mut rng = StdRng::seed_from_u64(seed_rng);
+    let mut ctx = MutationCtx::new(&mut rng, &donors);
+    let mut class = IrClass::with_hello_main("mut/Seed", "Completed!");
+    let mutator = Mutator { id: 0, name: "test".into(), target: MutTarget::Class, op };
+    mutator.apply(&mut class, &mut ctx).expect("mutator applies to the seed");
+    let bytes = lower_class(&class).to_bytes();
+    VmSpec::all_five()
+        .into_iter()
+        .map(|spec| Jvm::new(spec).run(&bytes).outcome.phase().code())
+        .collect()
+}
+
+#[test]
+fn insert_abstract_clinit_splits_j9() {
+    // Figure 2's construction.
+    assert_eq!(phases_after(MutOp::InsertAbstractClinit, 1), vec![0, 0, 0, 1, 0]);
+}
+
+#[test]
+fn superclass_string_is_final_everywhere() {
+    let phases = phases_after(MutOp::SetSuper("java/lang/String".into()), 2);
+    assert!(phases.iter().all(|&p| p == 2), "final superclass: linking everywhere, got {phases:?}");
+}
+
+#[test]
+fn superclass_map_is_an_interface_everywhere() {
+    let phases = phases_after(MutOp::SetSuper("java/util/Map".into()), 3);
+    assert!(phases.iter().all(|&p| p == 2), "interface superclass: {phases:?}");
+}
+
+#[test]
+fn superclass_missing_is_loading_everywhere() {
+    let phases = phases_after(MutOp::SetSuper("missing/NoSuchClass".into()), 4);
+    assert!(phases.iter().all(|&p| p == 1), "missing superclass: {phases:?}");
+}
+
+#[test]
+fn superclass_self_is_circular() {
+    let phases = phases_after(MutOp::SetSuperSelf, 5);
+    assert!(phases.iter().all(|&p| p == 1), "circularity: {phases:?}");
+}
+
+#[test]
+fn generation_gated_superclass_splits_by_jre() {
+    // jre/ext/LegacySupport exists only in JRE 5/7 (HS7, GIJ).
+    let phases = phases_after(MutOp::SetSuper("jre/ext/LegacySupport".into()), 6);
+    assert_eq!(phases[0], 0, "HotSpot 7 (JRE 7) resolves it");
+    assert_eq!(phases[1], 1, "HotSpot 8 (JRE 8) does not");
+    assert_eq!(phases[2], 1, "HotSpot 9 (JRE 9) does not");
+    assert_eq!(phases[4], 0, "GIJ (JRE 5) resolves it");
+}
+
+#[test]
+fn internal_superclass_splits_hotspot9() {
+    let phases = phases_after(MutOp::SetSuper("sun/internal/PiscesKit".into()), 7);
+    assert_eq!(phases[2], 2, "HotSpot 9 encapsulation rejects at linking");
+    assert_eq!(phases[0], 0, "HotSpot 7 does not care");
+    assert_eq!(phases[3], 0, "J9 does not care");
+}
+
+#[test]
+fn internal_thrown_exception_splits_hotspot9() {
+    let phases = phases_after(MutOp::AddThrown("sun/internal/PiscesKit$2".into()), 8);
+    assert_eq!(phases[2], 2, "HotSpot 9: IllegalAccessError at linking");
+    assert_eq!(phases[3], 0, "J9 does not resolve throws clauses");
+    assert_eq!(phases[4], 0, "GIJ does not resolve throws clauses");
+}
+
+#[test]
+fn missing_thrown_exception_splits_throws_resolvers() {
+    let phases = phases_after(MutOp::AddThrown("missing/GhostException".into()), 9);
+    assert_eq!(&phases[0..3], &[2, 2, 2], "HotSpot resolves throws clauses");
+    assert_eq!(&phases[3..5], &[0, 0], "J9/GIJ do not");
+}
+
+#[test]
+fn version_bump_splits_by_max_version() {
+    let phases = phases_after(MutOp::SetMajorVersion(52), 10);
+    assert_eq!(phases, vec![1, 0, 0, 0, 1], "version 52: HS7 and GIJ reject");
+}
+
+#[test]
+fn delete_all_methods_removes_main_uniformly() {
+    let phases = phases_after(MutOp::DeleteAllMethods, 11);
+    // No methods, no main (the engine's ensure_main step is not applied
+    // here): every VM reports main-not-found at the same phase.
+    assert!(phases.iter().all(|&p| p == 4), "{phases:?}");
+}
+
+#[test]
+fn delete_returns_breaks_verification_where_eager() {
+    let phases = phases_after(MutOp::DeleteReturns, 12);
+    // main falls off the end of its code: eager verifiers reject at
+    // linking; J9 verifies main lazily but main *is* invoked, so it is
+    // also a linking error there.
+    assert!(phases.iter().all(|&p| p == 2), "{phases:?}");
+}
+
+#[test]
+fn make_method_native_uniformly_linkage_fails() {
+    // main becomes native: no Code attribute to invoke anywhere.
+    let phases = phases_after(MutOp::MakeMethodNativeDropBody, 13);
+    let first = phases[0];
+    assert!(phases.iter().all(|&p| p == first), "uniform outcome: {phases:?}");
+    assert_ne!(first, 0, "a native main cannot be normally invoked");
+}
+
+#[test]
+fn clear_class_flags_keeps_running() {
+    // Dropping ACC_PUBLIC/ACC_SUPER is tolerated by every profile.
+    let phases = phases_after(MutOp::ClearClassFlags, 14);
+    assert!(phases.iter().all(|&p| p == 0), "{phases:?}");
+}
+
+#[test]
+fn rename_class_illegal_rejected_uniformly() {
+    let phases = phases_after(MutOp::RenameClassIllegal, 15);
+    assert!(phases.iter().all(|&p| p == 1), "illegal class name: {phases:?}");
+}

@@ -1,0 +1,240 @@
+#![warn(missing_docs)]
+//! Hierarchical delta debugging of discrepancy-triggering classfiles
+//! (§2.3 of the paper, after Misherghi & Su's HDD).
+//!
+//! Given a class that triggers a discrepancy and an oracle that replays the
+//! differential test, [`reduce`] repeatedly deletes methods, fields,
+//! interfaces, `throws` entries, and statements, keeping a deletion only
+//! when the oracle still observes the discrepancy — until no single
+//! deletion survives. The result is the "sufficiently simple classfile"
+//! engineers file bug reports with.
+//!
+//! # Examples
+//!
+//! ```
+//! use classfuzz_jimple::IrClass;
+//! use classfuzz_reduce::reduce;
+//!
+//! // A toy oracle: the discrepancy persists while the class has ≥1 field.
+//! let mut class = IrClass::with_hello_main("r/T", "x");
+//! for i in 0..3 {
+//!     class.fields.push(classfuzz_jimple::IrField {
+//!         access: classfuzz_classfile::FieldAccess::PUBLIC,
+//!         name: format!("f{i}"),
+//!         ty: classfuzz_jimple::JType::Int,
+//!         constant_value: None,
+//!     });
+//! }
+//! let (reduced, stats) = reduce(&class, |c| !c.fields.is_empty());
+//! assert_eq!(reduced.fields.len(), 1);
+//! assert!(stats.kept_deletions >= 2);
+//! ```
+
+use classfuzz_jimple::IrClass;
+
+/// Bookkeeping for one reduction run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReductionStats {
+    /// Candidate deletions attempted (oracle invocations, minus the
+    /// initial sanity check).
+    pub attempts: usize,
+    /// Deletions the oracle accepted.
+    pub kept_deletions: usize,
+    /// Full passes over the class until fixpoint.
+    pub passes: usize,
+}
+
+/// Reduces `class` while `oracle` keeps returning `true` (discrepancy
+/// preserved). Returns the reduced class and statistics.
+///
+/// The oracle is consulted once on the unmodified class; if it returns
+/// `false` there, the input is returned unchanged (nothing to preserve).
+pub fn reduce<F>(class: &IrClass, mut oracle: F) -> (IrClass, ReductionStats)
+where
+    F: FnMut(&IrClass) -> bool,
+{
+    let mut stats = ReductionStats::default();
+    if !oracle(class) {
+        return (class.clone(), stats);
+    }
+    let mut current = class.clone();
+    loop {
+        stats.passes += 1;
+        let mut progressed = false;
+
+        // Step 1 (paper): delete one method / field / statement from the
+        // Jimple form; Step 2: retest — keep the smaller class if the
+        // discrepancy retains.
+        progressed |= shrink_list(
+            &mut current,
+            &mut oracle,
+            &mut stats,
+            |c| c.methods.len(),
+            |c, i| {
+                c.methods.remove(i);
+            },
+        );
+        progressed |= shrink_list(
+            &mut current,
+            &mut oracle,
+            &mut stats,
+            |c| c.fields.len(),
+            |c, i| {
+                c.fields.remove(i);
+            },
+        );
+        progressed |= shrink_list(
+            &mut current,
+            &mut oracle,
+            &mut stats,
+            |c| c.interfaces.len(),
+            |c, i| {
+                c.interfaces.remove(i);
+            },
+        );
+        // Throws clauses, method by method.
+        let method_count = current.methods.len();
+        for m in 0..method_count {
+            progressed |= shrink_list(
+                &mut current,
+                &mut oracle,
+                &mut stats,
+                move |c| c.methods.get(m).map_or(0, |mm| mm.exceptions.len()),
+                move |c, i| {
+                    c.methods[m].exceptions.remove(i);
+                },
+            );
+        }
+        // Statements, method by method.
+        for m in 0..current.methods.len() {
+            progressed |= shrink_list(
+                &mut current,
+                &mut oracle,
+                &mut stats,
+                move |c| {
+                    c.methods
+                        .get(m)
+                        .and_then(|mm| mm.body.as_ref())
+                        .map_or(0, |b| b.stmts.len())
+                },
+                move |c, i| {
+                    if let Some(body) = c.methods[m].body.as_mut() {
+                        body.stmts.remove(i);
+                    }
+                },
+            );
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (current, stats)
+}
+
+/// Tries deleting each element of one list (from the back, so indices stay
+/// valid); keeps deletions the oracle accepts. Returns whether anything was
+/// deleted.
+fn shrink_list<F, L, D>(
+    current: &mut IrClass,
+    oracle: &mut F,
+    stats: &mut ReductionStats,
+    len: L,
+    delete: D,
+) -> bool
+where
+    F: FnMut(&IrClass) -> bool,
+    L: Fn(&IrClass) -> usize,
+    D: Fn(&mut IrClass, usize),
+{
+    let mut progressed = false;
+    let mut i = len(current);
+    while i > 0 {
+        i -= 1;
+        if i >= len(current) {
+            continue;
+        }
+        let mut candidate = current.clone();
+        delete(&mut candidate, i);
+        stats.attempts += 1;
+        if oracle(&candidate) {
+            *current = candidate;
+            stats.kept_deletions += 1;
+            progressed = true;
+        }
+    }
+    progressed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classfuzz_classfile::{FieldAccess, MethodAccess};
+    use classfuzz_jimple::{IrField, IrMethod, JType, Stmt};
+
+    fn padded_class() -> IrClass {
+        let mut class = IrClass::with_hello_main("r/Pad", "x");
+        for i in 0..4 {
+            class.fields.push(IrField {
+                access: FieldAccess::PUBLIC,
+                name: format!("f{i}"),
+                ty: JType::Int,
+                constant_value: None,
+            });
+            class.methods.push(IrMethod::abstract_method(
+                MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+                format!("m{i}"),
+                vec![],
+                None,
+            ));
+        }
+        class.interfaces.push("java/lang/Runnable".into());
+        class.methods[0].exceptions.push("java/io/IOException".into());
+        class
+    }
+
+    #[test]
+    fn reduces_to_the_triggering_construct() {
+        // Discrepancy "caused by" the field named f2.
+        let class = padded_class();
+        let (reduced, stats) = reduce(&class, |c| c.find_field("f2").is_some());
+        assert_eq!(reduced.fields.len(), 1);
+        assert_eq!(reduced.fields[0].name, "f2");
+        assert!(reduced.methods.is_empty());
+        assert!(reduced.interfaces.is_empty());
+        assert!(stats.kept_deletions > 5);
+        assert!(stats.passes >= 2);
+    }
+
+    #[test]
+    fn statement_level_reduction() {
+        let class = IrClass::with_hello_main("r/Stmt", "x");
+        // Keep only classes whose main still has a return statement.
+        let (reduced, _) = reduce(&class, |c| {
+            c.find_method("main")
+                .and_then(|m| m.body.as_ref())
+                .map(|b| b.stmts.iter().any(|s| matches!(s, Stmt::Return(_))))
+                .unwrap_or(false)
+        });
+        let body = reduced.find_method("main").unwrap().body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 1, "only the return should remain");
+    }
+
+    #[test]
+    fn non_triggering_input_returned_unchanged() {
+        let class = padded_class();
+        let (reduced, stats) = reduce(&class, |_| false);
+        assert_eq!(reduced, class);
+        assert_eq!(stats.kept_deletions, 0);
+        assert_eq!(stats.attempts, 0);
+    }
+
+    #[test]
+    fn oracle_never_sees_growth() {
+        let class = padded_class();
+        let baseline = class.methods.len() + class.fields.len();
+        reduce(&class, |c| {
+            assert!(c.methods.len() + c.fields.len() <= baseline);
+            true
+        });
+    }
+}

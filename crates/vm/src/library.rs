@@ -1,0 +1,441 @@
+//! The bootstrap class library — the "execution-related environment `e`" of
+//! the paper's formalization.
+//!
+//! Each [`VmSpec`](crate::spec::VmSpec) carries a
+//! [`JreGeneration`]; the library contents differ
+//! across generations exactly the way the paper's preliminary study exploits:
+//! classes are added, removed, or become `final` between JRE releases, so the
+//! *same* classfile meets a different environment on each VM.
+
+use std::collections::BTreeMap;
+
+use classfuzz_classfile::{ClassAccess, MethodAccess};
+
+use crate::spec::JreGeneration;
+
+/// What the interpreter does when a library method is invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Do nothing; return the descriptor's default value (0/null/void).
+    Default,
+    /// `PrintStream.println(String)` — append a line to captured stdout.
+    PrintlnStr,
+    /// `PrintStream.println(I)`/`(J)`/`(Z)`/`(C)` — print the numeric top.
+    PrintlnValue,
+    /// `PrintStream.println()` — print an empty line.
+    PrintlnEmpty,
+    /// `Object.<init>` and other empty constructors.
+    InitNop,
+    /// `Throwable.<init>(String)` — store the message on the receiver.
+    ThrowableInitMsg,
+    /// `Throwable.getMessage()`.
+    ThrowableGetMessage,
+    /// `String.length()`.
+    StringLength,
+    /// `String.concat(String)`.
+    StringConcat,
+    /// `String.equals(Object)`.
+    StringEquals,
+    /// `String.hashCode()`.
+    StringHashCode,
+    /// `StringBuilder.append(...)` returning the receiver.
+    SbAppend,
+    /// `StringBuilder.toString()`.
+    SbToString,
+    /// `Math.abs(I)`.
+    MathAbs,
+    /// `Math.max(II)`.
+    MathMax,
+    /// `Math.min(II)`.
+    MathMin,
+    /// `Integer.parseInt(String)`.
+    ParseInt,
+    /// `Object.hashCode()`.
+    ObjHashCode,
+    /// `Object.equals(Object)` — reference equality.
+    ObjEquals,
+    /// `Object.toString()`.
+    ObjToString,
+}
+
+/// A method of a library class.
+#[derive(Debug, Clone)]
+pub struct LibMethod {
+    /// Method name.
+    pub name: &'static str,
+    /// Descriptor text.
+    pub desc: &'static str,
+    /// Access flags.
+    pub access: MethodAccess,
+    /// Interpreter semantics.
+    pub behavior: Behavior,
+}
+
+/// A field of a library class.
+#[derive(Debug, Clone)]
+pub struct LibField {
+    /// Field name.
+    pub name: &'static str,
+    /// Descriptor text.
+    pub desc: &'static str,
+}
+
+/// One class of the bootstrap library.
+#[derive(Debug, Clone)]
+pub struct LibClass {
+    /// Binary name.
+    pub name: &'static str,
+    /// Access flags (drives finality/interface checks against user code).
+    pub access: ClassAccess,
+    /// Superclass binary name (`None` only for `java/lang/Object`).
+    pub super_class: Option<&'static str>,
+    /// Implemented/extended interfaces.
+    pub interfaces: Vec<&'static str>,
+    /// Marked internal (`sun.*`-style); Java 9 encapsulation rejects access.
+    pub internal: bool,
+    /// Methods with interpreter semantics.
+    pub methods: Vec<LibMethod>,
+    /// Static fields readable by user code.
+    pub static_fields: Vec<LibField>,
+}
+
+impl LibClass {
+    /// Whether the class is declared `final` in this library build.
+    pub fn is_final(&self) -> bool {
+        self.access.contains(ClassAccess::FINAL)
+    }
+
+    /// Whether this is an interface.
+    pub fn is_interface(&self) -> bool {
+        self.access.contains(ClassAccess::INTERFACE)
+    }
+
+    /// Finds a method by name and descriptor.
+    pub fn find_method(&self, name: &str, desc: &str) -> Option<&LibMethod> {
+        self.methods.iter().find(|m| m.name == name && m.desc == desc)
+    }
+}
+
+fn class(
+    name: &'static str,
+    super_class: Option<&'static str>,
+    access: ClassAccess,
+) -> LibClass {
+    LibClass {
+        name,
+        access,
+        super_class,
+        interfaces: Vec::new(),
+        internal: false,
+        methods: Vec::new(),
+        static_fields: Vec::new(),
+    }
+}
+
+fn m(name: &'static str, desc: &'static str, behavior: Behavior) -> LibMethod {
+    LibMethod { name, desc, access: MethodAccess::PUBLIC, behavior }
+}
+
+fn m_static(name: &'static str, desc: &'static str, behavior: Behavior) -> LibMethod {
+    LibMethod { name, desc, access: MethodAccess::PUBLIC | MethodAccess::STATIC, behavior }
+}
+
+fn iface(name: &'static str) -> LibClass {
+    class(
+        name,
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT,
+    )
+}
+
+fn throwable_subclass(name: &'static str, super_class: &'static str) -> LibClass {
+    let mut c = class(name, Some(super_class), ClassAccess::PUBLIC);
+    c.methods.push(m("<init>", "()V", Behavior::InitNop));
+    c.methods.push(m("<init>", "(Ljava/lang/String;)V", Behavior::ThrowableInitMsg));
+    c
+}
+
+/// Builds the bootstrap library for one JRE generation.
+///
+/// Generation differences (each mirrors a real-world discrepancy source):
+///
+/// * `jre/ext/LegacySupport` exists only in JRE 5/7 (removed later →
+///   `NoClassDefFoundError` on newer VMs);
+/// * `jre/util/StreamKit` exists only in JRE 8/9 (added in 8 → missing on
+///   older VMs);
+/// * `jre/beans/AbstractEditor` becomes **final** in JRE 8 (the
+///   `EnumEditor` case: subclasses verify on 7 but not on 8/9);
+/// * `sun/internal/PiscesKit` and `sun/misc/Unsafe` are internal (Java 9
+///   encapsulation rejects touching them).
+pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
+    let mut lib: BTreeMap<String, LibClass> = BTreeMap::new();
+    let mut add = |c: LibClass| {
+        lib.insert(c.name.to_string(), c);
+    };
+
+    let mut object = class("java/lang/Object", None, ClassAccess::PUBLIC);
+    object.methods.extend([
+        m("<init>", "()V", Behavior::InitNop),
+        m("toString", "()Ljava/lang/String;", Behavior::ObjToString),
+        m("hashCode", "()I", Behavior::ObjHashCode),
+        m("equals", "(Ljava/lang/Object;)Z", Behavior::ObjEquals),
+        m("getClass", "()Ljava/lang/Class;", Behavior::Default),
+    ]);
+    add(object);
+
+    let mut string = class(
+        "java/lang/String",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    );
+    string.interfaces = vec!["java/lang/Comparable", "java/io/Serializable"];
+    string.methods.extend([
+        m("length", "()I", Behavior::StringLength),
+        m("concat", "(Ljava/lang/String;)Ljava/lang/String;", Behavior::StringConcat),
+        m("equals", "(Ljava/lang/Object;)Z", Behavior::StringEquals),
+        m("hashCode", "()I", Behavior::StringHashCode),
+    ]);
+    add(string);
+
+    let mut system = class(
+        "java/lang/System",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    );
+    system.static_fields.push(LibField { name: "out", desc: "Ljava/io/PrintStream;" });
+    system.static_fields.push(LibField { name: "err", desc: "Ljava/io/PrintStream;" });
+    add(system);
+
+    let mut print_stream = class("java/io/PrintStream", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    print_stream.methods.extend([
+        m("println", "(Ljava/lang/String;)V", Behavior::PrintlnStr),
+        m("println", "(I)V", Behavior::PrintlnValue),
+        m("println", "(J)V", Behavior::PrintlnValue),
+        m("println", "(Z)V", Behavior::PrintlnValue),
+        m("println", "(C)V", Behavior::PrintlnValue),
+        m("println", "(D)V", Behavior::PrintlnValue),
+        m("println", "()V", Behavior::PrintlnEmpty),
+        m("print", "(Ljava/lang/String;)V", Behavior::PrintlnStr),
+        m("println", "(Ljava/lang/Object;)V", Behavior::PrintlnValue),
+    ]);
+    add(print_stream);
+
+    let mut sb = class("java/lang/StringBuilder", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    sb.methods.extend([
+        m("<init>", "()V", Behavior::InitNop),
+        m("append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;", Behavior::SbAppend),
+        m("append", "(I)Ljava/lang/StringBuilder;", Behavior::SbAppend),
+        m("append", "(J)Ljava/lang/StringBuilder;", Behavior::SbAppend),
+        m("append", "(Z)Ljava/lang/StringBuilder;", Behavior::SbAppend),
+        m("toString", "()Ljava/lang/String;", Behavior::SbToString),
+    ]);
+    add(sb);
+
+    let mut math = class(
+        "java/lang/Math",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    );
+    math.methods.extend([
+        m_static("abs", "(I)I", Behavior::MathAbs),
+        m_static("max", "(II)I", Behavior::MathMax),
+        m_static("min", "(II)I", Behavior::MathMin),
+    ]);
+    add(math);
+
+    let mut integer = class(
+        "java/lang/Integer",
+        Some("java/lang/Number"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    );
+    integer.methods.push(m_static("parseInt", "(Ljava/lang/String;)I", Behavior::ParseInt));
+    add(integer);
+    add(class("java/lang/Number", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::ABSTRACT));
+    add(class("java/lang/Class", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::FINAL));
+    add(class("java/lang/Enum", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::ABSTRACT));
+
+    let mut thread = class("java/lang/Thread", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    thread.interfaces = vec!["java/lang/Runnable"];
+    thread.methods.extend([
+        m("<init>", "()V", Behavior::InitNop),
+        m("start", "()V", Behavior::Default),
+        m("run", "()V", Behavior::Default),
+    ]);
+    add(thread);
+
+    // Throwable hierarchy.
+    let mut throwable = class("java/lang/Throwable", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    throwable.methods.extend([
+        m("<init>", "()V", Behavior::InitNop),
+        m("<init>", "(Ljava/lang/String;)V", Behavior::ThrowableInitMsg),
+        m("getMessage", "()Ljava/lang/String;", Behavior::ThrowableGetMessage),
+    ]);
+    add(throwable);
+    add(throwable_subclass("java/lang/Exception", "java/lang/Throwable"));
+    add(throwable_subclass("java/lang/RuntimeException", "java/lang/Exception"));
+    add(throwable_subclass("java/lang/ArithmeticException", "java/lang/RuntimeException"));
+    add(throwable_subclass("java/lang/NullPointerException", "java/lang/RuntimeException"));
+    add(throwable_subclass("java/lang/ClassCastException", "java/lang/RuntimeException"));
+    add(throwable_subclass("java/lang/IllegalArgumentException", "java/lang/RuntimeException"));
+    add(throwable_subclass("java/lang/IllegalStateException", "java/lang/RuntimeException"));
+    add(throwable_subclass("java/lang/IndexOutOfBoundsException", "java/lang/RuntimeException"));
+    add(throwable_subclass(
+        "java/lang/ArrayIndexOutOfBoundsException",
+        "java/lang/IndexOutOfBoundsException",
+    ));
+    add(throwable_subclass("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"));
+    add(throwable_subclass("java/lang/Error", "java/lang/Throwable"));
+    add(throwable_subclass("java/lang/LinkageError", "java/lang/Error"));
+    add(throwable_subclass("java/lang/VerifyError", "java/lang/LinkageError"));
+    add(throwable_subclass("java/lang/ClassFormatError", "java/lang/LinkageError"));
+    add(throwable_subclass("java/io/IOException", "java/lang/Exception"));
+    add(throwable_subclass("java/io/FileNotFoundException", "java/io/IOException"));
+
+    // Interfaces.
+    let mut runnable = iface("java/lang/Runnable");
+    runnable.methods.push(LibMethod {
+        name: "run",
+        desc: "()V",
+        access: MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        behavior: Behavior::Default,
+    });
+    add(runnable);
+    add(iface("java/lang/Comparable"));
+    add(iface("java/lang/Cloneable"));
+    add(iface("java/io/Serializable"));
+    let mut privileged = iface("java/security/PrivilegedAction");
+    privileged.methods.push(LibMethod {
+        name: "run",
+        desc: "()Ljava/lang/Object;",
+        access: MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        behavior: Behavior::Default,
+    });
+    add(privileged);
+    add(iface("java/util/Map"));
+    add(iface("java/util/Iterator"));
+    add(iface("java/lang/Iterable"));
+    add(iface("java/util/Enumeration"));
+
+    let mut abstract_map =
+        class("java/util/AbstractMap", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::ABSTRACT);
+    abstract_map.interfaces = vec!["java/util/Map"];
+    add(abstract_map);
+    let mut hash_map = class("java/util/HashMap", Some("java/util/AbstractMap"), ClassAccess::PUBLIC);
+    hash_map.interfaces = vec!["java/util/Map"];
+    hash_map.methods.push(m("<init>", "()V", Behavior::InitNop));
+    add(hash_map);
+    let mut bool_cls = class(
+        "java/lang/Boolean",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    );
+    bool_cls.methods.push(m_static("getBoolean", "(Ljava/lang/String;)Z", Behavior::Default));
+    add(bool_cls);
+
+    // --- Generation-gated classes -------------------------------------
+
+    if matches!(gen, JreGeneration::Jre5 | JreGeneration::Jre7) {
+        let mut legacy = class("jre/ext/LegacySupport", Some("java/lang/Object"), ClassAccess::PUBLIC);
+        legacy.methods.push(m_static("status", "()I", Behavior::Default));
+        legacy.methods.push(m("<init>", "()V", Behavior::InitNop));
+        add(legacy);
+    }
+    if matches!(gen, JreGeneration::Jre8 | JreGeneration::Jre9) {
+        let mut kit = class("jre/util/StreamKit", Some("java/lang/Object"), ClassAccess::PUBLIC);
+        kit.methods.push(m_static("count", "()I", Behavior::Default));
+        kit.methods.push(m("<init>", "()V", Behavior::InitNop));
+        add(kit);
+    }
+
+    // The EnumEditor shape: AbstractEditor is open through JRE 7, final
+    // afterwards, so user classes extending it diverge across generations.
+    let editor_access = if matches!(gen, JreGeneration::Jre8 | JreGeneration::Jre9) {
+        ClassAccess::PUBLIC | ClassAccess::FINAL
+    } else {
+        ClassAccess::PUBLIC
+    };
+    let mut abstract_editor = class("jre/beans/AbstractEditor", Some("java/lang/Object"), editor_access);
+    abstract_editor.methods.push(m("<init>", "()V", Behavior::InitNop));
+    add(abstract_editor);
+
+    // Internal (sun.*-style) classes: present everywhere, but Java 9
+    // encapsulation makes touching them an IllegalAccessError.
+    let mut pisces = class("sun/internal/PiscesKit", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    pisces.internal = true;
+    pisces.methods.push(m("<init>", "()V", Behavior::InitNop));
+    add(pisces);
+    let mut pisces2 = throwable_subclass("sun/internal/PiscesKit$2", "java/lang/Exception");
+    pisces2.internal = true;
+    add(pisces2);
+    let mut unsafe_cls = class(
+        "sun/misc/Unsafe",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    );
+    unsafe_cls.internal = true;
+    add(unsafe_cls);
+
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_classes_exist_in_every_generation() {
+        for gen in [
+            JreGeneration::Jre5,
+            JreGeneration::Jre7,
+            JreGeneration::Jre8,
+            JreGeneration::Jre9,
+        ] {
+            let lib = bootstrap_library(gen);
+            for name in [
+                "java/lang/Object",
+                "java/lang/String",
+                "java/lang/System",
+                "java/io/PrintStream",
+                "java/lang/Throwable",
+            ] {
+                assert!(lib.contains_key(name), "{name} missing in {gen:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_gated_availability() {
+        let jre7 = bootstrap_library(JreGeneration::Jre7);
+        let jre8 = bootstrap_library(JreGeneration::Jre8);
+        assert!(jre7.contains_key("jre/ext/LegacySupport"));
+        assert!(!jre8.contains_key("jre/ext/LegacySupport"));
+        assert!(!jre7.contains_key("jre/util/StreamKit"));
+        assert!(jre8.contains_key("jre/util/StreamKit"));
+    }
+
+    #[test]
+    fn abstract_editor_finality_flips_at_jre8() {
+        let jre7 = bootstrap_library(JreGeneration::Jre7);
+        let jre8 = bootstrap_library(JreGeneration::Jre8);
+        assert!(!jre7["jre/beans/AbstractEditor"].is_final());
+        assert!(jre8["jre/beans/AbstractEditor"].is_final());
+    }
+
+    #[test]
+    fn internal_marking() {
+        let lib = bootstrap_library(JreGeneration::Jre9);
+        assert!(lib["sun/misc/Unsafe"].internal);
+        assert!(lib["sun/internal/PiscesKit$2"].internal);
+        assert!(!lib["java/lang/String"].internal);
+    }
+
+    #[test]
+    fn method_lookup() {
+        let lib = bootstrap_library(JreGeneration::Jre9);
+        let ps = &lib["java/io/PrintStream"];
+        assert!(ps.find_method("println", "(Ljava/lang/String;)V").is_some());
+        assert!(ps.find_method("println", "(F)V").is_none());
+        assert!(lib["java/lang/String"].is_final());
+        assert!(lib["java/util/Map"].is_interface());
+    }
+}

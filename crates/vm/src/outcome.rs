@@ -1,0 +1,248 @@
+//! Execution outcomes: startup phases and JVM errors (Table 1 of the paper).
+
+use std::fmt;
+
+/// The startup phase in which a classfile was accepted or rejected.
+///
+/// Matches the paper's five-way result simplification (§2.3): the numeric
+/// value is the digit used in encoded output sequences like Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// `0` — the main method was normally invoked.
+    Invoked,
+    /// `1` — rejected during creation & loading.
+    Loading,
+    /// `2` — rejected during linking (verification/preparation/resolution).
+    Linking,
+    /// `3` — rejected during initialization (`<clinit>` execution).
+    Initializing,
+    /// `4` — rejected at runtime (including "main method not found").
+    Runtime,
+}
+
+impl Phase {
+    /// The digit used in encoded output sequences.
+    pub fn code(self) -> u8 {
+        match self {
+            Phase::Invoked => 0,
+            Phase::Loading => 1,
+            Phase::Linking => 2,
+            Phase::Initializing => 3,
+            Phase::Runtime => 4,
+        }
+    }
+
+    /// Every startup run ends in one of these five states.
+    pub fn is_terminal(self) -> bool {
+        true
+    }
+
+    /// Human-readable phase name as used in Table 7.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Phase::Invoked => "Normally invoked",
+            Phase::Loading => "Rejected during the creation/loading phase",
+            Phase::Linking => "Rejected during the linking phase",
+            Phase::Initializing => "Rejected during the initialization phase",
+            Phase::Runtime => "Rejected at runtime",
+        }
+    }
+
+    /// All phases, in encoding order.
+    pub fn all() -> [Phase; 5] {
+        [Phase::Invoked, Phase::Loading, Phase::Linking, Phase::Initializing, Phase::Runtime]
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// The kind of error or exception a JVM reported (Table 1's error classes
+/// plus the runtime exceptions the interpreter can raise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // names mirror java.lang.* error classes one-to-one
+pub enum JvmErrorKind {
+    ClassFormatError,
+    UnsupportedClassVersionError,
+    ClassCircularityError,
+    NoClassDefFoundError,
+    VerifyError,
+    IncompatibleClassChangeError,
+    AbstractMethodError,
+    IllegalAccessError,
+    InstantiationError,
+    NoSuchFieldError,
+    NoSuchMethodError,
+    UnsatisfiedLinkError,
+    ExceptionInInitializerError,
+    /// The launcher could not find (or may not invoke) a suitable `main`.
+    MainMethodNotFound,
+    ArithmeticException,
+    NullPointerException,
+    ClassCastException,
+    ArrayIndexOutOfBoundsException,
+    NegativeArraySizeException,
+    StackOverflowError,
+    OutOfMemoryError,
+    /// Execution exceeded the interpreter's deterministic step budget.
+    ExecutionBudgetExceeded,
+    /// A user (or library) exception propagated out of `main`.
+    UncaughtException,
+    /// The VM itself gave up in a way no specified error covers.
+    InternalError,
+}
+
+impl JvmErrorKind {
+    /// The `java.lang` spelling of the error, for report rendering.
+    pub fn java_name(self) -> &'static str {
+        match self {
+            JvmErrorKind::ClassFormatError => "java.lang.ClassFormatError",
+            JvmErrorKind::UnsupportedClassVersionError => {
+                "java.lang.UnsupportedClassVersionError"
+            }
+            JvmErrorKind::ClassCircularityError => "java.lang.ClassCircularityError",
+            JvmErrorKind::NoClassDefFoundError => "java.lang.NoClassDefFoundError",
+            JvmErrorKind::VerifyError => "java.lang.VerifyError",
+            JvmErrorKind::IncompatibleClassChangeError => {
+                "java.lang.IncompatibleClassChangeError"
+            }
+            JvmErrorKind::AbstractMethodError => "java.lang.AbstractMethodError",
+            JvmErrorKind::IllegalAccessError => "java.lang.IllegalAccessError",
+            JvmErrorKind::InstantiationError => "java.lang.InstantiationError",
+            JvmErrorKind::NoSuchFieldError => "java.lang.NoSuchFieldError",
+            JvmErrorKind::NoSuchMethodError => "java.lang.NoSuchMethodError",
+            JvmErrorKind::UnsatisfiedLinkError => "java.lang.UnsatisfiedLinkError",
+            JvmErrorKind::ExceptionInInitializerError => {
+                "java.lang.ExceptionInInitializerError"
+            }
+            JvmErrorKind::MainMethodNotFound => "Error: Main method not found",
+            JvmErrorKind::ArithmeticException => "java.lang.ArithmeticException",
+            JvmErrorKind::NullPointerException => "java.lang.NullPointerException",
+            JvmErrorKind::ClassCastException => "java.lang.ClassCastException",
+            JvmErrorKind::ArrayIndexOutOfBoundsException => {
+                "java.lang.ArrayIndexOutOfBoundsException"
+            }
+            JvmErrorKind::NegativeArraySizeException => {
+                "java.lang.NegativeArraySizeException"
+            }
+            JvmErrorKind::StackOverflowError => "java.lang.StackOverflowError",
+            JvmErrorKind::OutOfMemoryError => "java.lang.OutOfMemoryError",
+            JvmErrorKind::ExecutionBudgetExceeded => "Error: execution budget exceeded",
+            JvmErrorKind::UncaughtException => "Exception in thread \"main\"",
+            JvmErrorKind::InternalError => "java.lang.InternalError",
+        }
+    }
+}
+
+impl fmt::Display for JvmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.java_name())
+    }
+}
+
+/// A JVM error with its diagnostic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JvmError {
+    /// Error classification.
+    pub kind: JvmErrorKind,
+    /// Vendor-style diagnostic text.
+    pub message: String,
+}
+
+impl JvmError {
+    /// Creates an error of `kind` with `message`.
+    pub fn new(kind: JvmErrorKind, message: impl Into<String>) -> Self {
+        JvmError { kind, message: message.into() }
+    }
+}
+
+impl fmt::Display for JvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for JvmError {}
+
+/// The observable behavior `r = jvm(e, c, i)` of one startup run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The class loaded, linked, initialized, and `main` ran to completion.
+    Invoked {
+        /// Lines printed to standard out.
+        stdout: Vec<String>,
+    },
+    /// The class was rejected in `phase` with `error`.
+    Rejected {
+        /// Phase of rejection.
+        phase: Phase,
+        /// The reported error.
+        error: JvmError,
+    },
+}
+
+impl Outcome {
+    /// The phase digit for encoded output sequences.
+    pub fn phase(&self) -> Phase {
+        match self {
+            Outcome::Invoked { .. } => Phase::Invoked,
+            Outcome::Rejected { phase, .. } => *phase,
+        }
+    }
+
+    /// The error, when rejected.
+    pub fn error(&self) -> Option<&JvmError> {
+        match self {
+            Outcome::Invoked { .. } => None,
+            Outcome::Rejected { error, .. } => Some(error),
+        }
+    }
+
+    /// Convenience constructor for a rejection.
+    pub fn rejected(phase: Phase, kind: JvmErrorKind, message: impl Into<String>) -> Self {
+        Outcome::Rejected { phase, error: JvmError::new(kind, message) }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Invoked { stdout } => write!(f, "invoked ({} lines)", stdout.len()),
+            Outcome::Rejected { phase, error } => write!(f, "rejected[{phase}] {error}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_codes_match_paper_encoding() {
+        assert_eq!(Phase::Invoked.code(), 0);
+        assert_eq!(Phase::Loading.code(), 1);
+        assert_eq!(Phase::Linking.code(), 2);
+        assert_eq!(Phase::Initializing.code(), 3);
+        assert_eq!(Phase::Runtime.code(), 4);
+        assert_eq!(Phase::all().map(Phase::code), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let ok = Outcome::Invoked { stdout: vec!["Completed!".into()] };
+        assert_eq!(ok.phase(), Phase::Invoked);
+        assert!(ok.error().is_none());
+        let bad = Outcome::rejected(Phase::Linking, JvmErrorKind::VerifyError, "bad stack");
+        assert_eq!(bad.phase(), Phase::Linking);
+        assert_eq!(bad.error().unwrap().kind, JvmErrorKind::VerifyError);
+    }
+
+    #[test]
+    fn error_rendering() {
+        let e = JvmError::new(JvmErrorKind::ClassFormatError, "no Code attribute");
+        assert_eq!(e.to_string(), "java.lang.ClassFormatError: no Code attribute");
+    }
+}

@@ -1,0 +1,281 @@
+//! VM policy profiles — the knobs in which the five tested JVMs differ.
+//!
+//! Each knob is grounded in a behavior the paper documents (§1, §3.3
+//! Problems 1–4); see `DESIGN.md` §5 for the mapping. One startup engine
+//! parameterised by a [`VmSpec`] plays the role of the five JVM binaries in
+//! Table 3.
+
+use std::fmt;
+
+/// Which vendor's implementation style a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// Oracle/OpenJDK HotSpot.
+    HotSpot,
+    /// IBM J9.
+    J9,
+    /// GNU GIJ (the libgcj interpreter).
+    Gij,
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Vendor::HotSpot => "HotSpot",
+            Vendor::J9 => "J9",
+            Vendor::Gij => "GIJ",
+        })
+    }
+}
+
+/// Which generation of the bootstrap class library the VM ships with.
+///
+/// Drives the environment-induced discrepancies of the paper's preliminary
+/// study (§1): classes present/absent/final differ between generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JreGeneration {
+    /// Java 5-era library (GIJ).
+    Jre5,
+    /// Java 7 library.
+    Jre7,
+    /// Java 8 library.
+    Jre8,
+    /// Java 9 (early-access) library.
+    Jre9,
+}
+
+/// What error a VM reports when a class extends a `final` superclass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FinalSuperError {
+    /// `VerifyError` (HotSpot's historical behavior, per the EnumEditor
+    /// case in §1).
+    Verify,
+    /// `IncompatibleClassChangeError` (the JVMS-lettered behavior).
+    IncompatibleClassChange,
+}
+
+/// A complete JVM policy profile.
+///
+/// Construct via the five presets ([`VmSpec::hotspot7`] …) or tweak fields
+/// for ablation studies; every field is public and documented by the
+/// discrepancy class it controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmSpec {
+    /// Display name, e.g. `"HotSpot for Java 8"`.
+    pub name: String,
+    /// Vendor style.
+    pub vendor: Vendor,
+    /// Java platform version (7, 8, 9; 5 for GIJ).
+    pub java_version: u8,
+    /// Bootstrap library generation.
+    pub jre: JreGeneration,
+    /// Highest classfile major version accepted
+    /// (`UnsupportedClassVersionError` above it).
+    pub max_class_version: u16,
+    /// Problem 1 — J9: a method *named* `<clinit>` must carry a `Code`
+    /// attribute, whatever its flags; HotSpot treats a non-static
+    /// `<clinit>` as an ordinary method "of no consequence".
+    pub clinit_requires_code: bool,
+    /// Problem 1 — HotSpot: skip method-flag validity checks entirely for
+    /// methods named `<clinit>` (they are of no consequence).
+    pub clinit_flags_exempt: bool,
+    /// Problem 2 — J9 verifies a method only when it is first invoked;
+    /// HotSpot and GIJ verify every method at link time.
+    pub lazy_method_verification: bool,
+    /// Problem 2 — GIJ flags a merge of initialized and uninitialized
+    /// types as a `VerifyError`; HotSpot misses it.
+    pub check_uninit_merge: bool,
+    /// Problem 2 — GIJ rejects provably incompatible reference-argument
+    /// passing (`String` where `Map` is declared); HotSpot assumes
+    /// assignability for classes it has not loaded.
+    pub check_param_cast: bool,
+    /// Problem 3 — HotSpot resolves `throws`-clause classes during linking
+    /// (exposing missing/internal classes); J9 and GIJ do not.
+    pub resolve_throws_clauses: bool,
+    /// Problem 3 — Java 9-style encapsulation: touching an internal
+    /// (`sun.*`-like) library class raises `IllegalAccessError`.
+    pub reject_internal_access: bool,
+    /// Problem 4 — everyone but GIJ: an interface's superclass must be
+    /// `java/lang/Object`.
+    pub interface_must_extend_object: bool,
+    /// Problem 4 — everyone but GIJ: interface methods must be public
+    /// abstract; interface fields public static final.
+    pub interface_members_must_be_public: bool,
+    /// Problem 4 — GIJ only: an interface carrying a `main` method may be
+    /// launched.
+    pub interface_main_invocable: bool,
+    /// Problem 4 — everyone but GIJ: `<init>` must not be static, final,
+    /// synchronized, native, or abstract, and must return `void`.
+    pub strict_init_signature: bool,
+    /// Problem 4 — GIJ accepts a class declaring duplicate fields.
+    pub allow_duplicate_fields: bool,
+    /// §1 — J9's verifier demands exactly matching stack shapes at merge
+    /// points ("stack shape inconsistent"); others accept mergeable frames.
+    pub strict_stack_shape_merge: bool,
+    /// Error kind reported when extending a `final` class.
+    pub final_super_error: FinalSuperError,
+    /// §3.3 — J9/GIJ report a `ClassFormatError` for an abstract method in
+    /// a non-abstract class at load time; HotSpot defers.
+    pub reject_abstract_in_concrete: bool,
+    /// Interpreter step budget (keeps differential runs deterministic).
+    pub step_budget: u64,
+}
+
+impl VmSpec {
+    /// HotSpot for Java 7 (Table 3).
+    pub fn hotspot7() -> Self {
+        VmSpec { name: "HotSpot for Java 7".into(), java_version: 7, jre: JreGeneration::Jre7, max_class_version: 51, ..Self::hotspot_base() }
+    }
+
+    /// HotSpot for Java 8 (Table 3).
+    pub fn hotspot8() -> Self {
+        VmSpec { name: "HotSpot for Java 8".into(), java_version: 8, jre: JreGeneration::Jre8, max_class_version: 52, ..Self::hotspot_base() }
+    }
+
+    /// HotSpot for Java 9 — the paper's reference JVM (coverage source).
+    pub fn hotspot9() -> Self {
+        VmSpec {
+            name: "HotSpot for Java 9".into(),
+            java_version: 9,
+            jre: JreGeneration::Jre9,
+            max_class_version: 53,
+            reject_internal_access: true,
+            ..Self::hotspot_base()
+        }
+    }
+
+    /// IBM J9 for SDK 8 (Table 3).
+    pub fn j9() -> Self {
+        VmSpec {
+            name: "J9 for IBM SDK8".into(),
+            vendor: Vendor::J9,
+            java_version: 8,
+            jre: JreGeneration::Jre8,
+            max_class_version: 52,
+            clinit_requires_code: true,
+            clinit_flags_exempt: false,
+            lazy_method_verification: true,
+            resolve_throws_clauses: false,
+            strict_stack_shape_merge: true,
+            reject_abstract_in_concrete: true,
+            final_super_error: FinalSuperError::IncompatibleClassChange,
+            ..Self::hotspot_base()
+        }
+    }
+
+    /// GNU GIJ 5.1.0 (Table 3) — lenient loader, occasionally stricter
+    /// verifier.
+    pub fn gij() -> Self {
+        VmSpec {
+            name: "GIJ 5.1.0".into(),
+            vendor: Vendor::Gij,
+            java_version: 5,
+            jre: JreGeneration::Jre5,
+            // GIJ processes version 51 classes despite conforming to 1.5.
+            max_class_version: 51,
+            clinit_requires_code: false,
+            clinit_flags_exempt: true,
+            lazy_method_verification: false,
+            check_uninit_merge: true,
+            check_param_cast: true,
+            resolve_throws_clauses: false,
+            reject_internal_access: false,
+            interface_must_extend_object: false,
+            interface_members_must_be_public: false,
+            interface_main_invocable: true,
+            strict_init_signature: false,
+            allow_duplicate_fields: true,
+            strict_stack_shape_merge: false,
+            reject_abstract_in_concrete: true,
+            final_super_error: FinalSuperError::IncompatibleClassChange,
+            ..Self::hotspot_base()
+        }
+    }
+
+    fn hotspot_base() -> Self {
+        VmSpec {
+            name: "HotSpot".into(),
+            vendor: Vendor::HotSpot,
+            java_version: 9,
+            jre: JreGeneration::Jre9,
+            max_class_version: 53,
+            clinit_requires_code: false,
+            clinit_flags_exempt: true,
+            lazy_method_verification: false,
+            check_uninit_merge: false,
+            check_param_cast: false,
+            resolve_throws_clauses: true,
+            reject_internal_access: false,
+            interface_must_extend_object: true,
+            interface_members_must_be_public: true,
+            interface_main_invocable: false,
+            strict_init_signature: true,
+            allow_duplicate_fields: false,
+            strict_stack_shape_merge: false,
+            final_super_error: FinalSuperError::Verify,
+            reject_abstract_in_concrete: false,
+            step_budget: 200_000,
+        }
+    }
+
+    /// The five JVMs of Table 3, in the paper's column order:
+    /// HotSpot 7, HotSpot 8, HotSpot 9, J9, GIJ.
+    pub fn all_five() -> Vec<VmSpec> {
+        vec![
+            VmSpec::hotspot7(),
+            VmSpec::hotspot8(),
+            VmSpec::hotspot9(),
+            VmSpec::j9(),
+            VmSpec::gij(),
+        ]
+    }
+}
+
+impl fmt::Display for VmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_profiles_in_table3_order() {
+        let all = VmSpec::all_five();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[0].java_version, 7);
+        assert_eq!(all[2].name, "HotSpot for Java 9");
+        assert_eq!(all[3].vendor, Vendor::J9);
+        assert_eq!(all[4].vendor, Vendor::Gij);
+    }
+
+    #[test]
+    fn knobs_encode_documented_differences() {
+        let hs8 = VmSpec::hotspot8();
+        let j9 = VmSpec::j9();
+        let gij = VmSpec::gij();
+        // Problem 1
+        assert!(!hs8.clinit_requires_code);
+        assert!(j9.clinit_requires_code);
+        // Problem 2
+        assert!(j9.lazy_method_verification);
+        assert!(!hs8.lazy_method_verification);
+        assert!(gij.check_uninit_merge && !hs8.check_uninit_merge);
+        // Problem 3
+        assert!(VmSpec::hotspot9().reject_internal_access);
+        assert!(!j9.reject_internal_access);
+        // Problem 4
+        assert!(!gij.interface_must_extend_object);
+        assert!(gij.interface_main_invocable);
+        assert!(gij.allow_duplicate_fields);
+    }
+
+    #[test]
+    fn version_gates() {
+        assert_eq!(VmSpec::hotspot7().max_class_version, 51);
+        assert_eq!(VmSpec::hotspot8().max_class_version, 52);
+        assert_eq!(VmSpec::gij().max_class_version, 51);
+    }
+}

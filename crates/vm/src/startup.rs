@@ -1,0 +1,438 @@
+//! The JVM startup pipeline: loading → linking → initialization →
+//! invocation (Table 1), producing one [`Outcome`] per run.
+
+use classfuzz_classfile::{ClassAccess, ClassFile, MethodAccess};
+use classfuzz_coverage::TraceFile;
+
+use crate::cov::Cov;
+use crate::interp::{ExecError, Machine, RtValue};
+use crate::outcome::{JvmErrorKind, Outcome, Phase};
+use crate::spec::VmSpec;
+use crate::world::{UserClass, World};
+use crate::{linker, loader, probe, probe_branch, verifier};
+
+/// The result of one startup run: the observable outcome plus (for the
+/// reference VM) the coverage tracefile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// The observable behavior `r = jvm(e, c, i)`.
+    pub outcome: Outcome,
+    /// Coverage of the VM's classfile-processing code, when collected.
+    pub trace: Option<TraceFile>,
+}
+
+/// A JVM instance: one policy profile, ready to run classfiles.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_vm::{Jvm, VmSpec};
+/// use classfuzz_jimple::{lower::lower_class, IrClass};
+///
+/// let class = IrClass::with_hello_main("demo/Hi", "Completed!");
+/// let bytes = lower_class(&class).to_bytes();
+/// let jvm = Jvm::new(VmSpec::hotspot8());
+/// let result = jvm.run(&bytes);
+/// assert_eq!(result.outcome.phase().code(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Jvm {
+    spec: VmSpec,
+}
+
+impl Jvm {
+    /// Creates a JVM with the given policy profile.
+    pub fn new(spec: VmSpec) -> Jvm {
+        Jvm { spec }
+    }
+
+    /// The policy profile.
+    pub fn spec(&self) -> &VmSpec {
+        &self.spec
+    }
+
+    /// Runs `java <class>` on the given classfile bytes, without coverage.
+    pub fn run(&self, class_bytes: &[u8]) -> ExecutionResult {
+        self.run_with_options(class_bytes, &[], false)
+    }
+
+    /// Runs with coverage collection — the reference-JVM mode
+    /// (`--enable-native-coverage` in the paper's setup).
+    pub fn run_traced(&self, class_bytes: &[u8]) -> ExecutionResult {
+        self.run_with_options(class_bytes, &[], true)
+    }
+
+    /// Full-control entry point: extra classpath entries and optional
+    /// coverage.
+    pub fn run_with_options(
+        &self,
+        class_bytes: &[u8],
+        classpath: &[Vec<u8>],
+        collect_coverage: bool,
+    ) -> ExecutionResult {
+        let mut cov = if collect_coverage { Cov::enabled() } else { Cov::disabled() };
+        let outcome = self.startup(class_bytes, classpath, &mut cov);
+        ExecutionResult { outcome, trace: cov.into_trace() }
+    }
+
+    fn startup(&self, class_bytes: &[u8], classpath: &[Vec<u8>], cov: &mut Cov) -> Outcome {
+        probe!(cov);
+        // --- Creation & loading: parse ---------------------------------
+        let cf = match ClassFile::from_bytes(class_bytes) {
+            Ok(cf) => cf,
+            Err(e) => {
+                probe!(cov);
+                return Outcome::rejected(
+                    Phase::Loading,
+                    JvmErrorKind::ClassFormatError,
+                    e.to_string(),
+                );
+            }
+        };
+        let main_class = UserClass::summarize(cf);
+        let main_name = main_class.name.clone();
+        let mut user_classes = vec![main_class];
+        for extra in classpath {
+            if let Ok(cf) = ClassFile::from_bytes(extra) {
+                user_classes.push(UserClass::summarize(cf));
+            }
+        }
+        let world = World::new(&self.spec, user_classes);
+        let main_class = world
+            .user_class(&main_name)
+            .expect("main class was just inserted")
+            .clone();
+
+        // --- Creation & loading: format check --------------------------
+        if let Err(outcome) = loader::format_check(&main_class, &self.spec, cov) {
+            return outcome;
+        }
+
+        // --- Linking: hierarchy, throws resolution ---------------------
+        if let Err(outcome) = linker::link_check(&world, &main_class, &self.spec, cov) {
+            return outcome;
+        }
+
+        // --- Linking: verification (eager VMs verify every method) -----
+        if probe_branch!(cov, !self.spec.lazy_method_verification) {
+            if let Err(outcome) = verifier::verify_class(&world, &main_class, &self.spec, cov)
+            {
+                return outcome;
+            }
+        }
+
+        // --- Initialization: preparation + <clinit> --------------------
+        let mut machine = Machine::new(&world, &self.spec);
+        machine.prepare_statics(&main_class);
+        if let Some(clinit) = self.initializer_of(&main_class) {
+            probe!(cov);
+            match machine.call_static(&main_class, &clinit.0, &clinit.1, vec![], cov) {
+                Ok(_) => {}
+                Err(ExecError::Linkage { kind, message }) => {
+                    // Linkage errors surfacing from lazy verification or
+                    // resolution inside <clinit> are linking-phase errors.
+                    return Outcome::rejected(linkage_phase(kind), kind, message);
+                }
+                Err(ExecError::Uncaught(t)) => {
+                    return Outcome::rejected(
+                        Phase::Initializing,
+                        JvmErrorKind::ExceptionInInitializerError,
+                        format!(
+                            "Caught {}: {}",
+                            t.class.replace('/', "."),
+                            t.message.unwrap_or_default()
+                        ),
+                    );
+                }
+                Err(ExecError::BudgetExceeded) => {
+                    return Outcome::rejected(
+                        Phase::Initializing,
+                        JvmErrorKind::ExecutionBudgetExceeded,
+                        "<clinit> exceeded the step budget",
+                    );
+                }
+            }
+        }
+
+        // --- Invocation: find and run main ------------------------------
+        let is_interface = main_class.cf.access.contains(ClassAccess::INTERFACE);
+        if probe_branch!(cov, is_interface && !self.spec.interface_main_invocable) {
+            return Outcome::rejected(
+                Phase::Runtime,
+                JvmErrorKind::MainMethodNotFound,
+                format!("{main_name} is an interface"),
+            );
+        }
+        let main = main_class.find_method("main", "([Ljava/lang/String;)V");
+        let main = match main {
+            Some(m) if m.access.contains(MethodAccess::STATIC) && m.has_code => m.clone(),
+            _ => {
+                probe!(cov);
+                return Outcome::rejected(
+                    Phase::Runtime,
+                    JvmErrorKind::MainMethodNotFound,
+                    format!("Main method not found in class {main_name}"),
+                );
+            }
+        };
+        let args = vec![RtValue::Ref(None)]; // String[] args — we pass null
+        let _ = main;
+        match machine.call_static(&main_class, "main", "([Ljava/lang/String;)V", args, cov)
+        {
+            Ok(_) => Outcome::Invoked { stdout: machine.stdout },
+            Err(ExecError::Linkage { kind, message }) => {
+                Outcome::rejected(linkage_phase(kind), kind, message)
+            }
+            Err(ExecError::Uncaught(t)) => {
+                let kind = runtime_kind(&t.class);
+                Outcome::rejected(
+                    Phase::Runtime,
+                    kind,
+                    format!(
+                        "Exception in thread \"main\" {}: {}",
+                        t.class.replace('/', "."),
+                        t.message.unwrap_or_default()
+                    ),
+                )
+            }
+            Err(ExecError::BudgetExceeded) => Outcome::rejected(
+                Phase::Runtime,
+                JvmErrorKind::ExecutionBudgetExceeded,
+                "main exceeded the step budget",
+            ),
+        }
+    }
+
+    /// The *actual* class-initialization method under this VM's rules:
+    /// `<clinit>`, no arguments, with the static flag (version ≥ 51).
+    /// Non-static `<clinit>`s are "of no consequence" here; whether they
+    /// were already rejected at load time is the loader's policy.
+    fn initializer_of(&self, class: &UserClass) -> Option<(String, String)> {
+        class
+            .methods
+            .iter()
+            .find(|m| {
+                m.name == "<clinit>"
+                    && m.access.contains(MethodAccess::STATIC)
+                    && m.has_code
+                    && m.desc_text == "()V"
+            })
+            .map(|m| (m.name.clone(), m.desc_text.clone()))
+    }
+}
+
+/// Which phase a linkage error surfacing during execution belongs to, under
+/// the paper's five-way simplification (§2.3).
+fn linkage_phase(kind: JvmErrorKind) -> Phase {
+    match kind {
+        JvmErrorKind::VerifyError => Phase::Linking,
+        JvmErrorKind::NoClassDefFoundError => Phase::Runtime,
+        JvmErrorKind::ClassFormatError => Phase::Runtime,
+        JvmErrorKind::IllegalAccessError
+        | JvmErrorKind::NoSuchFieldError
+        | JvmErrorKind::NoSuchMethodError
+        | JvmErrorKind::AbstractMethodError
+        | JvmErrorKind::InstantiationError
+        | JvmErrorKind::IncompatibleClassChangeError
+        | JvmErrorKind::UnsatisfiedLinkError => Phase::Runtime,
+        _ => Phase::Runtime,
+    }
+}
+
+fn runtime_kind(class: &str) -> JvmErrorKind {
+    match class {
+        "java/lang/ArithmeticException" => JvmErrorKind::ArithmeticException,
+        "java/lang/NullPointerException" => JvmErrorKind::NullPointerException,
+        "java/lang/ClassCastException" => JvmErrorKind::ClassCastException,
+        "java/lang/ArrayIndexOutOfBoundsException" => {
+            JvmErrorKind::ArrayIndexOutOfBoundsException
+        }
+        "java/lang/NegativeArraySizeException" => JvmErrorKind::NegativeArraySizeException,
+        "java/lang/StackOverflowError" => JvmErrorKind::StackOverflowError,
+        _ => JvmErrorKind::UncaughtException,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classfuzz_jimple::{lower::lower_class, IrClass, IrMethod};
+
+    fn run_on(class: &IrClass, spec: VmSpec) -> Outcome {
+        Jvm::new(spec).run(&lower_class(class).to_bytes()).outcome
+    }
+
+    #[test]
+    fn hello_runs_on_all_five() {
+        let class = IrClass::with_hello_main("ok/Hello", "Completed!");
+        for spec in VmSpec::all_five() {
+            let out = run_on(&class, spec.clone());
+            match out {
+                Outcome::Invoked { ref stdout } => {
+                    assert_eq!(stdout, &vec!["Completed!".to_string()], "{}", spec.name)
+                }
+                other => panic!("{} rejected hello: {other}", spec.name),
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_clinit_discrepancy() {
+        // HotSpot invokes normally (0); J9 reports ClassFormatError (1).
+        let mut class = IrClass::with_hello_main("M1436188543", "Completed!");
+        class.methods.push(IrMethod::abstract_method(
+            classfuzz_classfile::MethodAccess::PUBLIC
+                | classfuzz_classfile::MethodAccess::ABSTRACT,
+            "<clinit>",
+            vec![],
+            None,
+        ));
+        assert_eq!(run_on(&class, VmSpec::hotspot8()).phase(), Phase::Invoked);
+        let j9 = run_on(&class, VmSpec::j9());
+        assert_eq!(j9.phase(), Phase::Loading);
+        assert_eq!(j9.error().unwrap().kind, JvmErrorKind::ClassFormatError);
+    }
+
+    #[test]
+    fn missing_main_is_runtime_rejection() {
+        let class = IrClass::new("no/Main");
+        let out = run_on(&class, VmSpec::hotspot9());
+        assert_eq!(out.phase(), Phase::Runtime);
+        assert_eq!(out.error().unwrap().kind, JvmErrorKind::MainMethodNotFound);
+    }
+
+    #[test]
+    fn unparseable_bytes_rejected_at_loading() {
+        let jvm = Jvm::new(VmSpec::hotspot9());
+        let out = jvm.run(&[0xCA, 0xFE, 0xBA]).outcome;
+        assert_eq!(out.phase(), Phase::Loading);
+    }
+
+    #[test]
+    fn reference_vm_produces_coverage() {
+        let class = IrClass::with_hello_main("cov/T", "x");
+        let jvm = Jvm::new(VmSpec::hotspot9());
+        let result = jvm.run_traced(&lower_class(&class).to_bytes());
+        let trace = result.trace.expect("trace collected");
+        assert!(trace.stats().stmt > 10);
+        assert!(trace.stats().br > 5);
+    }
+
+    #[test]
+    fn different_classes_produce_different_coverage() {
+        let a = IrClass::with_hello_main("cov/A", "x");
+        let mut b = IrClass::with_hello_main("cov/B", "x");
+        b.fields.push(classfuzz_jimple::IrField {
+            access: classfuzz_classfile::FieldAccess::STATIC,
+            name: "f".into(),
+            ty: classfuzz_jimple::JType::Long,
+            constant_value: None,
+        });
+        b.interfaces.push("java/lang/Runnable".into());
+        let jvm = Jvm::new(VmSpec::hotspot9());
+        let ta = jvm.run_traced(&lower_class(&a).to_bytes()).trace.unwrap();
+        let tb = jvm.run_traced(&lower_class(&b).to_bytes()).trace.unwrap();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn clinit_exception_is_initialization_rejection() {
+        use classfuzz_jimple::*;
+        let mut class = IrClass::with_hello_main("init/Boom", "never");
+        let mut body = Body::new();
+        body.declare("e", JType::object("java/lang/RuntimeException"));
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("e".into()),
+            value: Expr::New("java/lang/RuntimeException".into()),
+        });
+        body.stmts.push(Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Special,
+            class: "java/lang/RuntimeException".into(),
+            name: "<init>".into(),
+            params: vec![],
+            ret: None,
+            receiver: Some(Value::local("e")),
+            args: vec![],
+        }));
+        body.stmts.push(Stmt::Throw(Value::local("e")));
+        class.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::STATIC,
+            name: "<clinit>".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let out = run_on(&class, VmSpec::hotspot9());
+        assert_eq!(out.phase(), Phase::Initializing);
+        assert_eq!(out.error().unwrap().kind, JvmErrorKind::ExceptionInInitializerError);
+    }
+
+    #[test]
+    fn lazy_verification_skips_broken_helper() {
+        use classfuzz_jimple::*;
+        // A broken helper method that is never invoked: eager VMs reject at
+        // linking; lazy J9 runs the class normally (Problem 2).
+        let mut class = IrClass::with_hello_main("lazy/H", "Completed!");
+        let mut body = Body::new();
+        body.declare("x", JType::string());
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::Use(Value::int(1)), // istore into a String slot
+        });
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("y".into()),
+            value: Expr::Use(Value::local("x")), // aload of an Int slot
+        });
+        body.declare("y", JType::string());
+        body.stmts.push(Stmt::Return(None));
+        class.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::PUBLIC
+                | classfuzz_classfile::MethodAccess::STATIC,
+            name: "brokenHelper".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        assert_eq!(run_on(&class, VmSpec::hotspot8()).phase(), Phase::Linking);
+        assert_eq!(run_on(&class, VmSpec::j9()).phase(), Phase::Invoked);
+    }
+
+    #[test]
+    fn gij_runs_interface_main_others_do_not() {
+        use classfuzz_classfile::ClassAccess;
+        let mut class = IrClass::with_hello_main("iface/Main", "Completed!");
+        class.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+        // Interface with a static main: strict VMs reject the member flags
+        // at loading; GIJ runs it (Problem 4).
+        assert_eq!(run_on(&class, VmSpec::gij()).phase(), Phase::Invoked);
+        let hs = run_on(&class, VmSpec::hotspot8());
+        assert_ne!(hs.phase(), Phase::Invoked);
+    }
+
+    #[test]
+    fn arithmetic_exception_at_runtime() {
+        use classfuzz_jimple::*;
+        let mut class = IrClass::new("rt/Div");
+        let mut body = Body::new();
+        body.declare("x", JType::Int);
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::BinOp(BinOp::Div, JType::Int, Value::int(1), Value::int(0)),
+        });
+        body.stmts.push(Stmt::Return(None));
+        class.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::PUBLIC
+                | classfuzz_classfile::MethodAccess::STATIC,
+            name: "main".into(),
+            params: vec![JType::array(JType::string())],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let out = run_on(&class, VmSpec::hotspot9());
+        assert_eq!(out.phase(), Phase::Runtime);
+        assert_eq!(out.error().unwrap().kind, JvmErrorKind::ArithmeticException);
+    }
+}

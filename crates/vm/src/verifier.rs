@@ -1,0 +1,1526 @@
+//! Bytecode verification by type inference (JVMS §4.10.2), parameterised by
+//! the policy knobs in which the paper's JVMs differ.
+//!
+//! The verifier runs a worklist dataflow over basic frames: each local slot
+//! and stack slot carries a [`VType`]; instructions are abstract transfer
+//! functions; frames merge at join points. Policy knobs:
+//!
+//! * `strict_stack_shape_merge` (J9) — merge demands *identical* stack
+//!   shapes, reporting the "stack shape inconsistent" errors of §1;
+//! * `check_uninit_merge` (GIJ) — merging initialized with uninitialized
+//!   types is an error (HotSpot silently widens to `Top`);
+//! * `check_param_cast` (GIJ) — reference arguments must be provably
+//!   assignable (HotSpot assumes assignability for unloaded classes).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use classfuzz_classfile::{
+    CodeAttribute, FieldType, Instruction, MethodAccess, MethodDescriptor, Opcode,
+};
+
+use crate::cov::Cov;
+use crate::outcome::{JvmErrorKind, Outcome, Phase};
+use crate::spec::VmSpec;
+use crate::world::{MethodSummary, UserClass, World};
+use crate::{probe, probe_branch};
+
+/// A verification type (one stack/local slot).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VType {
+    /// Unusable/unknown.
+    Top,
+    /// `int` and its sub-word kin.
+    Int,
+    /// `float`.
+    Float,
+    /// `long` (first slot; followed by [`VType::Hi`]).
+    Long,
+    /// `double` (first slot; followed by [`VType::Hi`]).
+    Double,
+    /// Second slot of a wide value.
+    Hi,
+    /// The `null` reference.
+    Null,
+    /// A reference of the given class (or array descriptor) name.
+    Ref(String),
+    /// A `new`-allocated object not yet initialized (keyed by allocation pc).
+    Uninit(u32),
+    /// `this` in an `<init>` before the superclass constructor call.
+    UninitThis,
+}
+
+impl VType {
+    fn is_reference(&self) -> bool {
+        matches!(self, VType::Null | VType::Ref(_) | VType::Uninit(_) | VType::UninitThis)
+    }
+
+    fn is_uninitialized(&self) -> bool {
+        matches!(self, VType::Uninit(_) | VType::UninitThis)
+    }
+
+    fn width(&self) -> usize {
+        match self {
+            VType::Long | VType::Double => 2,
+            _ => 1,
+        }
+    }
+}
+
+fn vtype_of(ft: &FieldType) -> VType {
+    match ft {
+        FieldType::Boolean
+        | FieldType::Byte
+        | FieldType::Char
+        | FieldType::Short
+        | FieldType::Int => VType::Int,
+        FieldType::Float => VType::Float,
+        FieldType::Long => VType::Long,
+        FieldType::Double => VType::Double,
+        FieldType::Object(n) => VType::Ref(n.clone()),
+        FieldType::Array(_) => VType::Ref(ft.to_descriptor()),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Frame {
+    locals: Vec<VType>,
+    stack: Vec<VType>,
+}
+
+/// An in-flight verification failure; converted to a linking-phase
+/// `VerifyError` outcome at the boundary.
+#[derive(Debug, Clone)]
+struct VerifyFail(String);
+
+type VResult<T> = Result<T, VerifyFail>;
+
+fn fail<T>(msg: impl Into<String>) -> VResult<T> {
+    Err(VerifyFail(msg.into()))
+}
+
+/// Verifies every method of `class` that carries code (eager linking).
+///
+/// # Errors
+///
+/// Returns a linking-phase `VerifyError` outcome naming the first offending
+/// method.
+pub fn verify_class(
+    world: &World,
+    class: &UserClass,
+    spec: &VmSpec,
+    cov: &mut Cov,
+) -> Result<(), Outcome> {
+    probe!(cov);
+    for m in &class.methods {
+        if m.has_code {
+            verify_method(world, class, m, spec, cov)?;
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a single method (the unit J9 defers until first invocation).
+///
+/// # Errors
+///
+/// Returns a linking-phase `VerifyError` outcome.
+pub fn verify_method(
+    world: &World,
+    class: &UserClass,
+    method: &MethodSummary,
+    spec: &VmSpec,
+    cov: &mut Cov,
+) -> Result<(), Outcome> {
+    probe!(cov);
+    let info = &class.cf.methods[method.index];
+    let code = match info.code() {
+        Some(c) => c,
+        None => return Ok(()),
+    };
+    let desc = match &method.desc {
+        Some(d) => d.clone(),
+        None => {
+            return Err(reject(class, method, "unparseable method descriptor".into()))
+        }
+    };
+    let mut v = Verifier {
+        world,
+        spec,
+        cov,
+        class_name: class.name.clone(),
+        method_static: method.access.contains(MethodAccess::STATIC),
+        is_init: method.name == "<init>",
+        desc,
+        code,
+        pcs: Vec::new(),
+        pc_to_idx: BTreeMap::new(),
+    };
+    match v.run() {
+        Ok(()) => Ok(()),
+        Err(VerifyFail(msg)) => Err(reject(class, method, msg)),
+    }
+}
+
+fn reject(class: &UserClass, method: &MethodSummary, msg: String) -> Outcome {
+    Outcome::rejected(
+        Phase::Linking,
+        JvmErrorKind::VerifyError,
+        format!(
+            "(class: {}, method: {} signature: {}) {msg}",
+            class.name, method.name, method.desc_text
+        ),
+    )
+}
+
+struct Verifier<'a> {
+    world: &'a World,
+    spec: &'a VmSpec,
+    cov: &'a mut Cov,
+    class_name: String,
+    method_static: bool,
+    is_init: bool,
+    desc: MethodDescriptor,
+    code: &'a CodeAttribute,
+    pcs: Vec<u32>,
+    pc_to_idx: BTreeMap<u32, usize>,
+}
+
+impl Verifier<'_> {
+    fn run(&mut self) -> VResult<()> {
+        probe!(self.cov);
+        if probe_branch!(self.cov, self.code.instructions.is_empty()) {
+            return fail("code array is empty");
+        }
+        // Lay out instruction offsets.
+        let mut pc = 0u32;
+        for (i, insn) in self.code.instructions.iter().enumerate() {
+            self.pcs.push(pc);
+            self.pc_to_idx.insert(pc, i);
+            pc += insn.encoded_len(pc);
+        }
+
+        let entry = self.entry_frame()?;
+        let mut in_frames: BTreeMap<usize, Frame> = BTreeMap::new();
+        let mut work: VecDeque<usize> = VecDeque::new();
+        in_frames.insert(0, entry);
+        work.push_back(0);
+
+        let mut steps = 0usize;
+        while let Some(idx) = work.pop_front() {
+            steps += 1;
+            if probe_branch!(self.cov, steps > 40_000) {
+                return fail("verification did not converge");
+            }
+            let frame = in_frames[&idx].clone();
+            // Exception handlers covering this instruction observe its
+            // locals with a one-element stack.
+            let pc = self.pcs[idx];
+            for (h, handler_frame) in self.handler_edges(&frame, pc)? {
+                self.merge_into(&mut in_frames, &mut work, h, handler_frame, true)?;
+            }
+            let next = self.transfer(idx, frame)?;
+            for (succ, f) in next {
+                self.merge_into(&mut in_frames, &mut work, succ, f, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn entry_frame(&mut self) -> VResult<Frame> {
+        probe!(self.cov);
+        let max_locals = self.code.max_locals as usize;
+        let mut locals = vec![VType::Top; max_locals];
+        let mut slot = 0usize;
+        if !self.method_static {
+            if probe_branch!(self.cov, max_locals == 0) {
+                return fail("instance method with max_locals 0");
+            }
+            locals[0] = if self.is_init && self.class_name != "java/lang/Object" {
+                VType::UninitThis
+            } else {
+                VType::Ref(self.class_name.clone())
+            };
+            slot = 1;
+        }
+        for p in &self.desc.params {
+            let vt = vtype_of(p);
+            let w = vt.width();
+            if probe_branch!(self.cov, slot + w > max_locals) {
+                return fail("arguments can't fit into locals");
+            }
+            locals[slot] = vt;
+            if w == 2 {
+                locals[slot + 1] = VType::Hi;
+            }
+            slot += w;
+        }
+        Ok(Frame { locals, stack: Vec::new() })
+    }
+
+    fn handler_edges(&mut self, frame: &Frame, pc: u32) -> VResult<Vec<(usize, Frame)>> {
+        let mut out = Vec::new();
+        for e in &self.code.exception_table {
+            if (e.start_pc as u32..e.end_pc as u32).contains(&pc) {
+                probe!(self.cov);
+                let idx = match self.pc_to_idx.get(&(e.handler_pc as u32)) {
+                    Some(&i) => i,
+                    None => return fail("exception handler target is not an instruction"),
+                };
+                let catch = if e.catch_type.0 == 0 {
+                    "java/lang/Throwable".to_string()
+                } else {
+                    self.world
+                        .user_class(&self.class_name)
+                        .and_then(|u| u.cf.constant_pool.class_name(e.catch_type))
+                        .unwrap_or_else(|| "java/lang/Throwable".to_string())
+                };
+                out.push((
+                    idx,
+                    Frame { locals: frame.locals.clone(), stack: vec![VType::Ref(catch)] },
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn merge_into(
+        &mut self,
+        in_frames: &mut BTreeMap<usize, Frame>,
+        work: &mut VecDeque<usize>,
+        idx: usize,
+        frame: Frame,
+        is_handler: bool,
+    ) -> VResult<()> {
+        match in_frames.get_mut(&idx) {
+            None => {
+                in_frames.insert(idx, frame);
+                work.push_back(idx);
+            }
+            Some(existing) => {
+                let merged = self.merge_frames(existing, &frame, is_handler)?;
+                if merged != *existing {
+                    *existing = merged;
+                    work.push_back(idx);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn merge_frames(&mut self, a: &Frame, b: &Frame, is_handler: bool) -> VResult<Frame> {
+        probe!(self.cov);
+        if probe_branch!(self.cov, a.stack.len() != b.stack.len()) {
+            return fail("inconsistent stack height at merge point");
+        }
+        let mut locals = Vec::with_capacity(a.locals.len());
+        for (x, y) in a.locals.iter().zip(&b.locals) {
+            locals.push(self.merge_types(x, y, false)?);
+        }
+        let mut stack = Vec::with_capacity(a.stack.len());
+        for (x, y) in a.stack.iter().zip(&b.stack) {
+            stack.push(self.merge_types(x, y, !is_handler)?);
+        }
+        Ok(Frame { locals, stack })
+    }
+
+    fn merge_types(&mut self, a: &VType, b: &VType, on_stack: bool) -> VResult<VType> {
+        if a == b {
+            return Ok(a.clone());
+        }
+        probe!(self.cov);
+        // GIJ: merging initialized and uninitialized types is an error.
+        if probe_branch!(
+            self.cov,
+            self.spec.check_uninit_merge
+                && (a.is_uninitialized() != b.is_uninitialized())
+                && a.is_reference()
+                && b.is_reference()
+        ) {
+            return fail("merging initialized and uninitialized object types");
+        }
+        // J9: stack shapes must match exactly at merge points.
+        if probe_branch!(self.cov, on_stack && self.spec.strict_stack_shape_merge) {
+            return fail("stack shape inconsistent");
+        }
+        let merged = match (a, b) {
+            (VType::Null, VType::Ref(n)) | (VType::Ref(n), VType::Null) => {
+                VType::Ref(n.clone())
+            }
+            (VType::Ref(x), VType::Ref(y)) => {
+                VType::Ref(self.world.common_super(x, y))
+            }
+            _ => VType::Top,
+        };
+        if probe_branch!(self.cov, on_stack && merged == VType::Top) {
+            return fail("mismatched stack types at merge point");
+        }
+        Ok(merged)
+    }
+
+    // ----- transfer -----------------------------------------------------
+
+    /// Applies one instruction; returns successor (index, frame) pairs.
+    fn transfer(&mut self, idx: usize, mut f: Frame) -> VResult<Vec<(usize, Frame)>> {
+        use Opcode::*;
+        let insn = self.code.instructions[idx].clone();
+        let insn = &insn;
+        let pc = self.pcs[idx];
+        let mut succs: Vec<(usize, Frame)> = Vec::new();
+        let mut falls_through = true;
+
+        macro_rules! branch_to {
+            ($target:expr, $f:expr) => {{
+                let t: u32 = $target;
+                match self.pc_to_idx.get(&t) {
+                    Some(&i) => succs.push((i, $f)),
+                    None => return fail(format!("branch target {t} is not an instruction")),
+                }
+            }};
+        }
+
+        match insn {
+            Instruction::Simple(op) => match op {
+                Nop => {}
+                AconstNull => self.push(&mut f, VType::Null)?,
+                IconstM1 | Iconst0 | Iconst1 | Iconst2 | Iconst3 | Iconst4 | Iconst5 => {
+                    self.push(&mut f, VType::Int)?
+                }
+                Lconst0 | Lconst1 => self.push_wide(&mut f, VType::Long)?,
+                Fconst0 | Fconst1 | Fconst2 => self.push(&mut f, VType::Float)?,
+                Dconst0 | Dconst1 => self.push_wide(&mut f, VType::Double)?,
+                Iload0 | Iload1 | Iload2 | Iload3 => {
+                    self.load(&mut f, (op.byte() - Iload0.byte()) as u16, VType::Int)?
+                }
+                Lload0 | Lload1 | Lload2 | Lload3 => {
+                    self.load(&mut f, (op.byte() - Lload0.byte()) as u16, VType::Long)?
+                }
+                Fload0 | Fload1 | Fload2 | Fload3 => {
+                    self.load(&mut f, (op.byte() - Fload0.byte()) as u16, VType::Float)?
+                }
+                Dload0 | Dload1 | Dload2 | Dload3 => {
+                    self.load(&mut f, (op.byte() - Dload0.byte()) as u16, VType::Double)?
+                }
+                Aload0 | Aload1 | Aload2 | Aload3 => {
+                    self.load_ref(&mut f, (op.byte() - Aload0.byte()) as u16)?
+                }
+                Istore0 | Istore1 | Istore2 | Istore3 => {
+                    self.store(&mut f, (op.byte() - Istore0.byte()) as u16, VType::Int)?
+                }
+                Lstore0 | Lstore1 | Lstore2 | Lstore3 => {
+                    self.store(&mut f, (op.byte() - Lstore0.byte()) as u16, VType::Long)?
+                }
+                Fstore0 | Fstore1 | Fstore2 | Fstore3 => {
+                    self.store(&mut f, (op.byte() - Fstore0.byte()) as u16, VType::Float)?
+                }
+                Dstore0 | Dstore1 | Dstore2 | Dstore3 => {
+                    self.store(&mut f, (op.byte() - Dstore0.byte()) as u16, VType::Double)?
+                }
+                Astore0 | Astore1 | Astore2 | Astore3 => {
+                    self.store_ref(&mut f, (op.byte() - Astore0.byte()) as u16)?
+                }
+                Iaload | Baload | Caload | Saload => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Laload => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                Faload => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                    self.push(&mut f, VType::Float)?;
+                }
+                Daload => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                    self.push_wide(&mut f, VType::Double)?;
+                }
+                Aaload => {
+                    self.expect(&mut f, VType::Int)?;
+                    let arr = self.expect_array(&mut f)?;
+                    self.push(&mut f, array_element(&arr))?;
+                }
+                Iastore | Bastore | Castore | Sastore => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                }
+                Lastore => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                }
+                Fastore => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                }
+                Dastore => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                }
+                Aastore => {
+                    self.expect_ref(&mut f, true)?;
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_array(&mut f)?;
+                }
+                Pop => {
+                    let t = self.pop(&mut f)?;
+                    if probe_branch!(self.cov, t.width() == 2 || t == VType::Hi) {
+                        return fail("pop on a category-2 value");
+                    }
+                }
+                Pop2 => {
+                    self.pop(&mut f)?;
+                    self.pop(&mut f)?;
+                }
+                Dup => {
+                    let t = self.pop(&mut f)?;
+                    if probe_branch!(self.cov, t == VType::Hi) {
+                        return fail("dup splits a category-2 value");
+                    }
+                    self.push(&mut f, t.clone())?;
+                    self.push(&mut f, t)?;
+                }
+                DupX1 => {
+                    let a = self.pop1(&mut f)?;
+                    let b = self.pop1(&mut f)?;
+                    self.push(&mut f, a.clone())?;
+                    self.push(&mut f, b)?;
+                    self.push(&mut f, a)?;
+                }
+                DupX2 => {
+                    let a = self.pop1(&mut f)?;
+                    let b = self.pop(&mut f)?;
+                    let c = self.pop(&mut f)?;
+                    self.push(&mut f, a.clone())?;
+                    self.push(&mut f, c)?;
+                    self.push(&mut f, b)?;
+                    self.push(&mut f, a)?;
+                }
+                Dup2 => {
+                    let a = self.pop(&mut f)?;
+                    let b = self.pop(&mut f)?;
+                    self.push(&mut f, b.clone())?;
+                    self.push(&mut f, a.clone())?;
+                    self.push(&mut f, b)?;
+                    self.push(&mut f, a)?;
+                }
+                Dup2X1 => {
+                    let a = self.pop(&mut f)?;
+                    let b = self.pop(&mut f)?;
+                    let c = self.pop1(&mut f)?;
+                    self.push(&mut f, b.clone())?;
+                    self.push(&mut f, a.clone())?;
+                    self.push(&mut f, c)?;
+                    self.push(&mut f, b)?;
+                    self.push(&mut f, a)?;
+                }
+                Dup2X2 => {
+                    let a = self.pop(&mut f)?;
+                    let b = self.pop(&mut f)?;
+                    let c = self.pop(&mut f)?;
+                    let d = self.pop(&mut f)?;
+                    self.push(&mut f, b.clone())?;
+                    self.push(&mut f, a.clone())?;
+                    self.push(&mut f, d)?;
+                    self.push(&mut f, c)?;
+                    self.push(&mut f, b)?;
+                    self.push(&mut f, a)?;
+                }
+                Swap => {
+                    let a = self.pop1(&mut f)?;
+                    let b = self.pop1(&mut f)?;
+                    self.push(&mut f, a)?;
+                    self.push(&mut f, b)?;
+                }
+                Iadd | Isub | Imul | Idiv | Irem | Ishl | Ishr | Iushr | Iand | Ior
+                | Ixor => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect(&mut f, VType::Int)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Ladd | Lsub | Lmul | Ldiv | Lrem | Land | Lor | Lxor => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                Lshl | Lshr | Lushr => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                Fadd | Fsub | Fmul | Fdiv | Frem => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.expect(&mut f, VType::Float)?;
+                    self.push(&mut f, VType::Float)?;
+                }
+                Dadd | Dsub | Dmul | Ddiv | Drem => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.push_wide(&mut f, VType::Double)?;
+                }
+                Ineg => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Lneg => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                Fneg => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.push(&mut f, VType::Float)?;
+                }
+                Dneg => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.push_wide(&mut f, VType::Double)?;
+                }
+                I2l => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                I2f => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.push(&mut f, VType::Float)?;
+                }
+                I2d => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.push_wide(&mut f, VType::Double)?;
+                }
+                L2i => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                L2f => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push(&mut f, VType::Float)?;
+                }
+                L2d => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push_wide(&mut f, VType::Double)?;
+                }
+                F2i => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                F2l => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                F2d => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.push_wide(&mut f, VType::Double)?;
+                }
+                D2i => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                D2l => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.push_wide(&mut f, VType::Long)?;
+                }
+                D2f => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.push(&mut f, VType::Float)?;
+                }
+                I2b | I2c | I2s => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Lcmp => {
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.expect_wide(&mut f, VType::Long)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Fcmpl | Fcmpg => {
+                    self.expect(&mut f, VType::Float)?;
+                    self.expect(&mut f, VType::Float)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Dcmpl | Dcmpg => {
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.expect_wide(&mut f, VType::Double)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Ireturn => {
+                    self.check_return(&mut f, Some(VType::Int))?;
+                    falls_through = false;
+                }
+                Lreturn => {
+                    self.check_return(&mut f, Some(VType::Long))?;
+                    falls_through = false;
+                }
+                Freturn => {
+                    self.check_return(&mut f, Some(VType::Float))?;
+                    falls_through = false;
+                }
+                Dreturn => {
+                    self.check_return(&mut f, Some(VType::Double))?;
+                    falls_through = false;
+                }
+                Areturn => {
+                    self.check_return(&mut f, Some(VType::Null))?;
+                    falls_through = false;
+                }
+                Return => {
+                    self.check_return(&mut f, None)?;
+                    falls_through = false;
+                }
+                Arraylength => {
+                    self.expect_array(&mut f)?;
+                    self.push(&mut f, VType::Int)?;
+                }
+                Athrow => {
+                    let t = self.expect_ref(&mut f, false)?;
+                    if probe_branch!(self.cov, t.is_uninitialized()) {
+                        return fail("throwing an uninitialized object");
+                    }
+                    falls_through = false;
+                }
+                Monitorenter | Monitorexit => {
+                    self.expect_ref(&mut f, false)?;
+                }
+                other => {
+                    probe!(self.cov);
+                    return fail(format!("unexpected operand-free opcode {other}"));
+                }
+            },
+            Instruction::Bipush(_) | Instruction::Sipush(_) => self.push(&mut f, VType::Int)?,
+            Instruction::Ldc(cpi) | Instruction::LdcW(cpi) => {
+                use classfuzz_classfile::Constant;
+                probe!(self.cov);
+                let user = self.world.user_class(&self.class_name);
+                let entry = user.and_then(|u| u.cf.constant_pool.entry(*cpi)).cloned();
+                match entry {
+                    Some(Constant::Integer(_)) => self.push(&mut f, VType::Int)?,
+                    Some(Constant::Float(_)) => self.push(&mut f, VType::Float)?,
+                    Some(Constant::String(_)) => {
+                        self.push(&mut f, VType::Ref("java/lang/String".into()))?
+                    }
+                    Some(Constant::Class(_)) => {
+                        self.push(&mut f, VType::Ref("java/lang/Class".into()))?
+                    }
+                    _ => return fail("ldc references an unloadable constant"),
+                }
+            }
+            Instruction::Ldc2W(cpi) => {
+                use classfuzz_classfile::Constant;
+                let user = self.world.user_class(&self.class_name);
+                let entry = user.and_then(|u| u.cf.constant_pool.entry(*cpi)).cloned();
+                match entry {
+                    Some(Constant::Long(_)) => self.push_wide(&mut f, VType::Long)?,
+                    Some(Constant::Double(_)) => self.push_wide(&mut f, VType::Double)?,
+                    _ => return fail("ldc2_w references a non-wide constant"),
+                }
+            }
+            Instruction::Local(op, slot) => match op {
+                Iload => self.load(&mut f, *slot, VType::Int)?,
+                Lload => self.load(&mut f, *slot, VType::Long)?,
+                Fload => self.load(&mut f, *slot, VType::Float)?,
+                Dload => self.load(&mut f, *slot, VType::Double)?,
+                Aload => self.load_ref(&mut f, *slot)?,
+                Istore => self.store(&mut f, *slot, VType::Int)?,
+                Lstore => self.store(&mut f, *slot, VType::Long)?,
+                Fstore => self.store(&mut f, *slot, VType::Float)?,
+                Dstore => self.store(&mut f, *slot, VType::Double)?,
+                Astore => self.store_ref(&mut f, *slot)?,
+                Ret => return fail("jsr/ret are not permitted in version 51 classfiles"),
+                other => return fail(format!("bad local-variable opcode {other}")),
+            },
+            Instruction::Iinc { index, .. } => {
+                self.check_local(&mut f, *index, &VType::Int)?;
+            }
+            Instruction::Branch(op, target) => match op {
+                Goto | GotoW => {
+                    branch_to!(*target, f.clone());
+                    falls_through = false;
+                }
+                Jsr | JsrW => {
+                    return fail("jsr/ret are not permitted in version 51 classfiles")
+                }
+                Ifeq | Ifne | Iflt | Ifge | Ifgt | Ifle => {
+                    self.expect(&mut f, VType::Int)?;
+                    branch_to!(*target, f.clone());
+                }
+                IfIcmpeq | IfIcmpne | IfIcmplt | IfIcmpge | IfIcmpgt | IfIcmple => {
+                    self.expect(&mut f, VType::Int)?;
+                    self.expect(&mut f, VType::Int)?;
+                    branch_to!(*target, f.clone());
+                }
+                IfAcmpeq | IfAcmpne => {
+                    self.expect_ref(&mut f, false)?;
+                    self.expect_ref(&mut f, false)?;
+                    branch_to!(*target, f.clone());
+                }
+                Ifnull | Ifnonnull => {
+                    self.expect_ref(&mut f, false)?;
+                    branch_to!(*target, f.clone());
+                }
+                other => return fail(format!("bad branch opcode {other}")),
+            },
+            Instruction::Field(op, cpi) => {
+                probe!(self.cov);
+                let (_, _, desc) = self.member(*cpi, "field")?;
+                let ft = FieldType::parse(&desc)
+                    .map_err(|_| VerifyFail(format!("bad field descriptor {desc:?}")))?;
+                let vt = vtype_of(&ft);
+                match op {
+                    Getstatic => self.push_any(&mut f, vt)?,
+                    Putstatic => self.expect_assignable(&mut f, &ft)?,
+                    Getfield => {
+                        let recv = self.expect_ref(&mut f, false)?;
+                        if probe_branch!(self.cov, recv.is_uninitialized()) {
+                            return fail("field access on uninitialized object");
+                        }
+                        self.push_any(&mut f, vt)?;
+                    }
+                    Putfield => {
+                        self.expect_assignable(&mut f, &ft)?;
+                        let recv = self.expect_ref(&mut f, false)?;
+                        // putfield on `this` before super() is legal only
+                        // for fields of the current class; we allow it.
+                        if probe_branch!(
+                            self.cov,
+                            matches!(recv, VType::Uninit(_))
+                        ) {
+                            return fail("putfield on uninitialized object");
+                        }
+                    }
+                    other => return fail(format!("bad field opcode {other}")),
+                }
+            }
+            Instruction::Invoke(op, cpi) => {
+                let kind = match op {
+                    Invokevirtual => InvokeShape::Virtual,
+                    Invokespecial => InvokeShape::Special,
+                    Invokestatic => InvokeShape::Static,
+                    other => return fail(format!("bad invoke opcode {other}")),
+                };
+                self.invoke(&mut f, *cpi, kind)?;
+            }
+            Instruction::InvokeInterface { index, .. } => {
+                self.invoke(&mut f, *index, InvokeShape::Interface)?;
+            }
+            Instruction::InvokeDynamic(_) => {
+                return fail("invokedynamic is not supported by this VM generation")
+            }
+            Instruction::New(cpi) => {
+                let name = self.class_at(*cpi)?;
+                if probe_branch!(self.cov, self.world.is_interface(&name) == Some(true)) {
+                    return fail(format!("new of interface {name}"));
+                }
+                self.push(&mut f, VType::Uninit(pc))?;
+            }
+            Instruction::NewArray(atype) => {
+                if probe_branch!(self.cov, !(4..=11).contains(atype)) {
+                    return fail(format!("newarray with bad type code {atype}"));
+                }
+                self.expect(&mut f, VType::Int)?;
+                let desc = match atype {
+                    4 => "[Z",
+                    5 => "[C",
+                    6 => "[F",
+                    7 => "[D",
+                    8 => "[B",
+                    9 => "[S",
+                    10 => "[I",
+                    _ => "[J",
+                };
+                self.push(&mut f, VType::Ref(desc.to_string()))?;
+            }
+            Instruction::ANewArray(cpi) => {
+                let name = self.class_at(*cpi)?;
+                self.expect(&mut f, VType::Int)?;
+                let desc = if name.starts_with('[') {
+                    format!("[{name}")
+                } else {
+                    format!("[L{name};")
+                };
+                self.push(&mut f, VType::Ref(desc))?;
+            }
+            Instruction::CheckCast(cpi) => {
+                let name = self.class_at(*cpi)?;
+                let v = self.expect_ref(&mut f, false)?;
+                if probe_branch!(self.cov, v.is_uninitialized()) {
+                    return fail("checkcast on uninitialized object");
+                }
+                self.push(&mut f, VType::Ref(name))?;
+            }
+            Instruction::InstanceOf(cpi) => {
+                let _ = self.class_at(*cpi)?;
+                let v = self.expect_ref(&mut f, false)?;
+                if probe_branch!(self.cov, v.is_uninitialized()) {
+                    return fail("instanceof on uninitialized object");
+                }
+                self.push(&mut f, VType::Int)?;
+            }
+            Instruction::MultiANewArray { dims, .. } => {
+                if probe_branch!(self.cov, *dims == 0) {
+                    return fail("multianewarray with zero dimensions");
+                }
+                for _ in 0..*dims {
+                    self.expect(&mut f, VType::Int)?;
+                }
+                self.push(&mut f, VType::Ref("[Ljava/lang/Object;".into()))?;
+            }
+            Instruction::TableSwitch(ts) => {
+                self.expect(&mut f, VType::Int)?;
+                branch_to!(ts.default, f.clone());
+                for t in &ts.targets {
+                    branch_to!(*t, f.clone());
+                }
+                falls_through = false;
+            }
+            Instruction::LookupSwitch(ls) => {
+                self.expect(&mut f, VType::Int)?;
+                branch_to!(ls.default, f.clone());
+                for (_, t) in &ls.pairs {
+                    branch_to!(*t, f.clone());
+                }
+                falls_through = false;
+            }
+        }
+
+        if falls_through {
+            probe!(self.cov);
+            if probe_branch!(self.cov, idx + 1 >= self.code.instructions.len()) {
+                return fail("execution falls off the end of the code");
+            }
+            succs.push((idx + 1, f));
+        }
+        Ok(succs)
+    }
+
+    // ----- stack/local helpers -------------------------------------------
+
+    fn push(&mut self, f: &mut Frame, t: VType) -> VResult<()> {
+        if probe_branch!(self.cov, f.stack.len() + 1 > self.code.max_stack as usize) {
+            return fail("operand stack overflow (exceeds declared max_stack)");
+        }
+        f.stack.push(t);
+        Ok(())
+    }
+
+    fn push_wide(&mut self, f: &mut Frame, t: VType) -> VResult<()> {
+        if probe_branch!(self.cov, f.stack.len() + 2 > self.code.max_stack as usize) {
+            return fail("operand stack overflow (exceeds declared max_stack)");
+        }
+        f.stack.push(t);
+        f.stack.push(VType::Hi);
+        Ok(())
+    }
+
+    fn push_any(&mut self, f: &mut Frame, t: VType) -> VResult<()> {
+        if t.width() == 2 {
+            self.push_wide(f, t)
+        } else {
+            self.push(f, t)
+        }
+    }
+
+    fn pop(&mut self, f: &mut Frame) -> VResult<VType> {
+        match f.stack.pop() {
+            Some(t) => Ok(t),
+            None => {
+                probe!(self.cov);
+                fail("operand stack underflow")
+            }
+        }
+    }
+
+    /// Pops a category-1 value.
+    fn pop1(&mut self, f: &mut Frame) -> VResult<VType> {
+        let t = self.pop(f)?;
+        if probe_branch!(self.cov, t == VType::Hi || t.width() == 2) {
+            return fail("expected a category-1 value");
+        }
+        Ok(t)
+    }
+
+    fn expect(&mut self, f: &mut Frame, want: VType) -> VResult<()> {
+        let got = self.pop(f)?;
+        if probe_branch!(self.cov, got != want) {
+            return fail(format!("expected {want:?} on stack, found {got:?}"));
+        }
+        Ok(())
+    }
+
+    fn expect_wide(&mut self, f: &mut Frame, want: VType) -> VResult<()> {
+        let hi = self.pop(f)?;
+        if probe_branch!(self.cov, hi != VType::Hi) {
+            return fail("expected the upper half of a category-2 value");
+        }
+        self.expect(f, want)
+    }
+
+    fn expect_ref(&mut self, f: &mut Frame, _allow_null_only: bool) -> VResult<VType> {
+        let got = self.pop(f)?;
+        if probe_branch!(self.cov, !got.is_reference()) {
+            return fail(format!("expected a reference on stack, found {got:?}"));
+        }
+        Ok(got)
+    }
+
+    fn expect_array(&mut self, f: &mut Frame) -> VResult<VType> {
+        let got = self.expect_ref(f, false)?;
+        let ok = matches!(&got, VType::Null) || matches!(&got, VType::Ref(n) if n.starts_with('['));
+        if probe_branch!(self.cov, !ok) {
+            return fail(format!("expected an array reference, found {got:?}"));
+        }
+        Ok(got)
+    }
+
+    /// Pops a value that must be assignable to the field type `ft`.
+    fn expect_assignable(&mut self, f: &mut Frame, ft: &FieldType) -> VResult<()> {
+        let want = vtype_of(ft);
+        if want.width() == 2 {
+            return self.expect_wide(f, want);
+        }
+        let got = self.pop(f)?;
+        self.check_assignable(&got, ft)
+    }
+
+    fn check_assignable(&mut self, got: &VType, ft: &FieldType) -> VResult<()> {
+        let want = vtype_of(ft);
+        probe!(self.cov);
+        match (&want, got) {
+            (VType::Int, VType::Int)
+            | (VType::Float, VType::Float)
+            | (VType::Long, VType::Long)
+            | (VType::Double, VType::Double) => Ok(()),
+            (VType::Ref(_), VType::Null) => Ok(()),
+            (VType::Ref(target), VType::Ref(src)) => {
+                let both_known = self.world.exists(target) && self.world.exists(src);
+                if probe_branch!(self.cov, both_known) {
+                    if probe_branch!(self.cov, self.world.is_subtype(src, target)) {
+                        Ok(())
+                    } else if self.spec.check_param_cast {
+                        // GIJ: provably incompatible reference types.
+                        fail(format!("incompatible type: {src} is not assignable to {target}"))
+                    } else if probe_branch!(
+                        self.cov,
+                        self.world.is_interface(target) == Some(true)
+                    ) {
+                        // Interfaces are checked at runtime, not by the
+                        // verifier (JVMS: invokeinterface does the check).
+                        Ok(())
+                    } else if self.world.is_subtype(target, src) {
+                        // Downcast-shaped flows are tolerated by the lenient
+                        // inference verifier.
+                        Ok(())
+                    } else {
+                        fail(format!("{src} is not assignable to {target}"))
+                    }
+                } else if probe_branch!(self.cov, self.spec.check_param_cast) {
+                    // Strict mode: unknown classes are compatible only
+                    // nominally.
+                    if src == target || target == "java/lang/Object" {
+                        Ok(())
+                    } else {
+                        fail(format!(
+                            "cannot prove {src} assignable to {target} (unsafe type casting)"
+                        ))
+                    }
+                } else {
+                    Ok(()) // lenient: assume assignable, resolve at runtime
+                }
+            }
+            (VType::Ref(_), v) if v.is_uninitialized() => {
+                fail("using an uninitialized object where a value is required")
+            }
+            _ => fail(format!("expected {want:?}, found {got:?}")),
+        }
+    }
+
+    fn check_local(&mut self, f: &mut Frame, slot: u16, want: &VType) -> VResult<()> {
+        let slot = slot as usize;
+        if probe_branch!(self.cov, slot >= f.locals.len()) {
+            return fail("local variable index out of bounds");
+        }
+        if probe_branch!(self.cov, &f.locals[slot] != want) {
+            return fail(format!(
+                "local {slot} holds {:?}, expected {want:?}",
+                f.locals[slot]
+            ));
+        }
+        Ok(())
+    }
+
+    fn load(&mut self, f: &mut Frame, slot: u16, want: VType) -> VResult<()> {
+        let wide = want.width() == 2;
+        self.check_local(f, slot, &want)?;
+        if wide {
+            if probe_branch!(
+                self.cov,
+                f.locals.get(slot as usize + 1) != Some(&VType::Hi)
+            ) {
+                return fail("category-2 local is missing its upper half");
+            }
+            self.push_wide(f, want)
+        } else {
+            self.push(f, want)
+        }
+    }
+
+    fn load_ref(&mut self, f: &mut Frame, slot: u16) -> VResult<()> {
+        let slot_us = slot as usize;
+        if probe_branch!(self.cov, slot_us >= f.locals.len()) {
+            return fail("local variable index out of bounds");
+        }
+        let t = f.locals[slot_us].clone();
+        if probe_branch!(self.cov, !t.is_reference()) {
+            return fail(format!("aload of non-reference local {slot} ({t:?})"));
+        }
+        self.push(f, t)
+    }
+
+    fn store(&mut self, f: &mut Frame, slot: u16, want: VType) -> VResult<()> {
+        let wide = want.width() == 2;
+        if wide {
+            self.expect_wide(f, want.clone())?;
+        } else {
+            self.expect(f, want.clone())?;
+        }
+        self.set_local(f, slot, want)
+    }
+
+    fn store_ref(&mut self, f: &mut Frame, slot: u16) -> VResult<()> {
+        let t = self.expect_ref(f, false)?;
+        self.set_local(f, slot, t)
+    }
+
+    fn set_local(&mut self, f: &mut Frame, slot: u16, t: VType) -> VResult<()> {
+        let slot = slot as usize;
+        let w = t.width();
+        if probe_branch!(self.cov, slot + w > f.locals.len()) {
+            return fail("local variable index out of bounds for store");
+        }
+        // Clobber the other half of any wide value we are overwriting.
+        if slot > 0 && f.locals[slot] == VType::Hi {
+            f.locals[slot - 1] = VType::Top;
+        }
+        if w == 2 {
+            f.locals[slot] = t;
+            f.locals[slot + 1] = VType::Hi;
+        } else {
+            if f.locals[slot].width() == 2 && slot + 1 < f.locals.len() {
+                f.locals[slot + 1] = VType::Top;
+            }
+            f.locals[slot] = t;
+        }
+        Ok(())
+    }
+
+    fn check_return(&mut self, f: &mut Frame, kind: Option<VType>) -> VResult<()> {
+        probe!(self.cov);
+        let ret_ty = self.desc.ret.clone();
+        match (&ret_ty, kind) {
+            (None, None) => {}
+            (Some(_), None) => return fail("return in a method expecting a value"),
+            (None, Some(_)) => return fail("value return in a void method"),
+            (Some(ret), Some(VType::Null)) => {
+                // areturn: pop a reference assignable to the return type.
+                let got = self.expect_ref(f, false)?;
+                if probe_branch!(self.cov, got.is_uninitialized()) {
+                    return fail("returning an uninitialized object");
+                }
+                let ret = ret.clone();
+                if let (VType::Ref(_), FieldType::Object(_) | FieldType::Array(_)) =
+                    (&got, &ret)
+                {
+                    self.check_assignable(&got, &ret)?;
+                } else if !matches!(ret, FieldType::Object(_) | FieldType::Array(_)) {
+                    return fail("areturn in a method returning a primitive");
+                }
+            }
+            (Some(ret), Some(want)) => {
+                let ret_v = vtype_of(ret);
+                if probe_branch!(self.cov, ret_v != want) {
+                    return fail(format!(
+                        "return opcode for {want:?} in a method returning {ret_v:?}"
+                    ));
+                }
+                if want.width() == 2 {
+                    self.expect_wide(f, want)?;
+                } else {
+                    self.expect(f, want)?;
+                }
+            }
+        }
+        // In <init>, `this` must be initialized before any return.
+        if probe_branch!(
+            self.cov,
+            self.is_init && f.locals.first() == Some(&VType::UninitThis)
+        ) {
+            return fail("constructor returns before calling super()");
+        }
+        Ok(())
+    }
+
+    // ----- constant-pool helpers ------------------------------------------
+
+    fn class_at(&mut self, cpi: classfuzz_classfile::ConstIndex) -> VResult<String> {
+        let user = self.world.user_class(&self.class_name);
+        match user.and_then(|u| u.cf.constant_pool.class_name(cpi)) {
+            Some(n) => Ok(n),
+            None => {
+                probe!(self.cov);
+                fail(format!("constant pool entry {cpi} is not a class"))
+            }
+        }
+    }
+
+    fn member(
+        &mut self,
+        cpi: classfuzz_classfile::ConstIndex,
+        what: &str,
+    ) -> VResult<(String, String, String)> {
+        let user = self.world.user_class(&self.class_name);
+        match user.and_then(|u| u.cf.constant_pool.member_ref_parts(cpi)) {
+            Some(parts) => Ok(parts),
+            None => {
+                probe!(self.cov);
+                fail(format!("constant pool entry {cpi} is not a {what} reference"))
+            }
+        }
+    }
+
+    fn invoke(
+        &mut self,
+        f: &mut Frame,
+        cpi: classfuzz_classfile::ConstIndex,
+        shape: InvokeShape,
+    ) -> VResult<()> {
+        probe!(self.cov);
+        let (class, name, desc_text) = self.member(cpi, "method")?;
+        let desc = MethodDescriptor::parse(&desc_text)
+            .map_err(|_| VerifyFail(format!("bad method descriptor {desc_text:?}")))?;
+        if probe_branch!(
+            self.cov,
+            name == "<init>" && shape != InvokeShape::Special
+        ) {
+            return fail("<init> may only be invoked by invokespecial");
+        }
+        // Pop arguments right-to-left, checking assignability — the check
+        // GIJ applies strictly (Problem 2's M1433982529 example).
+        for p in desc.params.iter().rev() {
+            self.expect_assignable(f, p)?;
+        }
+        // Receiver.
+        if shape != InvokeShape::Static {
+            let recv = self.expect_ref(f, false)?;
+            if name == "<init>" {
+                probe!(self.cov);
+                match recv {
+                    VType::Uninit(alloc_pc) => {
+                        replace_types(f, &VType::Uninit(alloc_pc), VType::Ref(class.clone()));
+                    }
+                    VType::UninitThis => {
+                        let this = self.class_name.clone();
+                        replace_types(f, &VType::UninitThis, VType::Ref(this));
+                    }
+                    _ => {
+                        probe!(self.cov);
+                        return fail("<init> called on an initialized object");
+                    }
+                }
+            } else if probe_branch!(self.cov, recv.is_uninitialized()) {
+                return fail("method invocation on uninitialized object");
+            } else if let VType::Ref(recv_name) = &recv {
+                // Receiver compatibility — lenient about unknown classes.
+                let both_known = self.world.exists(recv_name) && self.world.exists(&class);
+                let iface_target = self.world.is_interface(&class) == Some(true);
+                if probe_branch!(
+                    self.cov,
+                    both_known
+                        && !iface_target
+                        && !class.starts_with('[')
+                        && !recv_name.starts_with('[')
+                        && !self.world.is_subtype(recv_name, &class)
+                        && !self.world.is_subtype(&class, recv_name)
+                ) {
+                    return fail(format!(
+                        "receiver {recv_name} is incompatible with {class}"
+                    ));
+                }
+            }
+        }
+        if let Some(ret) = &desc.ret {
+            self.push_any(f, vtype_of(ret))?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InvokeShape {
+    Virtual,
+    Special,
+    Static,
+    Interface,
+}
+
+fn replace_types(f: &mut Frame, from: &VType, to: VType) {
+    for slot in f.locals.iter_mut().chain(f.stack.iter_mut()) {
+        if slot == from {
+            *slot = to.clone();
+        }
+    }
+}
+
+fn array_element(arr: &VType) -> VType {
+    match arr {
+        VType::Ref(n) if n.starts_with('[') => {
+            let elem = &n[1..];
+            match FieldType::parse(elem) {
+                Ok(ft) => vtype_of(&ft),
+                Err(_) => VType::Ref("java/lang/Object".into()),
+            }
+        }
+        _ => VType::Ref("java/lang/Object".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classfuzz_jimple::{lower::lower_class, IrClass};
+
+    fn verify(class: &IrClass, spec: &VmSpec) -> Result<(), Outcome> {
+        let user = UserClass::summarize(lower_class(class));
+        let world = World::new(spec, vec![user]);
+        let user = world.user_class(&class.name).unwrap();
+        verify_class(&world, user, spec, &mut Cov::disabled())
+    }
+
+    #[test]
+    fn valid_hello_verifies_on_all() {
+        let c = IrClass::with_hello_main("v/Hello", "Completed!");
+        for spec in VmSpec::all_five() {
+            assert!(verify(&c, &spec).is_ok(), "{} rejected valid code", spec.name);
+        }
+    }
+
+    #[test]
+    fn type_confused_local_fails_verification() {
+        use classfuzz_jimple::*;
+        // The paper's Table 2 local-variable mutation: declare the local as
+        // String but store an int into it; the later aload sees an Int slot.
+        let mut c = IrClass::new("v/Conf");
+        let mut body = Body::new();
+        body.declare("x", JType::string());
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::Use(Value::int(3)),
+        });
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("y".into()),
+            value: Expr::Use(Value::local("x")), // aload of an Int slot
+        });
+        body.declare("y", JType::string());
+        body.stmts.push(Stmt::Return(None));
+        c.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::PUBLIC
+                | classfuzz_classfile::MethodAccess::STATIC,
+            name: "m".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        let out = verify(&c, &VmSpec::hotspot9());
+        assert!(matches!(
+            out,
+            Err(Outcome::Rejected { phase: Phase::Linking, ref error })
+                if error.kind == JvmErrorKind::VerifyError
+        ));
+    }
+
+    #[test]
+    fn problem2_param_cast_gij_strict_hotspot_lenient() {
+        use classfuzz_jimple::*;
+        // M1433982529: pass a String where an unknown class declares Map.
+        let mut c = IrClass::new("v/M1433982529");
+        let mut body = Body::new();
+        body.declare("s", JType::string());
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("s".into()),
+            value: Expr::Use(Value::str("x")),
+        });
+        body.stmts.push(Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Static,
+            class: "unknown/Helper".into(),
+            name: "getBoolean".into(),
+            params: vec![JType::object("java/util/Map")],
+            ret: Some(JType::Boolean),
+            receiver: None,
+            args: vec![Value::local("s")],
+        }));
+        body.stmts.push(Stmt::Return(None));
+        c.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::PUBLIC
+                | classfuzz_classfile::MethodAccess::STATIC,
+            name: "m".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        assert!(verify(&c, &VmSpec::hotspot9()).is_ok(), "HotSpot misses the bad cast");
+        assert!(verify(&c, &VmSpec::gij()).is_err(), "GIJ catches the bad cast");
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        use classfuzz_classfile::attributes::CodeAttribute;
+        use classfuzz_classfile::{Instruction, MethodAccess, Opcode};
+        let cf = classfuzz_classfile::ClassFile::builder("v/Under")
+            .super_class("java/lang/Object")
+            .method(
+                MethodAccess::STATIC,
+                "m",
+                "()V",
+                CodeAttribute {
+                    max_stack: 2,
+                    max_locals: 0,
+                    instructions: vec![
+                        Instruction::Simple(Opcode::Pop),
+                        Instruction::Simple(Opcode::Return),
+                    ],
+                    exception_table: vec![],
+                    attributes: vec![],
+                },
+            )
+            .build();
+        let spec = VmSpec::hotspot9();
+        let user = UserClass::summarize(cf);
+        let world = World::new(&spec, vec![]);
+        let m = user.methods[0].clone();
+        assert!(verify_method(&world, &user, &m, &spec, &mut Cov::disabled()).is_err());
+    }
+
+    #[test]
+    fn falling_off_end_detected() {
+        use classfuzz_classfile::attributes::CodeAttribute;
+        use classfuzz_classfile::{Instruction, MethodAccess, Opcode};
+        let cf = classfuzz_classfile::ClassFile::builder("v/Fall")
+            .super_class("java/lang/Object")
+            .method(
+                MethodAccess::STATIC,
+                "m",
+                "()V",
+                CodeAttribute {
+                    max_stack: 1,
+                    max_locals: 0,
+                    instructions: vec![Instruction::Simple(Opcode::Iconst0)],
+                    exception_table: vec![],
+                    attributes: vec![],
+                },
+            )
+            .build();
+        let spec = VmSpec::hotspot9();
+        let user = UserClass::summarize(cf);
+        let world = World::new(&spec, vec![]);
+        let m = user.methods[0].clone();
+        let err = verify_method(&world, &user, &m, &spec, &mut Cov::disabled());
+        assert!(matches!(err, Err(Outcome::Rejected { .. })));
+    }
+
+    #[test]
+    fn declared_max_stack_enforced() {
+        use classfuzz_classfile::attributes::CodeAttribute;
+        use classfuzz_classfile::{Instruction, MethodAccess, Opcode};
+        let cf = classfuzz_classfile::ClassFile::builder("v/Deep")
+            .super_class("java/lang/Object")
+            .method(
+                MethodAccess::STATIC,
+                "m",
+                "()V",
+                CodeAttribute {
+                    max_stack: 1,
+                    max_locals: 0,
+                    instructions: vec![
+                        Instruction::Simple(Opcode::Iconst0),
+                        Instruction::Simple(Opcode::Iconst1),
+                        Instruction::Simple(Opcode::Pop),
+                        Instruction::Simple(Opcode::Pop),
+                        Instruction::Simple(Opcode::Return),
+                    ],
+                    exception_table: vec![],
+                    attributes: vec![],
+                },
+            )
+            .build();
+        let spec = VmSpec::hotspot9();
+        let user = UserClass::summarize(cf);
+        let world = World::new(&spec, vec![]);
+        let m = user.methods[0].clone();
+        assert!(verify_method(&world, &user, &m, &spec, &mut Cov::disabled()).is_err());
+    }
+
+    #[test]
+    fn uninitialized_object_use_rejected() {
+        use classfuzz_jimple::*;
+        // new without <init>, then invokevirtual on it.
+        let mut c = IrClass::new("v/Uninit");
+        let mut body = Body::new();
+        body.declare("o", JType::object("java/lang/Thread"));
+        body.stmts.push(Stmt::Assign {
+            target: Target::Local("o".into()),
+            value: Expr::New("java/lang/Thread".into()),
+        });
+        body.stmts.push(Stmt::Invoke(InvokeExpr {
+            kind: InvokeKind::Virtual,
+            class: "java/lang/Thread".into(),
+            name: "start".into(),
+            params: vec![],
+            ret: None,
+            receiver: Some(Value::local("o")),
+            args: vec![],
+        }));
+        body.stmts.push(Stmt::Return(None));
+        c.methods.push(IrMethod {
+            access: classfuzz_classfile::MethodAccess::STATIC,
+            name: "m".into(),
+            params: vec![],
+            ret: None,
+            exceptions: vec![],
+            body: Some(body),
+        });
+        assert!(verify(&c, &VmSpec::hotspot9()).is_err());
+    }
+
+    #[test]
+    fn jsr_rejected_in_version_51() {
+        use classfuzz_classfile::attributes::CodeAttribute;
+        use classfuzz_classfile::{Instruction, MethodAccess, Opcode};
+        let cf = classfuzz_classfile::ClassFile::builder("v/Jsr")
+            .super_class("java/lang/Object")
+            .method(
+                MethodAccess::STATIC,
+                "m",
+                "()V",
+                CodeAttribute {
+                    max_stack: 1,
+                    max_locals: 0,
+                    instructions: vec![
+                        Instruction::Branch(Opcode::Jsr, 3),
+                        Instruction::Simple(Opcode::Return),
+                    ],
+                    exception_table: vec![],
+                    attributes: vec![],
+                },
+            )
+            .build();
+        let spec = VmSpec::hotspot9();
+        let user = UserClass::summarize(cf);
+        let world = World::new(&spec, vec![]);
+        let m = user.methods[0].clone();
+        assert!(verify_method(&world, &user, &m, &spec, &mut Cov::disabled()).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! The class "world": loaded user classes plus the bootstrap library,
+//! with hierarchy queries used by every startup phase.
+
+use std::collections::BTreeMap;
+
+use classfuzz_classfile::{
+    ClassFile, FieldAccess, FieldType, MethodAccess, MethodDescriptor,
+};
+
+use crate::library::{bootstrap_library, LibClass};
+use crate::spec::VmSpec;
+
+/// Summary of a user-class method, with descriptor pre-parsed.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// Index into `ClassFile::methods`.
+    pub index: usize,
+    /// Method name (may be garbage after mutation).
+    pub name: String,
+    /// Raw descriptor text.
+    pub desc_text: String,
+    /// Parsed descriptor, when parseable.
+    pub desc: Option<MethodDescriptor>,
+    /// Access flags.
+    pub access: MethodAccess,
+    /// Whether a `Code` attribute is present.
+    pub has_code: bool,
+    /// Resolved `throws`-clause class names (dangling entries dropped).
+    pub exceptions: Vec<String>,
+}
+
+/// Summary of a user-class field.
+#[derive(Debug, Clone)]
+pub struct FieldSummary {
+    /// Field name.
+    pub name: String,
+    /// Raw descriptor text.
+    pub desc_text: String,
+    /// Parsed type, when parseable.
+    pub ty: Option<FieldType>,
+    /// Access flags.
+    pub access: FieldAccess,
+}
+
+/// A user class admitted to the world (parsed, not yet checked).
+#[derive(Debug, Clone)]
+pub struct UserClass {
+    /// The parsed classfile.
+    pub cf: ClassFile,
+    /// Binary name (resolved from `this_class`).
+    pub name: String,
+    /// Superclass name, when resolvable.
+    pub super_name: Option<String>,
+    /// Interface names (dangling entries dropped).
+    pub interfaces: Vec<String>,
+    /// Method summaries, in declaration order.
+    pub methods: Vec<MethodSummary>,
+    /// Field summaries, in declaration order.
+    pub fields: Vec<FieldSummary>,
+}
+
+impl UserClass {
+    /// Summarizes a parsed classfile. Never fails: unresolvable names
+    /// surface as placeholders for the checkers to reject.
+    pub fn summarize(cf: ClassFile) -> UserClass {
+        let cp = &cf.constant_pool;
+        let name = cf
+            .this_class_name()
+            .unwrap_or_else(|| format!("$badclass{}", cf.this_class.0));
+        let super_name = cf.super_class_name();
+        let interfaces = cf.interface_names();
+        let methods = cf
+            .methods
+            .iter()
+            .enumerate()
+            .map(|(index, m)| {
+                let mname = cp.utf8_text(m.name).unwrap_or("$badname").to_string();
+                let desc_text = cp.utf8_text(m.descriptor).unwrap_or("").to_string();
+                MethodSummary {
+                    index,
+                    name: mname,
+                    desc: MethodDescriptor::parse(&desc_text).ok(),
+                    desc_text,
+                    access: m.access,
+                    has_code: m.code().is_some(),
+                    exceptions: m
+                        .declared_exceptions()
+                        .iter()
+                        .filter_map(|&e| cp.class_name(e))
+                        .collect(),
+                }
+            })
+            .collect();
+        let fields = cf
+            .fields
+            .iter()
+            .map(|f| {
+                let fname = cp.utf8_text(f.name).unwrap_or("$badname").to_string();
+                let desc_text = cp.utf8_text(f.descriptor).unwrap_or("").to_string();
+                FieldSummary {
+                    name: fname,
+                    ty: FieldType::parse(&desc_text).ok(),
+                    desc_text,
+                    access: f.access,
+                }
+            })
+            .collect();
+        UserClass { cf, name, super_name, interfaces, methods, fields }
+    }
+
+    /// Finds a method summary by name and descriptor text.
+    pub fn find_method(&self, name: &str, desc: &str) -> Option<&MethodSummary> {
+        self.methods.iter().find(|m| m.name == name && m.desc_text == desc)
+    }
+}
+
+/// The complete class environment of a run.
+#[derive(Debug)]
+pub struct World {
+    /// Bootstrap library for the VM's JRE generation.
+    pub library: BTreeMap<String, LibClass>,
+    /// User classes on the classpath (the test class plus any extras).
+    pub user: BTreeMap<String, UserClass>,
+}
+
+impl World {
+    /// Builds the world for `spec` with the given user classes.
+    pub fn new(spec: &VmSpec, user_classes: Vec<UserClass>) -> World {
+        let mut user = BTreeMap::new();
+        for c in user_classes {
+            user.entry(c.name.clone()).or_insert(c);
+        }
+        World { library: bootstrap_library(spec.jre), user }
+    }
+
+    /// Does any class of this name exist (user or library)?
+    pub fn exists(&self, name: &str) -> bool {
+        self.user.contains_key(name) || self.library.contains_key(name)
+    }
+
+    /// Library lookup.
+    pub fn lib(&self, name: &str) -> Option<&LibClass> {
+        self.library.get(name)
+    }
+
+    /// User-class lookup.
+    pub fn user_class(&self, name: &str) -> Option<&UserClass> {
+        self.user.get(name)
+    }
+
+    /// Is `name` declared final? `None` when the class is unknown.
+    pub fn is_final(&self, name: &str) -> Option<bool> {
+        if let Some(u) = self.user.get(name) {
+            return Some(u.cf.access.contains(classfuzz_classfile::ClassAccess::FINAL));
+        }
+        self.library.get(name).map(LibClass::is_final)
+    }
+
+    /// Is `name` an interface? `None` when unknown.
+    pub fn is_interface(&self, name: &str) -> Option<bool> {
+        if let Some(u) = self.user.get(name) {
+            return Some(u.cf.access.contains(classfuzz_classfile::ClassAccess::INTERFACE));
+        }
+        self.library.get(name).map(LibClass::is_interface)
+    }
+
+    /// Is `name` an internal (encapsulated) library class?
+    pub fn is_internal(&self, name: &str) -> bool {
+        self.library.get(name).map(|c| c.internal).unwrap_or(false)
+    }
+
+    /// Direct superclass name, when the class is known.
+    pub fn super_of(&self, name: &str) -> Option<String> {
+        if let Some(u) = self.user.get(name) {
+            return u.super_name.clone();
+        }
+        self.library.get(name).and_then(|c| c.super_class.map(str::to_string))
+    }
+
+    /// Direct superinterfaces, when known.
+    pub fn interfaces_of(&self, name: &str) -> Vec<String> {
+        if let Some(u) = self.user.get(name) {
+            return u.interfaces.clone();
+        }
+        self.library
+            .get(name)
+            .map(|c| c.interfaces.iter().map(|s| s.to_string()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Walks the super chain of `name` (exclusive), bounded against cycles.
+    pub fn super_chain(&self, name: &str) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = name.to_string();
+        for _ in 0..64 {
+            match self.super_of(&cur) {
+                Some(s) => {
+                    if chain.contains(&s) || s == name {
+                        break; // circular hierarchy; checker reports it
+                    }
+                    chain.push(s.clone());
+                    cur = s;
+                }
+                None => break,
+            }
+        }
+        chain
+    }
+
+    /// Subtype test: is `sub` assignable to `sup`? Arrays are not modeled
+    /// here (the verifier handles them structurally); unknown classes are
+    /// related only to `java/lang/Object` and themselves.
+    pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
+        if sub == sup || sup == "java/lang/Object" {
+            return true;
+        }
+        let mut work = vec![sub.to_string()];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(cur) = work.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if cur == sup {
+                return true;
+            }
+            if let Some(s) = self.super_of(&cur) {
+                work.push(s);
+            }
+            work.extend(self.interfaces_of(&cur));
+        }
+        false
+    }
+
+    /// The nearest common superclass of two reference types (interfaces
+    /// collapse to `java/lang/Object`, as in HotSpot's verifier merge).
+    pub fn common_super(&self, a: &str, b: &str) -> String {
+        if a == b {
+            return a.to_string();
+        }
+        let mut a_chain = vec![a.to_string()];
+        a_chain.extend(self.super_chain(a));
+        let mut b_set = vec![b.to_string()];
+        b_set.extend(self.super_chain(b));
+        for c in &a_chain {
+            if b_set.contains(c) {
+                return c.clone();
+            }
+        }
+        "java/lang/Object".to_string()
+    }
+
+    /// Does a class in a circular inheritance relationship with itself
+    /// exist starting from `name`?
+    pub fn has_circularity(&self, name: &str) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut cur = name.to_string();
+        loop {
+            if !seen.insert(cur.clone()) {
+                return true;
+            }
+            match self.super_of(&cur) {
+                Some(s) => cur = s,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classfuzz_jimple::{lower::lower_class, IrClass};
+
+    fn world_with(classes: Vec<IrClass>) -> World {
+        let spec = VmSpec::hotspot9();
+        let user = classes
+            .into_iter()
+            .map(|c| UserClass::summarize(lower_class(&c)))
+            .collect();
+        World::new(&spec, user)
+    }
+
+    #[test]
+    fn library_and_user_coexist() {
+        let w = world_with(vec![IrClass::new("demo/A")]);
+        assert!(w.exists("demo/A"));
+        assert!(w.exists("java/lang/Object"));
+        assert!(!w.exists("no/Such"));
+        assert_eq!(w.is_interface("demo/A"), Some(false));
+        assert_eq!(w.is_interface("java/util/Map"), Some(true));
+        assert_eq!(w.is_final("java/lang/String"), Some(true));
+    }
+
+    #[test]
+    fn subtype_walks_supers_and_interfaces() {
+        let mut sub = IrClass::new("demo/Sub");
+        sub.super_class = Some("java/lang/Thread".into());
+        let w = world_with(vec![sub]);
+        assert!(w.is_subtype("demo/Sub", "java/lang/Thread"));
+        assert!(w.is_subtype("demo/Sub", "java/lang/Runnable"));
+        assert!(w.is_subtype("demo/Sub", "java/lang/Object"));
+        assert!(!w.is_subtype("java/lang/Thread", "demo/Sub"));
+        assert!(w.is_subtype(
+            "java/lang/ArrayIndexOutOfBoundsException",
+            "java/lang/RuntimeException"
+        ));
+    }
+
+    #[test]
+    fn common_super_of_exceptions() {
+        let w = world_with(vec![]);
+        assert_eq!(
+            w.common_super("java/lang/ArithmeticException", "java/lang/NullPointerException"),
+            "java/lang/RuntimeException"
+        );
+        assert_eq!(w.common_super("java/lang/String", "java/lang/Thread"), "java/lang/Object");
+    }
+
+    #[test]
+    fn circularity_detected() {
+        let mut a = IrClass::new("cyc/A");
+        a.super_class = Some("cyc/B".into());
+        let mut b = IrClass::new("cyc/B");
+        b.super_class = Some("cyc/A".into());
+        let w = world_with(vec![a, b]);
+        assert!(w.has_circularity("cyc/A"));
+        assert!(!w.has_circularity("java/lang/String"));
+    }
+
+    #[test]
+    fn summarize_survives_bad_descriptors() {
+        let mut c = IrClass::new("demo/Bad");
+        c.methods.push(classfuzz_jimple::IrMethod::abstract_method(
+            classfuzz_classfile::MethodAccess::PUBLIC | classfuzz_classfile::MethodAccess::ABSTRACT,
+            "m",
+            vec![],
+            None,
+        ));
+        let mut cf = lower_class(&c);
+        // Corrupt the method descriptor.
+        let bad = cf.constant_pool.utf8("(((");
+        cf.methods[0].descriptor = bad;
+        let u = UserClass::summarize(cf);
+        assert!(u.methods[0].desc.is_none());
+        assert_eq!(u.methods[0].desc_text, "(((");
+    }
+}

@@ -1,0 +1,549 @@
+//! Behavioral tests of the interpreter: the invocation phase must compute
+//! real results (stdout is the observable in differential testing).
+
+use classfuzz_classfile::MethodAccess;
+use classfuzz_jimple::builder::MethodBuilder;
+use classfuzz_jimple::{
+    BinOp, Body, CatchClause, CondOp, Const, Expr, InvokeExpr, InvokeKind, IrClass, IrMethod,
+    JType, Label, Stmt, Target, Value,
+};
+use classfuzz_vm::{Jvm, JvmErrorKind, Outcome, Phase, VmSpec};
+
+fn run_main(body: Body) -> Outcome {
+    let mut class = IrClass::new("t/Exec");
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    Jvm::new(VmSpec::hotspot9())
+        .run(&classfuzz_jimple::lower::lower_class(&class).to_bytes())
+        .outcome
+}
+
+fn stdout_of(outcome: Outcome) -> Vec<String> {
+    match outcome {
+        Outcome::Invoked { stdout } => stdout,
+        other => panic!("expected invocation, got {other}"),
+    }
+}
+
+fn println_value(body: &mut Body, local: &str) {
+    body.declare("out$", JType::object("java/io/PrintStream"));
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("out$".into()),
+        value: Expr::StaticField(
+            "java/lang/System".into(),
+            "out".into(),
+            JType::object("java/io/PrintStream"),
+        ),
+    });
+    body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Virtual,
+        class: "java/io/PrintStream".into(),
+        name: "println".into(),
+        params: vec![JType::Int],
+        ret: None,
+        receiver: Some(Value::local("out$")),
+        args: vec![Value::local(local)],
+    }));
+}
+
+#[test]
+fn loop_computes_sum() {
+    // sum of 0..10 = 45, printed.
+    let mut body = Body::new();
+    body.declare("i", JType::Int);
+    body.declare("sum", JType::Int);
+    let (top, done) = (Label(0), Label(1));
+    body.stmts.extend([
+        Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Assign { target: Target::Local("sum".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Label(top),
+        Stmt::If { op: CondOp::Ge, a: Value::local("i"), b: Some(Value::int(10)), target: done },
+        Stmt::Assign {
+            target: Target::Local("sum".into()),
+            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("sum"), Value::local("i")),
+        },
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("i"), Value::int(1)),
+        },
+        Stmt::Goto(top),
+        Stmt::Label(done),
+    ]);
+    println_value(&mut body, "sum");
+    body.stmts.push(Stmt::Return(None));
+    assert_eq!(stdout_of(run_main(body)), vec!["45"]);
+}
+
+#[test]
+fn long_arithmetic() {
+    let mut body = Body::new();
+    body.declare("l", JType::Long);
+    body.declare("i", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("l".into()),
+        value: Expr::BinOp(
+            BinOp::Mul,
+            JType::Long,
+            Value::Const(Const::Long(1_000_000)),
+            Value::Const(Const::Long(1_000_000)),
+        ),
+    });
+    // Truncate to int via cast, then print.
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("i".into()),
+        value: Expr::Cast(JType::Int, Value::local("l")),
+    });
+    println_value(&mut body, "i");
+    body.stmts.push(Stmt::Return(None));
+    let expected = (1_000_000i64 * 1_000_000) as i32;
+    assert_eq!(stdout_of(run_main(body)), vec![expected.to_string()]);
+}
+
+#[test]
+fn array_store_load_and_length() {
+    let mut body = Body::new();
+    body.declare("a", JType::array(JType::Int));
+    body.declare("v", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("a".into()),
+        value: Expr::NewArray(JType::Int, Value::int(5)),
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::ArrayElem(JType::Int, Value::local("a"), Value::int(3)),
+        value: Expr::Use(Value::int(77)),
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("v".into()),
+        value: Expr::ArrayLoad(JType::Int, Value::local("a"), Value::int(3)),
+    });
+    println_value(&mut body, "v");
+    body.declare("len", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("len".into()),
+        value: Expr::ArrayLen(Value::local("a")),
+    });
+    println_value(&mut body, "len");
+    body.stmts.push(Stmt::Return(None));
+    assert_eq!(stdout_of(run_main(body)), vec!["77", "5"]);
+}
+
+#[test]
+fn array_index_out_of_bounds_is_runtime_rejection() {
+    let mut body = Body::new();
+    body.declare("a", JType::array(JType::Int));
+    body.declare("v", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("a".into()),
+        value: Expr::NewArray(JType::Int, Value::int(2)),
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("v".into()),
+        value: Expr::ArrayLoad(JType::Int, Value::local("a"), Value::int(9)),
+    });
+    body.stmts.push(Stmt::Return(None));
+    let out = run_main(body);
+    assert_eq!(out.phase(), Phase::Runtime);
+    assert_eq!(
+        out.error().unwrap().kind,
+        JvmErrorKind::ArrayIndexOutOfBoundsException
+    );
+}
+
+#[test]
+fn switch_dispatch() {
+    for (key, expected) in [(0, "10"), (1, "20"), (7, "-1")] {
+        let mut body = Body::new();
+        body.declare("k", JType::Int);
+        body.declare("r", JType::Int);
+        let (l0, l1, ld, out) = (Label(0), Label(1), Label(2), Label(3));
+        body.stmts.extend([
+            Stmt::Assign { target: Target::Local("k".into()), value: Expr::Use(Value::int(key)) },
+            Stmt::Switch {
+                key: Value::local("k"),
+                cases: vec![(0, l0), (1, l1)],
+                default: ld,
+            },
+            Stmt::Label(l0),
+            Stmt::Assign { target: Target::Local("r".into()), value: Expr::Use(Value::int(10)) },
+            Stmt::Goto(out),
+            Stmt::Label(l1),
+            Stmt::Assign { target: Target::Local("r".into()), value: Expr::Use(Value::int(20)) },
+            Stmt::Goto(out),
+            Stmt::Label(ld),
+            Stmt::Assign { target: Target::Local("r".into()), value: Expr::Use(Value::int(-1)) },
+            Stmt::Label(out),
+        ]);
+        println_value(&mut body, "r");
+        body.stmts.push(Stmt::Return(None));
+        assert_eq!(stdout_of(run_main(body)), vec![expected], "key {key}");
+    }
+}
+
+#[test]
+fn try_catch_catches_division_by_zero() {
+    let mut body = Body::new();
+    body.declare("x", JType::Int);
+    body.declare("$e", JType::object("java/lang/Throwable"));
+    let (start, end, handler, out) = (Label(0), Label(1), Label(2), Label(3));
+    body.stmts.extend([
+        Stmt::Label(start),
+        Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::BinOp(BinOp::Div, JType::Int, Value::int(1), Value::int(0)),
+        },
+        Stmt::Label(end),
+        Stmt::Goto(out),
+        Stmt::Label(handler),
+        Stmt::Assign { target: Target::Local("$e".into()), value: Expr::CaughtException },
+        Stmt::Assign { target: Target::Local("x".into()), value: Expr::Use(Value::int(-99)) },
+        Stmt::Label(out),
+    ]);
+    body.catches.push(CatchClause {
+        start,
+        end,
+        handler,
+        exception: Some("java/lang/ArithmeticException".into()),
+    });
+    println_value(&mut body, "x");
+    body.stmts.push(Stmt::Return(None));
+    assert_eq!(stdout_of(run_main(body)), vec!["-99"]);
+}
+
+#[test]
+fn catch_type_mismatch_propagates() {
+    // The handler catches NullPointerException; ArithmeticException escapes.
+    let mut body = Body::new();
+    body.declare("x", JType::Int);
+    body.declare("$e", JType::object("java/lang/Throwable"));
+    let (start, end, handler, out) = (Label(0), Label(1), Label(2), Label(3));
+    body.stmts.extend([
+        Stmt::Label(start),
+        Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::BinOp(BinOp::Div, JType::Int, Value::int(1), Value::int(0)),
+        },
+        Stmt::Label(end),
+        Stmt::Goto(out),
+        Stmt::Label(handler),
+        Stmt::Assign { target: Target::Local("$e".into()), value: Expr::CaughtException },
+        Stmt::Label(out),
+    ]);
+    body.catches.push(CatchClause {
+        start,
+        end,
+        handler,
+        exception: Some("java/lang/NullPointerException".into()),
+    });
+    body.stmts.push(Stmt::Return(None));
+    let outcome = run_main(body);
+    assert_eq!(outcome.phase(), Phase::Runtime);
+    assert_eq!(outcome.error().unwrap().kind, JvmErrorKind::ArithmeticException);
+}
+
+#[test]
+fn user_method_calls_compute() {
+    // helper(x) = x * 3; main prints helper(14) = 42.
+    let helper = MethodBuilder::new("helper", MethodAccess::PUBLIC | MethodAccess::STATIC)
+        .param(JType::Int)
+        .returns(JType::Int)
+        .local("x", JType::Int)
+        .local("r", JType::Int)
+        .bind_param("x", 0)
+        .assign("r", Expr::BinOp(BinOp::Mul, JType::Int, Value::local("x"), Value::int(3)))
+        .ret_value(Value::local("r"))
+        .build();
+    let mut body = Body::new();
+    body.declare("v", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("v".into()),
+        value: Expr::Invoke(InvokeExpr {
+            kind: InvokeKind::Static,
+            class: "t/Calls".into(),
+            name: "helper".into(),
+            params: vec![JType::Int],
+            ret: Some(JType::Int),
+            receiver: None,
+            args: vec![Value::int(14)],
+        }),
+    });
+    println_value(&mut body, "v");
+    body.stmts.push(Stmt::Return(None));
+
+    let mut class = IrClass::new("t/Calls");
+    class.methods.push(helper);
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let out = Jvm::new(VmSpec::hotspot9())
+        .run(&classfuzz_jimple::lower::lower_class(&class).to_bytes())
+        .outcome;
+    assert_eq!(stdout_of(out), vec!["42"]);
+}
+
+#[test]
+fn infinite_loop_hits_step_budget() {
+    let mut body = Body::new();
+    let top = Label(0);
+    body.stmts.extend([Stmt::Label(top), Stmt::Goto(top)]);
+    let out = run_main(body);
+    assert_eq!(out.phase(), Phase::Runtime);
+    assert_eq!(out.error().unwrap().kind, JvmErrorKind::ExecutionBudgetExceeded);
+}
+
+#[test]
+fn deep_recursion_overflows() {
+    // recurse() calls itself unconditionally.
+    let mut rec_body = Body::new();
+    rec_body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Static,
+        class: "t/Rec".into(),
+        name: "recurse".into(),
+        params: vec![],
+        ret: None,
+        receiver: None,
+        args: vec![],
+    }));
+    rec_body.stmts.push(Stmt::Return(None));
+    let mut main_body = Body::new();
+    main_body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Static,
+        class: "t/Rec".into(),
+        name: "recurse".into(),
+        params: vec![],
+        ret: None,
+        receiver: None,
+        args: vec![],
+    }));
+    main_body.stmts.push(Stmt::Return(None));
+    let mut class = IrClass::new("t/Rec");
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "recurse".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(rec_body),
+    });
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(main_body),
+    });
+    let out = Jvm::new(VmSpec::hotspot9())
+        .run(&classfuzz_jimple::lower::lower_class(&class).to_bytes())
+        .outcome;
+    assert_eq!(out.phase(), Phase::Runtime);
+    assert!(matches!(
+        out.error().unwrap().kind,
+        JvmErrorKind::StackOverflowError | JvmErrorKind::UncaughtException
+    ));
+}
+
+#[test]
+fn object_construction_and_instance_fields() {
+    // new t/Box; box.value = 9; print box.value.
+    let ctor = classfuzz_jimple::builder::default_constructor("java/lang/Object");
+    let mut body = Body::new();
+    body.declare("b", JType::object("t/Box"));
+    body.declare("v", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("b".into()),
+        value: Expr::New("t/Box".into()),
+    });
+    body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Special,
+        class: "t/Box".into(),
+        name: "<init>".into(),
+        params: vec![],
+        ret: None,
+        receiver: Some(Value::local("b")),
+        args: vec![],
+    }));
+    body.stmts.push(Stmt::Assign {
+        target: Target::InstanceField(Value::local("b"), "t/Box".into(), "value".into(), JType::Int),
+        value: Expr::Use(Value::int(9)),
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("v".into()),
+        value: Expr::InstanceField(Value::local("b"), "t/Box".into(), "value".into(), JType::Int),
+    });
+    println_value(&mut body, "v");
+    body.stmts.push(Stmt::Return(None));
+
+    let mut class = IrClass::new("t/Box");
+    class.fields.push(classfuzz_jimple::IrField {
+        access: classfuzz_classfile::FieldAccess::PUBLIC,
+        name: "value".into(),
+        ty: JType::Int,
+        constant_value: None,
+    });
+    class.methods.push(ctor);
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let out = Jvm::new(VmSpec::hotspot9())
+        .run(&classfuzz_jimple::lower::lower_class(&class).to_bytes())
+        .outcome;
+    assert_eq!(stdout_of(out), vec!["9"]);
+}
+
+#[test]
+fn static_fields_initialized_by_clinit() {
+    // <clinit> sets COUNT = 5; main prints it.
+    let mut clinit = Body::new();
+    clinit.stmts.push(Stmt::Assign {
+        target: Target::StaticField("t/Statics".into(), "COUNT".into(), JType::Int),
+        value: Expr::Use(Value::int(5)),
+    });
+    clinit.stmts.push(Stmt::Return(None));
+    let mut body = Body::new();
+    body.declare("v", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("v".into()),
+        value: Expr::StaticField("t/Statics".into(), "COUNT".into(), JType::Int),
+    });
+    println_value(&mut body, "v");
+    body.stmts.push(Stmt::Return(None));
+
+    let mut class = IrClass::new("t/Statics");
+    class.fields.push(classfuzz_jimple::IrField {
+        access: classfuzz_classfile::FieldAccess::PUBLIC | classfuzz_classfile::FieldAccess::STATIC,
+        name: "COUNT".into(),
+        ty: JType::Int,
+        constant_value: None,
+    });
+    class.methods.push(IrMethod {
+        access: MethodAccess::STATIC,
+        name: "<clinit>".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(clinit),
+    });
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let out = Jvm::new(VmSpec::hotspot9())
+        .run(&classfuzz_jimple::lower::lower_class(&class).to_bytes())
+        .outcome;
+    assert_eq!(stdout_of(out), vec!["5"]);
+}
+
+#[test]
+fn constant_value_attribute_prepares_statics() {
+    // static final LIMIT = 42 via ConstantValue, no <clinit> needed.
+    let mut body = Body::new();
+    body.declare("v", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("v".into()),
+        value: Expr::StaticField("t/CV".into(), "LIMIT".into(), JType::Int),
+    });
+    println_value(&mut body, "v");
+    body.stmts.push(Stmt::Return(None));
+    let mut class = IrClass::new("t/CV");
+    class.fields.push(classfuzz_jimple::IrField {
+        access: classfuzz_classfile::FieldAccess::PUBLIC
+            | classfuzz_classfile::FieldAccess::STATIC
+            | classfuzz_classfile::FieldAccess::FINAL,
+        name: "LIMIT".into(),
+        ty: JType::Int,
+        constant_value: Some(Const::Int(42)),
+    });
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let out = Jvm::new(VmSpec::hotspot9())
+        .run(&classfuzz_jimple::lower::lower_class(&class).to_bytes())
+        .outcome;
+    assert_eq!(stdout_of(out), vec!["42"]);
+}
+
+#[test]
+fn throw_and_uncaught_user_exception() {
+    let mut body = Body::new();
+    body.declare("e", JType::object("java/lang/IllegalStateException"));
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("e".into()),
+        value: Expr::New("java/lang/IllegalStateException".into()),
+    });
+    body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Special,
+        class: "java/lang/IllegalStateException".into(),
+        name: "<init>".into(),
+        params: vec![JType::string()],
+        ret: None,
+        receiver: Some(Value::local("e")),
+        args: vec![Value::str("boom")],
+    }));
+    body.stmts.push(Stmt::Throw(Value::local("e")));
+    let out = run_main(body);
+    assert_eq!(out.phase(), Phase::Runtime);
+    let err = out.error().unwrap();
+    assert_eq!(err.kind, JvmErrorKind::UncaughtException);
+    assert!(err.message.contains("IllegalStateException"));
+    assert!(err.message.contains("boom"));
+}
+
+#[test]
+fn string_concat_and_length_builtins() {
+    // s = "ab".concat("cde"); print s.length() == 5.
+    let mut body = Body::new();
+    body.declare("s", JType::string());
+    body.declare("n", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("s".into()),
+        value: Expr::Invoke(InvokeExpr {
+            kind: InvokeKind::Virtual,
+            class: "java/lang/String".into(),
+            name: "concat".into(),
+            params: vec![JType::string()],
+            ret: Some(JType::string()),
+            receiver: Some(Value::str("ab")),
+            args: vec![Value::str("cde")],
+        }),
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("n".into()),
+        value: Expr::Invoke(InvokeExpr {
+            kind: InvokeKind::Virtual,
+            class: "java/lang/String".into(),
+            name: "length".into(),
+            params: vec![],
+            ret: Some(JType::Int),
+            receiver: Some(Value::local("s")),
+            args: vec![],
+        }),
+    });
+    println_value(&mut body, "n");
+    body.stmts.push(Stmt::Return(None));
+    assert_eq!(stdout_of(run_main(body)), vec!["5"]);
+}

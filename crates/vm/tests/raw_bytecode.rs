@@ -1,0 +1,177 @@
+//! Raw-bytecode tests: hand-assembled instruction sequences driven through
+//! verification and interpretation via the `Machine` API, covering opcodes
+//! the IR lowerer never emits (the dup family, swap).
+
+use classfuzz_classfile::attributes::CodeAttribute;
+use classfuzz_classfile::{ClassFile, Instruction, MethodAccess, Opcode};
+use classfuzz_vm::interp::{Machine, RtValue};
+use classfuzz_vm::{Cov, UserClass, VmSpec, World};
+
+fn int_method(max_stack: u16, insns: Vec<Instruction>) -> ClassFile {
+    ClassFile::builder("raw/T")
+        .super_class("java/lang/Object")
+        .method(
+            MethodAccess::PUBLIC | MethodAccess::STATIC,
+            "compute",
+            "()I",
+            CodeAttribute {
+                max_stack,
+                max_locals: 0,
+                instructions: insns,
+                exception_table: vec![],
+                attributes: vec![],
+            },
+        )
+        .build()
+}
+
+fn eval_int(cf: ClassFile) -> i32 {
+    let spec = VmSpec::hotspot9();
+    let user = UserClass::summarize(cf);
+    // Verify first — these sequences must be legal bytecode.
+    let world = World::new(&spec, vec![user.clone()]);
+    classfuzz_vm::verifier::verify_class(&world, &user, &spec, &mut Cov::disabled())
+        .expect("hand-assembled code must verify");
+    let mut machine = Machine::new(&world, &spec);
+    match machine
+        .call_static(&user, "compute", "()I", vec![], &mut Cov::disabled())
+        .expect("execution succeeds")
+    {
+        Some(RtValue::Int(v)) => v,
+        other => panic!("expected an int result, got {other:?}"),
+    }
+}
+
+#[test]
+fn dup_x1_inserts_beneath_one() {
+    use Instruction::Simple;
+    use Opcode::*;
+    // [1, 2] --dup_x1--> [2, 1, 2]; 2+(1+2) ... summed = 5.
+    let cf = int_method(
+        3,
+        vec![
+            Simple(Iconst1),
+            Simple(Iconst2),
+            Simple(DupX1),
+            Simple(Iadd),
+            Simple(Iadd),
+            Simple(Ireturn),
+        ],
+    );
+    assert_eq!(eval_int(cf), 5);
+}
+
+#[test]
+fn dup_x2_inserts_beneath_two() {
+    use Instruction::Simple;
+    use Opcode::*;
+    // [1, 2, 3] --dup_x2--> [3, 1, 2, 3]; sum = 9.
+    let cf = int_method(
+        4,
+        vec![
+            Simple(Iconst1),
+            Simple(Iconst2),
+            Simple(Iconst3),
+            Simple(DupX2),
+            Simple(Iadd),
+            Simple(Iadd),
+            Simple(Iadd),
+            Simple(Ireturn),
+        ],
+    );
+    assert_eq!(eval_int(cf), 9);
+}
+
+#[test]
+fn dup2_x1_duplicates_pair_beneath_one() {
+    use Instruction::Simple;
+    use Opcode::*;
+    // [1, 2, 3] --dup2_x1--> [2, 3, 1, 2, 3]; sum = 11.
+    let cf = int_method(
+        5,
+        vec![
+            Simple(Iconst1),
+            Simple(Iconst2),
+            Simple(Iconst3),
+            Simple(Dup2X1),
+            Simple(Iadd),
+            Simple(Iadd),
+            Simple(Iadd),
+            Simple(Iadd),
+            Simple(Ireturn),
+        ],
+    );
+    assert_eq!(eval_int(cf), 11);
+}
+
+#[test]
+fn dup2_x2_wide_form() {
+    use Instruction::Simple;
+    use Opcode::*;
+    // long form 4: [L1, L2] --dup2_x2--> [L2, L1, L2];
+    // l2 + (l1 + l2) = 2 + 1 + 2 = 5 as long, truncated to int.
+    let cf = ClassFile::builder("raw/T")
+        .super_class("java/lang/Object")
+        .method(
+            MethodAccess::PUBLIC | MethodAccess::STATIC,
+            "compute",
+            "()I",
+            CodeAttribute {
+                max_stack: 6,
+                max_locals: 0,
+                instructions: vec![
+                    Simple(Lconst1),
+                    Simple(Lconst0),
+                    Simple(Lconst1),
+                    Simple(Ladd), // L2 = 0 + 1 ... build 2 as 1+1
+                    Simple(Lconst1),
+                    Simple(Ladd), // stack: [1L, 2L]
+                    Simple(Dup2X2), // [2L, 1L, 2L]
+                    Simple(Ladd),
+                    Simple(Ladd),
+                    Simple(L2i),
+                    Simple(Ireturn),
+                ],
+                exception_table: vec![],
+                attributes: vec![],
+            },
+        )
+        .build();
+    assert_eq!(eval_int(cf), 5);
+}
+
+#[test]
+fn swap_exchanges_top_two() {
+    use Instruction::Simple;
+    use Opcode::*;
+    // [5, 2] --swap--> [2, 5]; 2 - 5? isub computes (next-to-top − top):
+    // after swap stack is [2, 5], so isub = 2 − 5 = −3.
+    let cf = int_method(
+        2,
+        vec![
+            Simple(Iconst5),
+            Simple(Iconst2),
+            Simple(Swap),
+            Simple(Isub),
+            Simple(Ireturn),
+        ],
+    );
+    assert_eq!(eval_int(cf), -3);
+}
+
+#[test]
+fn pop2_drops_two_category1_slots() {
+    use Instruction::Simple;
+    use Opcode::*;
+    let cf = int_method(
+        3,
+        vec![
+            Simple(Iconst4),
+            Simple(Iconst1),
+            Simple(Iconst2),
+            Simple(Pop2),
+            Simple(Ireturn),
+        ],
+    );
+    assert_eq!(eval_int(cf), 4);
+}

@@ -1,0 +1,64 @@
+//! Differential testing of the paper's four problem classes (§3.3) plus an
+//! environment-induced discrepancy, with per-JVM outcome details.
+//!
+//! ```sh
+//! cargo run --example differential_testing
+//! ```
+
+use classfuzz::classfile::{ClassAccess, FieldAccess, MethodAccess};
+use classfuzz::core::diff::DifferentialHarness;
+use classfuzz::jimple::builder::default_constructor;
+use classfuzz::jimple::{lower::lower_class, IrClass, IrField, IrMethod, JType};
+
+fn show(harness: &DifferentialHarness, title: &str, class: &IrClass) {
+    let vector = harness.run(&lower_class(class).to_bytes());
+    println!("-- {title} --");
+    println!("   encoded: {vector}{}", if vector.is_discrepancy() { "  [DISCREPANCY]" } else { "" });
+    for (jvm, outcome) in harness.jvms().iter().zip(vector.outcomes()) {
+        println!("   {:22} {outcome}", jvm.spec().name);
+    }
+    println!();
+}
+
+fn main() {
+    let harness = DifferentialHarness::paper_five();
+
+    // Problem 1: public abstract <clinit> with no Code attribute.
+    let mut p1 = IrClass::with_hello_main("M1436188543", "Completed!");
+    p1.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "<clinit>",
+        vec![],
+        None,
+    ));
+    show(&harness, "Problem 1: <clinit> of no consequence", &p1);
+
+    // Problem 3: main declares `throws` of an internal (sun.*-style) class.
+    let mut p3 = IrClass::with_hello_main("M1437121261", "Completed!");
+    p3.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    show(&harness, "Problem 3: internal class in a throws clause", &p3);
+
+    // Problem 4a: an interface carrying a main method.
+    let mut p4a = IrClass::with_hello_main("p/IfaceMain", "Completed!");
+    p4a.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    show(&harness, "Problem 4: interface with a main method", &p4a);
+
+    // Problem 4b: duplicate fields.
+    let mut p4b = IrClass::with_hello_main("p/DupFields", "Completed!");
+    for _ in 0..2 {
+        p4b.fields.push(IrField {
+            access: FieldAccess::PUBLIC,
+            name: "twin".into(),
+            ty: JType::Int,
+            constant_value: None,
+        });
+    }
+    show(&harness, "Problem 4: duplicate fields", &p4b);
+
+    // Environment: extending a class that became final in JRE 8 (the
+    // EnumEditor case from the paper's introduction).
+    let mut env = IrClass::with_hello_main("p/EditorSub", "Completed!");
+    env.super_class = Some("jre/beans/AbstractEditor".into());
+    env.methods.insert(0, default_constructor("jre/beans/AbstractEditor"));
+    show(&harness, "Environment: superclass final only in JRE 8+", &env);
+}

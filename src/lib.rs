@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # classfuzz
+//!
+//! A from-scratch Rust reproduction of *“Coverage-Directed Differential
+//! Testing of JVM Implementations”* (Chen et al., PLDI 2016).
+//!
+//! This facade crate re-exports the whole workspace so examples and
+//! integration tests can use one dependency:
+//!
+//! * [`classfile`] — the `.class` binary format (parser, writer, opcodes).
+//! * [`jimple`] — the Soot-like transformation IR.
+//! * [`coverage`] — tracefiles and the `[st]`/`[stbr]`/`[tr]` uniqueness
+//!   criteria.
+//! * [`vm`] — the miniature multi-profile JVM (loading, linking,
+//!   verification, initialization, invocation) with coverage probes.
+//! * [`mutation`] — the 129 classfile mutators.
+//! * [`mcmc`] — Metropolis–Hastings mutator selection.
+//! * [`core`] — the classfuzz algorithm, baselines, and the differential
+//!   testing harness.
+//! * [`reduce`] — hierarchical delta debugging of discrepancy triggers.
+//!
+//! # Examples
+//!
+//! ```
+//! use classfuzz::vm::{Jvm, VmSpec};
+//! use classfuzz::core::seeds::SeedCorpus;
+//!
+//! // Generate a tiny seed corpus and run one seed on the reference JVM.
+//! let corpus = SeedCorpus::generate(3, 42);
+//! let jvm = Jvm::new(VmSpec::hotspot9());
+//! let result = jvm.run(&corpus.to_bytes()[0]);
+//! assert!(result.outcome.phase().is_terminal());
+//! ```
+
+pub use classfuzz_classfile as classfile;
+pub use classfuzz_core as core;
+pub use classfuzz_coverage as coverage;
+pub use classfuzz_jimple as jimple;
+pub use classfuzz_mcmc as mcmc;
+pub use classfuzz_mutation as mutation;
+pub use classfuzz_reduce as reduce;
+pub use classfuzz_vm as vm;

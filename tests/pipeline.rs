@@ -1,0 +1,160 @@
+//! Whole-pipeline integration tests: seed generation → fuzzing campaigns →
+//! differential testing → reduction, asserting the *shapes* of the paper's
+//! Findings 1–4 at laptop scale.
+
+use classfuzz::core::analyze::evaluate_suite;
+use classfuzz::core::diff::DifferentialHarness;
+use classfuzz::core::engine::{run_campaign, Algorithm, CampaignConfig};
+use classfuzz::core::report::mutator_series;
+use classfuzz::core::seeds::SeedCorpus;
+use classfuzz::coverage::UniquenessCriterion;
+use classfuzz::jimple::lower::lower_class;
+use classfuzz::mutation::registry;
+use classfuzz::reduce::reduce;
+
+const SEEDS: usize = 25;
+const ITERS: usize = 300;
+const RNG: u64 = 20160613;
+
+fn campaign(alg: Algorithm, iterations: usize) -> classfuzz::core::engine::CampaignResult {
+    let seeds = SeedCorpus::generate(SEEDS, RNG).into_classes();
+    run_campaign(&seeds, &CampaignConfig::new(alg, iterations, RNG))
+}
+
+/// Finding 1 (shape): randfuzz generates many times more classfiles than
+/// any coverage-directed algorithm; the directed algorithms filter hard.
+#[test]
+fn finding1_generation_shape() {
+    let stbr = campaign(Algorithm::Classfuzz(UniquenessCriterion::StBr), ITERS);
+    let greedy = campaign(Algorithm::Greedyfuzz, ITERS);
+    let rand = campaign(Algorithm::Randfuzz, ITERS * 10);
+
+    assert!(
+        rand.gen_classes.len() > 5 * stbr.gen_classes.len(),
+        "randfuzz ({}) should dwarf classfuzz ({})",
+        rand.gen_classes.len(),
+        stbr.gen_classes.len()
+    );
+    assert_eq!(
+        rand.test_classes.len(),
+        rand.gen_classes.len(),
+        "randfuzz accepts everything"
+    );
+    assert!(
+        stbr.test_classes.len() > greedy.test_classes.len(),
+        "greedyfuzz accepts the fewest representatives ({} vs {})",
+        greedy.test_classes.len(),
+        stbr.test_classes.len()
+    );
+    // [st] is one-dimensional and accepts fewer than [stbr].
+    let st = campaign(Algorithm::Classfuzz(UniquenessCriterion::St), ITERS);
+    assert!(
+        st.test_classes.len() < stbr.test_classes.len(),
+        "[st] ({}) must accept fewer than [stbr] ({})",
+        st.test_classes.len(),
+        stbr.test_classes.len()
+    );
+}
+
+/// Finding 2 (shape): the MCMC chain's selection frequency correlates with
+/// mutator success rate — high-succ mutators are drawn more often than
+/// low-succ ones (Figure 4a/4b).
+#[test]
+fn finding2_mcmc_exploits_success_rates() {
+    let stbr = campaign(Algorithm::Classfuzz(UniquenessCriterion::StBr), 600);
+    let mutators = registry::all_mutators();
+    let series = mutator_series(&stbr.mutator_stats, &mutators);
+    let selected: Vec<_> = series.iter().filter(|p| p.selected > 0).collect();
+    assert!(selected.len() > 20, "the campaign should exercise many mutators");
+    let top_freq: f64 =
+        selected.iter().take(10).map(|p| p.frequency).sum::<f64>() / 10.0;
+    let bottom_freq: f64 =
+        selected.iter().rev().take(10).map(|p| p.frequency).sum::<f64>() / 10.0;
+    assert!(
+        top_freq > bottom_freq,
+        "top-succ mutators should be selected more often ({top_freq:.4} vs {bottom_freq:.4})"
+    );
+}
+
+/// Finding 3 (shape): the TestClasses diff rate rises far above the seed
+/// corpus baseline (paper: 1.7% → 11.9%).
+#[test]
+fn finding3_diff_rate_amplification() {
+    let harness = DifferentialHarness::paper_five();
+    let seeds = SeedCorpus::generate(100, RNG);
+    let baseline = evaluate_suite(&harness, &seeds.to_bytes());
+
+    let stbr = campaign(Algorithm::Classfuzz(UniquenessCriterion::StBr), 500);
+    let eval = evaluate_suite(&harness, &stbr.test_bytes());
+
+    assert!(
+        eval.diff_rate() > 2.0 * baseline.diff_rate(),
+        "TestClasses diff ({:.1}%) must clearly exceed the seed baseline ({:.1}%)",
+        eval.diff_rate() * 100.0,
+        baseline.diff_rate() * 100.0
+    );
+    assert!(eval.discrepancies > 0);
+}
+
+/// Finding 4 (shape): classfuzz[stbr]'s TestClasses reveal multiple
+/// distinct discrepancy categories, and per-class they are far denser in
+/// distinct discrepancies than randfuzz's unfiltered output.
+#[test]
+fn finding4_distinct_discrepancies() {
+    let harness = DifferentialHarness::paper_five();
+    let stbr = campaign(Algorithm::Classfuzz(UniquenessCriterion::StBr), 500);
+    let stbr_eval = evaluate_suite(&harness, &stbr.test_bytes());
+    assert!(
+        stbr_eval.distinct_count() >= 3,
+        "classfuzz[stbr] should reveal several distinct discrepancies, got {}",
+        stbr_eval.distinct_count()
+    );
+
+    let rand = campaign(Algorithm::Randfuzz, 500);
+    let rand_eval = evaluate_suite(&harness, &rand.test_bytes());
+    let stbr_density = stbr_eval.distinct_count() as f64 / stbr_eval.total.max(1) as f64;
+    let rand_density = rand_eval.distinct_count() as f64 / rand_eval.total.max(1) as f64;
+    assert!(
+        stbr_density > rand_density,
+        "distinct discrepancies per test class: classfuzz {stbr_density:.3} \
+         must beat randfuzz {rand_density:.3}"
+    );
+}
+
+/// End-to-end reduction: find a discrepancy trigger and shrink it while the
+/// encoded outcome vector stays identical (§2.3's two-step loop).
+#[test]
+fn reduction_preserves_the_discrepancy() {
+    let harness = DifferentialHarness::paper_five();
+    let stbr = campaign(Algorithm::Classfuzz(UniquenessCriterion::StBr), 400);
+    let trigger = stbr
+        .test_classes
+        .iter()
+        .map(|&i| &stbr.gen_classes[i])
+        .find(|g| harness.run(&g.bytes).is_discrepancy())
+        .expect("a 400-iteration campaign should find at least one discrepancy");
+    let original = harness.run(&trigger.bytes);
+    let (reduced, stats) = reduce(&trigger.class, |candidate| {
+        harness.run(&lower_class(candidate).to_bytes()) == original
+    });
+    assert_eq!(
+        harness.run(&lower_class(&reduced).to_bytes()),
+        original,
+        "reduction must preserve the encoded outcome"
+    );
+    let before = trigger.class.methods.len() + trigger.class.fields.len();
+    let after = reduced.methods.len() + reduced.fields.len();
+    assert!(after <= before, "reduction never grows the class");
+    assert!(stats.attempts > 0);
+}
+
+/// Campaigns are bit-deterministic across runs for a fixed seed.
+#[test]
+fn campaigns_replay_identically() {
+    let a = campaign(Algorithm::Classfuzz(UniquenessCriterion::Tr), 150);
+    let b = campaign(Algorithm::Classfuzz(UniquenessCriterion::Tr), 150);
+    assert_eq!(a.test_classes, b.test_classes);
+    let bytes_a: Vec<_> = a.gen_classes.iter().map(|g| &g.bytes).collect();
+    let bytes_b: Vec<_> = b.gen_classes.iter().map(|g| &g.bytes).collect();
+    assert_eq!(bytes_a, bytes_b);
+}

@@ -1,0 +1,221 @@
+//! Integration tests for the paper's §3.3 case studies (Problems 1–4),
+//! exercised end-to-end: IR → classfile bytes → five JVM profiles.
+
+use classfuzz::classfile::{ClassAccess, FieldAccess, MethodAccess};
+use classfuzz::core::diff::DifferentialHarness;
+use classfuzz::jimple::builder::default_constructor;
+use classfuzz::jimple::{lower::lower_class, IrClass, IrField, IrMethod, JType};
+use classfuzz::vm::{JvmErrorKind, Phase};
+
+fn harness() -> DifferentialHarness {
+    DifferentialHarness::paper_five()
+}
+
+fn phases_of(class: &IrClass) -> Vec<u8> {
+    harness().run(&lower_class(class).to_bytes()).encoded()
+}
+
+/// Problem 1: "other methods named `<clinit>` are of no consequence".
+/// HotSpot invokes the class normally; J9 reports the format error quoted
+/// in Figure 2's caption.
+#[test]
+fn problem1_clinit_of_no_consequence() {
+    let mut class = IrClass::with_hello_main("M1436188543", "Completed!");
+    class.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "<clinit>",
+        vec![],
+        None,
+    ));
+    let harness = harness();
+    let vector = harness.run(&lower_class(&class).to_bytes());
+    let enc = vector.encoded();
+    assert_eq!(&enc[0..3], &[0, 0, 0], "all three HotSpot releases invoke normally");
+    assert_eq!(enc[3], 1, "J9 rejects at loading");
+    let j9_error = vector.outcomes()[3].error().expect("J9 rejected");
+    assert_eq!(j9_error.kind, JvmErrorKind::ClassFormatError);
+    assert!(
+        j9_error.message.contains("no Code attribute") && j9_error.message.contains("<clinit>"),
+        "J9's message should match the paper's: {}",
+        j9_error.message
+    );
+}
+
+/// Problem 2, part 1: J9 verifies methods lazily — a broken method that is
+/// never invoked passes on J9 but fails eager verifiers.
+#[test]
+fn problem2_lazy_verification() {
+    use classfuzz::jimple::{Body, Expr, Stmt, Target, Value};
+    let mut class = IrClass::with_hello_main("p/LazyVerify", "Completed!");
+    let mut body = Body::new();
+    body.declare("s", JType::string());
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("s".into()),
+        value: Expr::Use(Value::int(7)), // int stored into a String slot
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("t".into()),
+        value: Expr::Use(Value::local("s")),
+    });
+    body.declare("t", JType::string());
+    body.stmts.push(Stmt::Return(None));
+    class.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "neverCalled".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let enc = phases_of(&class);
+    assert_eq!(enc[1], 2, "HotSpot 8 verifies eagerly: linking rejection");
+    assert_eq!(enc[3], 0, "J9 never verifies the uncalled method: invoked");
+    assert_eq!(enc[4], 2, "GIJ verifies eagerly too");
+}
+
+/// Problem 2, part 2: GIJ rejects provably unsafe reference-argument
+/// passing that HotSpot's verifier assumes assignable (M1433982529).
+#[test]
+fn problem2_unsafe_param_cast() {
+    use classfuzz::jimple::{Body, Expr, InvokeExpr, InvokeKind, Stmt, Target, Value};
+    let mut class = IrClass::with_hello_main("M1433982529", "Completed!");
+    let mut body = Body::new();
+    body.declare("r0", JType::string());
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("r0".into()),
+        value: Expr::Use(Value::str("oops")),
+    });
+    body.stmts.push(Stmt::Invoke(InvokeExpr {
+        kind: InvokeKind::Static,
+        class: "unloaded/Helper".into(),
+        name: "getBoolean".into(),
+        params: vec![JType::object("java/util/Map")],
+        ret: Some(JType::Boolean),
+        receiver: None,
+        args: vec![Value::local("r0")],
+    }));
+    body.stmts.push(Stmt::Return(None));
+    class.methods.push(IrMethod {
+        access: MethodAccess::PROTECTED | MethodAccess::STATIC,
+        name: "internalTransform".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    let enc = phases_of(&class);
+    assert_eq!(enc[2], 0, "HotSpot does not report any error for this");
+    assert_eq!(enc[4], 2, "GIJ throws a verification error");
+}
+
+/// Problem 3: a `throws` clause naming an internal class — HotSpot (Java 9
+/// encapsulation) reports IllegalAccessError; J9 and GIJ do not resolve
+/// throws clauses at all.
+#[test]
+fn problem3_internal_class_in_throws() {
+    let mut class = IrClass::with_hello_main("M1437121261", "Completed!");
+    class.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    let harness = harness();
+    let vector = harness.run(&lower_class(&class).to_bytes());
+    let enc = vector.encoded();
+    assert_eq!(enc[2], 2, "HotSpot 9 rejects at linking");
+    assert_eq!(
+        vector.outcomes()[2].error().unwrap().kind,
+        JvmErrorKind::IllegalAccessError
+    );
+    assert_eq!(enc[3], 0, "J9 does not resolve throws clauses");
+    assert_eq!(enc[4], 0, "GIJ does not resolve throws clauses");
+}
+
+/// Problem 4: interface extending a class — ClassFormatError on HotSpot/J9,
+/// accepted by GIJ.
+#[test]
+fn problem4_interface_extending_exception() {
+    let mut class = IrClass::new("p/BadIface");
+    class.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    class.super_class = Some("java/lang/Exception".into());
+    let enc = phases_of(&class);
+    assert_eq!(enc[1], 1, "HotSpot: ClassFormatError at loading");
+    assert_eq!(enc[3], 1, "J9: ClassFormatError at loading");
+    assert_ne!(enc[4], 1, "GIJ fails to catch the illegal inheritance");
+}
+
+/// Problem 4: GIJ can execute an interface having a main method; the
+/// others cannot.
+#[test]
+fn problem4_interface_with_main() {
+    let mut class = IrClass::with_hello_main("p/IfaceMain", "Completed!");
+    class.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    let enc = phases_of(&class);
+    assert_eq!(enc[4], 0, "GIJ executes the interface main");
+    for (i, phase) in enc.iter().enumerate().take(4) {
+        assert_ne!(*phase, 0, "VM column {i} must not invoke an interface main");
+    }
+}
+
+/// Problem 4: `public abstract void <init>(int,int,int,boolean)` is
+/// rejected by all JVMs except GIJ.
+#[test]
+fn problem4_abstract_init() {
+    let mut class = IrClass::with_hello_main("p/AbsInit", "Completed!");
+    class.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "<init>",
+        vec![JType::Int, JType::Int, JType::Int, JType::Boolean],
+        None,
+    ));
+    // Make the class abstract so only the <init> signature policy differs.
+    class.access = ClassAccess::PUBLIC | ClassAccess::ABSTRACT | ClassAccess::SUPER;
+    let enc = phases_of(&class);
+    for (i, phase) in enc.iter().enumerate().take(4) {
+        assert_eq!(*phase, 1, "VM column {i} must reject the abstract <init>");
+    }
+    assert_eq!(enc[4], 0, "GIJ allows it");
+}
+
+/// Problem 4: duplicate fields — GIJ accepts, the rest reject.
+#[test]
+fn problem4_duplicate_fields() {
+    let mut class = IrClass::with_hello_main("p/Dup", "Completed!");
+    for _ in 0..2 {
+        class.fields.push(IrField {
+            access: FieldAccess::PUBLIC,
+            name: "twin".into(),
+            ty: JType::Int,
+            constant_value: None,
+        });
+    }
+    let enc = phases_of(&class);
+    for (i, phase) in enc.iter().enumerate().take(4) {
+        assert_eq!(*phase, 1, "VM column {i} must reject duplicate fields");
+    }
+    assert_eq!(enc[4], 0, "GIJ accepts a class with duplicate fields");
+}
+
+/// The EnumEditor case from §1: a superclass that is final only in newer
+/// JRE generations splits the JVMs along library lines, and HotSpot labels
+/// the failure VerifyError while J9 uses IncompatibleClassChangeError.
+#[test]
+fn enum_editor_environment_case() {
+    let mut class = IrClass::with_hello_main("p/EditorSub", "Completed!");
+    class.super_class = Some("jre/beans/AbstractEditor".into());
+    class.methods.insert(0, default_constructor("jre/beans/AbstractEditor"));
+    let harness = harness();
+    let vector = harness.run(&lower_class(&class).to_bytes());
+    let enc = vector.encoded();
+    assert_eq!(enc[0], 0, "JRE 7: superclass is open, class runs");
+    assert_eq!(enc[1], 2, "JRE 8: superclass now final");
+    assert_eq!(enc[2], 2, "JRE 9: superclass still final");
+    assert_eq!(
+        vector.outcomes()[1].error().unwrap().kind,
+        JvmErrorKind::VerifyError,
+        "HotSpot reports VerifyError for a final superclass"
+    );
+    assert_eq!(
+        vector.outcomes()[3].error().unwrap().kind,
+        JvmErrorKind::IncompatibleClassChangeError,
+        "J9 reports IncompatibleClassChangeError"
+    );
+    assert_eq!(enc[4], 0, "GIJ's JRE 5 library has the open superclass");
+    assert_eq!(vector.outcomes()[0].phase(), Phase::Invoked);
+}
