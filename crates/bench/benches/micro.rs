@@ -106,7 +106,7 @@ fn bench_coverage(c: &mut Criterion) {
         UniquenessCriterion::StBr,
         UniquenessCriterion::Tr,
     ] {
-        c.bench_function(&format!("coverage/uniqueness-{criterion}"), |b| {
+        c.bench_function(format!("coverage/uniqueness-{criterion}"), |b| {
             b.iter_batched(
                 || SuiteIndex::new(criterion),
                 |mut index| {

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro <experiment> [--seeds N] [--iterations N] [--rng-seed S]
+//! repro <experiment> [--seeds N] [--iterations N] [--rng-seed S] [--jobs N]
 //!
 //! experiments:
 //!   phases     Table 1  — startup phases and their error classes
@@ -16,6 +16,7 @@
 //!   table7               — per-JVM phase histogram of TestClasses[stbr]
 //!   fig4                 — mutator success-rate/frequency series
 //!   baseline             — the §1 preliminary study (JRE-corpus diff rate)
+//!   speedup              — sharded vs sequential campaign wall clock
 //!   all                  — everything above
 //! ```
 
@@ -50,6 +51,14 @@ fn main() {
                     args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.rng_seed);
                 i += 2;
             }
+            "--jobs" => {
+                scale.jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j: &usize| j > 0)
+                    .unwrap_or(scale.jobs);
+                i += 2;
+            }
             other => {
                 experiment = other.to_string();
                 i += 1;
@@ -72,6 +81,7 @@ fn main() {
         "baseline" => baseline(scale),
         "ablation" => ablation(scale),
         "versions" => versions(),
+        "speedup" => speedup(scale),
         "all" => {
             phases();
             problem1();
@@ -310,6 +320,35 @@ fn ablation(scale: Scale) {
     println!("== Ablation: which policy knob causes which discrepancies ==");
     for (label, discrepancies) in classfuzz_bench::ablation_knobs(scale) {
         println!("  {label:<40} -> {discrepancies} discrepancy-triggering TestClasses");
+    }
+    println!();
+}
+
+/// `repro speedup`: the same classfuzz[stbr] campaign sequentially and
+/// sharded (default 4 jobs, override with `--jobs`), with per-shard stats.
+fn speedup(scale: Scale) {
+    let jobs = if scale.jobs > 1 { scale.jobs } else { 4 };
+    println!("== Sharded campaign: wall clock at equal iteration count ==");
+    let sequential = classfuzz_stbr_campaign(scale.with_jobs(1));
+    println!(
+        "  1 shard : {:>8.2?}  ({} generated, {} accepted)",
+        sequential.elapsed,
+        sequential.gen_classes.len(),
+        sequential.test_classes.len()
+    );
+    let parallel = classfuzz_stbr_campaign(scale.with_jobs(jobs));
+    println!(
+        "  {jobs} shards: {:>8.2?}  ({} generated, {} accepted, speedup {:.2}x)",
+        parallel.elapsed,
+        parallel.gen_classes.len(),
+        parallel.test_classes.len(),
+        sequential.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9)
+    );
+    for s in &parallel.shard_stats {
+        println!(
+            "    shard {}: {} iterations, {} generated, {} accepted",
+            s.shard_id, s.iterations, s.generated, s.accepted
+        );
     }
     println!();
 }

@@ -9,7 +9,7 @@
 
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};
 use classfuzz_core::diff::DifferentialHarness;
-use classfuzz_core::engine::{run_campaign, Algorithm, CampaignConfig, CampaignResult};
+use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig, CampaignResult};
 use classfuzz_core::report::Table6Row;
 use classfuzz_core::seeds::SeedCorpus;
 use classfuzz_coverage::UniquenessCriterion;
@@ -27,18 +27,26 @@ pub struct Scale {
     pub iterations: usize,
     /// Master RNG seed.
     pub rng_seed: u64,
+    /// Worker shards per campaign (1 = the sequential engine's behavior,
+    /// reproduced bit for bit by the parallel engine).
+    pub jobs: usize,
 }
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { seeds: 60, iterations: 1000, rng_seed: 20160613 }
+        Scale { seeds: 60, iterations: 1000, rng_seed: 20160613, jobs: 1 }
     }
 }
 
 impl Scale {
     /// A fast scale for smoke tests.
     pub fn small() -> Scale {
-        Scale { seeds: 12, iterations: 80, rng_seed: 20160613 }
+        Scale { seeds: 12, iterations: 80, rng_seed: 20160613, jobs: 1 }
+    }
+
+    /// The same scale with a different shard count.
+    pub fn with_jobs(self, jobs: usize) -> Scale {
+        Scale { jobs, ..self }
     }
 
     /// Randfuzz's budget: the paper's randfuzz executed ≈ 22× the
@@ -66,7 +74,11 @@ pub fn table4_campaigns(scale: Scale) -> Vec<CampaignResult> {
             } else {
                 scale.iterations
             };
-            run_campaign(&seeds, &CampaignConfig::new(alg, iterations, scale.rng_seed))
+            run_campaign_parallel(
+                &seeds,
+                &CampaignConfig::new(alg, iterations, scale.rng_seed),
+                scale.jobs,
+            )
         })
         .collect()
 }
@@ -74,22 +86,24 @@ pub fn table4_campaigns(scale: Scale) -> Vec<CampaignResult> {
 /// The classfuzz\[stbr\] campaign alone (Tables 5 and 7, Figure 4a/4b).
 pub fn classfuzz_stbr_campaign(scale: Scale) -> CampaignResult {
     let seeds = seed_corpus(scale).into_classes();
-    run_campaign(
+    run_campaign_parallel(
         &seeds,
         &CampaignConfig::new(
             Algorithm::Classfuzz(UniquenessCriterion::StBr),
             scale.iterations,
             scale.rng_seed,
         ),
+        scale.jobs,
     )
 }
 
 /// The uniquefuzz campaign alone (Figure 4c).
 pub fn uniquefuzz_campaign(scale: Scale) -> CampaignResult {
     let seeds = seed_corpus(scale).into_classes();
-    run_campaign(
+    run_campaign_parallel(
         &seeds,
         &CampaignConfig::new(Algorithm::Uniquefuzz, scale.iterations, scale.rng_seed),
+        scale.jobs,
     )
 }
 

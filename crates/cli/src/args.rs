@@ -12,7 +12,7 @@ commands:
   run    <file.class> [--vm NAME]     run on one profile (default hotspot9)
   diff   <file.class>                 run on all five profiles
   fuzz   [--seeds N] [--iterations N] [--rng-seed S]
-         [--criterion st|stbr|tr] [--out DIR]
+         [--criterion st|stbr|tr] [--jobs N] [--out DIR]
   reduce <file.class> [--out FILE]    minimize a discrepancy trigger
   seeds  --out DIR [--count N] [--rng-seed S]
                                       write a seed corpus as .class files
@@ -123,6 +123,14 @@ mod tests {
         assert!(p(&["run", "a", "b"]).is_err());
         let parsed = p(&["fuzz", "--seeds", "abc"]).unwrap();
         assert!(parsed.flag_parse("seeds", 0usize).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let parsed = p(&["fuzz", "--jobs", "4"]).unwrap();
+        assert_eq!(parsed.flag_parse("jobs", 1usize).unwrap(), 4);
+        assert_eq!(p(&["fuzz"]).unwrap().flag_parse("jobs", 1usize).unwrap(), 1);
+        assert!(p(&["fuzz", "--jobs", "many"]).unwrap().flag_parse("jobs", 1usize).is_err());
     }
 
     #[test]

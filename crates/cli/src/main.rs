@@ -6,7 +6,7 @@
 //! classfuzz run    <file.class> [--vm NAME]      run on one profile
 //! classfuzz diff   <file.class>                  run on all five profiles
 //! classfuzz fuzz   [--seeds N] [--iterations N] [--rng-seed S]
-//!                  [--criterion st|stbr|tr] [--out DIR]
+//!                  [--criterion st|stbr|tr] [--jobs N] [--out DIR]
 //!                                                Algorithm 1 campaign;
 //!                                                discrepancy triggers are
 //!                                                written to DIR as .class
@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use classfuzz_core::diff::DifferentialHarness;
-use classfuzz_core::engine::{run_campaign, Algorithm, CampaignConfig};
+use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig};
 use classfuzz_core::seeds::SeedCorpus;
 use classfuzz_coverage::UniquenessCriterion;
 use classfuzz_jimple::{lift::lift_class, lower::lower_class, printer as jimple_printer};
@@ -140,13 +140,20 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
         "tr" => UniquenessCriterion::Tr,
         other => return Err(format!("unknown criterion {other:?} (st|stbr|tr)")),
     };
+    let jobs: usize = parsed.flag_parse("jobs", 1)?;
+    if jobs == 0 {
+        return Err("--jobs expects at least 1".to_string());
+    }
     let out_dir = parsed.flag("out").map(PathBuf::from);
 
     let corpus = SeedCorpus::generate(seeds, rng_seed).into_classes();
-    eprintln!("fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}");
-    let result = run_campaign(
+    eprintln!(
+        "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, {jobs} job(s)"
+    );
+    let result = run_campaign_parallel(
         &corpus,
         &CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed),
+        jobs,
     );
     eprintln!(
         "generated {} classfiles, accepted {} representatives (succ {:.1}%)",

@@ -1,12 +1,21 @@
 //! The fuzzing campaigns: classfuzz (Algorithm 1) and the three comparison
 //! algorithms of §3.1.2 — uniquefuzz, greedyfuzz, randfuzz.
+//!
+//! Campaigns run either sequentially ([`run_campaign`]) or sharded across
+//! worker threads ([`run_campaign_parallel`]). The parallel engine is
+//! lockstep-deterministic: a one-shard run replays the sequential campaign
+//! bit for bit, and any shard count yields the same result for the same
+//! `(config, num_shards)` pair — see DESIGN.md, "Parallel campaign
+//! architecture".
 
 use std::fmt;
+use std::sync::mpsc;
+use std::thread;
 use std::time::{Duration, Instant};
 
-use classfuzz_coverage::{GlobalCoverage, SuiteIndex, UniquenessCriterion};
+use classfuzz_coverage::{GlobalCoverage, SuiteIndex, TraceFile, UniquenessCriterion};
 use classfuzz_jimple::{lower::lower_class, IrClass};
-use classfuzz_mcmc::{MutatorChain, MutatorStats, UniformSelector};
+use classfuzz_mcmc::{merge_stat_tables, MutatorChain, MutatorStats, UniformSelector};
 use classfuzz_mutation::{registry, MutationCtx, Mutator};
 use classfuzz_vm::{Jvm, VmSpec};
 use rand::rngs::StdRng;
@@ -91,6 +100,22 @@ pub struct GeneratedClass {
     pub accepted: bool,
 }
 
+/// Per-shard contribution to a campaign, reported in [`CampaignResult`].
+///
+/// A sequential campaign is a single shard 0; a parallel campaign has one
+/// entry per worker shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard's id (also its position in `CampaignResult::shard_stats`).
+    pub shard_id: usize,
+    /// Iterations this shard executed.
+    pub iterations: usize,
+    /// Classfiles this shard generated (iterations minus failed mutations).
+    pub generated: usize,
+    /// Of those, how many the coordinator accepted into `TestClasses`.
+    pub accepted: usize,
+}
+
 /// The outcome of a whole campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -103,12 +128,15 @@ pub struct CampaignResult {
     /// Indices into `gen_classes` of accepted mutants (`TestClasses`,
     /// seeds already excluded per Algorithm 1 line 19).
     pub test_classes: Vec<usize>,
-    /// Per-mutator selection/success statistics (Figure 4 data).
+    /// Per-mutator selection/success statistics (Figure 4 data), summed
+    /// across shards.
     pub mutator_stats: Vec<MutatorStats>,
     /// Wall-clock duration of the campaign.
     pub elapsed: Duration,
     /// Number of seeds the campaign started from.
     pub seed_count: usize,
+    /// Per-shard breakdown (one entry for sequential campaigns).
+    pub shard_stats: Vec<ShardStats>,
 }
 
 impl CampaignResult {
@@ -184,30 +212,26 @@ enum Acceptance {
     All,
 }
 
-/// Runs one campaign over `seeds` — Algorithm 1 for classfuzz, the
-/// §3.1.2 variants otherwise.
-///
-/// Deterministic for a fixed `CampaignConfig` (wall-clock fields aside).
-pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResult {
-    let start = Instant::now();
-    let mutators: Vec<Mutator> = registry::all_mutators();
-    let mut rng = StdRng::seed_from_u64(config.rng_seed);
-    let reference = Jvm::new(VmSpec::hotspot9());
+fn make_selector(config: &CampaignConfig, mutator_count: usize) -> Selector {
+    match config.algorithm {
+        Algorithm::Classfuzz(_) => Selector::Chain(MutatorChain::new(mutator_count, config.p)),
+        _ => Selector::Uniform(UniformSelector::new(mutator_count)),
+    }
+}
 
-    let mut selector = match config.algorithm {
-        Algorithm::Classfuzz(_) => Selector::Chain(MutatorChain::new(mutators.len(), config.p)),
-        _ => Selector::Uniform(UniformSelector::new(mutators.len())),
-    };
-    let mut acceptance = match config.algorithm {
+fn make_acceptance(algorithm: Algorithm) -> Acceptance {
+    match algorithm {
         Algorithm::Classfuzz(criterion) => Acceptance::Unique(SuiteIndex::new(criterion)),
         Algorithm::Uniquefuzz => Acceptance::Unique(SuiteIndex::new(UniquenessCriterion::StBr)),
         Algorithm::Greedyfuzz => Acceptance::Greedy(GlobalCoverage::new()),
         Algorithm::Randfuzz => Acceptance::All,
-    };
+    }
+}
 
-    // Seed the acceptance state with the seeds' own traces (Algorithm 1
-    // line 1: TestClasses ← Seeds), so mutants must differ from seeds too.
-    match &mut acceptance {
+/// Seeds the acceptance state with the seeds' own traces (Algorithm 1
+/// line 1: TestClasses ← Seeds), so mutants must differ from seeds too.
+fn seed_acceptance(acceptance: &mut Acceptance, seeds: &[IrClass], reference: &Jvm) {
+    match acceptance {
         Acceptance::Unique(index) => {
             for seed in seeds {
                 let bytes = lower_class(seed).to_bytes();
@@ -226,58 +250,120 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         }
         Acceptance::All => {}
     }
+}
+
+/// One iteration's shard-local product: a lowered mutant plus (when the
+/// algorithm consults coverage) its reference-VM trace.
+struct Candidate {
+    class: IrClass,
+    bytes: Vec<u8>,
+    mutator_id: usize,
+    trace: Option<TraceFile>,
+}
+
+/// Runs the shard-local half of one iteration: pool pick, mutator
+/// selection, mutation, `main` supplement, lowering, and (for the
+/// coverage-guided algorithms) the traced reference run. Returns `None`
+/// when the mutation was not applicable — the iteration is consumed but no
+/// classfile is generated (§3.2's "classfiles are not generated during
+/// some iterations").
+///
+/// The RNG call order here (pool pick, selection, mutation) is the
+/// sequential engine's contract; both engines go through this one function
+/// so a one-shard parallel run replays the sequential stream exactly.
+fn next_candidate(
+    pool: &[IrClass],
+    seeds: &[IrClass],
+    mutators: &[Mutator],
+    selector: &mut Selector,
+    rng: &mut StdRng,
+    reference: Option<&Jvm>,
+) -> Option<Candidate> {
+    let pick = rng.gen_range(0..pool.len());
+    let mutator_id = selector.select(rng);
+    let mut mutant = pool[pick].clone();
+    let applied = {
+        let mut ctx = MutationCtx::new(rng, seeds);
+        mutators[mutator_id].apply(&mut mutant, &mut ctx)
+    };
+    if applied.is_err() {
+        return None;
+    }
+    // §2.2.1: supplement each mutant with a message-printing main.
+    mutant.ensure_main("Completed!");
+    let bytes = lower_class(&mutant).to_bytes();
+    let trace = reference.and_then(|jvm| jvm.run_traced(&bytes).trace);
+    Some(Candidate { class: mutant, bytes, mutator_id, trace })
+}
+
+/// The acceptance decision (coordinator-side in a parallel run): does this
+/// candidate enter `TestClasses`?
+fn decide(acceptance: &mut Acceptance, trace: Option<&TraceFile>) -> bool {
+    match acceptance {
+        Acceptance::All => true,
+        Acceptance::Unique(index) => trace.is_some_and(|t| index.insert_if_unique(t)),
+        Acceptance::Greedy(global) => trace.is_some_and(|t| global.absorb(t)),
+    }
+}
+
+/// Whether `algorithm` needs the traced reference run at all (randfuzz is
+/// the one algorithm that never consults coverage).
+fn needs_trace(algorithm: Algorithm) -> bool {
+    !matches!(algorithm, Algorithm::Randfuzz)
+}
+
+/// Runs one campaign over `seeds` — Algorithm 1 for classfuzz, the
+/// §3.1.2 variants otherwise.
+///
+/// Deterministic for a fixed `CampaignConfig` (wall-clock fields aside).
+pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResult {
+    let start = Instant::now();
+    let mutators: Vec<Mutator> = registry::all_mutators();
+    let mut rng = StdRng::seed_from_u64(config.rng_seed);
+    let reference = Jvm::new(VmSpec::hotspot9());
+
+    let mut selector = make_selector(config, mutators.len());
+    let mut acceptance = make_acceptance(config.algorithm);
+    seed_acceptance(&mut acceptance, seeds, &reference);
+    let tracing = needs_trace(config.algorithm).then_some(&reference);
 
     // The mutation pool: seeds plus accepted mutants (line 14).
     let mut pool: Vec<IrClass> = seeds.to_vec();
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
     let mut test_classes: Vec<usize> = Vec::new();
+    let mut executed = 0usize;
 
     for _ in 0..config.iterations {
         if pool.is_empty() {
             break;
         }
-        let pick = rng.gen_range(0..pool.len());
-        let mutator_id = selector.select(&mut rng);
-        let mut mutant = pool[pick].clone();
-        let applied = {
-            let mut ctx = MutationCtx::new(&mut rng, seeds);
-            mutators[mutator_id].apply(&mut mutant, &mut ctx)
-        };
-        if applied.is_err() {
-            // Iteration consumed, no classfile generated (§3.2's
-            // "classfiles are not generated during some iterations").
+        executed += 1;
+        let Some(cand) =
+            next_candidate(&pool, seeds, &mutators, &mut selector, &mut rng, tracing)
+        else {
             continue;
-        }
-        // §2.2.1: supplement each mutant with a message-printing main.
-        mutant.ensure_main("Completed!");
-        let bytes = lower_class(&mutant).to_bytes();
-
-        let accepted = match &mut acceptance {
-            Acceptance::All => true,
-            Acceptance::Unique(index) => match reference.run_traced(&bytes).trace {
-                Some(trace) => index.insert_if_unique(&trace),
-                None => false,
-            },
-            Acceptance::Greedy(global) => match reference.run_traced(&bytes).trace {
-                Some(trace) => global.absorb(&trace),
-                None => false,
-            },
         };
-
+        let accepted = decide(&mut acceptance, cand.trace.as_ref());
         let gen_index = gen_classes.len();
         gen_classes.push(GeneratedClass {
-            class: mutant.clone(),
-            bytes,
-            mutator_id,
+            class: cand.class.clone(),
+            bytes: cand.bytes,
+            mutator_id: cand.mutator_id,
             accepted,
         });
         if accepted {
             test_classes.push(gen_index);
-            pool.push(mutant);
-            selector.record_success(mutator_id);
+            pool.push(cand.class);
+            selector.record_success(cand.mutator_id);
         }
     }
 
+    let shard_stats = vec![ShardStats {
+        shard_id: 0,
+        iterations: executed,
+        generated: gen_classes.len(),
+        accepted: test_classes.len(),
+    }];
     CampaignResult {
         algorithm: config.algorithm,
         iterations: config.iterations,
@@ -286,6 +372,213 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         mutator_stats: selector.stats(),
         elapsed: start.elapsed(),
         seed_count: seeds.len(),
+        shard_stats,
+    }
+}
+
+/// The RNG seed of worker shard `shard_id` in a parallel campaign.
+///
+/// Shard 0 uses the campaign seed unchanged, which is what makes a
+/// one-shard parallel run bit-identical to [`run_campaign`]; later shards
+/// decorrelate through the 64-bit golden-ratio increment (the SplitMix64
+/// stream constant).
+pub fn shard_rng_seed(rng_seed: u64, shard_id: usize) -> u64 {
+    rng_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard_id as u64))
+}
+
+/// What a shard hands the coordinator each round.
+enum Work {
+    /// A lowered mutant (with its reference trace when collected). Boxed:
+    /// a candidate is hundreds of bytes, `NoCandidate` is zero.
+    Generated(Box<Candidate>),
+    /// The mutation was not applicable; the iteration is still consumed.
+    NoCandidate,
+}
+
+struct Report {
+    shard_id: usize,
+    work: Work,
+}
+
+/// The coordinator's per-round verdict, broadcast to every active shard.
+struct RoundReply {
+    /// Did *this* shard's candidate enter `TestClasses`? (Drives the
+    /// shard-local selector's success bookkeeping.)
+    accepted_own: bool,
+    /// Every class accepted this round, in shard-id order — each shard
+    /// appends these to its pool replica, keeping all pools identical.
+    additions: Vec<IrClass>,
+}
+
+/// Runs one campaign sharded across `num_shards` worker threads.
+///
+/// Each shard owns its own RNG (seeded by [`shard_rng_seed`]), its own
+/// reference [`Jvm`], selector, and mutation-pool replica; the coordinator
+/// (the calling thread) owns the global acceptance state and arbitrates
+/// uniqueness. Shards proceed in lockstep rounds — one iteration per shard
+/// per round — and the coordinator judges each round's candidates in
+/// shard-id order, so the result is deterministic for a fixed
+/// `(config, num_shards)`:
+///
+/// * `num_shards == 1` (or 0, treated as 1) is **bit-identical** to
+///   [`run_campaign`] apart from the wall-clock field;
+/// * any shard count yields the same `CampaignResult` on every run.
+///
+/// `gen_classes` is ordered round-major, shard-minor. The per-shard
+/// breakdown lands in [`CampaignResult::shard_stats`]; `mutator_stats` is
+/// the elementwise sum over shards.
+pub fn run_campaign_parallel(
+    seeds: &[IrClass],
+    config: &CampaignConfig,
+    num_shards: usize,
+) -> CampaignResult {
+    let num_shards = num_shards.max(1);
+    let start = Instant::now();
+    let mutator_count = registry::all_mutators().len();
+
+    // Iteration split: the remainder goes to the lowest shard ids, so the
+    // set of shards still active in any round is a prefix of 0..num_shards.
+    let per_shard: Vec<usize> = (0..num_shards)
+        .map(|s| config.iterations / num_shards + usize::from(s < config.iterations % num_shards))
+        .collect();
+    let rounds = per_shard[0];
+
+    let reference = Jvm::new(VmSpec::hotspot9());
+    let mut acceptance = make_acceptance(config.algorithm);
+    seed_acceptance(&mut acceptance, seeds, &reference);
+    let tracing = needs_trace(config.algorithm);
+
+    let mut gen_classes: Vec<GeneratedClass> = Vec::new();
+    let mut test_classes: Vec<usize> = Vec::new();
+    let mut shard_stats: Vec<ShardStats> = (0..num_shards)
+        .map(|shard_id| ShardStats { shard_id, iterations: 0, generated: 0, accepted: 0 })
+        .collect();
+
+    // No seeds (empty pool) or no iterations: nothing to run. Returning
+    // here keeps the round protocol free of empty-pool special cases.
+    if seeds.is_empty() || rounds == 0 {
+        return CampaignResult {
+            algorithm: config.algorithm,
+            iterations: config.iterations,
+            gen_classes,
+            test_classes,
+            mutator_stats: make_selector(config, mutator_count).stats(),
+            elapsed: start.elapsed(),
+            seed_count: seeds.len(),
+            shard_stats,
+        };
+    }
+
+    let mut stat_tables: Vec<Vec<MutatorStats>> = vec![Vec::new(); num_shards];
+    thread::scope(|scope| {
+        let (report_tx, report_rx) = mpsc::channel::<Report>();
+        let mut reply_txs: Vec<mpsc::Sender<RoundReply>> = Vec::with_capacity(num_shards);
+        let mut handles = Vec::with_capacity(num_shards);
+
+        for (shard_id, &my_iterations) in per_shard.iter().enumerate() {
+            let (reply_tx, reply_rx) = mpsc::channel::<RoundReply>();
+            reply_txs.push(reply_tx);
+            let report_tx = report_tx.clone();
+            handles.push(scope.spawn(move || -> Vec<MutatorStats> {
+                let mutators: Vec<Mutator> = registry::all_mutators();
+                let mut rng = StdRng::seed_from_u64(shard_rng_seed(config.rng_seed, shard_id));
+                let mut selector = make_selector(config, mutators.len());
+                let shard_reference = Jvm::new(VmSpec::hotspot9());
+                let shard_tracing = tracing.then_some(&shard_reference);
+                // The shard's pool replica: seeds plus every accepted
+                // mutant, appended in the coordinator's broadcast order.
+                let mut pool: Vec<IrClass> = seeds.to_vec();
+                for _round in 0..my_iterations {
+                    let candidate = next_candidate(
+                        &pool,
+                        seeds,
+                        &mutators,
+                        &mut selector,
+                        &mut rng,
+                        shard_tracing,
+                    );
+                    let (work, mutator_id) = match candidate {
+                        Some(c) => {
+                            let id = c.mutator_id;
+                            (Work::Generated(Box::new(c)), Some(id))
+                        }
+                        None => (Work::NoCandidate, None),
+                    };
+                    if report_tx.send(Report { shard_id, work }).is_err() {
+                        break;
+                    }
+                    let Ok(reply) = reply_rx.recv() else {
+                        break;
+                    };
+                    if reply.accepted_own {
+                        if let Some(id) = mutator_id {
+                            selector.record_success(id);
+                        }
+                    }
+                    pool.extend(reply.additions);
+                }
+                selector.stats()
+            }));
+        }
+        drop(report_tx);
+
+        // Coordinator: collect each round's reports, judge them in
+        // shard-id order, broadcast the verdicts.
+        for round in 0..rounds {
+            let active = per_shard.iter().filter(|&&n| n > round).count();
+            let mut round_work: Vec<Option<Work>> = (0..active).map(|_| None).collect();
+            for _ in 0..active {
+                let report = report_rx.recv().expect("worker shard disconnected mid-round");
+                round_work[report.shard_id] = Some(report.work);
+            }
+            let mut additions: Vec<IrClass> = Vec::new();
+            let mut accepted_flags = vec![false; active];
+            for shard_id in 0..active {
+                shard_stats[shard_id].iterations += 1;
+                match round_work[shard_id].take().expect("every active shard reported") {
+                    Work::NoCandidate => {}
+                    Work::Generated(cand) => {
+                        let cand = *cand;
+                        let accepted = decide(&mut acceptance, cand.trace.as_ref());
+                        shard_stats[shard_id].generated += 1;
+                        let gen_index = gen_classes.len();
+                        gen_classes.push(GeneratedClass {
+                            class: cand.class.clone(),
+                            bytes: cand.bytes,
+                            mutator_id: cand.mutator_id,
+                            accepted,
+                        });
+                        if accepted {
+                            test_classes.push(gen_index);
+                            additions.push(cand.class);
+                            accepted_flags[shard_id] = true;
+                            shard_stats[shard_id].accepted += 1;
+                        }
+                    }
+                }
+            }
+            for shard_id in 0..active {
+                let _ = reply_txs[shard_id].send(RoundReply {
+                    accepted_own: accepted_flags[shard_id],
+                    additions: additions.clone(),
+                });
+            }
+        }
+
+        for (shard_id, handle) in handles.into_iter().enumerate() {
+            stat_tables[shard_id] = handle.join().expect("worker shard panicked");
+        }
+    });
+
+    CampaignResult {
+        algorithm: config.algorithm,
+        iterations: config.iterations,
+        gen_classes,
+        test_classes,
+        mutator_stats: merge_stat_tables(&stat_tables),
+        elapsed: start.elapsed(),
+        seed_count: seeds.len(),
+        shard_stats,
     }
 }
 

@@ -42,5 +42,8 @@ pub mod seeds;
 
 pub use analyze::{evaluate_suite, SuiteEvaluation};
 pub use diff::{DifferentialHarness, OutcomeVector};
-pub use engine::{run_campaign, Algorithm, CampaignConfig, CampaignResult, GeneratedClass};
+pub use engine::{
+    run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig,
+    CampaignResult, GeneratedClass, ShardStats,
+};
 pub use seeds::SeedCorpus;

@@ -89,7 +89,7 @@ fn arithmetic_class(name: &str, rng: &mut StdRng) -> IrClass {
     let a = rng.gen_range(1..100);
     let b = rng.gen_range(1..100);
     let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Xor]
-        [rng.gen_range(0..5)];
+        [rng.gen_range(0..5usize)];
     let m = MethodBuilder::new("compute", MethodAccess::PUBLIC | MethodAccess::STATIC)
         .param(JType::Int)
         .returns(JType::Int)

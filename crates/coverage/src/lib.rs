@@ -166,7 +166,7 @@ impl fmt::Display for UniquenessCriterion {
 
 /// An incremental index over an accepted test suite's tracefiles, answering
 /// coverage-uniqueness queries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuiteIndex {
     criterion: UniquenessCriterion,
     /// `[st]`: set of seen stmt statistics. `[stbr]`: seen (stmt, br) pairs.
@@ -243,12 +243,46 @@ impl SuiteIndex {
             false
         }
     }
+
+    /// Folds `other` into `self`, as if every trace `other` accepted had
+    /// been offered to `self` via [`SuiteIndex::insert_if_unique`]
+    /// (duplicates across the two indices are dropped). This is how a
+    /// parallel campaign combines shard-local indices; for indices built
+    /// purely with `insert_if_unique`,
+    /// `merge(index(h1), index(h2)) == index(h1 ++ h2)` for every pair of
+    /// histories — the property the coverage proptests pin down.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two indices use different criteria.
+    pub fn merge(&mut self, other: &SuiteIndex) {
+        assert_eq!(
+            self.criterion, other.criterion,
+            "cannot merge indices with different uniqueness criteria"
+        );
+        match self.criterion {
+            UniquenessCriterion::St | UniquenessCriterion::StBr => {
+                for &key in &other.seen_stats {
+                    if self.seen_stats.insert(key) {
+                        self.len += 1;
+                    }
+                }
+            }
+            UniquenessCriterion::Tr => {
+                for bucket in other.traces_by_stats.values() {
+                    for trace in bucket {
+                        self.insert_if_unique(trace);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Accumulative coverage across a whole campaign — the acceptance rule of
 /// the *greedyfuzz* baseline (§3.1.2): accept a mutant only when it
 /// increases total coverage.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GlobalCoverage {
     stmts: BTreeSet<SiteId>,
     branches: BTreeSet<(SiteId, bool)>,
@@ -271,6 +305,15 @@ impl GlobalCoverage {
     /// Total accumulated statistics.
     pub fn stats(&self) -> CoverageStats {
         CoverageStats { stmt: self.stmts.len(), br: self.branches.len() }
+    }
+
+    /// Folds another accumulator in (set union of both site sets); returns
+    /// `true` when `other` contributed any site `self` had not seen.
+    pub fn merge(&mut self, other: &GlobalCoverage) -> bool {
+        let before = self.stmts.len() + self.branches.len();
+        self.stmts.extend(other.stmts.iter().copied());
+        self.branches.extend(other.branches.iter().copied());
+        self.stmts.len() + self.branches.len() > before
     }
 }
 
@@ -368,6 +411,53 @@ mod tests {
         assert_eq!(UniquenessCriterion::St.label(), "[st]");
         assert_eq!(UniquenessCriterion::StBr.to_string(), "[stbr]");
         assert_eq!(UniquenessCriterion::Tr.label(), "[tr]");
+    }
+
+    #[test]
+    fn index_merge_matches_sequential_insertion() {
+        for criterion in [
+            UniquenessCriterion::St,
+            UniquenessCriterion::StBr,
+            UniquenessCriterion::Tr,
+        ] {
+            let h1 = [trace(&[1, 2], &[(9, true)]), trace(&[1, 3], &[(9, true)])];
+            let h2 = [trace(&[1, 2], &[(9, true)]), trace(&[4], &[])];
+            let mut left = SuiteIndex::new(criterion);
+            for t in &h1 {
+                left.insert_if_unique(t);
+            }
+            let mut right = SuiteIndex::new(criterion);
+            for t in &h2 {
+                right.insert_if_unique(t);
+            }
+            let mut sequential = SuiteIndex::new(criterion);
+            for t in h1.iter().chain(&h2) {
+                sequential.insert_if_unique(t);
+            }
+            left.merge(&right);
+            assert_eq!(left, sequential, "criterion {criterion}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different uniqueness criteria")]
+    fn index_merge_rejects_mixed_criteria() {
+        let mut a = SuiteIndex::new(UniquenessCriterion::St);
+        a.merge(&SuiteIndex::new(UniquenessCriterion::Tr));
+    }
+
+    #[test]
+    fn global_merge_is_set_union() {
+        let mut a = GlobalCoverage::new();
+        a.absorb(&trace(&[1, 2], &[(5, true)]));
+        let mut b = GlobalCoverage::new();
+        b.absorb(&trace(&[2, 3], &[(5, false)]));
+        assert!(a.merge(&b));
+        assert_eq!(a.stats(), CoverageStats { stmt: 3, br: 2 });
+        // Merging a subset contributes nothing.
+        let mut sub = GlobalCoverage::new();
+        sub.absorb(&trace(&[1], &[]));
+        assert!(!a.merge(&sub));
     }
 
     #[test]

@@ -1,0 +1,203 @@
+#![warn(missing_docs)]
+//! A minimal, offline stand-in for the parts of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a tiny benchmark harness with criterion's API shape:
+//! [`Criterion`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! benchmark groups, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. It runs each benchmark for a fixed small number of timed
+//! samples and prints median wall-clock per iteration — enough to spot
+//! order-of-magnitude regressions and to keep `cargo bench` runnable,
+//! without upstream's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's inputs are grouped; accepted for API
+/// compatibility, the shim treats every size the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Opens a named group; group benchmarks are prefixed with its name.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, prefix: name.to_string() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.prefix);
+        self.parent.bench_function(full, f);
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` directly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup, then timed samples.
+        std::hint::black_box(routine());
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                start.elapsed()
+            })
+            .collect();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+    println!("{id:<40} median {median:>12?}   range [{lo:?} .. {hi:?}]");
+}
+
+/// Declares a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("shim/iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs >= 4, "warmup + samples must run the routine");
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut setups = 0u32;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 6, "one warmup + five samples");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

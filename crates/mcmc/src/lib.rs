@@ -236,6 +236,23 @@ impl MutatorChain {
     }
 }
 
+/// Merges per-shard statistic tables elementwise (summing `selected` and
+/// `successes` per mutator id) — how a parallel campaign combines the
+/// selector bookkeeping of its shards into one Figure 4-style table.
+///
+/// Tables may have different lengths; the result is as wide as the widest.
+pub fn merge_stat_tables(tables: &[Vec<MutatorStats>]) -> Vec<MutatorStats> {
+    let width = tables.iter().map(Vec::len).max().unwrap_or(0);
+    let mut merged = vec![MutatorStats::default(); width];
+    for table in tables {
+        for (id, s) in table.iter().enumerate() {
+            merged[id].selected += s.selected;
+            merged[id].successes += s.successes;
+        }
+    }
+    merged
+}
+
 /// Uniform mutator selection — what *uniquefuzz*, *greedyfuzz*, and
 /// *randfuzz* use (§3.1.2): no guidance, every mutator equally likely.
 #[derive(Debug, Clone)]
@@ -385,6 +402,21 @@ mod tests {
         for c in counts {
             assert!((800..1200).contains(&c), "uniform counts skewed: {counts:?}");
         }
+    }
+
+    #[test]
+    fn stat_tables_merge_elementwise() {
+        let a = vec![
+            MutatorStats { selected: 3, successes: 1 },
+            MutatorStats { selected: 2, successes: 0 },
+        ];
+        let b = vec![MutatorStats { selected: 1, successes: 1 }];
+        let merged = merge_stat_tables(&[a.clone(), b]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], MutatorStats { selected: 4, successes: 2 });
+        assert_eq!(merged[1], MutatorStats { selected: 2, successes: 0 });
+        assert_eq!(merge_stat_tables(&[]), Vec::new());
+        assert_eq!(merge_stat_tables(std::slice::from_ref(&a)), a);
     }
 
     #[test]

@@ -1,0 +1,659 @@
+#![warn(missing_docs)]
+//! A minimal, offline stand-in for the parts of `proptest` this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small random-testing harness exposing the `proptest` API
+//! surface its tests rely on:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * [`Just`], integer-range strategies, tuple strategies, [`any`],
+//!   and string strategies from a small regex subset (`"[a-z]{1,6}"`);
+//! * [`collection::vec`], [`collection::btree_set`], [`option::of`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros and [`ProptestConfig`].
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case is
+//! reported with its case number and the test's deterministic RNG seed, so
+//! failures replay exactly but are not minimized. Generation is fully
+//! deterministic per test: the RNG seed is derived from the test name, so
+//! a failure in CI reproduces locally.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod test_runner {
+    //! Test-runner configuration (`ProptestConfig`).
+
+    /// How many random cases each `proptest!` test executes.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// A generator of random values of one type.
+///
+/// The single required method is [`Strategy::generate`]; the combinators
+/// (`prop_map`, `prop_recursive`, `boxed`) are provided.
+pub trait Strategy: 'static {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one random value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `branch` wraps
+    /// an inner strategy into a deeper value. `depth` bounds the nesting;
+    /// the other two parameters (upstream's target sizes) are accepted for
+    /// API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, reference-counted strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: 'static,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A uniform choice among several strategies of the same value type — what
+/// [`prop_oneof!`] builds.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T: 'static> Union<T> {
+    /// Builds a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Types with a canonical whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized + 'static {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f32 {
+    /// Arbitrary bit patterns — includes infinities and NaNs, as upstream
+    /// `any::<f32>()` can produce.
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f32::from_bits(rng.gen::<u32>())
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Arbitrary bit patterns — includes infinities and NaNs.
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy over the whole domain of `T` (`any::<u16>()`, …).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a small regex subset.
+// ---------------------------------------------------------------------------
+
+/// One unit of a string pattern: a set of candidate chars plus a repeat
+/// count range.
+struct PatternAtom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut choices = Vec::new();
+        if chars[i] == '[' {
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "bad char range in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        choices.push(c);
+                    }
+                    i += 3;
+                } else {
+                    choices.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+            i += 1; // skip ']'
+        } else {
+            choices.push(chars[i]);
+            i += 1;
+        }
+        let (mut min, mut max) = (1usize, 1usize);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {m,n} quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            if let Some((lo, hi)) = body.split_once(',') {
+                min = lo.trim().parse().expect("bad quantifier lower bound");
+                max = hi.trim().parse().expect("bad quantifier upper bound");
+            } else {
+                min = body.trim().parse().expect("bad quantifier count");
+                max = min;
+            }
+            i = close + 1;
+        }
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        atoms.push(PatternAtom { choices, min, max });
+    }
+    atoms
+}
+
+/// String literals act as strategies generating strings matching a small
+/// regex subset: literal chars, `[a-z0-9_]` classes (with ranges), and
+/// `{m,n}` / `{n}` quantifiers — e.g. `"[a-z]{1,6}/[A-Z][a-zA-Z0-9]{0,8}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_set`).
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`btree_set`].
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut out = BTreeSet::new();
+            // Bounded attempts: if the element domain is smaller than the
+            // requested size, return what we could collect (as upstream).
+            for _ in 0..target.saturating_mul(10).saturating_add(10) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// A strategy for ordered sets whose size is drawn from `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`of`).
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// The strategy returned by [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// A strategy yielding `Some` three quarters of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// FNV-1a over the test name: a per-test deterministic RNG seed so every
+/// test draws an independent, reproducible stream.
+#[doc(hidden)]
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[doc(hidden)]
+pub fn fresh_case_rng(test_seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(test_seed ^ ((case as u64) << 32 | case as u64))
+}
+
+/// Uniform choice among strategies: `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`", left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::core::result::Result::Err(format!(
+                "{}: `{:?}` != `{:?}`", format!($($fmt)+), left, right
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`ProptestConfig::cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_seed = $crate::seed_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::fresh_case_rng(test_seed, case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __proptest_rng);)+
+                let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(message) = outcome {
+                    panic!(
+                        "proptest case {case}/{} failed (seed {test_seed:#x}): {message}",
+                        config.cases
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}/[A-Z][a-zA-Z0-9]{0,8}", &mut rng);
+            let (pkg, cls) = s.split_once('/').expect("has a slash");
+            assert!((1..=6).contains(&pkg.len()));
+            assert!(pkg.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(cls.chars().next().unwrap().is_ascii_uppercase());
+            assert!(cls.len() <= 9);
+        }
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2)];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut saw_one = false;
+        let mut saw_even_big = false;
+        for _ in 0..200 {
+            match strat.generate(&mut rng) {
+                1 => saw_one = true,
+                v if (20..40).contains(&v) && v % 2 == 0 => saw_even_big = true,
+                v => panic!("unexpected value {v}"),
+            }
+        }
+        assert!(saw_one && saw_even_big);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(inner) => 1 + depth(inner),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| inner.prop_map(|t| Tree::Node(Box::new(t))));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro plumbing itself: args bind, asserts pass and fail
+        /// correctly, collections honor their size ranges.
+        #[test]
+        fn macro_binds_and_asserts(
+            v in crate::collection::vec(any::<u8>(), 0..7),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 7);
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# The full local gate: build, test, lint. Run from the repo root.
+#
+# The root manifest is both a package and the workspace root, so plain
+# `cargo build`/`cargo test` would cover only the facade crate; every step
+# here passes --workspace to reach all member crates and binaries.
+set -eu
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

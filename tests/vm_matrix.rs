@@ -1,0 +1,199 @@
+//! Differential-testing regression suite: a small fixed corpus of
+//! discrepancy-prone classfiles run across the five VM policy presets
+//! (Table 3), with the accept/reject matrix pinned as a snapshot.
+//!
+//! Each row is one corpus entry; each column one VM profile, in Table 3
+//! order (HotSpot 7, HotSpot 8, HotSpot 9, J9, GIJ); each digit the phase
+//! code where that VM stopped (0 = invoked normally, 1 = loading,
+//! 2 = linking, 3 = initializing, 4 = runtime). If a policy change in
+//! `classfuzz_vm` moves any digit, this test names the corpus entry and
+//! the VM column that moved.
+
+use classfuzz::classfile::{ClassAccess, FieldAccess, MethodAccess};
+use classfuzz::core::diff::DifferentialHarness;
+use classfuzz::jimple::{
+    lower::lower_class, BinOp, Body, Expr, IrClass, IrField, IrMethod, JType, Stmt, Target, Value,
+};
+
+/// The fixed corpus: deterministic constructions covering the paper's four
+/// problem classes plus ordinary accept/reject behavior.
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let mut entries: Vec<(&'static str, IrClass)> = Vec::new();
+
+    // Baseline: a plain hello-world class every VM invokes.
+    entries.push(("hello", IrClass::with_hello_main("m/Hello", "Completed!")));
+
+    // Problem 1: abstract <clinit> without code (Figure 2).
+    let mut clinit = IrClass::with_hello_main("m/Clinit", "Completed!");
+    clinit.methods.push(IrMethod::abstract_method(
+        MethodAccess::PUBLIC | MethodAccess::ABSTRACT,
+        "<clinit>",
+        vec![],
+        None,
+    ));
+    entries.push(("abstract-clinit", clinit));
+
+    // Problem 2: a broken helper that is never invoked — eager verifiers
+    // reject at linking, lazy J9 invokes normally.
+    let mut lazy = IrClass::with_hello_main("m/Lazy", "Completed!");
+    let mut body = Body::new();
+    body.declare("x", JType::string());
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("x".into()),
+        value: Expr::Use(Value::int(1)),
+    });
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("y".into()),
+        value: Expr::Use(Value::local("x")),
+    });
+    body.declare("y", JType::string());
+    body.stmts.push(Stmt::Return(None));
+    lazy.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "brokenHelper".into(),
+        params: vec![],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    entries.push(("lazy-verification", lazy));
+
+    // Problem 3: a throws clause naming an internal class.
+    let mut throws = IrClass::with_hello_main("m/Throws", "Completed!");
+    throws.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    entries.push(("internal-throws", throws));
+
+    // Problem 4a: an interface with a static main.
+    let mut iface_main = IrClass::with_hello_main("m/IfaceMain", "Completed!");
+    iface_main.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    entries.push(("interface-main", iface_main));
+
+    // Problem 4b: an interface whose super class is not Object.
+    let mut bad_super = IrClass::new("m/BadSuper");
+    bad_super.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
+    bad_super.super_class = Some("java/lang/Exception".into());
+    entries.push(("interface-bad-super", bad_super));
+
+    // Problem 4c: duplicate fields.
+    let mut dup = IrClass::with_hello_main("m/Dup", "Completed!");
+    for _ in 0..2 {
+        dup.fields.push(IrField {
+            access: FieldAccess::PUBLIC,
+            name: "twin".into(),
+            ty: JType::Int,
+            constant_value: None,
+        });
+    }
+    entries.push(("duplicate-fields", dup));
+
+    // A uniform runtime rejection: 1/0 in main.
+    let mut div = IrClass::new("m/Div");
+    let mut body = Body::new();
+    body.declare("x", JType::Int);
+    body.stmts.push(Stmt::Assign {
+        target: Target::Local("x".into()),
+        value: Expr::BinOp(BinOp::Div, JType::Int, Value::int(1), Value::int(0)),
+    });
+    body.stmts.push(Stmt::Return(None));
+    div.methods.push(IrMethod {
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        name: "main".into(),
+        params: vec![JType::array(JType::string())],
+        ret: None,
+        exceptions: vec![],
+        body: Some(body),
+    });
+    entries.push(("div-by-zero", div));
+
+    // A uniform runtime rejection of a different kind: no main at all.
+    entries.push(("no-main", IrClass::new("m/NoMain")));
+
+    let mut corpus: Vec<(&'static str, Vec<u8>)> = entries
+        .into_iter()
+        .map(|(label, class)| (label, lower_class(&class).to_bytes()))
+        .collect();
+    // A malformed classfile rejected before any structure exists.
+    corpus.push(("truncated-bytes", vec![0xCA, 0xFE, 0xBA]));
+    corpus
+}
+
+/// The pinned matrix: `(corpus label, per-VM phase digits)`.
+const SNAPSHOT: &[(&str, &str)] = &[
+    ("hello", "00000"),
+    ("abstract-clinit", "00010"),
+    ("lazy-verification", "22202"),
+    ("internal-throws", "00200"),
+    ("interface-main", "11110"),
+    ("interface-bad-super", "11114"),
+    ("duplicate-fields", "11110"),
+    ("div-by-zero", "44444"),
+    ("no-main", "44444"),
+    ("truncated-bytes", "11111"),
+];
+
+#[test]
+fn discrepancy_matrix_matches_snapshot() {
+    let harness = DifferentialHarness::paper_five();
+    let corpus = corpus();
+    assert_eq!(corpus.len(), SNAPSHOT.len(), "corpus and snapshot row counts differ");
+    for ((label, bytes), (snap_label, snap_key)) in corpus.iter().zip(SNAPSHOT) {
+        assert_eq!(label, snap_label, "corpus order drifted from the snapshot");
+        let vector = harness.run(bytes);
+        assert_eq!(
+            &vector.key(),
+            snap_key,
+            "{label}: phase matrix row changed (columns: HS7 HS8 HS9 J9 GIJ)"
+        );
+    }
+}
+
+#[test]
+fn matrix_discrepancy_classification() {
+    let harness = DifferentialHarness::paper_five();
+    let by_label: std::collections::BTreeMap<&str, String> = corpus()
+        .iter()
+        .map(|(label, bytes)| (*label, harness.run(bytes).key()))
+        .collect();
+
+    // The baseline and the uniform rejections are NOT discrepancies.
+    for uniform in ["hello", "div-by-zero", "no-main", "truncated-bytes"] {
+        let key = &by_label[uniform];
+        let first = key.as_bytes()[0];
+        assert!(
+            key.bytes().all(|d| d == first),
+            "{uniform} should be uniform across VMs, got {key}"
+        );
+    }
+    // Every problem construction IS a discrepancy.
+    for problem in [
+        "abstract-clinit",
+        "lazy-verification",
+        "internal-throws",
+        "interface-main",
+        "interface-bad-super",
+        "duplicate-fields",
+    ] {
+        let key = &by_label[problem];
+        let first = key.as_bytes()[0];
+        assert!(
+            key.bytes().any(|d| d != first),
+            "{problem} should trigger a discrepancy, got {key}"
+        );
+    }
+}
+
+#[test]
+fn distinct_discrepancy_count_is_pinned() {
+    // The paper counts discrepancies by distinct encoded key. Our fixed
+    // corpus yields exactly these distinct discrepancy keys.
+    let harness = DifferentialHarness::paper_five();
+    let mut keys: Vec<String> = corpus()
+        .iter()
+        .map(|(_, bytes)| harness.run(bytes))
+        .filter(|v| v.is_discrepancy())
+        .map(|v| v.key())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys, vec!["00010", "00200", "11110", "11114", "22202"]);
+}
