@@ -79,6 +79,7 @@ pub fn table4_campaigns(scale: Scale) -> Vec<CampaignResult> {
                 &CampaignConfig::new(alg, iterations, scale.rng_seed),
                 scale.jobs,
             )
+            .expect("benchmark campaign must not fail")
         })
         .collect()
 }
@@ -95,6 +96,7 @@ pub fn classfuzz_stbr_campaign(scale: Scale) -> CampaignResult {
         ),
         scale.jobs,
     )
+    .expect("benchmark campaign must not fail")
 }
 
 /// The uniquefuzz campaign alone (Figure 4c).
@@ -105,6 +107,7 @@ pub fn uniquefuzz_campaign(scale: Scale) -> CampaignResult {
         &CampaignConfig::new(Algorithm::Uniquefuzz, scale.iterations, scale.rng_seed),
         scale.jobs,
     )
+    .expect("benchmark campaign must not fail")
 }
 
 /// Table 6: evaluates seeds, plus GenClasses and TestClasses of every
@@ -156,10 +159,12 @@ pub fn ablation_p(scale: Scale, ps: &[f64]) -> Vec<(f64, usize)> {
     ps.iter()
         .map(|&p| {
             let config = CampaignConfig {
-                algorithm: Algorithm::Classfuzz(UniquenessCriterion::StBr),
-                iterations: scale.iterations,
-                rng_seed: scale.rng_seed,
                 p,
+                ..CampaignConfig::new(
+                    Algorithm::Classfuzz(UniquenessCriterion::StBr),
+                    scale.iterations,
+                    scale.rng_seed,
+                )
             };
             (p, run_campaign_raw(&seeds, &config).test_classes.len())
         })

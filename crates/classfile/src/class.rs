@@ -305,6 +305,25 @@ mod tests {
     }
 
     #[test]
+    fn full_pool_serializes_without_wrapping() {
+        use crate::constant_pool::{Constant, MAX_POOL_SLOTS};
+        let mut b = ClassFile::builder("cap/Full");
+        {
+            let cp = b.constant_pool_mut();
+            while (cp.slot_count() as usize) < MAX_POOL_SLOTS {
+                cp.push(Constant::Integer(cp.slot_count() as i32));
+            }
+        }
+        let class = b.build();
+        let bytes = class.to_bytes();
+        // constant_pool_count (bytes 8..10) is slots + 1 = 65535 — the cap
+        // guarantees the +1 cannot wrap the u16 to 0.
+        assert_eq!(u16::from_be_bytes([bytes[8], bytes[9]]), u16::MAX);
+        let parsed = ClassFile::from_bytes(&bytes).expect("full-pool class stays decodable");
+        assert_eq!(parsed.constant_pool.slot_count(), class.constant_pool.slot_count());
+    }
+
+    #[test]
     fn zero_super_resolves_to_none() {
         let c = ClassFile::builder("java/lang/Object").build();
         assert_eq!(c.super_class, ConstIndex(0));

@@ -6,7 +6,32 @@
 //! what a real JVM expects.
 
 use std::collections::HashMap;
+use std::error::Error;
 use std::fmt;
+
+/// The most pool slots a classfile can carry: `constant_pool_count` is a
+/// `u16` holding *slots + 1* (JVMS §4.1), so 65534 slots is the ceiling.
+pub const MAX_POOL_SLOTS: usize = u16::MAX as usize - 1;
+
+/// The pool is full: admitting the entry would push `constant_pool_count`
+/// past `u16::MAX` and silently alias low slot numbers on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFullError {
+    /// Slots the rejected entry needed (2 for `Long`/`Double`).
+    pub needed: usize,
+}
+
+impl fmt::Display for PoolFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "constant pool full: {MAX_POOL_SLOTS} slots in use, entry needs {} more",
+            self.needed
+        )
+    }
+}
+
+impl Error for PoolFullError {}
 
 /// A 1-based index into the constant pool.
 ///
@@ -148,6 +173,10 @@ impl ConstantPool {
     }
 
     /// Number of slots (the classfile's `constant_pool_count` is this + 1).
+    ///
+    /// Never exceeds [`MAX_POOL_SLOTS`]: [`push`](Self::push) saturates and
+    /// [`try_push`](Self::try_push) errors at the JVMS ceiling, so this cast
+    /// cannot truncate.
     pub fn slot_count(&self) -> u16 {
         self.entries.len() as u16
     }
@@ -169,18 +198,39 @@ impl ConstantPool {
     /// Appends an entry verbatim (no deduplication) and returns its index.
     ///
     /// Wide entries automatically append their padding slot.
+    ///
+    /// When the pool is at [`MAX_POOL_SLOTS`] the entry is *not* added and
+    /// the null index `ConstIndex(0)` comes back — the one index that is
+    /// never valid, which [`entry`](Self::entry) resolves to `None` — rather
+    /// than wrapping `u16` arithmetic into an alias of a low slot. Callers
+    /// that must distinguish "full" from a real index use
+    /// [`try_push`](Self::try_push).
     pub fn push(&mut self, constant: Constant) -> ConstIndex {
-        let wide = constant.is_wide();
+        self.try_push(constant).unwrap_or(ConstIndex(0))
+    }
+
+    /// Appends an entry verbatim, failing when the pool cannot take it.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolFullError`] when the entry's slots (2 for `Long`/`Double`)
+    /// would push the pool past [`MAX_POOL_SLOTS`]. The pool — including
+    /// the UTF-8 dedup map — is unchanged on failure.
+    pub fn try_push(&mut self, constant: Constant) -> Result<ConstIndex, PoolFullError> {
+        let needed = if constant.is_wide() { 2 } else { 1 };
+        if self.entries.len() + needed > MAX_POOL_SLOTS {
+            return Err(PoolFullError { needed });
+        }
         if let Constant::Utf8(ref s) = constant {
             let idx = ConstIndex(self.entries.len() as u16 + 1);
             self.utf8_dedup.entry(s.clone()).or_insert(idx);
         }
         self.entries.push(constant);
         let index = ConstIndex(self.entries.len() as u16);
-        if wide {
+        if needed == 2 {
             self.entries.push(Constant::Unusable);
         }
-        index
+        Ok(index)
     }
 
     /// Interns a `Utf8` entry, reusing an existing identical entry.
@@ -381,6 +431,36 @@ mod tests {
                 "Ljava/io/PrintStream;".to_string()
             ))
         );
+    }
+
+    #[test]
+    fn pool_saturates_at_jvms_slot_limit() {
+        let mut cp = ConstantPool::new();
+        for i in 0..MAX_POOL_SLOTS {
+            assert_ne!(cp.push(Constant::Integer(i as i32)), ConstIndex(0));
+        }
+        assert_eq!(cp.slot_count() as usize, MAX_POOL_SLOTS);
+        // Full: further pushes saturate to the null index (never wrap back
+        // to slot 1) and leave the pool untouched.
+        assert_eq!(cp.push(Constant::Integer(-1)), ConstIndex(0));
+        assert_eq!(
+            cp.try_push(Constant::Utf8("late".into())),
+            Err(PoolFullError { needed: 1 })
+        );
+        assert_eq!(cp.slot_count() as usize, MAX_POOL_SLOTS);
+        // The rejected Utf8 was not interned either.
+        assert_eq!(cp.utf8_text(ConstIndex(1)), None);
+    }
+
+    #[test]
+    fn wide_entry_needs_two_free_slots() {
+        let mut cp = ConstantPool::new();
+        for _ in 0..MAX_POOL_SLOTS - 1 {
+            cp.push(Constant::Integer(0));
+        }
+        assert_eq!(cp.try_push(Constant::Long(1)), Err(PoolFullError { needed: 2 }));
+        // A narrow entry still fits in the final slot.
+        assert_eq!(cp.push(Constant::Integer(1)).0 as usize, MAX_POOL_SLOTS);
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub enum ClassReadError {
         /// Offset of the `wide` prefix within the code array.
         pc: usize,
     },
+    /// A branch or switch offset resolved to an address outside the `u32`
+    /// code-offset space (e.g. a negative absolute target).
+    BranchTargetOutOfRange {
+        /// Offset of the branching opcode within the code array.
+        pc: usize,
+        /// The out-of-range absolute target the offset resolved to.
+        target: i64,
+    },
 }
 
 impl fmt::Display for ClassReadError {
@@ -76,6 +84,9 @@ impl fmt::Display for ClassReadError {
             }
             ClassReadError::InvalidWideTarget { opcode, pc } => {
                 write!(f, "opcode {opcode:#04x} at pc {pc} cannot follow a wide prefix")
+            }
+            ClassReadError::BranchTargetOutOfRange { pc, target } => {
+                write!(f, "branch at pc {pc} resolves to out-of-range target {target}")
             }
         }
     }

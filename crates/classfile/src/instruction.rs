@@ -400,11 +400,11 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
             }
             OperandKind::Branch2 => {
                 let rel = read_i16(code, &mut pc).ok_or_else(trunc)? as i64;
-                Instruction::Branch(op, (start as i64 + rel) as u32)
+                Instruction::Branch(op, abs_target(start, rel)?)
             }
             OperandKind::Branch4 => {
                 let rel = read_i32(code, &mut pc).ok_or_else(trunc)? as i64;
-                Instruction::Branch(op, (start as i64 + rel) as u32)
+                Instruction::Branch(op, abs_target(start, rel)?)
             }
             OperandKind::InvokeInterface => {
                 let idx = ConstIndex(read_u16(code, &mut pc).ok_or_else(trunc)?);
@@ -446,10 +446,10 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
                 let mut targets = Vec::with_capacity(n);
                 for _ in 0..n {
                     let rel = read_i32(code, &mut pc).ok_or_else(trunc)?;
-                    targets.push((start as i64 + rel as i64) as u32);
+                    targets.push(abs_target(start, rel as i64)?);
                 }
                 Instruction::TableSwitch(TableSwitch {
-                    default: (start as i64 + default as i64) as u32,
+                    default: abs_target(start, default as i64)?,
                     low,
                     high,
                     targets,
@@ -466,10 +466,10 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
                 for _ in 0..npairs {
                     let k = read_i32(code, &mut pc).ok_or_else(trunc)?;
                     let rel = read_i32(code, &mut pc).ok_or_else(trunc)?;
-                    pairs.push((k, (start as i64 + rel as i64) as u32));
+                    pairs.push((k, abs_target(start, rel as i64)?));
                 }
                 Instruction::LookupSwitch(LookupSwitch {
-                    default: (start as i64 + default as i64) as u32,
+                    default: abs_target(start, default as i64)?,
                     pairs,
                 })
             }
@@ -514,6 +514,16 @@ pub fn encode_code(instructions: &[Instruction]) -> Vec<u8> {
         insn.encode(out.len() as u32, &mut out);
     }
     out
+}
+
+/// Resolves a relative branch offset against its opcode's pc, rejecting
+/// targets outside the `u32` code-offset space: a negative absolute target
+/// must be a decode error, not a silent wrap to a huge address that later
+/// aliases a real pc.
+fn abs_target(start: usize, rel: i64) -> Result<u32, ClassReadError> {
+    let target = start as i64 + rel;
+    u32::try_from(target)
+        .map_err(|_| ClassReadError::BranchTargetOutOfRange { pc: start, target })
 }
 
 fn read_u16(code: &[u8], pc: &mut usize) -> Option<u16> {
@@ -644,6 +654,45 @@ mod tests {
     fn wide_on_non_wideable_rejected() {
         let err = decode_code(&[Opcode::Wide.byte(), Opcode::Iadd.byte()]).unwrap_err();
         assert!(matches!(err, ClassReadError::InvalidWideTarget { .. }));
+    }
+
+    #[test]
+    fn negative_branch_targets_rejected() {
+        // goto -3 at pc 0: the absolute target is -3, not 4294967293.
+        let err = decode_code(&[Opcode::Goto.byte(), 0xff, 0xfd]).unwrap_err();
+        assert!(
+            matches!(err, ClassReadError::BranchTargetOutOfRange { pc: 0, target: -3 }),
+            "got {err:?}"
+        );
+        // goto_w with i32::MIN at pc 0.
+        let err =
+            decode_code(&[Opcode::GotoW.byte(), 0x80, 0x00, 0x00, 0x00]).unwrap_err();
+        assert!(matches!(
+            err,
+            ClassReadError::BranchTargetOutOfRange { pc: 0, target: t } if t == i32::MIN as i64
+        ));
+    }
+
+    #[test]
+    fn negative_switch_targets_rejected() {
+        // tableswitch at pc 0 (3 pad bytes), default = -8, low = high = 0,
+        // one target of 0.
+        let mut bytes = vec![Opcode::Tableswitch.byte(), 0, 0, 0];
+        bytes.extend_from_slice(&(-8i32).to_be_bytes()); // default
+        bytes.extend_from_slice(&0i32.to_be_bytes()); // low
+        bytes.extend_from_slice(&0i32.to_be_bytes()); // high
+        bytes.extend_from_slice(&0i32.to_be_bytes()); // target[0]
+        let err = decode_code(&bytes).unwrap_err();
+        assert!(matches!(err, ClassReadError::BranchTargetOutOfRange { pc: 0, target: -8 }));
+
+        // lookupswitch at pc 0, default = 0, one pair whose target is -1.
+        let mut bytes = vec![Opcode::Lookupswitch.byte(), 0, 0, 0];
+        bytes.extend_from_slice(&0i32.to_be_bytes()); // default
+        bytes.extend_from_slice(&1i32.to_be_bytes()); // npairs
+        bytes.extend_from_slice(&7i32.to_be_bytes()); // key
+        bytes.extend_from_slice(&(-1i32).to_be_bytes()); // target
+        let err = decode_code(&bytes).unwrap_err();
+        assert!(matches!(err, ClassReadError::BranchTargetOutOfRange { pc: 0, target: -1 }));
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! encoding. Attribute names for decoded attributes are interned into a
 //! working copy of the constant pool before the header is emitted (interning
 //! never renumbers existing entries, so operand indices stay valid).
+//!
+//! The emitted `constant_pool_count` cannot wrap: [`ConstantPool`] refuses
+//! entries past [`crate::constant_pool::MAX_POOL_SLOTS`], so `slots + 1`
+//! always fits a `u16`. If attribute-name interning hits a full pool it
+//! degrades to the null index `#0` — a dangling reference the VM under test
+//! rejects — never an alias of an unrelated low slot.
 
 use crate::attributes::{Attribute, CodeAttribute};
 use crate::class::{ClassFile, FieldInfo, MethodInfo, MAGIC};

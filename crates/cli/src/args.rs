@@ -12,8 +12,8 @@ commands:
   run    <file.class> [--vm NAME]     run on one profile (default hotspot9)
   diff   <file.class>                 run on all five profiles
   fuzz   [--seeds N] [--iterations N] [--rng-seed S]
-         [--criterion st|stbr|tr] [--jobs N] [--out DIR]
-  reduce <file.class> [--out FILE]    minimize a discrepancy trigger
+         [--criterion st|stbr|tr] [--jobs N] [--out DIR] [--crash-dir DIR]
+  reduce <file.class> [--out FILE]    minimize a discrepancy or crash trigger
   seeds  --out DIR [--count N] [--rng-seed S]
                                       write a seed corpus as .class files
   help                                this text

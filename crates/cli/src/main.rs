@@ -7,10 +7,13 @@
 //! classfuzz diff   <file.class>                  run on all five profiles
 //! classfuzz fuzz   [--seeds N] [--iterations N] [--rng-seed S]
 //!                  [--criterion st|stbr|tr] [--jobs N] [--out DIR]
-//!                                                Algorithm 1 campaign;
+//!                  [--crash-dir DIR]             Algorithm 1 campaign;
 //!                                                discrepancy triggers are
-//!                                                written to DIR as .class
+//!                                                written to DIR as .class,
+//!                                                internal-crash reproducers
+//!                                                to the crash dir
 //! classfuzz reduce <file.class> [--out FILE]     HDD-minimize a trigger
+//!                                                (discrepancy or VM crash)
 //! classfuzz seeds  --out DIR [--count N] [--rng-seed S]
 //!                                                write a seed corpus as .class files
 //! ```
@@ -145,28 +148,52 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
         return Err("--jobs expects at least 1".to_string());
     }
     let out_dir = parsed.flag("out").map(PathBuf::from);
+    let crash_dir = parsed.flag("crash-dir").map(PathBuf::from);
 
     let corpus = SeedCorpus::generate(seeds, rng_seed).into_classes();
     eprintln!(
         "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, {jobs} job(s)"
     );
-    let result = run_campaign_parallel(
-        &corpus,
-        &CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed),
-        jobs,
-    );
+    let mut config = CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed);
+    if let Some(dir) = &crash_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        config = config.with_crash_dir(dir.clone());
+    }
+    let result = run_campaign_parallel(&corpus, &config, jobs).map_err(|e| e.to_string())?;
     eprintln!(
         "generated {} classfiles, accepted {} representatives (succ {:.1}%)",
         result.gen_classes.len(),
         result.test_classes.len(),
         result.success_rate() * 100.0
     );
+    if !result.crashes.is_empty() {
+        eprintln!(
+            "{} internal crash(es) contained during the campaign{}",
+            result.crashes.len(),
+            crash_dir
+                .as_ref()
+                .map(|d| format!("; reproducers in {}", d.display()))
+                .unwrap_or_default()
+        );
+    }
 
     let harness = DifferentialHarness::paper_five();
     let mut found = 0usize;
+    let mut crashing = 0usize;
     for (n, &idx) in result.test_classes.iter().enumerate() {
         let generated = &result.gen_classes[idx];
         let vector = harness.run(&generated.bytes);
+        if vector.has_crash() {
+            crashing += 1;
+            println!("vm crash: encoded {vector} (test class {n})");
+            if let Some(dir) = &crash_dir {
+                let file = dir.join(format!("diff_{crashing:04}_{}.class", vector.key()));
+                std::fs::write(&file, &generated.bytes)
+                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+                println!("  written to {}", file.display());
+            }
+        }
         if !vector.is_discrepancy() {
             continue;
         }
@@ -213,9 +240,13 @@ fn reduce_cmd(parsed: &Parsed) -> Result<(), String> {
 
     let harness = DifferentialHarness::paper_five();
     let original = harness.run(&bytes);
-    if !original.is_discrepancy() {
+    // An internal VM crash is as reducible as a discrepancy: the oracle
+    // below preserves the full encoded vector either way, so a crash-only
+    // trigger (e.g. "55555") minimizes against the crash verdict.
+    if !original.is_discrepancy() && !original.has_crash() {
         return Err(format!(
-            "{} does not trigger a discrepancy (encoded {original}); nothing to reduce",
+            "{} triggers neither a discrepancy nor a VM crash (encoded {original}); \
+             nothing to reduce",
             path.display()
         ));
     }

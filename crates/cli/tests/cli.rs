@@ -119,8 +119,10 @@ fn reduce_refuses_non_triggering_input() {
     classfuzz(&["seeds", "--out", dir.to_str().unwrap(), "--count", "1"]);
     let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
     let out = classfuzz(&["reduce", file.to_str().unwrap()]);
-    // Seed #0 is a valid class: no discrepancy, reduce must decline.
+    // Seed #0 is a valid class: no discrepancy and no crash, reduce must
+    // decline.
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("does not trigger"));
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("triggers neither a discrepancy nor a VM crash"));
     let _ = std::fs::remove_dir_all(&dir);
 }

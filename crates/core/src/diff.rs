@@ -24,8 +24,14 @@ impl OutcomeVector {
     }
 
     /// Phase digits, e.g. `[0, 0, 0, 1, 2]` (Figure 3).
+    ///
+    /// A contained VM crash encodes as [`Outcome::CRASH_CODE`] (digit 5)
+    /// rather than the phase it reached, so "profile A crashed in linking"
+    /// never collides with "profile B rejected cleanly in linking" — the
+    /// vector stays a discrepancy (§3.3 treats VM crashes as bugs in their
+    /// own right).
     pub fn encoded(&self) -> Vec<u8> {
-        self.outcomes.iter().map(|o| o.phase().code()).collect()
+        self.outcomes.iter().map(Outcome::code).collect()
     }
 
     /// The category key: two discrepancies with the same key are "one
@@ -49,6 +55,12 @@ impl OutcomeVector {
     pub fn all_rejected_same_stage(&self) -> bool {
         let enc = self.encoded();
         enc[0] != 0 && enc.iter().all(|&p| p == enc[0])
+    }
+
+    /// At least one JVM crashed internally (contained panic) on this
+    /// class — reportable even when every profile crashed identically.
+    pub fn has_crash(&self) -> bool {
+        self.outcomes.iter().any(Outcome::is_crash)
     }
 }
 
@@ -156,6 +168,31 @@ mod tests {
         assert!(rejected.all_rejected_same_stage());
         assert!(!rejected.is_discrepancy());
         assert_eq!(rejected.key(), "22222");
+    }
+
+    #[test]
+    fn crash_digit_never_collides_with_clean_rejection() {
+        // Both columns stopped in linking, but one *crashed* there: the
+        // vector must stay a discrepancy with the crash digit visible.
+        let clean =
+            Outcome::rejected(Phase::Linking, classfuzz_vm::JvmErrorKind::VerifyError, "x");
+        let crashed = Outcome::crashed(Phase::Linking, "panicked at verifier.rs:1: boom");
+        let v = OutcomeVector::new(vec![
+            clean.clone(),
+            crashed.clone(),
+            clean.clone(),
+            clean.clone(),
+            clean,
+        ]);
+        assert!(v.has_crash());
+        assert!(v.is_discrepancy());
+        assert_eq!(v.key(), "25222");
+        assert!(!v.all_rejected_same_stage());
+
+        // Even a uniform all-crash vector is flagged via has_crash().
+        let all = OutcomeVector::new(vec![crashed; 5]);
+        assert!(all.has_crash());
+        assert!(!all.is_discrepancy());
     }
 
     #[test]

@@ -7,8 +7,16 @@
 //! bit for bit, and any shard count yields the same result for the same
 //! `(config, num_shards)` pair — see DESIGN.md, "Parallel campaign
 //! architecture".
+//!
+//! Both engines are fault-contained (see DESIGN.md, "Fault containment"):
+//! a panicking mutator becomes a recorded [`CrashRecord`] and the iteration
+//! is skipped; a panicking VM run surfaces as a crash verdict on the
+//! candidate (the VM layer contains its own panics); and a worker shard
+//! dying outside those contained regions ends the campaign with a
+//! diagnosable [`EngineError`] instead of a harness abort.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -17,7 +25,7 @@ use classfuzz_coverage::{GlobalCoverage, SuiteIndex, TraceFile, UniquenessCriter
 use classfuzz_jimple::{lower::lower_class, IrClass};
 use classfuzz_mcmc::{merge_stat_tables, MutatorChain, MutatorStats, UniformSelector};
 use classfuzz_mutation::{registry, MutationCtx, Mutator};
-use classfuzz_vm::{Jvm, VmSpec};
+use classfuzz_vm::{run_contained, Jvm, VmSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,12 +86,41 @@ pub struct CampaignConfig {
     pub rng_seed: u64,
     /// Geometric parameter for MCMC selection (ignored by the baselines).
     pub p: f64,
+    /// Crash-corpus directory: when set, every [`CrashRecord`]'s offending
+    /// classfile bytes (plus a `.txt` sidecar with the panic description)
+    /// are persisted here as the campaign records them. Persistence is
+    /// best-effort — I/O failures are reported to stderr, never fatal.
+    pub crash_dir: Option<PathBuf>,
+    /// Fault-injection self-test hook: append an always-panicking mutator
+    /// (`Mutator::chaos_panic`) after the paper's 129. A campaign with this
+    /// set must still run to its iteration budget, recording the injected
+    /// panics as [`CrashRecord`]s.
+    pub inject_panic_mutator: bool,
 }
 
 impl CampaignConfig {
     /// A config with the paper's `p = 3/129` and the given budget.
     pub fn new(algorithm: Algorithm, iterations: usize, rng_seed: u64) -> CampaignConfig {
-        CampaignConfig { algorithm, iterations, rng_seed, p: 3.0 / 129.0 }
+        CampaignConfig {
+            algorithm,
+            iterations,
+            rng_seed,
+            p: 3.0 / 129.0,
+            crash_dir: None,
+            inject_panic_mutator: false,
+        }
+    }
+
+    /// Persist crash-corpus entries under `dir`.
+    pub fn with_crash_dir(mut self, dir: impl Into<PathBuf>) -> CampaignConfig {
+        self.crash_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable the always-panicking chaos mutator (containment self-test).
+    pub fn with_panic_injection(mut self) -> CampaignConfig {
+        self.inject_panic_mutator = true;
+        self
     }
 }
 
@@ -116,6 +153,79 @@ pub struct ShardStats {
     pub accepted: usize,
 }
 
+/// Where in the pipeline a contained fault was caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// A mutator panicked while rewriting a class; the iteration was
+    /// skipped and the mutation *input* preserved as the reproducer.
+    Mutator {
+        /// The panicking mutator's id.
+        mutator_id: usize,
+    },
+    /// The reference VM panicked while tracing a candidate (the candidate
+    /// itself carries the crash verdict and stays in `gen_classes`).
+    ReferenceVm,
+}
+
+impl CrashSite {
+    /// Short label used in crash-corpus filenames.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashSite::Mutator { .. } => "mutator",
+            CrashSite::ReferenceVm => "vm",
+        }
+    }
+}
+
+/// One contained fault recorded during a campaign — the §3.3 "VM crashes
+/// are bugs too" signal, applied to our own harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashRecord {
+    /// The shard that hit the fault (0 for sequential campaigns).
+    pub shard_id: usize,
+    /// Which pipeline stage panicked.
+    pub site: CrashSite,
+    /// The offending classfile bytes: the mutation input for a mutator
+    /// panic, the generated candidate for a reference-VM panic.
+    pub bytes: Vec<u8>,
+    /// The panic description (message + source location) — deterministic
+    /// for a deterministic panic, so crash verdicts replay.
+    pub detail: String,
+}
+
+/// An unrecoverable engine fault: a worker shard died *outside* the
+/// contained regions (mutation and VM startup are panic-isolated), or a
+/// coordination channel closed early. Diagnosable, unlike the panic it
+/// replaces: it names the shard, the lockstep round, and the last
+/// classfile that shard generated.
+#[derive(Debug, Clone)]
+pub struct EngineError {
+    /// The failing shard, when attributable.
+    pub shard_id: Option<usize>,
+    /// The lockstep round in which the failure surfaced.
+    pub round: usize,
+    /// Bytes of the last classfile the failing shard generated, if any —
+    /// the prime suspect for reproducing the fault.
+    pub last_candidate: Option<Vec<u8>>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.shard_id {
+            Some(id) => write!(f, "shard {id} failed in round {}: {}", self.round, self.message)?,
+            None => write!(f, "engine failed in round {}: {}", self.round, self.message)?,
+        }
+        match &self.last_candidate {
+            Some(bytes) => write!(f, " (last candidate: {} bytes)", bytes.len()),
+            None => write!(f, " (no candidate generated yet)"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// The outcome of a whole campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -137,6 +247,9 @@ pub struct CampaignResult {
     pub seed_count: usize,
     /// Per-shard breakdown (one entry for sequential campaigns).
     pub shard_stats: Vec<ShardStats>,
+    /// Contained faults, in verdict order (sequential: iteration order;
+    /// parallel: round-major, shard-minor — identical at one shard).
+    pub crashes: Vec<CrashRecord>,
 }
 
 impl CampaignResult {
@@ -219,6 +332,48 @@ fn make_selector(config: &CampaignConfig, mutator_count: usize) -> Selector {
     }
 }
 
+/// The campaign's mutator lineup: the paper's 129, plus the chaos mutator
+/// when the config injects panics (its id is the next free index, so the
+/// MCMC chain and stats tables simply grow by one slot).
+fn campaign_mutators(config: &CampaignConfig) -> Vec<Mutator> {
+    let mut mutators = registry::all_mutators();
+    if config.inject_panic_mutator {
+        let id = mutators.len();
+        mutators.push(Mutator::chaos_panic(id));
+    }
+    mutators
+}
+
+/// Appends a crash record, persisting it to the crash corpus first (the
+/// record's position doubles as its corpus index).
+fn record_crash(crashes: &mut Vec<CrashRecord>, crash_dir: Option<&Path>, record: CrashRecord) {
+    if let Some(dir) = crash_dir {
+        persist_crash(dir, crashes.len(), &record);
+    }
+    crashes.push(record);
+}
+
+/// Best-effort crash-corpus write: `crash_NNNN_<site>.class` holds the
+/// offending bytes, the matching `.txt` the panic description. Failures go
+/// to stderr — losing a corpus entry must never lose the campaign.
+fn persist_crash(dir: &Path, index: usize, record: &CrashRecord) {
+    let stem = format!("crash_{index:04}_{}", record.site.label());
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.class")), &record.bytes)?;
+        let sidecar = format!(
+            "shard: {}\nsite: {}\ndetail: {}\n",
+            record.shard_id,
+            record.site.label(),
+            record.detail
+        );
+        std::fs::write(dir.join(format!("{stem}.txt")), sidecar)
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: cannot persist {stem} to {}: {e}", dir.display());
+    }
+}
+
 fn make_acceptance(algorithm: Algorithm) -> Acceptance {
     match algorithm {
         Algorithm::Classfuzz(criterion) => Acceptance::Unique(SuiteIndex::new(criterion)),
@@ -259,18 +414,39 @@ struct Candidate {
     bytes: Vec<u8>,
     mutator_id: usize,
     trace: Option<TraceFile>,
+    /// The reference VM's panic description, when tracing this candidate
+    /// crashed it (the trace is then the deterministic partial trace).
+    vm_crash: Option<String>,
+}
+
+/// What one iteration's shard-local half produced.
+enum Produced {
+    /// A lowered mutant, ready for the acceptance decision.
+    Candidate(Box<Candidate>),
+    /// The mutation was not applicable; the iteration is consumed but no
+    /// classfile is generated (§3.2's "classfiles are not generated during
+    /// some iterations").
+    NotApplicable,
+    /// The mutator panicked; the iteration is consumed, the half-mutated
+    /// class discarded, and the *input* preserved as the reproducer.
+    MutatorCrash {
+        mutator_id: usize,
+        input_bytes: Vec<u8>,
+        detail: String,
+    },
 }
 
 /// Runs the shard-local half of one iteration: pool pick, mutator
-/// selection, mutation, `main` supplement, lowering, and (for the
-/// coverage-guided algorithms) the traced reference run. Returns `None`
-/// when the mutation was not applicable — the iteration is consumed but no
-/// classfile is generated (§3.2's "classfiles are not generated during
-/// some iterations").
+/// selection, mutation (panic-contained), `main` supplement, lowering, and
+/// (for the coverage-guided algorithms) the traced reference run — itself
+/// panic-contained inside the VM layer, so a crashing candidate comes back
+/// with a crash verdict rather than unwinding.
 ///
 /// The RNG call order here (pool pick, selection, mutation) is the
 /// sequential engine's contract; both engines go through this one function
-/// so a one-shard parallel run replays the sequential stream exactly.
+/// so a one-shard parallel run replays the sequential stream exactly. A
+/// panicking mutator consumes exactly the RNG draws it made before dying —
+/// deterministic, because the panic point is a function of the inputs.
 fn next_candidate(
     pool: &[IrClass],
     seeds: &[IrClass],
@@ -278,22 +454,37 @@ fn next_candidate(
     selector: &mut Selector,
     rng: &mut StdRng,
     reference: Option<&Jvm>,
-) -> Option<Candidate> {
+) -> Produced {
     let pick = rng.gen_range(0..pool.len());
     let mutator_id = selector.select(rng);
     let mut mutant = pool[pick].clone();
-    let applied = {
+    let applied = run_contained(|| {
         let mut ctx = MutationCtx::new(rng, seeds);
         mutators[mutator_id].apply(&mut mutant, &mut ctx)
-    };
-    if applied.is_err() {
-        return None;
+    });
+    match applied {
+        Err(detail) => {
+            return Produced::MutatorCrash {
+                mutator_id,
+                input_bytes: lower_class(&pool[pick]).to_bytes(),
+                detail,
+            }
+        }
+        Ok(Err(_)) => return Produced::NotApplicable,
+        Ok(Ok(())) => {}
     }
     // §2.2.1: supplement each mutant with a message-printing main.
     mutant.ensure_main("Completed!");
     let bytes = lower_class(&mutant).to_bytes();
-    let trace = reference.and_then(|jvm| jvm.run_traced(&bytes).trace);
-    Some(Candidate { class: mutant, bytes, mutator_id, trace })
+    let (trace, vm_crash) = match reference {
+        Some(jvm) => {
+            let result = jvm.run_traced(&bytes);
+            let crash = result.outcome.crash_detail().map(str::to_string);
+            (result.trace, crash)
+        }
+        None => (None, None),
+    };
+    Produced::Candidate(Box::new(Candidate { class: mutant, bytes, mutator_id, trace, vm_crash }))
 }
 
 /// The acceptance decision (coordinator-side in a parallel run): does this
@@ -318,7 +509,7 @@ fn needs_trace(algorithm: Algorithm) -> bool {
 /// Deterministic for a fixed `CampaignConfig` (wall-clock fields aside).
 pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResult {
     let start = Instant::now();
-    let mutators: Vec<Mutator> = registry::all_mutators();
+    let mutators: Vec<Mutator> = campaign_mutators(config);
     let mut rng = StdRng::seed_from_u64(config.rng_seed);
     let reference = Jvm::new(VmSpec::hotspot9());
 
@@ -326,11 +517,13 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
     let mut acceptance = make_acceptance(config.algorithm);
     seed_acceptance(&mut acceptance, seeds, &reference);
     let tracing = needs_trace(config.algorithm).then_some(&reference);
+    let crash_dir = config.crash_dir.as_deref();
 
     // The mutation pool: seeds plus accepted mutants (line 14).
     let mut pool: Vec<IrClass> = seeds.to_vec();
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
     let mut test_classes: Vec<usize> = Vec::new();
+    let mut crashes: Vec<CrashRecord> = Vec::new();
     let mut executed = 0usize;
 
     for _ in 0..config.iterations {
@@ -338,11 +531,36 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
             break;
         }
         executed += 1;
-        let Some(cand) =
-            next_candidate(&pool, seeds, &mutators, &mut selector, &mut rng, tracing)
-        else {
-            continue;
+        let cand = match next_candidate(&pool, seeds, &mutators, &mut selector, &mut rng, tracing)
+        {
+            Produced::NotApplicable => continue,
+            Produced::MutatorCrash { mutator_id, input_bytes, detail } => {
+                record_crash(
+                    &mut crashes,
+                    crash_dir,
+                    CrashRecord {
+                        shard_id: 0,
+                        site: CrashSite::Mutator { mutator_id },
+                        bytes: input_bytes,
+                        detail,
+                    },
+                );
+                continue;
+            }
+            Produced::Candidate(cand) => *cand,
         };
+        if let Some(detail) = &cand.vm_crash {
+            record_crash(
+                &mut crashes,
+                crash_dir,
+                CrashRecord {
+                    shard_id: 0,
+                    site: CrashSite::ReferenceVm,
+                    bytes: cand.bytes.clone(),
+                    detail: detail.clone(),
+                },
+            );
+        }
         let accepted = decide(&mut acceptance, cand.trace.as_ref());
         let gen_index = gen_classes.len();
         gen_classes.push(GeneratedClass {
@@ -373,6 +591,7 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         elapsed: start.elapsed(),
         seed_count: seeds.len(),
         shard_stats,
+        crashes,
     }
 }
 
@@ -393,6 +612,17 @@ enum Work {
     Generated(Box<Candidate>),
     /// The mutation was not applicable; the iteration is still consumed.
     NoCandidate,
+    /// The mutator panicked (contained); the iteration is still consumed
+    /// and the coordinator records the crash.
+    MutatorCrash {
+        mutator_id: usize,
+        input_bytes: Vec<u8>,
+        detail: String,
+    },
+    /// The shard's loop itself died outside the contained regions — sent
+    /// as a last gasp so the coordinator can abort with a diagnosable
+    /// [`EngineError`] instead of deadlocking on a report that never comes.
+    ShardDied(String),
 }
 
 struct Report {
@@ -427,14 +657,25 @@ struct RoundReply {
 /// `gen_classes` is ordered round-major, shard-minor. The per-shard
 /// breakdown lands in [`CampaignResult::shard_stats`]; `mutator_stats` is
 /// the elementwise sum over shards.
+///
+/// Contained faults (panicking mutators, crashing VM runs) are *recorded*,
+/// not fatal — see [`CampaignResult::crashes`]. The crash verdicts are
+/// deterministic, so they preserve the replay guarantees above.
+///
+/// # Errors
+///
+/// [`EngineError`] when a worker shard dies outside the contained regions
+/// or a coordination channel closes early — diagnosable (shard id, round,
+/// last candidate) instead of the panic-on-join it replaces.
 pub fn run_campaign_parallel(
     seeds: &[IrClass],
     config: &CampaignConfig,
     num_shards: usize,
-) -> CampaignResult {
+) -> Result<CampaignResult, EngineError> {
     let num_shards = num_shards.max(1);
     let start = Instant::now();
-    let mutator_count = registry::all_mutators().len();
+    let mutator_count = campaign_mutators(config).len();
+    let crash_dir = config.crash_dir.as_deref();
 
     // Iteration split: the remainder goes to the lowest shard ids, so the
     // set of shards still active in any round is a prefix of 0..num_shards.
@@ -450,6 +691,7 @@ pub fn run_campaign_parallel(
 
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
     let mut test_classes: Vec<usize> = Vec::new();
+    let mut crashes: Vec<CrashRecord> = Vec::new();
     let mut shard_stats: Vec<ShardStats> = (0..num_shards)
         .map(|shard_id| ShardStats { shard_id, iterations: 0, generated: 0, accepted: 0 })
         .collect();
@@ -457,7 +699,7 @@ pub fn run_campaign_parallel(
     // No seeds (empty pool) or no iterations: nothing to run. Returning
     // here keeps the round protocol free of empty-pool special cases.
     if seeds.is_empty() || rounds == 0 {
-        return CampaignResult {
+        return Ok(CampaignResult {
             algorithm: config.algorithm,
             iterations: config.iterations,
             gen_classes,
@@ -466,10 +708,15 @@ pub fn run_campaign_parallel(
             elapsed: start.elapsed(),
             seed_count: seeds.len(),
             shard_stats,
-        };
+            crashes,
+        });
     }
 
     let mut stat_tables: Vec<Vec<MutatorStats>> = vec![Vec::new(); num_shards];
+    let mut engine_error: Option<EngineError> = None;
+    // Per-shard last generated classfile — attached to an EngineError as
+    // the prime suspect when that shard dies.
+    let mut last_bytes: Vec<Option<Vec<u8>>> = vec![None; num_shards];
     thread::scope(|scope| {
         let (report_tx, report_rx) = mpsc::channel::<Report>();
         let mut reply_txs: Vec<mpsc::Sender<RoundReply>> = Vec::with_capacity(num_shards);
@@ -480,65 +727,144 @@ pub fn run_campaign_parallel(
             reply_txs.push(reply_tx);
             let report_tx = report_tx.clone();
             handles.push(scope.spawn(move || -> Vec<MutatorStats> {
-                let mutators: Vec<Mutator> = registry::all_mutators();
-                let mut rng = StdRng::seed_from_u64(shard_rng_seed(config.rng_seed, shard_id));
-                let mut selector = make_selector(config, mutators.len());
-                let shard_reference = Jvm::new(VmSpec::hotspot9());
-                let shard_tracing = tracing.then_some(&shard_reference);
-                // The shard's pool replica: seeds plus every accepted
-                // mutant, appended in the coordinator's broadcast order.
-                let mut pool: Vec<IrClass> = seeds.to_vec();
-                for _round in 0..my_iterations {
-                    let candidate = next_candidate(
-                        &pool,
-                        seeds,
-                        &mutators,
-                        &mut selector,
-                        &mut rng,
-                        shard_tracing,
-                    );
-                    let (work, mutator_id) = match candidate {
-                        Some(c) => {
-                            let id = c.mutator_id;
-                            (Work::Generated(Box::new(c)), Some(id))
+                // Mutation and VM startup contain their own panics; this
+                // outer containment is the shard's last line of defence —
+                // an escaped panic becomes a ShardDied report (so the
+                // coordinator can abort diagnosably) instead of a scope
+                // abort that loses the whole campaign's progress.
+                let shard_loop = || -> Vec<MutatorStats> {
+                    let mutators: Vec<Mutator> = campaign_mutators(config);
+                    let mut rng =
+                        StdRng::seed_from_u64(shard_rng_seed(config.rng_seed, shard_id));
+                    let mut selector = make_selector(config, mutators.len());
+                    let shard_reference = Jvm::new(VmSpec::hotspot9());
+                    let shard_tracing = tracing.then_some(&shard_reference);
+                    // The shard's pool replica: seeds plus every accepted
+                    // mutant, appended in the coordinator's broadcast order.
+                    let mut pool: Vec<IrClass> = seeds.to_vec();
+                    for _round in 0..my_iterations {
+                        let produced = next_candidate(
+                            &pool,
+                            seeds,
+                            &mutators,
+                            &mut selector,
+                            &mut rng,
+                            shard_tracing,
+                        );
+                        let (work, mutator_id) = match produced {
+                            Produced::Candidate(c) => {
+                                let id = c.mutator_id;
+                                (Work::Generated(c), Some(id))
+                            }
+                            Produced::NotApplicable => (Work::NoCandidate, None),
+                            Produced::MutatorCrash { mutator_id, input_bytes, detail } => (
+                                Work::MutatorCrash { mutator_id, input_bytes, detail },
+                                None,
+                            ),
+                        };
+                        if report_tx.send(Report { shard_id, work }).is_err() {
+                            break;
                         }
-                        None => (Work::NoCandidate, None),
-                    };
-                    if report_tx.send(Report { shard_id, work }).is_err() {
-                        break;
-                    }
-                    let Ok(reply) = reply_rx.recv() else {
-                        break;
-                    };
-                    if reply.accepted_own {
-                        if let Some(id) = mutator_id {
-                            selector.record_success(id);
+                        let Ok(reply) = reply_rx.recv() else {
+                            break;
+                        };
+                        if reply.accepted_own {
+                            if let Some(id) = mutator_id {
+                                selector.record_success(id);
+                            }
                         }
+                        pool.extend(reply.additions);
                     }
-                    pool.extend(reply.additions);
+                    selector.stats()
+                };
+                match run_contained(shard_loop) {
+                    Ok(stats) => stats,
+                    Err(detail) => {
+                        let _ = report_tx.send(Report { shard_id, work: Work::ShardDied(detail) });
+                        Vec::new()
+                    }
                 }
-                selector.stats()
             }));
         }
         drop(report_tx);
 
         // Coordinator: collect each round's reports, judge them in
-        // shard-id order, broadcast the verdicts.
-        for round in 0..rounds {
+        // shard-id order, broadcast the verdicts. Any failure breaks out
+        // with an EngineError; dropping the reply channels then releases
+        // every still-blocked shard.
+        'rounds: for round in 0..rounds {
             let active = per_shard.iter().filter(|&&n| n > round).count();
             let mut round_work: Vec<Option<Work>> = (0..active).map(|_| None).collect();
             for _ in 0..active {
-                let report = report_rx.recv().expect("worker shard disconnected mid-round");
+                let report = match report_rx.recv() {
+                    Ok(report) => report,
+                    Err(_) => {
+                        engine_error = Some(EngineError {
+                            shard_id: None,
+                            round,
+                            last_candidate: None,
+                            message: "every worker shard disconnected mid-round".to_string(),
+                        });
+                        break 'rounds;
+                    }
+                };
+                if let Work::ShardDied(detail) = &report.work {
+                    engine_error = Some(EngineError {
+                        shard_id: Some(report.shard_id),
+                        round,
+                        last_candidate: last_bytes[report.shard_id].take(),
+                        message: format!("worker shard died outside containment: {detail}"),
+                    });
+                    break 'rounds;
+                }
                 round_work[report.shard_id] = Some(report.work);
             }
             let mut additions: Vec<IrClass> = Vec::new();
             let mut accepted_flags = vec![false; active];
             for shard_id in 0..active {
                 shard_stats[shard_id].iterations += 1;
-                match round_work[shard_id].take().expect("every active shard reported") {
+                let work = match round_work[shard_id].take() {
+                    Some(work) => work,
+                    None => {
+                        engine_error = Some(EngineError {
+                            shard_id: Some(shard_id),
+                            round,
+                            last_candidate: last_bytes[shard_id].take(),
+                            message: "active shard failed to report its round".to_string(),
+                        });
+                        break 'rounds;
+                    }
+                };
+                match work {
                     Work::NoCandidate => {}
+                    Work::ShardDied(_) => {} // handled at receive time
+                    Work::MutatorCrash { mutator_id, input_bytes, detail } => {
+                        record_crash(
+                            &mut crashes,
+                            crash_dir,
+                            CrashRecord {
+                                shard_id,
+                                site: CrashSite::Mutator { mutator_id },
+                                bytes: input_bytes,
+                                detail,
+                            },
+                        );
+                    }
                     Work::Generated(cand) => {
                         let cand = *cand;
+                        if let Some(detail) = &cand.vm_crash {
+                            record_crash(
+                                &mut crashes,
+                                crash_dir,
+                                CrashRecord {
+                                    shard_id,
+                                    site: CrashSite::ReferenceVm,
+                                    bytes: cand.bytes.clone(),
+                                    detail: detail.clone(),
+                                },
+                            );
+                        }
+                        last_bytes[shard_id] = Some(cand.bytes.clone());
                         let accepted = decide(&mut acceptance, cand.trace.as_ref());
                         shard_stats[shard_id].generated += 1;
                         let gen_index = gen_classes.len();
@@ -565,12 +891,29 @@ pub fn run_campaign_parallel(
             }
         }
 
+        // Release any shard still blocked on a reply, then collect stats.
+        drop(reply_txs);
         for (shard_id, handle) in handles.into_iter().enumerate() {
-            stat_tables[shard_id] = handle.join().expect("worker shard panicked");
+            match handle.join() {
+                Ok(stats) => stat_tables[shard_id] = stats,
+                Err(_) => {
+                    if engine_error.is_none() {
+                        engine_error = Some(EngineError {
+                            shard_id: Some(shard_id),
+                            round: rounds,
+                            last_candidate: last_bytes[shard_id].take(),
+                            message: "worker shard panicked past its containment".to_string(),
+                        });
+                    }
+                }
+            }
         }
     });
 
-    CampaignResult {
+    if let Some(error) = engine_error {
+        return Err(error);
+    }
+    Ok(CampaignResult {
         algorithm: config.algorithm,
         iterations: config.iterations,
         gen_classes,
@@ -579,7 +922,8 @@ pub fn run_campaign_parallel(
         elapsed: start.elapsed(),
         seed_count: seeds.len(),
         shard_stats,
-    }
+        crashes,
+    })
 }
 
 #[cfg(test)]
@@ -666,5 +1010,95 @@ mod tests {
         let total_successes: u64 = result.mutator_stats.iter().map(|s| s.successes).sum();
         assert_eq!(total_selected as usize, result.iterations);
         assert_eq!(total_successes as usize, result.test_classes.len());
+    }
+
+    #[test]
+    fn clean_campaigns_record_no_crashes() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(Algorithm::Randfuzz, 40, 5);
+        let result = run_campaign(&seeds, &cfg);
+        assert!(result.crashes.is_empty());
+    }
+
+    #[test]
+    fn chaos_mutator_crashes_are_contained_and_recorded() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(Algorithm::Randfuzz, 60, 5).with_panic_injection();
+        // The campaign must run to its full budget despite the panicking
+        // mutator being in the rotation.
+        let result = run_campaign(&seeds, &cfg);
+        assert_eq!(result.iterations, 60);
+        assert!(
+            !result.crashes.is_empty(),
+            "60 uniform draws over 130 mutators should hit the chaos mutator"
+        );
+        let chaos_id = campaign_mutators(&cfg).len() - 1;
+        for crash in &result.crashes {
+            assert_eq!(crash.shard_id, 0);
+            assert_eq!(crash.site, CrashSite::Mutator { mutator_id: chaos_id });
+            assert!(crash.detail.contains("chaos mutator"), "detail: {}", crash.detail);
+            assert!(
+                classfuzz_classfile::ClassFile::from_bytes(&crash.bytes).is_ok(),
+                "the pre-mutation reproducer must be a decodable classfile"
+            );
+        }
+        // Crashed iterations are consumed: selections still add up.
+        let total_selected: u64 = result.mutator_stats.iter().map(|s| s.selected).sum();
+        assert_eq!(total_selected as usize, result.iterations);
+    }
+
+    #[test]
+    fn chaos_campaigns_are_deterministic() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(Algorithm::Randfuzz, 50, 9).with_panic_injection();
+        let a = run_campaign(&seeds, &cfg);
+        let b = run_campaign(&seeds, &cfg);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(
+            a.gen_classes.iter().map(|g| &g.bytes).collect::<Vec<_>>(),
+            b.gen_classes.iter().map(|g| &g.bytes).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crash_dir_receives_reproducers() {
+        let dir = std::env::temp_dir().join(format!("classfuzz_crash_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp crash dir");
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(Algorithm::Randfuzz, 60, 5)
+            .with_panic_injection()
+            .with_crash_dir(dir.clone());
+        let result = run_campaign(&seeds, &cfg);
+        assert!(!result.crashes.is_empty());
+        for (i, crash) in result.crashes.iter().enumerate() {
+            let class = dir.join(format!("crash_{i:04}_{}.class", crash.site.label()));
+            let sidecar = class.with_extension("txt");
+            assert_eq!(std::fs::read(&class).ok().as_deref(), Some(crash.bytes.as_slice()));
+            let notes = std::fs::read_to_string(&sidecar).expect("sidecar written");
+            assert!(notes.contains(&crash.detail));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_error_renders_diagnosably() {
+        let err = EngineError {
+            shard_id: Some(2),
+            round: 17,
+            last_candidate: Some(vec![0xca, 0xfe]),
+            message: "worker shard died outside containment: boom".to_string(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("shard 2"), "got: {text}");
+        assert!(text.contains("round 17"), "got: {text}");
+        assert!(text.contains("boom"), "got: {text}");
+        let headless = EngineError {
+            shard_id: None,
+            round: 0,
+            last_candidate: None,
+            message: "every worker shard disconnected mid-round".to_string(),
+        };
+        assert!(headless.to_string().contains("disconnected"));
     }
 }

@@ -44,6 +44,6 @@ pub use analyze::{evaluate_suite, SuiteEvaluation};
 pub use diff::{DifferentialHarness, OutcomeVector};
 pub use engine::{
     run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig,
-    CampaignResult, GeneratedClass, ShardStats,
+    CampaignResult, CrashRecord, CrashSite, EngineError, GeneratedClass, ShardStats,
 };
 pub use seeds::SeedCorpus;

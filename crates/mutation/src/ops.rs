@@ -184,6 +184,11 @@ pub enum MutOp {
     ReplaceStmtWithNop,
     /// Delete every `return` statement (execution falls off the end).
     DeleteReturns,
+    // --- fault injection (not part of the 129) ---------------------------------
+    /// Unconditionally panic. Never registered by [`crate::registry`]; the
+    /// campaign engine appends it on request as a containment self-test
+    /// (its panic must surface as a recorded crash, not an abort).
+    ChaosPanic,
 }
 
 /// One of the 129 mutation operators.
@@ -208,6 +213,21 @@ impl Mutator {
     /// this mutator rewrites (no fields, no body, …).
     pub fn apply(&self, class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<(), MutationError> {
         apply_op(&self.op, class, ctx)
+    }
+
+    /// The fault-injection self-test mutator: always panics when applied.
+    ///
+    /// Not one of the paper's 129 operators — the campaign engine appends
+    /// it (with the next free `id`) when a campaign opts into panic
+    /// injection, to prove that worker crashes become recorded verdicts
+    /// instead of aborts.
+    pub fn chaos_panic(id: usize) -> Mutator {
+        Mutator {
+            id,
+            name: "chaos: unconditional panic (fault-injection self-test)".to_string(),
+            target: MutTarget::Class,
+            op: MutOp::ChaosPanic,
+        }
     }
 }
 
@@ -680,6 +700,9 @@ fn apply_op(
             if body.stmts.len() == before {
                 return Err(na("no return statements"));
             }
+        }
+        MutOp::ChaosPanic => {
+            panic!("chaos mutator: injected panic (containment self-test)")
         }
     }
     Ok(())

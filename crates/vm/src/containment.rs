@@ -1,0 +1,152 @@
+//! Panic isolation for the differential harness.
+//!
+//! The paper treats VM *crashes* as first-class bugs (§3.3); our harness
+//! must therefore survive — and record — panics inside its own 18k-LoC
+//! parser/verifier/interpreter instead of tearing down a whole campaign.
+//! [`run_contained`] runs a closure under [`std::panic::catch_unwind`] and
+//! converts a panic into a deterministic textual description (message plus
+//! source location), which callers turn into an
+//! [`Outcome::Crashed`](crate::Outcome::Crashed) verdict.
+//!
+//! A process-global panic hook is installed once; while a contained region
+//! is active on the current thread the hook records the panic instead of
+//! spewing a backtrace to stderr, so worker-shard crashes stay silent. Code
+//! outside contained regions keeps the default hook behaviour.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Nesting depth of active contained regions on this thread.
+    static CONTAIN_DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// The most recent suppressed panic's description (message + location).
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static INSTALL_HOOK: Once = Once::new();
+
+/// Installs the recording panic hook (once per process), chaining to the
+/// previously installed hook for panics outside contained regions.
+fn install_hook() {
+    INSTALL_HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if CONTAIN_DEPTH.with(Cell::get) > 0 {
+                let message = payload_message(info.payload());
+                let described = match info.location() {
+                    Some(loc) => {
+                        format!("panicked at {}:{}: {message}", loc.file(), loc.line())
+                    }
+                    None => format!("panicked: {message}"),
+                };
+                LAST_PANIC.with(|p| *p.borrow_mut() = Some(described));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn payload_message(payload: &dyn std::any::Any) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(description)`.
+///
+/// The description is deterministic for a deterministic panic (fixed
+/// message and source location), so a crash verdict derived from it is as
+/// replayable as any other outcome. Nested contained regions are allowed;
+/// each reports its own innermost panic.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers pass borrows of
+/// state (coverage accumulators, RNGs, half-mutated classes) that they
+/// discard or treat as tainted-but-valid after an `Err`.
+///
+/// # Examples
+///
+/// ```
+/// use classfuzz_vm::containment::run_contained;
+///
+/// assert_eq!(run_contained(|| 21 * 2), Ok(42));
+/// let err = run_contained(|| -> u32 { panic!("boom") }).unwrap_err();
+/// assert!(err.contains("boom"));
+/// ```
+pub fn run_contained<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    CONTAIN_DEPTH.with(|d| d.set(d.get() + 1));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTAIN_DEPTH.with(|d| d.set(d.get() - 1));
+    match result {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let recorded = LAST_PANIC.with(|p| p.borrow_mut().take());
+            Err(recorded.unwrap_or_else(|| payload_message(payload.as_ref())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_values_pass_through() {
+        assert_eq!(run_contained(|| "fine"), Ok("fine"));
+    }
+
+    #[test]
+    fn panics_become_descriptions_with_location() {
+        let err = run_contained(|| panic!("injected failure")).unwrap_err();
+        assert!(err.contains("injected failure"), "{err}");
+        assert!(err.contains("containment.rs"), "location missing: {err}");
+    }
+
+    #[test]
+    fn formatted_panic_messages_are_captured() {
+        let n = 7;
+        let err = run_contained(|| panic!("bad index {n}")).unwrap_err();
+        assert!(err.contains("bad index 7"), "{err}");
+    }
+
+    #[test]
+    fn nested_regions_report_innermost_panic() {
+        let outer = run_contained(|| {
+            let inner = run_contained(|| panic!("inner"));
+            assert!(inner.unwrap_err().contains("inner"));
+            // After the inner region the outer one still contains panics.
+            panic!("outer")
+        });
+        assert!(outer.unwrap_err().contains("outer"));
+    }
+
+    #[test]
+    fn descriptions_are_deterministic() {
+        // Same panic site both times: the description (message *and*
+        // file:line) must replay exactly, run to run.
+        fn boom() -> ! {
+            panic!("same message")
+        }
+        let a = run_contained(|| boom()).unwrap_err();
+        let b = run_contained(|| boom()).unwrap_err();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_mutations_before_the_panic_survive() {
+        let mut progress = 0u32;
+        let result = run_contained(|| {
+            progress = 3;
+            panic!("late")
+        });
+        assert!(result.is_err());
+        assert_eq!(progress, 3, "pre-panic writes must be observable");
+    }
+}

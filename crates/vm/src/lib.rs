@@ -26,6 +26,7 @@
 //! }
 //! ```
 
+pub mod containment;
 pub mod cov;
 pub mod interp;
 pub mod library;
@@ -37,6 +38,7 @@ pub mod startup;
 pub mod verifier;
 pub mod world;
 
+pub use containment::run_contained;
 pub use cov::Cov;
 pub use outcome::{JvmError, JvmErrorKind, Outcome, Phase};
 pub use spec::{FinalSuperError, JreGeneration, Vendor, VmSpec};

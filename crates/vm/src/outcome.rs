@@ -93,6 +93,10 @@ pub enum JvmErrorKind {
     UncaughtException,
     /// The VM itself gave up in a way no specified error covers.
     InternalError,
+    /// The VM implementation itself crashed (a contained panic) — the
+    /// analogue of a native JVM dumping an `hs_err` fatal-error log. The
+    /// paper treats such crashes as first-class bugs (§3.3).
+    InternalVmError,
 }
 
 impl JvmErrorKind {
@@ -133,6 +137,9 @@ impl JvmErrorKind {
             JvmErrorKind::ExecutionBudgetExceeded => "Error: execution budget exceeded",
             JvmErrorKind::UncaughtException => "Exception in thread \"main\"",
             JvmErrorKind::InternalError => "java.lang.InternalError",
+            JvmErrorKind::InternalVmError => {
+                "A fatal error has been detected by the Java Runtime Environment"
+            }
         }
     }
 }
@@ -182,28 +189,79 @@ pub enum Outcome {
         /// The reported error.
         error: JvmError,
     },
+    /// The VM implementation itself crashed (a contained panic) while
+    /// processing the class — the analogue of a native JVM aborting with an
+    /// `hs_err` fatal-error log. Crashes are first-class bugs (§3.3):
+    /// "profile A crashes where profile B rejects cleanly" is a reportable
+    /// discrepancy, so crashes encode as their own digit
+    /// ([`Outcome::CRASH_CODE`]) rather than borrowing a phase digit.
+    Crashed {
+        /// The last startup phase entered before the crash.
+        phase: Phase,
+        /// Synthetic error describing the panic (message + location).
+        error: JvmError,
+    },
 }
 
 impl Outcome {
-    /// The phase digit for encoded output sequences.
+    /// The digit encoding a crash in output sequences — one past the five
+    /// phase digits of §2.3, so crash verdicts never collide with clean
+    /// rejections in the same phase.
+    pub const CRASH_CODE: u8 = 5;
+
+    /// The phase digit for encoded output sequences. For a crash this is
+    /// the phase the VM had *entered* when it died, not a verdict digit —
+    /// use [`Outcome::code`] for encoding.
     pub fn phase(&self) -> Phase {
         match self {
             Outcome::Invoked { .. } => Phase::Invoked,
             Outcome::Rejected { phase, .. } => *phase,
+            Outcome::Crashed { phase, .. } => *phase,
         }
     }
 
-    /// The error, when rejected.
+    /// The digit used in encoded output sequences: the phase code for
+    /// normal outcomes, [`Outcome::CRASH_CODE`] for crashes.
+    pub fn code(&self) -> u8 {
+        match self {
+            Outcome::Crashed { .. } => Outcome::CRASH_CODE,
+            _ => self.phase().code(),
+        }
+    }
+
+    /// Whether the VM implementation crashed on this run.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Outcome::Crashed { .. })
+    }
+
+    /// The crash description, when the VM crashed.
+    pub fn crash_detail(&self) -> Option<&str> {
+        match self {
+            Outcome::Crashed { error, .. } => Some(&error.message),
+            _ => None,
+        }
+    }
+
+    /// The error, when rejected or crashed.
     pub fn error(&self) -> Option<&JvmError> {
         match self {
             Outcome::Invoked { .. } => None,
             Outcome::Rejected { error, .. } => Some(error),
+            Outcome::Crashed { error, .. } => Some(error),
         }
     }
 
     /// Convenience constructor for a rejection.
     pub fn rejected(phase: Phase, kind: JvmErrorKind, message: impl Into<String>) -> Self {
         Outcome::Rejected { phase, error: JvmError::new(kind, message) }
+    }
+
+    /// Convenience constructor for a VM crash caught in `phase`.
+    pub fn crashed(phase: Phase, detail: impl Into<String>) -> Self {
+        Outcome::Crashed {
+            phase,
+            error: JvmError::new(JvmErrorKind::InternalVmError, detail),
+        }
     }
 }
 
@@ -212,6 +270,7 @@ impl fmt::Display for Outcome {
         match self {
             Outcome::Invoked { stdout } => write!(f, "invoked ({} lines)", stdout.len()),
             Outcome::Rejected { phase, error } => write!(f, "rejected[{phase}] {error}"),
+            Outcome::Crashed { phase, error } => write!(f, "crashed[in phase {phase}] {error}"),
         }
     }
 }
@@ -244,5 +303,28 @@ mod tests {
     fn error_rendering() {
         let e = JvmError::new(JvmErrorKind::ClassFormatError, "no Code attribute");
         assert_eq!(e.to_string(), "java.lang.ClassFormatError: no Code attribute");
+    }
+
+    #[test]
+    fn crash_outcomes_carry_phase_and_encode_as_their_own_digit() {
+        let crash = Outcome::crashed(Phase::Linking, "panicked at verifier.rs:10: boom");
+        assert!(crash.is_crash());
+        assert_eq!(crash.phase(), Phase::Linking);
+        assert_eq!(crash.code(), Outcome::CRASH_CODE);
+        assert_eq!(crash.error().unwrap().kind, JvmErrorKind::InternalVmError);
+        assert_eq!(crash.crash_detail(), Some("panicked at verifier.rs:10: boom"));
+        // A clean rejection in the same phase encodes differently.
+        let clean = Outcome::rejected(Phase::Linking, JvmErrorKind::VerifyError, "x");
+        assert_ne!(crash.code(), clean.code());
+        assert!(!clean.is_crash());
+        assert!(clean.crash_detail().is_none());
+    }
+
+    #[test]
+    fn crash_rendering_names_the_phase() {
+        let crash = Outcome::crashed(Phase::Runtime, "boom");
+        let text = crash.to_string();
+        assert!(text.starts_with("crashed[in phase 4]"), "{text}");
+        assert!(text.contains("fatal error"), "{text}");
     }
 }

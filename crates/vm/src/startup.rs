@@ -1,9 +1,17 @@
 //! The JVM startup pipeline: loading → linking → initialization →
 //! invocation (Table 1), producing one [`Outcome`] per run.
+//!
+//! Every run is fault-contained: a panic anywhere in the parser, linker,
+//! verifier, or interpreter is caught (see [`crate::containment`]) and
+//! reported as [`Outcome::Crashed`] carrying the startup phase the VM had
+//! reached, instead of unwinding into — and killing — the campaign engine.
+
+use std::cell::Cell;
 
 use classfuzz_classfile::{ClassAccess, ClassFile, MethodAccess};
 use classfuzz_coverage::TraceFile;
 
+use crate::containment::run_contained;
 use crate::cov::Cov;
 use crate::interp::{ExecError, Machine, RtValue};
 use crate::outcome::{JvmErrorKind, Outcome, Phase};
@@ -71,11 +79,29 @@ impl Jvm {
         collect_coverage: bool,
     ) -> ExecutionResult {
         let mut cov = if collect_coverage { Cov::enabled() } else { Cov::disabled() };
-        let outcome = self.startup(class_bytes, classpath, &mut cov);
+        // Fault containment: `progress` tracks the deepest phase the
+        // pipeline entered, so a panic inside any stage becomes a
+        // deterministic crash verdict attributed to that phase. Coverage
+        // probes fired before the panic survive (the trace of a crashed run
+        // is its partial trace — itself deterministic).
+        let progress = Cell::new(Phase::Loading);
+        let outcome = match run_contained(|| {
+            self.startup(class_bytes, classpath, &mut cov, &progress)
+        }) {
+            Ok(outcome) => outcome,
+            Err(detail) => Outcome::crashed(progress.get(), detail),
+        };
         ExecutionResult { outcome, trace: cov.into_trace() }
     }
 
-    fn startup(&self, class_bytes: &[u8], classpath: &[Vec<u8>], cov: &mut Cov) -> Outcome {
+    fn startup(
+        &self,
+        class_bytes: &[u8],
+        classpath: &[Vec<u8>],
+        cov: &mut Cov,
+        progress: &Cell<Phase>,
+    ) -> Outcome {
+        progress.set(Phase::Loading);
         probe!(cov);
         // --- Creation & loading: parse ---------------------------------
         let cf = match ClassFile::from_bytes(class_bytes) {
@@ -98,10 +124,15 @@ impl Jvm {
             }
         }
         let world = World::new(&self.spec, user_classes);
-        let main_class = world
-            .user_class(&main_name)
-            .expect("main class was just inserted")
-            .clone();
+        // The main class was inserted first, but stay panic-free on the
+        // lookup: a miss is a VM bug, reported as an internal error.
+        let Some(main_class) = world.user_class(&main_name).cloned() else {
+            return Outcome::rejected(
+                Phase::Loading,
+                JvmErrorKind::InternalError,
+                format!("main class {main_name} lost during world construction"),
+            );
+        };
 
         // --- Creation & loading: format check --------------------------
         if let Err(outcome) = loader::format_check(&main_class, &self.spec, cov) {
@@ -109,6 +140,7 @@ impl Jvm {
         }
 
         // --- Linking: hierarchy, throws resolution ---------------------
+        progress.set(Phase::Linking);
         if let Err(outcome) = linker::link_check(&world, &main_class, &self.spec, cov) {
             return outcome;
         }
@@ -122,6 +154,7 @@ impl Jvm {
         }
 
         // --- Initialization: preparation + <clinit> --------------------
+        progress.set(Phase::Initializing);
         let mut machine = Machine::new(&world, &self.spec);
         machine.prepare_statics(&main_class);
         if let Some(clinit) = self.initializer_of(&main_class) {
@@ -155,6 +188,7 @@ impl Jvm {
         }
 
         // --- Invocation: find and run main ------------------------------
+        progress.set(Phase::Runtime);
         let is_interface = main_class.cf.access.contains(ClassAccess::INTERFACE);
         if probe_branch!(cov, is_interface && !self.spec.interface_main_invocable) {
             return Outcome::rejected(

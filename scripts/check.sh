@@ -8,4 +8,9 @@ set -eu
 
 cargo build --release --workspace
 cargo test -q --workspace
+# The adversarial-input suite on its own line so a containment regression
+# is visible as such, not buried in the workspace run.
+cargo test -q --test no_panic
 cargo clippy --workspace --all-targets -- -D warnings
+# No new panic sites in the hot-path crates (classfile/vm/core).
+sh scripts/panic_gate.sh

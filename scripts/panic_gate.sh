@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Panic-hygiene gate for the hot paths of the pipeline: the crates that sit
+# between a hostile classfile and a verdict must not add new `.unwrap()` /
+# `.expect("...")` calls. A panic there either crashes a campaign worker or
+# — worse — gets contained and miscounted as a VM crash verdict, so the
+# policy is: return an error, degrade to a rejected outcome, or annotate.
+#
+# Scope:    crates/classfile, crates/vm, crates/core (src/ only).
+# Exempt:   test code (everything at or below a `#[cfg(test)]` line — the
+#           conventional tail position in this workspace), comment lines,
+#           and lines carrying a `PANIC-OK` annotation, which documents a
+#           checked invariant (e.g. "length verified two lines up").
+#
+# Exits nonzero listing every offending file:line.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for file in $(find crates/classfile/src crates/vm/src crates/core/src -name '*.rs' | sort); do
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }          # test module tail: out of scope
+        /^[[:space:]]*\/\// { next }          # comment line
+        /PANIC-OK/ { next }                   # documented invariant
+        /\.unwrap\(\)|\.expect\("/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+    ' "$file")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo ""
+    echo "panic_gate: .unwrap()/.expect(\"...\") found in hot-path crates." >&2
+    echo "Return an error instead, or annotate a checked invariant with PANIC-OK." >&2
+fi
+exit "$status"

@@ -41,7 +41,7 @@ fn one_shard_replays_sequential_for_every_algorithm() {
     for algorithm in Algorithm::table4_lineup() {
         let config = CampaignConfig::new(algorithm, 60, 17);
         let sequential = run_campaign(&seeds, &config);
-        let parallel = run_campaign_parallel(&seeds, &config, 1);
+        let parallel = run_campaign_parallel(&seeds, &config, 1).expect("engine error");
 
         assert_eq!(sequential.iterations, parallel.iterations, "{algorithm}");
         assert_eq!(
@@ -83,7 +83,7 @@ fn one_shard_replays_sequential_for_every_algorithm() {
 fn four_shards_accept_no_duplicate_traces_under_stbr() {
     let seeds = small_seeds();
     let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 120, 5);
-    let result = run_campaign_parallel(&seeds, &config, 4);
+    let result = run_campaign_parallel(&seeds, &config, 4).expect("engine error");
     assert!(!result.test_classes.is_empty(), "campaign accepted nothing");
 
     let reference = Jvm::new(VmSpec::hotspot9());
@@ -112,8 +112,8 @@ fn four_shards_accept_no_duplicate_traces_under_stbr() {
 fn multi_shard_campaigns_are_deterministic() {
     let seeds = small_seeds();
     let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 100, 23);
-    let a = run_campaign_parallel(&seeds, &config, 4);
-    let b = run_campaign_parallel(&seeds, &config, 4);
+    let a = run_campaign_parallel(&seeds, &config, 4).expect("engine error");
+    let b = run_campaign_parallel(&seeds, &config, 4).expect("engine error");
     assert_eq!(a.test_classes, b.test_classes);
     assert_eq!(a.shard_stats, b.shard_stats);
     assert_eq!(a.mutator_stats, b.mutator_stats);
@@ -127,7 +127,7 @@ fn multi_shard_campaigns_are_deterministic() {
 fn shard_accounting_adds_up() {
     let seeds = small_seeds();
     let config = CampaignConfig::new(Algorithm::Uniquefuzz, 101, 3);
-    let result = run_campaign_parallel(&seeds, &config, 4);
+    let result = run_campaign_parallel(&seeds, &config, 4).expect("engine error");
     assert_eq!(result.shard_stats.len(), 4);
     // 101 = 26 + 25 + 25 + 25: the remainder lands on the lowest shard ids.
     let iters: Vec<usize> = result.shard_stats.iter().map(|s| s.iterations).collect();
@@ -152,7 +152,7 @@ fn shard_seeds_decorrelate_but_shard_zero_matches_campaign_seed() {
 fn degenerate_campaigns_return_empty_results() {
     let config = CampaignConfig::new(Algorithm::Randfuzz, 50, 1);
     // No seeds: nothing to mutate, and crucially no deadlocked shards.
-    let empty = run_campaign_parallel(&[], &config, 4);
+    let empty = run_campaign_parallel(&[], &config, 4).expect("engine error");
     assert!(empty.gen_classes.is_empty());
     assert!(empty.test_classes.is_empty());
     assert_eq!(empty.secs_per_generated(), 0.0);
@@ -162,7 +162,7 @@ fn degenerate_campaigns_return_empty_results() {
         &small_seeds(),
         &CampaignConfig::new(Algorithm::Randfuzz, 0, 1),
         4,
-    );
+    ).expect("engine error");
     assert!(none.gen_classes.is_empty());
     assert_eq!(none.secs_per_test(), 0.0);
 }
@@ -180,8 +180,8 @@ fn four_shards_beat_one_on_wall_clock() {
     }
     let seeds = SeedCorpus::generate(40, 7).into_classes();
     let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 2000, 7);
-    let sequential = run_campaign_parallel(&seeds, &config, 1);
-    let parallel = run_campaign_parallel(&seeds, &config, 4);
+    let sequential = run_campaign_parallel(&seeds, &config, 1).expect("engine error");
+    let parallel = run_campaign_parallel(&seeds, &config, 4).expect("engine error");
     assert!(
         parallel.elapsed < sequential.elapsed,
         "4 shards ({:?}) should beat 1 shard ({:?}) at equal iteration count",
