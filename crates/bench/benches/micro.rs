@@ -45,9 +45,7 @@ fn bench_vm_startup(c: &mut Criterion) {
     for spec in VmSpec::all_five() {
         let name = spec.name.clone();
         let jvm = Jvm::new(spec);
-        group.bench_function(name, |b| {
-            b.iter(|| jvm.run(std::hint::black_box(&bytes)))
-        });
+        group.bench_function(name, |b| b.iter(|| jvm.run(std::hint::black_box(&bytes))));
     }
     group.finish();
     let reference = Jvm::new(VmSpec::hotspot9());
@@ -78,7 +76,12 @@ fn bench_mutation(c: &mut Criterion) {
 fn bench_mcmc(c: &mut Criterion) {
     c.bench_function("mcmc/select-1000", |b| {
         b.iter_batched(
-            || (MutatorChain::new(129, 3.0 / 129.0), StdRng::seed_from_u64(2)),
+            || {
+                (
+                    MutatorChain::new(129, 3.0 / 129.0),
+                    StdRng::seed_from_u64(2),
+                )
+            },
             |(mut chain, mut rng)| {
                 for _ in 0..1000 {
                     let id = chain.select(&mut rng);

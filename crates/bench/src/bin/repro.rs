@@ -38,17 +38,24 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--seeds" => {
-                scale.seeds = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.seeds);
+                scale.seeds = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(scale.seeds);
                 i += 2;
             }
             "--iterations" => {
-                scale.iterations =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.iterations);
+                scale.iterations = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(scale.iterations);
                 i += 2;
             }
             "--rng-seed" => {
-                scale.rng_seed =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(scale.rng_seed);
+                scale.rng_seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(scale.rng_seed);
                 i += 2;
             }
             "--jobs" => {
@@ -172,7 +179,9 @@ fn problem2() {
 fn problem3() {
     println!("== Problem 3: throws-clause of an internal class (M1437121261) ==");
     let mut class = IrClass::with_hello_main("M1437121261", "Completed!");
-    class.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    class.methods[0]
+        .exceptions
+        .push("sun/internal/PiscesKit$2".into());
     let harness = DifferentialHarness::paper_five();
     show_vector(&harness, &class);
 }
@@ -242,7 +251,10 @@ fn table4(scale: Scale) {
 
 fn table5(scale: Scale) {
     let campaign = classfuzz_stbr_campaign(scale);
-    println!("{}", report::format_table5(&campaign, &registry::all_mutators()));
+    println!(
+        "{}",
+        report::format_table5(&campaign, &registry::all_mutators())
+    );
 }
 
 fn table6(scale: Scale) {
@@ -254,10 +266,7 @@ fn table6(scale: Scale) {
 fn table7(scale: Scale) {
     let campaign = classfuzz_stbr_campaign(scale);
     let (eval, names) = table7_eval(&campaign.test_bytes());
-    println!(
-        "{}",
-        report::format_table7(&eval, &names)
-    );
+    println!("{}", report::format_table7(&eval, &names));
 }
 
 fn fig4(scale: Scale) {
@@ -270,7 +279,10 @@ fn fig4(scale: Scale) {
     );
     let unique = classfuzz_bench::uniquefuzz_campaign(scale);
     let series_u = report::mutator_series(&unique.mutator_stats, &mutators);
-    println!("{}", report::format_figure4(&series_u, "uniquefuzz (4c: freq)"));
+    println!(
+        "{}",
+        report::format_figure4(&series_u, "uniquefuzz (4c: freq)")
+    );
 }
 
 fn baseline(scale: Scale) {
@@ -304,7 +316,10 @@ fn tables_and_figures(scale: Scale) {
     );
     let unique = &campaigns[3];
     let series_u = report::mutator_series(&unique.mutator_stats, &mutators);
-    println!("{}", report::format_figure4(&series_u, "uniquefuzz (4c: freq)"));
+    println!(
+        "{}",
+        report::format_figure4(&series_u, "uniquefuzz (4c: freq)")
+    );
 }
 
 // --- Ablations and extensions (see DESIGN.md §3) -----------------------------
@@ -358,7 +373,10 @@ fn versions() {
     println!("== Extension: classfile major-version sweep ==");
     println!("  (phases per VM, Table 3 column order: HS7 HS8 HS9 J9 GIJ)");
     let versions = [45u16, 46, 48, 49, 50, 51, 52, 53, 54];
-    println!("  {:>8} {:>18} {:>28}", "version", "valid class", "interface w/o ABSTRACT");
+    println!(
+        "  {:>8} {:>18} {:>28}",
+        "version", "valid class", "interface w/o ABSTRACT"
+    );
     for (v, ok, iface) in classfuzz_bench::version_sweep(&versions) {
         let fmt = |p: &[u8]| p.iter().map(u8::to_string).collect::<Vec<_>>().join("");
         println!("  {v:>8} {:>18} {:>28}", fmt(&ok), fmt(&iface));

@@ -34,14 +34,24 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { seeds: 60, iterations: 1000, rng_seed: 20160613, jobs: 1 }
+        Scale {
+            seeds: 60,
+            iterations: 1000,
+            rng_seed: 20160613,
+            jobs: 1,
+        }
     }
 }
 
 impl Scale {
     /// A fast scale for smoke tests.
     pub fn small() -> Scale {
-        Scale { seeds: 12, iterations: 80, rng_seed: 20160613, jobs: 1 }
+        Scale {
+            seeds: 12,
+            iterations: 80,
+            rng_seed: 20160613,
+            jobs: 1,
+        }
     }
 
     /// The same scale with a different shard count.
@@ -182,11 +192,17 @@ pub fn ablation_knobs(scale: Scale) -> Vec<(String, usize)> {
 
     let count = |specs: Vec<VmSpec>| -> usize {
         let harness = DifferentialHarness::new(specs);
-        bytes.iter().filter(|b| harness.run(b).is_discrepancy()).count()
+        bytes
+            .iter()
+            .filter(|b| harness.run(b).is_discrepancy())
+            .count()
     };
 
     let mut rows = Vec::new();
-    rows.push(("full policy differences".to_string(), count(VmSpec::all_five())));
+    rows.push((
+        "full policy differences".to_string(),
+        count(VmSpec::all_five()),
+    ));
 
     let mut no_lazy = VmSpec::all_five();
     no_lazy[3].lazy_method_verification = false;
@@ -195,7 +211,10 @@ pub fn ablation_knobs(scale: Scale) -> Vec<(String, usize)> {
     let mut no_clinit = VmSpec::all_five();
     no_clinit[3].clinit_requires_code = false;
     no_clinit[3].clinit_flags_exempt = true;
-    rows.push(("J9 treats <clinit> like HotSpot".to_string(), count(no_clinit)));
+    rows.push((
+        "J9 treats <clinit> like HotSpot".to_string(),
+        count(no_clinit),
+    ));
 
     let mut strict_gij = VmSpec::all_five();
     strict_gij[4].interface_must_extend_object = true;
@@ -203,13 +222,19 @@ pub fn ablation_knobs(scale: Scale) -> Vec<(String, usize)> {
     strict_gij[4].interface_main_invocable = false;
     strict_gij[4].strict_init_signature = true;
     strict_gij[4].allow_duplicate_fields = false;
-    rows.push(("GIJ made as strict as HotSpot".to_string(), count(strict_gij)));
+    rows.push((
+        "GIJ made as strict as HotSpot".to_string(),
+        count(strict_gij),
+    ));
 
     let mut same_jre = VmSpec::all_five();
     for spec in &mut same_jre {
         spec.jre = classfuzz_vm::JreGeneration::Jre8;
     }
-    rows.push(("all VMs share the JRE 8 library".to_string(), count(same_jre)));
+    rows.push((
+        "all VMs share the JRE 8 library".to_string(),
+        count(same_jre),
+    ));
 
     rows
 }
@@ -267,6 +292,10 @@ mod tests {
         let eval = baseline_eval(Scale::small());
         assert!(eval.total >= 200);
         assert!(eval.discrepancies > 0, "environment baseline must exist");
-        assert!(eval.diff_rate() < 0.25, "baseline diff too high: {}", eval.diff_rate());
+        assert!(
+            eval.diff_rate() < 0.25,
+            "baseline diff too high: {}",
+            eval.diff_rate()
+        );
     }
 }

@@ -123,7 +123,11 @@ mod tests {
     fn fixed_names() {
         assert_eq!(Attribute::Synthetic.fixed_name(), Some("Synthetic"));
         assert_eq!(
-            Attribute::Unknown { name: ConstIndex(1), data: vec![] }.fixed_name(),
+            Attribute::Unknown {
+                name: ConstIndex(1),
+                data: vec![]
+            }
+            .fixed_name(),
             None
         );
     }

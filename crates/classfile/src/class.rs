@@ -217,7 +217,12 @@ impl ClassBuilder {
     pub fn field(mut self, access: FieldAccess, name: &str, descriptor: &str) -> Self {
         let name = self.class.constant_pool.utf8(name);
         let descriptor = self.class.constant_pool.utf8(descriptor);
-        self.class.fields.push(FieldInfo { access, name, descriptor, attributes: Vec::new() });
+        self.class.fields.push(FieldInfo {
+            access,
+            name,
+            descriptor,
+            attributes: Vec::new(),
+        });
         self
     }
 
@@ -249,7 +254,12 @@ impl ClassBuilder {
     ) -> Self {
         let name = self.class.constant_pool.utf8(name);
         let descriptor = self.class.constant_pool.utf8(descriptor);
-        self.class.methods.push(MethodInfo { access, name, descriptor, attributes: Vec::new() });
+        self.class.methods.push(MethodInfo {
+            access,
+            name,
+            descriptor,
+            attributes: Vec::new(),
+        });
         self
     }
 
@@ -320,7 +330,10 @@ mod tests {
         // guarantees the +1 cannot wrap the u16 to 0.
         assert_eq!(u16::from_be_bytes([bytes[8], bytes[9]]), u16::MAX);
         let parsed = ClassFile::from_bytes(&bytes).expect("full-pool class stays decodable");
-        assert_eq!(parsed.constant_pool.slot_count(), class.constant_pool.slot_count());
+        assert_eq!(
+            parsed.constant_pool.slot_count(),
+            class.constant_pool.slot_count()
+        );
     }
 
     #[test]

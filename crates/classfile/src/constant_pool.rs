@@ -192,7 +192,10 @@ impl ConstantPool {
 
     /// Iterates over `(index, entry)` pairs, including padding slots.
     pub fn iter(&self) -> impl Iterator<Item = (ConstIndex, &Constant)> {
-        self.entries.iter().enumerate().map(|(i, c)| (ConstIndex(i as u16 + 1), c))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConstIndex(i as u16 + 1), c))
     }
 
     /// Appends an entry verbatim (no deduplication) and returns its index.
@@ -348,9 +351,10 @@ impl ConstantPool {
     /// Resolves a `NameAndType` entry to `(name, descriptor)`.
     pub fn name_and_type_parts(&self, index: ConstIndex) -> Option<(String, String)> {
         match self.entry(index)? {
-            Constant::NameAndType(n, d) => {
-                Some((self.utf8_text(*n)?.to_string(), self.utf8_text(*d)?.to_string()))
-            }
+            Constant::NameAndType(n, d) => Some((
+                self.utf8_text(*n)?.to_string(),
+                self.utf8_text(*d)?.to_string(),
+            )),
             _ => None,
         }
     }
@@ -458,7 +462,10 @@ mod tests {
         for _ in 0..MAX_POOL_SLOTS - 1 {
             cp.push(Constant::Integer(0));
         }
-        assert_eq!(cp.try_push(Constant::Long(1)), Err(PoolFullError { needed: 2 }));
+        assert_eq!(
+            cp.try_push(Constant::Long(1)),
+            Err(PoolFullError { needed: 2 })
+        );
         // A narrow entry still fits in the final slot.
         assert_eq!(cp.push(Constant::Integer(1)).0 as usize, MAX_POOL_SLOTS);
     }

@@ -182,7 +182,10 @@ impl MethodDescriptor {
 
     /// The descriptor of a `void m()` method.
     pub fn void_no_args() -> Self {
-        MethodDescriptor { params: Vec::new(), ret: None }
+        MethodDescriptor {
+            params: Vec::new(),
+            ret: None,
+        }
     }
 
     /// Parses a method descriptor such as `(ILjava/lang/String;)V`.
@@ -306,7 +309,10 @@ mod tests {
 
     #[test]
     fn java_rendering() {
-        assert_eq!(FieldType::parse("[Ljava/lang/String;").unwrap().to_java(), "java.lang.String[]");
+        assert_eq!(
+            FieldType::parse("[Ljava/lang/String;").unwrap().to_java(),
+            "java.lang.String[]"
+        );
         assert_eq!(FieldType::Int.to_java(), "int");
     }
 }

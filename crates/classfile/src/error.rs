@@ -65,7 +65,10 @@ impl fmt::Display for ClassReadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClassReadError::UnexpectedEof { offset, context } => {
-                write!(f, "unexpected end of classfile at offset {offset} while reading {context}")
+                write!(
+                    f,
+                    "unexpected end of classfile at offset {offset} while reading {context}"
+                )
             }
             ClassReadError::BadMagic(m) => {
                 write!(f, "bad magic number {m:#010x}, expected 0xCAFEBABE")
@@ -83,10 +86,16 @@ impl fmt::Display for ClassReadError {
                 write!(f, "instruction operands truncated at pc {pc}")
             }
             ClassReadError::InvalidWideTarget { opcode, pc } => {
-                write!(f, "opcode {opcode:#04x} at pc {pc} cannot follow a wide prefix")
+                write!(
+                    f,
+                    "opcode {opcode:#04x} at pc {pc} cannot follow a wide prefix"
+                )
             }
             ClassReadError::BranchTargetOutOfRange { pc, target } => {
-                write!(f, "branch at pc {pc} resolves to out-of-range target {target}")
+                write!(
+                    f,
+                    "branch at pc {pc} resolves to out-of-range target {target}"
+                )
             }
         }
     }
@@ -104,7 +113,10 @@ pub struct DescriptorError {
 impl DescriptorError {
     /// Creates a descriptor error for `descriptor`, failing at `position`.
     pub fn new(descriptor: impl Into<String>, position: usize) -> Self {
-        DescriptorError { descriptor: descriptor.into(), position }
+        DescriptorError {
+            descriptor: descriptor.into(),
+            position,
+        }
     }
 
     /// The descriptor text that failed to parse.
@@ -120,7 +132,11 @@ impl DescriptorError {
 
 impl fmt::Display for DescriptorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid descriptor {:?} at position {}", self.descriptor, self.position)
+        write!(
+            f,
+            "invalid descriptor {:?} at position {}",
+            self.descriptor, self.position
+        )
     }
 }
 

@@ -324,10 +324,19 @@ impl fmt::Display for Instruction {
                 write!(f, "{op} {index}, {dims}")
             }
             Instruction::TableSwitch(ts) => {
-                write!(f, "{op} [{}..{}] default -> {}", ts.low, ts.high, ts.default)
+                write!(
+                    f,
+                    "{op} [{}..{}] default -> {}",
+                    ts.low, ts.high, ts.default
+                )
             }
             Instruction::LookupSwitch(ls) => {
-                write!(f, "{op} ({} pairs) default -> {}", ls.pairs.len(), ls.default)
+                write!(
+                    f,
+                    "{op} ({} pairs) default -> {}",
+                    ls.pairs.len(),
+                    ls.default
+                )
             }
         }
     }
@@ -350,8 +359,8 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
     while pc < code.len() {
         let start = pc;
         let byte = code[pc];
-        let op = Opcode::from_byte(byte)
-            .ok_or(ClassReadError::UnknownOpcode { opcode: byte, pc })?;
+        let op =
+            Opcode::from_byte(byte).ok_or(ClassReadError::UnknownOpcode { opcode: byte, pc })?;
         pc += 1;
         let trunc = || ClassReadError::TruncatedInstruction { pc: start };
         let insn = match op.operand_kind() {
@@ -375,8 +384,9 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
                 match op {
                     Opcode::LdcW => Instruction::LdcW(idx),
                     Opcode::Ldc2W => Instruction::Ldc2W(idx),
-                    Opcode::Getstatic | Opcode::Putstatic | Opcode::Getfield
-                    | Opcode::Putfield => Instruction::Field(op, idx),
+                    Opcode::Getstatic | Opcode::Putstatic | Opcode::Getfield | Opcode::Putfield => {
+                        Instruction::Field(op, idx)
+                    }
                     Opcode::Invokevirtual | Opcode::Invokespecial | Opcode::Invokestatic => {
                         Instruction::Invoke(op, idx)
                     }
@@ -476,9 +486,11 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
             OperandKind::Wide => {
                 let modified = *code.get(pc).ok_or_else(trunc)?;
                 pc += 1;
-                let inner = Opcode::from_byte(modified).ok_or(
-                    ClassReadError::InvalidWideTarget { opcode: modified, pc: start },
-                )?;
+                let inner =
+                    Opcode::from_byte(modified).ok_or(ClassReadError::InvalidWideTarget {
+                        opcode: modified,
+                        pc: start,
+                    })?;
                 match inner.operand_kind() {
                     OperandKind::Local => {
                         let index = read_u16(code, &mut pc).ok_or_else(trunc)?;
@@ -522,8 +534,7 @@ pub fn encode_code(instructions: &[Instruction]) -> Vec<u8> {
 /// aliases a real pc.
 fn abs_target(start: usize, rel: i64) -> Result<u32, ClassReadError> {
     let target = start as i64 + rel;
-    u32::try_from(target)
-        .map_err(|_| ClassReadError::BranchTargetOutOfRange { pc: start, target })
+    u32::try_from(target).map_err(|_| ClassReadError::BranchTargetOutOfRange { pc: start, target })
 }
 
 fn read_u16(code: &[u8], pc: &mut usize) -> Option<u16> {
@@ -578,16 +589,28 @@ mod tests {
             Instruction::Ldc2W(ConstIndex(5)),
             Instruction::Local(Opcode::Iload, 3),
             Instruction::Local(Opcode::Astore, 300), // forces wide
-            Instruction::Iinc { index: 2, delta: -1 },
-            Instruction::Iinc { index: 2, delta: 200 }, // forces wide
+            Instruction::Iinc {
+                index: 2,
+                delta: -1,
+            },
+            Instruction::Iinc {
+                index: 2,
+                delta: 200,
+            }, // forces wide
             Instruction::Field(Opcode::Getstatic, ConstIndex(12)),
             Instruction::Invoke(Opcode::Invokevirtual, ConstIndex(21)),
-            Instruction::InvokeInterface { index: ConstIndex(9), count: 2 },
+            Instruction::InvokeInterface {
+                index: ConstIndex(9),
+                count: 2,
+            },
             Instruction::InvokeDynamic(ConstIndex(17)),
             Instruction::New(ConstIndex(3)),
             Instruction::NewArray(10),
             Instruction::ANewArray(ConstIndex(3)),
-            Instruction::MultiANewArray { index: ConstIndex(3), dims: 2 },
+            Instruction::MultiANewArray {
+                index: ConstIndex(3),
+                dims: 2,
+            },
             Instruction::CheckCast(ConstIndex(3)),
             Instruction::InstanceOf(ConstIndex(3)),
             Instruction::Simple(Opcode::Return),
@@ -641,13 +664,22 @@ mod tests {
     #[test]
     fn unknown_opcode_rejected() {
         let err = decode_code(&[0xcb]).unwrap_err();
-        assert!(matches!(err, ClassReadError::UnknownOpcode { opcode: 0xcb, pc: 0 }));
+        assert!(matches!(
+            err,
+            ClassReadError::UnknownOpcode {
+                opcode: 0xcb,
+                pc: 0
+            }
+        ));
     }
 
     #[test]
     fn truncated_operands_rejected() {
         let err = decode_code(&[Opcode::Sipush.byte(), 0x01]).unwrap_err();
-        assert!(matches!(err, ClassReadError::TruncatedInstruction { pc: 0 }));
+        assert!(matches!(
+            err,
+            ClassReadError::TruncatedInstruction { pc: 0 }
+        ));
     }
 
     #[test]
@@ -661,12 +693,14 @@ mod tests {
         // goto -3 at pc 0: the absolute target is -3, not 4294967293.
         let err = decode_code(&[Opcode::Goto.byte(), 0xff, 0xfd]).unwrap_err();
         assert!(
-            matches!(err, ClassReadError::BranchTargetOutOfRange { pc: 0, target: -3 }),
+            matches!(
+                err,
+                ClassReadError::BranchTargetOutOfRange { pc: 0, target: -3 }
+            ),
             "got {err:?}"
         );
         // goto_w with i32::MIN at pc 0.
-        let err =
-            decode_code(&[Opcode::GotoW.byte(), 0x80, 0x00, 0x00, 0x00]).unwrap_err();
+        let err = decode_code(&[Opcode::GotoW.byte(), 0x80, 0x00, 0x00, 0x00]).unwrap_err();
         assert!(matches!(
             err,
             ClassReadError::BranchTargetOutOfRange { pc: 0, target: t } if t == i32::MIN as i64
@@ -683,7 +717,10 @@ mod tests {
         bytes.extend_from_slice(&0i32.to_be_bytes()); // high
         bytes.extend_from_slice(&0i32.to_be_bytes()); // target[0]
         let err = decode_code(&bytes).unwrap_err();
-        assert!(matches!(err, ClassReadError::BranchTargetOutOfRange { pc: 0, target: -8 }));
+        assert!(matches!(
+            err,
+            ClassReadError::BranchTargetOutOfRange { pc: 0, target: -8 }
+        ));
 
         // lookupswitch at pc 0, default = 0, one pair whose target is -1.
         let mut bytes = vec![Opcode::Lookupswitch.byte(), 0, 0, 0];
@@ -692,7 +729,10 @@ mod tests {
         bytes.extend_from_slice(&7i32.to_be_bytes()); // key
         bytes.extend_from_slice(&(-1i32).to_be_bytes()); // target
         let err = decode_code(&bytes).unwrap_err();
-        assert!(matches!(err, ClassReadError::BranchTargetOutOfRange { pc: 0, target: -1 }));
+        assert!(matches!(
+            err,
+            ClassReadError::BranchTargetOutOfRange { pc: 0, target: -1 }
+        ));
     }
 
     #[test]

@@ -33,9 +33,9 @@ pub mod descriptor;
 pub mod error;
 pub mod flags;
 pub mod instruction;
+mod mutf8;
 pub mod opcode;
 pub mod printer;
-mod mutf8;
 mod reader;
 mod writer;
 

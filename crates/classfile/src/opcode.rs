@@ -295,7 +295,10 @@ impl Opcode {
     /// Returns `true` for the conditional and unconditional branch opcodes
     /// (not including switches).
     pub fn is_branch(self) -> bool {
-        matches!(self.operand_kind(), OperandKind::Branch2 | OperandKind::Branch4)
+        matches!(
+            self.operand_kind(),
+            OperandKind::Branch2 | OperandKind::Branch4
+        )
     }
 
     /// Returns `true` for the six `*return` opcodes.

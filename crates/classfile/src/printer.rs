@@ -79,7 +79,11 @@ pub fn disassemble(class: &ClassFile) -> String {
         let mdesc = cp.utf8_text(m.descriptor).unwrap_or("<bad descriptor>");
         let sig = match MethodDescriptor::parse(mdesc) {
             Ok(d) => {
-                let ret = d.ret.as_ref().map(FieldType::to_java).unwrap_or_else(|| "void".into());
+                let ret = d
+                    .ret
+                    .as_ref()
+                    .map(FieldType::to_java)
+                    .unwrap_or_else(|| "void".into());
                 let params: Vec<String> = d.params.iter().map(FieldType::to_java).collect();
                 format!("{ret} {mname}({})", params.join(", "))
             }
@@ -196,9 +200,11 @@ mod tests {
         let mut builder = ClassFile::builder("M1436188543")
             .flags(ClassAccess::SUPER)
             .super_class("java/lang/Object");
-        let out_ref = builder
-            .constant_pool_mut()
-            .field_ref("java/lang/System", "out", "Ljava/io/PrintStream;");
+        let out_ref = builder.constant_pool_mut().field_ref(
+            "java/lang/System",
+            "out",
+            "Ljava/io/PrintStream;",
+        );
         let println_ref = builder.constant_pool_mut().method_ref(
             "java/io/PrintStream",
             "println",

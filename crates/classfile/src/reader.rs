@@ -19,7 +19,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn eof(&self, context: &'static str) -> ClassReadError {
-        ClassReadError::UnexpectedEof { offset: self.pos, context }
+        ClassReadError::UnexpectedEof {
+            offset: self.pos,
+            context,
+        }
     }
 
     fn u1(&mut self, ctx: &'static str) -> Result<u8, ClassReadError> {
@@ -104,8 +107,7 @@ fn read_constant_pool(c: &mut Cursor<'_>) -> Result<ConstantPool, ClassReadError
             1 => {
                 let len = c.u2("Utf8 length")? as usize;
                 let raw = c.take(len, "Utf8 bytes")?;
-                let text =
-                    mutf8::decode(raw).ok_or(ClassReadError::InvalidUtf8 { index })?;
+                let text = mutf8::decode(raw).ok_or(ClassReadError::InvalidUtf8 { index })?;
                 Constant::Utf8(text)
             }
             3 => Constant::Integer(c.u4("Integer")? as i32),
@@ -138,7 +140,10 @@ fn read_constant_pool(c: &mut Cursor<'_>) -> Result<ConstantPool, ClassReadError
                 ConstIndex(c.u2("NameAndType name")?),
                 ConstIndex(c.u2("NameAndType descriptor")?),
             ),
-            15 => Constant::MethodHandle(c.u1("MethodHandle kind")?, ConstIndex(c.u2("MethodHandle ref")?)),
+            15 => Constant::MethodHandle(
+                c.u1("MethodHandle kind")?,
+                ConstIndex(c.u2("MethodHandle ref")?),
+            ),
             16 => Constant::MethodType(ConstIndex(c.u2("MethodType")?)),
             18 => Constant::InvokeDynamic(
                 c.u2("InvokeDynamic bootstrap")?,
@@ -158,7 +163,12 @@ fn read_field(c: &mut Cursor<'_>, cp: &ConstantPool) -> Result<FieldInfo, ClassR
     let name = ConstIndex(c.u2("field name")?);
     let descriptor = ConstIndex(c.u2("field descriptor")?);
     let attributes = read_attributes(c, cp)?;
-    Ok(FieldInfo { access, name, descriptor, attributes })
+    Ok(FieldInfo {
+        access,
+        name,
+        descriptor,
+        attributes,
+    })
 }
 
 fn read_method(c: &mut Cursor<'_>, cp: &ConstantPool) -> Result<MethodInfo, ClassReadError> {
@@ -166,7 +176,12 @@ fn read_method(c: &mut Cursor<'_>, cp: &ConstantPool) -> Result<MethodInfo, Clas
     let name = ConstIndex(c.u2("method name")?);
     let descriptor = ConstIndex(c.u2("method descriptor")?);
     let attributes = read_attributes(c, cp)?;
-    Ok(MethodInfo { access, name, descriptor, attributes })
+    Ok(MethodInfo {
+        access,
+        name,
+        descriptor,
+        attributes,
+    })
 }
 
 fn read_attributes(
@@ -182,8 +197,10 @@ fn read_attributes(
         let name = cp.utf8_text(name_idx);
         let attr = match name {
             Some("Code") => read_code(data, cp)?,
-            Some("Exceptions") => read_exceptions(data)
-                .unwrap_or(Attribute::Unknown { name: name_idx, data: data.to_vec() }),
+            Some("Exceptions") => read_exceptions(data).unwrap_or(Attribute::Unknown {
+                name: name_idx,
+                data: data.to_vec(),
+            }),
             Some("ConstantValue") if data.len() == 2 => {
                 Attribute::ConstantValue(ConstIndex(u16::from_be_bytes([data[0], data[1]])))
             }
@@ -193,11 +210,16 @@ fn read_attributes(
             Some("Signature") if data.len() == 2 => {
                 Attribute::Signature(ConstIndex(u16::from_be_bytes([data[0], data[1]])))
             }
-            Some("InnerClasses") => read_inner_classes(data)
-                .unwrap_or(Attribute::Unknown { name: name_idx, data: data.to_vec() }),
+            Some("InnerClasses") => read_inner_classes(data).unwrap_or(Attribute::Unknown {
+                name: name_idx,
+                data: data.to_vec(),
+            }),
             Some("Synthetic") if data.is_empty() => Attribute::Synthetic,
             Some("Deprecated") if data.is_empty() => Attribute::Deprecated,
-            _ => Attribute::Unknown { name: name_idx, data: data.to_vec() },
+            _ => Attribute::Unknown {
+                name: name_idx,
+                data: data.to_vec(),
+            },
         };
         out.push(attr);
     }
@@ -241,7 +263,10 @@ fn read_exceptions(data: &[u8]) -> Option<Attribute> {
     }
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
-        out.push(ConstIndex(u16::from_be_bytes([data[2 + i * 2], data[3 + i * 2]])));
+        out.push(ConstIndex(u16::from_be_bytes([
+            data[2 + i * 2],
+            data[3 + i * 2],
+        ])));
     }
     Some(Attribute::Exceptions(out))
 }

@@ -21,7 +21,10 @@ fn header_bytes_are_exact() {
 #[test]
 fn empty_input_and_truncations_fail_cleanly() {
     assert!(ClassFile::from_bytes(&[]).is_err());
-    let full = ClassFile::builder("A").super_class("java/lang/Object").build().to_bytes();
+    let full = ClassFile::builder("A")
+        .super_class("java/lang/Object")
+        .build()
+        .to_bytes();
     for cut in 1..full.len() {
         assert!(
             ClassFile::from_bytes(&full[..cut]).is_err(),
@@ -84,7 +87,12 @@ fn exception_table_roundtrip() {
         .method(MethodAccess::STATIC, "m", "()V", code)
         .build();
     let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
-    let table = &parsed.find_method("m", "()V").unwrap().code().unwrap().exception_table;
+    let table = &parsed
+        .find_method("m", "()V")
+        .unwrap()
+        .code()
+        .unwrap()
+        .exception_table;
     assert_eq!(table.len(), 1);
     assert_eq!(table[0].end_pc, 1);
 }
@@ -94,7 +102,10 @@ fn unknown_attributes_are_preserved_verbatim() {
     let mut builder = ClassFile::builder("Attrs");
     let name = builder.constant_pool_mut().utf8("MadeUpAttribute");
     let mut class = builder.build();
-    class.attributes.push(Attribute::Unknown { name, data: vec![1, 2, 3, 4] });
+    class.attributes.push(Attribute::Unknown {
+        name,
+        data: vec![1, 2, 3, 4],
+    });
     let parsed = ClassFile::from_bytes(&class.to_bytes()).unwrap();
     assert!(matches!(
         &parsed.attributes[0],
@@ -132,10 +143,8 @@ fn instruction_strategy() -> impl Strategy<Value = Instruction> {
         (1u16..=9000).prop_map(|i| Instruction::LdcW(ConstIndex(i))),
         (0u16..=1000).prop_map(|i| Instruction::Local(Opcode::Iload, i)),
         (0u16..=1000).prop_map(|i| Instruction::Local(Opcode::Astore, i)),
-        (0u16..400u16, -2000i16..2000).prop_map(|(index, delta)| Instruction::Iinc {
-            index,
-            delta
-        }),
+        (0u16..400u16, -2000i16..2000)
+            .prop_map(|(index, delta)| Instruction::Iinc { index, delta }),
         (1u16..2000).prop_map(|i| Instruction::Field(Opcode::Getstatic, ConstIndex(i))),
         (1u16..2000).prop_map(|i| Instruction::Invoke(Opcode::Invokevirtual, ConstIndex(i))),
         (1u16..2000, 1u8..20).prop_map(|(i, count)| Instruction::InvokeInterface {

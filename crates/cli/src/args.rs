@@ -62,9 +62,12 @@ impl Parsed {
     pub fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flag(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name} expects a {}, got {v:?}", std::any::type_name::<T>())),
+            Some(v) => v.parse().map_err(|_| {
+                format!(
+                    "--{name} expects a {}, got {v:?}",
+                    std::any::type_name::<T>()
+                )
+            }),
         }
     }
 }
@@ -130,7 +133,10 @@ mod tests {
         let parsed = p(&["fuzz", "--jobs", "4"]).unwrap();
         assert_eq!(parsed.flag_parse("jobs", 1usize).unwrap(), 4);
         assert_eq!(p(&["fuzz"]).unwrap().flag_parse("jobs", 1usize).unwrap(), 1);
-        assert!(p(&["fuzz", "--jobs", "many"]).unwrap().flag_parse("jobs", 1usize).is_err());
+        assert!(p(&["fuzz", "--jobs", "many"])
+            .unwrap()
+            .flag_parse("jobs", 1usize)
+            .is_err());
     }
 
     #[test]

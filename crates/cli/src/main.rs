@@ -125,7 +125,11 @@ fn diff(path: &Path) -> Result<(), String> {
     let vector = harness.run(&bytes);
     println!(
         "encoded: {vector}{}",
-        if vector.is_discrepancy() { "  [DISCREPANCY]" } else { "" }
+        if vector.is_discrepancy() {
+            "  [DISCREPANCY]"
+        } else {
+            ""
+        }
     );
     for (jvm, outcome) in harness.jvms().iter().zip(vector.outcomes()) {
         println!("  {:22} {outcome}", jvm.spec().name);

@@ -46,7 +46,11 @@ fn missing_file_is_a_clean_error() {
 fn seeds_then_disasm_run_diff_jimple() {
     let dir = temp_dir("seeds");
     let out = classfuzz(&["seeds", "--out", dir.to_str().unwrap(), "--count", "5"]);
-    assert!(out.status.success(), "seeds failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "seeds failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let mut classfiles: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
@@ -85,13 +89,20 @@ fn fuzz_writes_triggers_and_reduce_minimizes_one() {
         "--out",
         dir.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "fuzz failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "fuzz failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let triggers: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
         .filter(|p| p.extension().is_some_and(|e| e == "class"))
         .collect();
-    assert!(!triggers.is_empty(), "a 250-iteration campaign should find triggers");
+    assert!(
+        !triggers.is_empty(),
+        "a 250-iteration campaign should find triggers"
+    );
 
     // Every written trigger must re-trigger when replayed through `diff`.
     let first = triggers[0].to_str().unwrap();
@@ -117,7 +128,12 @@ fn fuzz_writes_triggers_and_reduce_minimizes_one() {
 fn reduce_refuses_non_triggering_input() {
     let dir = temp_dir("noreduce");
     classfuzz(&["seeds", "--out", dir.to_str().unwrap(), "--count", "1"]);
-    let file = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    let file = std::fs::read_dir(&dir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
     let out = classfuzz(&["reduce", file.to_str().unwrap()]);
     // Seed #0 is a valid class: no discrepancy and no crash, reduce must
     // decline.

@@ -40,10 +40,7 @@ impl SuiteEvaluation {
 }
 
 /// Runs every classfile through the harness and aggregates the outcomes.
-pub fn evaluate_suite(
-    harness: &DifferentialHarness,
-    classes: &[Vec<u8>],
-) -> SuiteEvaluation {
+pub fn evaluate_suite(harness: &DifferentialHarness, classes: &[Vec<u8>]) -> SuiteEvaluation {
     let vm_count = harness.jvms().len();
     let mut eval = SuiteEvaluation {
         per_vm_phase: vec![[0; 5]; vm_count],
@@ -107,9 +104,7 @@ mod tests {
     fn per_vm_histogram_sums_to_total() {
         let harness = DifferentialHarness::paper_five();
         let classes: Vec<Vec<u8>> = (0..4)
-            .map(|i| {
-                lower_class(&IrClass::with_hello_main(format!("h/C{i}"), "x")).to_bytes()
-            })
+            .map(|i| lower_class(&IrClass::with_hello_main(format!("h/C{i}"), "x")).to_bytes())
             .collect();
         let eval = evaluate_suite(&harness, &classes);
         for vm in &eval.per_vm_phase {

@@ -37,7 +37,11 @@ impl OutcomeVector {
     /// The category key: two discrepancies with the same key are "one
     /// distinct discrepancy" in the paper's counting.
     pub fn key(&self) -> String {
-        self.encoded().iter().map(u8::to_string).collect::<Vec<_>>().join("")
+        self.encoded()
+            .iter()
+            .map(u8::to_string)
+            .collect::<Vec<_>>()
+            .join("")
     }
 
     /// A discrepancy: the sequence is not all the same digit.
@@ -92,7 +96,9 @@ pub struct DifferentialHarness {
 impl DifferentialHarness {
     /// Builds a harness from explicit profiles.
     pub fn new(specs: Vec<VmSpec>) -> DifferentialHarness {
-        DifferentialHarness { jvms: specs.into_iter().map(Jvm::new).collect() }
+        DifferentialHarness {
+            jvms: specs.into_iter().map(Jvm::new).collect(),
+        }
     }
 
     /// The paper's Table 3 lineup: HotSpot 7/8/9, J9, GIJ.
@@ -113,14 +119,20 @@ impl DifferentialHarness {
     /// Runs one classfile on every JVM.
     pub fn run(&self, class_bytes: &[u8]) -> OutcomeVector {
         OutcomeVector::new(
-            self.jvms.iter().map(|j| j.run(class_bytes).outcome).collect(),
+            self.jvms
+                .iter()
+                .map(|j| j.run(class_bytes).outcome)
+                .collect(),
         )
     }
 
     /// Runs a classfile and also reports, per JVM, the phase digit — a
     /// convenience for Table 7-style per-VM histograms.
     pub fn run_phases(&self, class_bytes: &[u8]) -> Vec<Phase> {
-        self.jvms.iter().map(|j| j.run(class_bytes).outcome.phase()).collect()
+        self.jvms
+            .iter()
+            .map(|j| j.run(class_bytes).outcome.phase())
+            .collect()
     }
 }
 
@@ -174,8 +186,7 @@ mod tests {
     fn crash_digit_never_collides_with_clean_rejection() {
         // Both columns stopped in linking, but one *crashed* there: the
         // vector must stay a discrepancy with the crash digit visible.
-        let clean =
-            Outcome::rejected(Phase::Linking, classfuzz_vm::JvmErrorKind::VerifyError, "x");
+        let clean = Outcome::rejected(Phase::Linking, classfuzz_vm::JvmErrorKind::VerifyError, "x");
         let crashed = Outcome::crashed(Phase::Linking, "panicked at verifier.rs:1: boom");
         let v = OutcomeVector::new(vec![
             clean.clone(),

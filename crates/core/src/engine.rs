@@ -214,7 +214,11 @@ pub struct EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.shard_id {
-            Some(id) => write!(f, "shard {id} failed in round {}: {}", self.round, self.message)?,
+            Some(id) => write!(
+                f,
+                "shard {id} failed in round {}: {}",
+                self.round, self.message
+            )?,
             None => write!(f, "engine failed in round {}: {}", self.round, self.message)?,
         }
         match &self.last_candidate {
@@ -269,7 +273,10 @@ impl CampaignResult {
 
     /// Bytes of the accepted test classes.
     pub fn test_bytes(&self) -> Vec<Vec<u8>> {
-        self.test_classes.iter().map(|&i| self.gen_classes[i].bytes.clone()).collect()
+        self.test_classes
+            .iter()
+            .map(|&i| self.gen_classes[i].bytes.clone())
+            .collect()
     }
 
     /// Average seconds spent per generated class (Table 4 row 5 analogue).
@@ -484,7 +491,13 @@ fn next_candidate(
         }
         None => (None, None),
     };
-    Produced::Candidate(Box::new(Candidate { class: mutant, bytes, mutator_id, trace, vm_crash }))
+    Produced::Candidate(Box::new(Candidate {
+        class: mutant,
+        bytes,
+        mutator_id,
+        trace,
+        vm_crash,
+    }))
 }
 
 /// The acceptance decision (coordinator-side in a parallel run): does this
@@ -531,10 +544,13 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
             break;
         }
         executed += 1;
-        let cand = match next_candidate(&pool, seeds, &mutators, &mut selector, &mut rng, tracing)
-        {
+        let cand = match next_candidate(&pool, seeds, &mutators, &mut selector, &mut rng, tracing) {
             Produced::NotApplicable => continue,
-            Produced::MutatorCrash { mutator_id, input_bytes, detail } => {
+            Produced::MutatorCrash {
+                mutator_id,
+                input_bytes,
+                detail,
+            } => {
                 record_crash(
                     &mut crashes,
                     crash_dir,
@@ -693,7 +709,12 @@ pub fn run_campaign_parallel(
     let mut test_classes: Vec<usize> = Vec::new();
     let mut crashes: Vec<CrashRecord> = Vec::new();
     let mut shard_stats: Vec<ShardStats> = (0..num_shards)
-        .map(|shard_id| ShardStats { shard_id, iterations: 0, generated: 0, accepted: 0 })
+        .map(|shard_id| ShardStats {
+            shard_id,
+            iterations: 0,
+            generated: 0,
+            accepted: 0,
+        })
         .collect();
 
     // No seeds (empty pool) or no iterations: nothing to run. Returning
@@ -734,8 +755,7 @@ pub fn run_campaign_parallel(
                 // abort that loses the whole campaign's progress.
                 let shard_loop = || -> Vec<MutatorStats> {
                     let mutators: Vec<Mutator> = campaign_mutators(config);
-                    let mut rng =
-                        StdRng::seed_from_u64(shard_rng_seed(config.rng_seed, shard_id));
+                    let mut rng = StdRng::seed_from_u64(shard_rng_seed(config.rng_seed, shard_id));
                     let mut selector = make_selector(config, mutators.len());
                     let shard_reference = Jvm::new(VmSpec::hotspot9());
                     let shard_tracing = tracing.then_some(&shard_reference);
@@ -757,8 +777,16 @@ pub fn run_campaign_parallel(
                                 (Work::Generated(c), Some(id))
                             }
                             Produced::NotApplicable => (Work::NoCandidate, None),
-                            Produced::MutatorCrash { mutator_id, input_bytes, detail } => (
-                                Work::MutatorCrash { mutator_id, input_bytes, detail },
+                            Produced::MutatorCrash {
+                                mutator_id,
+                                input_bytes,
+                                detail,
+                            } => (
+                                Work::MutatorCrash {
+                                    mutator_id,
+                                    input_bytes,
+                                    detail,
+                                },
                                 None,
                             ),
                         };
@@ -780,7 +808,10 @@ pub fn run_campaign_parallel(
                 match run_contained(shard_loop) {
                     Ok(stats) => stats,
                     Err(detail) => {
-                        let _ = report_tx.send(Report { shard_id, work: Work::ShardDied(detail) });
+                        let _ = report_tx.send(Report {
+                            shard_id,
+                            work: Work::ShardDied(detail),
+                        });
                         Vec::new()
                     }
                 }
@@ -838,7 +869,11 @@ pub fn run_campaign_parallel(
                 match work {
                     Work::NoCandidate => {}
                     Work::ShardDied(_) => {} // handled at receive time
-                    Work::MutatorCrash { mutator_id, input_bytes, detail } => {
+                    Work::MutatorCrash {
+                        mutator_id,
+                        input_bytes,
+                        detail,
+                    } => {
                         record_crash(
                             &mut crashes,
                             crash_dir,
@@ -941,36 +976,32 @@ mod tests {
         let cfg = CampaignConfig::new(Algorithm::Randfuzz, 60, 1);
         let result = run_campaign(&seeds, &cfg);
         assert_eq!(result.test_classes.len(), result.gen_classes.len());
-        assert!(result.success_rate() > 0.5, "most iterations should generate");
+        assert!(
+            result.success_rate() > 0.5,
+            "most iterations should generate"
+        );
     }
 
     #[test]
     fn classfuzz_rejects_coverage_duplicates() {
         let seeds = small_seeds();
-        let cfg = CampaignConfig::new(
-            Algorithm::Classfuzz(UniquenessCriterion::StBr),
-            120,
-            2,
-        );
+        let cfg = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 120, 2);
         let result = run_campaign(&seeds, &cfg);
         assert!(
             result.test_classes.len() < result.gen_classes.len(),
             "uniqueness must reject some mutants"
         );
-        assert!(!result.test_classes.is_empty(), "some mutants must be representative");
+        assert!(
+            !result.test_classes.is_empty(),
+            "some mutants must be representative"
+        );
     }
 
     #[test]
     fn greedy_accepts_fewest() {
         let seeds = small_seeds();
-        let unique = run_campaign(
-            &seeds,
-            &CampaignConfig::new(Algorithm::Uniquefuzz, 150, 3),
-        );
-        let greedy = run_campaign(
-            &seeds,
-            &CampaignConfig::new(Algorithm::Greedyfuzz, 150, 3),
-        );
+        let unique = run_campaign(&seeds, &CampaignConfig::new(Algorithm::Uniquefuzz, 150, 3));
+        let greedy = run_campaign(&seeds, &CampaignConfig::new(Algorithm::Greedyfuzz, 150, 3));
         assert!(
             greedy.test_classes.len() < unique.test_classes.len(),
             "greedy ({}) should accept fewer than unique ({})",
@@ -982,11 +1013,7 @@ mod tests {
     #[test]
     fn campaigns_are_deterministic_mod_timing() {
         let seeds = small_seeds();
-        let cfg = CampaignConfig::new(
-            Algorithm::Classfuzz(UniquenessCriterion::StBr),
-            80,
-            7,
-        );
+        let cfg = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 80, 7);
         let a = run_campaign(&seeds, &cfg);
         let b = run_campaign(&seeds, &cfg);
         assert_eq!(a.test_classes, b.test_classes);
@@ -1000,11 +1027,7 @@ mod tests {
     #[test]
     fn mcmc_stats_track_successes() {
         let seeds = small_seeds();
-        let cfg = CampaignConfig::new(
-            Algorithm::Classfuzz(UniquenessCriterion::StBr),
-            100,
-            11,
-        );
+        let cfg = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 100, 11);
         let result = run_campaign(&seeds, &cfg);
         let total_selected: u64 = result.mutator_stats.iter().map(|s| s.selected).sum();
         let total_successes: u64 = result.mutator_stats.iter().map(|s| s.successes).sum();
@@ -1035,8 +1058,17 @@ mod tests {
         let chaos_id = campaign_mutators(&cfg).len() - 1;
         for crash in &result.crashes {
             assert_eq!(crash.shard_id, 0);
-            assert_eq!(crash.site, CrashSite::Mutator { mutator_id: chaos_id });
-            assert!(crash.detail.contains("chaos mutator"), "detail: {}", crash.detail);
+            assert_eq!(
+                crash.site,
+                CrashSite::Mutator {
+                    mutator_id: chaos_id
+                }
+            );
+            assert!(
+                crash.detail.contains("chaos mutator"),
+                "detail: {}",
+                crash.detail
+            );
             assert!(
                 classfuzz_classfile::ClassFile::from_bytes(&crash.bytes).is_ok(),
                 "the pre-mutation reproducer must be a decodable classfile"
@@ -1074,7 +1106,10 @@ mod tests {
         for (i, crash) in result.crashes.iter().enumerate() {
             let class = dir.join(format!("crash_{i:04}_{}.class", crash.site.label()));
             let sidecar = class.with_extension("txt");
-            assert_eq!(std::fs::read(&class).ok().as_deref(), Some(crash.bytes.as_slice()));
+            assert_eq!(
+                std::fs::read(&class).ok().as_deref(),
+                Some(crash.bytes.as_slice())
+            );
             let notes = std::fs::read_to_string(&sidecar).expect("sidecar written");
             assert!(notes.contains(&crash.detail));
         }

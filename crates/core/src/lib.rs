@@ -43,7 +43,7 @@ pub mod seeds;
 pub use analyze::{evaluate_suite, SuiteEvaluation};
 pub use diff::{DifferentialHarness, OutcomeVector};
 pub use engine::{
-    run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig,
-    CampaignResult, CrashRecord, CrashSite, EngineError, GeneratedClass, ShardStats,
+    run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult,
+    CrashRecord, CrashSite, EngineError, GeneratedClass, ShardStats,
 };
 pub use seeds::SeedCorpus;

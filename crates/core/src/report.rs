@@ -36,9 +36,16 @@ pub fn mutator_series(stats: &[MutatorStats], mutators: &[Mutator]) -> Vec<Mutat
         .enumerate()
         .map(|(id, s)| MutatorPoint {
             id,
-            name: mutators.get(id).map(|m| m.name.clone()).unwrap_or_else(|| format!("#{id}")),
+            name: mutators
+                .get(id)
+                .map(|m| m.name.clone())
+                .unwrap_or_else(|| format!("#{id}")),
             success_rate: s.success_rate(),
-            frequency: if total == 0 { 0.0 } else { s.selected as f64 / total as f64 },
+            frequency: if total == 0 {
+                0.0
+            } else {
+                s.selected as f64 / total as f64
+            },
             selected: s.selected,
             successes: s.successes,
         })
@@ -71,24 +78,39 @@ pub fn format_table4(rows: &[CampaignResult]) -> String {
     let _ = writeln!(
         out,
         "{}",
-        line("#iterations", rows.iter().map(|r| r.iterations.to_string()).collect())
+        line(
+            "#iterations",
+            rows.iter().map(|r| r.iterations.to_string()).collect()
+        )
     );
     let _ = writeln!(
         out,
         "{}",
-        line("|GenClasses|", rows.iter().map(|r| r.gen_classes.len().to_string()).collect())
+        line(
+            "|GenClasses|",
+            rows.iter()
+                .map(|r| r.gen_classes.len().to_string())
+                .collect()
+        )
     );
     let _ = writeln!(
         out,
         "{}",
-        line("|TestClasses|", rows.iter().map(|r| r.test_classes.len().to_string()).collect())
+        line(
+            "|TestClasses|",
+            rows.iter()
+                .map(|r| r.test_classes.len().to_string())
+                .collect()
+        )
     );
     let _ = writeln!(
         out,
         "{}",
         line(
             "succ",
-            rows.iter().map(|r| format!("{:.1}%", r.success_rate() * 100.0)).collect()
+            rows.iter()
+                .map(|r| format!("{:.1}%", r.success_rate() * 100.0))
+                .collect()
         )
     );
     let _ = writeln!(
@@ -96,7 +118,9 @@ pub fn format_table4(rows: &[CampaignResult]) -> String {
         "{}",
         line(
             "avg time per generated class (ms)",
-            rows.iter().map(|r| format!("{:.2}", r.secs_per_generated() * 1e3)).collect()
+            rows.iter()
+                .map(|r| format!("{:.2}", r.secs_per_generated() * 1e3))
+                .collect()
         )
     );
     let _ = writeln!(
@@ -104,7 +128,9 @@ pub fn format_table4(rows: &[CampaignResult]) -> String {
         "{}",
         line(
             "avg time per test class (ms)",
-            rows.iter().map(|r| format!("{:.2}", r.secs_per_test() * 1e3)).collect()
+            rows.iter()
+                .map(|r| format!("{:.2}", r.secs_per_test() * 1e3))
+                .collect()
         )
     );
     out
@@ -114,8 +140,16 @@ pub fn format_table4(rows: &[CampaignResult]) -> String {
 pub fn format_table5(result: &CampaignResult, mutators: &[Mutator]) -> String {
     let series = mutator_series(&result.mutator_stats, mutators);
     let mut out = String::new();
-    let _ = writeln!(out, "Table 5: Top ten mutators ({})", result.algorithm.label());
-    let _ = writeln!(out, "{:<58} {:>10} {:>10}", "Mutator", "Succ rate", "Frequency");
+    let _ = writeln!(
+        out,
+        "Table 5: Top ten mutators ({})",
+        result.algorithm.label()
+    );
+    let _ = writeln!(
+        out,
+        "{:<58} {:>10} {:>10}",
+        "Mutator", "Succ rate", "Frequency"
+    );
     for p in series.iter().filter(|p| p.selected > 0).take(10) {
         let _ = writeln!(
             out,
@@ -228,16 +262,16 @@ mod tests {
             assert!(pair[0].success_rate >= pair[1].success_rate);
         }
         let freq_sum: f64 = series.iter().map(|p| p.frequency).sum();
-        assert!((freq_sum - 1.0).abs() < 1e-9, "frequencies sum to 1, got {freq_sum}");
+        assert!(
+            (freq_sum - 1.0).abs() < 1e-9,
+            "frequencies sum to 1, got {freq_sum}"
+        );
     }
 
     #[test]
     fn tables_render_nonempty() {
         let seeds = SeedCorpus::generate(6, 1).into_classes();
-        let result = run_campaign(
-            &seeds,
-            &CampaignConfig::new(Algorithm::Randfuzz, 20, 2),
-        );
+        let result = run_campaign(&seeds, &CampaignConfig::new(Algorithm::Randfuzz, 20, 2));
         let mutators = registry::all_mutators();
         let t4 = format_table4(std::slice::from_ref(&result));
         assert!(t4.contains("randfuzz"));
@@ -246,7 +280,10 @@ mod tests {
         assert!(t5.contains("Top ten"));
         let harness = crate::diff::DifferentialHarness::paper_five();
         let eval = crate::analyze::evaluate_suite(&harness, &result.test_bytes());
-        let t6 = format_table6(&[Table6Row { label: "randfuzz".into(), eval: eval.clone() }]);
+        let t6 = format_table6(&[Table6Row {
+            label: "randfuzz".into(),
+            eval: eval.clone(),
+        }]);
         assert!(t6.contains("diff"));
         let t7 = format_table7(&eval, &harness.names());
         assert!(t7.contains("Rejected during the linking phase"));

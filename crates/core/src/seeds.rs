@@ -88,15 +88,17 @@ fn arithmetic_class(name: &str, rng: &mut StdRng) -> IrClass {
     class.methods.push(default_constructor("java/lang/Object"));
     let a = rng.gen_range(1..100);
     let b = rng.gen_range(1..100);
-    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Xor]
-        [rng.gen_range(0..5usize)];
+    let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Xor][rng.gen_range(0..5usize)];
     let m = MethodBuilder::new("compute", MethodAccess::PUBLIC | MethodAccess::STATIC)
         .param(JType::Int)
         .returns(JType::Int)
         .local("x", JType::Int)
         .local("acc", JType::Int)
         .bind_param("x", 0)
-        .assign("acc", Expr::BinOp(op, JType::Int, Value::local("x"), Value::int(a)))
+        .assign(
+            "acc",
+            Expr::BinOp(op, JType::Int, Value::local("x"), Value::int(a)),
+        )
         .assign(
             "acc",
             Expr::BinOp(BinOp::Add, JType::Int, Value::local("acc"), Value::int(b)),
@@ -162,8 +164,14 @@ fn branchy_class(name: &str, rng: &mut StdRng) -> IrClass {
     let top = Label(0);
     let done = Label(1);
     body.stmts.extend([
-        Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
-        Stmt::Assign { target: Target::Local("sum".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::Use(Value::int(0)),
+        },
+        Stmt::Assign {
+            target: Target::Local("sum".into()),
+            value: Expr::Use(Value::int(0)),
+        },
         Stmt::Label(top),
         Stmt::If {
             op: CondOp::Ge,
@@ -173,7 +181,12 @@ fn branchy_class(name: &str, rng: &mut StdRng) -> IrClass {
         },
         Stmt::Assign {
             target: Target::Local("sum".into()),
-            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("sum"), Value::local("i")),
+            value: Expr::BinOp(
+                BinOp::Add,
+                JType::Int,
+                Value::local("sum"),
+                Value::local("i"),
+            ),
         },
         Stmt::Assign {
             target: Target::Local("i".into()),
@@ -228,7 +241,11 @@ fn branchy_class(name: &str, rng: &mut StdRng) -> IrClass {
 fn try_catch_class(name: &str, rng: &mut StdRng) -> IrClass {
     let mut class = IrClass::new(name);
     class.methods.push(default_constructor("java/lang/Object"));
-    let divisor = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(1..9) };
+    let divisor = if rng.gen_bool(0.5) {
+        0
+    } else {
+        rng.gen_range(1..9)
+    };
     let mut body = Body::new();
     body.declare("x", JType::Int);
     body.declare("$e", JType::object("java/lang/Throwable"));
@@ -246,7 +263,10 @@ fn try_catch_class(name: &str, rng: &mut StdRng) -> IrClass {
             target: Target::Local("$e".into()),
             value: Expr::CaughtException,
         },
-        Stmt::Assign { target: Target::Local("x".into()), value: Expr::Use(Value::int(-1)) },
+        Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::Use(Value::int(-1)),
+        },
         Stmt::Label(out),
         Stmt::Return(Some(Value::local("x"))),
     ]);
@@ -291,8 +311,14 @@ fn fieldful_class(name: &str, rng: &mut StdRng) -> IrClass {
     let m = MethodBuilder::new("bump", MethodAccess::PUBLIC | MethodAccess::STATIC)
         .returns(JType::Int)
         .local("c", JType::Int)
-        .assign("c", Expr::StaticField(name.to_string(), "counter".into(), JType::Int))
-        .assign("c", Expr::BinOp(BinOp::Add, JType::Int, Value::local("c"), Value::int(1)))
+        .assign(
+            "c",
+            Expr::StaticField(name.to_string(), "counter".into(), JType::Int),
+        )
+        .assign(
+            "c",
+            Expr::BinOp(BinOp::Add, JType::Int, Value::local("c"), Value::int(1)),
+        )
         .stmt(Stmt::Assign {
             target: Target::StaticField(name.to_string(), "counter".into(), JType::Int),
             value: Expr::Use(Value::local("c")),
@@ -337,14 +363,20 @@ fn abstract_seed(name: &str, rng: &mut StdRng) -> IrClass {
     ));
     if rng.gen_bool(0.5) {
         class.interfaces.push("java/lang/Runnable".into());
-        let m = MethodBuilder::new("run", MethodAccess::PUBLIC).ret().build();
+        let m = MethodBuilder::new("run", MethodAccess::PUBLIC)
+            .ret()
+            .build();
         class.methods.push(m);
     }
     class
 }
 
 fn subclass_seed(name: &str, rng: &mut StdRng) -> IrClass {
-    let supers = ["java/lang/Thread", "java/lang/Exception", "java/util/HashMap"];
+    let supers = [
+        "java/lang/Thread",
+        "java/lang/Exception",
+        "java/util/HashMap",
+    ];
     let sup = supers[rng.gen_range(0..supers.len())];
     let mut class = IrClass::new(name);
     class.super_class = Some(sup.to_string());
@@ -384,8 +416,14 @@ fn array_class(name: &str, rng: &mut StdRng) -> IrClass {
             target: Target::ArrayElem(JType::Int, Value::local("a"), Value::int(0)),
             value: Expr::Use(Value::int(rng.gen_range(1..50))),
         },
-        Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
-        Stmt::Assign { target: Target::Local("sum".into()), value: Expr::Use(Value::int(0)) },
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::Use(Value::int(0)),
+        },
+        Stmt::Assign {
+            target: Target::Local("sum".into()),
+            value: Expr::Use(Value::int(0)),
+        },
         Stmt::Label(top),
         Stmt::If {
             op: CondOp::Ge,
@@ -456,7 +494,12 @@ fn casting_class(name: &str, rng: &mut StdRng) -> IrClass {
             target: Target::Local("b".into()),
             value: Expr::InstanceOf("java/lang/Runnable".into(), Value::local("o")),
         },
-        Stmt::If { op: CondOp::Eq, a: Value::local("b"), b: None, target: skip },
+        Stmt::If {
+            op: CondOp::Eq,
+            a: Value::local("b"),
+            b: None,
+            target: skip,
+        },
         Stmt::Assign {
             target: Target::Local("t".into()),
             value: Expr::Cast(JType::object("java/lang/Thread"), Value::local("o")),
@@ -466,7 +509,12 @@ fn casting_class(name: &str, rng: &mut StdRng) -> IrClass {
     ]);
     class.methods.push(IrMethod {
         access: MethodAccess::PUBLIC | MethodAccess::STATIC,
-        name: if rng.gen_bool(0.5) { "probe" } else { "classify" }.into(),
+        name: if rng.gen_bool(0.5) {
+            "probe"
+        } else {
+            "classify"
+        }
+        .into(),
         params: vec![],
         ret: Some(JType::Int),
         exceptions: vec![],
@@ -534,17 +582,23 @@ fn environment_sensitive_class(name: &str, rng: &mut StdRng) -> IrClass {
         0 => {
             // Extends a class removed after JRE 7.
             class.super_class = Some("jre/ext/LegacySupport".into());
-            class.methods.push(default_constructor("jre/ext/LegacySupport"));
+            class
+                .methods
+                .push(default_constructor("jre/ext/LegacySupport"));
         }
         1 => {
             // Extends a class that turned final in JRE 8 — the EnumEditor case.
             class.super_class = Some("jre/beans/AbstractEditor".into());
-            class.methods.push(default_constructor("jre/beans/AbstractEditor"));
+            class
+                .methods
+                .push(default_constructor("jre/beans/AbstractEditor"));
         }
         _ => {
             // Extends a class added in JRE 8.
             class.super_class = Some("jre/util/StreamKit".into());
-            class.methods.push(default_constructor("jre/util/StreamKit"));
+            class
+                .methods
+                .push(default_constructor("jre/util/StreamKit"));
         }
     }
     class
@@ -573,7 +627,11 @@ mod tests {
             if !c.is_interface() {
                 assert!(c.find_method("main").is_some(), "{} lacks main", c.name);
             }
-            assert!(names.insert(c.name.clone()), "duplicate seed name {}", c.name);
+            assert!(
+                names.insert(c.name.clone()),
+                "duplicate seed name {}",
+                c.name
+            );
         }
     }
 
@@ -601,13 +659,18 @@ mod tests {
         let jvms: Vec<Jvm> = VmSpec::all_five().into_iter().map(Jvm::new).collect();
         let mut discrepancies = 0;
         for bytes in corpus.to_bytes() {
-            let phases: Vec<u8> =
-                jvms.iter().map(|j| j.run(&bytes).outcome.phase().code()).collect();
+            let phases: Vec<u8> = jvms
+                .iter()
+                .map(|j| j.run(&bytes).outcome.phase().code())
+                .collect();
             if phases.iter().any(|&p| p != phases[0]) {
                 discrepancies += 1;
             }
         }
-        assert!(discrepancies > 0, "no environment discrepancies in the seed corpus");
+        assert!(
+            discrepancies > 0,
+            "no environment discrepancies in the seed corpus"
+        );
         assert!(
             discrepancies * 100 / 150 < 20,
             "too many baseline discrepancies: {discrepancies}/150"

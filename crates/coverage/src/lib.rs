@@ -107,7 +107,10 @@ impl TraceFile {
 
     /// The `(stmt, br)` coverage statistics.
     pub fn stats(&self) -> CoverageStats {
-        CoverageStats { stmt: self.stmts.len(), br: self.branches.len() }
+        CoverageStats {
+            stmt: self.stmts.len(),
+            br: self.branches.len(),
+        }
     }
 
     /// The `⊕` operator: merges two tracefiles into one covering the union
@@ -213,9 +216,7 @@ impl SuiteIndex {
     pub fn is_unique(&self, trace: &TraceFile) -> bool {
         let key = self.key(trace.stats());
         match self.criterion {
-            UniquenessCriterion::St | UniquenessCriterion::StBr => {
-                !self.seen_stats.contains(&key)
-            }
+            UniquenessCriterion::St | UniquenessCriterion::StBr => !self.seen_stats.contains(&key),
             UniquenessCriterion::Tr => match self.traces_by_stats.get(&key) {
                 None => true,
                 Some(bucket) => !bucket.iter().any(|t| t.statically_equal(trace)),
@@ -229,7 +230,10 @@ impl SuiteIndex {
         let key = self.key(trace.stats());
         self.seen_stats.insert(key);
         if self.criterion == UniquenessCriterion::Tr {
-            self.traces_by_stats.entry(key).or_default().push(trace.clone());
+            self.traces_by_stats
+                .entry(key)
+                .or_default()
+                .push(trace.clone());
         }
         self.len += 1;
     }
@@ -304,7 +308,10 @@ impl GlobalCoverage {
 
     /// Total accumulated statistics.
     pub fn stats(&self) -> CoverageStats {
-        CoverageStats { stmt: self.stmts.len(), br: self.branches.len() }
+        CoverageStats {
+            stmt: self.stmts.len(),
+            br: self.branches.len(),
+        }
     }
 
     /// Folds another accumulator in (set union of both site sets); returns

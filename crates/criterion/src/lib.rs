@@ -48,7 +48,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
         f(&mut bencher);
         report(&id.to_string(), &bencher.samples);
         self
@@ -56,7 +59,10 @@ impl Criterion {
 
     /// Opens a named group; group benchmarks are prefixed with its name.
     pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, prefix: name.to_string() }
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+        }
     }
 }
 

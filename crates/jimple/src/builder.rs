@@ -86,9 +86,10 @@ impl MethodBuilder {
     /// Emits `name := @this`.
     pub fn bind_this(mut self, name: impl Into<String>) -> Self {
         let name = name.into();
-        self.body()
-            .stmts
-            .push(Stmt::Assign { target: Target::Local(name), value: Expr::This });
+        self.body().stmts.push(Stmt::Assign {
+            target: Target::Local(name),
+            value: Expr::This,
+        });
         self
     }
 
@@ -134,7 +135,12 @@ impl MethodBuilder {
 
     /// Emits `if a <op> b goto label`.
     pub fn branch_if(mut self, op: CondOp, a: Value, b: Option<Value>, label: Label) -> Self {
-        self.body().stmts.push(Stmt::If { op, a, b, target: label });
+        self.body().stmts.push(Stmt::If {
+            op,
+            a,
+            b,
+            target: label,
+        });
         self
     }
 
@@ -181,7 +187,10 @@ impl MethodBuilder {
     }
 
     fn body(&mut self) -> &mut Body {
-        self.method.body.as_mut().expect("MethodBuilder always has a body")
+        self.method
+            .body
+            .as_mut()
+            .expect("MethodBuilder always has a body")
     }
 
     /// Finishes building.

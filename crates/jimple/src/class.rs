@@ -49,7 +49,10 @@ impl Body {
     /// Declares a local and returns its name for convenience.
     pub fn declare(&mut self, name: impl Into<String>, ty: JType) -> String {
         let name = name.into();
-        self.locals.push(LocalDecl { name: name.clone(), ty });
+        self.locals.push(LocalDecl {
+            name: name.clone(),
+            ty,
+        });
         name
     }
 

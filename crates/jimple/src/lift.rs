@@ -80,7 +80,11 @@ pub fn lift_class(cf: &ClassFile) -> Result<IrClass, LiftError> {
     class.methods.clear();
 
     for f in &cf.fields {
-        let fname = cf.constant_pool.utf8_text(f.name).unwrap_or("$badname").to_string();
+        let fname = cf
+            .constant_pool
+            .utf8_text(f.name)
+            .unwrap_or("$badname")
+            .to_string();
         let desc = cf.constant_pool.utf8_text(f.descriptor).unwrap_or("I");
         let ty = FieldType::parse(desc)
             .map(|t| JType::from_field_type(&t))
@@ -92,15 +96,21 @@ pub fn lift_class(cf: &ClassFile) -> Result<IrClass, LiftError> {
                     Some(Constant::Long(v)) => Some(Const::Long(*v)),
                     Some(Constant::Float(v)) => Some(Const::Float(*v)),
                     Some(Constant::Double(v)) => Some(Const::Double(*v)),
-                    Some(Constant::String(s)) => {
-                        cf.constant_pool.utf8_text(*s).map(|t| Const::Str(t.to_string()))
-                    }
+                    Some(Constant::String(s)) => cf
+                        .constant_pool
+                        .utf8_text(*s)
+                        .map(|t| Const::Str(t.to_string())),
                     _ => None,
                 }
             }
             _ => None,
         });
-        class.fields.push(IrField { access: f.access, name: fname, ty, constant_value });
+        class.fields.push(IrField {
+            access: f.access,
+            name: fname,
+            ty,
+            constant_value,
+        });
     }
 
     for m in &cf.methods {
@@ -110,7 +120,11 @@ pub fn lift_class(cf: &ClassFile) -> Result<IrClass, LiftError> {
 }
 
 fn lift_method(cf: &ClassFile, m: &MethodInfo) -> Result<IrMethod, LiftError> {
-    let name = cf.constant_pool.utf8_text(m.name).unwrap_or("$badname").to_string();
+    let name = cf
+        .constant_pool
+        .utf8_text(m.name)
+        .unwrap_or("$badname")
+        .to_string();
     let desc_text = cf.constant_pool.utf8_text(m.descriptor).unwrap_or("()V");
     let desc = MethodDescriptor::parse(desc_text)
         .map_err(|_| LiftError::BadDescriptor(desc_text.to_string()))?;
@@ -126,7 +140,14 @@ fn lift_method(cf: &ClassFile, m: &MethodInfo) -> Result<IrMethod, LiftError> {
         Some(code) => Some(lift_body(cf, code, &params, ret.as_ref(), is_static)?),
         None => None,
     };
-    Ok(IrMethod { access: m.access, name, params, ret, exceptions, body })
+    Ok(IrMethod {
+        access: m.access,
+        name,
+        params,
+        ret,
+        exceptions,
+        body,
+    })
 }
 
 struct Lifter<'a> {
@@ -274,13 +295,20 @@ impl Lifter<'_> {
     /// Materializes `expr` into a fresh temporary and pushes it.
     fn materialize(&mut self, expr: Expr, ty: JType) {
         let t = self.fresh_temp(ty);
-        self.body.stmts.push(Stmt::Assign { target: Target::Local(t.clone()), value: expr });
+        self.body.stmts.push(Stmt::Assign {
+            target: Target::Local(t.clone()),
+            value: expr,
+        });
         self.stack.push(Value::Local(t));
     }
 
     fn value_type(&self, v: &Value) -> JType {
         match v {
-            Value::Local(n) => self.body.local_type(n).cloned().unwrap_or_else(JType::jobject),
+            Value::Local(n) => self
+                .body
+                .local_type(n)
+                .cloned()
+                .unwrap_or_else(JType::jobject),
             Value::Const(c) => c.jtype().unwrap_or_else(JType::jobject),
         }
     }
@@ -289,8 +317,11 @@ impl Lifter<'_> {
         self.labels.get(&pc).copied().unwrap_or(Label(u32::MAX))
     }
 
-    fn member_parts(&self, pc: u32, idx: classfuzz_classfile::ConstIndex)
-        -> Result<(String, String, String), LiftError> {
+    fn member_parts(
+        &self,
+        pc: u32,
+        idx: classfuzz_classfile::ConstIndex,
+    ) -> Result<(String, String, String), LiftError> {
         self.cf
             .constant_pool
             .member_ref_parts(idx)
@@ -328,8 +359,12 @@ impl Lifter<'_> {
         })
     }
 
-    fn do_invoke(&mut self, pc: u32, mut inv: InvokeExpr, has_receiver: bool)
-        -> Result<(), LiftError> {
+    fn do_invoke(
+        &mut self,
+        pc: u32,
+        mut inv: InvokeExpr,
+        has_receiver: bool,
+    ) -> Result<(), LiftError> {
         let mut args = Vec::with_capacity(inv.params.len());
         for _ in 0..inv.params.len() {
             args.push(self.pop(pc)?);
@@ -347,9 +382,11 @@ impl Lifter<'_> {
     }
 
     fn load(&mut self, slot: u16, default_ty: JType) {
-        let ty = self.slot_types.get(&slot).cloned().unwrap_or_else(|| {
-            default_ty.clone()
-        });
+        let ty = self
+            .slot_types
+            .get(&slot)
+            .cloned()
+            .unwrap_or_else(|| default_ty.clone());
         self.declare_slot(slot, ty);
         self.stack.push(Value::Local(slot_name(slot)));
     }
@@ -368,7 +405,11 @@ impl Lifter<'_> {
     fn binop(&mut self, pc: u32, op: BinOp, ty: JType) -> Result<(), LiftError> {
         let b = self.pop(pc)?;
         let a = self.pop(pc)?;
-        let result = if op == BinOp::Cmp { JType::Int } else { ty.clone() };
+        let result = if op == BinOp::Cmp {
+            JType::Int
+        } else {
+            ty.clone()
+        };
         self.materialize(Expr::BinOp(op, ty, a, b), result);
         Ok(())
     }
@@ -386,14 +427,24 @@ impl Lifter<'_> {
 
     fn if_zero(&mut self, pc: u32, op: CondOp, target: u32) -> Result<(), LiftError> {
         let a = self.pop(pc)?;
-        self.body.stmts.push(Stmt::If { op, a, b: None, target: self.label(target) });
+        self.body.stmts.push(Stmt::If {
+            op,
+            a,
+            b: None,
+            target: self.label(target),
+        });
         Ok(())
     }
 
     fn if_cmp(&mut self, pc: u32, op: CondOp, target: u32) -> Result<(), LiftError> {
         let b = self.pop(pc)?;
         let a = self.pop(pc)?;
-        self.body.stmts.push(Stmt::If { op, a, b: Some(b), target: self.label(target) });
+        self.body.stmts.push(Stmt::If {
+            op,
+            a,
+            b: Some(b),
+            target: self.label(target),
+        });
         Ok(())
     }
 
@@ -529,10 +580,7 @@ impl Lifter<'_> {
                     }
                     Getfield => {
                         let recv = self.pop(pc)?;
-                        self.materialize(
-                            Expr::InstanceField(recv, class, name, ty.clone()),
-                            ty,
-                        );
+                        self.materialize(Expr::InstanceField(recv, class, name, ty.clone()), ty);
                         Ok(())
                     }
                     Putfield => {
@@ -561,9 +609,7 @@ impl Lifter<'_> {
                 let inv = self.invoke_parts(pc, *index, InvokeKind::Interface)?;
                 self.do_invoke(pc, inv, true)
             }
-            Instruction::InvokeDynamic(_) => {
-                Err(LiftError::UnsupportedOpcode(Invokedynamic))
-            }
+            Instruction::InvokeDynamic(_) => Err(LiftError::UnsupportedOpcode(Invokedynamic)),
             Instruction::New(idx) => {
                 let class = self
                     .cf
@@ -586,10 +632,7 @@ impl Lifter<'_> {
                     _ => return Err(LiftError::BadConstant { pc }),
                 };
                 let len = self.pop(pc)?;
-                self.materialize(
-                    Expr::NewArray(elem.clone(), len),
-                    JType::array(elem),
-                );
+                self.materialize(Expr::NewArray(elem.clone(), len), JType::array(elem));
                 Ok(())
             }
             Instruction::ANewArray(idx) => {
@@ -624,9 +667,7 @@ impl Lifter<'_> {
                 self.materialize(Expr::InstanceOf(class, v), JType::Int);
                 Ok(())
             }
-            Instruction::MultiANewArray { .. } => {
-                Err(LiftError::UnsupportedOpcode(Multianewarray))
-            }
+            Instruction::MultiANewArray { .. } => Err(LiftError::UnsupportedOpcode(Multianewarray)),
             Instruction::TableSwitch(ts) => {
                 let key = self.pop(pc)?;
                 let cases = ts
@@ -667,22 +708,26 @@ impl Lifter<'_> {
                 Ok(())
             }
             IconstM1 | Iconst0 | Iconst1 | Iconst2 | Iconst3 | Iconst4 | Iconst5 => {
-                self.stack.push(Value::int(op.byte() as i32 - Iconst0.byte() as i32));
+                self.stack
+                    .push(Value::int(op.byte() as i32 - Iconst0.byte() as i32));
                 Ok(())
             }
             Lconst0 | Lconst1 => {
-                self.stack
-                    .push(Value::Const(Const::Long((op.byte() - Lconst0.byte()) as i64)));
+                self.stack.push(Value::Const(Const::Long(
+                    (op.byte() - Lconst0.byte()) as i64,
+                )));
                 Ok(())
             }
             Fconst0 | Fconst1 | Fconst2 => {
-                self.stack
-                    .push(Value::Const(Const::Float((op.byte() - Fconst0.byte()) as f32)));
+                self.stack.push(Value::Const(Const::Float(
+                    (op.byte() - Fconst0.byte()) as f32,
+                )));
                 Ok(())
             }
             Dconst0 | Dconst1 => {
-                self.stack
-                    .push(Value::Const(Const::Double((op.byte() - Dconst0.byte()) as f64)));
+                self.stack.push(Value::Const(Const::Double(
+                    (op.byte() - Dconst0.byte()) as f64,
+                )));
                 Ok(())
             }
             Iload0 | Iload1 | Iload2 | Iload3 => {
@@ -910,9 +955,16 @@ mod tests {
         let lifted = lift_class(&cf1).unwrap();
         let cf2 = lower_class(&lifted);
         let parsed = ClassFile::from_bytes(&cf2.to_bytes()).expect("re-parse");
-        let main = parsed.find_method("main", "([Ljava/lang/String;)V").unwrap();
-        let ops: Vec<Opcode> =
-            main.code().unwrap().instructions.iter().map(|i| i.opcode()).collect();
+        let main = parsed
+            .find_method("main", "([Ljava/lang/String;)V")
+            .unwrap();
+        let ops: Vec<Opcode> = main
+            .code()
+            .unwrap()
+            .instructions
+            .iter()
+            .map(|i| i.opcode())
+            .collect();
         assert!(ops.contains(&Opcode::Invokevirtual));
         assert!(ops.contains(&Opcode::Getstatic));
         assert_eq!(*ops.last().unwrap(), Opcode::Return);
@@ -925,7 +977,10 @@ mod tests {
         let mut body = Body::new();
         body.declare("i", JType::Int);
         body.stmts.extend([
-            Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
+            Stmt::Assign {
+                target: Target::Local("i".into()),
+                value: Expr::Use(Value::int(0)),
+            },
             Stmt::Label(Label(0)),
             Stmt::If {
                 op: CondOp::Ge,
@@ -952,8 +1007,16 @@ mod tests {
         let cf = lower_class(&class);
         let lifted = lift_class(&cf).expect("lift loop");
         let body = lifted.find_method("loop").unwrap().body.as_ref().unwrap();
-        let gotos = body.stmts.iter().filter(|s| matches!(s, Stmt::Goto(_))).count();
-        let ifs = body.stmts.iter().filter(|s| matches!(s, Stmt::If { .. })).count();
+        let gotos = body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Goto(_)))
+            .count();
+        let ifs = body
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::If { .. }))
+            .count();
         assert_eq!(gotos, 1);
         assert_eq!(ifs, 1);
     }

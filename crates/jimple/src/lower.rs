@@ -36,7 +36,12 @@ pub fn lower_class(class: &IrClass) -> ClassFile {
                 attributes.push(Attribute::ConstantValue(idx));
             }
         }
-        fields.push(FieldInfo { access: f.access, name, descriptor, attributes });
+        fields.push(FieldInfo {
+            access: f.access,
+            name,
+            descriptor,
+            attributes,
+        });
     }
 
     let mut methods = Vec::with_capacity(class.methods.len());
@@ -80,7 +85,12 @@ fn lower_method(method: &IrMethod, cp: &mut ConstantPool) -> MethodInfo {
     if let Some(body) = &method.body {
         attributes.push(Attribute::Code(lower_body(method, body, cp)));
     }
-    MethodInfo { access: method.access, name, descriptor, attributes }
+    MethodInfo {
+        access: method.access,
+        name,
+        descriptor,
+        attributes,
+    }
 }
 
 /// Per-method assembler state.
@@ -125,7 +135,8 @@ fn lower_body(method: &IrMethod, body: &Body, cp: &mut ConstantPool) -> CodeAttr
     for local in &body.locals {
         let slot = asm.next_slot;
         asm.next_slot += local.ty.slot_width();
-        asm.slots.insert(local.name.clone(), (slot, local.ty.clone()));
+        asm.slots
+            .insert(local.name.clone(), (slot, local.ty.clone()));
     }
     for stmt in &body.stmts {
         asm.stmt(stmt);
@@ -587,7 +598,11 @@ impl Asm<'_> {
             Stmt::Invoke(inv) => {
                 let ret = self.invoke(inv);
                 if let Some(ty) = ret {
-                    let op = if ty.is_wide() { Opcode::Pop2 } else { Opcode::Pop };
+                    let op = if ty.is_wide() {
+                        Opcode::Pop2
+                    } else {
+                        Opcode::Pop
+                    };
                     self.emit(Instruction::Simple(op));
                     self.pop(ty.slot_width());
                 }
@@ -631,13 +646,19 @@ impl Asm<'_> {
                 self.emit(Instruction::Simple(Opcode::Monitorexit));
                 self.pop(1);
             }
-            Stmt::Switch { key, cases, default } => {
+            Stmt::Switch {
+                key,
+                cases,
+                default,
+            } => {
                 self.value(key);
-                let mut pairs: Vec<(i32, u32)> =
-                    cases.iter().map(|(k, l)| (*k, l.0)).collect();
+                let mut pairs: Vec<(i32, u32)> = cases.iter().map(|(k, l)| (*k, l.0)).collect();
                 pairs.sort_by_key(|(k, _)| *k);
                 self.emit(Instruction::LookupSwitch(
-                    classfuzz_classfile::LookupSwitch { default: default.0, pairs },
+                    classfuzz_classfile::LookupSwitch {
+                        default: default.0,
+                        pairs,
+                    },
                 ));
                 self.pop(1);
             }
@@ -689,7 +710,10 @@ impl Asm<'_> {
                         CondOp::Ne => Opcode::Ifnonnull,
                         _ => Opcode::Ifnull,
                     }
-                } else if aty.as_ref().is_some_and(|t| t.is_wide() || *t == JType::Float) {
+                } else if aty
+                    .as_ref()
+                    .is_some_and(|t| t.is_wide() || *t == JType::Float)
+                {
                     // Compare wide/float against zero: emit the cmp first.
                     let zero_ty = aty.clone().unwrap_or(JType::Long);
                     match zero_ty {
@@ -722,8 +746,8 @@ impl Asm<'_> {
             Some(b) => {
                 let bty = self.value(b);
                 let refs = a_is_ref && bty.as_ref().is_none_or(JType::is_reference);
-                let wide = aty.as_ref().is_some_and(|t| t.is_wide())
-                    || matches!(aty, Some(JType::Float));
+                let wide =
+                    aty.as_ref().is_some_and(|t| t.is_wide()) || matches!(aty, Some(JType::Float));
                 if wide {
                     let cmp = match aty {
                         Some(JType::Long) => Opcode::Lcmp,
@@ -847,7 +871,12 @@ mod tests {
                 value: Expr::Use(Value::int(0)),
             },
             Stmt::Label(top),
-            Stmt::If { op: CondOp::Ge, a: Value::local("i"), b: Some(Value::int(10)), target: done },
+            Stmt::If {
+                op: CondOp::Ge,
+                a: Value::local("i"),
+                b: Some(Value::int(10)),
+                target: done,
+            },
             Stmt::Assign {
                 target: Target::Local("i".into()),
                 value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("i"), Value::int(1)),
@@ -872,7 +901,10 @@ mod tests {
         let starts: Vec<u32> = decoded.iter().map(|(pc, _)| *pc).collect();
         for (_, insn) in &decoded {
             if let Instruction::Branch(_, t) = insn {
-                assert!(starts.contains(t), "branch target {t} not an instruction start");
+                assert!(
+                    starts.contains(t),
+                    "branch target {t} not an instruction start"
+                );
             }
         }
     }
@@ -933,7 +965,9 @@ mod tests {
         let m = cf.find_method("m", "()V").unwrap();
         assert_eq!(m.declared_exceptions().len(), 1);
         assert_eq!(
-            cf.constant_pool.class_name(m.declared_exceptions()[0]).as_deref(),
+            cf.constant_pool
+                .class_name(m.declared_exceptions()[0])
+                .as_deref(),
             Some("java/io/IOException")
         );
     }
@@ -955,7 +989,10 @@ mod tests {
     fn undeclared_local_gets_fresh_slot() {
         let mut class = IrClass::new("Dangling");
         let mut body = Body::new();
-        body.locals.push(LocalDecl { name: "a".into(), ty: JType::Int });
+        body.locals.push(LocalDecl {
+            name: "a".into(),
+            ty: JType::Int,
+        });
         body.stmts.push(Stmt::Assign {
             target: Target::Local("ghost".into()),
             value: Expr::Use(Value::int(1)),

@@ -27,8 +27,17 @@ pub fn print_class(class: &IrClass) -> String {
         keywords.retain(|k| *k != "interface" && *k != "abstract");
     }
     let kws = keywords.join(" ");
-    let head = if class.is_interface() { "interface " } else { "class " };
-    let _ = write!(out, "{kws}{}{head}{}", if kws.is_empty() { "" } else { " " }, dotty(&class.name));
+    let head = if class.is_interface() {
+        "interface "
+    } else {
+        "class "
+    };
+    let _ = write!(
+        out,
+        "{kws}{}{head}{}",
+        if kws.is_empty() { "" } else { " " },
+        dotty(&class.name)
+    );
     if let Some(sup) = &class.super_class {
         let _ = write!(out, " extends {}", dotty(sup));
     }
@@ -54,9 +63,18 @@ pub fn print_method(method: &IrMethod) -> String {
     let mut out = String::new();
     let kws = method.access.keywords().join(" ");
     let sep = if kws.is_empty() { "" } else { " " };
-    let ret = method.ret.as_ref().map(|t| t.to_java()).unwrap_or_else(|| "void".into());
+    let ret = method
+        .ret
+        .as_ref()
+        .map(|t| t.to_java())
+        .unwrap_or_else(|| "void".into());
     let params: Vec<String> = method.params.iter().map(|p| p.to_java()).collect();
-    let _ = write!(out, "  {kws}{sep}{ret} {}({})", method.name, params.join(", "));
+    let _ = write!(
+        out,
+        "  {kws}{sep}{ret} {}({})",
+        method.name,
+        params.join(", ")
+    );
     if !method.exceptions.is_empty() {
         let names: Vec<String> = method.exceptions.iter().map(|e| dotty(e)).collect();
         let _ = write!(out, " throws {}", names.join(", "));
@@ -93,8 +111,7 @@ fn dotty(binary_name: &str) -> String {
 fn print_stmt(stmt: &Stmt) -> String {
     match stmt {
         Stmt::Assign { target, value } => {
-            let is_identity =
-                matches!(value, Expr::Param(_) | Expr::This | Expr::CaughtException);
+            let is_identity = matches!(value, Expr::Param(_) | Expr::This | Expr::CaughtException);
             let eq = if is_identity { ":=" } else { "=" };
             format!("{} {eq} {}", print_target(target), print_expr(value))
         }
@@ -111,10 +128,19 @@ fn print_stmt(stmt: &Stmt) -> String {
         Stmt::Nop => "nop".to_string(),
         Stmt::EnterMonitor(v) => format!("entermonitor {v}"),
         Stmt::ExitMonitor(v) => format!("exitmonitor {v}"),
-        Stmt::Switch { key, cases, default } => {
-            let arms: Vec<String> =
-                cases.iter().map(|(k, l)| format!("case {k}: goto {l}")).collect();
-            format!("switch({key}) {{ {}; default: goto {default} }}", arms.join("; "))
+        Stmt::Switch {
+            key,
+            cases,
+            default,
+        } => {
+            let arms: Vec<String> = cases
+                .iter()
+                .map(|(k, l)| format!("case {k}: goto {l}"))
+                .collect();
+            format!(
+                "switch({key}) {{ {}; default: goto {default} }}",
+                arms.join("; ")
+            )
         }
     }
 }
@@ -159,10 +185,19 @@ fn print_invoke(inv: &InvokeExpr) -> String {
         InvokeKind::Static => "staticinvoke",
         InvokeKind::Interface => "interfaceinvoke",
     };
-    let ret = inv.ret.as_ref().map(|t| t.to_java()).unwrap_or_else(|| "void".into());
+    let ret = inv
+        .ret
+        .as_ref()
+        .map(|t| t.to_java())
+        .unwrap_or_else(|| "void".into());
     let params: Vec<String> = inv.params.iter().map(|p| p.to_java()).collect();
     let args: Vec<String> = inv.args.iter().map(|a| a.to_string()).collect();
-    let sig = format!("<{}: {ret} {}({})>", dotty(&inv.class), inv.name, params.join(","));
+    let sig = format!(
+        "<{}: {ret} {}({})>",
+        dotty(&inv.class),
+        inv.name,
+        params.join(",")
+    );
     match &inv.receiver {
         Some(r) => format!("{kind} {r}.{sig}({})", args.join(", ")),
         None => format!("{kind} {sig}({})", args.join(", ")),
@@ -178,7 +213,9 @@ mod tests {
     #[test]
     fn paper_table2_style_rendering() {
         let mut class = IrClass::with_hello_main("M1437185190", "Executed");
-        class.interfaces.push("java/security/PrivilegedAction".into());
+        class
+            .interfaces
+            .push("java/security/PrivilegedAction".into());
         class.fields.push(crate::class::IrField {
             access: FieldAccess::PROTECTED | FieldAccess::FINAL,
             name: "MAP".into(),
@@ -203,15 +240,12 @@ mod tests {
 
     #[test]
     fn identity_statements_use_walrus() {
-        let m = crate::builder::MethodBuilder::new(
-            "m",
-            classfuzz_classfile::MethodAccess::PUBLIC,
-        )
-        .param(JType::Int)
-        .local("x", JType::Int)
-        .bind_param("x", 0)
-        .ret()
-        .build();
+        let m = crate::builder::MethodBuilder::new("m", classfuzz_classfile::MethodAccess::PUBLIC)
+            .param(JType::Int)
+            .local("x", JType::Int)
+            .bind_param("x", 0)
+            .ret()
+            .build();
         let text = print_method(&m);
         assert!(text.contains("x := @parameter0"));
     }

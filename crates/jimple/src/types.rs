@@ -180,7 +180,10 @@ mod tests {
             method_descriptor(&[JType::array(JType::string())], None),
             "([Ljava/lang/String;)V"
         );
-        assert_eq!(method_descriptor(&[JType::Int, JType::Long], Some(&JType::Int)), "(IJ)I");
+        assert_eq!(
+            method_descriptor(&[JType::Int, JType::Long], Some(&JType::Int)),
+            "(IJ)I"
+        );
     }
 
     #[test]

@@ -49,12 +49,12 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
             target: Target::Local(format!("v{i}")),
             value: Expr::Use(v),
         }),
-        (0u8..4, jtype_strategy(), value.clone(), value.clone()).prop_map(
-            |(i, ty, a, b)| Stmt::Assign {
+        (0u8..4, jtype_strategy(), value.clone(), value.clone()).prop_map(|(i, ty, a, b)| {
+            Stmt::Assign {
                 target: Target::Local(format!("v{i}")),
                 value: Expr::BinOp(BinOp::Add, ty, a, b),
             }
-        ),
+        }),
         (0u8..4, jtype_strategy(), value.clone()).prop_map(|(i, ty, v)| Stmt::Assign {
             target: Target::Local(format!("v{i}")),
             value: Expr::Cast(ty, v),
@@ -73,33 +73,35 @@ fn class_strategy() -> impl Strategy<Value = IrClass> {
         any::<u16>(),
         any::<u16>(),
     )
-        .prop_map(|(name, fields, stmts, params, ret, class_flags, method_flags)| {
-            let mut class = IrClass::new(name);
-            class.access = ClassAccess::from_bits(class_flags);
-            for (i, (ty, bits)) in fields.into_iter().enumerate() {
-                class.fields.push(IrField {
-                    access: FieldAccess::from_bits(bits),
-                    name: format!("f{i}"),
-                    ty,
-                    constant_value: None,
+        .prop_map(
+            |(name, fields, stmts, params, ret, class_flags, method_flags)| {
+                let mut class = IrClass::new(name);
+                class.access = ClassAccess::from_bits(class_flags);
+                for (i, (ty, bits)) in fields.into_iter().enumerate() {
+                    class.fields.push(IrField {
+                        access: FieldAccess::from_bits(bits),
+                        name: format!("f{i}"),
+                        ty,
+                        constant_value: None,
+                    });
+                }
+                let mut body = Body::new();
+                for i in 0..4u8 {
+                    body.declare(format!("v{i}"), JType::Int);
+                }
+                body.stmts = stmts;
+                body.stmts.push(Stmt::Return(None));
+                class.methods.push(IrMethod {
+                    access: MethodAccess::from_bits(method_flags),
+                    name: "m".into(),
+                    params,
+                    ret,
+                    exceptions: vec![],
+                    body: Some(body),
                 });
-            }
-            let mut body = Body::new();
-            for i in 0..4u8 {
-                body.declare(format!("v{i}"), JType::Int);
-            }
-            body.stmts = stmts;
-            body.stmts.push(Stmt::Return(None));
-            class.methods.push(IrMethod {
-                access: MethodAccess::from_bits(method_flags),
-                name: "m".into(),
-                params,
-                ret,
-                exceptions: vec![],
-                body: Some(body),
-            });
-            class
-        })
+                class
+            },
+        )
 }
 
 proptest! {

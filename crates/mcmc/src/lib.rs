@@ -73,7 +73,11 @@ pub fn estimate_p(n: usize, epsilon: f64) -> PEstimate {
     let mut hi = 0.5;
     if tail(lo) <= epsilon {
         // Degenerate: even the smallest admissible p violates the floor.
-        return PEstimate { lower, upper: lower, recommended: lower };
+        return PEstimate {
+            lower,
+            upper: lower,
+            recommended: lower,
+        };
     }
     for _ in 0..64 {
         let mid = (lo + hi) / 2.0;
@@ -90,7 +94,11 @@ pub fn estimate_p(n: usize, epsilon: f64) -> PEstimate {
     } else {
         (lower + upper) / 2.0
     };
-    PEstimate { lower, upper, recommended }
+    PEstimate {
+        lower,
+        upper,
+        recommended,
+    }
 }
 
 /// Per-mutator bookkeeping.
@@ -268,7 +276,9 @@ impl UniformSelector {
     /// Panics if `count == 0`.
     pub fn new(count: usize) -> UniformSelector {
         assert!(count > 0, "need at least one mutator");
-        UniformSelector { stats: vec![MutatorStats::default(); count] }
+        UniformSelector {
+            stats: vec![MutatorStats::default(); count],
+        }
     }
 
     /// Selects a mutator uniformly at random.
@@ -303,8 +313,16 @@ mod tests {
         // §2.2.2: for 129 mutators and ε = 0.001 the admissible p is
         // roughly (0.022, 0.025) and the paper picks 3/129 ≈ 0.023.
         let est = estimate_p(129, 0.001);
-        assert!(est.lower > 0.020 && est.lower < 0.0235, "lower = {}", est.lower);
-        assert!(est.upper > 0.0235 && est.upper < 0.026, "upper = {}", est.upper);
+        assert!(
+            est.lower > 0.020 && est.lower < 0.0235,
+            "lower = {}",
+            est.lower
+        );
+        assert!(
+            est.upper > 0.0235 && est.upper < 0.026,
+            "upper = {}",
+            est.upper
+        );
         assert!((est.recommended - 3.0 / 129.0).abs() < 1e-12);
     }
 
@@ -400,21 +418,45 @@ mod tests {
             counts[sel.select(&mut rng)] += 1;
         }
         for c in counts {
-            assert!((800..1200).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (800..1200).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 
     #[test]
     fn stat_tables_merge_elementwise() {
         let a = vec![
-            MutatorStats { selected: 3, successes: 1 },
-            MutatorStats { selected: 2, successes: 0 },
+            MutatorStats {
+                selected: 3,
+                successes: 1,
+            },
+            MutatorStats {
+                selected: 2,
+                successes: 0,
+            },
         ];
-        let b = vec![MutatorStats { selected: 1, successes: 1 }];
+        let b = vec![MutatorStats {
+            selected: 1,
+            successes: 1,
+        }];
         let merged = merge_stat_tables(&[a.clone(), b]);
         assert_eq!(merged.len(), 2);
-        assert_eq!(merged[0], MutatorStats { selected: 4, successes: 2 });
-        assert_eq!(merged[1], MutatorStats { selected: 2, successes: 0 });
+        assert_eq!(
+            merged[0],
+            MutatorStats {
+                selected: 4,
+                successes: 2
+            }
+        );
+        assert_eq!(
+            merged[1],
+            MutatorStats {
+                selected: 2,
+                successes: 0
+            }
+        );
         assert_eq!(merge_stat_tables(&[]), Vec::new());
         assert_eq!(merge_stat_tables(std::slice::from_ref(&a)), a);
     }

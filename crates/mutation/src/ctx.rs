@@ -57,13 +57,13 @@ pub const SUPERCLASS_POOL: &[&str] = &[
     "java/lang/Object",
     "java/lang/Thread",
     "java/lang/Exception",
-    "java/lang/String",          // final everywhere
-    "java/util/Map",             // interface
+    "java/lang/String", // final everywhere
+    "java/util/Map",    // interface
     "java/util/HashMap",
-    "jre/beans/AbstractEditor",  // final only from JRE 8 on
-    "jre/ext/LegacySupport",     // removed after JRE 7
-    "jre/util/StreamKit",        // added in JRE 8
-    "sun/internal/PiscesKit",    // internal: Java 9 encapsulation
+    "jre/beans/AbstractEditor", // final only from JRE 8 on
+    "jre/ext/LegacySupport",    // removed after JRE 7
+    "jre/util/StreamKit",       // added in JRE 8
+    "sun/internal/PiscesKit",   // internal: Java 9 encapsulation
     "missing/NoSuchClass",
 ];
 
@@ -93,7 +93,11 @@ pub const EXCEPTION_POOL: &[&str] = &[
 impl<'a> MutationCtx<'a> {
     /// Creates a context over `rng` and a donor pool.
     pub fn new(rng: &'a mut StdRng, donors: &'a [IrClass]) -> Self {
-        MutationCtx { rng, donors, counter: 0 }
+        MutationCtx {
+            rng,
+            donors,
+            counter: 0,
+        }
     }
 
     /// Picks a uniformly random index below `len`; `None` when empty.

@@ -211,7 +211,11 @@ impl Mutator {
     ///
     /// [`MutationError::NotApplicable`] when the class lacks the construct
     /// this mutator rewrites (no fields, no body, …).
-    pub fn apply(&self, class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<(), MutationError> {
+    pub fn apply(
+        &self,
+        class: &mut IrClass,
+        ctx: &mut MutationCtx<'_>,
+    ) -> Result<(), MutationError> {
         apply_op(&self.op, class, ctx)
     }
 
@@ -250,7 +254,9 @@ fn pick_method_with_body(
         .filter(|(_, m)| m.body.is_some())
         .map(|(i, _)| i)
         .collect();
-    ctx.pick(&candidates).copied().ok_or(na("no method has a body"))
+    ctx.pick(&candidates)
+        .copied()
+        .ok_or(na("no method has a body"))
 }
 
 fn pick_field(class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<usize, MutationError> {
@@ -303,7 +309,9 @@ fn apply_op(
             class.interfaces.push((*name).to_string());
         }
         MutOp::DeleteInterface => {
-            let i = ctx.index(class.interfaces.len()).ok_or(na("no interfaces"))?;
+            let i = ctx
+                .index(class.interfaces.len())
+                .ok_or(na("no interfaces"))?;
             class.interfaces.remove(i);
         }
         MutOp::DeleteAllInterfaces => {
@@ -313,7 +321,9 @@ fn apply_op(
             class.interfaces.clear();
         }
         MutOp::DuplicateInterface => {
-            let i = ctx.index(class.interfaces.len()).ok_or(na("no interfaces"))?;
+            let i = ctx
+                .index(class.interfaces.len())
+                .ok_or(na("no interfaces"))?;
             let dup = class.interfaces[i].clone();
             class.interfaces.push(dup);
         }
@@ -362,13 +372,13 @@ fn apply_op(
         }
         MutOp::AddFieldFlag(bits) => {
             let i = pick_field(class, ctx)?;
-            class.fields[i].access =
-                class.fields[i].access.with(FieldAccess::from_bits(*bits));
+            class.fields[i].access = class.fields[i].access.with(FieldAccess::from_bits(*bits));
         }
         MutOp::RemoveFieldFlag(bits) => {
             let i = pick_field(class, ctx)?;
-            class.fields[i].access =
-                class.fields[i].access.without(FieldAccess::from_bits(*bits));
+            class.fields[i].access = class.fields[i]
+                .access
+                .without(FieldAccess::from_bits(*bits));
         }
         MutOp::ClearFieldFlags => {
             let i = pick_field(class, ctx)?;
@@ -399,7 +409,8 @@ fn apply_op(
         MutOp::InsertStaticMethod => {
             let name = ctx.fresh_name("s");
             let mut body = classfuzz_jimple::Body::new();
-            body.stmts.push(Stmt::Return(Some(classfuzz_jimple::Value::int(0))));
+            body.stmts
+                .push(Stmt::Return(Some(classfuzz_jimple::Value::int(0))));
             class.methods.push(IrMethod {
                 access: MethodAccess::PUBLIC | MethodAccess::STATIC,
                 name,
@@ -449,13 +460,13 @@ fn apply_op(
         }
         MutOp::AddMethodFlag(bits) => {
             let i = pick_method(class, ctx)?;
-            class.methods[i].access =
-                class.methods[i].access.with(MethodAccess::from_bits(*bits));
+            class.methods[i].access = class.methods[i].access.with(MethodAccess::from_bits(*bits));
         }
         MutOp::RemoveMethodFlag(bits) => {
             let i = pick_method(class, ctx)?;
-            class.methods[i].access =
-                class.methods[i].access.without(MethodAccess::from_bits(*bits));
+            class.methods[i].access = class.methods[i]
+                .access
+                .without(MethodAccess::from_bits(*bits));
         }
         MutOp::ClearMethodFlags => {
             let i = pick_method(class, ctx)?;
@@ -515,8 +526,8 @@ fn apply_op(
             let a = *ctx.pick(&with_body).expect("non-empty");
             let mut b = *ctx.pick(&with_body).expect("non-empty");
             if a == b {
-                b = with_body[(with_body.iter().position(|&x| x == a).unwrap() + 1)
-                    % with_body.len()];
+                b = with_body
+                    [(with_body.iter().position(|&x| x == a).unwrap() + 1) % with_body.len()];
             }
             class.methods.swap(a, b);
             // Swap back names/signatures so only the *bodies* moved.
@@ -555,7 +566,9 @@ fn apply_op(
                 .map(|(i, _)| i)
                 .collect();
             let i = *ctx.pick(&candidates).ok_or(na("no declared exceptions"))?;
-            let j = ctx.index(class.methods[i].exceptions.len()).expect("non-empty");
+            let j = ctx
+                .index(class.methods[i].exceptions.len())
+                .expect("non-empty");
             class.methods[i].exceptions.remove(j);
         }
         MutOp::DeleteAllThrown => {
@@ -578,7 +591,9 @@ fn apply_op(
                 .map(|(i, _)| i)
                 .collect();
             let i = *ctx.pick(&candidates).ok_or(na("no declared exceptions"))?;
-            let j = ctx.index(class.methods[i].exceptions.len()).expect("non-empty");
+            let j = ctx
+                .index(class.methods[i].exceptions.len())
+                .expect("non-empty");
             let dup = class.methods[i].exceptions[j].clone();
             class.methods[i].exceptions.push(dup);
         }
@@ -727,7 +742,12 @@ mod tests {
     fn apply(op: MutOp, class: &mut IrClass) -> Result<(), MutationError> {
         let (mut rng, donors) = ctx_and_donors();
         let mut ctx = MutationCtx::new(&mut rng, &donors);
-        let m = Mutator { id: 0, name: "t".into(), target: MutTarget::Class, op };
+        let m = Mutator {
+            id: 0,
+            name: "t".into(),
+            target: MutTarget::Class,
+            op,
+        };
         m.apply(class, &mut ctx)
     }
 
@@ -794,8 +814,7 @@ mod tests {
         });
         let names: Vec<String> = class.methods.iter().map(|m| m.name.clone()).collect();
         apply(MutOp::SwapMethodBodies, &mut class).unwrap();
-        let names_after: Vec<String> =
-            class.methods.iter().map(|m| m.name.clone()).collect();
+        let names_after: Vec<String> = class.methods.iter().map(|m| m.name.clone()).collect();
         assert_eq!(names, names_after, "signatures stay in place, bodies move");
     }
 

@@ -13,14 +13,21 @@ struct Registry {
 impl Registry {
     fn add(&mut self, target: MutTarget, name: &str, op: MutOp) {
         let id = self.out.len();
-        self.out.push(Mutator { id, name: name.to_string(), target, op });
+        self.out.push(Mutator {
+            id,
+            name: name.to_string(),
+            target,
+            op,
+        });
     }
 }
 
 /// Builds the full mutator set. The returned vector is stable: ids equal
 /// indices, and the composition never changes at runtime.
 pub fn all_mutators() -> Vec<Mutator> {
-    let mut r = Registry { out: Vec::with_capacity(129) };
+    let mut r = Registry {
+        out: Vec::with_capacity(129),
+    };
     use MutTarget::*;
 
     // --- Class (36) -------------------------------------------------------
@@ -34,7 +41,11 @@ pub fn all_mutators() -> Vec<Mutator> {
         (ClassAccess::ANNOTATION, "annotation"),
         (ClassAccess::ENUM, "enum"),
     ] {
-        r.add(Class, &format!("class: add {label} flag"), MutOp::AddClassFlag(flag.bits()));
+        r.add(
+            Class,
+            &format!("class: add {label} flag"),
+            MutOp::AddClassFlag(flag.bits()),
+        );
     }
     for (flag, label) in [
         (ClassAccess::PUBLIC, "public"),
@@ -52,7 +63,11 @@ pub fn all_mutators() -> Vec<Mutator> {
     r.add(Class, "class: clear all flags", MutOp::ClearClassFlags);
     r.add(Class, "class: convert to interface", MutOp::MakeInterface);
     r.add(Class, "class: rename", MutOp::RenameClass);
-    r.add(Class, "class: rename to illegal name", MutOp::RenameClassIllegal);
+    r.add(
+        Class,
+        "class: rename to illegal name",
+        MutOp::RenameClassIllegal,
+    );
     r.add(Class, "class: set package name", MutOp::SetPackage);
     r.add(Class, "class: strip package name", MutOp::StripPackage);
     for (sup, label) in [
@@ -61,8 +76,14 @@ pub fn all_mutators() -> Vec<Mutator> {
         ("java/lang/Exception", "Exception"),
         ("java/lang/String", "String (final)"),
         ("java/util/Map", "Map (interface)"),
-        ("jre/beans/AbstractEditor", "AbstractEditor (final since JRE8)"),
-        ("jre/ext/LegacySupport", "LegacySupport (removed after JRE7)"),
+        (
+            "jre/beans/AbstractEditor",
+            "AbstractEditor (final since JRE8)",
+        ),
+        (
+            "jre/ext/LegacySupport",
+            "LegacySupport (removed after JRE7)",
+        ),
         ("sun/internal/PiscesKit", "PiscesKit (internal)"),
         ("missing/NoSuchClass", "a missing class"),
     ] {
@@ -77,10 +98,18 @@ pub fn all_mutators() -> Vec<Mutator> {
         "class: set superclass from a random class list",
         MutOp::SetSuperRandom,
     );
-    r.add(Class, "class: set superclass to itself", MutOp::SetSuperSelf);
+    r.add(
+        Class,
+        "class: set superclass to itself",
+        MutOp::SetSuperSelf,
+    );
     r.add(Class, "class: clear superclass entry", MutOp::ClearSuper);
     for v in [46u16, 50, 52, 53, 99] {
-        r.add(Class, &format!("class: set major version to {v}"), MutOp::SetMajorVersion(v));
+        r.add(
+            Class,
+            &format!("class: set major version to {v}"),
+            MutOp::SetMajorVersion(v),
+        );
     }
 
     // --- Interface list (9) ------------------------------------------------
@@ -97,21 +126,57 @@ pub fn all_mutators() -> Vec<Mutator> {
             MutOp::AddInterface(iface.to_string()),
         );
     }
-    r.add(Interface, "interface: implement a random interface", MutOp::AddInterfaceRandom);
+    r.add(
+        Interface,
+        "interface: implement a random interface",
+        MutOp::AddInterfaceRandom,
+    );
     r.add(Interface, "interface: delete one", MutOp::DeleteInterface);
-    r.add(Interface, "interface: delete all", MutOp::DeleteAllInterfaces);
-    r.add(Interface, "interface: duplicate one", MutOp::DuplicateInterface);
+    r.add(
+        Interface,
+        "interface: delete all",
+        MutOp::DeleteAllInterfaces,
+    );
+    r.add(
+        Interface,
+        "interface: duplicate one",
+        MutOp::DuplicateInterface,
+    );
 
     // --- Field (22) ---------------------------------------------------------
-    r.add(Field, "field: insert with random type", MutOp::InsertField(None));
-    r.add(Field, "field: insert int field", MutOp::InsertField(Some(JType::Int)));
-    r.add(Field, "field: insert String field", MutOp::InsertField(Some(JType::string())));
-    r.add(Field, "field: insert static final with ConstantValue", MutOp::InsertConstField);
-    r.add(Field, "field: insert duplicate of an existing field", MutOp::InsertDuplicateField);
+    r.add(
+        Field,
+        "field: insert with random type",
+        MutOp::InsertField(None),
+    );
+    r.add(
+        Field,
+        "field: insert int field",
+        MutOp::InsertField(Some(JType::Int)),
+    );
+    r.add(
+        Field,
+        "field: insert String field",
+        MutOp::InsertField(Some(JType::string())),
+    );
+    r.add(
+        Field,
+        "field: insert static final with ConstantValue",
+        MutOp::InsertConstField,
+    );
+    r.add(
+        Field,
+        "field: insert duplicate of an existing field",
+        MutOp::InsertDuplicateField,
+    );
     r.add(Field, "field: delete one", MutOp::DeleteField);
     r.add(Field, "field: delete all", MutOp::DeleteAllFields);
     r.add(Field, "field: rename one", MutOp::RenameField);
-    r.add(Field, "field: rename to illegal name", MutOp::RenameFieldIllegal);
+    r.add(
+        Field,
+        "field: rename to illegal name",
+        MutOp::RenameFieldIllegal,
+    );
     for (flag, label) in [
         (FieldAccess::STATIC.bits(), "static"),
         (FieldAccess::FINAL.bits(), "final"),
@@ -126,18 +191,38 @@ pub fn all_mutators() -> Vec<Mutator> {
             "final+volatile (conflict)",
         ),
     ] {
-        r.add(Field, &format!("field: add {label} flag"), MutOp::AddFieldFlag(flag));
+        r.add(
+            Field,
+            &format!("field: add {label} flag"),
+            MutOp::AddFieldFlag(flag),
+        );
     }
-    r.add(Field, "field: remove public flag", MutOp::RemoveFieldFlag(FieldAccess::PUBLIC.bits()));
-    r.add(Field, "field: remove static flag", MutOp::RemoveFieldFlag(FieldAccess::STATIC.bits()));
+    r.add(
+        Field,
+        "field: remove public flag",
+        MutOp::RemoveFieldFlag(FieldAccess::PUBLIC.bits()),
+    );
+    r.add(
+        Field,
+        "field: remove static flag",
+        MutOp::RemoveFieldFlag(FieldAccess::STATIC.bits()),
+    );
     r.add(Field, "field: clear all flags", MutOp::ClearFieldFlags);
-    r.add(Field, "field: change type randomly", MutOp::ChangeFieldType(None));
+    r.add(
+        Field,
+        "field: change type randomly",
+        MutOp::ChangeFieldType(None),
+    );
     r.add(
         Field,
         "field: change type to Object",
         MutOp::ChangeFieldType(Some(JType::jobject())),
     );
-    r.add(Field, "field: change type to int", MutOp::ChangeFieldType(Some(JType::Int)));
+    r.add(
+        Field,
+        "field: change type to int",
+        MutOp::ChangeFieldType(Some(JType::Int)),
+    );
     r.add(
         Field,
         "field: replace all with another class's fields",
@@ -145,22 +230,54 @@ pub fn all_mutators() -> Vec<Mutator> {
     );
 
     // --- Method (34) -----------------------------------------------------------
-    r.add(Method, "method: insert a void method", MutOp::InsertVoidMethod);
-    r.add(Method, "method: insert a static method", MutOp::InsertStaticMethod);
-    r.add(Method, "method: insert duplicate of an existing method", MutOp::InsertDuplicateMethod);
+    r.add(
+        Method,
+        "method: insert a void method",
+        MutOp::InsertVoidMethod,
+    );
+    r.add(
+        Method,
+        "method: insert a static method",
+        MutOp::InsertStaticMethod,
+    );
+    r.add(
+        Method,
+        "method: insert duplicate of an existing method",
+        MutOp::InsertDuplicateMethod,
+    );
     r.add(
         Method,
         "method: insert public abstract <clinit> without code",
         MutOp::InsertAbstractClinit,
     );
-    r.add(Method, "method: insert a main method", MutOp::InsertMainMethod);
+    r.add(
+        Method,
+        "method: insert a main method",
+        MutOp::InsertMainMethod,
+    );
     r.add(Method, "method: delete one", MutOp::DeleteMethod);
     r.add(Method, "method: delete all", MutOp::DeleteAllMethods);
     r.add(Method, "method: rename one", MutOp::RenameMethod);
-    r.add(Method, "method: rename to <clinit>", MutOp::RenameMethodTo("<clinit>".into()));
-    r.add(Method, "method: rename to <init>", MutOp::RenameMethodTo("<init>".into()));
-    r.add(Method, "method: rename to main", MutOp::RenameMethodTo("main".into()));
-    r.add(Method, "method: rename to illegal name", MutOp::RenameMethodIllegal);
+    r.add(
+        Method,
+        "method: rename to <clinit>",
+        MutOp::RenameMethodTo("<clinit>".into()),
+    );
+    r.add(
+        Method,
+        "method: rename to <init>",
+        MutOp::RenameMethodTo("<init>".into()),
+    );
+    r.add(
+        Method,
+        "method: rename to main",
+        MutOp::RenameMethodTo("main".into()),
+    );
+    r.add(
+        Method,
+        "method: rename to illegal name",
+        MutOp::RenameMethodIllegal,
+    );
     for (flag, label) in [
         (MethodAccess::STATIC.bits(), "static"),
         (MethodAccess::ABSTRACT.bits(), "abstract"),
@@ -174,10 +291,22 @@ pub fn all_mutators() -> Vec<Mutator> {
             "public+private (conflict)",
         ),
     ] {
-        r.add(Method, &format!("method: add {label} flag"), MutOp::AddMethodFlag(flag));
+        r.add(
+            Method,
+            &format!("method: add {label} flag"),
+            MutOp::AddMethodFlag(flag),
+        );
     }
-    r.add(Method, "method: remove static flag", MutOp::RemoveMethodFlag(MethodAccess::STATIC.bits()));
-    r.add(Method, "method: remove public flag", MutOp::RemoveMethodFlag(MethodAccess::PUBLIC.bits()));
+    r.add(
+        Method,
+        "method: remove static flag",
+        MutOp::RemoveMethodFlag(MethodAccess::STATIC.bits()),
+    );
+    r.add(
+        Method,
+        "method: remove public flag",
+        MutOp::RemoveMethodFlag(MethodAccess::PUBLIC.bits()),
+    );
     r.add(
         Method,
         "method: remove abstract flag",
@@ -194,7 +323,11 @@ pub fn all_mutators() -> Vec<Mutator> {
         "method: add native flag and delete its body",
         MutOp::MakeMethodNativeDropBody,
     );
-    r.add(Method, "method: change return type to void", MutOp::ChangeReturnType(None));
+    r.add(
+        Method,
+        "method: change return type to void",
+        MutOp::ChangeReturnType(None),
+    );
     r.add(
         Method,
         "method: change return type to int",
@@ -205,15 +338,31 @@ pub fn all_mutators() -> Vec<Mutator> {
         "method: change return type to Thread",
         MutOp::ChangeReturnType(Some(JType::object("java/lang/Thread"))),
     );
-    r.add(Method, "method: change return type randomly", MutOp::ChangeReturnTypeRandom);
-    r.add(Method, "method: drop Code attribute keeping flags", MutOp::DropMethodBody);
-    r.add(Method, "method: give a bodiless method an empty body", MutOp::AddEmptyBodyToAbstract);
+    r.add(
+        Method,
+        "method: change return type randomly",
+        MutOp::ChangeReturnTypeRandom,
+    );
+    r.add(
+        Method,
+        "method: drop Code attribute keeping flags",
+        MutOp::DropMethodBody,
+    );
+    r.add(
+        Method,
+        "method: give a bodiless method an empty body",
+        MutOp::AddEmptyBodyToAbstract,
+    );
     r.add(
         Method,
         "method: replace all with another class's methods",
         MutOp::ReplaceMethodsWithDonor,
     );
-    r.add(Method, "method: swap two method bodies", MutOp::SwapMethodBodies);
+    r.add(
+        Method,
+        "method: swap two method bodies",
+        MutOp::SwapMethodBodies,
+    );
 
     // --- Exception (9) ------------------------------------------------------------
     r.add(
@@ -236,11 +385,31 @@ pub fn all_mutators() -> Vec<Mutator> {
         "exception: add thrown missing class",
         MutOp::AddThrown("missing/GhostException".into()),
     );
-    r.add(Exception, "exception: add one thrown at random", MutOp::AddThrownRandom);
-    r.add(Exception, "exception: add a list of exceptions thrown", MutOp::AddThrownList);
-    r.add(Exception, "exception: delete one thrown", MutOp::DeleteThrown);
-    r.add(Exception, "exception: delete all thrown", MutOp::DeleteAllThrown);
-    r.add(Exception, "exception: duplicate one thrown", MutOp::DuplicateThrown);
+    r.add(
+        Exception,
+        "exception: add one thrown at random",
+        MutOp::AddThrownRandom,
+    );
+    r.add(
+        Exception,
+        "exception: add a list of exceptions thrown",
+        MutOp::AddThrownList,
+    );
+    r.add(
+        Exception,
+        "exception: delete one thrown",
+        MutOp::DeleteThrown,
+    );
+    r.add(
+        Exception,
+        "exception: delete all thrown",
+        MutOp::DeleteAllThrown,
+    );
+    r.add(
+        Exception,
+        "exception: duplicate one thrown",
+        MutOp::DuplicateThrown,
+    );
 
     // --- Parameter (7) ---------------------------------------------------------------
     r.add(
@@ -248,10 +417,18 @@ pub fn all_mutators() -> Vec<Mutator> {
         "parameter: insert Object at front",
         MutOp::InsertParamFront(JType::jobject()),
     );
-    r.add(Parameter, "parameter: insert int at end", MutOp::InsertParamEnd(JType::Int));
+    r.add(
+        Parameter,
+        "parameter: insert int at end",
+        MutOp::InsertParamEnd(JType::Int),
+    );
     r.add(Parameter, "parameter: delete one", MutOp::DeleteParam);
     r.add(Parameter, "parameter: delete all", MutOp::DeleteAllParams);
-    r.add(Parameter, "parameter: change a type randomly", MutOp::ChangeParamType(None));
+    r.add(
+        Parameter,
+        "parameter: change a type randomly",
+        MutOp::ChangeParamType(None),
+    );
     r.add(
         Parameter,
         "parameter: change a type to String",
@@ -264,11 +441,23 @@ pub fn all_mutators() -> Vec<Mutator> {
     );
 
     // --- Local variable (6) --------------------------------------------------------------
-    r.add(LocalVar, "local: insert with random type", MutOp::InsertLocal(None));
-    r.add(LocalVar, "local: insert int local", MutOp::InsertLocal(Some(JType::Int)));
+    r.add(
+        LocalVar,
+        "local: insert with random type",
+        MutOp::InsertLocal(None),
+    );
+    r.add(
+        LocalVar,
+        "local: insert int local",
+        MutOp::InsertLocal(Some(JType::Int)),
+    );
     r.add(LocalVar, "local: delete a declaration", MutOp::DeleteLocal);
     r.add(LocalVar, "local: rename a declaration", MutOp::RenameLocal);
-    r.add(LocalVar, "local: change a type randomly", MutOp::ChangeLocalType(None));
+    r.add(
+        LocalVar,
+        "local: change a type randomly",
+        MutOp::ChangeLocalType(None),
+    );
     r.add(
         LocalVar,
         "local: change a type to String",
@@ -280,7 +469,11 @@ pub fn all_mutators() -> Vec<Mutator> {
     r.add(Stmt, "stmt: delete a statement", MutOp::DeleteStmt);
     r.add(Stmt, "stmt: duplicate a statement", MutOp::DuplicateStmt);
     r.add(Stmt, "stmt: swap two adjacent statements", MutOp::SwapStmts);
-    r.add(Stmt, "stmt: replace a statement with nop", MutOp::ReplaceStmtWithNop);
+    r.add(
+        Stmt,
+        "stmt: replace a statement with nop",
+        MutOp::ReplaceStmtWithNop,
+    );
     r.add(Stmt, "stmt: delete return statements", MutOp::DeleteReturns);
 
     debug_assert_eq!(r.out.len(), 129);
@@ -309,7 +502,11 @@ mod tests {
         let mut names = std::collections::BTreeSet::new();
         for (i, m) in all.iter().enumerate() {
             assert_eq!(m.id, i);
-            assert!(names.insert(m.name.clone()), "duplicate mutator name {}", m.name);
+            assert!(
+                names.insert(m.name.clone()),
+                "duplicate mutator name {}",
+                m.name
+            );
         }
     }
 
@@ -321,13 +518,15 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(m.id as u64);
             let mut ctx = MutationCtx::new(&mut rng, &donors);
             let mut class = IrClass::with_hello_main("seed/S", "Completed!");
-            class.methods.push(classfuzz_jimple::IrMethod::abstract_method(
-                classfuzz_classfile::MethodAccess::PUBLIC
-                    | classfuzz_classfile::MethodAccess::ABSTRACT,
-                "helper",
-                vec![classfuzz_jimple::JType::Int],
-                None,
-            ));
+            class
+                .methods
+                .push(classfuzz_jimple::IrMethod::abstract_method(
+                    classfuzz_classfile::MethodAccess::PUBLIC
+                        | classfuzz_classfile::MethodAccess::ABSTRACT,
+                    "helper",
+                    vec![classfuzz_jimple::JType::Int],
+                    None,
+                ));
             class.interfaces.push("java/lang/Runnable".into());
             class.fields.push(classfuzz_jimple::IrField {
                 access: classfuzz_classfile::FieldAccess::PUBLIC,
@@ -335,7 +534,9 @@ mod tests {
                 ty: classfuzz_jimple::JType::Int,
                 constant_value: None,
             });
-            class.methods[1].exceptions.push("java/io/IOException".into());
+            class.methods[1]
+                .exceptions
+                .push("java/io/IOException".into());
             // Must not panic; either mutates or reports NotApplicable.
             let _ = m.apply(&mut class, &mut ctx);
         }

@@ -15,8 +15,15 @@ fn phases_after(op: MutOp, seed_rng: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed_rng);
     let mut ctx = MutationCtx::new(&mut rng, &donors);
     let mut class = IrClass::with_hello_main("mut/Seed", "Completed!");
-    let mutator = Mutator { id: 0, name: "test".into(), target: MutTarget::Class, op };
-    mutator.apply(&mut class, &mut ctx).expect("mutator applies to the seed");
+    let mutator = Mutator {
+        id: 0,
+        name: "test".into(),
+        target: MutTarget::Class,
+        op,
+    };
+    mutator
+        .apply(&mut class, &mut ctx)
+        .expect("mutator applies to the seed");
     let bytes = lower_class(&class).to_bytes();
     VmSpec::all_five()
         .into_iter()
@@ -27,25 +34,37 @@ fn phases_after(op: MutOp, seed_rng: u64) -> Vec<u8> {
 #[test]
 fn insert_abstract_clinit_splits_j9() {
     // Figure 2's construction.
-    assert_eq!(phases_after(MutOp::InsertAbstractClinit, 1), vec![0, 0, 0, 1, 0]);
+    assert_eq!(
+        phases_after(MutOp::InsertAbstractClinit, 1),
+        vec![0, 0, 0, 1, 0]
+    );
 }
 
 #[test]
 fn superclass_string_is_final_everywhere() {
     let phases = phases_after(MutOp::SetSuper("java/lang/String".into()), 2);
-    assert!(phases.iter().all(|&p| p == 2), "final superclass: linking everywhere, got {phases:?}");
+    assert!(
+        phases.iter().all(|&p| p == 2),
+        "final superclass: linking everywhere, got {phases:?}"
+    );
 }
 
 #[test]
 fn superclass_map_is_an_interface_everywhere() {
     let phases = phases_after(MutOp::SetSuper("java/util/Map".into()), 3);
-    assert!(phases.iter().all(|&p| p == 2), "interface superclass: {phases:?}");
+    assert!(
+        phases.iter().all(|&p| p == 2),
+        "interface superclass: {phases:?}"
+    );
 }
 
 #[test]
 fn superclass_missing_is_loading_everywhere() {
     let phases = phases_after(MutOp::SetSuper("missing/NoSuchClass".into()), 4);
-    assert!(phases.iter().all(|&p| p == 1), "missing superclass: {phases:?}");
+    assert!(
+        phases.iter().all(|&p| p == 1),
+        "missing superclass: {phases:?}"
+    );
 }
 
 #[test]
@@ -90,7 +109,11 @@ fn missing_thrown_exception_splits_throws_resolvers() {
 #[test]
 fn version_bump_splits_by_max_version() {
     let phases = phases_after(MutOp::SetMajorVersion(52), 10);
-    assert_eq!(phases, vec![1, 0, 0, 0, 1], "version 52: HS7 and GIJ reject");
+    assert_eq!(
+        phases,
+        vec![1, 0, 0, 0, 1],
+        "version 52: HS7 and GIJ reject"
+    );
 }
 
 #[test]
@@ -115,7 +138,10 @@ fn make_method_native_uniformly_linkage_fails() {
     // main becomes native: no Code attribute to invoke anywhere.
     let phases = phases_after(MutOp::MakeMethodNativeDropBody, 13);
     let first = phases[0];
-    assert!(phases.iter().all(|&p| p == first), "uniform outcome: {phases:?}");
+    assert!(
+        phases.iter().all(|&p| p == first),
+        "uniform outcome: {phases:?}"
+    );
     assert_ne!(first, 0, "a native main cannot be normally invoked");
 }
 
@@ -129,5 +155,8 @@ fn clear_class_flags_keeps_running() {
 #[test]
 fn rename_class_illegal_rejected_uniformly() {
     let phases = phases_after(MutOp::RenameClassIllegal, 15);
-    assert!(phases.iter().all(|&p| p == 1), "illegal class name: {phases:?}");
+    assert!(
+        phases.iter().all(|&p| p == 1),
+        "illegal class name: {phases:?}"
+    );
 }

@@ -188,7 +188,9 @@ mod tests {
             ));
         }
         class.interfaces.push("java/lang/Runnable".into());
-        class.methods[0].exceptions.push("java/io/IOException".into());
+        class.methods[0]
+            .exceptions
+            .push("java/io/IOException".into());
         class
     }
 

@@ -18,7 +18,9 @@ pub struct Cov {
 impl Cov {
     /// A collector that records sites.
     pub fn enabled() -> Cov {
-        Cov { trace: Some(TraceFile::new()) }
+        Cov {
+            trace: Some(TraceFile::new()),
+        }
     }
 
     /// A collector that drops everything (non-reference VMs).

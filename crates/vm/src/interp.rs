@@ -135,11 +135,19 @@ impl<'a> Machine<'a> {
             verified: std::collections::BTreeSet::new(),
         };
         m.statics.insert(
-            ("java/lang/System".into(), "out".into(), "Ljava/io/PrintStream;".into()),
+            (
+                "java/lang/System".into(),
+                "out".into(),
+                "Ljava/io/PrintStream;".into(),
+            ),
             RtValue::Ref(Some(0)),
         );
         m.statics.insert(
-            ("java/lang/System".into(), "err".into(), "Ljava/io/PrintStream;".into()),
+            (
+                "java/lang/System".into(),
+                "err".into(),
+                "Ljava/io/PrintStream;".into(),
+            ),
             RtValue::Ref(Some(0)),
         );
         m
@@ -155,19 +163,28 @@ impl<'a> Machine<'a> {
     }
 
     fn throw(&self, class: &str, message: impl Into<String>) -> ExecError {
-        ExecError::Uncaught(Thrown { class: class.into(), message: Some(message.into()) })
+        ExecError::Uncaught(Thrown {
+            class: class.into(),
+            message: Some(message.into()),
+        })
     }
 
     /// Prepares static fields of `class` (zero values, then
     /// `ConstantValue`s) — the preparation step of linking.
     pub fn prepare_statics(&mut self, class: &UserClass) {
         for (i, field) in class.fields.iter().enumerate() {
-            if !field.access.contains(classfuzz_classfile::FieldAccess::STATIC) {
+            if !field
+                .access
+                .contains(classfuzz_classfile::FieldAccess::STATIC)
+            {
                 continue;
             }
             let Some(ty) = &field.ty else { continue };
-            let key =
-                (class.name.clone(), field.name.clone(), field.desc_text.clone());
+            let key = (
+                class.name.clone(),
+                field.name.clone(),
+                field.desc_text.clone(),
+            );
             let mut value = RtValue::default_of(ty);
             // ConstantValue initialization.
             for attr in &class.cf.fields[i].attributes {
@@ -177,15 +194,13 @@ impl<'a> Machine<'a> {
                         Some(Constant::Long(v)) => RtValue::Long(*v),
                         Some(Constant::Float(v)) => RtValue::Float(*v),
                         Some(Constant::Double(v)) => RtValue::Double(*v),
-                        Some(Constant::String(s)) => {
-                            match class.cf.constant_pool.utf8_text(*s) {
-                                Some(text) => {
-                                    let text = text.to_string();
-                                    self.intern_str(&text)
-                                }
-                                None => RtValue::Ref(None),
+                        Some(Constant::String(s)) => match class.cf.constant_pool.utf8_text(*s) {
+                            Some(text) => {
+                                let text = text.to_string();
+                                self.intern_str(&text)
                             }
-                        }
+                            None => RtValue::Ref(None),
+                        },
                         _ => value,
                     };
                 }
@@ -246,7 +261,10 @@ impl<'a> Machine<'a> {
                     .error()
                     .map(|e| e.message.clone())
                     .unwrap_or_else(|| "verification failed".into());
-                Err(ExecError::Linkage { kind: JvmErrorKind::VerifyError, message: msg })
+                Err(ExecError::Linkage {
+                    kind: JvmErrorKind::VerifyError,
+                    message: msg,
+                })
             }
         }
     }
@@ -318,7 +336,10 @@ impl<'a> Machine<'a> {
 
             macro_rules! rt_throw {
                 ($class:expr, $msg:expr) => {{
-                    let thrown = Thrown { class: $class.to_string(), message: Some($msg.to_string()) };
+                    let thrown = Thrown {
+                        class: $class.to_string(),
+                        message: Some($msg.to_string()),
+                    };
                     match self.find_handler(&code, &cp, &pc_to_idx, cur_pc, &thrown) {
                         Some(handler_idx) => {
                             let exc_class = thrown.class.clone();
@@ -366,10 +387,9 @@ impl<'a> Machine<'a> {
                     match op {
                         Nop => {}
                         AconstNull => stack.push(RtValue::Ref(None)),
-                        IconstM1 | Iconst0 | Iconst1 | Iconst2 | Iconst3 | Iconst4
-                        | Iconst5 => stack.push(RtValue::Int(
-                            op.byte() as i32 - Iconst0.byte() as i32,
-                        )),
+                        IconstM1 | Iconst0 | Iconst1 | Iconst2 | Iconst3 | Iconst4 | Iconst5 => {
+                            stack.push(RtValue::Int(op.byte() as i32 - Iconst0.byte() as i32))
+                        }
                         Lconst0 | Lconst1 => {
                             stack.push(RtValue::Long((op.byte() - Lconst0.byte()) as i64))
                         }
@@ -651,8 +671,7 @@ impl<'a> Machine<'a> {
                                 ),
                             }
                         }
-                        Iaload | Laload | Faload | Daload | Aaload | Baload | Caload
-                        | Saload => {
+                        Iaload | Laload | Faload | Daload | Aaload | Baload | Caload | Saload => {
                             let i = pop_int!();
                             let arr = pop!();
                             match self.array_get(&arr, i) {
@@ -660,8 +679,8 @@ impl<'a> Machine<'a> {
                                 Err(t) => rt_throw!(t.class, t.message.unwrap_or_default()),
                             }
                         }
-                        Iastore | Lastore | Fastore | Dastore | Aastore | Bastore
-                        | Castore | Sastore => {
+                        Iastore | Lastore | Fastore | Dastore | Aastore | Bastore | Castore
+                        | Sastore => {
                             let v = pop!();
                             let i = pop_int!();
                             let arr = pop!();
@@ -685,10 +704,7 @@ impl<'a> Machine<'a> {
                         Monitorenter | Monitorexit => {
                             let r = pop!();
                             if matches!(r, RtValue::Ref(None)) {
-                                rt_throw!(
-                                    "java/lang/NullPointerException",
-                                    "monitor on null"
-                                );
+                                rt_throw!("java/lang/NullPointerException", "monitor on null");
                             }
                         }
                         other => {
@@ -708,8 +724,7 @@ impl<'a> Machine<'a> {
                         Some(Constant::Float(v)) => stack.push(RtValue::Float(*v)),
                         Some(Constant::Double(v)) => stack.push(RtValue::Double(*v)),
                         Some(Constant::String(s)) => {
-                            let text =
-                                cp.utf8_text(*s).unwrap_or_default().to_string();
+                            let text = cp.utf8_text(*s).unwrap_or_default().to_string();
                             let v = self.intern_str(&text);
                             stack.push(v);
                         }
@@ -734,10 +749,16 @@ impl<'a> Machine<'a> {
                         });
                     }
                     match op {
-                        Opcode::Iload | Opcode::Lload | Opcode::Fload | Opcode::Dload
+                        Opcode::Iload
+                        | Opcode::Lload
+                        | Opcode::Fload
+                        | Opcode::Dload
                         | Opcode::Aload => stack.push(locals[slot].clone()),
-                        Opcode::Istore | Opcode::Lstore | Opcode::Fstore
-                        | Opcode::Dstore | Opcode::Astore => locals[slot] = pop!(),
+                        Opcode::Istore
+                        | Opcode::Lstore
+                        | Opcode::Fstore
+                        | Opcode::Dstore
+                        | Opcode::Astore => locals[slot] = pop!(),
                         other => {
                             return Err(ExecError::Linkage {
                                 kind: JvmErrorKind::InternalError,
@@ -764,8 +785,7 @@ impl<'a> Machine<'a> {
                         Ifle => pop_int!() <= 0,
                         Ifnull => matches!(pop!(), RtValue::Ref(None)),
                         Ifnonnull => !matches!(pop!(), RtValue::Ref(None)),
-                        IfIcmpeq | IfIcmpne | IfIcmplt | IfIcmpge | IfIcmpgt
-                        | IfIcmple => {
+                        IfIcmpeq | IfIcmpne | IfIcmplt | IfIcmpge | IfIcmpgt | IfIcmple => {
                             let b = pop_int!();
                             let a = pop_int!();
                             match op {
@@ -801,8 +821,7 @@ impl<'a> Machine<'a> {
                             None => {
                                 return Err(ExecError::Linkage {
                                     kind: JvmErrorKind::VerifyError,
-                                    message: "branch to a non-instruction at runtime"
-                                        .into(),
+                                    message: "branch to a non-instruction at runtime".into(),
                                 })
                             }
                         };
@@ -850,8 +869,7 @@ impl<'a> Machine<'a> {
                             let r = pop!();
                             match r {
                                 RtValue::Ref(Some(id)) => {
-                                    if let Obj::Instance { fields, .. } = &mut self.heap[id]
-                                    {
+                                    if let Obj::Instance { fields, .. } = &mut self.heap[id] {
                                         fields.insert((fname, fdesc), v);
                                     }
                                 }
@@ -864,10 +882,8 @@ impl<'a> Machine<'a> {
                         _ => unreachable!("Field covers the four field opcodes"),
                     }
                 }
-                Instruction::Invoke(_, cpi)
-                | Instruction::InvokeInterface { index: cpi, .. } => {
-                    let is_static =
-                        matches!(&insn, Instruction::Invoke(Opcode::Invokestatic, _));
+                Instruction::Invoke(_, cpi) | Instruction::InvokeInterface { index: cpi, .. } => {
+                    let is_static = matches!(&insn, Instruction::Invoke(Opcode::Invokestatic, _));
                     let Some((mclass, mname, mdesc)) = cp.member_ref_parts(*cpi) else {
                         return Err(ExecError::Linkage {
                             kind: JvmErrorKind::NoSuchMethodError,
@@ -892,9 +908,7 @@ impl<'a> Machine<'a> {
                             format!("invoke {mname} on null")
                         );
                     }
-                    match self.dispatch(
-                        &mclass, &mname, &mdesc, receiver, call_args, cov, depth,
-                    ) {
+                    match self.dispatch(&mclass, &mname, &mdesc, receiver, call_args, cov, depth) {
                         Ok(Some(v)) => stack.push(v),
                         Ok(None) => {}
                         Err(ExecError::Uncaught(t)) => {
@@ -986,7 +1000,9 @@ impl<'a> Machine<'a> {
                     if probe_branch!(cov, len < 0) {
                         rt_throw!("java/lang/NegativeArraySizeException", len.to_string());
                     }
-                    let name = cp.class_name(*cpi).unwrap_or_else(|| "java/lang/Object".into());
+                    let name = cp
+                        .class_name(*cpi)
+                        .unwrap_or_else(|| "java/lang/Object".into());
                     let id = self.alloc(Obj::Array {
                         elem: format!("L{name};"),
                         data: vec![RtValue::Ref(None); (len as usize).min(1 << 20)],
@@ -1093,10 +1109,14 @@ impl<'a> Machine<'a> {
     fn thrown_from(&self, r: &RtValue) -> Thrown {
         match r {
             RtValue::Ref(Some(id)) => match &self.heap[*id] {
-                Obj::Instance { class, message, .. } => {
-                    Thrown { class: class.clone(), message: message.clone() }
-                }
-                _ => Thrown { class: "java/lang/Throwable".into(), message: None },
+                Obj::Instance { class, message, .. } => Thrown {
+                    class: class.clone(),
+                    message: message.clone(),
+                },
+                _ => Thrown {
+                    class: "java/lang/Throwable".into(),
+                    message: None,
+                },
             },
             _ => Thrown {
                 class: "java/lang/NullPointerException".into(),
@@ -1174,7 +1194,9 @@ impl<'a> Machine<'a> {
                 return v.clone();
             }
         }
-        FieldType::parse(desc).map(|t| RtValue::default_of(&t)).unwrap_or(RtValue::Int(0))
+        FieldType::parse(desc)
+            .map(|t| RtValue::default_of(&t))
+            .unwrap_or(RtValue::Int(0))
     }
 
     fn resolve_static(
@@ -1193,7 +1215,11 @@ impl<'a> Machine<'a> {
                 return Ok(v.clone());
             }
             if let Some(lib) = self.world.lib(&cur) {
-                if lib.static_fields.iter().any(|f| f.name == name && f.desc == desc) {
+                if lib
+                    .static_fields
+                    .iter()
+                    .any(|f| f.name == name && f.desc == desc)
+                {
                     // Unmodeled library static: default value.
                     let v = FieldType::parse(desc)
                         .map(|t| RtValue::default_of(&t))
@@ -1327,8 +1353,7 @@ impl<'a> Machine<'a> {
                 None
             }
             Behavior::ThrowableInitMsg => {
-                if let (Some(RtValue::Ref(Some(id))), Some(msg)) =
-                    (receiver.clone(), args.first())
+                if let (Some(RtValue::Ref(Some(id))), Some(msg)) = (receiver.clone(), args.first())
                 {
                     let text = self.render(msg);
                     if let Obj::Instance { message, .. } = &mut self.heap[id] {
@@ -1361,17 +1386,26 @@ impl<'a> Machine<'a> {
                 Some(RtValue::Int(len))
             }
             Behavior::StringConcat => {
-                let a = receiver.as_ref().map(|r| self.render(r)).unwrap_or_default();
+                let a = receiver
+                    .as_ref()
+                    .map(|r| self.render(r))
+                    .unwrap_or_default();
                 let b = args.first().map(|r| self.render(r)).unwrap_or_default();
                 Some(self.intern_str(&format!("{a}{b}")))
             }
             Behavior::StringEquals => {
-                let a = receiver.as_ref().map(|r| self.render(r)).unwrap_or_default();
+                let a = receiver
+                    .as_ref()
+                    .map(|r| self.render(r))
+                    .unwrap_or_default();
                 let b = args.first().map(|r| self.render(r)).unwrap_or_default();
                 Some(RtValue::Int((a == b) as i32))
             }
             Behavior::StringHashCode => {
-                let a = receiver.as_ref().map(|r| self.render(r)).unwrap_or_default();
+                let a = receiver
+                    .as_ref()
+                    .map(|r| self.render(r))
+                    .unwrap_or_default();
                 let mut h: i32 = 0;
                 for c in a.chars() {
                     h = h.wrapping_mul(31).wrapping_add(c as i32);
@@ -1379,8 +1413,7 @@ impl<'a> Machine<'a> {
                 Some(RtValue::Int(h))
             }
             Behavior::SbAppend => {
-                if let (Some(RtValue::Ref(Some(id))), Some(arg)) =
-                    (receiver.clone(), args.first())
+                if let (Some(RtValue::Ref(Some(id))), Some(arg)) = (receiver.clone(), args.first())
                 {
                     let rendered = self.render(arg);
                     // Appending to a plain Instance upgrades it to a builder.
@@ -1403,7 +1436,9 @@ impl<'a> Machine<'a> {
                 Some(self.intern_str(&text))
             }
             Behavior::MathAbs => Some(RtValue::Int(
-                args.first().map(|a| coerce_int(a.clone()).wrapping_abs()).unwrap_or(0),
+                args.first()
+                    .map(|a| coerce_int(a.clone()).wrapping_abs())
+                    .unwrap_or(0),
             )),
             Behavior::MathMax => {
                 let a = args.first().map(|a| coerce_int(a.clone())).unwrap_or(0);
@@ -1436,7 +1471,10 @@ impl<'a> Machine<'a> {
                 Some(RtValue::Int(eq as i32))
             }
             Behavior::ObjToString => {
-                let text = receiver.as_ref().map(|r| self.render(r)).unwrap_or_default();
+                let text = receiver
+                    .as_ref()
+                    .map(|r| self.render(r))
+                    .unwrap_or_default();
                 Some(self.intern_str(&text))
             }
         })

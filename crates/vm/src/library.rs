@@ -112,15 +112,13 @@ impl LibClass {
 
     /// Finds a method by name and descriptor.
     pub fn find_method(&self, name: &str, desc: &str) -> Option<&LibMethod> {
-        self.methods.iter().find(|m| m.name == name && m.desc == desc)
+        self.methods
+            .iter()
+            .find(|m| m.name == name && m.desc == desc)
     }
 }
 
-fn class(
-    name: &'static str,
-    super_class: Option<&'static str>,
-    access: ClassAccess,
-) -> LibClass {
+fn class(name: &'static str, super_class: Option<&'static str>, access: ClassAccess) -> LibClass {
     LibClass {
         name,
         access,
@@ -133,11 +131,21 @@ fn class(
 }
 
 fn m(name: &'static str, desc: &'static str, behavior: Behavior) -> LibMethod {
-    LibMethod { name, desc, access: MethodAccess::PUBLIC, behavior }
+    LibMethod {
+        name,
+        desc,
+        access: MethodAccess::PUBLIC,
+        behavior,
+    }
 }
 
 fn m_static(name: &'static str, desc: &'static str, behavior: Behavior) -> LibMethod {
-    LibMethod { name, desc, access: MethodAccess::PUBLIC | MethodAccess::STATIC, behavior }
+    LibMethod {
+        name,
+        desc,
+        access: MethodAccess::PUBLIC | MethodAccess::STATIC,
+        behavior,
+    }
 }
 
 fn iface(name: &'static str) -> LibClass {
@@ -151,7 +159,11 @@ fn iface(name: &'static str) -> LibClass {
 fn throwable_subclass(name: &'static str, super_class: &'static str) -> LibClass {
     let mut c = class(name, Some(super_class), ClassAccess::PUBLIC);
     c.methods.push(m("<init>", "()V", Behavior::InitNop));
-    c.methods.push(m("<init>", "(Ljava/lang/String;)V", Behavior::ThrowableInitMsg));
+    c.methods.push(m(
+        "<init>",
+        "(Ljava/lang/String;)V",
+        Behavior::ThrowableInitMsg,
+    ));
     c
 }
 
@@ -191,7 +203,11 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
     string.interfaces = vec!["java/lang/Comparable", "java/io/Serializable"];
     string.methods.extend([
         m("length", "()I", Behavior::StringLength),
-        m("concat", "(Ljava/lang/String;)Ljava/lang/String;", Behavior::StringConcat),
+        m(
+            "concat",
+            "(Ljava/lang/String;)Ljava/lang/String;",
+            Behavior::StringConcat,
+        ),
         m("equals", "(Ljava/lang/Object;)Z", Behavior::StringEquals),
         m("hashCode", "()I", Behavior::StringHashCode),
     ]);
@@ -202,11 +218,21 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
         Some("java/lang/Object"),
         ClassAccess::PUBLIC | ClassAccess::FINAL,
     );
-    system.static_fields.push(LibField { name: "out", desc: "Ljava/io/PrintStream;" });
-    system.static_fields.push(LibField { name: "err", desc: "Ljava/io/PrintStream;" });
+    system.static_fields.push(LibField {
+        name: "out",
+        desc: "Ljava/io/PrintStream;",
+    });
+    system.static_fields.push(LibField {
+        name: "err",
+        desc: "Ljava/io/PrintStream;",
+    });
     add(system);
 
-    let mut print_stream = class("java/io/PrintStream", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    let mut print_stream = class(
+        "java/io/PrintStream",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC,
+    );
     print_stream.methods.extend([
         m("println", "(Ljava/lang/String;)V", Behavior::PrintlnStr),
         m("println", "(I)V", Behavior::PrintlnValue),
@@ -220,10 +246,18 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
     ]);
     add(print_stream);
 
-    let mut sb = class("java/lang/StringBuilder", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    let mut sb = class(
+        "java/lang/StringBuilder",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC,
+    );
     sb.methods.extend([
         m("<init>", "()V", Behavior::InitNop),
-        m("append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;", Behavior::SbAppend),
+        m(
+            "append",
+            "(Ljava/lang/String;)Ljava/lang/StringBuilder;",
+            Behavior::SbAppend,
+        ),
         m("append", "(I)Ljava/lang/StringBuilder;", Behavior::SbAppend),
         m("append", "(J)Ljava/lang/StringBuilder;", Behavior::SbAppend),
         m("append", "(Z)Ljava/lang/StringBuilder;", Behavior::SbAppend),
@@ -248,13 +282,33 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
         Some("java/lang/Number"),
         ClassAccess::PUBLIC | ClassAccess::FINAL,
     );
-    integer.methods.push(m_static("parseInt", "(Ljava/lang/String;)I", Behavior::ParseInt));
+    integer.methods.push(m_static(
+        "parseInt",
+        "(Ljava/lang/String;)I",
+        Behavior::ParseInt,
+    ));
     add(integer);
-    add(class("java/lang/Number", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::ABSTRACT));
-    add(class("java/lang/Class", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::FINAL));
-    add(class("java/lang/Enum", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::ABSTRACT));
+    add(class(
+        "java/lang/Number",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::ABSTRACT,
+    ));
+    add(class(
+        "java/lang/Class",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::FINAL,
+    ));
+    add(class(
+        "java/lang/Enum",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::ABSTRACT,
+    ));
 
-    let mut thread = class("java/lang/Thread", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    let mut thread = class(
+        "java/lang/Thread",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC,
+    );
     thread.interfaces = vec!["java/lang/Runnable"];
     thread.methods.extend([
         m("<init>", "()V", Behavior::InitNop),
@@ -264,32 +318,86 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
     add(thread);
 
     // Throwable hierarchy.
-    let mut throwable = class("java/lang/Throwable", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    let mut throwable = class(
+        "java/lang/Throwable",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC,
+    );
     throwable.methods.extend([
         m("<init>", "()V", Behavior::InitNop),
-        m("<init>", "(Ljava/lang/String;)V", Behavior::ThrowableInitMsg),
-        m("getMessage", "()Ljava/lang/String;", Behavior::ThrowableGetMessage),
+        m(
+            "<init>",
+            "(Ljava/lang/String;)V",
+            Behavior::ThrowableInitMsg,
+        ),
+        m(
+            "getMessage",
+            "()Ljava/lang/String;",
+            Behavior::ThrowableGetMessage,
+        ),
     ]);
     add(throwable);
-    add(throwable_subclass("java/lang/Exception", "java/lang/Throwable"));
-    add(throwable_subclass("java/lang/RuntimeException", "java/lang/Exception"));
-    add(throwable_subclass("java/lang/ArithmeticException", "java/lang/RuntimeException"));
-    add(throwable_subclass("java/lang/NullPointerException", "java/lang/RuntimeException"));
-    add(throwable_subclass("java/lang/ClassCastException", "java/lang/RuntimeException"));
-    add(throwable_subclass("java/lang/IllegalArgumentException", "java/lang/RuntimeException"));
-    add(throwable_subclass("java/lang/IllegalStateException", "java/lang/RuntimeException"));
-    add(throwable_subclass("java/lang/IndexOutOfBoundsException", "java/lang/RuntimeException"));
+    add(throwable_subclass(
+        "java/lang/Exception",
+        "java/lang/Throwable",
+    ));
+    add(throwable_subclass(
+        "java/lang/RuntimeException",
+        "java/lang/Exception",
+    ));
+    add(throwable_subclass(
+        "java/lang/ArithmeticException",
+        "java/lang/RuntimeException",
+    ));
+    add(throwable_subclass(
+        "java/lang/NullPointerException",
+        "java/lang/RuntimeException",
+    ));
+    add(throwable_subclass(
+        "java/lang/ClassCastException",
+        "java/lang/RuntimeException",
+    ));
+    add(throwable_subclass(
+        "java/lang/IllegalArgumentException",
+        "java/lang/RuntimeException",
+    ));
+    add(throwable_subclass(
+        "java/lang/IllegalStateException",
+        "java/lang/RuntimeException",
+    ));
+    add(throwable_subclass(
+        "java/lang/IndexOutOfBoundsException",
+        "java/lang/RuntimeException",
+    ));
     add(throwable_subclass(
         "java/lang/ArrayIndexOutOfBoundsException",
         "java/lang/IndexOutOfBoundsException",
     ));
-    add(throwable_subclass("java/lang/NegativeArraySizeException", "java/lang/RuntimeException"));
+    add(throwable_subclass(
+        "java/lang/NegativeArraySizeException",
+        "java/lang/RuntimeException",
+    ));
     add(throwable_subclass("java/lang/Error", "java/lang/Throwable"));
-    add(throwable_subclass("java/lang/LinkageError", "java/lang/Error"));
-    add(throwable_subclass("java/lang/VerifyError", "java/lang/LinkageError"));
-    add(throwable_subclass("java/lang/ClassFormatError", "java/lang/LinkageError"));
-    add(throwable_subclass("java/io/IOException", "java/lang/Exception"));
-    add(throwable_subclass("java/io/FileNotFoundException", "java/io/IOException"));
+    add(throwable_subclass(
+        "java/lang/LinkageError",
+        "java/lang/Error",
+    ));
+    add(throwable_subclass(
+        "java/lang/VerifyError",
+        "java/lang/LinkageError",
+    ));
+    add(throwable_subclass(
+        "java/lang/ClassFormatError",
+        "java/lang/LinkageError",
+    ));
+    add(throwable_subclass(
+        "java/io/IOException",
+        "java/lang/Exception",
+    ));
+    add(throwable_subclass(
+        "java/io/FileNotFoundException",
+        "java/io/IOException",
+    ));
 
     // Interfaces.
     let mut runnable = iface("java/lang/Runnable");
@@ -316,11 +424,18 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
     add(iface("java/lang/Iterable"));
     add(iface("java/util/Enumeration"));
 
-    let mut abstract_map =
-        class("java/util/AbstractMap", Some("java/lang/Object"), ClassAccess::PUBLIC | ClassAccess::ABSTRACT);
+    let mut abstract_map = class(
+        "java/util/AbstractMap",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC | ClassAccess::ABSTRACT,
+    );
     abstract_map.interfaces = vec!["java/util/Map"];
     add(abstract_map);
-    let mut hash_map = class("java/util/HashMap", Some("java/util/AbstractMap"), ClassAccess::PUBLIC);
+    let mut hash_map = class(
+        "java/util/HashMap",
+        Some("java/util/AbstractMap"),
+        ClassAccess::PUBLIC,
+    );
     hash_map.interfaces = vec!["java/util/Map"];
     hash_map.methods.push(m("<init>", "()V", Behavior::InitNop));
     add(hash_map);
@@ -329,20 +444,35 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
         Some("java/lang/Object"),
         ClassAccess::PUBLIC | ClassAccess::FINAL,
     );
-    bool_cls.methods.push(m_static("getBoolean", "(Ljava/lang/String;)Z", Behavior::Default));
+    bool_cls.methods.push(m_static(
+        "getBoolean",
+        "(Ljava/lang/String;)Z",
+        Behavior::Default,
+    ));
     add(bool_cls);
 
     // --- Generation-gated classes -------------------------------------
 
     if matches!(gen, JreGeneration::Jre5 | JreGeneration::Jre7) {
-        let mut legacy = class("jre/ext/LegacySupport", Some("java/lang/Object"), ClassAccess::PUBLIC);
-        legacy.methods.push(m_static("status", "()I", Behavior::Default));
+        let mut legacy = class(
+            "jre/ext/LegacySupport",
+            Some("java/lang/Object"),
+            ClassAccess::PUBLIC,
+        );
+        legacy
+            .methods
+            .push(m_static("status", "()I", Behavior::Default));
         legacy.methods.push(m("<init>", "()V", Behavior::InitNop));
         add(legacy);
     }
     if matches!(gen, JreGeneration::Jre8 | JreGeneration::Jre9) {
-        let mut kit = class("jre/util/StreamKit", Some("java/lang/Object"), ClassAccess::PUBLIC);
-        kit.methods.push(m_static("count", "()I", Behavior::Default));
+        let mut kit = class(
+            "jre/util/StreamKit",
+            Some("java/lang/Object"),
+            ClassAccess::PUBLIC,
+        );
+        kit.methods
+            .push(m_static("count", "()I", Behavior::Default));
         kit.methods.push(m("<init>", "()V", Behavior::InitNop));
         add(kit);
     }
@@ -354,13 +484,23 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
     } else {
         ClassAccess::PUBLIC
     };
-    let mut abstract_editor = class("jre/beans/AbstractEditor", Some("java/lang/Object"), editor_access);
-    abstract_editor.methods.push(m("<init>", "()V", Behavior::InitNop));
+    let mut abstract_editor = class(
+        "jre/beans/AbstractEditor",
+        Some("java/lang/Object"),
+        editor_access,
+    );
+    abstract_editor
+        .methods
+        .push(m("<init>", "()V", Behavior::InitNop));
     add(abstract_editor);
 
     // Internal (sun.*-style) classes: present everywhere, but Java 9
     // encapsulation makes touching them an IllegalAccessError.
-    let mut pisces = class("sun/internal/PiscesKit", Some("java/lang/Object"), ClassAccess::PUBLIC);
+    let mut pisces = class(
+        "sun/internal/PiscesKit",
+        Some("java/lang/Object"),
+        ClassAccess::PUBLIC,
+    );
     pisces.internal = true;
     pisces.methods.push(m("<init>", "()V", Behavior::InitNop));
     add(pisces);

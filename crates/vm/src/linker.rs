@@ -27,12 +27,7 @@ pub fn link_check(world: &World, class: &UserClass, spec: &VmSpec, cov: &mut Cov
     Ok(())
 }
 
-fn check_hierarchy(
-    world: &World,
-    class: &UserClass,
-    spec: &VmSpec,
-    cov: &mut Cov,
-) -> LinkResult {
+fn check_hierarchy(world: &World, class: &UserClass, spec: &VmSpec, cov: &mut Cov) -> LinkResult {
     probe!(cov);
     if let Some(super_name) = &class.super_name {
         probe!(cov);
@@ -54,7 +49,10 @@ fn check_hierarchy(
             return Err(Outcome::rejected(
                 Phase::Linking,
                 JvmErrorKind::IncompatibleClassChangeError,
-                format!("class {} has interface {super_name} as super class", class.name),
+                format!(
+                    "class {} has interface {super_name} as super class",
+                    class.name
+                ),
             ));
         }
         // The EnumEditor case: final superclass. HotSpot reports
@@ -113,12 +111,7 @@ fn check_hierarchy(
 /// Problem 3: HotSpot resolves the classes named in `throws` clauses during
 /// linking; a missing class or an encapsulated internal class is exposed
 /// here — J9 and GIJ never look.
-fn resolve_throws(
-    world: &World,
-    class: &UserClass,
-    spec: &VmSpec,
-    cov: &mut Cov,
-) -> LinkResult {
+fn resolve_throws(world: &World, class: &UserClass, spec: &VmSpec, cov: &mut Cov) -> LinkResult {
     probe!(cov);
     for m in &class.methods {
         for exc in &m.exceptions {
@@ -214,13 +207,21 @@ mod tests {
     fn problem3_throws_clause_internal_class() {
         // M1437121261: main declares `throws sun/internal/PiscesKit$2`.
         let mut c = IrClass::with_hello_main("M1437121261", "x");
-        c.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+        c.methods[0]
+            .exceptions
+            .push("sun/internal/PiscesKit$2".into());
         assert_eq!(
             kind(link(&c, &VmSpec::hotspot9())),
             (Phase::Linking, JvmErrorKind::IllegalAccessError)
         );
-        assert!(link(&c, &VmSpec::j9()).is_ok(), "J9 does not resolve throws clauses");
-        assert!(link(&c, &VmSpec::gij()).is_ok(), "GIJ does not resolve throws clauses");
+        assert!(
+            link(&c, &VmSpec::j9()).is_ok(),
+            "J9 does not resolve throws clauses"
+        );
+        assert!(
+            link(&c, &VmSpec::gij()).is_ok(),
+            "GIJ does not resolve throws clauses"
+        );
     }
 
     #[test]

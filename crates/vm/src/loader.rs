@@ -75,8 +75,10 @@ fn check_class_shape(class: &UserClass, spec: &VmSpec, cov: &mut Cov) -> CheckRe
     }
     let acc = class.cf.access;
     let is_interface = acc.contains(ClassAccess::INTERFACE);
-    if probe_branch!(cov, acc.contains(ClassAccess::FINAL) && acc.contains(ClassAccess::ABSTRACT))
-    {
+    if probe_branch!(
+        cov,
+        acc.contains(ClassAccess::FINAL) && acc.contains(ClassAccess::ABSTRACT)
+    ) {
         return reject(
             JvmErrorKind::ClassFormatError,
             "class cannot be both final and abstract",
@@ -142,10 +144,14 @@ fn check_fields(class: &UserClass, spec: &VmSpec, cov: &mut Cov) -> CheckResult 
                 format!("field {} has invalid descriptor {:?}", f.name, f.desc_text),
             );
         }
-        let visibility = [FieldAccess::PUBLIC, FieldAccess::PRIVATE, FieldAccess::PROTECTED]
-            .iter()
-            .filter(|&&v| f.access.contains(v))
-            .count();
+        let visibility = [
+            FieldAccess::PUBLIC,
+            FieldAccess::PRIVATE,
+            FieldAccess::PROTECTED,
+        ]
+        .iter()
+        .filter(|&&v| f.access.contains(v))
+        .count();
         if probe_branch!(cov, visibility > 1) {
             return reject(
                 JvmErrorKind::ClassFormatError,
@@ -224,7 +230,10 @@ fn check_one_method(
 
     // Problem 1 (J9): any method *named* <clinit> must carry a Code
     // attribute, whatever its flags.
-    if probe_branch!(cov, named_clinit && spec.clinit_requires_code && !m.has_code) {
+    if probe_branch!(
+        cov,
+        named_clinit && spec.clinit_requires_code && !m.has_code
+    ) {
         return reject(
             JvmErrorKind::ClassFormatError,
             format!(
@@ -236,11 +245,17 @@ fn check_one_method(
     }
     // Problem 1 (HotSpot): other methods named <clinit> are of no
     // consequence — skip every remaining check.
-    if probe_branch!(cov, named_clinit && !is_initializer && spec.clinit_flags_exempt) {
+    if probe_branch!(
+        cov,
+        named_clinit && !is_initializer && spec.clinit_flags_exempt
+    ) {
         return Ok(());
     }
 
-    if probe_branch!(cov, !legal_member_name(&m.name) && !named_clinit && m.name != "<init>") {
+    if probe_branch!(
+        cov,
+        !legal_member_name(&m.name) && !named_clinit && m.name != "<init>"
+    ) {
         return reject(
             JvmErrorKind::ClassFormatError,
             format!("illegal method name {:?}", m.name),
@@ -252,10 +267,14 @@ fn check_one_method(
             format!("method {} has invalid descriptor {:?}", m.name, m.desc_text),
         );
     }
-    let visibility = [MethodAccess::PUBLIC, MethodAccess::PRIVATE, MethodAccess::PROTECTED]
-        .iter()
-        .filter(|&&v| m.access.contains(v))
-        .count();
+    let visibility = [
+        MethodAccess::PUBLIC,
+        MethodAccess::PRIVATE,
+        MethodAccess::PROTECTED,
+    ]
+    .iter()
+    .filter(|&&v| m.access.contains(v))
+    .count();
     if probe_branch!(cov, visibility > 1) {
         return reject(
             JvmErrorKind::ClassFormatError,
@@ -287,7 +306,10 @@ fn check_one_method(
         ) {
             return reject(
                 JvmErrorKind::ClassFormatError,
-                format!("abstract method {} in non-abstract class {}", m.name, class.name),
+                format!(
+                    "abstract method {} in non-abstract class {}",
+                    m.name, class.name
+                ),
             );
         }
     }
@@ -296,7 +318,10 @@ fn check_one_method(
     if probe_branch!(cov, !m.has_code && !is_abstract && !is_native) {
         return reject(
             JvmErrorKind::ClassFormatError,
-            format!("absent Code attribute in method {} that is not native or abstract", m.name),
+            format!(
+                "absent Code attribute in method {} that is not native or abstract",
+                m.name
+            ),
         );
     }
     if probe_branch!(cov, m.has_code && (is_abstract || is_native)) {
@@ -327,7 +352,10 @@ fn check_one_method(
         }
         let returns_void = m.desc.as_ref().map(|d| d.ret.is_none()).unwrap_or(false);
         if probe_branch!(cov, !returns_void) {
-            return reject(JvmErrorKind::ClassFormatError, "method <init> must return void");
+            return reject(
+                JvmErrorKind::ClassFormatError,
+                "method <init> must return void",
+            );
         }
     }
 
@@ -368,7 +396,11 @@ mod tests {
     fn valid_class_passes_everywhere() {
         let c = IrClass::with_hello_main("ok/Fine", "hi");
         for spec in VmSpec::all_five() {
-            assert!(check(&c, &spec).is_ok(), "{} rejected a valid class", spec.name);
+            assert!(
+                check(&c, &spec).is_ok(),
+                "{} rejected a valid class",
+                spec.name
+            );
         }
     }
 
@@ -376,7 +408,10 @@ mod tests {
     fn version_gate() {
         let mut c = IrClass::new("v/High");
         c.major_version = 53;
-        assert_eq!(kind(check(&c, &VmSpec::hotspot7())), JvmErrorKind::UnsupportedClassVersionError);
+        assert_eq!(
+            kind(check(&c, &VmSpec::hotspot7())),
+            JvmErrorKind::UnsupportedClassVersionError
+        );
         assert!(check(&c, &VmSpec::hotspot9()).is_ok());
     }
 
@@ -390,8 +425,14 @@ mod tests {
             vec![],
             None,
         ));
-        assert!(check(&c, &VmSpec::hotspot8()).is_ok(), "HotSpot: of no consequence");
-        assert_eq!(kind(check(&c, &VmSpec::j9())), JvmErrorKind::ClassFormatError);
+        assert!(
+            check(&c, &VmSpec::hotspot8()).is_ok(),
+            "HotSpot: of no consequence"
+        );
+        assert_eq!(
+            kind(check(&c, &VmSpec::j9())),
+            JvmErrorKind::ClassFormatError
+        );
     }
 
     #[test]
@@ -406,8 +447,14 @@ mod tests {
             vec![JType::Int],
             None,
         ));
-        assert_eq!(kind(check(&c, &VmSpec::hotspot8())), JvmErrorKind::ClassFormatError);
-        assert!(check(&c, &VmSpec::gij()).is_ok(), "GIJ accepts lax interface members");
+        assert_eq!(
+            kind(check(&c, &VmSpec::hotspot8())),
+            JvmErrorKind::ClassFormatError
+        );
+        assert!(
+            check(&c, &VmSpec::gij()).is_ok(),
+            "GIJ accepts lax interface members"
+        );
     }
 
     #[test]
@@ -422,14 +469,20 @@ mod tests {
             body: None,
         });
         // HotSpot/J9 reject the <init> signature outright.
-        assert_eq!(kind(check(&c, &VmSpec::hotspot8())), JvmErrorKind::ClassFormatError);
+        assert_eq!(
+            kind(check(&c, &VmSpec::hotspot8())),
+            JvmErrorKind::ClassFormatError
+        );
         // GIJ skips the <init> discipline, but its abstract-in-concrete
         // check still fires on a concrete class — make the class abstract
         // to isolate the <init> signature policy.
         use classfuzz_classfile::ClassAccess;
         c.access = ClassAccess::PUBLIC | ClassAccess::ABSTRACT | ClassAccess::SUPER;
         assert!(check(&c, &VmSpec::gij()).is_ok());
-        assert_eq!(kind(check(&c, &VmSpec::j9())), JvmErrorKind::ClassFormatError);
+        assert_eq!(
+            kind(check(&c, &VmSpec::j9())),
+            JvmErrorKind::ClassFormatError
+        );
     }
 
     #[test]
@@ -444,7 +497,10 @@ mod tests {
                 constant_value: None,
             });
         }
-        assert_eq!(kind(check(&c, &VmSpec::hotspot8())), JvmErrorKind::ClassFormatError);
+        assert_eq!(
+            kind(check(&c, &VmSpec::hotspot8())),
+            JvmErrorKind::ClassFormatError
+        );
         assert!(check(&c, &VmSpec::gij()).is_ok());
     }
 
@@ -454,8 +510,14 @@ mod tests {
         let mut c = IrClass::new("p/BadIface");
         c.access = ClassAccess::PUBLIC | ClassAccess::INTERFACE | ClassAccess::ABSTRACT;
         c.super_class = Some("java/lang/Exception".into());
-        assert_eq!(kind(check(&c, &VmSpec::hotspot8())), JvmErrorKind::ClassFormatError);
-        assert_eq!(kind(check(&c, &VmSpec::j9())), JvmErrorKind::ClassFormatError);
+        assert_eq!(
+            kind(check(&c, &VmSpec::hotspot8())),
+            JvmErrorKind::ClassFormatError
+        );
+        assert_eq!(
+            kind(check(&c, &VmSpec::j9())),
+            JvmErrorKind::ClassFormatError
+        );
         assert!(check(&c, &VmSpec::gij()).is_ok());
     }
 
@@ -469,6 +531,9 @@ mod tests {
             ty: JType::Int,
             constant_value: None,
         });
-        assert_eq!(kind(check(&c, &VmSpec::hotspot9())), JvmErrorKind::ClassFormatError);
+        assert_eq!(
+            kind(check(&c, &VmSpec::hotspot9())),
+            JvmErrorKind::ClassFormatError
+        );
     }
 }

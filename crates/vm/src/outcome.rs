@@ -50,7 +50,13 @@ impl Phase {
 
     /// All phases, in encoding order.
     pub fn all() -> [Phase; 5] {
-        [Phase::Invoked, Phase::Loading, Phase::Linking, Phase::Initializing, Phase::Runtime]
+        [
+            Phase::Invoked,
+            Phase::Loading,
+            Phase::Linking,
+            Phase::Initializing,
+            Phase::Runtime,
+        ]
     }
 }
 
@@ -104,24 +110,18 @@ impl JvmErrorKind {
     pub fn java_name(self) -> &'static str {
         match self {
             JvmErrorKind::ClassFormatError => "java.lang.ClassFormatError",
-            JvmErrorKind::UnsupportedClassVersionError => {
-                "java.lang.UnsupportedClassVersionError"
-            }
+            JvmErrorKind::UnsupportedClassVersionError => "java.lang.UnsupportedClassVersionError",
             JvmErrorKind::ClassCircularityError => "java.lang.ClassCircularityError",
             JvmErrorKind::NoClassDefFoundError => "java.lang.NoClassDefFoundError",
             JvmErrorKind::VerifyError => "java.lang.VerifyError",
-            JvmErrorKind::IncompatibleClassChangeError => {
-                "java.lang.IncompatibleClassChangeError"
-            }
+            JvmErrorKind::IncompatibleClassChangeError => "java.lang.IncompatibleClassChangeError",
             JvmErrorKind::AbstractMethodError => "java.lang.AbstractMethodError",
             JvmErrorKind::IllegalAccessError => "java.lang.IllegalAccessError",
             JvmErrorKind::InstantiationError => "java.lang.InstantiationError",
             JvmErrorKind::NoSuchFieldError => "java.lang.NoSuchFieldError",
             JvmErrorKind::NoSuchMethodError => "java.lang.NoSuchMethodError",
             JvmErrorKind::UnsatisfiedLinkError => "java.lang.UnsatisfiedLinkError",
-            JvmErrorKind::ExceptionInInitializerError => {
-                "java.lang.ExceptionInInitializerError"
-            }
+            JvmErrorKind::ExceptionInInitializerError => "java.lang.ExceptionInInitializerError",
             JvmErrorKind::MainMethodNotFound => "Error: Main method not found",
             JvmErrorKind::ArithmeticException => "java.lang.ArithmeticException",
             JvmErrorKind::NullPointerException => "java.lang.NullPointerException",
@@ -129,9 +129,7 @@ impl JvmErrorKind {
             JvmErrorKind::ArrayIndexOutOfBoundsException => {
                 "java.lang.ArrayIndexOutOfBoundsException"
             }
-            JvmErrorKind::NegativeArraySizeException => {
-                "java.lang.NegativeArraySizeException"
-            }
+            JvmErrorKind::NegativeArraySizeException => "java.lang.NegativeArraySizeException",
             JvmErrorKind::StackOverflowError => "java.lang.StackOverflowError",
             JvmErrorKind::OutOfMemoryError => "java.lang.OutOfMemoryError",
             JvmErrorKind::ExecutionBudgetExceeded => "Error: execution budget exceeded",
@@ -162,7 +160,10 @@ pub struct JvmError {
 impl JvmError {
     /// Creates an error of `kind` with `message`.
     pub fn new(kind: JvmErrorKind, message: impl Into<String>) -> Self {
-        JvmError { kind, message: message.into() }
+        JvmError {
+            kind,
+            message: message.into(),
+        }
     }
 }
 
@@ -253,7 +254,10 @@ impl Outcome {
 
     /// Convenience constructor for a rejection.
     pub fn rejected(phase: Phase, kind: JvmErrorKind, message: impl Into<String>) -> Self {
-        Outcome::Rejected { phase, error: JvmError::new(kind, message) }
+        Outcome::Rejected {
+            phase,
+            error: JvmError::new(kind, message),
+        }
     }
 
     /// Convenience constructor for a VM crash caught in `phase`.
@@ -291,7 +295,9 @@ mod tests {
 
     #[test]
     fn outcome_accessors() {
-        let ok = Outcome::Invoked { stdout: vec!["Completed!".into()] };
+        let ok = Outcome::Invoked {
+            stdout: vec!["Completed!".into()],
+        };
         assert_eq!(ok.phase(), Phase::Invoked);
         assert!(ok.error().is_none());
         let bad = Outcome::rejected(Phase::Linking, JvmErrorKind::VerifyError, "bad stack");
@@ -302,7 +308,10 @@ mod tests {
     #[test]
     fn error_rendering() {
         let e = JvmError::new(JvmErrorKind::ClassFormatError, "no Code attribute");
-        assert_eq!(e.to_string(), "java.lang.ClassFormatError: no Code attribute");
+        assert_eq!(
+            e.to_string(),
+            "java.lang.ClassFormatError: no Code attribute"
+        );
     }
 
     #[test]
@@ -312,7 +321,10 @@ mod tests {
         assert_eq!(crash.phase(), Phase::Linking);
         assert_eq!(crash.code(), Outcome::CRASH_CODE);
         assert_eq!(crash.error().unwrap().kind, JvmErrorKind::InternalVmError);
-        assert_eq!(crash.crash_detail(), Some("panicked at verifier.rs:10: boom"));
+        assert_eq!(
+            crash.crash_detail(),
+            Some("panicked at verifier.rs:10: boom")
+        );
         // A clean rejection in the same phase encodes differently.
         let clean = Outcome::rejected(Phase::Linking, JvmErrorKind::VerifyError, "x");
         assert_ne!(crash.code(), clean.code());

@@ -124,12 +124,24 @@ pub struct VmSpec {
 impl VmSpec {
     /// HotSpot for Java 7 (Table 3).
     pub fn hotspot7() -> Self {
-        VmSpec { name: "HotSpot for Java 7".into(), java_version: 7, jre: JreGeneration::Jre7, max_class_version: 51, ..Self::hotspot_base() }
+        VmSpec {
+            name: "HotSpot for Java 7".into(),
+            java_version: 7,
+            jre: JreGeneration::Jre7,
+            max_class_version: 51,
+            ..Self::hotspot_base()
+        }
     }
 
     /// HotSpot for Java 8 (Table 3).
     pub fn hotspot8() -> Self {
-        VmSpec { name: "HotSpot for Java 8".into(), java_version: 8, jre: JreGeneration::Jre8, max_class_version: 52, ..Self::hotspot_base() }
+        VmSpec {
+            name: "HotSpot for Java 8".into(),
+            java_version: 8,
+            jre: JreGeneration::Jre8,
+            max_class_version: 52,
+            ..Self::hotspot_base()
+        }
     }
 
     /// HotSpot for Java 9 — the paper's reference JVM (coverage source).

@@ -78,20 +78,26 @@ impl Jvm {
         classpath: &[Vec<u8>],
         collect_coverage: bool,
     ) -> ExecutionResult {
-        let mut cov = if collect_coverage { Cov::enabled() } else { Cov::disabled() };
+        let mut cov = if collect_coverage {
+            Cov::enabled()
+        } else {
+            Cov::disabled()
+        };
         // Fault containment: `progress` tracks the deepest phase the
         // pipeline entered, so a panic inside any stage becomes a
         // deterministic crash verdict attributed to that phase. Coverage
         // probes fired before the panic survive (the trace of a crashed run
         // is its partial trace — itself deterministic).
         let progress = Cell::new(Phase::Loading);
-        let outcome = match run_contained(|| {
-            self.startup(class_bytes, classpath, &mut cov, &progress)
-        }) {
-            Ok(outcome) => outcome,
-            Err(detail) => Outcome::crashed(progress.get(), detail),
-        };
-        ExecutionResult { outcome, trace: cov.into_trace() }
+        let outcome =
+            match run_contained(|| self.startup(class_bytes, classpath, &mut cov, &progress)) {
+                Ok(outcome) => outcome,
+                Err(detail) => Outcome::crashed(progress.get(), detail),
+            };
+        ExecutionResult {
+            outcome,
+            trace: cov.into_trace(),
+        }
     }
 
     fn startup(
@@ -147,8 +153,7 @@ impl Jvm {
 
         // --- Linking: verification (eager VMs verify every method) -----
         if probe_branch!(cov, !self.spec.lazy_method_verification) {
-            if let Err(outcome) = verifier::verify_class(&world, &main_class, &self.spec, cov)
-            {
+            if let Err(outcome) = verifier::verify_class(&world, &main_class, &self.spec, cov) {
                 return outcome;
             }
         }
@@ -211,9 +216,10 @@ impl Jvm {
         };
         let args = vec![RtValue::Ref(None)]; // String[] args — we pass null
         let _ = main;
-        match machine.call_static(&main_class, "main", "([Ljava/lang/String;)V", args, cov)
-        {
-            Ok(_) => Outcome::Invoked { stdout: machine.stdout },
+        match machine.call_static(&main_class, "main", "([Ljava/lang/String;)V", args, cov) {
+            Ok(_) => Outcome::Invoked {
+                stdout: machine.stdout,
+            },
             Err(ExecError::Linkage { kind, message }) => {
                 Outcome::rejected(linkage_phase(kind), kind, message)
             }
@@ -278,9 +284,7 @@ fn runtime_kind(class: &str) -> JvmErrorKind {
         "java/lang/ArithmeticException" => JvmErrorKind::ArithmeticException,
         "java/lang/NullPointerException" => JvmErrorKind::NullPointerException,
         "java/lang/ClassCastException" => JvmErrorKind::ClassCastException,
-        "java/lang/ArrayIndexOutOfBoundsException" => {
-            JvmErrorKind::ArrayIndexOutOfBoundsException
-        }
+        "java/lang/ArrayIndexOutOfBoundsException" => JvmErrorKind::ArrayIndexOutOfBoundsException,
         "java/lang/NegativeArraySizeException" => JvmErrorKind::NegativeArraySizeException,
         "java/lang/StackOverflowError" => JvmErrorKind::StackOverflowError,
         _ => JvmErrorKind::UncaughtException,
@@ -315,8 +319,7 @@ mod tests {
         // HotSpot invokes normally (0); J9 reports ClassFormatError (1).
         let mut class = IrClass::with_hello_main("M1436188543", "Completed!");
         class.methods.push(IrMethod::abstract_method(
-            classfuzz_classfile::MethodAccess::PUBLIC
-                | classfuzz_classfile::MethodAccess::ABSTRACT,
+            classfuzz_classfile::MethodAccess::PUBLIC | classfuzz_classfile::MethodAccess::ABSTRACT,
             "<clinit>",
             vec![],
             None,
@@ -399,7 +402,10 @@ mod tests {
         });
         let out = run_on(&class, VmSpec::hotspot9());
         assert_eq!(out.phase(), Phase::Initializing);
-        assert_eq!(out.error().unwrap().kind, JvmErrorKind::ExceptionInInitializerError);
+        assert_eq!(
+            out.error().unwrap().kind,
+            JvmErrorKind::ExceptionInInitializerError
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub enum VType {
 
 impl VType {
     fn is_reference(&self) -> bool {
-        matches!(self, VType::Null | VType::Ref(_) | VType::Uninit(_) | VType::UninitThis)
+        matches!(
+            self,
+            VType::Null | VType::Ref(_) | VType::Uninit(_) | VType::UninitThis
+        )
     }
 
     fn is_uninitialized(&self) -> bool {
@@ -140,7 +143,11 @@ pub fn verify_method(
     let desc = match &method.desc {
         Some(d) => d.clone(),
         None => {
-            return Err(reject(class, method, "unparseable method descriptor".into()))
+            return Err(reject(
+                class,
+                method,
+                "unparseable method descriptor".into(),
+            ))
         }
     };
     let mut v = Verifier {
@@ -254,7 +261,10 @@ impl Verifier<'_> {
             }
             slot += w;
         }
-        Ok(Frame { locals, stack: Vec::new() })
+        Ok(Frame {
+            locals,
+            stack: Vec::new(),
+        })
     }
 
     fn handler_edges(&mut self, frame: &Frame, pc: u32) -> VResult<Vec<(usize, Frame)>> {
@@ -276,7 +286,10 @@ impl Verifier<'_> {
                 };
                 out.push((
                     idx,
-                    Frame { locals: frame.locals.clone(), stack: vec![VType::Ref(catch)] },
+                    Frame {
+                        locals: frame.locals.clone(),
+                        stack: vec![VType::Ref(catch)],
+                    },
                 ));
             }
         }
@@ -343,12 +356,8 @@ impl Verifier<'_> {
             return fail("stack shape inconsistent");
         }
         let merged = match (a, b) {
-            (VType::Null, VType::Ref(n)) | (VType::Ref(n), VType::Null) => {
-                VType::Ref(n.clone())
-            }
-            (VType::Ref(x), VType::Ref(y)) => {
-                VType::Ref(self.world.common_super(x, y))
-            }
+            (VType::Null, VType::Ref(n)) | (VType::Ref(n), VType::Null) => VType::Ref(n.clone()),
+            (VType::Ref(x), VType::Ref(y)) => VType::Ref(self.world.common_super(x, y)),
             _ => VType::Top,
         };
         if probe_branch!(self.cov, on_stack && merged == VType::Top) {
@@ -538,8 +547,7 @@ impl Verifier<'_> {
                     self.push(&mut f, a)?;
                     self.push(&mut f, b)?;
                 }
-                Iadd | Isub | Imul | Idiv | Irem | Ishl | Ishr | Iushr | Iand | Ior
-                | Ixor => {
+                Iadd | Isub | Imul | Idiv | Irem | Ishl | Ishr | Iushr | Iand | Ior | Ixor => {
                     self.expect(&mut f, VType::Int)?;
                     self.expect(&mut f, VType::Int)?;
                     self.push(&mut f, VType::Int)?;
@@ -740,9 +748,7 @@ impl Verifier<'_> {
                     branch_to!(*target, f.clone());
                     falls_through = false;
                 }
-                Jsr | JsrW => {
-                    return fail("jsr/ret are not permitted in version 51 classfiles")
-                }
+                Jsr | JsrW => return fail("jsr/ret are not permitted in version 51 classfiles"),
                 Ifeq | Ifne | Iflt | Ifge | Ifgt | Ifle => {
                     self.expect(&mut f, VType::Int)?;
                     branch_to!(*target, f.clone());
@@ -784,10 +790,7 @@ impl Verifier<'_> {
                         let recv = self.expect_ref(&mut f, false)?;
                         // putfield on `this` before super() is legal only
                         // for fields of the current class; we allow it.
-                        if probe_branch!(
-                            self.cov,
-                            matches!(recv, VType::Uninit(_))
-                        ) {
+                        if probe_branch!(self.cov, matches!(recv, VType::Uninit(_))) {
                             return fail("putfield on uninitialized object");
                         }
                     }
@@ -1001,11 +1004,11 @@ impl Verifier<'_> {
                         Ok(())
                     } else if self.spec.check_param_cast {
                         // GIJ: provably incompatible reference types.
-                        fail(format!("incompatible type: {src} is not assignable to {target}"))
-                    } else if probe_branch!(
-                        self.cov,
-                        self.world.is_interface(target) == Some(true)
-                    ) {
+                        fail(format!(
+                            "incompatible type: {src} is not assignable to {target}"
+                        ))
+                    } else if probe_branch!(self.cov, self.world.is_interface(target) == Some(true))
+                    {
                         // Interfaces are checked at runtime, not by the
                         // verifier (JVMS: invokeinterface does the check).
                         Ok(())
@@ -1130,9 +1133,7 @@ impl Verifier<'_> {
                     return fail("returning an uninitialized object");
                 }
                 let ret = ret.clone();
-                if let (VType::Ref(_), FieldType::Object(_) | FieldType::Array(_)) =
-                    (&got, &ret)
-                {
+                if let (VType::Ref(_), FieldType::Object(_) | FieldType::Array(_)) = (&got, &ret) {
                     self.check_assignable(&got, &ret)?;
                 } else if !matches!(ret, FieldType::Object(_) | FieldType::Array(_)) {
                     return fail("areturn in a method returning a primitive");
@@ -1185,7 +1186,9 @@ impl Verifier<'_> {
             Some(parts) => Ok(parts),
             None => {
                 probe!(self.cov);
-                fail(format!("constant pool entry {cpi} is not a {what} reference"))
+                fail(format!(
+                    "constant pool entry {cpi} is not a {what} reference"
+                ))
             }
         }
     }
@@ -1200,10 +1203,7 @@ impl Verifier<'_> {
         let (class, name, desc_text) = self.member(cpi, "method")?;
         let desc = MethodDescriptor::parse(&desc_text)
             .map_err(|_| VerifyFail(format!("bad method descriptor {desc_text:?}")))?;
-        if probe_branch!(
-            self.cov,
-            name == "<init>" && shape != InvokeShape::Special
-        ) {
+        if probe_branch!(self.cov, name == "<init>" && shape != InvokeShape::Special) {
             return fail("<init> may only be invoked by invokespecial");
         }
         // Pop arguments right-to-left, checking assignability — the check
@@ -1244,9 +1244,7 @@ impl Verifier<'_> {
                         && !self.world.is_subtype(recv_name, &class)
                         && !self.world.is_subtype(&class, recv_name)
                 ) {
-                    return fail(format!(
-                        "receiver {recv_name} is incompatible with {class}"
-                    ));
+                    return fail(format!("receiver {recv_name} is incompatible with {class}"));
                 }
             }
         }
@@ -1302,7 +1300,11 @@ mod tests {
     fn valid_hello_verifies_on_all() {
         let c = IrClass::with_hello_main("v/Hello", "Completed!");
         for spec in VmSpec::all_five() {
-            assert!(verify(&c, &spec).is_ok(), "{} rejected valid code", spec.name);
+            assert!(
+                verify(&c, &spec).is_ok(),
+                "{} rejected valid code",
+                spec.name
+            );
         }
     }
 
@@ -1371,8 +1373,14 @@ mod tests {
             exceptions: vec![],
             body: Some(body),
         });
-        assert!(verify(&c, &VmSpec::hotspot9()).is_ok(), "HotSpot misses the bad cast");
-        assert!(verify(&c, &VmSpec::gij()).is_err(), "GIJ catches the bad cast");
+        assert!(
+            verify(&c, &VmSpec::hotspot9()).is_ok(),
+            "HotSpot misses the bad cast"
+        );
+        assert!(
+            verify(&c, &VmSpec::gij()).is_err(),
+            "GIJ catches the bad cast"
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use classfuzz_classfile::{
-    ClassFile, FieldAccess, FieldType, MethodAccess, MethodDescriptor,
-};
+use classfuzz_classfile::{ClassFile, FieldAccess, FieldType, MethodAccess, MethodDescriptor};
 
 use crate::library::{bootstrap_library, LibClass};
 use crate::spec::VmSpec;
@@ -105,12 +103,21 @@ impl UserClass {
                 }
             })
             .collect();
-        UserClass { cf, name, super_name, interfaces, methods, fields }
+        UserClass {
+            cf,
+            name,
+            super_name,
+            interfaces,
+            methods,
+            fields,
+        }
     }
 
     /// Finds a method summary by name and descriptor text.
     pub fn find_method(&self, name: &str, desc: &str) -> Option<&MethodSummary> {
-        self.methods.iter().find(|m| m.name == name && m.desc_text == desc)
+        self.methods
+            .iter()
+            .find(|m| m.name == name && m.desc_text == desc)
     }
 }
 
@@ -130,7 +137,10 @@ impl World {
         for c in user_classes {
             user.entry(c.name.clone()).or_insert(c);
         }
-        World { library: bootstrap_library(spec.jre), user }
+        World {
+            library: bootstrap_library(spec.jre),
+            user,
+        }
     }
 
     /// Does any class of this name exist (user or library)?
@@ -151,7 +161,10 @@ impl World {
     /// Is `name` declared final? `None` when the class is unknown.
     pub fn is_final(&self, name: &str) -> Option<bool> {
         if let Some(u) = self.user.get(name) {
-            return Some(u.cf.access.contains(classfuzz_classfile::ClassAccess::FINAL));
+            return Some(
+                u.cf.access
+                    .contains(classfuzz_classfile::ClassAccess::FINAL),
+            );
         }
         self.library.get(name).map(LibClass::is_final)
     }
@@ -159,7 +172,10 @@ impl World {
     /// Is `name` an interface? `None` when unknown.
     pub fn is_interface(&self, name: &str) -> Option<bool> {
         if let Some(u) = self.user.get(name) {
-            return Some(u.cf.access.contains(classfuzz_classfile::ClassAccess::INTERFACE));
+            return Some(
+                u.cf.access
+                    .contains(classfuzz_classfile::ClassAccess::INTERFACE),
+            );
         }
         self.library.get(name).map(LibClass::is_interface)
     }
@@ -174,7 +190,9 @@ impl World {
         if let Some(u) = self.user.get(name) {
             return u.super_name.clone();
         }
-        self.library.get(name).and_then(|c| c.super_class.map(str::to_string))
+        self.library
+            .get(name)
+            .and_then(|c| c.super_class.map(str::to_string))
     }
 
     /// Direct superinterfaces, when known.
@@ -310,10 +328,16 @@ mod tests {
     fn common_super_of_exceptions() {
         let w = world_with(vec![]);
         assert_eq!(
-            w.common_super("java/lang/ArithmeticException", "java/lang/NullPointerException"),
+            w.common_super(
+                "java/lang/ArithmeticException",
+                "java/lang/NullPointerException"
+            ),
             "java/lang/RuntimeException"
         );
-        assert_eq!(w.common_super("java/lang/String", "java/lang/Thread"), "java/lang/Object");
+        assert_eq!(
+            w.common_super("java/lang/String", "java/lang/Thread"),
+            "java/lang/Object"
+        );
     }
 
     #[test]

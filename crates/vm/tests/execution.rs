@@ -60,13 +60,29 @@ fn loop_computes_sum() {
     body.declare("sum", JType::Int);
     let (top, done) = (Label(0), Label(1));
     body.stmts.extend([
-        Stmt::Assign { target: Target::Local("i".into()), value: Expr::Use(Value::int(0)) },
-        Stmt::Assign { target: Target::Local("sum".into()), value: Expr::Use(Value::int(0)) },
-        Stmt::Label(top),
-        Stmt::If { op: CondOp::Ge, a: Value::local("i"), b: Some(Value::int(10)), target: done },
+        Stmt::Assign {
+            target: Target::Local("i".into()),
+            value: Expr::Use(Value::int(0)),
+        },
         Stmt::Assign {
             target: Target::Local("sum".into()),
-            value: Expr::BinOp(BinOp::Add, JType::Int, Value::local("sum"), Value::local("i")),
+            value: Expr::Use(Value::int(0)),
+        },
+        Stmt::Label(top),
+        Stmt::If {
+            op: CondOp::Ge,
+            a: Value::local("i"),
+            b: Some(Value::int(10)),
+            target: done,
+        },
+        Stmt::Assign {
+            target: Target::Local("sum".into()),
+            value: Expr::BinOp(
+                BinOp::Add,
+                JType::Int,
+                Value::local("sum"),
+                Value::local("i"),
+            ),
         },
         Stmt::Assign {
             target: Target::Local("i".into()),
@@ -163,20 +179,32 @@ fn switch_dispatch() {
         body.declare("r", JType::Int);
         let (l0, l1, ld, out) = (Label(0), Label(1), Label(2), Label(3));
         body.stmts.extend([
-            Stmt::Assign { target: Target::Local("k".into()), value: Expr::Use(Value::int(key)) },
+            Stmt::Assign {
+                target: Target::Local("k".into()),
+                value: Expr::Use(Value::int(key)),
+            },
             Stmt::Switch {
                 key: Value::local("k"),
                 cases: vec![(0, l0), (1, l1)],
                 default: ld,
             },
             Stmt::Label(l0),
-            Stmt::Assign { target: Target::Local("r".into()), value: Expr::Use(Value::int(10)) },
+            Stmt::Assign {
+                target: Target::Local("r".into()),
+                value: Expr::Use(Value::int(10)),
+            },
             Stmt::Goto(out),
             Stmt::Label(l1),
-            Stmt::Assign { target: Target::Local("r".into()), value: Expr::Use(Value::int(20)) },
+            Stmt::Assign {
+                target: Target::Local("r".into()),
+                value: Expr::Use(Value::int(20)),
+            },
             Stmt::Goto(out),
             Stmt::Label(ld),
-            Stmt::Assign { target: Target::Local("r".into()), value: Expr::Use(Value::int(-1)) },
+            Stmt::Assign {
+                target: Target::Local("r".into()),
+                value: Expr::Use(Value::int(-1)),
+            },
             Stmt::Label(out),
         ]);
         println_value(&mut body, "r");
@@ -200,8 +228,14 @@ fn try_catch_catches_division_by_zero() {
         Stmt::Label(end),
         Stmt::Goto(out),
         Stmt::Label(handler),
-        Stmt::Assign { target: Target::Local("$e".into()), value: Expr::CaughtException },
-        Stmt::Assign { target: Target::Local("x".into()), value: Expr::Use(Value::int(-99)) },
+        Stmt::Assign {
+            target: Target::Local("$e".into()),
+            value: Expr::CaughtException,
+        },
+        Stmt::Assign {
+            target: Target::Local("x".into()),
+            value: Expr::Use(Value::int(-99)),
+        },
         Stmt::Label(out),
     ]);
     body.catches.push(CatchClause {
@@ -231,7 +265,10 @@ fn catch_type_mismatch_propagates() {
         Stmt::Label(end),
         Stmt::Goto(out),
         Stmt::Label(handler),
-        Stmt::Assign { target: Target::Local("$e".into()), value: Expr::CaughtException },
+        Stmt::Assign {
+            target: Target::Local("$e".into()),
+            value: Expr::CaughtException,
+        },
         Stmt::Label(out),
     ]);
     body.catches.push(CatchClause {
@@ -243,7 +280,10 @@ fn catch_type_mismatch_propagates() {
     body.stmts.push(Stmt::Return(None));
     let outcome = run_main(body);
     assert_eq!(outcome.phase(), Phase::Runtime);
-    assert_eq!(outcome.error().unwrap().kind, JvmErrorKind::ArithmeticException);
+    assert_eq!(
+        outcome.error().unwrap().kind,
+        JvmErrorKind::ArithmeticException
+    );
 }
 
 #[test]
@@ -255,7 +295,10 @@ fn user_method_calls_compute() {
         .local("x", JType::Int)
         .local("r", JType::Int)
         .bind_param("x", 0)
-        .assign("r", Expr::BinOp(BinOp::Mul, JType::Int, Value::local("x"), Value::int(3)))
+        .assign(
+            "r",
+            Expr::BinOp(BinOp::Mul, JType::Int, Value::local("x"), Value::int(3)),
+        )
         .ret_value(Value::local("r"))
         .build();
     let mut body = Body::new();
@@ -298,7 +341,10 @@ fn infinite_loop_hits_step_budget() {
     body.stmts.extend([Stmt::Label(top), Stmt::Goto(top)]);
     let out = run_main(body);
     assert_eq!(out.phase(), Phase::Runtime);
-    assert_eq!(out.error().unwrap().kind, JvmErrorKind::ExecutionBudgetExceeded);
+    assert_eq!(
+        out.error().unwrap().kind,
+        JvmErrorKind::ExecutionBudgetExceeded
+    );
 }
 
 #[test]
@@ -374,12 +420,22 @@ fn object_construction_and_instance_fields() {
         args: vec![],
     }));
     body.stmts.push(Stmt::Assign {
-        target: Target::InstanceField(Value::local("b"), "t/Box".into(), "value".into(), JType::Int),
+        target: Target::InstanceField(
+            Value::local("b"),
+            "t/Box".into(),
+            "value".into(),
+            JType::Int,
+        ),
         value: Expr::Use(Value::int(9)),
     });
     body.stmts.push(Stmt::Assign {
         target: Target::Local("v".into()),
-        value: Expr::InstanceField(Value::local("b"), "t/Box".into(), "value".into(), JType::Int),
+        value: Expr::InstanceField(
+            Value::local("b"),
+            "t/Box".into(),
+            "value".into(),
+            JType::Int,
+        ),
     });
     println_value(&mut body, "v");
     body.stmts.push(Stmt::Return(None));

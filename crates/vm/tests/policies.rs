@@ -74,12 +74,19 @@ fn classpath_extra_classes_are_resolvable() {
     let jvm = Jvm::new(VmSpec::hotspot9());
     let without = jvm.run(&main_bytes).outcome;
     assert_eq!(without.phase(), Phase::Loading);
-    assert_eq!(without.error().unwrap().kind, JvmErrorKind::NoClassDefFoundError);
+    assert_eq!(
+        without.error().unwrap().kind,
+        JvmErrorKind::NoClassDefFoundError
+    );
 
     let with = jvm
         .run_with_options(&main_bytes, &[helper_bytes], false)
         .outcome;
-    assert_eq!(with.phase(), Phase::Invoked, "classpath superclass resolves: {with}");
+    assert_eq!(
+        with.phase(),
+        Phase::Invoked,
+        "classpath superclass resolves: {with}"
+    );
 }
 
 #[test]
@@ -137,7 +144,9 @@ fn classpath_static_call_across_classes() {
     let main_bytes = lower_class(&main).to_bytes();
 
     let jvm = Jvm::new(VmSpec::hotspot9());
-    let out = jvm.run_with_options(&main_bytes, &[util_bytes], false).outcome;
+    let out = jvm
+        .run_with_options(&main_bytes, &[util_bytes], false)
+        .outcome;
     match out {
         classfuzz_vm::Outcome::Invoked { stdout } => assert_eq!(stdout, vec!["42"]),
         other => panic!("expected invocation, got {other}"),

@@ -125,7 +125,7 @@ fn dup2_x2_wide_form() {
                     Simple(Lconst1),
                     Simple(Ladd), // L2 = 0 + 1 ... build 2 as 1+1
                     Simple(Lconst1),
-                    Simple(Ladd), // stack: [1L, 2L]
+                    Simple(Ladd),   // stack: [1L, 2L]
                     Simple(Dup2X2), // [2L, 1L, 2L]
                     Simple(Ladd),
                     Simple(Ladd),

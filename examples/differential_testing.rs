@@ -13,7 +13,14 @@ use classfuzz::jimple::{lower::lower_class, IrClass, IrField, IrMethod, JType};
 fn show(harness: &DifferentialHarness, title: &str, class: &IrClass) {
     let vector = harness.run(&lower_class(class).to_bytes());
     println!("-- {title} --");
-    println!("   encoded: {vector}{}", if vector.is_discrepancy() { "  [DISCREPANCY]" } else { "" });
+    println!(
+        "   encoded: {vector}{}",
+        if vector.is_discrepancy() {
+            "  [DISCREPANCY]"
+        } else {
+            ""
+        }
+    );
     for (jvm, outcome) in harness.jvms().iter().zip(vector.outcomes()) {
         println!("   {:22} {outcome}", jvm.spec().name);
     }
@@ -35,8 +42,14 @@ fn main() {
 
     // Problem 3: main declares `throws` of an internal (sun.*-style) class.
     let mut p3 = IrClass::with_hello_main("M1437121261", "Completed!");
-    p3.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
-    show(&harness, "Problem 3: internal class in a throws clause", &p3);
+    p3.methods[0]
+        .exceptions
+        .push("sun/internal/PiscesKit$2".into());
+    show(
+        &harness,
+        "Problem 3: internal class in a throws clause",
+        &p3,
+    );
 
     // Problem 4a: an interface carrying a main method.
     let mut p4a = IrClass::with_hello_main("p/IfaceMain", "Completed!");
@@ -59,6 +72,11 @@ fn main() {
     // EnumEditor case from the paper's introduction).
     let mut env = IrClass::with_hello_main("p/EditorSub", "Completed!");
     env.super_class = Some("jre/beans/AbstractEditor".into());
-    env.methods.insert(0, default_constructor("jre/beans/AbstractEditor"));
-    show(&harness, "Environment: superclass final only in JRE 8+", &env);
+    env.methods
+        .insert(0, default_constructor("jre/beans/AbstractEditor"));
+    show(
+        &harness,
+        "Environment: superclass final only in JRE 8+",
+        &env,
+    );
 }

@@ -20,11 +20,7 @@ fn main() {
     println!("seed corpus: {} classes", seeds.len());
 
     // Run classfuzz[stbr] — MCMC mutator selection, [stbr] acceptance.
-    let config = CampaignConfig::new(
-        Algorithm::Classfuzz(UniquenessCriterion::StBr),
-        600,
-        13,
-    );
+    let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 600, 13);
     let result = run_campaign(&seeds, &config);
     println!(
         "campaign: {} iterations -> {} generated, {} representative (succ {:.1}%)",

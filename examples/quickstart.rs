@@ -37,6 +37,9 @@ fn main() {
     for (jvm, outcome) in harness.jvms().iter().zip(vector.outcomes()) {
         println!("  {:22} -> {outcome}", jvm.spec().name);
     }
-    assert!(vector.is_discrepancy(), "the Figure 2 mutant must split the JVMs");
+    assert!(
+        vector.is_discrepancy(),
+        "the Figure 2 mutant must split the JVMs"
+    );
     println!("\nJVM discrepancy reproduced — this is what classfuzz hunts for.");
 }

@@ -52,7 +52,10 @@ fn main() {
         reduced.fields.len(),
         harness.run(&lower_class(&reduced).to_bytes())
     );
-    println!("\nreduced class (Jimple form):\n{}", printer::print_class(&reduced));
+    println!(
+        "\nreduced class (Jimple form):\n{}",
+        printer::print_class(&reduced)
+    );
 
     // Round-trip sanity: the reduced classfile still lifts back to IR.
     let cf = lower_class(&reduced);

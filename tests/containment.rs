@@ -39,12 +39,22 @@ fn chaos_campaign_runs_to_budget_and_records_crashes() {
     // Every iteration completed despite the panicking mutator.
     let iters: usize = result.shard_stats.iter().map(|s| s.iterations).sum();
     assert_eq!(iters, 120);
-    assert!(!result.crashes.is_empty(), "chaos mutator never selected in 120 iterations");
+    assert!(
+        !result.crashes.is_empty(),
+        "chaos mutator never selected in 120 iterations"
+    );
     for crash in &result.crashes {
         assert!(matches!(crash.site, CrashSite::Mutator { .. }));
         assert!(crash.shard_id < 4);
-        assert!(crash.detail.contains("chaos mutator"), "detail: {}", crash.detail);
-        assert!(!crash.bytes.is_empty(), "reproducer bytes must be preserved");
+        assert!(
+            crash.detail.contains("chaos mutator"),
+            "detail: {}",
+            crash.detail
+        );
+        assert!(
+            !crash.bytes.is_empty(),
+            "reproducer bytes must be preserved"
+        );
     }
 }
 
@@ -57,8 +67,16 @@ fn one_shard_chaos_campaign_replays_sequential_crashes_exactly() {
     assert_eq!(sequential.crashes, parallel.crashes);
     assert_eq!(sequential.test_classes, parallel.test_classes);
     assert_eq!(
-        sequential.gen_classes.iter().map(|g| &g.bytes).collect::<Vec<_>>(),
-        parallel.gen_classes.iter().map(|g| &g.bytes).collect::<Vec<_>>()
+        sequential
+            .gen_classes
+            .iter()
+            .map(|g| &g.bytes)
+            .collect::<Vec<_>>(),
+        parallel
+            .gen_classes
+            .iter()
+            .map(|g| &g.bytes)
+            .collect::<Vec<_>>()
     );
     assert_eq!(sequential.mutator_stats, parallel.mutator_stats);
 }

@@ -6,8 +6,7 @@
 //! the acceptance invariants of the algorithm it runs.
 
 use classfuzz::core::engine::{
-    run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig,
-    CampaignResult,
+    run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult,
 };
 use classfuzz::core::seeds::SeedCorpus;
 use classfuzz::coverage::{SuiteIndex, UniquenessCriterion};
@@ -63,7 +62,10 @@ fn one_shard_replays_sequential_for_every_algorithm() {
             assert_eq!(s.mutator_id, p.mutator_id, "{algorithm}: class {i} mutator");
             assert_eq!(s.accepted, p.accepted, "{algorithm}: class {i} verdict");
         }
-        assert_eq!(sequential.mutator_stats, parallel.mutator_stats, "{algorithm}");
+        assert_eq!(
+            sequential.mutator_stats, parallel.mutator_stats,
+            "{algorithm}"
+        );
         assert_eq!(sequential.shard_stats, parallel.shard_stats, "{algorithm}");
 
         // The accepted suites induce identical trace indices.
@@ -162,7 +164,8 @@ fn degenerate_campaigns_return_empty_results() {
         &small_seeds(),
         &CampaignConfig::new(Algorithm::Randfuzz, 0, 1),
         4,
-    ).expect("engine error");
+    )
+    .expect("engine error");
     assert!(none.gen_classes.is_empty());
     assert_eq!(none.secs_per_test(), 0.0);
 }

@@ -65,11 +65,18 @@ fn finding2_mcmc_exploits_success_rates() {
     let mutators = registry::all_mutators();
     let series = mutator_series(&stbr.mutator_stats, &mutators);
     let selected: Vec<_> = series.iter().filter(|p| p.selected > 0).collect();
-    assert!(selected.len() > 20, "the campaign should exercise many mutators");
-    let top_freq: f64 =
-        selected.iter().take(10).map(|p| p.frequency).sum::<f64>() / 10.0;
-    let bottom_freq: f64 =
-        selected.iter().rev().take(10).map(|p| p.frequency).sum::<f64>() / 10.0;
+    assert!(
+        selected.len() > 20,
+        "the campaign should exercise many mutators"
+    );
+    let top_freq: f64 = selected.iter().take(10).map(|p| p.frequency).sum::<f64>() / 10.0;
+    let bottom_freq: f64 = selected
+        .iter()
+        .rev()
+        .take(10)
+        .map(|p| p.frequency)
+        .sum::<f64>()
+        / 10.0;
     assert!(
         top_freq > bottom_freq,
         "top-succ mutators should be selected more often ({top_freq:.4} vs {bottom_freq:.4})"

@@ -30,7 +30,11 @@ fn problem1_clinit_of_no_consequence() {
     let harness = harness();
     let vector = harness.run(&lower_class(&class).to_bytes());
     let enc = vector.encoded();
-    assert_eq!(&enc[0..3], &[0, 0, 0], "all three HotSpot releases invoke normally");
+    assert_eq!(
+        &enc[0..3],
+        &[0, 0, 0],
+        "all three HotSpot releases invoke normally"
+    );
     assert_eq!(enc[3], 1, "J9 rejects at loading");
     let j9_error = vector.outcomes()[3].error().expect("J9 rejected");
     assert_eq!(j9_error.kind, JvmErrorKind::ClassFormatError);
@@ -114,7 +118,9 @@ fn problem2_unsafe_param_cast() {
 #[test]
 fn problem3_internal_class_in_throws() {
     let mut class = IrClass::with_hello_main("M1437121261", "Completed!");
-    class.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    class.methods[0]
+        .exceptions
+        .push("sun/internal/PiscesKit$2".into());
     let harness = harness();
     let vector = harness.run(&lower_class(&class).to_bytes());
     let enc = vector.encoded();
@@ -199,7 +205,9 @@ fn problem4_duplicate_fields() {
 fn enum_editor_environment_case() {
     let mut class = IrClass::with_hello_main("p/EditorSub", "Completed!");
     class.super_class = Some("jre/beans/AbstractEditor".into());
-    class.methods.insert(0, default_constructor("jre/beans/AbstractEditor"));
+    class
+        .methods
+        .insert(0, default_constructor("jre/beans/AbstractEditor"));
     let harness = harness();
     let vector = harness.run(&lower_class(&class).to_bytes());
     let enc = vector.encoded();

@@ -60,7 +60,9 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
 
     // Problem 3: a throws clause naming an internal class.
     let mut throws = IrClass::with_hello_main("m/Throws", "Completed!");
-    throws.methods[0].exceptions.push("sun/internal/PiscesKit$2".into());
+    throws.methods[0]
+        .exceptions
+        .push("sun/internal/PiscesKit$2".into());
     entries.push(("internal-throws", throws));
 
     // Problem 4a: an interface with a static main.
@@ -135,7 +137,11 @@ const SNAPSHOT: &[(&str, &str)] = &[
 fn discrepancy_matrix_matches_snapshot() {
     let harness = DifferentialHarness::paper_five();
     let corpus = corpus();
-    assert_eq!(corpus.len(), SNAPSHOT.len(), "corpus and snapshot row counts differ");
+    assert_eq!(
+        corpus.len(),
+        SNAPSHOT.len(),
+        "corpus and snapshot row counts differ"
+    );
     for ((label, bytes), (snap_label, snap_key)) in corpus.iter().zip(SNAPSHOT) {
         assert_eq!(label, snap_label, "corpus order drifted from the snapshot");
         let vector = harness.run(bytes);
