@@ -124,6 +124,50 @@ fn bench_coverage(c: &mut Criterion) {
     }
 }
 
+fn bench_coverage_bitset_vs_baseline(c: &mut Criterion) {
+    // The bench-gate scenario (see crates/bench/src/covbench.rs): a 1k
+    // accepted [tr] suite whose traces all share one statistic, probed
+    // with duplicates — the steady-state rejection path. The baseline
+    // index scans the whole bucket per probe; the bitset index answers
+    // with one fingerprint lookup.
+    let suite = classfuzz_bench::covbench::synth_suite(1000, 0xC0DE);
+    let mut bit_index = SuiteIndex::new(UniquenessCriterion::Tr);
+    for t in &suite.bitset {
+        bit_index.insert(t);
+    }
+    let mut ref_index = classfuzz_coverage::baseline::SuiteIndex::new(UniquenessCriterion::Tr);
+    for t in &suite.reference {
+        ref_index.insert(t);
+    }
+    c.bench_function("coverage/tr-is_unique-1k/bitset", |b| {
+        b.iter(|| {
+            suite
+                .bitset
+                .iter()
+                .filter(|t| bit_index.is_unique(std::hint::black_box(t)))
+                .count()
+        })
+    });
+    // Only 20 probes per iteration for the reference model: each probe
+    // scans the whole 1k bucket pairwise.
+    c.bench_function("coverage/tr-is_unique-1k/baseline", |b| {
+        b.iter(|| {
+            suite
+                .reference
+                .iter()
+                .take(20)
+                .filter(|t| ref_index.is_unique(std::hint::black_box(t)))
+                .count()
+        })
+    });
+    c.bench_function("coverage/merge/bitset", |b| {
+        b.iter(|| std::hint::black_box(&suite.bitset[0]).merge(&suite.bitset[1]))
+    });
+    c.bench_function("coverage/merge/baseline", |b| {
+        b.iter(|| std::hint::black_box(&suite.reference[0]).merge(&suite.reference[1]))
+    });
+}
+
 criterion_group!(
     benches,
     bench_classfile_codec,
@@ -131,6 +175,7 @@ criterion_group!(
     bench_vm_startup,
     bench_mutation,
     bench_mcmc,
-    bench_coverage
+    bench_coverage,
+    bench_coverage_bitset_vs_baseline
 );
 criterion_main!(benches);

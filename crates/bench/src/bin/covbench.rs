@@ -1,0 +1,122 @@
+//! Coverage bench-smoke binary: runs the `[tr]` hot-path micro-benchmarks
+//! (see `classfuzz_bench::covbench`), writes `BENCH_coverage.json`, and —
+//! when given a committed baseline — fails with a nonzero exit on
+//! regression. Driven by `scripts/bench_gate.sh`, mirrored by the CI
+//! bench-smoke job.
+//!
+//! ```text
+//! covbench [--out PATH] [--baseline PATH] [--suite-size N]
+//!          [--repeats N] [--max-regression X] [--min-speedup X]
+//! ```
+
+use std::process::ExitCode;
+
+use classfuzz_bench::covbench::{check_report, run_coverage_bench};
+
+struct Options {
+    out: Option<String>,
+    baseline: Option<String>,
+    suite_size: usize,
+    repeats: usize,
+    max_regression: f64,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        out: Some("BENCH_coverage.json".to_string()),
+        baseline: None,
+        suite_size: 1000,
+        repeats: 5,
+        max_regression: 1.2,
+        min_speedup: 5.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => options.out = Some(value("--out")?),
+            "--no-out" => options.out = None,
+            "--baseline" => options.baseline = Some(value("--baseline")?),
+            "--suite-size" => {
+                options.suite_size = value("--suite-size")?
+                    .parse()
+                    .map_err(|e| format!("--suite-size: {e}"))?
+            }
+            "--repeats" => {
+                options.repeats = value("--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?
+            }
+            "--max-regression" => {
+                options.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?
+            }
+            "--min-speedup" => {
+                options.min_speedup = value("--min-speedup")?
+                    .parse()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if options.suite_size < 2 || options.repeats == 0 {
+        return Err("--suite-size must be >= 2 and --repeats >= 1".to_string());
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("covbench: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "covbench: suite={} repeats={} ...",
+        options.suite_size, options.repeats
+    );
+    let report = run_coverage_bench(options.suite_size, options.repeats);
+    let json = report.to_json();
+    print!("{json}");
+
+    if let Some(path) = &options.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("covbench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("covbench: wrote {path}");
+    }
+
+    if let Some(path) = &options.baseline {
+        let baseline_json = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("covbench: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check_report(
+            &report,
+            &baseline_json,
+            options.max_regression,
+            options.min_speedup,
+        );
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("covbench: GATE FAIL: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "covbench: gate passed against {path} \
+             (speedup {:.0}x, budget {:.2}x)",
+            report.tr_is_unique_speedup, options.max_regression
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,8 @@
 //! paper's tables; the Criterion benches reuse the same drivers for
 //! performance tracking.
 
+pub mod covbench;
+
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};
 use classfuzz_core::diff::DifferentialHarness;
 use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig, CampaignResult};

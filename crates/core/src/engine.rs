@@ -23,7 +23,9 @@ use std::time::{Duration, Instant};
 
 use classfuzz_coverage::{GlobalCoverage, SuiteIndex, TraceFile, UniquenessCriterion};
 use classfuzz_jimple::{lower::lower_class, IrClass};
-use classfuzz_mcmc::{merge_stat_tables, MutatorChain, MutatorStats, UniformSelector};
+use classfuzz_mcmc::{
+    merge_stat_tables, AcceptanceTelemetry, MutatorChain, MutatorStats, UniformSelector,
+};
 use classfuzz_mutation::{registry, MutationCtx, Mutator};
 use classfuzz_vm::{run_contained, Jvm, VmSpec};
 use rand::rngs::StdRng;
@@ -254,6 +256,10 @@ pub struct CampaignResult {
     /// Contained faults, in verdict order (sequential: iteration order;
     /// parallel: round-major, shard-minor — identical at one shard).
     pub crashes: Vec<CrashRecord>,
+    /// Acceptance hot-path telemetry (offers, acceptances, `[tr]`
+    /// fingerprint fast-path rate). All-zero for randfuzz and greedyfuzz,
+    /// which never consult a uniqueness index.
+    pub acceptance: AcceptanceTelemetry,
 }
 
 impl CampaignResult {
@@ -390,24 +396,37 @@ fn make_acceptance(algorithm: Algorithm) -> Acceptance {
     }
 }
 
+/// The campaign's acceptance-path telemetry, read back from the index
+/// counters at the end of a run.
+fn acceptance_telemetry(acceptance: &Acceptance) -> AcceptanceTelemetry {
+    match acceptance {
+        Acceptance::Unique(index) => AcceptanceTelemetry::from(index.counters()),
+        Acceptance::Greedy(_) | Acceptance::All => AcceptanceTelemetry::default(),
+    }
+}
+
 /// Seeds the acceptance state with the seeds' own traces (Algorithm 1
 /// line 1: TestClasses ← Seeds), so mutants must differ from seeds too.
-fn seed_acceptance(acceptance: &mut Acceptance, seeds: &[IrClass], reference: &Jvm) {
+/// Records into `scratch`, the same reusable buffer the campaign loop uses.
+fn seed_acceptance(
+    acceptance: &mut Acceptance,
+    seeds: &[IrClass],
+    reference: &Jvm,
+    scratch: &mut TraceFile,
+) {
     match acceptance {
         Acceptance::Unique(index) => {
             for seed in seeds {
                 let bytes = lower_class(seed).to_bytes();
-                if let Some(trace) = reference.run_traced(&bytes).trace {
-                    index.insert(&trace);
-                }
+                reference.run_traced_into(&bytes, scratch);
+                index.insert(scratch);
             }
         }
         Acceptance::Greedy(global) => {
             for seed in seeds {
                 let bytes = lower_class(seed).to_bytes();
-                if let Some(trace) = reference.run_traced(&bytes).trace {
-                    global.absorb(&trace);
-                }
+                reference.run_traced_into(&bytes, scratch);
+                global.absorb(scratch);
             }
         }
         Acceptance::All => {}
@@ -421,6 +440,9 @@ struct Candidate {
     bytes: Vec<u8>,
     mutator_id: usize,
     trace: Option<TraceFile>,
+    /// `trace.fingerprint()`, computed shard-side so the coordinator's
+    /// `[tr]` acceptance probe never rehashes the word arrays.
+    trace_fp: Option<u64>,
     /// The reference VM's panic description, when tracing this candidate
     /// crashed it (the trace is then the deterministic partial trace).
     vm_crash: Option<String>,
@@ -461,6 +483,7 @@ fn next_candidate(
     selector: &mut Selector,
     rng: &mut StdRng,
     reference: Option<&Jvm>,
+    scratch: &mut TraceFile,
 ) -> Produced {
     let pick = rng.gen_range(0..pool.len());
     let mutator_id = selector.select(rng);
@@ -483,29 +506,37 @@ fn next_candidate(
     // §2.2.1: supplement each mutant with a message-printing main.
     mutant.ensure_main("Completed!");
     let bytes = lower_class(&mutant).to_bytes();
-    let (trace, vm_crash) = match reference {
+    let (trace, trace_fp, vm_crash) = match reference {
         Some(jvm) => {
-            let result = jvm.run_traced(&bytes);
+            // The traced run records into the reusable scratch bitmap —
+            // no per-iteration trace allocation. The candidate ships a
+            // trimmed snapshot plus its precomputed fingerprint.
+            let result = jvm.run_traced_into(&bytes, scratch);
             let crash = result.outcome.crash_detail().map(str::to_string);
-            (result.trace, crash)
+            (Some(scratch.snapshot()), Some(scratch.fingerprint()), crash)
         }
-        None => (None, None),
+        None => (None, None, None),
     };
     Produced::Candidate(Box::new(Candidate {
         class: mutant,
         bytes,
         mutator_id,
         trace,
+        trace_fp,
         vm_crash,
     }))
 }
 
 /// The acceptance decision (coordinator-side in a parallel run): does this
-/// candidate enter `TestClasses`?
-fn decide(acceptance: &mut Acceptance, trace: Option<&TraceFile>) -> bool {
+/// candidate enter `TestClasses`? Uses the candidate's shard-computed
+/// fingerprint so the `[tr]` probe is a single hash lookup here.
+fn decide(acceptance: &mut Acceptance, trace: Option<&TraceFile>, trace_fp: Option<u64>) -> bool {
     match acceptance {
         Acceptance::All => true,
-        Acceptance::Unique(index) => trace.is_some_and(|t| index.insert_if_unique(t)),
+        Acceptance::Unique(index) => trace.is_some_and(|t| match trace_fp {
+            Some(fp) => index.insert_if_unique_with_fingerprint(t, fp),
+            None => index.insert_if_unique(t),
+        }),
         Acceptance::Greedy(global) => trace.is_some_and(|t| global.absorb(t)),
     }
 }
@@ -528,7 +559,10 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
 
     let mut selector = make_selector(config, mutators.len());
     let mut acceptance = make_acceptance(config.algorithm);
-    seed_acceptance(&mut acceptance, seeds, &reference);
+    // The reusable trace buffer: every traced run of this campaign records
+    // into the same word arrays.
+    let mut scratch = TraceFile::new();
+    seed_acceptance(&mut acceptance, seeds, &reference, &mut scratch);
     let tracing = needs_trace(config.algorithm).then_some(&reference);
     let crash_dir = config.crash_dir.as_deref();
 
@@ -544,7 +578,15 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
             break;
         }
         executed += 1;
-        let cand = match next_candidate(&pool, seeds, &mutators, &mut selector, &mut rng, tracing) {
+        let cand = match next_candidate(
+            &pool,
+            seeds,
+            &mutators,
+            &mut selector,
+            &mut rng,
+            tracing,
+            &mut scratch,
+        ) {
             Produced::NotApplicable => continue,
             Produced::MutatorCrash {
                 mutator_id,
@@ -577,7 +619,7 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
                 },
             );
         }
-        let accepted = decide(&mut acceptance, cand.trace.as_ref());
+        let accepted = decide(&mut acceptance, cand.trace.as_ref(), cand.trace_fp);
         let gen_index = gen_classes.len();
         gen_classes.push(GeneratedClass {
             class: cand.class.clone(),
@@ -608,6 +650,7 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         seed_count: seeds.len(),
         shard_stats,
         crashes,
+        acceptance: acceptance_telemetry(&acceptance),
     }
 }
 
@@ -702,7 +745,8 @@ pub fn run_campaign_parallel(
 
     let reference = Jvm::new(VmSpec::hotspot9());
     let mut acceptance = make_acceptance(config.algorithm);
-    seed_acceptance(&mut acceptance, seeds, &reference);
+    let mut seed_scratch = TraceFile::new();
+    seed_acceptance(&mut acceptance, seeds, &reference, &mut seed_scratch);
     let tracing = needs_trace(config.algorithm);
 
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
@@ -730,6 +774,7 @@ pub fn run_campaign_parallel(
             seed_count: seeds.len(),
             shard_stats,
             crashes,
+            acceptance: acceptance_telemetry(&acceptance),
         });
     }
 
@@ -762,6 +807,9 @@ pub fn run_campaign_parallel(
                     // The shard's pool replica: seeds plus every accepted
                     // mutant, appended in the coordinator's broadcast order.
                     let mut pool: Vec<IrClass> = seeds.to_vec();
+                    // Per-shard reusable trace buffer: one allocation for
+                    // the whole campaign, cleared before each traced run.
+                    let mut scratch = TraceFile::new();
                     for _round in 0..my_iterations {
                         let produced = next_candidate(
                             &pool,
@@ -770,6 +818,7 @@ pub fn run_campaign_parallel(
                             &mut selector,
                             &mut rng,
                             shard_tracing,
+                            &mut scratch,
                         );
                         let (work, mutator_id) = match produced {
                             Produced::Candidate(c) => {
@@ -900,7 +949,7 @@ pub fn run_campaign_parallel(
                             );
                         }
                         last_bytes[shard_id] = Some(cand.bytes.clone());
-                        let accepted = decide(&mut acceptance, cand.trace.as_ref());
+                        let accepted = decide(&mut acceptance, cand.trace.as_ref(), cand.trace_fp);
                         shard_stats[shard_id].generated += 1;
                         let gen_index = gen_classes.len();
                         gen_classes.push(GeneratedClass {
@@ -958,6 +1007,7 @@ pub fn run_campaign_parallel(
         seed_count: seeds.len(),
         shard_stats,
         crashes,
+        acceptance: acceptance_telemetry(&acceptance),
     })
 }
 
@@ -1033,6 +1083,26 @@ mod tests {
         let total_successes: u64 = result.mutator_stats.iter().map(|s| s.successes).sum();
         assert_eq!(total_selected as usize, result.iterations);
         assert_eq!(total_successes as usize, result.test_classes.len());
+    }
+
+    #[test]
+    fn acceptance_telemetry_reflects_campaign() {
+        let seeds = small_seeds();
+        let cfg = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::Tr), 100, 13);
+        let result = run_campaign(&seeds, &cfg);
+        let tel = result.acceptance;
+        // Seed insertion bypasses insert_if_unique, so offers count only
+        // the generated candidates that had a trace.
+        assert_eq!(tel.offered as usize, result.gen_classes.len());
+        assert_eq!(tel.accepted as usize, result.test_classes.len());
+        assert_eq!(
+            tel.fingerprint_fast_path + tel.word_compare_fallbacks,
+            tel.offered,
+            "[tr] must consult the fingerprint table on every offer"
+        );
+        // Randfuzz never consults the index.
+        let rand = run_campaign(&seeds, &CampaignConfig::new(Algorithm::Randfuzz, 40, 13));
+        assert_eq!(rand.acceptance, AcceptanceTelemetry::default());
     }
 
     #[test]

@@ -1,19 +1,37 @@
 #![warn(missing_docs)]
 //! Tracefiles, coverage statistics, and the coverage-uniqueness criteria of
-//! classfuzz (§2.2.3 of the paper).
+//! classfuzz (§2.2.3 of the paper), backed by a dense bitset engine.
 //!
-//! A [`TraceFile`] records which *statement sites* and *branch sites* of the
-//! reference JVM an execution hit — the role GCOV/LCOV output plays in the
-//! paper. The three acceptance criteria are implemented exactly as defined:
+//! A [`TraceFile`] records which *statement sites* and *branch sites* of
+//! the reference JVM an execution hit — the role GCOV/LCOV output plays in
+//! the paper. The three acceptance criteria are implemented exactly as
+//! defined:
 //!
 //! * **`[st]`** — unique statement-coverage statistic;
 //! * **`[stbr]`** — unique (statement, branch) statistic pair;
 //! * **`[tr]`** — statically distinct tracefile, checked via the `⊕` merge
 //!   operator.
 //!
+//! # Representation
+//!
+//! Site identifiers are stable 32-bit hashes of source positions, but a
+//! tracefile does not store them as sets: the process-wide [`SiteUniverse`]
+//! interns every site into a dense *slot* (one bit per statement site, two
+//! bits — one per direction — per branch site), and a [`TraceFile`] is a
+//! pair of `Vec<u64>` word arrays indexed by slot. Recording a probe is a
+//! bit-OR, `⊕` is a word-wise OR, `[tr]`'s static equality is a word-wise
+//! compare, and the `(stmt, br)` statistics are popcounts. Each trace also
+//! has a 64-bit [`TraceFile::fingerprint`] so a [`SuiteIndex`] answers the
+//! `[tr]` uniqueness query with a single hash probe in the common case,
+//! falling back to word comparison only on fingerprint collision.
+//!
+//! The original `BTreeSet` implementation survives in [`baseline`] as the
+//! executable reference model; the workspace's equivalence proptests hold
+//! the two implementations to identical verdicts.
+//!
 //! [`SuiteIndex`] is the incremental form used inside the fuzzing loop: it
 //! answers "is this trace unique w.r.t. the accepted test suite?" in O(1)
-//! for the statistic criteria.
+//! for the statistic criteria and in O(1) expected for `[tr]`.
 //!
 //! # Examples
 //!
@@ -28,8 +46,11 @@
 //! assert!(!index.insert_if_unique(&a)); // identical coverage: rejected
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
+pub mod baseline;
+
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A statement-site or branch-site identifier.
 ///
@@ -55,6 +76,187 @@ pub const fn site_id(file: &str, line: u32, column: u32) -> SiteId {
     hash.wrapping_mul(0x0100_0193)
 }
 
+/// Sentinel for a per-probe slot cache that has not consulted the
+/// [`SiteUniverse`] yet (see the VM's `probe!` macros).
+pub const UNRESOLVED_SLOT: u32 = u32::MAX;
+
+// --- Site universe ----------------------------------------------------------
+
+/// The process-wide registry mapping site ids to dense bit slots.
+///
+/// Probe site ids are known at compile time (`const`-computed from source
+/// positions), but which sites can actually fire depends on what gets
+/// linked and executed, so the universe interns sites on first hit instead
+/// of carrying a static table. The mapping is append-only and shared by
+/// every thread in the process: the reference VM's probes, all campaign
+/// shards, and the acceptance index agree on one slot layout, which is
+/// what makes word-wise trace comparison sound.
+///
+/// Slot assignment order depends on execution order and is therefore *not*
+/// stable across runs — but every acceptance decision is invariant under
+/// the site↔slot bijection (popcounts and set equality do not depend on
+/// bit positions), so campaign results stay deterministic; see DESIGN.md,
+/// "Coverage representation".
+#[derive(Debug, Default)]
+pub struct SiteUniverse {
+    inner: RwLock<UniverseInner>,
+}
+
+#[derive(Debug, Default)]
+struct UniverseInner {
+    stmt_slots: HashMap<SiteId, u32>,
+    /// Reverse map: slot → site.
+    stmt_sites: Vec<SiteId>,
+    branch_bases: HashMap<SiteId, u32>,
+    /// Reverse map: base / 2 → site.
+    branch_sites: Vec<SiteId>,
+}
+
+static GLOBAL_UNIVERSE: OnceLock<SiteUniverse> = OnceLock::new();
+
+impl SiteUniverse {
+    /// The process-wide universe every [`TraceFile`] indexes into.
+    pub fn global() -> &'static SiteUniverse {
+        GLOBAL_UNIVERSE.get_or_init(SiteUniverse::default)
+    }
+
+    /// Ignore lock poisoning: the universe is append-only and every write
+    /// is a single map/vec push, so a panicking thread elsewhere can never
+    /// leave it inconsistent — and a contained VM panic must not cascade
+    /// into poisoning every later probe.
+    fn read(&self) -> RwLockReadGuard<'_, UniverseInner> {
+        self.inner
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, UniverseInner> {
+        self.inner
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The dense bit slot of statement site `site`, interning it on first
+    /// use.
+    pub fn stmt_slot(&self, site: SiteId) -> u32 {
+        if let Some(&slot) = self.read().stmt_slots.get(&site) {
+            return slot;
+        }
+        let mut inner = self.write();
+        if let Some(&slot) = inner.stmt_slots.get(&site) {
+            return slot; // raced with another thread
+        }
+        let slot = inner.stmt_sites.len() as u32;
+        inner.stmt_slots.insert(site, slot);
+        inner.stmt_sites.push(site);
+        slot
+    }
+
+    /// The base bit slot of branch site `site` (two consecutive bits:
+    /// `base` for the not-taken direction, `base + 1` for taken),
+    /// interning it on first use.
+    pub fn branch_base(&self, site: SiteId) -> u32 {
+        if let Some(&base) = self.read().branch_bases.get(&site) {
+            return base;
+        }
+        let mut inner = self.write();
+        if let Some(&base) = inner.branch_bases.get(&site) {
+            return base;
+        }
+        let base = inner.branch_sites.len() as u32 * 2;
+        inner.branch_bases.insert(site, base);
+        inner.branch_sites.push(site);
+        base
+    }
+
+    /// The bit slot of one `(site, direction)` branch outcome.
+    pub fn branch_slot(&self, site: SiteId, taken: bool) -> u32 {
+        self.branch_base(site) + taken as u32
+    }
+
+    /// Number of registered statement slots.
+    pub fn stmt_slot_count(&self) -> usize {
+        self.read().stmt_sites.len()
+    }
+
+    /// Number of registered branch slots (two per branch site).
+    pub fn branch_slot_count(&self) -> usize {
+        self.read().branch_sites.len() * 2
+    }
+
+    /// The statement site occupying `slot`, if registered.
+    pub fn stmt_site_at(&self, slot: u32) -> Option<SiteId> {
+        self.read().stmt_sites.get(slot as usize).copied()
+    }
+
+    /// The `(site, direction)` occupying branch `slot`, if registered.
+    pub fn branch_at(&self, slot: u32) -> Option<(SiteId, bool)> {
+        let site = *self.read().branch_sites.get((slot / 2) as usize)?;
+        Some((site, slot % 2 == 1))
+    }
+}
+
+// --- Word-array helpers -----------------------------------------------------
+
+/// Trims trailing zero words, so logically-equal bitsets of different
+/// capacity hash and compare identically.
+fn trimmed(words: &[u64]) -> &[u64] {
+    let used = words.iter().rposition(|&w| w != 0).map_or(0, |i| i + 1);
+    &words[..used]
+}
+
+/// Zero-extended word-array equality.
+fn words_eq(a: &[u64], b: &[u64]) -> bool {
+    trimmed(a) == trimmed(b)
+}
+
+fn popcount(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+fn set_bit(words: &mut Vec<u64>, slot: u32) {
+    let word = (slot / 64) as usize;
+    if words.len() <= word {
+        words.resize(word + 1, 0);
+    }
+    words[word] |= 1u64 << (slot % 64);
+}
+
+/// Word-wise OR of `src` into `dst`; returns `true` when `src` contributed
+/// at least one bit `dst` did not have.
+fn or_into(dst: &mut Vec<u64>, src: &[u64]) -> bool {
+    let src = trimmed(src);
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    let mut grew = false;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let merged = *d | s;
+        grew |= merged != *d;
+        *d = merged;
+    }
+    grew
+}
+
+/// The FxHash multiplier, used for trace fingerprints: not cryptographic,
+/// but cheap and well-mixing over machine words.
+const FX_K: u64 = 0x517c_c1b7_2722_0a95;
+
+#[inline]
+fn fx_add(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_K)
+}
+
+fn fx_words(mut hash: u64, words: &[u64]) -> u64 {
+    hash = fx_add(hash, words.len() as u64);
+    for &w in words {
+        hash = fx_add(hash, w);
+    }
+    hash
+}
+
+// --- Coverage statistics ----------------------------------------------------
+
 /// Coverage statistics: the `(stmt, br)` pair the paper compares under
 /// `[st]` and `[stbr]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -71,13 +273,27 @@ impl fmt::Display for CoverageStats {
     }
 }
 
-/// An execution tracefile: the sets of statement and branch sites hit by one
-/// run of the reference JVM.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+// --- TraceFile --------------------------------------------------------------
+
+/// An execution tracefile: the statement and branch sites hit by one run
+/// of the reference JVM, stored as dense bitsets over the global
+/// [`SiteUniverse`].
+#[derive(Debug, Clone, Default)]
 pub struct TraceFile {
-    stmts: BTreeSet<SiteId>,
-    branches: BTreeSet<(SiteId, bool)>,
+    stmt_words: Vec<u64>,
+    branch_words: Vec<u64>,
 }
+
+impl PartialEq for TraceFile {
+    /// Zero-extended equality: trailing zero words (capacity left over
+    /// from buffer reuse) do not distinguish traces.
+    fn eq(&self, other: &TraceFile) -> bool {
+        words_eq(&self.stmt_words, &other.stmt_words)
+            && words_eq(&self.branch_words, &other.branch_words)
+    }
+}
+
+impl Eq for TraceFile {}
 
 impl TraceFile {
     /// Creates an empty tracefile.
@@ -87,57 +303,117 @@ impl TraceFile {
 
     /// Records a statement site hit.
     pub fn hit_stmt(&mut self, site: SiteId) {
-        self.stmts.insert(site);
+        let slot = SiteUniverse::global().stmt_slot(site);
+        self.set_stmt_slot(slot);
     }
 
     /// Records a branch outcome at a site.
     pub fn hit_branch(&mut self, site: SiteId, taken: bool) {
-        self.branches.insert((site, taken));
+        let slot = SiteUniverse::global().branch_slot(site, taken);
+        self.set_branch_slot(slot);
     }
 
-    /// The statement-site set.
-    pub fn stmts(&self) -> &BTreeSet<SiteId> {
-        &self.stmts
+    /// Sets a pre-resolved statement slot — the probe hot path, fed by the
+    /// per-site slot caches in the VM's `probe!` macro.
+    #[inline]
+    pub fn set_stmt_slot(&mut self, slot: u32) {
+        set_bit(&mut self.stmt_words, slot);
     }
 
-    /// The branch set.
-    pub fn branches(&self) -> &BTreeSet<(SiteId, bool)> {
-        &self.branches
+    /// Sets a pre-resolved branch slot (see [`SiteUniverse::branch_slot`]).
+    #[inline]
+    pub fn set_branch_slot(&mut self, slot: u32) {
+        set_bit(&mut self.branch_words, slot);
     }
 
-    /// The `(stmt, br)` coverage statistics.
+    /// The statement sites hit, resolved back through the universe.
+    ///
+    /// Diagnostic accessor (takes the universe lock per set bit); the
+    /// acceptance path never materializes site sets.
+    pub fn stmt_sites(&self) -> BTreeSet<SiteId> {
+        iter_slots(&self.stmt_words)
+            .filter_map(|slot| SiteUniverse::global().stmt_site_at(slot))
+            .collect()
+    }
+
+    /// The branch `(site, direction)` pairs hit. Diagnostic accessor.
+    pub fn branch_sites(&self) -> BTreeSet<(SiteId, bool)> {
+        iter_slots(&self.branch_words)
+            .filter_map(|slot| SiteUniverse::global().branch_at(slot))
+            .collect()
+    }
+
+    /// The `(stmt, br)` coverage statistics (popcounts of the two maps).
     pub fn stats(&self) -> CoverageStats {
         CoverageStats {
-            stmt: self.stmts.len(),
-            br: self.branches.len(),
+            stmt: popcount(&self.stmt_words),
+            br: popcount(&self.branch_words),
         }
     }
 
     /// The `⊕` operator: merges two tracefiles into one covering the union
-    /// of their sites.
+    /// of their sites — a word-wise OR.
     pub fn merge(&self, other: &TraceFile) -> TraceFile {
         let mut out = self.clone();
-        out.stmts.extend(other.stmts.iter().copied());
-        out.branches.extend(other.branches.iter().copied());
+        or_into(&mut out.stmt_words, &other.stmt_words);
+        or_into(&mut out.branch_words, &other.branch_words);
         out
     }
 
-    /// `[tr]`'s static-equality check, phrased as in the paper:
-    /// `tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt` and likewise for
-    /// branches.
+    /// `[tr]`'s static-equality check. The paper phrases it through `⊕`
+    /// (`tr_a.stmt = tr_b.stmt = (tr_a ⊕ tr_b).stmt`, likewise for
+    /// branches), which reduces to set equality — here a word-wise
+    /// compare. The equivalence proptests pin this reduction against the
+    /// [`baseline`] model's literal transcription.
     pub fn statically_equal(&self, other: &TraceFile) -> bool {
-        let merged = self.merge(other);
-        self.stats() == other.stats()
-            && other.stats() == merged.stats()
-            && self.stmts == merged.stmts
-            && self.branches == merged.branches
+        self == other
+    }
+
+    /// A 64-bit fingerprint of the trace contents (FxHash over the trimmed
+    /// word arrays). Equal traces always fingerprint equally, so an
+    /// unmatched fingerprint proves `[tr]`-uniqueness without touching the
+    /// suite; collisions fall back to word comparison.
+    ///
+    /// Fingerprints are a *within-process* cache: slot layout (and hence
+    /// the fingerprint of a given site set) varies across runs.
+    pub fn fingerprint(&self) -> u64 {
+        // Domain-separate the two maps so stmt content cannot alias branch
+        // content.
+        let h = fx_words(0x7472_6163_6566_696c, trimmed(&self.stmt_words));
+        fx_words(h, trimmed(&self.branch_words))
+    }
+
+    /// Zeroes every recorded site, keeping the allocation — the per-shard
+    /// reusable buffer the campaign engines record into.
+    pub fn clear(&mut self) {
+        self.stmt_words.fill(0);
+        self.branch_words.fill(0);
+    }
+
+    /// A trimmed copy (trailing zero capacity dropped): what the campaign
+    /// shards ship to the coordinator alongside the fingerprint.
+    pub fn snapshot(&self) -> TraceFile {
+        TraceFile {
+            stmt_words: trimmed(&self.stmt_words).to_vec(),
+            branch_words: trimmed(&self.branch_words).to_vec(),
+        }
     }
 
     /// Returns `true` when no sites were recorded.
     pub fn is_empty(&self) -> bool {
-        self.stmts.is_empty() && self.branches.is_empty()
+        self.stats() == CoverageStats::default()
     }
 }
+
+fn iter_slots(words: &[u64]) -> impl Iterator<Item = u32> + '_ {
+    words.iter().enumerate().flat_map(|(i, &w)| {
+        (0..64)
+            .filter(move |bit| w & (1u64 << bit) != 0)
+            .map(move |bit| i as u32 * 64 + bit)
+    })
+}
+
+// --- Uniqueness criteria ----------------------------------------------------
 
 /// Which uniqueness discipline the fuzzer applies when accepting mutants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -167,17 +443,69 @@ impl fmt::Display for UniquenessCriterion {
     }
 }
 
-/// An incremental index over an accepted test suite's tracefiles, answering
-/// coverage-uniqueness queries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// --- SuiteIndex -------------------------------------------------------------
+
+/// Telemetry from a [`SuiteIndex`]: how hard the acceptance hot path
+/// worked. Counters accumulate in the `insert_if_unique*` family (the
+/// campaign path); read-only probes do not count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCounters {
+    /// Traces offered through `insert_if_unique*`.
+    pub offered: u64,
+    /// Of those, how many were accepted.
+    pub accepted: u64,
+    /// `[tr]` offers resolved by the fingerprint hash probe alone.
+    pub fingerprint_fast_path: u64,
+    /// `[tr]` offers that needed at least one word-level trace comparison
+    /// (duplicates and genuine fingerprint collisions both land here).
+    pub word_compare_fallbacks: u64,
+}
+
+impl IndexCounters {
+    /// Field-wise accumulation.
+    pub fn merge(&mut self, other: &IndexCounters) {
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.fingerprint_fast_path += other.fingerprint_fast_path;
+        self.word_compare_fallbacks += other.word_compare_fallbacks;
+    }
+}
+
+/// An incremental index over an accepted test suite's tracefiles,
+/// answering coverage-uniqueness queries.
+///
+/// The `[tr]` representation stores each accepted trace exactly once, in
+/// acceptance order, and keys the lookup structure by fingerprint: an
+/// `is_unique` probe is one hash-map lookup unless the fingerprint
+/// matches, in which case the (rare) candidates are compared word for
+/// word.
+#[derive(Debug, Clone)]
 pub struct SuiteIndex {
     criterion: UniquenessCriterion,
-    /// `[st]`: set of seen stmt statistics. `[stbr]`: seen (stmt, br) pairs.
+    /// `[st]`: set of seen `(stmt, 0)` keys. `[stbr]`/`[tr]`: seen
+    /// `(stmt, br)` pairs.
     seen_stats: BTreeSet<(usize, usize)>,
-    /// `[tr]` only: traces bucketed by statistics for set comparison.
-    traces_by_stats: BTreeMap<(usize, usize), Vec<TraceFile>>,
+    /// `[tr]` only: accepted traces, stored once, in acceptance order.
+    traces: Vec<TraceFile>,
+    /// `[tr]` only: fingerprint → indices into `traces`.
+    fp_buckets: HashMap<u64, Vec<u32>>,
     len: usize,
+    counters: IndexCounters,
 }
+
+impl PartialEq for SuiteIndex {
+    /// Semantic equality: criterion, accepted statistics, and accepted
+    /// traces. Telemetry counters and the (derivable) fingerprint buckets
+    /// are excluded.
+    fn eq(&self, other: &SuiteIndex) -> bool {
+        self.criterion == other.criterion
+            && self.len == other.len
+            && self.seen_stats == other.seen_stats
+            && self.traces == other.traces
+    }
+}
+
+impl Eq for SuiteIndex {}
 
 impl SuiteIndex {
     /// Creates an empty index using `criterion`.
@@ -185,8 +513,10 @@ impl SuiteIndex {
         SuiteIndex {
             criterion,
             seen_stats: BTreeSet::new(),
-            traces_by_stats: BTreeMap::new(),
+            traces: Vec::new(),
+            fp_buckets: HashMap::new(),
             len: 0,
+            counters: IndexCounters::default(),
         }
     }
 
@@ -205,43 +535,91 @@ impl SuiteIndex {
         self.len == 0
     }
 
+    /// Acceptance telemetry accumulated so far.
+    pub fn counters(&self) -> IndexCounters {
+        self.counters
+    }
+
     fn key(&self, stats: CoverageStats) -> (usize, usize) {
         match self.criterion {
+            // [st] collapses the branch dimension to 0 so traces that
+            // differ only in branch coverage share a key.
             UniquenessCriterion::St => (stats.stmt, 0),
             UniquenessCriterion::StBr | UniquenessCriterion::Tr => (stats.stmt, stats.br),
         }
     }
 
-    /// Is `trace` representative (coverage-unique) w.r.t. the accepted suite?
+    /// Is `trace` representative (coverage-unique) w.r.t. the accepted
+    /// suite? Computes the `[tr]` fingerprint internally; the campaign
+    /// engines precompute it shard-side and use
+    /// [`SuiteIndex::insert_if_unique_with_fingerprint`] instead.
     pub fn is_unique(&self, trace: &TraceFile) -> bool {
-        let key = self.key(trace.stats());
         match self.criterion {
-            UniquenessCriterion::St | UniquenessCriterion::StBr => !self.seen_stats.contains(&key),
-            UniquenessCriterion::Tr => match self.traces_by_stats.get(&key) {
+            UniquenessCriterion::St | UniquenessCriterion::StBr => {
+                !self.seen_stats.contains(&self.key(trace.stats()))
+            }
+            UniquenessCriterion::Tr => self.is_unique_with_fingerprint(trace, trace.fingerprint()),
+        }
+    }
+
+    /// Uniqueness with a caller-supplied fingerprint, which must equal
+    /// `trace.fingerprint()` (it is ignored under the statistic criteria).
+    pub fn is_unique_with_fingerprint(&self, trace: &TraceFile, fp: u64) -> bool {
+        match self.criterion {
+            UniquenessCriterion::St | UniquenessCriterion::StBr => {
+                !self.seen_stats.contains(&self.key(trace.stats()))
+            }
+            UniquenessCriterion::Tr => match self.fp_buckets.get(&fp) {
                 None => true,
-                Some(bucket) => !bucket.iter().any(|t| t.statically_equal(trace)),
+                Some(bucket) => !bucket.iter().any(|&i| self.traces[i as usize] == *trace),
             },
         }
     }
 
-    /// Records `trace` as accepted (caller has already checked uniqueness or
-    /// wants to force-seed the suite).
+    /// Records `trace` as accepted (caller has already checked uniqueness
+    /// or wants to force-seed the suite).
     pub fn insert(&mut self, trace: &TraceFile) {
-        let key = self.key(trace.stats());
-        self.seen_stats.insert(key);
+        let fp = match self.criterion {
+            UniquenessCriterion::Tr => trace.fingerprint(),
+            _ => 0,
+        };
+        self.insert_with_fingerprint(trace, fp);
+    }
+
+    fn insert_with_fingerprint(&mut self, trace: &TraceFile, fp: u64) {
+        self.seen_stats.insert(self.key(trace.stats()));
         if self.criterion == UniquenessCriterion::Tr {
-            self.traces_by_stats
-                .entry(key)
-                .or_default()
-                .push(trace.clone());
+            let index = self.traces.len() as u32;
+            self.traces.push(trace.snapshot());
+            self.fp_buckets.entry(fp).or_default().push(index);
         }
         self.len += 1;
     }
 
     /// Accepts `trace` iff it is unique; returns whether it was accepted.
     pub fn insert_if_unique(&mut self, trace: &TraceFile) -> bool {
-        if self.is_unique(trace) {
-            self.insert(trace);
+        let fp = match self.criterion {
+            UniquenessCriterion::Tr => trace.fingerprint(),
+            _ => 0,
+        };
+        self.insert_if_unique_with_fingerprint(trace, fp)
+    }
+
+    /// [`SuiteIndex::insert_if_unique`] with a caller-supplied fingerprint
+    /// — the campaign acceptance path, where shards fingerprint their own
+    /// traces and the coordinator probes without rehashing.
+    pub fn insert_if_unique_with_fingerprint(&mut self, trace: &TraceFile, fp: u64) -> bool {
+        self.counters.offered += 1;
+        if self.criterion == UniquenessCriterion::Tr {
+            if self.fp_buckets.contains_key(&fp) {
+                self.counters.word_compare_fallbacks += 1;
+            } else {
+                self.counters.fingerprint_fast_path += 1;
+            }
+        }
+        if self.is_unique_with_fingerprint(trace, fp) {
+            self.insert_with_fingerprint(trace, fp);
+            self.counters.accepted += 1;
             true
         } else {
             false
@@ -249,10 +627,10 @@ impl SuiteIndex {
     }
 
     /// Folds `other` into `self`, as if every trace `other` accepted had
-    /// been offered to `self` via [`SuiteIndex::insert_if_unique`]
-    /// (duplicates across the two indices are dropped). This is how a
-    /// parallel campaign combines shard-local indices; for indices built
-    /// purely with `insert_if_unique`,
+    /// been offered to `self` via [`SuiteIndex::insert_if_unique`], in
+    /// `other`'s acceptance order (duplicates across the two indices are
+    /// dropped). This is how a parallel campaign combines shard-local
+    /// indices; for indices built purely with `insert_if_unique`,
     /// `merge(index(h1), index(h2)) == index(h1 ++ h2)` for every pair of
     /// histories — the property the coverage proptests pin down.
     ///
@@ -273,24 +651,34 @@ impl SuiteIndex {
                 }
             }
             UniquenessCriterion::Tr => {
-                for bucket in other.traces_by_stats.values() {
-                    for trace in bucket {
-                        self.insert_if_unique(trace);
-                    }
+                for trace in &other.traces {
+                    self.insert_if_unique_with_fingerprint(trace, trace.fingerprint());
                 }
             }
         }
     }
 }
 
+// --- GlobalCoverage ---------------------------------------------------------
+
 /// Accumulative coverage across a whole campaign — the acceptance rule of
 /// the *greedyfuzz* baseline (§3.1.2): accept a mutant only when it
-/// increases total coverage.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// increases total coverage. Word arrays over the same universe as
+/// [`TraceFile`]; absorption is a word-wise OR with growth detection.
+#[derive(Debug, Clone, Default)]
 pub struct GlobalCoverage {
-    stmts: BTreeSet<SiteId>,
-    branches: BTreeSet<(SiteId, bool)>,
+    stmt_words: Vec<u64>,
+    branch_words: Vec<u64>,
 }
+
+impl PartialEq for GlobalCoverage {
+    fn eq(&self, other: &GlobalCoverage) -> bool {
+        words_eq(&self.stmt_words, &other.stmt_words)
+            && words_eq(&self.branch_words, &other.branch_words)
+    }
+}
+
+impl Eq for GlobalCoverage {}
 
 impl GlobalCoverage {
     /// Creates an empty accumulator.
@@ -300,27 +688,25 @@ impl GlobalCoverage {
 
     /// Folds `trace` in; returns `true` when it contributed any new site.
     pub fn absorb(&mut self, trace: &TraceFile) -> bool {
-        let before = self.stmts.len() + self.branches.len();
-        self.stmts.extend(trace.stmts().iter().copied());
-        self.branches.extend(trace.branches().iter().copied());
-        self.stmts.len() + self.branches.len() > before
+        let stmt_grew = or_into(&mut self.stmt_words, &trace.stmt_words);
+        let branch_grew = or_into(&mut self.branch_words, &trace.branch_words);
+        stmt_grew || branch_grew
     }
 
     /// Total accumulated statistics.
     pub fn stats(&self) -> CoverageStats {
         CoverageStats {
-            stmt: self.stmts.len(),
-            br: self.branches.len(),
+            stmt: popcount(&self.stmt_words),
+            br: popcount(&self.branch_words),
         }
     }
 
-    /// Folds another accumulator in (set union of both site sets); returns
+    /// Folds another accumulator in (set union of both site maps); returns
     /// `true` when `other` contributed any site `self` had not seen.
     pub fn merge(&mut self, other: &GlobalCoverage) -> bool {
-        let before = self.stmts.len() + self.branches.len();
-        self.stmts.extend(other.stmts.iter().copied());
-        self.branches.extend(other.branches.iter().copied());
-        self.stmts.len() + self.branches.len() > before
+        let stmt_grew = or_into(&mut self.stmt_words, &other.stmt_words);
+        let branch_grew = or_into(&mut self.branch_words, &other.branch_words);
+        stmt_grew || branch_grew
     }
 }
 
@@ -351,6 +737,22 @@ mod tests {
     }
 
     #[test]
+    fn universe_interning_is_idempotent() {
+        let u = SiteUniverse::global();
+        let a = u.stmt_slot(0xdead_beef);
+        assert_eq!(u.stmt_slot(0xdead_beef), a);
+        assert_eq!(u.stmt_site_at(a), Some(0xdead_beef));
+        let base = u.branch_base(0xdead_beef);
+        assert_eq!(base % 2, 0, "branch bases are 2-bit aligned");
+        assert_eq!(u.branch_slot(0xdead_beef, false), base);
+        assert_eq!(u.branch_slot(0xdead_beef, true), base + 1);
+        assert_eq!(u.branch_at(base), Some((0xdead_beef, false)));
+        assert_eq!(u.branch_at(base + 1), Some((0xdead_beef, true)));
+        assert!(u.stmt_slot_count() >= 1);
+        assert!(u.branch_slot_count() >= 2);
+    }
+
+    #[test]
     fn stats_count_distinct_sites() {
         let t = trace(&[1, 2, 2, 3], &[(9, true), (9, false), (9, true)]);
         assert_eq!(t.stats(), CoverageStats { stmt: 3, br: 2 });
@@ -371,12 +773,59 @@ mod tests {
     #[test]
     fn static_equality_distinguishes_same_stats() {
         // Same statistics (2 stmts, 1 branch) but different site sets —
-        // the 16-classfile situation the paper reports under [tr].
+        // the situation only [tr] can tell apart.
         let a = trace(&[1, 2], &[(9, true)]);
         let b = trace(&[1, 3], &[(9, true)]);
         assert_eq!(a.stats(), b.stats());
         assert!(!a.statically_equal(&b));
         assert!(a.statically_equal(&a.clone()));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let mut reused = TraceFile::new();
+        // Force capacity by hitting many sites, then clear and re-record.
+        for i in 0..200 {
+            reused.hit_stmt(0x5000 + i);
+        }
+        reused.clear();
+        reused.hit_stmt(1);
+        let fresh = trace(&[1], &[]);
+        assert_eq!(reused, fresh);
+        assert_eq!(reused.fingerprint(), fresh.fingerprint());
+        assert_eq!(reused.snapshot(), fresh);
+    }
+
+    #[test]
+    fn fingerprint_tracks_equality() {
+        let a = trace(&[1, 2], &[(9, true)]);
+        let b = trace(&[2, 1], &[(9, true)]);
+        let c = trace(&[1, 3], &[(9, true)]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal sets, equal fps");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "distinct sets differ");
+        // Stmt content must not alias branch content.
+        let stmts_only = trace(&[7], &[]);
+        let branches_only = trace(&[], &[(7, false)]);
+        assert_ne!(stmts_only.fingerprint(), branches_only.fingerprint());
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut t = trace(&[1, 2, 3], &[(4, true), (5, false)]);
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t, TraceFile::new());
+    }
+
+    #[test]
+    fn sites_resolve_back_through_the_universe() {
+        let t = trace(&[11, 12], &[(13, true), (14, false)]);
+        assert_eq!(t.stmt_sites(), [11, 12].into_iter().collect());
+        assert_eq!(
+            t.branch_sites(),
+            [(13, true), (14, false)].into_iter().collect()
+        );
     }
 
     #[test]
@@ -394,6 +843,24 @@ mod tests {
     }
 
     #[test]
+    fn st_key_collapses_branch_count_to_zero() {
+        // Regression test for the [st] key: the branch dimension must be
+        // collapsed to exactly 0, so a branch-free trace and a branch-heavy
+        // trace with the same stmt count share one key — in both orders.
+        let branch_free = trace(&[1, 2, 3], &[]);
+        let branch_heavy = trace(&[4, 5, 6], &[(9, true), (9, false), (10, true)]);
+        for pair in [[&branch_free, &branch_heavy], [&branch_heavy, &branch_free]] {
+            let mut idx = SuiteIndex::new(UniquenessCriterion::St);
+            assert!(idx.insert_if_unique(pair[0]));
+            assert!(
+                !idx.insert_if_unique(pair[1]),
+                "same stmt count must collide under [st] regardless of branches"
+            );
+            assert_eq!(idx.len(), 1);
+        }
+    }
+
+    #[test]
     fn tr_distinguishes_equal_stats_different_sets() {
         let mut idx = SuiteIndex::new(UniquenessCriterion::Tr);
         let a = trace(&[1, 2], &[(9, true)]);
@@ -402,6 +869,21 @@ mod tests {
         assert!(idx.insert_if_unique(&b)); // [tr] accepts; [stbr] would not
         assert!(!idx.insert_if_unique(&a.clone()));
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn tr_counters_track_fast_path_and_fallbacks() {
+        let mut idx = SuiteIndex::new(UniquenessCriterion::Tr);
+        let a = trace(&[1, 2], &[(9, true)]);
+        let b = trace(&[1, 3], &[(9, true)]);
+        assert!(idx.insert_if_unique(&a)); // fast path (empty index)
+        assert!(idx.insert_if_unique(&b)); // fast path (new fingerprint)
+        assert!(!idx.insert_if_unique(&a)); // duplicate: word-compare fallback
+        let c = idx.counters();
+        assert_eq!(c.offered, 3);
+        assert_eq!(c.accepted, 2);
+        assert_eq!(c.fingerprint_fast_path, 2);
+        assert_eq!(c.word_compare_fallbacks, 1);
     }
 
     #[test]

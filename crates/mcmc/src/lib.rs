@@ -261,6 +261,53 @@ pub fn merge_stat_tables(tables: &[Vec<MutatorStats>]) -> Vec<MutatorStats> {
     merged
 }
 
+/// Acceptance-path telemetry for one campaign: how many traces the
+/// coverage index was offered, how many it accepted, and how often the
+/// `[tr]` fingerprint fast path resolved an offer without a word-level
+/// trace comparison. The statistics counterpart to [`MutatorStats`] —
+/// where that table says *which mutators* earned acceptances, this says
+/// *what the acceptance check cost*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AcceptanceTelemetry {
+    /// Traces offered to the uniqueness index.
+    pub offered: u64,
+    /// Of those, how many entered the accepted suite.
+    pub accepted: u64,
+    /// `[tr]` offers settled by the fingerprint hash probe alone.
+    pub fingerprint_fast_path: u64,
+    /// `[tr]` offers that fell back to word-level trace comparison
+    /// (duplicates and genuine fingerprint collisions).
+    pub word_compare_fallbacks: u64,
+}
+
+impl AcceptanceTelemetry {
+    /// Field-wise accumulation (e.g. across campaigns).
+    pub fn merge(&mut self, other: &AcceptanceTelemetry) {
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.fingerprint_fast_path += other.fingerprint_fast_path;
+        self.word_compare_fallbacks += other.word_compare_fallbacks;
+    }
+
+    /// Fraction of `[tr]` offers the fingerprint fast path settled; `None`
+    /// when the campaign never consulted fingerprints (non-`[tr]` runs).
+    pub fn fast_path_rate(&self) -> Option<f64> {
+        let probes = self.fingerprint_fast_path + self.word_compare_fallbacks;
+        (probes > 0).then(|| self.fingerprint_fast_path as f64 / probes as f64)
+    }
+}
+
+impl From<classfuzz_coverage::IndexCounters> for AcceptanceTelemetry {
+    fn from(c: classfuzz_coverage::IndexCounters) -> AcceptanceTelemetry {
+        AcceptanceTelemetry {
+            offered: c.offered,
+            accepted: c.accepted,
+            fingerprint_fast_path: c.fingerprint_fast_path,
+            word_compare_fallbacks: c.word_compare_fallbacks,
+        }
+    }
+}
+
 /// Uniform mutator selection — what *uniquefuzz*, *greedyfuzz*, and
 /// *randfuzz* use (§3.1.2): no guidance, every mutator equally likely.
 #[derive(Debug, Clone)]
@@ -459,6 +506,41 @@ mod tests {
         );
         assert_eq!(merge_stat_tables(&[]), Vec::new());
         assert_eq!(merge_stat_tables(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
+    fn acceptance_telemetry_merges_and_rates() {
+        let mut a = AcceptanceTelemetry {
+            offered: 10,
+            accepted: 4,
+            fingerprint_fast_path: 6,
+            word_compare_fallbacks: 2,
+        };
+        let b = AcceptanceTelemetry {
+            offered: 5,
+            accepted: 1,
+            fingerprint_fast_path: 2,
+            word_compare_fallbacks: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.offered, 15);
+        assert_eq!(a.accepted, 5);
+        assert_eq!(a.fast_path_rate(), Some(0.8));
+        assert_eq!(AcceptanceTelemetry::default().fast_path_rate(), None);
+    }
+
+    #[test]
+    fn acceptance_telemetry_from_index_counters() {
+        use classfuzz_coverage::{SuiteIndex, TraceFile, UniquenessCriterion};
+        let mut idx = SuiteIndex::new(UniquenessCriterion::Tr);
+        let mut t = TraceFile::new();
+        t.hit_stmt(1);
+        assert!(idx.insert_if_unique(&t));
+        assert!(!idx.insert_if_unique(&t));
+        let tel = AcceptanceTelemetry::from(idx.counters());
+        assert_eq!(tel.offered, 2);
+        assert_eq!(tel.accepted, 1);
+        assert_eq!(tel.fingerprint_fast_path + tel.word_compare_fallbacks, 2);
     }
 
     #[test]

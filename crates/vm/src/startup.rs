@@ -70,6 +70,20 @@ impl Jvm {
         self.run_with_options(class_bytes, &[], true)
     }
 
+    /// Runs with coverage collection into a caller-owned reusable buffer:
+    /// the campaign hot path. `scratch` is cleared, records the run's
+    /// probes, and keeps its word-array allocation across calls; the
+    /// returned result carries `trace: None` — the trace *is* `scratch`.
+    pub fn run_traced_into(&self, class_bytes: &[u8], scratch: &mut TraceFile) -> ExecutionResult {
+        let mut cov = Cov::enabled_reusing(std::mem::take(scratch));
+        let outcome = self.contained_startup(class_bytes, &[], &mut cov);
+        *scratch = cov.into_trace().unwrap_or_default();
+        ExecutionResult {
+            outcome,
+            trace: None,
+        }
+    }
+
     /// Full-control entry point: extra classpath entries and optional
     /// coverage.
     pub fn run_with_options(
@@ -83,20 +97,28 @@ impl Jvm {
         } else {
             Cov::disabled()
         };
-        // Fault containment: `progress` tracks the deepest phase the
-        // pipeline entered, so a panic inside any stage becomes a
-        // deterministic crash verdict attributed to that phase. Coverage
-        // probes fired before the panic survive (the trace of a crashed run
-        // is its partial trace — itself deterministic).
-        let progress = Cell::new(Phase::Loading);
-        let outcome =
-            match run_contained(|| self.startup(class_bytes, classpath, &mut cov, &progress)) {
-                Ok(outcome) => outcome,
-                Err(detail) => Outcome::crashed(progress.get(), detail),
-            };
+        let outcome = self.contained_startup(class_bytes, classpath, &mut cov);
         ExecutionResult {
             outcome,
             trace: cov.into_trace(),
+        }
+    }
+
+    /// Fault containment: `progress` tracks the deepest phase the pipeline
+    /// entered, so a panic inside any stage becomes a deterministic crash
+    /// verdict attributed to that phase. Coverage probes fired before the
+    /// panic survive (the trace of a crashed run is its partial trace —
+    /// itself deterministic).
+    fn contained_startup(
+        &self,
+        class_bytes: &[u8],
+        classpath: &[Vec<u8>],
+        cov: &mut Cov,
+    ) -> Outcome {
+        let progress = Cell::new(Phase::Loading);
+        match run_contained(|| self.startup(class_bytes, classpath, cov, &progress)) {
+            Ok(outcome) => outcome,
+            Err(detail) => Outcome::crashed(progress.get(), detail),
         }
     }
 

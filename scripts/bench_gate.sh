@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Coverage bench-smoke gate: runs the [tr] acceptance hot-path
+# micro-benchmarks on a fixed seed (see crates/bench/src/covbench.rs),
+# writes BENCH_coverage.json, and fails when
+#
+#   * any tracked metric regresses more than 20% against the committed
+#     BENCH_coverage.baseline.json, or
+#   * the bitset engine's [tr] is_unique speedup over the retained BTreeSet
+#     reference model drops below 5x (machine-independent floor).
+#
+# Timings are medians over repeated runs so one scheduler hiccup cannot
+# fail CI; the committed baseline is deliberately pessimistic (see its
+# "_note"). Extra flags pass through to covbench (e.g. --repeats 3).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --out BENCH_coverage.json \
+    --baseline BENCH_coverage.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 5.0 \
+    "$@"

@@ -1,11 +1,17 @@
 #!/usr/bin/env sh
-# The full local gate: build, test, lint. Run from the repo root.
+# The full local gate — the single entrypoint .github/workflows/ci.yml
+# mirrors (see README, "CI contract"). Run from anywhere; works fully
+# offline against the vendored crates/{rand,proptest,criterion} shims.
 #
 # The root manifest is both a package and the workspace root, so plain
 # `cargo build`/`cargo test` would cover only the facade crate; every step
 # here passes --workspace to reach all member crates and binaries.
 set -eu
 
+cd "$(dirname "$0")/.."
+
+# Formatting first: cheapest check, fails fastest.
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
 # The adversarial-input suite on its own line so a containment regression
@@ -14,3 +20,6 @@ cargo test -q --test no_panic
 cargo clippy --workspace --all-targets -- -D warnings
 # No new panic sites in the hot-path crates (classfile/vm/core).
 sh scripts/panic_gate.sh
+# Coverage hot-path bench smoke: fixed-seed microbenchmarks vs. the
+# committed BENCH_coverage.baseline.json (20% budget + 5x speedup floor).
+sh scripts/bench_gate.sh
