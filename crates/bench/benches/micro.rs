@@ -3,12 +3,13 @@
 //! and coverage-uniqueness checking.
 
 use classfuzz_classfile::ClassFile;
+use classfuzz_core::diff::DifferentialHarness;
 use classfuzz_core::seeds::SeedCorpus;
 use classfuzz_coverage::{SuiteIndex, UniquenessCriterion};
 use classfuzz_jimple::{lift::lift_class, lower::lower_class, IrClass};
 use classfuzz_mcmc::MutatorChain;
 use classfuzz_mutation::{registry, MutationCtx};
-use classfuzz_vm::{Jvm, VmSpec};
+use classfuzz_vm::{preparse, Jvm, UserClass, VmSpec, World};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,6 +52,45 @@ fn bench_vm_startup(c: &mut Criterion) {
     let reference = Jvm::new(VmSpec::hotspot9());
     c.bench_function("vm/startup-traced (reference)", |b| {
         b.iter(|| reference.run_traced(std::hint::black_box(&bytes)))
+    });
+}
+
+fn bench_world(c: &mut Criterion) {
+    // The share-everything pivot in one pair of numbers: building a
+    // bootstrap library from scratch (what every run paid before the
+    // process-wide cache) vs constructing a World as an overlay over the
+    // shared library (what a run pays now).
+    use classfuzz_vm::library::bootstrap_library;
+    use classfuzz_vm::{shared_library, JreGeneration};
+    let user = std::sync::Arc::new(UserClass::summarize(
+        ClassFile::from_bytes(&hello_bytes()).unwrap(),
+    ));
+    c.bench_function("world/full-library-build", |b| {
+        b.iter(|| bootstrap_library(std::hint::black_box(JreGeneration::Jre9)))
+    });
+    c.bench_function("world/overlay", |b| {
+        b.iter(|| {
+            World::with_library(
+                shared_library(JreGeneration::Jre9),
+                vec![std::sync::Arc::clone(std::hint::black_box(&user))],
+            )
+        })
+    });
+}
+
+fn bench_harness(c: &mut Criterion) {
+    // Five-VM differential evaluation of one class: the byte-level API
+    // (decodes internally, once) vs a hoisted `preparse` shared across
+    // iterations — the amortization `evaluate_suite` and the campaign
+    // engines now get per candidate.
+    let bytes = hello_bytes();
+    let harness = DifferentialHarness::paper_five();
+    let parsed = preparse(&bytes);
+    c.bench_function("harness/run-bytes", |b| {
+        b.iter(|| harness.run(std::hint::black_box(&bytes)))
+    });
+    c.bench_function("harness/run-preparsed", |b| {
+        b.iter(|| harness.run_parsed(std::hint::black_box(&parsed)))
     });
 }
 
@@ -173,6 +213,8 @@ criterion_group!(
     bench_classfile_codec,
     bench_jimple,
     bench_vm_startup,
+    bench_world,
+    bench_harness,
     bench_mutation,
     bench_mcmc,
     bench_coverage,

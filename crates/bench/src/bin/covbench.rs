@@ -1,42 +1,86 @@
-//! Coverage bench-smoke binary: runs the `[tr]` hot-path micro-benchmarks
-//! (see `classfuzz_bench::covbench`), writes `BENCH_coverage.json`, and —
-//! when given a committed baseline — fails with a nonzero exit on
-//! regression. Driven by `scripts/bench_gate.sh`, mirrored by the CI
-//! bench-smoke job.
+//! Bench-smoke binary: runs one of the gated benchmark scenarios, writes
+//! its JSON report, and — when given a committed baseline — fails with a
+//! nonzero exit on regression. Driven by `scripts/bench_gate.sh`, mirrored
+//! by the CI bench-smoke job.
+//!
+//! * `--scenario coverage` (default): the `[tr]` acceptance hot-path
+//!   micro-benchmarks (`classfuzz_bench::covbench`) → `BENCH_coverage.json`.
+//! * `--scenario harness`: the end-to-end five-VM harness batch, shared
+//!   pipeline vs the pre-sharing cold path
+//!   (`classfuzz_bench::harnessbench`) → `BENCH_harness.json`.
 //!
 //! ```text
-//! covbench [--out PATH] [--baseline PATH] [--suite-size N]
-//!          [--repeats N] [--max-regression X] [--min-speedup X]
+//! covbench [--scenario coverage|harness] [--out PATH] [--baseline PATH]
+//!          [--suite-size N] [--repeats N] [--max-regression X]
+//!          [--min-speedup X]
 //! ```
 
 use std::process::ExitCode;
 
 use classfuzz_bench::covbench::{check_report, run_coverage_bench};
+use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Coverage,
+    Harness,
+}
 
 struct Options {
+    scenario: Scenario,
     out: Option<String>,
     baseline: Option<String>,
     suite_size: usize,
     repeats: usize,
     max_regression: f64,
-    min_speedup: f64,
+    min_speedup: Option<f64>,
+}
+
+impl Options {
+    /// The machine-independent speedup floor: explicit flag, or the
+    /// scenario's default (coverage: bitset-vs-baseline ≥5×; harness:
+    /// shared-vs-cold ≥2×).
+    fn speedup_floor(&self) -> f64 {
+        self.min_speedup.unwrap_or(match self.scenario {
+            Scenario::Coverage => 5.0,
+            Scenario::Harness => 2.0,
+        })
+    }
+
+    /// The report path: explicit flag, or the scenario's default.
+    fn out_path(&self) -> Option<String> {
+        match (&self.out, self.scenario) {
+            (Some(path), _) if path.is_empty() => None,
+            (Some(path), _) => Some(path.clone()),
+            (None, Scenario::Coverage) => Some("BENCH_coverage.json".to_string()),
+            (None, Scenario::Harness) => Some("BENCH_harness.json".to_string()),
+        }
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
-        out: Some("BENCH_coverage.json".to_string()),
+        scenario: Scenario::Coverage,
+        out: None,
         baseline: None,
         suite_size: 1000,
         repeats: 5,
         max_regression: 1.2,
-        min_speedup: 5.0,
+        min_speedup: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
+            "--scenario" => {
+                options.scenario = match value("--scenario")?.as_str() {
+                    "coverage" => Scenario::Coverage,
+                    "harness" => Scenario::Harness,
+                    other => return Err(format!("unknown scenario {other}")),
+                }
+            }
             "--out" => options.out = Some(value("--out")?),
-            "--no-out" => options.out = None,
+            "--no-out" => options.out = Some(String::new()),
             "--baseline" => options.baseline = Some(value("--baseline")?),
             "--suite-size" => {
                 options.suite_size = value("--suite-size")?
@@ -54,9 +98,11 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("--max-regression: {e}"))?
             }
             "--min-speedup" => {
-                options.min_speedup = value("--min-speedup")?
-                    .parse()
-                    .map_err(|e| format!("--min-speedup: {e}"))?
+                options.min_speedup = Some(
+                    value("--min-speedup")?
+                        .parse()
+                        .map_err(|e| format!("--min-speedup: {e}"))?,
+                )
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -65,6 +111,41 @@ fn parse_args() -> Result<Options, String> {
         return Err("--suite-size must be >= 2 and --repeats >= 1".to_string());
     }
     Ok(options)
+}
+
+/// Runs the selected scenario; returns its JSON report, the gate verdicts
+/// against `baseline_json` (when given), and a one-line pass summary.
+fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<String>, String) {
+    let floor = options.speedup_floor();
+    match options.scenario {
+        Scenario::Coverage => {
+            eprintln!(
+                "covbench: scenario=coverage suite={} repeats={} ...",
+                options.suite_size, options.repeats
+            );
+            let report = run_coverage_bench(options.suite_size, options.repeats);
+            let failures = baseline_json
+                .map(|json| check_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "speedup {:.0}x, budget {:.2}x",
+                report.tr_is_unique_speedup, options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Harness => {
+            eprintln!("covbench: scenario=harness repeats={} ...", options.repeats);
+            let report = run_harness_bench(options.repeats);
+            let failures = baseline_json
+                .map(|json| check_harness_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "harness speedup {:.2}x, budget {:.2}x",
+                report.harness_speedup, options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -76,16 +157,22 @@ fn main() -> ExitCode {
         }
     };
 
-    eprintln!(
-        "covbench: suite={} repeats={} ...",
-        options.suite_size, options.repeats
-    );
-    let report = run_coverage_bench(options.suite_size, options.repeats);
-    let json = report.to_json();
+    let baseline_json = match &options.baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("covbench: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let (json, failures, summary) = run_scenario(&options, baseline_json.as_deref());
     print!("{json}");
 
-    if let Some(path) = &options.out {
-        if let Err(e) = std::fs::write(path, &json) {
+    if let Some(path) = options.out_path() {
+        if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("covbench: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -93,30 +180,13 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &options.baseline {
-        let baseline_json = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("covbench: cannot read baseline {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let failures = check_report(
-            &report,
-            &baseline_json,
-            options.max_regression,
-            options.min_speedup,
-        );
         if !failures.is_empty() {
             for failure in &failures {
                 eprintln!("covbench: GATE FAIL: {failure}");
             }
             return ExitCode::FAILURE;
         }
-        eprintln!(
-            "covbench: gate passed against {path} \
-             (speedup {:.0}x, budget {:.2}x)",
-            report.tr_is_unique_speedup, options.max_regression
-        );
+        eprintln!("covbench: gate passed against {path} ({summary})");
     }
     ExitCode::SUCCESS
 }

@@ -8,6 +8,7 @@
 //! performance tracking.
 
 pub mod covbench;
+pub mod harnessbench;
 
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};
 use classfuzz_core::diff::DifferentialHarness;

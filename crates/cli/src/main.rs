@@ -193,7 +193,7 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
             println!("vm crash: encoded {vector} (test class {n})");
             if let Some(dir) = &crash_dir {
                 let file = dir.join(format!("diff_{crashing:04}_{}.class", vector.key()));
-                std::fs::write(&file, &generated.bytes)
+                std::fs::write(&file, generated.bytes.as_slice())
                     .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
                 println!("  written to {}", file.display());
             }
@@ -207,7 +207,7 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
             std::fs::create_dir_all(dir)
                 .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
             let file = dir.join(format!("trigger_{found:04}_{}.class", vector.key()));
-            std::fs::write(&file, &generated.bytes)
+            std::fs::write(&file, generated.bytes.as_slice())
                 .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
             println!("  written to {}", file.display());
         }

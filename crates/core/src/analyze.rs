@@ -40,6 +40,8 @@ impl SuiteEvaluation {
 }
 
 /// Runs every classfile through the harness and aggregates the outcomes.
+/// Each classfile is decoded exactly once; the parse is shared by all of
+/// the harness's profiles.
 pub fn evaluate_suite(harness: &DifferentialHarness, classes: &[Vec<u8>]) -> SuiteEvaluation {
     let vm_count = harness.jvms().len();
     let mut eval = SuiteEvaluation {
@@ -47,7 +49,7 @@ pub fn evaluate_suite(harness: &DifferentialHarness, classes: &[Vec<u8>]) -> Sui
         ..SuiteEvaluation::default()
     };
     for bytes in classes {
-        let vector = harness.run(bytes);
+        let vector = harness.run_parsed(&classfuzz_vm::preparse(bytes));
         eval.total += 1;
         for (vm, phase) in vector.encoded().iter().enumerate() {
             eval.per_vm_phase[vm][*phase as usize] += 1;

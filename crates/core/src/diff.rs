@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use classfuzz_vm::{Jvm, Outcome, Phase, VmSpec};
+use classfuzz_vm::{preparse, Jvm, Outcome, Phase, PreparsedClass, VmSpec};
 
 /// The encoded result of one classfile across all tested JVMs — Figure 3's
 /// sequence of phase digits.
@@ -35,13 +35,14 @@ impl OutcomeVector {
     }
 
     /// The category key: two discrepancies with the same key are "one
-    /// distinct discrepancy" in the paper's counting.
+    /// distinct discrepancy" in the paper's counting. Phase codes are
+    /// single digits (0–5), so the key is one ASCII digit per column,
+    /// built in a single pass.
     pub fn key(&self) -> String {
-        self.encoded()
+        self.outcomes
             .iter()
-            .map(u8::to_string)
-            .collect::<Vec<_>>()
-            .join("")
+            .map(|o| (b'0' + o.code()) as char)
+            .collect()
     }
 
     /// A discrepancy: the sequence is not all the same digit.
@@ -116,12 +117,19 @@ impl DifferentialHarness {
         self.jvms.iter().map(|j| j.spec().name.clone()).collect()
     }
 
-    /// Runs one classfile on every JVM.
+    /// Runs one classfile on every JVM. Decodes the bytes once and shares
+    /// the parse across all columns (see [`DifferentialHarness::run_parsed`]).
     pub fn run(&self, class_bytes: &[u8]) -> OutcomeVector {
+        self.run_parsed(&preparse(class_bytes))
+    }
+
+    /// Runs one already-decoded classfile on every JVM — the hot path:
+    /// parsing is profile-independent, so one decode serves all columns.
+    pub fn run_parsed(&self, parsed: &PreparsedClass) -> OutcomeVector {
         OutcomeVector::new(
             self.jvms
                 .iter()
-                .map(|j| j.run(class_bytes).outcome)
+                .map(|j| j.run_parsed(parsed).outcome)
                 .collect(),
         )
     }
@@ -129,9 +137,10 @@ impl DifferentialHarness {
     /// Runs a classfile and also reports, per JVM, the phase digit — a
     /// convenience for Table 7-style per-VM histograms.
     pub fn run_phases(&self, class_bytes: &[u8]) -> Vec<Phase> {
+        let parsed = preparse(class_bytes);
         self.jvms
             .iter()
-            .map(|j| j.run(class_bytes).outcome.phase())
+            .map(|j| j.run_parsed(&parsed).outcome.phase())
             .collect()
     }
 }
@@ -204,6 +213,47 @@ mod tests {
         let all = OutcomeVector::new(vec![crashed; 5]);
         assert!(all.has_crash());
         assert!(!all.is_discrepancy());
+    }
+
+    #[test]
+    fn key_matches_the_per_digit_format() {
+        // Pin the exact strings the old `u8::to_string` + `join("")`
+        // implementation produced, across every phase/crash code 0..=5.
+        let outcome_with_code = |code: u8| match code {
+            0 => Outcome::Invoked { stdout: vec![] },
+            5 => Outcome::crashed(Phase::Loading, "panicked at x.rs:1: boom"),
+            c => {
+                let phase = match c {
+                    1 => Phase::Loading,
+                    2 => Phase::Linking,
+                    3 => Phase::Initializing,
+                    _ => Phase::Runtime,
+                };
+                Outcome::rejected(phase, classfuzz_vm::JvmErrorKind::VerifyError, "x")
+            }
+        };
+        for codes in [
+            vec![0u8, 1, 2, 3, 4],
+            vec![5, 5, 5, 5, 5],
+            vec![0, 0, 0, 0, 0],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 5, 0, 1, 3],
+        ] {
+            let v = OutcomeVector::new(codes.iter().map(|&c| outcome_with_code(c)).collect());
+            let old_format: String = codes.iter().map(u8::to_string).collect::<Vec<_>>().join("");
+            assert_eq!(v.key(), old_format);
+            assert_eq!(v.encoded(), codes);
+        }
+    }
+
+    #[test]
+    fn run_parsed_matches_run() {
+        let harness = DifferentialHarness::paper_five();
+        let good = lower_class(&IrClass::with_hello_main("d/Eq", "Completed!")).to_bytes();
+        for bytes in [&good[..], &[0xCA, 0xFE][..]] {
+            let parsed = classfuzz_vm::preparse(bytes);
+            assert_eq!(harness.run(bytes), harness.run_parsed(&parsed));
+        }
     }
 
     #[test]

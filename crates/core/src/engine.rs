@@ -17,7 +17,7 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -127,16 +127,46 @@ impl CampaignConfig {
 }
 
 /// One generated mutant.
+///
+/// The class and its bytes are `Arc`-shared with the mutation pool: an
+/// accepted mutant enters the pool by reference count, not by clone, so
+/// the accept path allocates nothing beyond the two `Arc` headers.
 #[derive(Debug, Clone)]
 pub struct GeneratedClass {
     /// The mutated IR class (after the `main` supplement).
-    pub class: IrClass,
+    pub class: Arc<IrClass>,
     /// Its classfile bytes.
-    pub bytes: Vec<u8>,
+    pub bytes: Arc<Vec<u8>>,
     /// The mutator that produced it.
     pub mutator_id: usize,
     /// Whether it was accepted into `TestClasses`.
     pub accepted: bool,
+}
+
+/// One entry of the mutation pool: an IR class plus its lowered bytes,
+/// cached so neither seeds nor accepted mutants are ever re-lowered on the
+/// campaign hot path (the mutator-crash reproducer and the seed-acceptance
+/// traces read the cache instead of recomputing `lower_class`).
+#[derive(Debug, Clone)]
+struct PoolEntry {
+    class: Arc<IrClass>,
+    bytes: Arc<Vec<u8>>,
+}
+
+impl PoolEntry {
+    fn from_seed(seed: &IrClass) -> PoolEntry {
+        PoolEntry {
+            class: Arc::new(seed.clone()),
+            bytes: Arc::new(lower_class(seed).to_bytes()),
+        }
+    }
+}
+
+/// Lowers each seed exactly once, producing the pool every engine starts
+/// from; the parallel engine shares the entries with all of its shard
+/// replicas by `Arc` handle instead of re-lowering per shard.
+fn seed_entries(seeds: &[IrClass]) -> Vec<PoolEntry> {
+    seeds.iter().map(PoolEntry::from_seed).collect()
 }
 
 /// Per-shard contribution to a campaign, reported in [`CampaignResult`].
@@ -274,14 +304,17 @@ impl CampaignResult {
 
     /// Bytes of every generated class.
     pub fn gen_bytes(&self) -> Vec<Vec<u8>> {
-        self.gen_classes.iter().map(|g| g.bytes.clone()).collect()
+        self.gen_classes
+            .iter()
+            .map(|g| g.bytes.as_ref().clone())
+            .collect()
     }
 
     /// Bytes of the accepted test classes.
     pub fn test_bytes(&self) -> Vec<Vec<u8>> {
         self.test_classes
             .iter()
-            .map(|&i| self.gen_classes[i].bytes.clone())
+            .map(|&i| self.gen_classes[i].bytes.as_ref().clone())
             .collect()
     }
 
@@ -408,24 +441,24 @@ fn acceptance_telemetry(acceptance: &Acceptance) -> AcceptanceTelemetry {
 /// Seeds the acceptance state with the seeds' own traces (Algorithm 1
 /// line 1: TestClasses ← Seeds), so mutants must differ from seeds too.
 /// Records into `scratch`, the same reusable buffer the campaign loop uses.
+/// Reads each seed's bytes from the pool cache — seeds were lowered once,
+/// in [`seed_entries`].
 fn seed_acceptance(
     acceptance: &mut Acceptance,
-    seeds: &[IrClass],
+    seed_pool: &[PoolEntry],
     reference: &Jvm,
     scratch: &mut TraceFile,
 ) {
     match acceptance {
         Acceptance::Unique(index) => {
-            for seed in seeds {
-                let bytes = lower_class(seed).to_bytes();
-                reference.run_traced_into(&bytes, scratch);
+            for seed in seed_pool {
+                reference.run_traced_into(&seed.bytes, scratch);
                 index.insert(scratch);
             }
         }
         Acceptance::Greedy(global) => {
-            for seed in seeds {
-                let bytes = lower_class(seed).to_bytes();
-                reference.run_traced_into(&bytes, scratch);
+            for seed in seed_pool {
+                reference.run_traced_into(&seed.bytes, scratch);
                 global.absorb(scratch);
             }
         }
@@ -477,7 +510,7 @@ enum Produced {
 /// panicking mutator consumes exactly the RNG draws it made before dying —
 /// deterministic, because the panic point is a function of the inputs.
 fn next_candidate(
-    pool: &[IrClass],
+    pool: &[PoolEntry],
     seeds: &[IrClass],
     mutators: &[Mutator],
     selector: &mut Selector,
@@ -487,18 +520,20 @@ fn next_candidate(
 ) -> Produced {
     let pick = rng.gen_range(0..pool.len());
     let mutator_id = selector.select(rng);
-    let mut mutant = pool[pick].clone();
+    let mut mutant = IrClass::clone(&pool[pick].class);
     let applied = run_contained(|| {
         let mut ctx = MutationCtx::new(rng, seeds);
         mutators[mutator_id].apply(&mut mutant, &mut ctx)
     });
     match applied {
         Err(detail) => {
+            // The reproducer is the mutation *input*, whose lowered bytes
+            // the pool already caches — no re-lowering on the crash path.
             return Produced::MutatorCrash {
                 mutator_id,
-                input_bytes: lower_class(&pool[pick]).to_bytes(),
+                input_bytes: pool[pick].bytes.as_ref().clone(),
                 detail,
-            }
+            };
         }
         Ok(Err(_)) => return Produced::NotApplicable,
         Ok(Ok(())) => {}
@@ -508,10 +543,12 @@ fn next_candidate(
     let bytes = lower_class(&mutant).to_bytes();
     let (trace, trace_fp, vm_crash) = match reference {
         Some(jvm) => {
-            // The traced run records into the reusable scratch bitmap —
-            // no per-iteration trace allocation. The candidate ships a
+            // The candidate's bytes are decoded exactly once here; the
+            // traced run records into the reusable scratch bitmap — no
+            // per-iteration trace allocation. The candidate ships a
             // trimmed snapshot plus its precomputed fingerprint.
-            let result = jvm.run_traced_into(&bytes, scratch);
+            let parsed = classfuzz_vm::preparse(&bytes);
+            let result = jvm.run_traced_into_parsed(&parsed, scratch);
             let crash = result.outcome.crash_detail().map(str::to_string);
             (Some(scratch.snapshot()), Some(scratch.fingerprint()), crash)
         }
@@ -562,12 +599,14 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
     // The reusable trace buffer: every traced run of this campaign records
     // into the same word arrays.
     let mut scratch = TraceFile::new();
-    seed_acceptance(&mut acceptance, seeds, &reference, &mut scratch);
+    // The mutation pool: seeds plus accepted mutants (line 14), each with
+    // its lowered bytes cached alongside.
+    let pool_seeds = seed_entries(seeds);
+    seed_acceptance(&mut acceptance, &pool_seeds, &reference, &mut scratch);
     let tracing = needs_trace(config.algorithm).then_some(&reference);
     let crash_dir = config.crash_dir.as_deref();
 
-    // The mutation pool: seeds plus accepted mutants (line 14).
-    let mut pool: Vec<IrClass> = seeds.to_vec();
+    let mut pool: Vec<PoolEntry> = pool_seeds;
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
     let mut test_classes: Vec<usize> = Vec::new();
     let mut crashes: Vec<CrashRecord> = Vec::new();
@@ -621,15 +660,17 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         }
         let accepted = decide(&mut acceptance, cand.trace.as_ref(), cand.trace_fp);
         let gen_index = gen_classes.len();
+        let class = Arc::new(cand.class);
+        let bytes = Arc::new(cand.bytes);
         gen_classes.push(GeneratedClass {
-            class: cand.class.clone(),
-            bytes: cand.bytes,
+            class: Arc::clone(&class),
+            bytes: Arc::clone(&bytes),
             mutator_id: cand.mutator_id,
             accepted,
         });
         if accepted {
             test_classes.push(gen_index);
-            pool.push(cand.class);
+            pool.push(PoolEntry { class, bytes });
             selector.record_success(cand.mutator_id);
         }
     }
@@ -696,7 +737,9 @@ struct RoundReply {
     accepted_own: bool,
     /// Every class accepted this round, in shard-id order — each shard
     /// appends these to its pool replica, keeping all pools identical.
-    additions: Vec<IrClass>,
+    /// Entries are `Arc` handles: broadcasting to N shards bumps
+    /// refcounts, it does not copy classes or bytes.
+    additions: Vec<PoolEntry>,
 }
 
 /// Runs one campaign sharded across `num_shards` worker threads.
@@ -746,7 +789,10 @@ pub fn run_campaign_parallel(
     let reference = Jvm::new(VmSpec::hotspot9());
     let mut acceptance = make_acceptance(config.algorithm);
     let mut seed_scratch = TraceFile::new();
-    seed_acceptance(&mut acceptance, seeds, &reference, &mut seed_scratch);
+    // Seeds are lowered exactly once, here; every shard's pool replica
+    // shares these entries by `Arc` handle.
+    let seed_pool = seed_entries(seeds);
+    seed_acceptance(&mut acceptance, &seed_pool, &reference, &mut seed_scratch);
     let tracing = needs_trace(config.algorithm);
 
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
@@ -781,8 +827,9 @@ pub fn run_campaign_parallel(
     let mut stat_tables: Vec<Vec<MutatorStats>> = vec![Vec::new(); num_shards];
     let mut engine_error: Option<EngineError> = None;
     // Per-shard last generated classfile — attached to an EngineError as
-    // the prime suspect when that shard dies.
-    let mut last_bytes: Vec<Option<Vec<u8>>> = vec![None; num_shards];
+    // the prime suspect when that shard dies. `Arc` handles: recording the
+    // suspect costs a refcount bump per candidate, not a byte copy.
+    let mut last_bytes: Vec<Option<Arc<Vec<u8>>>> = vec![None; num_shards];
     thread::scope(|scope| {
         let (report_tx, report_rx) = mpsc::channel::<Report>();
         let mut reply_txs: Vec<mpsc::Sender<RoundReply>> = Vec::with_capacity(num_shards);
@@ -792,6 +839,7 @@ pub fn run_campaign_parallel(
             let (reply_tx, reply_rx) = mpsc::channel::<RoundReply>();
             reply_txs.push(reply_tx);
             let report_tx = report_tx.clone();
+            let shard_pool = seed_pool.clone();
             handles.push(scope.spawn(move || -> Vec<MutatorStats> {
                 // Mutation and VM startup contain their own panics; this
                 // outer containment is the shard's last line of defence —
@@ -806,7 +854,9 @@ pub fn run_campaign_parallel(
                     let shard_tracing = tracing.then_some(&shard_reference);
                     // The shard's pool replica: seeds plus every accepted
                     // mutant, appended in the coordinator's broadcast order.
-                    let mut pool: Vec<IrClass> = seeds.to_vec();
+                    // Seed entries are shared `Arc` handles, lowered once
+                    // by the coordinator for all shards.
+                    let mut pool: Vec<PoolEntry> = shard_pool;
                     // Per-shard reusable trace buffer: one allocation for
                     // the whole campaign, cleared before each traced run.
                     let mut scratch = TraceFile::new();
@@ -892,14 +942,16 @@ pub fn run_campaign_parallel(
                     engine_error = Some(EngineError {
                         shard_id: Some(report.shard_id),
                         round,
-                        last_candidate: last_bytes[report.shard_id].take(),
+                        last_candidate: last_bytes[report.shard_id]
+                            .take()
+                            .map(|b| b.as_ref().clone()),
                         message: format!("worker shard died outside containment: {detail}"),
                     });
                     break 'rounds;
                 }
                 round_work[report.shard_id] = Some(report.work);
             }
-            let mut additions: Vec<IrClass> = Vec::new();
+            let mut additions: Vec<PoolEntry> = Vec::new();
             let mut accepted_flags = vec![false; active];
             for shard_id in 0..active {
                 shard_stats[shard_id].iterations += 1;
@@ -909,7 +961,7 @@ pub fn run_campaign_parallel(
                         engine_error = Some(EngineError {
                             shard_id: Some(shard_id),
                             round,
-                            last_candidate: last_bytes[shard_id].take(),
+                            last_candidate: last_bytes[shard_id].take().map(|b| b.as_ref().clone()),
                             message: "active shard failed to report its round".to_string(),
                         });
                         break 'rounds;
@@ -948,19 +1000,21 @@ pub fn run_campaign_parallel(
                                 },
                             );
                         }
-                        last_bytes[shard_id] = Some(cand.bytes.clone());
                         let accepted = decide(&mut acceptance, cand.trace.as_ref(), cand.trace_fp);
                         shard_stats[shard_id].generated += 1;
                         let gen_index = gen_classes.len();
+                        let class = Arc::new(cand.class);
+                        let bytes = Arc::new(cand.bytes);
+                        last_bytes[shard_id] = Some(Arc::clone(&bytes));
                         gen_classes.push(GeneratedClass {
-                            class: cand.class.clone(),
-                            bytes: cand.bytes,
+                            class: Arc::clone(&class),
+                            bytes: Arc::clone(&bytes),
                             mutator_id: cand.mutator_id,
                             accepted,
                         });
                         if accepted {
                             test_classes.push(gen_index);
-                            additions.push(cand.class);
+                            additions.push(PoolEntry { class, bytes });
                             accepted_flags[shard_id] = true;
                             shard_stats[shard_id].accepted += 1;
                         }
@@ -985,7 +1039,7 @@ pub fn run_campaign_parallel(
                         engine_error = Some(EngineError {
                             shard_id: Some(shard_id),
                             round: rounds,
-                            last_candidate: last_bytes[shard_id].take(),
+                            last_candidate: last_bytes[shard_id].take().map(|b| b.as_ref().clone()),
                             message: "worker shard panicked past its containment".to_string(),
                         });
                     }

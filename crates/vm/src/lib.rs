@@ -40,7 +40,8 @@ pub mod world;
 
 pub use containment::run_contained;
 pub use cov::Cov;
+pub use library::shared_library;
 pub use outcome::{JvmError, JvmErrorKind, Outcome, Phase};
 pub use spec::{FinalSuperError, JreGeneration, Vendor, VmSpec};
-pub use startup::{ExecutionResult, Jvm};
+pub use startup::{preparse, ExecutionResult, Jvm, PreparsedClass};
 pub use world::{UserClass, World};

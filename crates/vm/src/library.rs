@@ -8,6 +8,7 @@
 //! *same* classfile meets a different environment on each VM.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use classfuzz_classfile::{ClassAccess, MethodAccess};
 
@@ -518,6 +519,34 @@ pub fn bootstrap_library(gen: JreGeneration) -> BTreeMap<String, LibClass> {
     lib
 }
 
+/// The process-wide cache slot for one generation's library.
+fn cache_slot(gen: JreGeneration) -> &'static OnceLock<Arc<BTreeMap<String, LibClass>>> {
+    static JRE5: OnceLock<Arc<BTreeMap<String, LibClass>>> = OnceLock::new();
+    static JRE7: OnceLock<Arc<BTreeMap<String, LibClass>>> = OnceLock::new();
+    static JRE8: OnceLock<Arc<BTreeMap<String, LibClass>>> = OnceLock::new();
+    static JRE9: OnceLock<Arc<BTreeMap<String, LibClass>>> = OnceLock::new();
+    match gen {
+        JreGeneration::Jre5 => &JRE5,
+        JreGeneration::Jre7 => &JRE7,
+        JreGeneration::Jre8 => &JRE8,
+        JreGeneration::Jre9 => &JRE9,
+    }
+}
+
+/// The shared bootstrap library for one JRE generation, built at most once
+/// per process.
+///
+/// [`bootstrap_library`] is a pure function of its generation, and the
+/// library is immutable once built, so every [`World`](crate::World) of a
+/// generation can hold the same `Arc` instead of rebuilding the whole
+/// `BTreeMap` per VM run — the dominant constant-factor cost of the old
+/// startup path (see DESIGN.md, "Share-everything execution pipeline").
+pub fn shared_library(gen: JreGeneration) -> Arc<BTreeMap<String, LibClass>> {
+    cache_slot(gen)
+        .get_or_init(|| Arc::new(bootstrap_library(gen)))
+        .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +596,19 @@ mod tests {
         assert!(lib["sun/misc/Unsafe"].internal);
         assert!(lib["sun/internal/PiscesKit$2"].internal);
         assert!(!lib["java/lang/String"].internal);
+    }
+
+    #[test]
+    fn shared_library_is_cached_per_generation() {
+        let a = shared_library(JreGeneration::Jre8);
+        let b = shared_library(JreGeneration::Jre8);
+        assert!(Arc::ptr_eq(&a, &b), "same generation must share one build");
+        let other = shared_library(JreGeneration::Jre9);
+        assert!(!Arc::ptr_eq(&a, &other), "generations are distinct builds");
+        // The cached build is the plain builder's output, verbatim.
+        let fresh = bootstrap_library(JreGeneration::Jre8);
+        assert_eq!(a.len(), fresh.len());
+        assert!(a.keys().eq(fresh.keys()));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! reached, instead of unwinding into — and killing — the campaign engine.
 
 use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use classfuzz_classfile::{ClassAccess, ClassFile, MethodAccess};
 use classfuzz_coverage::TraceFile;
@@ -14,6 +16,7 @@ use classfuzz_coverage::TraceFile;
 use crate::containment::run_contained;
 use crate::cov::Cov;
 use crate::interp::{ExecError, Machine, RtValue};
+use crate::library::{bootstrap_library, shared_library, LibClass};
 use crate::outcome::{JvmErrorKind, Outcome, Phase};
 use crate::spec::VmSpec;
 use crate::world::{UserClass, World};
@@ -29,7 +32,67 @@ pub struct ExecutionResult {
     pub trace: Option<TraceFile>,
 }
 
+/// A classfile decoded exactly once and shared across every profile that
+/// runs it: parsing (and the [`UserClass::summarize`] projection) is
+/// profile-independent, so the reference trace run and all five harness
+/// profiles can consume the same `PreparsedClass`. All profile-*dependent*
+/// policy lives downstream, in the format check, linking, and verification.
+///
+/// A parse failure is part of the value: the deterministic
+/// `ClassFormatError` message — or, for parser panics, the contained crash
+/// detail — is captured once and replayed identically on every run.
+#[derive(Debug, Clone)]
+pub struct PreparsedClass {
+    verdict: PreparseVerdict,
+}
+
+#[derive(Debug, Clone)]
+enum PreparseVerdict {
+    /// Parse + summary succeeded; shared by reference across runs.
+    Parsed(Arc<UserClass>),
+    /// Deterministic parse rejection: the `ClassFormatError` message.
+    FormatError(String),
+    /// The parser panicked; the contained, deterministic crash detail.
+    Crashed(String),
+}
+
+impl PreparsedClass {
+    /// The summarized class, when the bytes parsed successfully.
+    pub fn class(&self) -> Option<&UserClass> {
+        match &self.verdict {
+            PreparseVerdict::Parsed(class) => Some(class),
+            _ => None,
+        }
+    }
+
+    /// Whether the bytes parsed cleanly.
+    pub fn is_parsed(&self) -> bool {
+        matches!(self.verdict, PreparseVerdict::Parsed(_))
+    }
+}
+
+/// Decodes classfile bytes once, for use with [`Jvm::run_parsed`] and the
+/// other `*_parsed` entry points. Parser panics are contained here and
+/// replayed as crash verdicts, exactly as the per-run containment would
+/// report them.
+pub fn preparse(class_bytes: &[u8]) -> PreparsedClass {
+    let verdict = match run_contained(|| match ClassFile::from_bytes(class_bytes) {
+        Ok(cf) => Ok(Arc::new(UserClass::summarize(cf))),
+        Err(e) => Err(e.to_string()),
+    }) {
+        Ok(Ok(class)) => PreparseVerdict::Parsed(class),
+        Ok(Err(message)) => PreparseVerdict::FormatError(message),
+        Err(detail) => PreparseVerdict::Crashed(detail),
+    };
+    PreparsedClass { verdict }
+}
+
 /// A JVM instance: one policy profile, ready to run classfiles.
+///
+/// Construction resolves the profile's bootstrap library from the
+/// process-wide cache (see [`crate::library::shared_library`]), so each
+/// run builds only the thin user-class overlay on top of a shared,
+/// immutable base world.
 ///
 /// # Examples
 ///
@@ -46,12 +109,24 @@ pub struct ExecutionResult {
 #[derive(Debug, Clone)]
 pub struct Jvm {
     spec: VmSpec,
+    /// The cached bootstrap library; `None` forces a cold rebuild per run
+    /// (the pre-sharing behavior, kept measurable for the bench gate).
+    base: Option<Arc<BTreeMap<String, LibClass>>>,
 }
 
 impl Jvm {
-    /// Creates a JVM with the given policy profile.
+    /// Creates a JVM with the given policy profile, sharing the
+    /// process-wide bootstrap library for its JRE generation.
     pub fn new(spec: VmSpec) -> Jvm {
-        Jvm { spec }
+        let base = Some(shared_library(spec.jre));
+        Jvm { spec, base }
+    }
+
+    /// Creates a JVM that rebuilds its bootstrap library on every run —
+    /// the old cold-world behavior. Only useful as the benchmark
+    /// baseline; campaigns should use [`Jvm::new`].
+    pub fn uncached(spec: VmSpec) -> Jvm {
+        Jvm { spec, base: None }
     }
 
     /// The policy profile.
@@ -59,9 +134,22 @@ impl Jvm {
         &self.spec
     }
 
+    fn base_library(&self) -> Arc<BTreeMap<String, LibClass>> {
+        match &self.base {
+            Some(base) => Arc::clone(base),
+            None => Arc::new(bootstrap_library(self.spec.jre)),
+        }
+    }
+
     /// Runs `java <class>` on the given classfile bytes, without coverage.
     pub fn run(&self, class_bytes: &[u8]) -> ExecutionResult {
         self.run_with_options(class_bytes, &[], false)
+    }
+
+    /// [`Jvm::run`] over an already-decoded classfile: the differential
+    /// hot path, where one decode is shared by all profiles.
+    pub fn run_parsed(&self, parsed: &PreparsedClass) -> ExecutionResult {
+        self.run_parsed_with_options(parsed, &[], false)
     }
 
     /// Runs with coverage collection — the reference-JVM mode
@@ -70,13 +158,27 @@ impl Jvm {
         self.run_with_options(class_bytes, &[], true)
     }
 
+    /// [`Jvm::run_traced`] over an already-decoded classfile.
+    pub fn run_traced_parsed(&self, parsed: &PreparsedClass) -> ExecutionResult {
+        self.run_parsed_with_options(parsed, &[], true)
+    }
+
     /// Runs with coverage collection into a caller-owned reusable buffer:
     /// the campaign hot path. `scratch` is cleared, records the run's
     /// probes, and keeps its word-array allocation across calls; the
     /// returned result carries `trace: None` — the trace *is* `scratch`.
     pub fn run_traced_into(&self, class_bytes: &[u8], scratch: &mut TraceFile) -> ExecutionResult {
+        self.run_traced_into_parsed(&preparse(class_bytes), scratch)
+    }
+
+    /// [`Jvm::run_traced_into`] over an already-decoded classfile.
+    pub fn run_traced_into_parsed(
+        &self,
+        parsed: &PreparsedClass,
+        scratch: &mut TraceFile,
+    ) -> ExecutionResult {
         let mut cov = Cov::enabled_reusing(std::mem::take(scratch));
-        let outcome = self.contained_startup(class_bytes, &[], &mut cov);
+        let outcome = self.contained_startup(parsed, &[], &mut cov);
         *scratch = cov.into_trace().unwrap_or_default();
         ExecutionResult {
             outcome,
@@ -92,12 +194,25 @@ impl Jvm {
         classpath: &[Vec<u8>],
         collect_coverage: bool,
     ) -> ExecutionResult {
+        self.run_parsed_with_options(&preparse(class_bytes), classpath, collect_coverage)
+    }
+
+    /// Full-control entry point over an already-decoded classfile. Every
+    /// byte-level entry point is a thin wrapper over this one, so the
+    /// bytes path and the parsed path execute the identical pipeline —
+    /// including the identical coverage-probe pattern.
+    pub fn run_parsed_with_options(
+        &self,
+        parsed: &PreparsedClass,
+        classpath: &[Vec<u8>],
+        collect_coverage: bool,
+    ) -> ExecutionResult {
         let mut cov = if collect_coverage {
             Cov::enabled()
         } else {
             Cov::disabled()
         };
-        let outcome = self.contained_startup(class_bytes, classpath, &mut cov);
+        let outcome = self.contained_startup(parsed, classpath, &mut cov);
         ExecutionResult {
             outcome,
             trace: cov.into_trace(),
@@ -111,12 +226,12 @@ impl Jvm {
     /// itself deterministic).
     fn contained_startup(
         &self,
-        class_bytes: &[u8],
+        parsed: &PreparsedClass,
         classpath: &[Vec<u8>],
         cov: &mut Cov,
     ) -> Outcome {
         let progress = Cell::new(Phase::Loading);
-        match run_contained(|| self.startup(class_bytes, classpath, cov, &progress)) {
+        match run_contained(|| self.startup(parsed, classpath, cov, &progress)) {
             Ok(outcome) => outcome,
             Err(detail) => Outcome::crashed(progress.get(), detail),
         }
@@ -124,37 +239,44 @@ impl Jvm {
 
     fn startup(
         &self,
-        class_bytes: &[u8],
+        parsed: &PreparsedClass,
         classpath: &[Vec<u8>],
         cov: &mut Cov,
         progress: &Cell<Phase>,
     ) -> Outcome {
         progress.set(Phase::Loading);
         probe!(cov);
-        // --- Creation & loading: parse ---------------------------------
-        let cf = match ClassFile::from_bytes(class_bytes) {
-            Ok(cf) => cf,
-            Err(e) => {
+        // --- Creation & loading: replay the (shared) parse verdict -----
+        let main_class = match &parsed.verdict {
+            PreparseVerdict::Parsed(class) => Arc::clone(class),
+            PreparseVerdict::FormatError(message) => {
                 probe!(cov);
                 return Outcome::rejected(
                     Phase::Loading,
                     JvmErrorKind::ClassFormatError,
-                    e.to_string(),
+                    message.clone(),
                 );
             }
+            // A parser panic was contained at preparse time; replay it as
+            // the loading-phase crash the per-run containment would have
+            // reported (the entry probe above has fired, matching the
+            // partial trace of the in-run panic).
+            PreparseVerdict::Crashed(detail) => {
+                return Outcome::crashed(Phase::Loading, detail.clone());
+            }
         };
-        let main_class = UserClass::summarize(cf);
         let main_name = main_class.name.clone();
         let mut user_classes = vec![main_class];
         for extra in classpath {
             if let Ok(cf) = ClassFile::from_bytes(extra) {
-                user_classes.push(UserClass::summarize(cf));
+                user_classes.push(Arc::new(UserClass::summarize(cf)));
             }
         }
-        let world = World::new(&self.spec, user_classes);
+        let world = World::with_library(self.base_library(), user_classes);
         // The main class was inserted first, but stay panic-free on the
-        // lookup: a miss is a VM bug, reported as an internal error.
-        let Some(main_class) = world.user_class(&main_name).cloned() else {
+        // lookup: a miss is a VM bug, reported as an internal error. The
+        // borrow shares the overlay's `Arc` — no per-run classfile copy.
+        let Some(main_class) = world.user_class(&main_name) else {
             return Outcome::rejected(
                 Phase::Loading,
                 JvmErrorKind::InternalError,
@@ -163,19 +285,19 @@ impl Jvm {
         };
 
         // --- Creation & loading: format check --------------------------
-        if let Err(outcome) = loader::format_check(&main_class, &self.spec, cov) {
+        if let Err(outcome) = loader::format_check(main_class, &self.spec, cov) {
             return outcome;
         }
 
         // --- Linking: hierarchy, throws resolution ---------------------
         progress.set(Phase::Linking);
-        if let Err(outcome) = linker::link_check(&world, &main_class, &self.spec, cov) {
+        if let Err(outcome) = linker::link_check(&world, main_class, &self.spec, cov) {
             return outcome;
         }
 
         // --- Linking: verification (eager VMs verify every method) -----
         if probe_branch!(cov, !self.spec.lazy_method_verification) {
-            if let Err(outcome) = verifier::verify_class(&world, &main_class, &self.spec, cov) {
+            if let Err(outcome) = verifier::verify_class(&world, main_class, &self.spec, cov) {
                 return outcome;
             }
         }
@@ -183,10 +305,10 @@ impl Jvm {
         // --- Initialization: preparation + <clinit> --------------------
         progress.set(Phase::Initializing);
         let mut machine = Machine::new(&world, &self.spec);
-        machine.prepare_statics(&main_class);
-        if let Some(clinit) = self.initializer_of(&main_class) {
+        machine.prepare_statics(main_class);
+        if let Some(clinit) = self.initializer_of(main_class) {
             probe!(cov);
-            match machine.call_static(&main_class, &clinit.0, &clinit.1, vec![], cov) {
+            match machine.call_static(main_class, &clinit.0, &clinit.1, vec![], cov) {
                 Ok(_) => {}
                 Err(ExecError::Linkage { kind, message }) => {
                     // Linkage errors surfacing from lazy verification or
@@ -238,7 +360,7 @@ impl Jvm {
         };
         let args = vec![RtValue::Ref(None)]; // String[] args — we pass null
         let _ = main;
-        match machine.call_static(&main_class, "main", "([Ljava/lang/String;)V", args, cov) {
+        match machine.call_static(main_class, "main", "([Ljava/lang/String;)V", args, cov) {
             Ok(_) => Outcome::Invoked {
                 stdout: machine.stdout,
             },
@@ -365,6 +487,43 @@ mod tests {
         let jvm = Jvm::new(VmSpec::hotspot9());
         let out = jvm.run(&[0xCA, 0xFE, 0xBA]).outcome;
         assert_eq!(out.phase(), Phase::Loading);
+    }
+
+    #[test]
+    fn preparse_classifies_bytes() {
+        let class = IrClass::with_hello_main("pp/Ok", "x");
+        let good = preparse(&lower_class(&class).to_bytes());
+        assert!(good.is_parsed());
+        assert_eq!(good.class().unwrap().name, "pp/Ok");
+        let bad = preparse(&[0xCA, 0xFE, 0xBA]);
+        assert!(!bad.is_parsed());
+        assert!(bad.class().is_none());
+    }
+
+    #[test]
+    fn parsed_path_matches_bytes_path_including_traces() {
+        let class = IrClass::with_hello_main("pp/Same", "Completed!");
+        let bytes = lower_class(&class).to_bytes();
+        let inputs: [&[u8]; 3] = [&bytes, &[0xCA, 0xFE, 0xBA], &bytes[..bytes.len() / 2]];
+        for spec in VmSpec::all_five() {
+            let jvm = Jvm::new(spec);
+            for input in inputs {
+                let parsed = preparse(input);
+                assert_eq!(jvm.run(input), jvm.run_parsed(&parsed));
+                assert_eq!(jvm.run_traced(input), jvm.run_traced_parsed(&parsed));
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_jvm_matches_cached() {
+        let class = IrClass::with_hello_main("pp/Cold", "Completed!");
+        let bytes = lower_class(&class).to_bytes();
+        for spec in VmSpec::all_five() {
+            let cached = Jvm::new(spec.clone());
+            let cold = Jvm::uncached(spec);
+            assert_eq!(cached.run_traced(&bytes), cold.run_traced(&bytes));
+        }
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! with hierarchy queries used by every startup phase.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use classfuzz_classfile::{ClassFile, FieldAccess, FieldType, MethodAccess, MethodDescriptor};
 
-use crate::library::{bootstrap_library, LibClass};
+use crate::library::{shared_library, LibClass};
 use crate::spec::VmSpec;
 
 /// Summary of a user-class method, with descriptor pre-parsed.
@@ -121,26 +122,47 @@ impl UserClass {
     }
 }
 
-/// The complete class environment of a run.
+/// The complete class environment of a run: an immutable, process-shared
+/// bootstrap library plus a per-run user-class overlay.
+///
+/// The library half never changes after it is built (one build per
+/// [`JreGeneration`](crate::JreGeneration) per process, see
+/// [`shared_library`]), so constructing a `World` is an *overlay*
+/// operation — a handful of `UserClass` inserts — not a library rebuild.
 #[derive(Debug)]
 pub struct World {
-    /// Bootstrap library for the VM's JRE generation.
-    pub library: BTreeMap<String, LibClass>,
+    /// Bootstrap library for the VM's JRE generation (shared, immutable).
+    pub library: Arc<BTreeMap<String, LibClass>>,
     /// User classes on the classpath (the test class plus any extras).
-    pub user: BTreeMap<String, UserClass>,
+    /// `Arc`ed so the overlay shares the one summarized copy produced by
+    /// [`preparse`](crate::preparse) instead of deep-cloning it per run.
+    pub user: BTreeMap<String, Arc<UserClass>>,
 }
 
 impl World {
-    /// Builds the world for `spec` with the given user classes.
+    /// Builds the world for `spec` with the given user classes, sharing
+    /// the process-wide cached library for `spec`'s JRE generation.
     pub fn new(spec: &VmSpec, user_classes: Vec<UserClass>) -> World {
+        World::with_library(
+            shared_library(spec.jre),
+            user_classes.into_iter().map(Arc::new).collect(),
+        )
+    }
+
+    /// Builds the world as an overlay over an explicit base library — the
+    /// hot-path constructor [`Jvm`](crate::Jvm) uses with its per-instance
+    /// cached handle (and benchmarks use with a deliberately fresh build).
+    /// Taking `Arc<UserClass>` keeps the overlay an O(classes) refcount
+    /// bump: no classfile is copied to build a world.
+    pub fn with_library(
+        library: Arc<BTreeMap<String, LibClass>>,
+        user_classes: Vec<Arc<UserClass>>,
+    ) -> World {
         let mut user = BTreeMap::new();
         for c in user_classes {
             user.entry(c.name.clone()).or_insert(c);
         }
-        World {
-            library: bootstrap_library(spec.jre),
-            user,
-        }
+        World { library, user }
     }
 
     /// Does any class of this name exist (user or library)?
@@ -155,7 +177,7 @@ impl World {
 
     /// User-class lookup.
     pub fn user_class(&self, name: &str) -> Option<&UserClass> {
-        self.user.get(name)
+        self.user.get(name).map(Arc::as_ref)
     }
 
     /// Is `name` declared final? `None` when the class is unknown.

@@ -1,16 +1,30 @@
 #!/usr/bin/env sh
-# Coverage bench-smoke gate: runs the [tr] acceptance hot-path
-# micro-benchmarks on a fixed seed (see crates/bench/src/covbench.rs),
-# writes BENCH_coverage.json, and fails when
+# Bench-smoke gate: runs both gated benchmark scenarios on fixed seeds
+# and fails CI on regression. Extra flags pass through to covbench for
+# both scenarios (e.g. --repeats 3).
+#
+# Scenario `coverage` — the [tr] acceptance hot-path micro-benchmarks
+# (crates/bench/src/covbench.rs) → BENCH_coverage.json. Fails when
 #
 #   * any tracked metric regresses more than 20% against the committed
 #     BENCH_coverage.baseline.json, or
 #   * the bitset engine's [tr] is_unique speedup over the retained BTreeSet
 #     reference model drops below 5x (machine-independent floor).
 #
+# Scenario `harness` — the end-to-end five-VM evaluation of the
+# snapshot-pinned mutant batch (crates/bench/src/harnessbench.rs)
+# → BENCH_harness.json. Fails when
+#
+#   * the shared pipeline's throughput regresses more than 20% against
+#     the committed BENCH_harness.baseline.json,
+#   * the in-run speedup of the shared pipeline over the cold
+#     (rebuild-everything) path drops below 2x, or
+#   * throughput falls below 2x the committed old-path baseline — the
+#     share-everything pipeline's acceptance criterion.
+#
 # Timings are medians over repeated runs so one scheduler hiccup cannot
-# fail CI; the committed baseline is deliberately pessimistic (see its
-# "_note"). Extra flags pass through to covbench (e.g. --repeats 3).
+# fail CI; the committed baselines are deliberately pessimistic (see
+# their "_note" fields).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,4 +34,12 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --baseline BENCH_coverage.baseline.json \
     --max-regression 1.2 \
     --min-speedup 5.0 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario harness \
+    --out BENCH_harness.json \
+    --baseline BENCH_harness.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 2.0 \
     "$@"

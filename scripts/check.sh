@@ -20,6 +20,8 @@ cargo test -q --test no_panic
 cargo clippy --workspace --all-targets -- -D warnings
 # No new panic sites in the hot-path crates (classfile/vm/core).
 sh scripts/panic_gate.sh
-# Coverage hot-path bench smoke: fixed-seed microbenchmarks vs. the
-# committed BENCH_coverage.baseline.json (20% budget + 5x speedup floor).
+# Bench smoke, both scenarios: the coverage hot-path microbenchmarks vs.
+# BENCH_coverage.baseline.json (20% budget + 5x speedup floor) and the
+# end-to-end harness batch vs. BENCH_harness.baseline.json (20% budget +
+# 2x shared-vs-cold and shared-vs-old-path floors).
 sh scripts/bench_gate.sh

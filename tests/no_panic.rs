@@ -8,7 +8,7 @@
 
 use classfuzz::classfile::ClassFile;
 use classfuzz::core::seeds::SeedCorpus;
-use classfuzz::vm::{Jvm, VmSpec};
+use classfuzz::vm::{preparse, Jvm, VmSpec};
 use proptest::prelude::*;
 
 /// Drives `bytes` through the whole front half of the pipeline: structural
@@ -16,17 +16,41 @@ use proptest::prelude::*;
 /// VM profiles (containment turns an internal panic into a crash verdict,
 /// which this test treats as a bug: malformed input must be *rejected*,
 /// not crash the VM).
+///
+/// Doubles as the parse-once equivalence oracle: on every profile, running
+/// the raw bytes and running the shared [`preparse`] result must produce
+/// the identical outcome — and, for the traced reference profile, the
+/// identical coverage trace — over well-formed, truncated, and corrupted
+/// inputs alike.
 fn pipeline_survives(bytes: &[u8]) -> Result<(), String> {
     let _ = ClassFile::from_bytes(bytes);
+    let parsed = preparse(bytes);
     for spec in VmSpec::all_five() {
         let name = spec.name.clone();
-        let outcome = Jvm::new(spec).run(bytes).outcome;
+        let jvm = Jvm::new(spec);
+        let from_bytes = jvm.run(bytes);
+        let from_parsed = jvm.run_parsed(&parsed);
         prop_assert!(
-            !outcome.is_crash(),
-            "profile {name} crashed on {}-byte input: {outcome}",
-            bytes.len()
+            !from_bytes.outcome.is_crash(),
+            "profile {name} crashed on {}-byte input: {}",
+            bytes.len(),
+            from_bytes.outcome
+        );
+        prop_assert_eq!(
+            &from_bytes,
+            &from_parsed,
+            "profile {} diverged between the bytes path and the parsed path",
+            &name
         );
     }
+    // The reference profile also collects coverage: the trace must be
+    // identical between the two paths, or campaign determinism breaks.
+    let reference = Jvm::new(VmSpec::hotspot9());
+    prop_assert_eq!(
+        reference.run_traced(bytes),
+        reference.run_traced_parsed(&parsed),
+        "reference trace diverged between the bytes path and the parsed path"
+    );
     Ok(())
 }
 
