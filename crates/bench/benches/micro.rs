@@ -6,7 +6,8 @@ use classfuzz_classfile::ClassFile;
 use classfuzz_core::diff::DifferentialHarness;
 use classfuzz_core::seeds::SeedCorpus;
 use classfuzz_coverage::{SuiteIndex, UniquenessCriterion};
-use classfuzz_jimple::{lift::lift_class, lower::lower_class, IrClass};
+use classfuzz_jimple::lower::{lower_class, lower_class_bytes, LowerScratch};
+use classfuzz_jimple::{lift::lift_class, IrClass};
 use classfuzz_mcmc::MutatorChain;
 use classfuzz_mutation::{registry, MutationCtx};
 use classfuzz_vm::{preparse, Jvm, UserClass, VmSpec, World};
@@ -37,6 +38,33 @@ fn bench_jimple(c: &mut Criterion) {
     });
     c.bench_function("jimple/lift", |b| {
         b.iter(|| lift_class(std::hint::black_box(&cf)).unwrap())
+    });
+}
+
+fn bench_lowering_paths(c: &mut Criterion) {
+    // The allocation-lean pivot, part 1: class → bytes on the cold path
+    // (fresh pool, fresh buffers) vs through one reused `LowerScratch` —
+    // what every campaign iteration pays per candidate.
+    let ir = IrClass::with_hello_main("bench/Lower", "Completed!");
+    c.bench_function("lower/cold", |b| {
+        b.iter(|| lower_class(std::hint::black_box(&ir)).to_bytes())
+    });
+    let mut scratch = LowerScratch::new();
+    c.bench_function("lower/scratch", |b| {
+        b.iter(|| lower_class_bytes(std::hint::black_box(&ir), &mut scratch))
+    });
+}
+
+fn bench_irclass_clone(c: &mut Criterion) {
+    // The allocation-lean pivot, part 2: the per-iteration clone of a
+    // pool entry. Copy-on-write sharing makes it a refcount bump per
+    // member; the deep clone is what it replaced.
+    let ir = IrClass::with_hello_main("bench/Clone", "Completed!");
+    c.bench_function("irclass/clone-deep", |b| {
+        b.iter(|| std::hint::black_box(&ir).deep_clone())
+    });
+    c.bench_function("irclass/clone-cow", |b| {
+        b.iter(|| IrClass::clone(std::hint::black_box(&ir)))
     });
 }
 
@@ -212,6 +240,8 @@ criterion_group!(
     benches,
     bench_classfile_codec,
     bench_jimple,
+    bench_lowering_paths,
+    bench_irclass_clone,
     bench_vm_startup,
     bench_world,
     bench_harness,

@@ -1,0 +1,51 @@
+//! A counting global allocator for the mutate-throughput gate.
+//!
+//! [`CountingAllocator`] wraps [`System`] and bumps a process-wide relaxed
+//! counter on every `alloc`/`realloc`/`alloc_zeroed`. It is registered as
+//! the `#[global_allocator]` **only in the `covbench` binary** — library
+//! builds and unit tests run on the plain system allocator and read the
+//! counter as a constant zero, so the counting path costs nothing outside
+//! the gate.
+//!
+//! The counter is a raw event count (number of heap requests), not bytes:
+//! the mutate gate compares the *same deterministic workload* on the cold
+//! and scratch paths, so a per-class event count is exactly the
+//! "allocations per candidate" number EXPERIMENTS.md reports.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATION_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap-request events observed since process start — zero unless the
+/// running binary registered [`CountingAllocator`].
+pub fn allocation_events() -> u64 {
+    ALLOCATION_EVENTS.load(Ordering::Relaxed)
+}
+
+/// [`System`] plus a relaxed event counter. Register with
+/// `#[global_allocator]` to make [`allocation_events`] live.
+pub struct CountingAllocator;
+
+// SAFETY: defers every operation to `System`; the counter is a side effect
+// with no aliasing or layout implications.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}

@@ -8,22 +8,33 @@
 //! * `--scenario harness`: the end-to-end five-VM harness batch, shared
 //!   pipeline vs the pre-sharing cold path
 //!   (`classfuzz_bench::harnessbench`) → `BENCH_harness.json`.
+//! * `--scenario mutate`: the clone → mutate → lower → serialize hot loop,
+//!   copy-on-write + scratch lowering vs deep clone + cold lowering
+//!   (`classfuzz_bench::mutatebench`) → `BENCH_mutate.json`.
 //!
 //! ```text
-//! covbench [--scenario coverage|harness] [--out PATH] [--baseline PATH]
-//!          [--suite-size N] [--repeats N] [--max-regression X]
-//!          [--min-speedup X]
+//! covbench [--scenario coverage|harness|mutate] [--out PATH]
+//!          [--baseline PATH] [--suite-size N] [--repeats N]
+//!          [--max-regression X] [--min-speedup X]
 //! ```
 
 use std::process::ExitCode;
 
+use classfuzz_bench::alloc_count::CountingAllocator;
 use classfuzz_bench::covbench::{check_report, run_coverage_bench};
 use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
+use classfuzz_bench::mutatebench::{check_mutate_report, run_mutate_bench};
+
+/// The mutate scenario's allocation counts come from here; registered only
+/// in this binary so library tests stay on the plain system allocator.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Scenario {
     Coverage,
     Harness,
+    Mutate,
 }
 
 struct Options {
@@ -39,11 +50,12 @@ struct Options {
 impl Options {
     /// The machine-independent speedup floor: explicit flag, or the
     /// scenario's default (coverage: bitset-vs-baseline ≥5×; harness:
-    /// shared-vs-cold ≥2×).
+    /// shared-vs-cold ≥2×; mutate: scratch-vs-cold ≥2×).
     fn speedup_floor(&self) -> f64 {
         self.min_speedup.unwrap_or(match self.scenario {
             Scenario::Coverage => 5.0,
             Scenario::Harness => 2.0,
+            Scenario::Mutate => 2.0,
         })
     }
 
@@ -54,6 +66,7 @@ impl Options {
             (Some(path), _) => Some(path.clone()),
             (None, Scenario::Coverage) => Some("BENCH_coverage.json".to_string()),
             (None, Scenario::Harness) => Some("BENCH_harness.json".to_string()),
+            (None, Scenario::Mutate) => Some("BENCH_mutate.json".to_string()),
         }
     }
 }
@@ -76,6 +89,7 @@ fn parse_args() -> Result<Options, String> {
                 options.scenario = match value("--scenario")?.as_str() {
                     "coverage" => Scenario::Coverage,
                     "harness" => Scenario::Harness,
+                    "mutate" => Scenario::Mutate,
                     other => return Err(format!("unknown scenario {other}")),
                 }
             }
@@ -142,6 +156,21 @@ fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<
             let summary = format!(
                 "harness speedup {:.2}x, budget {:.2}x",
                 report.harness_speedup, options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Mutate => {
+            eprintln!("covbench: scenario=mutate repeats={} ...", options.repeats);
+            let report = run_mutate_bench(options.repeats);
+            let failures = baseline_json
+                .map(|json| check_mutate_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "mutate speedup {:.2}x, allocs/class {:.1} vs {:.1} cold, budget {:.2}x",
+                report.mutate_speedup,
+                report.allocs_per_class_scratch,
+                report.allocs_per_class_cold,
+                options.max_regression
             );
             (report.to_json(), failures, summary)
         }

@@ -7,8 +7,10 @@
 //! paper's tables; the Criterion benches reuse the same drivers for
 //! performance tracking.
 
+pub mod alloc_count;
 pub mod covbench;
 pub mod harnessbench;
+pub mod mutatebench;
 
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};
 use classfuzz_core::diff::DifferentialHarness;

@@ -136,6 +136,19 @@ impl ClassFile {
         crate::writer::write_class(self)
     }
 
+    /// Serializes to classfile bytes using a caller-provided scratch body
+    /// buffer, byte-identical to [`ClassFile::to_bytes`].
+    ///
+    /// Attribute names for decoded attributes are interned into the class's
+    /// *own* pool (interning never renumbers existing entries, so operand
+    /// indices stay valid and repeated calls are stable) and the body is
+    /// assembled in `body_buf`, so the only allocation left on the hot path
+    /// is the returned output vector itself. Used by the scratch-lowering
+    /// pipeline (`classfuzz_jimple::lower::lower_class_bytes`).
+    pub fn to_bytes_scratch(&mut self, body_buf: &mut Vec<u8>) -> Vec<u8> {
+        crate::writer::write_class_scratch(self, body_buf)
+    }
+
     /// Parses a classfile from bytes.
     ///
     /// # Errors
@@ -334,6 +347,34 @@ mod tests {
             parsed.constant_pool.slot_count(),
             class.constant_pool.slot_count()
         );
+    }
+
+    #[test]
+    fn scratch_serialization_is_byte_identical_and_stable() {
+        let code = CodeAttribute {
+            max_stack: 1,
+            max_locals: 1,
+            instructions: vec![Instruction::Simple(Opcode::Return)],
+            exception_table: vec![],
+            attributes: vec![],
+        };
+        let mut class = ClassFile::builder("s/Scratch")
+            .super_class("java/lang/Object")
+            .field(FieldAccess::STATIC, "f", "I")
+            .method(
+                MethodAccess::PUBLIC | MethodAccess::STATIC,
+                "m",
+                "()V",
+                code,
+            )
+            .build();
+        let cold = class.to_bytes();
+        let mut body_buf = Vec::new();
+        // First scratch call interns "Code" into the class's own pool;
+        // repeated calls (a dirty, non-empty buffer) must stay identical.
+        assert_eq!(class.to_bytes_scratch(&mut body_buf), cold);
+        assert_eq!(class.to_bytes_scratch(&mut body_buf), cold);
+        assert_eq!(class.to_bytes(), cold, "interning kept operands valid");
     }
 
     #[test]

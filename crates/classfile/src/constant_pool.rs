@@ -5,9 +5,11 @@
 //! layout exactly so indices written by [`crate::ClassFile::to_bytes`] match
 //! what a real JVM expects.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The most pool slots a classfile can carry: `constant_pool_count` is a
 /// `u16` holding *slots + 1* (JVMS §4.1), so 65534 slots is the ceiling.
@@ -160,10 +162,47 @@ impl Constant {
 /// assert_eq!(cp.utf8("java/lang/Object"), name); // deduplicated
 /// assert_eq!(cp.class_name(class), Some("java/lang/Object".to_string()));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Default)]
 pub struct ConstantPool {
     entries: Vec<Constant>,
-    utf8_dedup: HashMap<String, ConstIndex>,
+    /// Utf8 interning index: hash of the text → indices of `Utf8` entries
+    /// with that hash, in slot order. Keyed by hash instead of an owned
+    /// `String` so interning a fresh string allocates it exactly once (the
+    /// copy in `entries`); lookups verify candidates against `entries`, so
+    /// hash collisions only cost a scan, never a wrong index.
+    utf8_dedup: HashMap<u64, Vec<ConstIndex>>,
+    /// String buffers salvaged by [`ConstantPool::clear`], reused by the
+    /// next interning misses. Transient scratch, not pool value: cleared
+    /// pools re-intern mostly the same names, so the buffers cycle instead
+    /// of being freed and reallocated every iteration.
+    recycled: Vec<String>,
+}
+
+/// Deterministic (fixed-key SipHash) hash of a Utf8 entry's text.
+fn utf8_hash(text: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    text.hash(&mut h);
+    h.finish()
+}
+
+impl PartialEq for ConstantPool {
+    /// Pools are equal when their slots are: the dedup index is a cache
+    /// derived from `entries`, not part of the pool's value.
+    fn eq(&self, other: &ConstantPool) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Clone for ConstantPool {
+    /// Clones the pool's value (entries + dedup index); the salvage list
+    /// is per-instance scratch and starts empty in the copy.
+    fn clone(&self) -> Self {
+        ConstantPool {
+            entries: self.entries.clone(),
+            utf8_dedup: self.utf8_dedup.clone(),
+            recycled: Vec::new(),
+        }
+    }
 }
 
 impl ConstantPool {
@@ -226,7 +265,7 @@ impl ConstantPool {
         }
         if let Constant::Utf8(ref s) = constant {
             let idx = ConstIndex(self.entries.len() as u16 + 1);
-            self.utf8_dedup.entry(s.clone()).or_insert(idx);
+            self.utf8_dedup.entry(utf8_hash(s)).or_default().push(idx);
         }
         self.entries.push(constant);
         let index = ConstIndex(self.entries.len() as u16);
@@ -236,12 +275,37 @@ impl ConstantPool {
         Ok(index)
     }
 
-    /// Interns a `Utf8` entry, reusing an existing identical entry.
+    /// Interns a `Utf8` entry, reusing the lowest-indexed identical entry.
     pub fn utf8(&mut self, text: &str) -> ConstIndex {
-        if let Some(&idx) = self.utf8_dedup.get(text) {
-            return idx;
+        if let Some(bucket) = self.utf8_dedup.get(&utf8_hash(text)) {
+            for &idx in bucket {
+                if self.utf8_text(idx) == Some(text) {
+                    return idx;
+                }
+            }
         }
-        self.push(Constant::Utf8(text.to_string()))
+        let owned = match self.recycled.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.push_str(text);
+                buf
+            }
+            None => text.to_string(),
+        };
+        self.push(Constant::Utf8(owned))
+    }
+
+    /// Empties the pool while retaining its allocated capacity — the
+    /// between-iterations reset of the scratch-lowering pool
+    /// (`classfuzz_jimple::lower::LowerScratch`). `Utf8` string buffers
+    /// are salvaged for the next round's interning misses.
+    pub fn clear(&mut self) {
+        self.recycled
+            .extend(self.entries.drain(..).filter_map(|c| match c {
+                Constant::Utf8(s) => Some(s),
+                _ => None,
+            }));
+        self.utf8_dedup.clear();
     }
 
     /// Interns a `Class` entry for the binary name `name`.
@@ -468,6 +532,38 @@ mod tests {
         );
         // A narrow entry still fits in the final slot.
         assert_eq!(cp.push(Constant::Integer(1)).0 as usize, MAX_POOL_SLOTS);
+    }
+
+    #[test]
+    fn utf8_interning_survives_verbatim_duplicates_and_clear() {
+        let mut cp = ConstantPool::new();
+        let a = cp.utf8("dup");
+        // A verbatim duplicate pushed around the interner...
+        let b = cp.push(Constant::Utf8("dup".into()));
+        assert_ne!(a, b);
+        // ...does not disturb interning: the lowest index still wins.
+        assert_eq!(cp.utf8("dup"), a);
+        cp.clear();
+        assert_eq!(cp.slot_count(), 0);
+        assert_eq!(cp.entry(ConstIndex(1)), None);
+        // Stale dedup state must not leak across the reset.
+        assert_eq!(cp.utf8("fresh"), ConstIndex(1));
+        assert_eq!(cp.utf8_text(ConstIndex(1)), Some("fresh"));
+        assert_eq!(cp.utf8("dup"), ConstIndex(2));
+    }
+
+    #[test]
+    fn equality_is_entry_equality() {
+        // Two pools with identical slots compare equal regardless of the
+        // interning history that built them.
+        let mut a = ConstantPool::new();
+        a.utf8("x");
+        a.utf8("x");
+        let mut b = ConstantPool::new();
+        b.push(Constant::Utf8("x".into()));
+        assert_eq!(a, b);
+        b.utf8("y");
+        assert_ne!(a, b);
     }
 
     #[test]

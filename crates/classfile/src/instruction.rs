@@ -521,7 +521,8 @@ pub fn decode_code(code: &[u8]) -> Result<Vec<(u32, Instruction)>, ClassReadErro
 /// branch targets landing on instruction boundaries (the lowerer guarantees
 /// this via its two-pass label resolution).
 pub fn encode_code(instructions: &[Instruction]) -> Vec<u8> {
-    let mut out = Vec::new();
+    // Most opcodes take 1-3 bytes; 4 per instruction avoids regrowth.
+    let mut out = Vec::with_capacity(instructions.len() * 4);
     for insn in instructions {
         insn.encode(out.len() as u32, &mut out);
     }

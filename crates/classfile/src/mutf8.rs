@@ -4,9 +4,26 @@
 //! sequence `0xC0 0x80`, and characters above `U+FFFF` are encoded as CESU-8
 //! style surrogate pairs (two three-byte sequences).
 
-/// Encodes a Rust string into modified UTF-8 bytes.
+/// Encodes a Rust string into modified UTF-8 bytes. The serializer uses
+/// the allocation-free [`encode_into`]; this owned form remains for the
+/// round-trip tests.
+#[cfg(test)]
 pub(crate) fn encode(s: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(s.len());
+    encode_into(s, &mut out);
+    out
+}
+
+/// Appends the modified UTF-8 encoding of `s` to `out` without allocating.
+///
+/// ASCII (sans NUL) is its own modified-UTF-8 encoding, and almost every
+/// string a classfile carries — names, descriptors, attribute names — is
+/// ASCII, so that case is a straight byte copy.
+pub(crate) fn encode_into(s: &str, out: &mut Vec<u8>) {
+    if s.bytes().all(|b| b != 0 && b < 0x80) {
+        out.extend_from_slice(s.as_bytes());
+        return;
+    }
     for ch in s.chars() {
         let c = ch as u32;
         match c {
@@ -34,7 +51,6 @@ pub(crate) fn encode(s: &str) -> Vec<u8> {
             }
         }
     }
-    out
 }
 
 /// Decodes modified UTF-8 bytes into a Rust string.

@@ -27,8 +27,12 @@ use classfuzz_core::diff::DifferentialHarness;
 use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig};
 use classfuzz_core::seeds::SeedCorpus;
 use classfuzz_coverage::UniquenessCriterion;
-use classfuzz_jimple::{lift::lift_class, lower::lower_class, printer as jimple_printer};
-use classfuzz_vm::{Jvm, VmSpec};
+use classfuzz_jimple::{
+    lift::lift_class,
+    lower::{lower_class, lower_class_bytes, LowerScratch},
+    printer as jimple_printer,
+};
+use classfuzz_vm::{preparse, Jvm, VmSpec};
 
 mod args;
 
@@ -255,8 +259,12 @@ fn reduce_cmd(parsed: &Parsed) -> Result<(), String> {
         ));
     }
     println!("reducing while the encoded outcome stays {original} ...");
+    // Every HDD trial reuses one lowering scratch and decodes its bytes
+    // exactly once, shared by all five profiles.
+    let mut lower = LowerScratch::new();
     let (reduced, stats) = classfuzz_reduce::reduce(&ir, |candidate| {
-        harness.run(&lower_class(candidate).to_bytes()) == original
+        let bytes = lower_class_bytes(candidate, &mut lower);
+        harness.run_parsed(&preparse(&bytes)) == original
     });
     println!(
         "done: {} attempts, {} deletions kept, {} passes",

@@ -22,7 +22,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use classfuzz_coverage::{GlobalCoverage, SuiteIndex, TraceFile, UniquenessCriterion};
-use classfuzz_jimple::{lower::lower_class, IrClass};
+use classfuzz_jimple::{
+    lower::{lower_class_bytes, LowerScratch},
+    IrClass,
+};
 use classfuzz_mcmc::{
     merge_stat_tables, AcceptanceTelemetry, MutatorChain, MutatorStats, UniformSelector,
 };
@@ -154,19 +157,24 @@ struct PoolEntry {
 }
 
 impl PoolEntry {
-    fn from_seed(seed: &IrClass) -> PoolEntry {
+    fn from_seed(seed: &IrClass, lower: &mut LowerScratch) -> PoolEntry {
         PoolEntry {
             class: Arc::new(seed.clone()),
-            bytes: Arc::new(lower_class(seed).to_bytes()),
+            bytes: Arc::new(lower_class_bytes(seed, lower)),
         }
     }
 }
 
-/// Lowers each seed exactly once, producing the pool every engine starts
-/// from; the parallel engine shares the entries with all of its shard
-/// replicas by `Arc` handle instead of re-lowering per shard.
+/// Lowers each seed exactly once (through one shared scratch), producing
+/// the pool every engine starts from; the parallel engine shares the
+/// entries with all of its shard replicas by `Arc` handle instead of
+/// re-lowering per shard.
 fn seed_entries(seeds: &[IrClass]) -> Vec<PoolEntry> {
-    seeds.iter().map(PoolEntry::from_seed).collect()
+    let mut lower = LowerScratch::new();
+    seeds
+        .iter()
+        .map(|s| PoolEntry::from_seed(s, &mut lower))
+        .collect()
 }
 
 /// Per-shard contribution to a campaign, reported in [`CampaignResult`].
@@ -509,6 +517,10 @@ enum Produced {
 /// so a one-shard parallel run replays the sequential stream exactly. A
 /// panicking mutator consumes exactly the RNG draws it made before dying —
 /// deterministic, because the panic point is a function of the inputs.
+// Takes the shard's whole working set (pool, RNG, selector, two scratch
+// buffers) by design: bundling them into a struct would just move the
+// argument list behind a constructor.
+#[allow(clippy::too_many_arguments)]
 fn next_candidate(
     pool: &[PoolEntry],
     seeds: &[IrClass],
@@ -517,9 +529,12 @@ fn next_candidate(
     rng: &mut StdRng,
     reference: Option<&Jvm>,
     scratch: &mut TraceFile,
+    lower: &mut LowerScratch,
 ) -> Produced {
     let pick = rng.gen_range(0..pool.len());
     let mutator_id = selector.select(rng);
+    // Copy-on-write: members stay shared with the pool entry until the
+    // mutator writes one, so this clone is a refcount bump per member.
     let mut mutant = IrClass::clone(&pool[pick].class);
     let applied = run_contained(|| {
         let mut ctx = MutationCtx::new(rng, seeds);
@@ -540,7 +555,10 @@ fn next_candidate(
     }
     // §2.2.1: supplement each mutant with a message-printing main.
     mutant.ensure_main("Completed!");
-    let bytes = lower_class(&mutant).to_bytes();
+    // Scratch lowering: byte-identical to `lower_class(..).to_bytes()`,
+    // but the pool, descriptor memo, and body buffer are reused across
+    // this shard's iterations.
+    let bytes = lower_class_bytes(&mutant, lower);
     let (trace, trace_fp, vm_crash) = match reference {
         Some(jvm) => {
             // The candidate's bytes are decoded exactly once here; the
@@ -597,8 +615,10 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
     let mut selector = make_selector(config, mutators.len());
     let mut acceptance = make_acceptance(config.algorithm);
     // The reusable trace buffer: every traced run of this campaign records
-    // into the same word arrays.
+    // into the same word arrays. The lowering scratch plays the same role
+    // for the generate half of the loop.
     let mut scratch = TraceFile::new();
+    let mut lower = LowerScratch::new();
     // The mutation pool: seeds plus accepted mutants (line 14), each with
     // its lowered bytes cached alongside.
     let pool_seeds = seed_entries(seeds);
@@ -625,6 +645,7 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
             &mut rng,
             tracing,
             &mut scratch,
+            &mut lower,
         ) {
             Produced::NotApplicable => continue,
             Produced::MutatorCrash {
@@ -857,9 +878,11 @@ pub fn run_campaign_parallel(
                     // Seed entries are shared `Arc` handles, lowered once
                     // by the coordinator for all shards.
                     let mut pool: Vec<PoolEntry> = shard_pool;
-                    // Per-shard reusable trace buffer: one allocation for
-                    // the whole campaign, cleared before each traced run.
+                    // Per-shard reusable trace and lowering buffers: one
+                    // allocation each for the whole campaign, cleared
+                    // before each use.
                     let mut scratch = TraceFile::new();
+                    let mut lower = LowerScratch::new();
                     for _round in 0..my_iterations {
                         let produced = next_candidate(
                             &pool,
@@ -869,6 +892,7 @@ pub fn run_campaign_parallel(
                             &mut rng,
                             shard_tracing,
                             &mut scratch,
+                            &mut lower,
                         );
                         let (work, mutator_id) = match produced {
                             Produced::Candidate(c) => {

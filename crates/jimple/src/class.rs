@@ -2,6 +2,7 @@
 
 use classfuzz_classfile::{ClassAccess, FieldAccess, MethodAccess};
 
+use crate::cow::CowList;
 use crate::stmt::{Const, InvokeExpr, InvokeKind, Stmt, Value};
 use crate::types::{method_descriptor, JType};
 
@@ -140,10 +141,10 @@ pub struct IrClass {
     pub super_class: Option<String>,
     /// Implemented interfaces, by binary name.
     pub interfaces: Vec<String>,
-    /// Fields.
-    pub fields: Vec<IrField>,
-    /// Methods.
-    pub methods: Vec<IrMethod>,
+    /// Fields, individually shared copy-on-write (see [`CowList`]).
+    pub fields: CowList<IrField>,
+    /// Methods, individually shared copy-on-write (see [`CowList`]).
+    pub methods: CowList<IrMethod>,
     /// Classfile major version (the paper pins mutants to 51).
     pub major_version: u16,
 }
@@ -156,9 +157,25 @@ impl IrClass {
             access: ClassAccess::PUBLIC | ClassAccess::SUPER,
             super_class: Some("java/lang/Object".to_string()),
             interfaces: Vec::new(),
-            fields: Vec::new(),
-            methods: Vec::new(),
+            fields: CowList::new(),
+            methods: CowList::new(),
             major_version: 51,
+        }
+    }
+
+    /// A clone that shares nothing with `self`: every field and method is
+    /// copied. `IrClass::clone` itself is shallow (members stay shared
+    /// until written); this is the old deep copy, kept as the cold half of
+    /// the clone-cost benchmark pair.
+    pub fn deep_clone(&self) -> IrClass {
+        IrClass {
+            name: self.name.clone(),
+            access: self.access,
+            super_class: self.super_class.clone(),
+            interfaces: self.interfaces.clone(),
+            fields: self.fields.deep_clone(),
+            methods: self.methods.deep_clone(),
+            major_version: self.major_version,
         }
     }
 

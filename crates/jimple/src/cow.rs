@@ -1,0 +1,318 @@
+//! A copy-on-write list used for the member tables of [`crate::IrClass`].
+//!
+//! The campaign engine clones a pool entry's `IrClass` once per iteration
+//! (`crates/core/src/engine.rs`), and a mutator then rewrites at most a
+//! couple of members. Storing `fields`/`methods` as `Vec<Arc<T>>` makes the
+//! per-iteration clone a refcount bump per member, while every mutation
+//! routes through [`Arc::make_mut`], deep-copying only the member actually
+//! touched. [`CowList`] wraps that representation behind a `Vec<T>`-shaped
+//! interface so the ~150 call sites across the mutators, the lifter, and
+//! the reducer keep reading and writing `class.methods[i].name` unchanged:
+//!
+//! * reads go through [`CowList::index`] / [`CowList::iter`] and never copy;
+//! * writes go through [`CowList::index_mut`] / [`CowList::iter_mut`] /
+//!   [`CowList::pair_mut`], which `make_mut` the touched element — shared
+//!   elements are cloned *at that moment*, unshared elements mutate in
+//!   place, so a freshly built class pays nothing;
+//! * there is deliberately **no** `Deref` to `&mut [T]`: the only paths to
+//!   `&mut T` are the copy-on-write ones, so aliasing a pool entry can
+//!   never mutate it in place.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A `Vec<T>`-shaped list whose elements are individually shared via
+/// [`Arc`] and copied on first write.
+pub struct CowList<T> {
+    items: Vec<Arc<T>>,
+}
+
+fn deref_arc<T>(a: &Arc<T>) -> &T {
+    a
+}
+
+fn unwrap_arc<T: Clone>(a: Arc<T>) -> T {
+    Arc::try_unwrap(a).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// Shared-read iterator over a [`CowList`] (see [`CowList::iter`]).
+pub type Iter<'a, T> = std::iter::Map<std::slice::Iter<'a, Arc<T>>, fn(&'a Arc<T>) -> &'a T>;
+
+/// Copy-on-write iterator over a [`CowList`] (see [`CowList::iter_mut`]).
+pub type IterMut<'a, T> =
+    std::iter::Map<std::slice::IterMut<'a, Arc<T>>, fn(&'a mut Arc<T>) -> &'a mut T>;
+
+impl<T> CowList<T> {
+    /// Creates an empty list.
+    pub fn new() -> CowList<T> {
+        CowList { items: Vec::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the list holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Shared-read iteration, `Vec::iter`-shaped.
+    pub fn iter(&self) -> Iter<'_, T> {
+        self.items.iter().map(deref_arc as fn(&Arc<T>) -> &T)
+    }
+
+    /// Shared read of one element.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index).map(|a| &**a)
+    }
+
+    /// Shared read of the first element.
+    pub fn first(&self) -> Option<&T> {
+        self.items.first().map(|a| &**a)
+    }
+
+    /// Shared read of the last element.
+    pub fn last(&self) -> Option<&T> {
+        self.items.last().map(|a| &**a)
+    }
+
+    /// Appends an (unshared) element.
+    pub fn push(&mut self, value: T) {
+        self.items.push(Arc::new(value));
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Truncates to `len` elements.
+    pub fn truncate(&mut self, len: usize) {
+        self.items.truncate(len);
+    }
+
+    /// Swaps two elements. Moves `Arc` handles only — no copy-on-write.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.items.swap(a, b);
+    }
+
+    /// The element handles themselves — for callers that want to share.
+    pub fn arcs(&self) -> &[Arc<T>] {
+        &self.items
+    }
+}
+
+impl<T: Clone> CowList<T> {
+    /// Copy-on-write access to one element (panics when out of bounds, like
+    /// `Vec` indexing).
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.items.get_mut(index).map(Arc::make_mut)
+    }
+
+    /// Copy-on-write access to the last element.
+    pub fn last_mut(&mut self) -> Option<&mut T> {
+        self.items.last_mut().map(Arc::make_mut)
+    }
+
+    /// Copy-on-write iteration, `Vec::iter_mut`-shaped. Unconditionally
+    /// unshares every element it yields — use the indexed accessors when
+    /// only some elements will be written.
+    pub fn iter_mut(&mut self) -> IterMut<'_, T> {
+        self.items
+            .iter_mut()
+            .map(Arc::make_mut as fn(&mut Arc<T>) -> &mut T)
+    }
+
+    /// Copy-on-write access to two distinct elements at once (the
+    /// `split_at_mut` pattern). Panics when `a == b` or either is out of
+    /// bounds.
+    pub fn pair_mut(&mut self, a: usize, b: usize) -> (&mut T, &mut T) {
+        assert_ne!(a, b, "pair_mut needs two distinct indices");
+        let (low, high) = (a.min(b), a.max(b));
+        let (front, back) = self.items.split_at_mut(high);
+        let x = Arc::make_mut(&mut front[low]);
+        let y = Arc::make_mut(&mut back[0]);
+        if a < b {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    }
+
+    /// Removes and returns the element at `index` (unsharing it if needed).
+    pub fn remove(&mut self, index: usize) -> T {
+        unwrap_arc(self.items.remove(index))
+    }
+
+    /// Inserts an (unshared) element at `index`.
+    pub fn insert(&mut self, index: usize, value: T) {
+        self.items.insert(index, Arc::new(value));
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop().map(unwrap_arc)
+    }
+
+    /// Keeps only the elements matching the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        self.items.retain(|a| keep(a));
+    }
+
+    /// A clone that shares nothing: every element is copied into a fresh
+    /// `Arc`. This is the old `Vec<T>` clone — the cold half of the
+    /// clone-cost benchmark pair.
+    pub fn deep_clone(&self) -> CowList<T> {
+        CowList {
+            items: self.items.iter().map(|a| Arc::new((**a).clone())).collect(),
+        }
+    }
+}
+
+impl<T> Default for CowList<T> {
+    fn default() -> CowList<T> {
+        CowList::new()
+    }
+}
+
+impl<T> Clone for CowList<T> {
+    /// Shallow: clones the `Arc` handles (a refcount bump per element).
+    fn clone(&self) -> CowList<T> {
+        CowList {
+            items: self.items.clone(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CowList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for CowList<T> {
+    /// Element-value equality (`Arc::eq` compares pointees).
+    fn eq(&self, other: &CowList<T>) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<T> std::ops::Index<usize> for CowList<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        &self.items[index]
+    }
+}
+
+impl<T: Clone> std::ops::IndexMut<usize> for CowList<T> {
+    /// Copy-on-write: `list[i].field = v` unshares element `i` first.
+    fn index_mut(&mut self, index: usize) -> &mut T {
+        Arc::make_mut(&mut self.items[index])
+    }
+}
+
+impl<T> From<Vec<T>> for CowList<T> {
+    fn from(items: Vec<T>) -> CowList<T> {
+        items.into_iter().collect()
+    }
+}
+
+impl<T> FromIterator<T> for CowList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> CowList<T> {
+        CowList {
+            items: iter.into_iter().map(Arc::new).collect(),
+        }
+    }
+}
+
+impl<T> Extend<T> for CowList<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter.into_iter().map(Arc::new));
+    }
+}
+
+impl<'a, T> IntoIterator for &'a CowList<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: Clone> IntoIterator for CowList<T> {
+    type Item = T;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<Arc<T>>, fn(Arc<T>) -> T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().map(unwrap_arc as fn(Arc<T>) -> T)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_until_written() {
+        let mut a: CowList<String> = ["x".to_string(), "y".to_string()].into_iter().collect();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.arcs()[0], &b.arcs()[0]));
+        a[0].push('!');
+        assert!(!Arc::ptr_eq(&a.arcs()[0], &b.arcs()[0]), "write unshares");
+        assert!(
+            Arc::ptr_eq(&a.arcs()[1], &b.arcs()[1]),
+            "untouched stays shared"
+        );
+        assert_eq!(a[0], "x!");
+        assert_eq!(b[0], "x", "the shared original is unchanged");
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let a: CowList<String> = vec!["x".to_string()].into();
+        let b = a.deep_clone();
+        assert_eq!(a, b);
+        assert!(!Arc::ptr_eq(&a.arcs()[0], &b.arcs()[0]));
+    }
+
+    #[test]
+    fn reads_do_not_unshare() {
+        let a: CowList<String> = vec!["x".to_string()].into();
+        let b = a.clone();
+        assert_eq!(a[0].len(), 1);
+        assert_eq!(a.iter().count(), 1);
+        assert_eq!(a.get(0).map(String::as_str), Some("x"));
+        assert!(Arc::ptr_eq(&a.arcs()[0], &b.arcs()[0]));
+    }
+
+    #[test]
+    fn pair_mut_unshares_both_in_either_order() {
+        let mut a: CowList<u32> = vec![1, 2, 3].into();
+        let shared = a.clone();
+        let (hi, lo) = a.pair_mut(2, 0);
+        std::mem::swap(hi, lo);
+        assert_eq!(a, vec![3, 2, 1].into());
+        assert_eq!(shared, vec![1, 2, 3].into());
+    }
+
+    #[test]
+    fn vec_shaped_editing() {
+        let mut a: CowList<u32> = CowList::new();
+        assert!(a.is_empty());
+        a.push(1);
+        a.extend([2, 3]);
+        a.insert(1, 9);
+        assert_eq!(a.remove(1), 9);
+        assert_eq!(a.pop(), Some(3));
+        a.swap(0, 1);
+        assert_eq!(a, vec![2, 1].into());
+        a.retain(|&v| v > 1);
+        assert_eq!(a.len(), 1);
+        a.truncate(0);
+        assert!(a.is_empty());
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod builder;
 pub mod class;
+pub mod cow;
 pub mod lift;
 pub mod lower;
 pub mod printer;
@@ -42,6 +43,7 @@ pub mod stmt;
 pub mod types;
 
 pub use class::{Body, CatchClause, IrClass, IrField, IrMethod, LocalDecl};
+pub use cow::CowList;
 pub use lift::LiftError;
 pub use stmt::{BinOp, CondOp, Const, Expr, InvokeExpr, InvokeKind, Label, Stmt, Target, Value};
 pub use types::JType;

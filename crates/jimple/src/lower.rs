@@ -14,11 +14,92 @@ use classfuzz_classfile::{
 
 use crate::class::{Body, IrClass, IrMethod};
 use crate::stmt::{BinOp, CondOp, Const, Expr, InvokeExpr, InvokeKind, Label, Stmt, Target, Value};
-use crate::types::JType;
+use crate::types::{write_method_descriptor, JType};
+
+/// A memo of descriptor texts keyed by [`JType`], plus a reusable buffer
+/// for method descriptors. Primitives resolve to static strings and never
+/// touch the map; reference types are rendered once and reused, so the hot
+/// lowering loop stops allocating a fresh `String` per descriptor mention.
+#[derive(Debug, Default)]
+pub struct DescriptorCache {
+    memo: HashMap<JType, Box<str>>,
+    buf: String,
+}
+
+impl DescriptorCache {
+    /// Creates an empty cache.
+    pub fn new() -> DescriptorCache {
+        DescriptorCache::default()
+    }
+
+    /// The field-descriptor text of `ty`, cached after the first request.
+    pub fn field(&mut self, ty: &JType) -> &str {
+        if let Some(s) = ty.static_descriptor() {
+            return s;
+        }
+        if !self.memo.contains_key(ty) {
+            let mut s = String::new();
+            ty.write_descriptor(&mut s);
+            self.memo.insert(ty.clone(), s.into_boxed_str());
+        }
+        self.memo.get(ty).expect("just inserted")
+    }
+
+    /// A method-descriptor text built in the reusable buffer — valid until
+    /// the next call.
+    pub fn method(&mut self, params: &[JType], ret: Option<&JType>) -> &str {
+        self.buf.clear();
+        write_method_descriptor(params, ret, &mut self.buf);
+        &self.buf
+    }
+}
+
+/// Reusable buffers for repeated lowering: the constant pool (cleared, not
+/// reallocated, between classes), the descriptor memo, and the serializer's
+/// body buffer. One per campaign shard; threaded through
+/// [`lower_class_bytes`] so the per-iteration lower+serialize step stops
+/// paying allocator tax for state that is identical across iterations.
+#[derive(Debug, Default)]
+pub struct LowerScratch {
+    pool: ConstantPool,
+    descriptors: DescriptorCache,
+    body_buf: Vec<u8>,
+}
+
+impl LowerScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> LowerScratch {
+        LowerScratch::default()
+    }
+}
 
 /// Lowers a whole IR class to a classfile.
 pub fn lower_class(class: &IrClass) -> ClassFile {
-    let mut cp = ConstantPool::new();
+    lower_class_with(class, ConstantPool::new(), &mut DescriptorCache::new())
+}
+
+/// Lowers and serializes in one step, reusing `scratch`'s buffers between
+/// calls. Byte-identical to `lower_class(class).to_bytes()`: both paths run
+/// the same lowering implementation (so the pools intern the same entries
+/// in the same order) and the same body emitter.
+pub fn lower_class_bytes(class: &IrClass, scratch: &mut LowerScratch) -> Vec<u8> {
+    scratch.pool.clear();
+    let pool = std::mem::take(&mut scratch.pool);
+    let mut cf = lower_class_with(class, pool, &mut scratch.descriptors);
+    let bytes = cf.to_bytes_scratch(&mut scratch.body_buf);
+    // Reclaim the pool's allocations for the next iteration.
+    scratch.pool = cf.constant_pool;
+    bytes
+}
+
+/// The single lowering implementation behind both the cold and scratch
+/// entry points. `cp` must be empty; ownership keeps the scratch path from
+/// cloning it into the returned classfile.
+fn lower_class_with(
+    class: &IrClass,
+    mut cp: ConstantPool,
+    descriptors: &mut DescriptorCache,
+) -> ClassFile {
     let this_class = cp.class(&class.name);
     let super_class = match &class.super_class {
         Some(name) => cp.class(name),
@@ -29,7 +110,7 @@ pub fn lower_class(class: &IrClass) -> ClassFile {
     let mut fields = Vec::with_capacity(class.fields.len());
     for f in &class.fields {
         let name = cp.utf8(&f.name);
-        let descriptor = cp.utf8(&f.ty.descriptor());
+        let descriptor = cp.utf8(descriptors.field(&f.ty));
         let mut attributes = Vec::new();
         if let Some(cv) = &f.constant_value {
             if let Some(idx) = const_value_index(&mut cp, cv) {
@@ -46,7 +127,7 @@ pub fn lower_class(class: &IrClass) -> ClassFile {
 
     let mut methods = Vec::with_capacity(class.methods.len());
     for m in &class.methods {
-        methods.push(lower_method(m, &mut cp));
+        methods.push(lower_method(m, &mut cp, descriptors));
     }
 
     ClassFile {
@@ -74,16 +155,20 @@ fn const_value_index(cp: &mut ConstantPool, cv: &Const) -> Option<ConstIndex> {
     })
 }
 
-fn lower_method(method: &IrMethod, cp: &mut ConstantPool) -> MethodInfo {
+fn lower_method(
+    method: &IrMethod,
+    cp: &mut ConstantPool,
+    descriptors: &mut DescriptorCache,
+) -> MethodInfo {
     let name = cp.utf8(&method.name);
-    let descriptor = cp.utf8(&method.descriptor());
+    let descriptor = cp.utf8(descriptors.method(&method.params, method.ret.as_ref()));
     let mut attributes = Vec::new();
     if !method.exceptions.is_empty() {
         let list = method.exceptions.iter().map(|e| cp.class(e)).collect();
         attributes.push(Attribute::Exceptions(list));
     }
     if let Some(body) = &method.body {
-        attributes.push(Attribute::Code(lower_body(method, body, cp)));
+        attributes.push(Attribute::Code(lower_body(method, body, cp, descriptors)));
     }
     MethodInfo {
         access: method.access,
@@ -96,6 +181,7 @@ fn lower_method(method: &IrMethod, cp: &mut ConstantPool) -> MethodInfo {
 /// Per-method assembler state.
 struct Asm<'a> {
     cp: &'a mut ConstantPool,
+    descriptors: &'a mut DescriptorCache,
     /// Emitted instructions; `Branch` targets and switch targets hold *label
     /// ids* until `finish` patches them to code offsets.
     insns: Vec<Instruction>,
@@ -110,12 +196,18 @@ struct Asm<'a> {
     ret: Option<JType>,
 }
 
-fn lower_body(method: &IrMethod, body: &Body, cp: &mut ConstantPool) -> CodeAttribute {
+fn lower_body(
+    method: &IrMethod,
+    body: &Body,
+    cp: &mut ConstantPool,
+    descriptors: &mut DescriptorCache,
+) -> CodeAttribute {
     let is_static = method
         .access
         .contains(classfuzz_classfile::MethodAccess::STATIC);
     let mut asm = Asm {
         cp,
+        descriptors,
         insns: Vec::new(),
         label_at: HashMap::new(),
         slots: HashMap::new(),
@@ -403,11 +495,13 @@ impl Asm<'_> {
                 match elem.newarray_code() {
                     Some(code) => self.emit(Instruction::NewArray(code)),
                     None => {
-                        let name = match elem {
-                            JType::Object(n) => n.clone(),
-                            other => other.descriptor(),
+                        let idx = match elem {
+                            JType::Object(n) => self.cp.class(n),
+                            other => {
+                                let name = self.descriptors.field(other);
+                                self.cp.class(name)
+                            }
                         };
-                        let idx = self.cp.class(&name);
                         self.emit(Instruction::ANewArray(idx));
                     }
                 }
@@ -428,14 +522,16 @@ impl Asm<'_> {
                 Some(elem.clone())
             }
             Expr::StaticField(class, name, ty) => {
-                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                let desc = self.descriptors.field(ty);
+                let idx = self.cp.field_ref(class, name, desc);
                 self.emit(Instruction::Field(Opcode::Getstatic, idx));
                 self.push(ty.slot_width());
                 Some(ty.clone())
             }
             Expr::InstanceField(recv, class, name, ty) => {
                 self.value(recv);
-                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                let desc = self.descriptors.field(ty);
+                let idx = self.cp.field_ref(class, name, desc);
                 self.emit(Instruction::Field(Opcode::Getfield, idx));
                 self.pop(1);
                 self.push(ty.slot_width());
@@ -512,11 +608,13 @@ impl Asm<'_> {
 
     fn cast(&mut self, from: Option<&JType>, to: &JType) {
         if to.is_reference() {
-            let name = match to {
-                JType::Object(n) => n.clone(),
-                other => other.descriptor(),
+            let idx = match to {
+                JType::Object(n) => self.cp.class(n),
+                other => {
+                    let name = self.descriptors.field(other);
+                    self.cp.class(name)
+                }
             };
-            let idx = self.cp.class(&name);
             self.emit(Instruction::CheckCast(idx));
             return;
         }
@@ -563,24 +661,24 @@ impl Asm<'_> {
         for arg in &inv.args {
             self.value(arg);
         }
-        let desc = inv.descriptor();
+        let desc = self.descriptors.method(&inv.params, inv.ret.as_ref());
         let arg_width: u16 = inv.params.iter().map(JType::slot_width).sum();
         let recv_width: u16 = if inv.receiver.is_some() { 1 } else { 0 };
         match inv.kind {
             InvokeKind::Virtual => {
-                let idx = self.cp.method_ref(&inv.class, &inv.name, &desc);
+                let idx = self.cp.method_ref(&inv.class, &inv.name, desc);
                 self.emit(Instruction::Invoke(Opcode::Invokevirtual, idx));
             }
             InvokeKind::Special => {
-                let idx = self.cp.method_ref(&inv.class, &inv.name, &desc);
+                let idx = self.cp.method_ref(&inv.class, &inv.name, desc);
                 self.emit(Instruction::Invoke(Opcode::Invokespecial, idx));
             }
             InvokeKind::Static => {
-                let idx = self.cp.method_ref(&inv.class, &inv.name, &desc);
+                let idx = self.cp.method_ref(&inv.class, &inv.name, desc);
                 self.emit(Instruction::Invoke(Opcode::Invokestatic, idx));
             }
             InvokeKind::Interface => {
-                let idx = self.cp.interface_method_ref(&inv.class, &inv.name, &desc);
+                let idx = self.cp.interface_method_ref(&inv.class, &inv.name, desc);
                 let count = (1 + arg_width) as u8;
                 self.emit(Instruction::InvokeInterface { index: idx, count });
             }
@@ -678,14 +776,16 @@ impl Asm<'_> {
             }
             Target::StaticField(class, name, ty) => {
                 let vty = self.expr(value);
-                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                let desc = self.descriptors.field(ty);
+                let idx = self.cp.field_ref(class, name, desc);
                 self.emit(Instruction::Field(Opcode::Putstatic, idx));
                 self.pop(vty.map_or(1, |t| t.slot_width()));
             }
             Target::InstanceField(recv, class, name, ty) => {
                 self.value(recv);
                 let vty = self.expr(value);
-                let idx = self.cp.field_ref(class, name, &ty.descriptor());
+                let desc = self.descriptors.field(ty);
+                let idx = self.cp.field_ref(class, name, desc);
                 self.emit(Instruction::Field(Opcode::Putfield, idx));
                 self.pop(1 + vty.map_or(1, |t| t.slot_width()));
             }
@@ -983,6 +1083,42 @@ mod tests {
         assert_eq!(parsed.to_bytes(), bytes);
         assert_eq!(parsed.methods.len(), cf.methods.len());
         assert_eq!(parsed.this_class_name(), cf.this_class_name());
+    }
+
+    #[test]
+    fn scratch_lowering_matches_cold_lowering_across_reuse() {
+        // A dirty scratch (pool, memo, body buffer all populated by earlier
+        // classes) must still produce bytes identical to the cold path.
+        let mut scratch = LowerScratch::new();
+        let mut consts = IrClass::new("s/Consts");
+        consts.fields.push(IrField {
+            access: FieldAccess::STATIC | FieldAccess::FINAL,
+            name: "N".into(),
+            ty: JType::array(JType::Double),
+            constant_value: Some(Const::Long(7)),
+        });
+        let classes = [
+            IrClass::with_hello_main("s/A", "Completed!"),
+            IrClass::with_hello_main("s/B", "other text"),
+            consts,
+            IrClass::new("s/Empty"),
+        ];
+        for class in &classes {
+            let cold = lower_class(class).to_bytes();
+            assert_eq!(
+                lower_class_bytes(class, &mut scratch),
+                cold,
+                "scratch vs cold mismatch for {}",
+                class.name
+            );
+        }
+        // And again, to exercise a fully warmed scratch.
+        for class in &classes {
+            assert_eq!(
+                lower_class_bytes(class, &mut scratch),
+                lower_class(class).to_bytes()
+            );
+        }
     }
 
     #[test]

@@ -109,9 +109,44 @@ impl JType {
         }
     }
 
+    /// The descriptor of a primitive type, as a static string — the
+    /// allocation-free fast path of [`JType::descriptor`].
+    pub fn static_descriptor(&self) -> Option<&'static str> {
+        Some(match self {
+            JType::Boolean => "Z",
+            JType::Byte => "B",
+            JType::Char => "C",
+            JType::Short => "S",
+            JType::Int => "I",
+            JType::Long => "J",
+            JType::Float => "F",
+            JType::Double => "D",
+            JType::Object(_) | JType::Array(_) => return None,
+        })
+    }
+
+    /// Appends this type's descriptor to `out` without intermediate
+    /// allocations (no [`FieldType`] round-trip).
+    pub fn write_descriptor(&self, out: &mut String) {
+        match self {
+            JType::Object(name) => {
+                out.push('L');
+                out.push_str(name);
+                out.push(';');
+            }
+            JType::Array(c) => {
+                out.push('[');
+                c.write_descriptor(out);
+            }
+            primitive => out.push_str(primitive.static_descriptor().unwrap_or_default()),
+        }
+    }
+
     /// The descriptor text of this type.
     pub fn descriptor(&self) -> String {
-        self.to_field_type().to_descriptor()
+        let mut s = String::new();
+        self.write_descriptor(&mut s);
+        s
     }
 
     /// The Java-source spelling of this type.
@@ -144,16 +179,22 @@ impl fmt::Display for JType {
 
 /// Builds a method descriptor string from IR parameter and return types.
 pub fn method_descriptor(params: &[JType], ret: Option<&JType>) -> String {
-    let mut s = String::from("(");
-    for p in params {
-        s.push_str(&p.descriptor());
-    }
-    s.push(')');
-    match ret {
-        Some(t) => s.push_str(&t.descriptor()),
-        None => s.push('V'),
-    }
+    let mut s = String::new();
+    write_method_descriptor(params, ret, &mut s);
     s
+}
+
+/// Appends a method descriptor to `out` without per-type allocations.
+pub fn write_method_descriptor(params: &[JType], ret: Option<&JType>, out: &mut String) {
+    out.push('(');
+    for p in params {
+        p.write_descriptor(out);
+    }
+    out.push(')');
+    match ret {
+        Some(t) => t.write_descriptor(out),
+        None => out.push('V'),
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +225,30 @@ mod tests {
             method_descriptor(&[JType::Int, JType::Long], Some(&JType::Int)),
             "(IJ)I"
         );
+    }
+
+    #[test]
+    fn descriptor_paths_agree() {
+        for ty in [
+            JType::Boolean,
+            JType::Byte,
+            JType::Char,
+            JType::Short,
+            JType::Int,
+            JType::Long,
+            JType::Float,
+            JType::Double,
+            JType::string(),
+            JType::array(JType::Int),
+            JType::array(JType::array(JType::string())),
+        ] {
+            assert_eq!(ty.descriptor(), ty.to_field_type().to_descriptor());
+            if let Some(s) = ty.static_descriptor() {
+                assert_eq!(s, ty.descriptor());
+            } else {
+                assert!(ty.is_reference());
+            }
+        }
     }
 
     #[test]

@@ -531,10 +531,7 @@ fn apply_op(
             }
             class.methods.swap(a, b);
             // Swap back names/signatures so only the *bodies* moved.
-            let (low, high) = if a < b { (a, b) } else { (b, a) };
-            let (front, back) = class.methods.split_at_mut(high);
-            let ma = &mut front[low];
-            let mb = &mut back[0];
+            let (ma, mb) = class.methods.pair_mut(a, b);
             std::mem::swap(&mut ma.name, &mut mb.name);
             std::mem::swap(&mut ma.params, &mut mb.params);
             std::mem::swap(&mut ma.ret, &mut mb.ret);

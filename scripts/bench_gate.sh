@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Bench-smoke gate: runs both gated benchmark scenarios on fixed seeds
-# and fails CI on regression. Extra flags pass through to covbench for
-# both scenarios (e.g. --repeats 3).
+# Bench-smoke gate: runs the three gated benchmark scenarios on fixed
+# seeds and fails CI on regression. Extra flags pass through to covbench
+# for every scenario (e.g. --repeats 3).
 #
 # Scenario `coverage` — the [tr] acceptance hot-path micro-benchmarks
 # (crates/bench/src/covbench.rs) → BENCH_coverage.json. Fails when
@@ -22,6 +22,20 @@
 #   * throughput falls below 2x the committed old-path baseline — the
 #     share-everything pipeline's acceptance criterion.
 #
+# Scenario `mutate` — the clone → mutate → lower → serialize hot loop on
+# the pinned campaign workload (crates/bench/src/mutatebench.rs)
+# → BENCH_mutate.json. Fails when
+#
+#   * the scratch path's throughput regresses more than 20% against the
+#     committed BENCH_mutate.baseline.json,
+#   * the in-run speedup of the copy-on-write + scratch-lowering path
+#     over the deep-clone + cold-lowering path drops below 2x,
+#   * throughput falls below 2x the committed cold-path baseline — the
+#     allocation-lean generation acceptance criterion, or
+#   * allocator events per candidate on the scratch path stop undercutting
+#     the cold path, or exceed the committed count by more than 20%
+#     (counted by the covbench binary's counting global allocator).
+#
 # Timings are medians over repeated runs so one scheduler hiccup cannot
 # fail CI; the committed baselines are deliberately pessimistic (see
 # their "_note" fields).
@@ -40,6 +54,14 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --scenario harness \
     --out BENCH_harness.json \
     --baseline BENCH_harness.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 2.0 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario mutate \
+    --out BENCH_mutate.json \
+    --baseline BENCH_mutate.baseline.json \
     --max-regression 1.2 \
     --min-speedup 2.0 \
     "$@"
