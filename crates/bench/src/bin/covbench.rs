@@ -11,9 +11,12 @@
 //! * `--scenario mutate`: the clone → mutate → lower → serialize hot loop,
 //!   copy-on-write + scratch lowering vs deep clone + cold lowering
 //!   (`classfuzz_bench::mutatebench`) → `BENCH_mutate.json`.
+//! * `--scenario exec`: the `--exec-diff` observer's overhead on top of a
+//!   startup-only five-VM evaluation (`classfuzz_bench::execbench`) →
+//!   `BENCH_exec.json`.
 //!
 //! ```text
-//! covbench [--scenario coverage|harness|mutate] [--out PATH]
+//! covbench [--scenario coverage|harness|mutate|exec] [--out PATH]
 //!          [--baseline PATH] [--suite-size N] [--repeats N]
 //!          [--max-regression X] [--min-speedup X]
 //! ```
@@ -22,6 +25,7 @@ use std::process::ExitCode;
 
 use classfuzz_bench::alloc_count::CountingAllocator;
 use classfuzz_bench::covbench::{check_report, run_coverage_bench};
+use classfuzz_bench::execbench::{check_exec_report, run_exec_bench};
 use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
 use classfuzz_bench::mutatebench::{check_mutate_report, run_mutate_bench};
 
@@ -35,6 +39,7 @@ enum Scenario {
     Coverage,
     Harness,
     Mutate,
+    Exec,
 }
 
 struct Options {
@@ -50,12 +55,14 @@ struct Options {
 impl Options {
     /// The machine-independent speedup floor: explicit flag, or the
     /// scenario's default (coverage: bitset-vs-baseline ≥5×; harness:
-    /// shared-vs-cold ≥2×; mutate: scratch-vs-cold ≥2×).
+    /// shared-vs-cold ≥2×; mutate: scratch-vs-cold ≥2×; exec:
+    /// exec-vs-startup overhead ratio ≥0.5).
     fn speedup_floor(&self) -> f64 {
         self.min_speedup.unwrap_or(match self.scenario {
             Scenario::Coverage => 5.0,
             Scenario::Harness => 2.0,
             Scenario::Mutate => 2.0,
+            Scenario::Exec => 0.5,
         })
     }
 
@@ -67,6 +74,7 @@ impl Options {
             (None, Scenario::Coverage) => Some("BENCH_coverage.json".to_string()),
             (None, Scenario::Harness) => Some("BENCH_harness.json".to_string()),
             (None, Scenario::Mutate) => Some("BENCH_mutate.json".to_string()),
+            (None, Scenario::Exec) => Some("BENCH_exec.json".to_string()),
         }
     }
 }
@@ -90,6 +98,7 @@ fn parse_args() -> Result<Options, String> {
                     "coverage" => Scenario::Coverage,
                     "harness" => Scenario::Harness,
                     "mutate" => Scenario::Mutate,
+                    "exec" => Scenario::Exec,
                     other => return Err(format!("unknown scenario {other}")),
                 }
             }
@@ -171,6 +180,18 @@ fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<
                 report.allocs_per_class_scratch,
                 report.allocs_per_class_cold,
                 options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Exec => {
+            eprintln!("covbench: scenario=exec repeats={} ...", options.repeats);
+            let report = run_exec_bench(options.repeats);
+            let failures = baseline_json
+                .map(|json| check_exec_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "exec overhead ratio {:.2}, budget {:.2}x",
+                report.exec_overhead_ratio, options.max_regression
             );
             (report.to_json(), failures, summary)
         }

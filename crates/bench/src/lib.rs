@@ -9,6 +9,7 @@
 
 pub mod alloc_count;
 pub mod covbench;
+pub mod execbench;
 pub mod harnessbench;
 pub mod mutatebench;
 

@@ -13,6 +13,7 @@ commands:
   diff   <file.class>                 run on all five profiles
   fuzz   [--seeds N] [--iterations N] [--rng-seed S]
          [--criterion st|stbr|tr] [--jobs N] [--out DIR] [--crash-dir DIR]
+         [--exec-diff]                also difference execution outcomes
   reduce <file.class> [--out FILE]    minimize a discrepancy or crash trigger
   seeds  --out DIR [--count N] [--rng-seed S]
                                       write a seed corpus as .class files
@@ -54,6 +55,11 @@ impl Parsed {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Whether the boolean flag `--name` was given (see [`BOOLEAN_FLAGS`]).
+    pub fn flag_bool(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+
     /// Parses `--name` as `T`, with a default when absent.
     ///
     /// # Errors
@@ -72,17 +78,25 @@ impl Parsed {
     }
 }
 
+/// Flags that take no value; present means `"true"`. Every other `--flag`
+/// still consumes the next argument as its value.
+pub const BOOLEAN_FLAGS: &[&str] = &["exec-diff"];
+
 /// Parses the argument list.
 ///
 /// # Errors
 ///
-/// Errors on a missing command or a `--flag` without a value.
+/// Errors on a missing command or a (non-boolean) `--flag` without a value.
 pub fn parse(args: impl Iterator<Item = String>) -> Result<Parsed, String> {
     let mut parsed = Parsed::default();
     let mut args = args.peekable();
     parsed.command = args.next().ok_or("missing command")?;
     while let Some(arg) = args.next() {
         if let Some(name) = arg.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&name) {
+                parsed.flags.push((name.to_string(), "true".to_string()));
+                continue;
+            }
             let value = args
                 .next()
                 .ok_or_else(|| format!("--{name} expects a value"))?;
@@ -137,6 +151,18 @@ mod tests {
             .unwrap()
             .flag_parse("jobs", 1usize)
             .is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let parsed = p(&["fuzz", "--exec-diff", "--seeds", "4"]).unwrap();
+        assert!(parsed.flag_bool("exec-diff"));
+        assert_eq!(parsed.flag_parse("seeds", 0usize).unwrap(), 4);
+        assert!(!p(&["fuzz"]).unwrap().flag_bool("exec-diff"));
+        // A boolean flag in last position needs no trailing value...
+        assert!(p(&["fuzz", "--exec-diff"]).unwrap().flag_bool("exec-diff"));
+        // ...while valued flags still do.
+        assert!(p(&["fuzz", "--seeds"]).is_err());
     }
 
     #[test]

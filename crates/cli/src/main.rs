@@ -7,11 +7,16 @@
 //! classfuzz diff   <file.class>                  run on all five profiles
 //! classfuzz fuzz   [--seeds N] [--iterations N] [--rng-seed S]
 //!                  [--criterion st|stbr|tr] [--jobs N] [--out DIR]
-//!                  [--crash-dir DIR]             Algorithm 1 campaign;
+//!                  [--crash-dir DIR] [--exec-diff]
+//!                                                Algorithm 1 campaign;
 //!                                                discrepancy triggers are
 //!                                                written to DIR as .class,
 //!                                                internal-crash reproducers
-//!                                                to the crash dir
+//!                                                to the crash dir; with
+//!                                                --exec-diff, accepted
+//!                                                candidates are also run to
+//!                                                completion and differenced
+//!                                                on execution outcome
 //! classfuzz reduce <file.class> [--out FILE]     HDD-minimize a trigger
 //!                                                (discrepancy or VM crash)
 //! classfuzz seeds  --out DIR [--count N] [--rng-seed S]
@@ -157,16 +162,21 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
     }
     let out_dir = parsed.flag("out").map(PathBuf::from);
     let crash_dir = parsed.flag("crash-dir").map(PathBuf::from);
+    let exec_diff = parsed.flag_bool("exec-diff");
 
     let corpus = SeedCorpus::generate(seeds, rng_seed).into_classes();
     eprintln!(
-        "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, {jobs} job(s)"
+        "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, {jobs} job(s){}",
+        if exec_diff { ", exec differencing" } else { "" }
     );
     let mut config = CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed);
     if let Some(dir) = &crash_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
         config = config.with_crash_dir(dir.clone());
+    }
+    if exec_diff {
+        config = config.with_exec_diff();
     }
     let result = run_campaign_parallel(&corpus, &config, jobs).map_err(|e| e.to_string())?;
     eprintln!(
@@ -220,6 +230,32 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
         "{found} / {} representative classfiles trigger discrepancies",
         result.test_classes.len()
     );
+    if exec_diff {
+        let mut exec_found = 0usize;
+        for report in &result.exec_reports {
+            if !report.is_exec_discrepancy() {
+                continue;
+            }
+            exec_found += 1;
+            let label = report.taxonomy.map_or("agree", |t| t.label());
+            println!(
+                "exec discrepancy #{exec_found} [{label}]: startup {} exec {}",
+                report.startup_key, report.exec_key
+            );
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+                let file = dir.join(format!("exec_{exec_found:04}_{}.class", report.startup_key));
+                std::fs::write(&file, result.gen_classes[report.gen_index].bytes.as_slice())
+                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+                println!("  written to {}", file.display());
+            }
+        }
+        println!(
+            "{exec_found} / {} executed representatives diverge only at execution",
+            result.exec_reports.len()
+        );
+    }
     Ok(())
 }
 
@@ -248,23 +284,28 @@ fn reduce_cmd(parsed: &Parsed) -> Result<(), String> {
 
     let harness = DifferentialHarness::paper_five();
     let original = harness.run(&bytes);
-    // An internal VM crash is as reducible as a discrepancy: the oracle
-    // below preserves the full encoded vector either way, so a crash-only
-    // trigger (e.g. "55555") minimizes against the crash verdict.
-    if !original.is_discrepancy() && !original.has_crash() {
+    // An internal VM crash is as reducible as a discrepancy, and so is an
+    // execution-phase divergence hiding under a uniform startup key: the
+    // oracle below preserves the startup key *and* the execution key, so a
+    // crash-only trigger (e.g. "55555") minimizes against the crash verdict
+    // and an `--exec-diff` trigger against its divergent execution verdicts.
+    if !original.is_discrepancy() && !original.has_crash() && !original.is_exec_discrepancy() {
         return Err(format!(
-            "{} triggers neither a discrepancy nor a VM crash (encoded {original}); \
-             nothing to reduce",
+            "{} triggers neither a discrepancy (startup or execution) nor a VM crash \
+             (encoded {original}); nothing to reduce",
             path.display()
         ));
     }
-    println!("reducing while the encoded outcome stays {original} ...");
+    let startup_key = original.key();
+    let exec_key = original.exec_key();
+    println!("reducing while the encoded outcome stays {startup_key} / {exec_key} ...");
     // Every HDD trial reuses one lowering scratch and decodes its bytes
     // exactly once, shared by all five profiles.
     let mut lower = LowerScratch::new();
     let (reduced, stats) = classfuzz_reduce::reduce(&ir, |candidate| {
         let bytes = lower_class_bytes(candidate, &mut lower);
-        harness.run_parsed(&preparse(&bytes)) == original
+        let vector = harness.run_parsed(&preparse(&bytes));
+        vector.key() == startup_key && vector.exec_key() == exec_key
     });
     println!(
         "done: {} attempts, {} deletions kept, {} passes",

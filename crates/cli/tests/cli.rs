@@ -125,6 +125,35 @@ fn fuzz_writes_triggers_and_reduce_minimizes_one() {
 }
 
 #[test]
+fn fuzz_exec_diff_reports_execution_verdicts() {
+    let dir = temp_dir("execdiff");
+    let out = classfuzz(&[
+        "fuzz",
+        "--seeds",
+        "12",
+        "--iterations",
+        "150",
+        "--exec-diff",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "fuzz --exec-diff failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The execution-differencing summary prints even when no divergence is
+    // found; finding one is covered deterministically at the library level
+    // (tests/exec_diff.rs).
+    assert!(
+        stdout_of(&out).contains("diverge only at execution"),
+        "missing exec summary: {}",
+        stdout_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn reduce_refuses_non_triggering_input() {
     let dir = temp_dir("noreduce");
     classfuzz(&["seeds", "--out", dir.to_str().unwrap(), "--count", "1"]);
@@ -139,6 +168,6 @@ fn reduce_refuses_non_triggering_input() {
     // decline.
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr)
-        .contains("triggers neither a discrepancy nor a VM crash"));
+        .contains("triggers neither a discrepancy (startup or execution) nor a VM crash"));
     let _ = std::fs::remove_dir_all(&dir);
 }

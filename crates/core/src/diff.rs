@@ -3,7 +3,47 @@
 
 use std::fmt;
 
-use classfuzz_vm::{preparse, Jvm, Outcome, Phase, PreparsedClass, VmSpec};
+use classfuzz_vm::{preparse, ExecOutcome, Jvm, Outcome, Phase, PreparsedClass, VmSpec};
+
+/// The taxonomy of execution-phase discrepancies (`fuzz --exec-diff`) — the
+/// scenario classes layered on top of the startup phase matrix, in
+/// classification precedence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecDiscrepancy {
+    /// The startup digits already differ; execution verdicts are compared
+    /// between different phases and carry no extra signal. Counted by the
+    /// existing phase matrix, not by execution differencing.
+    StartupPhase,
+    /// Uniform startup, but some (not all) profiles exhausted the step
+    /// budget — divergent nontermination.
+    DivergentTimeout,
+    /// Every profile completed `main`, with different normalized stdout.
+    WrongResult,
+    /// Every profile threw an uncaught exception, of different classes.
+    DivergentException,
+    /// Profiles trapped with different runtime error kinds, or disagree on
+    /// the verdict family (completed vs threw vs trapped).
+    DivergentTrap,
+}
+
+impl ExecDiscrepancy {
+    /// Short label used in discrepancy logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecDiscrepancy::StartupPhase => "startup-phase",
+            ExecDiscrepancy::DivergentTimeout => "divergent-timeout",
+            ExecDiscrepancy::WrongResult => "wrong-result",
+            ExecDiscrepancy::DivergentException => "divergent-exception",
+            ExecDiscrepancy::DivergentTrap => "divergent-trap",
+        }
+    }
+}
+
+impl fmt::Display for ExecDiscrepancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// The encoded result of one classfile across all tested JVMs — Figure 3's
 /// sequence of phase digits.
@@ -66,6 +106,61 @@ impl OutcomeVector {
     /// class — reportable even when every profile crashed identically.
     pub fn has_crash(&self) -> bool {
         self.outcomes.iter().any(Outcome::is_crash)
+    }
+
+    /// Per-JVM execution verdicts (normalized; see [`ExecOutcome`]).
+    pub fn exec_outcomes(&self) -> Vec<ExecOutcome> {
+        self.outcomes.iter().map(ExecOutcome::of).collect()
+    }
+
+    /// The execution-phase category key: one [`ExecOutcome::token`] per
+    /// column, `|`-joined (tokens contain dots in class names, never pipes)
+    /// — the execution analogue of [`OutcomeVector::key`].
+    pub fn exec_key(&self) -> String {
+        self.outcomes
+            .iter()
+            .map(|o| ExecOutcome::of(o).token())
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// An *execution-phase* discrepancy: the startup digits all agree (the
+    /// phase matrix sees nothing) yet the normalized execution verdicts
+    /// differ — the class of bug this engine exists to find.
+    pub fn is_exec_discrepancy(&self) -> bool {
+        matches!(
+            self.classify_exec(),
+            Some(
+                ExecDiscrepancy::DivergentTimeout
+                    | ExecDiscrepancy::WrongResult
+                    | ExecDiscrepancy::DivergentException
+                    | ExecDiscrepancy::DivergentTrap
+            )
+        )
+    }
+
+    /// Classifies this vector under the execution-discrepancy taxonomy.
+    /// `None` means the profiles agree everywhere (startup and execution).
+    pub fn classify_exec(&self) -> Option<ExecDiscrepancy> {
+        if self.is_discrepancy() {
+            return Some(ExecDiscrepancy::StartupPhase);
+        }
+        let execs = self.exec_outcomes();
+        if execs.iter().all(|e| e == &execs[0]) {
+            return None;
+        }
+        Some(if execs.iter().any(|e| matches!(e, ExecOutcome::Timeout)) {
+            ExecDiscrepancy::DivergentTimeout
+        } else if execs
+            .iter()
+            .all(|e| matches!(e, ExecOutcome::Completed { .. }))
+        {
+            ExecDiscrepancy::WrongResult
+        } else if execs.iter().all(|e| matches!(e, ExecOutcome::Threw { .. })) {
+            ExecDiscrepancy::DivergentException
+        } else {
+            ExecDiscrepancy::DivergentTrap
+        })
     }
 }
 
@@ -254,6 +349,109 @@ mod tests {
             let parsed = classfuzz_vm::preparse(bytes);
             assert_eq!(harness.run(bytes), harness.run_parsed(&parsed));
         }
+    }
+
+    #[test]
+    fn exec_taxonomy_precedence() {
+        use classfuzz_vm::JvmErrorKind;
+        let completed = |line: &str| Outcome::Invoked {
+            stdout: vec![line.into()],
+        };
+        let trap = |kind: JvmErrorKind| Outcome::rejected(Phase::Runtime, kind, "x");
+        let threw = |class: &str| {
+            Outcome::rejected(
+                Phase::Runtime,
+                JvmErrorKind::UncaughtException,
+                format!("Exception in thread \"main\" {class}: boom"),
+            )
+        };
+        let budget = trap(JvmErrorKind::ExecutionBudgetExceeded);
+
+        // Uniform everywhere: no discrepancy of any kind.
+        let ok = OutcomeVector::new(vec![completed("a"); 5]);
+        assert_eq!(ok.classify_exec(), None);
+        assert!(!ok.is_exec_discrepancy());
+
+        // Startup digits differ: classified as StartupPhase, NOT an
+        // execution discrepancy (the phase matrix already counts it).
+        let startup = OutcomeVector::new(vec![
+            completed("a"),
+            completed("a"),
+            completed("a"),
+            completed("a"),
+            Outcome::rejected(Phase::Linking, JvmErrorKind::VerifyError, "x"),
+        ]);
+        assert_eq!(startup.classify_exec(), Some(ExecDiscrepancy::StartupPhase));
+        assert!(!startup.is_exec_discrepancy());
+
+        // Uniform "00000" startup, different stdout: WrongResult.
+        let wrong = OutcomeVector::new(vec![
+            completed("a"),
+            completed("a"),
+            completed("b"),
+            completed("a"),
+            completed("a"),
+        ]);
+        assert!(!wrong.is_discrepancy());
+        assert_eq!(wrong.classify_exec(), Some(ExecDiscrepancy::WrongResult));
+        assert!(wrong.is_exec_discrepancy());
+
+        // Uniform "44444" startup, different trap kinds: DivergentTrap —
+        // invisible to the startup matrix.
+        let traps = OutcomeVector::new(vec![
+            trap(JvmErrorKind::NoSuchFieldError),
+            trap(JvmErrorKind::NoSuchFieldError),
+            trap(JvmErrorKind::IllegalAccessError),
+            trap(JvmErrorKind::NoSuchFieldError),
+            trap(JvmErrorKind::NoSuchFieldError),
+        ]);
+        assert!(!traps.is_discrepancy());
+        assert_eq!(traps.classify_exec(), Some(ExecDiscrepancy::DivergentTrap));
+        assert!(traps.is_exec_discrepancy());
+
+        // Uniform "44444", different uncaught classes: DivergentException.
+        let exceptions = OutcomeVector::new(vec![
+            threw("java.lang.RuntimeException"),
+            threw("java.lang.RuntimeException"),
+            threw("java.lang.IllegalStateException"),
+            threw("java.lang.RuntimeException"),
+            threw("java.lang.RuntimeException"),
+        ]);
+        assert_eq!(
+            exceptions.classify_exec(),
+            Some(ExecDiscrepancy::DivergentException)
+        );
+
+        // Timeout on some but not all columns takes precedence.
+        let timeout = OutcomeVector::new(vec![
+            budget.clone(),
+            budget.clone(),
+            trap(JvmErrorKind::ArithmeticException),
+            budget.clone(),
+            budget.clone(),
+        ]);
+        assert!(!timeout.is_discrepancy());
+        assert_eq!(
+            timeout.classify_exec(),
+            Some(ExecDiscrepancy::DivergentTimeout)
+        );
+
+        // All-timeout is uniform: nontermination contained identically is
+        // not a discrepancy.
+        let all_budget = OutcomeVector::new(vec![budget; 5]);
+        assert_eq!(all_budget.classify_exec(), None);
+    }
+
+    #[test]
+    fn exec_key_is_one_token_per_column() {
+        let harness = DifferentialHarness::paper_five();
+        let good = lower_class(&IrClass::with_hello_main("d/EK", "Completed!")).to_bytes();
+        let v = harness.run(&good);
+        let key = v.exec_key();
+        let tokens: Vec<&str> = key.split('|').collect();
+        assert_eq!(tokens.len(), 5);
+        assert!(tokens.iter().all(|t| t.starts_with("ok:")), "{key}");
+        assert!(tokens.iter().all(|t| *t == tokens[0]));
     }
 
     #[test]

@@ -30,9 +30,11 @@ use classfuzz_mcmc::{
     merge_stat_tables, AcceptanceTelemetry, MutatorChain, MutatorStats, UniformSelector,
 };
 use classfuzz_mutation::{registry, MutationCtx, Mutator};
-use classfuzz_vm::{run_contained, Jvm, VmSpec};
+use classfuzz_vm::{preparse, run_contained, Jvm, VmSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::diff::{DifferentialHarness, ExecDiscrepancy};
 
 /// Which fuzzing algorithm a campaign runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +103,12 @@ pub struct CampaignConfig {
     /// set must still run to its iteration budget, recording the injected
     /// panics as [`CrashRecord`]s.
     pub inject_panic_mutator: bool,
+    /// Execution-phase differencing (`fuzz --exec-diff`): add the
+    /// body-level execution mutators to the lineup and run every *accepted*
+    /// candidate to completion on all five profiles, recording an
+    /// [`ExecReport`] per acceptance. Off by default — the startup matrix
+    /// and all its snapshots are bit-identical with this disabled.
+    pub exec_diff: bool,
 }
 
 impl CampaignConfig {
@@ -113,6 +121,7 @@ impl CampaignConfig {
             p: 3.0 / 129.0,
             crash_dir: None,
             inject_panic_mutator: false,
+            exec_diff: false,
         }
     }
 
@@ -125,6 +134,12 @@ impl CampaignConfig {
     /// Enable the always-panicking chaos mutator (containment self-test).
     pub fn with_panic_injection(mut self) -> CampaignConfig {
         self.inject_panic_mutator = true;
+        self
+    }
+
+    /// Enable execution-phase differencing of accepted candidates.
+    pub fn with_exec_diff(mut self) -> CampaignConfig {
+        self.exec_diff = true;
         self
     }
 }
@@ -270,6 +285,31 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// One accepted candidate's execution-differencing record (`--exec-diff`):
+/// the startup phase key, the execution-verdict key, and the discrepancy
+/// classification when the verdicts disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Index of the candidate in [`CampaignResult::gen_classes`].
+    pub gen_index: usize,
+    /// The five startup phase digits, e.g. `"44444"`.
+    pub startup_key: String,
+    /// The `|`-joined execution verdict tokens
+    /// (see `OutcomeVector::exec_key`).
+    pub exec_key: String,
+    /// The discrepancy class, `None` when every profile agrees.
+    pub taxonomy: Option<ExecDiscrepancy>,
+}
+
+impl ExecReport {
+    /// Whether this is a *pure* execution-phase discrepancy — one the
+    /// startup matrix cannot distinguish (uniform digits, divergent
+    /// verdicts).
+    pub fn is_exec_discrepancy(&self) -> bool {
+        !matches!(self.taxonomy, None | Some(ExecDiscrepancy::StartupPhase))
+    }
+}
+
 /// The outcome of a whole campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -298,6 +338,9 @@ pub struct CampaignResult {
     /// fingerprint fast-path rate). All-zero for randfuzz and greedyfuzz,
     /// which never consult a uniqueness index.
     pub acceptance: AcceptanceTelemetry,
+    /// Per-accepted-candidate execution differencing records, in acceptance
+    /// order. Empty unless [`CampaignConfig::exec_diff`] is set.
+    pub exec_reports: Vec<ExecReport>,
 }
 
 impl CampaignResult {
@@ -386,11 +429,16 @@ fn make_selector(config: &CampaignConfig, mutator_count: usize) -> Selector {
     }
 }
 
-/// The campaign's mutator lineup: the paper's 129, plus the chaos mutator
-/// when the config injects panics (its id is the next free index, so the
-/// MCMC chain and stats tables simply grow by one slot).
+/// The campaign's mutator lineup: the paper's 129, plus the execution-phase
+/// body rewrites when `--exec-diff` is on, plus the chaos mutator when the
+/// config injects panics. Ids are assigned in that order — the MCMC chain
+/// and stats tables simply grow by the extra slots, and chaos (whose tests
+/// assume it is last) stays last.
 fn campaign_mutators(config: &CampaignConfig) -> Vec<Mutator> {
     let mut mutators = registry::all_mutators();
+    if config.exec_diff {
+        mutators.extend(registry::exec_mutators(mutators.len()));
+    }
     if config.inject_panic_mutator {
         let id = mutators.len();
         mutators.push(Mutator::chaos_panic(id));
@@ -438,11 +486,35 @@ fn make_acceptance(algorithm: Algorithm) -> Acceptance {
 }
 
 /// The campaign's acceptance-path telemetry, read back from the index
-/// counters at the end of a run.
-fn acceptance_telemetry(acceptance: &Acceptance) -> AcceptanceTelemetry {
-    match acceptance {
+/// counters at the end of a run, with the execution-differencing tallies
+/// folded in.
+fn acceptance_telemetry(
+    acceptance: &Acceptance,
+    exec_reports: &[ExecReport],
+) -> AcceptanceTelemetry {
+    let mut telemetry = match acceptance {
         Acceptance::Unique(index) => AcceptanceTelemetry::from(index.counters()),
         Acceptance::Greedy(_) | Acceptance::All => AcceptanceTelemetry::default(),
+    };
+    telemetry.exec_runs = exec_reports.len() as u64;
+    telemetry.exec_discrepancies = exec_reports
+        .iter()
+        .filter(|r| r.is_exec_discrepancy())
+        .count() as u64;
+    telemetry
+}
+
+/// Differences one accepted candidate's execution verdicts across the five
+/// profiles. Runs plain (no coverage, no tracing) and draws no RNG, so
+/// enabling `--exec-diff` perturbs neither the candidate stream nor the
+/// lockstep replay guarantees — it only appends to `exec_reports`.
+fn diff_execution(harness: &DifferentialHarness, gen_index: usize, bytes: &[u8]) -> ExecReport {
+    let vector = harness.run_parsed(&preparse(bytes));
+    ExecReport {
+        gen_index,
+        startup_key: vector.key(),
+        exec_key: vector.exec_key(),
+        taxonomy: vector.classify_exec(),
     }
 }
 
@@ -625,11 +697,13 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
     seed_acceptance(&mut acceptance, &pool_seeds, &reference, &mut scratch);
     let tracing = needs_trace(config.algorithm).then_some(&reference);
     let crash_dir = config.crash_dir.as_deref();
+    let exec_harness = config.exec_diff.then(DifferentialHarness::paper_five);
 
     let mut pool: Vec<PoolEntry> = pool_seeds;
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
     let mut test_classes: Vec<usize> = Vec::new();
     let mut crashes: Vec<CrashRecord> = Vec::new();
+    let mut exec_reports: Vec<ExecReport> = Vec::new();
     let mut executed = 0usize;
 
     for _ in 0..config.iterations {
@@ -691,6 +765,9 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         });
         if accepted {
             test_classes.push(gen_index);
+            if let Some(harness) = &exec_harness {
+                exec_reports.push(diff_execution(harness, gen_index, &bytes));
+            }
             pool.push(PoolEntry { class, bytes });
             selector.record_success(cand.mutator_id);
         }
@@ -712,7 +789,8 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         seed_count: seeds.len(),
         shard_stats,
         crashes,
-        acceptance: acceptance_telemetry(&acceptance),
+        acceptance: acceptance_telemetry(&acceptance, &exec_reports),
+        exec_reports,
     }
 }
 
@@ -815,10 +893,15 @@ pub fn run_campaign_parallel(
     let seed_pool = seed_entries(seeds);
     seed_acceptance(&mut acceptance, &seed_pool, &reference, &mut seed_scratch);
     let tracing = needs_trace(config.algorithm);
+    // Execution differencing happens coordinator-side, in acceptance order
+    // (round-major, shard-minor) — identical to the sequential engine's
+    // acceptance order at one shard, and deterministic at any shard count.
+    let exec_harness = config.exec_diff.then(DifferentialHarness::paper_five);
 
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
     let mut test_classes: Vec<usize> = Vec::new();
     let mut crashes: Vec<CrashRecord> = Vec::new();
+    let mut exec_reports: Vec<ExecReport> = Vec::new();
     let mut shard_stats: Vec<ShardStats> = (0..num_shards)
         .map(|shard_id| ShardStats {
             shard_id,
@@ -841,7 +924,8 @@ pub fn run_campaign_parallel(
             seed_count: seeds.len(),
             shard_stats,
             crashes,
-            acceptance: acceptance_telemetry(&acceptance),
+            acceptance: acceptance_telemetry(&acceptance, &exec_reports),
+            exec_reports,
         });
     }
 
@@ -1038,6 +1122,9 @@ pub fn run_campaign_parallel(
                         });
                         if accepted {
                             test_classes.push(gen_index);
+                            if let Some(harness) = &exec_harness {
+                                exec_reports.push(diff_execution(harness, gen_index, &bytes));
+                            }
                             additions.push(PoolEntry { class, bytes });
                             accepted_flags[shard_id] = true;
                             shard_stats[shard_id].accepted += 1;
@@ -1085,7 +1172,8 @@ pub fn run_campaign_parallel(
         seed_count: seeds.len(),
         shard_stats,
         crashes,
-        acceptance: acceptance_telemetry(&acceptance),
+        acceptance: acceptance_telemetry(&acceptance, &exec_reports),
+        exec_reports,
     })
 }
 

@@ -41,9 +41,9 @@ pub mod report;
 pub mod seeds;
 
 pub use analyze::{evaluate_suite, SuiteEvaluation};
-pub use diff::{DifferentialHarness, OutcomeVector};
+pub use diff::{DifferentialHarness, ExecDiscrepancy, OutcomeVector};
 pub use engine::{
     run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult,
-    CrashRecord, CrashSite, EngineError, GeneratedClass, ShardStats,
+    CrashRecord, CrashSite, EngineError, ExecReport, GeneratedClass, ShardStats,
 };
 pub use seeds::SeedCorpus;

@@ -278,6 +278,12 @@ pub struct AcceptanceTelemetry {
     /// `[tr]` offers that fell back to word-level trace comparison
     /// (duplicates and genuine fingerprint collisions).
     pub word_compare_fallbacks: u64,
+    /// Accepted candidates run to completion across all profiles by
+    /// execution differencing (`fuzz --exec-diff`); zero with it disabled.
+    pub exec_runs: u64,
+    /// Of those, how many diverged in execution verdict under a uniform
+    /// startup key — the discrepancies the phase matrix cannot see.
+    pub exec_discrepancies: u64,
 }
 
 impl AcceptanceTelemetry {
@@ -287,6 +293,8 @@ impl AcceptanceTelemetry {
         self.accepted += other.accepted;
         self.fingerprint_fast_path += other.fingerprint_fast_path;
         self.word_compare_fallbacks += other.word_compare_fallbacks;
+        self.exec_runs += other.exec_runs;
+        self.exec_discrepancies += other.exec_discrepancies;
     }
 
     /// Fraction of `[tr]` offers the fingerprint fast path settled; `None`
@@ -304,6 +312,8 @@ impl From<classfuzz_coverage::IndexCounters> for AcceptanceTelemetry {
             accepted: c.accepted,
             fingerprint_fast_path: c.fingerprint_fast_path,
             word_compare_fallbacks: c.word_compare_fallbacks,
+            exec_runs: 0,
+            exec_discrepancies: 0,
         }
     }
 }
@@ -515,16 +525,22 @@ mod tests {
             accepted: 4,
             fingerprint_fast_path: 6,
             word_compare_fallbacks: 2,
+            exec_runs: 4,
+            exec_discrepancies: 1,
         };
         let b = AcceptanceTelemetry {
             offered: 5,
             accepted: 1,
             fingerprint_fast_path: 2,
             word_compare_fallbacks: 0,
+            exec_runs: 1,
+            exec_discrepancies: 0,
         };
         a.merge(&b);
         assert_eq!(a.offered, 15);
         assert_eq!(a.accepted, 5);
+        assert_eq!(a.exec_runs, 5);
+        assert_eq!(a.exec_discrepancies, 1);
         assert_eq!(a.fast_path_rate(), Some(0.8));
         assert_eq!(AcceptanceTelemetry::default().fast_path_rate(), None);
     }

@@ -1,7 +1,9 @@
 //! Mutator definitions and their application semantics.
 
 use classfuzz_classfile::{ClassAccess, FieldAccess, MethodAccess};
-use classfuzz_jimple::{Const, IrClass, IrField, IrMethod, JType, Stmt};
+use classfuzz_jimple::{
+    BinOp, CondOp, Const, Expr, IrClass, IrField, IrMethod, JType, Label, Stmt, Target, Value,
+};
 
 use crate::ctx::{MutationCtx, MutationError, EXCEPTION_POOL, INTERFACE_POOL, SUPERCLASS_POOL};
 
@@ -184,6 +186,30 @@ pub enum MutOp {
     ReplaceStmtWithNop,
     /// Delete every `return` statement (execution falls off the end).
     DeleteReturns,
+    // --- execution-phase body rewrites (not part of the 129; gated by ---------
+    // --- `fuzz --exec-diff`, see `registry::exec_mutators`) -------------------
+    /// Swap the operands of a commutative `int`/`long` binary operation —
+    /// semantics-preserving by construction.
+    CommuteBinOp,
+    /// Append a copy of an existing catch clause; handler dispatch is
+    /// first-match in table order, so the copy is unreachable —
+    /// semantics-preserving.
+    DuplicateCatchClause,
+    /// Flip an arithmetic/bitwise operator (`+`↔`-`, `&`→`|`, `<<`↔`>>`, …).
+    FlipArithOp,
+    /// Flip a conditional branch's comparison operator (`==`↔`!=`, …).
+    FlipBranchCond,
+    /// Replace the divisor of an integral division/remainder with zero
+    /// (`ArithmeticException` bait).
+    ZeroDivisor,
+    /// Prepend a read of a nonexistent static field on an *internal*
+    /// library class — resolved only at execution time, where Java 9-style
+    /// encapsulation and ordinary field resolution report different traps.
+    AccessInternalStatic,
+    /// Prepend a `label: goto label` infinite loop (budget-exhaustion bait).
+    InsertForeverLoop,
+    /// Delete one exception-handler clause (caught becomes uncaught).
+    DeleteCatchClause,
     // --- fault injection (not part of the 129) ---------------------------------
     /// Unconditionally panic. Never registered by [`crate::registry`]; the
     /// campaign engine appends it on request as a containment self-test
@@ -261,6 +287,38 @@ fn pick_method_with_body(
 
 fn pick_field(class: &mut IrClass, ctx: &mut MutationCtx<'_>) -> Result<usize, MutationError> {
     ctx.index(class.fields.len()).ok_or(na("no fields"))
+}
+
+/// Prefers the entrypoint (`main` with a body) so execution-phase rewrites
+/// actually run; falls back to any method with a body.
+fn pick_entry_or_body(
+    class: &mut IrClass,
+    ctx: &mut MutationCtx<'_>,
+) -> Result<usize, MutationError> {
+    if let Some(i) = class
+        .methods
+        .iter()
+        .position(|m| m.name == "main" && m.body.is_some())
+    {
+        return Ok(i);
+    }
+    pick_method_with_body(class, ctx)
+}
+
+/// `(method index, statement index)` pairs in methods with bodies whose
+/// statement satisfies `want`.
+fn stmt_sites(class: &IrClass, want: impl Fn(&Stmt) -> bool) -> Vec<(usize, usize)> {
+    let mut sites = Vec::new();
+    for (i, m) in class.methods.iter().enumerate() {
+        if let Some(body) = &m.body {
+            for (j, s) in body.stmts.iter().enumerate() {
+                if want(s) {
+                    sites.push((i, j));
+                }
+            }
+        }
+    }
+    sites
 }
 
 #[allow(clippy::too_many_lines)]
@@ -712,6 +770,165 @@ fn apply_op(
             if body.stmts.len() == before {
                 return Err(na("no return statements"));
             }
+        }
+        // --- execution-phase body rewrites -----------------------------------------
+        MutOp::CommuteBinOp => {
+            let sites = stmt_sites(class, |s| {
+                matches!(
+                    s,
+                    Stmt::Assign {
+                        value: Expr::BinOp(
+                            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor,
+                            JType::Int | JType::Long,
+                            _,
+                            _,
+                        ),
+                        ..
+                    }
+                )
+            });
+            let (i, j) = *ctx
+                .pick(&sites)
+                .ok_or(na("no commutative int/long operation"))?;
+            let body = class.methods[i].body.as_mut().expect("site has a body");
+            if let Stmt::Assign {
+                value: Expr::BinOp(_, _, a, b),
+                ..
+            } = &mut body.stmts[j]
+            {
+                std::mem::swap(a, b);
+            }
+        }
+        MutOp::DuplicateCatchClause => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.body.as_ref().is_some_and(|b| !b.catches.is_empty()))
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no exception handlers"))?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.catches.len()).expect("non-empty");
+            let dup = body.catches[j].clone();
+            body.catches.push(dup);
+        }
+        MutOp::FlipArithOp => {
+            let sites = stmt_sites(class, |s| {
+                matches!(
+                    s,
+                    Stmt::Assign {
+                        value: Expr::BinOp(op, _, _, _),
+                        ..
+                    } if !matches!(op, BinOp::Cmp)
+                )
+            });
+            let (i, j) = *ctx.pick(&sites).ok_or(na("no binary operation"))?;
+            let body = class.methods[i].body.as_mut().expect("site has a body");
+            if let Stmt::Assign {
+                value: Expr::BinOp(op, _, _, _),
+                ..
+            } = &mut body.stmts[j]
+            {
+                *op = match *op {
+                    BinOp::Add => BinOp::Sub,
+                    BinOp::Sub => BinOp::Add,
+                    BinOp::Mul => BinOp::Add,
+                    BinOp::Div => BinOp::Rem,
+                    BinOp::Rem => BinOp::Div,
+                    BinOp::And => BinOp::Or,
+                    BinOp::Or => BinOp::Xor,
+                    BinOp::Xor => BinOp::And,
+                    BinOp::Shl => BinOp::Shr,
+                    BinOp::Shr => BinOp::Ushr,
+                    BinOp::Ushr => BinOp::Shl,
+                    BinOp::Cmp => BinOp::Cmp,
+                };
+            }
+        }
+        MutOp::FlipBranchCond => {
+            let sites = stmt_sites(class, |s| matches!(s, Stmt::If { .. }));
+            let (i, j) = *ctx.pick(&sites).ok_or(na("no conditional branch"))?;
+            let body = class.methods[i].body.as_mut().expect("site has a body");
+            if let Stmt::If { op, .. } = &mut body.stmts[j] {
+                *op = match *op {
+                    CondOp::Eq => CondOp::Ne,
+                    CondOp::Ne => CondOp::Eq,
+                    CondOp::Lt => CondOp::Ge,
+                    CondOp::Ge => CondOp::Lt,
+                    CondOp::Gt => CondOp::Le,
+                    CondOp::Le => CondOp::Gt,
+                };
+            }
+        }
+        MutOp::ZeroDivisor => {
+            let sites = stmt_sites(class, |s| {
+                matches!(
+                    s,
+                    Stmt::Assign {
+                        value: Expr::BinOp(BinOp::Div | BinOp::Rem, JType::Int | JType::Long, _, _),
+                        ..
+                    }
+                )
+            });
+            let (i, j) = *ctx.pick(&sites).ok_or(na("no integral division"))?;
+            let body = class.methods[i].body.as_mut().expect("site has a body");
+            if let Stmt::Assign {
+                value: Expr::BinOp(_, ty, _, b),
+                ..
+            } = &mut body.stmts[j]
+            {
+                *b = match ty {
+                    JType::Long => Value::Const(Const::Long(0)),
+                    _ => Value::int(0),
+                };
+            }
+        }
+        MutOp::AccessInternalStatic => {
+            let i = pick_entry_or_body(class, ctx)?;
+            let name = ctx.fresh_name("$probe");
+            let body = class.methods[i].body.as_mut().expect("has body");
+            body.declare(name.clone(), JType::jobject());
+            body.stmts.insert(
+                0,
+                Stmt::Assign {
+                    target: Target::Local(name),
+                    value: Expr::StaticField(
+                        "sun/misc/Unsafe".into(),
+                        "theUnsafe".into(),
+                        JType::jobject(),
+                    ),
+                },
+            );
+        }
+        MutOp::InsertForeverLoop => {
+            let i = pick_entry_or_body(class, ctx)?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let fresh = Label(
+                body.stmts
+                    .iter()
+                    .filter_map(|s| match s {
+                        Stmt::Label(l) => Some(l.0),
+                        _ => None,
+                    })
+                    .max()
+                    .map_or(0, |m| m + 1),
+            );
+            body.stmts.insert(0, Stmt::Goto(fresh));
+            body.stmts.insert(0, Stmt::Label(fresh));
+        }
+        MutOp::DeleteCatchClause => {
+            let candidates: Vec<usize> = class
+                .methods
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.body.as_ref().is_some_and(|b| !b.catches.is_empty()))
+                .map(|(i, _)| i)
+                .collect();
+            let i = *ctx.pick(&candidates).ok_or(na("no exception handlers"))?;
+            let body = class.methods[i].body.as_mut().expect("has body");
+            let j = ctx.index(body.catches.len()).expect("non-empty");
+            body.catches.remove(j);
         }
         MutOp::ChaosPanic => {
             panic!("chaos mutator: injected panic (containment self-test)")

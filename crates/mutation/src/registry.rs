@@ -22,6 +22,75 @@ impl Registry {
     }
 }
 
+/// The execution-phase body mutators behind `fuzz --exec-diff` — NOT part
+/// of the paper's 129 (which target the *startup* pipeline). Listed
+/// preserving-first; `(name, op, preserving)`.
+fn exec_ops() -> Vec<(&'static str, MutOp, bool)> {
+    vec![
+        (
+            "exec: commute int/long binary operands (preserving)",
+            MutOp::CommuteBinOp,
+            true,
+        ),
+        (
+            "exec: duplicate a catch clause (preserving)",
+            MutOp::DuplicateCatchClause,
+            true,
+        ),
+        ("exec: flip arithmetic operator", MutOp::FlipArithOp, false),
+        ("exec: flip branch condition", MutOp::FlipBranchCond, false),
+        ("exec: zero a divisor", MutOp::ZeroDivisor, false),
+        (
+            "exec: read a static off an internal class",
+            MutOp::AccessInternalStatic,
+            false,
+        ),
+        (
+            "exec: insert goto-self infinite loop",
+            MutOp::InsertForeverLoop,
+            false,
+        ),
+        (
+            "exec: delete a catch clause",
+            MutOp::DeleteCatchClause,
+            false,
+        ),
+    ]
+}
+
+fn exec_set(first_id: usize, filter: Option<bool>) -> Vec<Mutator> {
+    exec_ops()
+        .into_iter()
+        .filter(|(_, _, preserving)| filter.is_none_or(|want| *preserving == want))
+        .enumerate()
+        .map(|(offset, (name, op, _))| Mutator {
+            id: first_id + offset,
+            name: name.to_string(),
+            target: MutTarget::Stmt,
+            op,
+        })
+        .collect()
+}
+
+/// All execution-phase body mutators, ids starting at `first_id` (the
+/// campaign engine passes `all_mutators().len()` so MCMC statistics stay
+/// densely indexed).
+pub fn exec_mutators(first_id: usize) -> Vec<Mutator> {
+    exec_set(first_id, None)
+}
+
+/// Only the semantics-preserving execution-phase mutators — the subset the
+/// differential proptests (`tests/exec_diff.rs`) hold to "never produces an
+/// execution discrepancy".
+pub fn exec_preserving_mutators(first_id: usize) -> Vec<Mutator> {
+    exec_set(first_id, Some(true))
+}
+
+/// Only the semantics-breaking execution-phase mutators.
+pub fn exec_breaking_mutators(first_id: usize) -> Vec<Mutator> {
+    exec_set(first_id, Some(false))
+}
+
 /// Builds the full mutator set. The returned vector is stable: ids equal
 /// indices, and the composition never changes at runtime.
 pub fn all_mutators() -> Vec<Mutator> {

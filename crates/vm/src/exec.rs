@@ -1,0 +1,260 @@
+//! Execution-phase verdicts: the normalized result of running `main` to
+//! completion, differenced across profiles by `fuzz --exec-diff`.
+//!
+//! The startup matrix (§2.3's five phase digits) stops at "normally
+//! invoked"; an [`ExecOutcome`] is the second differencing component layered
+//! on top, in the style of classming/CrossLangFuzzer. It is a pure
+//! *normalization* of [`Outcome`] — no new execution happens here — so the
+//! startup digits of existing snapshots stay bit-identical.
+//!
+//! Normalization rules (DESIGN.md §13):
+//! - completed runs compare by stdout transcript, with heap identity tokens
+//!   (`demo.A@7`, `[Array@3`) scrubbed to `@obj` — real VMs embed
+//!   nondeterministic addresses there;
+//! - uncaught user/library exceptions compare by exception *class* only
+//!   (messages and backtraces are vendor prose);
+//! - specified runtime traps compare by [`JvmErrorKind`];
+//! - budget exhaustion is its own verdict ([`ExecOutcome::Timeout`]), made
+//!   replay-stable by the deterministic step budget;
+//! - anything rejected before the runtime phase is [`ExecOutcome::NotExecuted`]
+//!   so execution differencing never double-counts a startup discrepancy.
+
+use crate::outcome::{JvmErrorKind, Outcome, Phase};
+use std::fmt;
+
+/// The normalized execution-phase verdict of one run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExecOutcome {
+    /// The run was rejected (or crashed) before `main` could produce an
+    /// execution result; the startup digit already tells the story.
+    NotExecuted,
+    /// `main` ran to completion; carries the normalized stdout transcript.
+    Completed {
+        /// Printed lines with heap identity tokens scrubbed.
+        stdout: Vec<String>,
+    },
+    /// A user or library exception propagated out of `main`; compared by
+    /// exception class (dotted binary name) only.
+    Threw {
+        /// Dotted class name, e.g. `java.lang.RuntimeException`.
+        class: String,
+    },
+    /// The interpreter trapped with a specified runtime error
+    /// (`ArithmeticException`, linkage errors surfacing lazily, …).
+    Trapped {
+        /// The trap's error classification.
+        kind: JvmErrorKind,
+    },
+    /// Execution exhausted the deterministic step budget — the contained
+    /// form of nontermination, as `run_contained` is the contained form of
+    /// a panic.
+    Timeout,
+    /// The VM implementation itself crashed while running `main`.
+    VmCrashed,
+}
+
+impl ExecOutcome {
+    /// Normalizes a startup [`Outcome`] into its execution verdict.
+    pub fn of(outcome: &Outcome) -> ExecOutcome {
+        match outcome {
+            Outcome::Invoked { stdout } => ExecOutcome::Completed {
+                stdout: stdout.iter().map(|l| scrub_heap_ids(l)).collect(),
+            },
+            Outcome::Crashed { phase, .. } => {
+                if *phase == Phase::Runtime {
+                    ExecOutcome::VmCrashed
+                } else {
+                    ExecOutcome::NotExecuted
+                }
+            }
+            Outcome::Rejected { phase, error } => {
+                if *phase != Phase::Runtime {
+                    return ExecOutcome::NotExecuted;
+                }
+                match error.kind {
+                    JvmErrorKind::ExecutionBudgetExceeded => ExecOutcome::Timeout,
+                    JvmErrorKind::UncaughtException => ExecOutcome::Threw {
+                        class: uncaught_class(&error.message),
+                    },
+                    kind => ExecOutcome::Trapped { kind },
+                }
+            }
+        }
+    }
+
+    /// A compact single token for encoded execution keys, the execution
+    /// analogue of the startup phase digit: one of `-`, `ok:<hash>`,
+    /// `throw:<class>`, `trap:<kind>`, `budget`, `crash`. Tokens never
+    /// contain `|`, the key separator.
+    pub fn token(&self) -> String {
+        match self {
+            ExecOutcome::NotExecuted => "-".into(),
+            ExecOutcome::Completed { stdout } => {
+                let mut h = Fnv64::new();
+                for line in stdout {
+                    h.write(line.as_bytes());
+                    h.write(b"\n");
+                }
+                format!("ok:{:08x}", h.finish() as u32)
+            }
+            ExecOutcome::Threw { class } => format!("throw:{class}"),
+            ExecOutcome::Trapped { kind } => format!("trap:{kind:?}"),
+            ExecOutcome::Timeout => "budget".into(),
+            ExecOutcome::VmCrashed => "crash".into(),
+        }
+    }
+}
+
+impl fmt::Display for ExecOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// Scrubs heap identity tokens from a rendered line: any `@` followed by a
+/// digit run (the interpreter's `Class@7` / `[Array@3` renderings) becomes
+/// `@obj`, the way real-JVM differencing must ignore object addresses.
+fn scrub_heap_ids(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'@' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+            out.push_str("@obj");
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        } else {
+            let ch = line[i..].chars().next().unwrap_or('\u{FFFD}');
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+/// Extracts the dotted exception class from the launcher's uncaught-handler
+/// message, `Exception in thread "main" <class>: <message>`.
+fn uncaught_class(message: &str) -> String {
+    let rest = message
+        .strip_prefix("Exception in thread \"main\" ")
+        .unwrap_or(message);
+    let class = rest.split(':').next().unwrap_or(rest).trim();
+    if class.is_empty() {
+        "java.lang.Throwable".into()
+    } else {
+        class.to_string()
+    }
+}
+
+/// FNV-1a 64-bit, dependency-free; only used to condense stdout transcripts
+/// into key tokens.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completed_runs_scrub_heap_ids_but_keep_text() {
+        let out = Outcome::Invoked {
+            stdout: vec!["demo.A@7".into(), "[Array@13".into(), "x@y 1@2a".into()],
+        };
+        let exec = ExecOutcome::of(&out);
+        assert_eq!(
+            exec,
+            ExecOutcome::Completed {
+                stdout: vec![
+                    "demo.A@obj".into(),
+                    "[Array@obj".into(),
+                    "x@y 1@obja".into()
+                ],
+            }
+        );
+        // Two runs differing only in heap ids normalize identically.
+        let other = Outcome::Invoked {
+            stdout: vec!["demo.A@8".into(), "[Array@2".into(), "x@y 1@9a".into()],
+        };
+        assert_eq!(exec.token(), ExecOutcome::of(&other).token());
+    }
+
+    #[test]
+    fn uncaught_exceptions_compare_by_class_only() {
+        let a = Outcome::rejected(
+            Phase::Runtime,
+            JvmErrorKind::UncaughtException,
+            "Exception in thread \"main\" java.lang.RuntimeException: boom at 0x1",
+        );
+        let b = Outcome::rejected(
+            Phase::Runtime,
+            JvmErrorKind::UncaughtException,
+            "Exception in thread \"main\" java.lang.RuntimeException: other text",
+        );
+        assert_eq!(ExecOutcome::of(&a), ExecOutcome::of(&b));
+        assert_eq!(
+            ExecOutcome::of(&a),
+            ExecOutcome::Threw {
+                class: "java.lang.RuntimeException".into()
+            }
+        );
+        assert_eq!(
+            ExecOutcome::of(&a).token(),
+            "throw:java.lang.RuntimeException"
+        );
+    }
+
+    #[test]
+    fn traps_timeouts_and_crashes_have_distinct_tokens() {
+        let trap = Outcome::rejected(
+            Phase::Runtime,
+            JvmErrorKind::ArithmeticException,
+            "/ by zero",
+        );
+        let budget = Outcome::rejected(
+            Phase::Runtime,
+            JvmErrorKind::ExecutionBudgetExceeded,
+            "main exceeded the step budget",
+        );
+        let crash = Outcome::crashed(Phase::Runtime, "boom");
+        assert_eq!(ExecOutcome::of(&trap).token(), "trap:ArithmeticException");
+        assert_eq!(ExecOutcome::of(&budget), ExecOutcome::Timeout);
+        assert_eq!(ExecOutcome::of(&budget).token(), "budget");
+        assert_eq!(ExecOutcome::of(&crash), ExecOutcome::VmCrashed);
+    }
+
+    #[test]
+    fn pre_runtime_rejections_are_not_executed() {
+        for phase in [Phase::Loading, Phase::Linking, Phase::Initializing] {
+            let out = Outcome::rejected(phase, JvmErrorKind::VerifyError, "x");
+            assert_eq!(ExecOutcome::of(&out), ExecOutcome::NotExecuted);
+            assert_eq!(ExecOutcome::of(&out).token(), "-");
+        }
+        let early_crash = Outcome::crashed(Phase::Linking, "boom");
+        assert_eq!(ExecOutcome::of(&early_crash), ExecOutcome::NotExecuted);
+    }
+
+    #[test]
+    fn different_traps_get_different_tokens() {
+        let a = Outcome::rejected(Phase::Runtime, JvmErrorKind::IllegalAccessError, "x");
+        let b = Outcome::rejected(Phase::Runtime, JvmErrorKind::NoSuchFieldError, "x");
+        assert_ne!(ExecOutcome::of(&a).token(), ExecOutcome::of(&b).token());
+    }
+}

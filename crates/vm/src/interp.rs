@@ -153,6 +153,15 @@ impl<'a> Machine<'a> {
         m
     }
 
+    /// Fuel consumed so far: one unit per dispatched instruction,
+    /// machine-global across `<clinit>`, `main`, and every nested invoke.
+    /// After a [`ExecError::BudgetExceeded`] this is exactly
+    /// `step_budget + 1` — the charge that tripped the limit — on every
+    /// profile, which is what makes `Timeout` verdicts replay-stable.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
     fn alloc(&mut self, obj: Obj) -> usize {
         self.heap.push(obj);
         self.heap.len() - 1
@@ -321,6 +330,16 @@ impl<'a> Machine<'a> {
 
         let mut idx = 0usize;
         loop {
+            // Fuel invariant: this loop head is the ONLY place fuel is
+            // charged, and every control transfer — backward branches,
+            // switch targets, exception-handler dispatch (`rt_throw!` and
+            // the Uncaught arms below), and returns from nested `execute`
+            // calls (which run this same loop on the shared machine-global
+            // counter) — flows back through it before the next instruction
+            // dispatches. One charge per dispatched instruction therefore
+            // covers every backward branch and every invoke; no code path
+            // can execute without paying. `tests/interp_conformance.rs`
+            // pins this with a `goto`-only loop.
             self.steps += 1;
             if probe_branch!(cov, self.steps > self.spec.step_budget) {
                 return Err(ExecError::BudgetExceeded);

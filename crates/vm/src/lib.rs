@@ -28,6 +28,7 @@
 
 pub mod containment;
 pub mod cov;
+pub mod exec;
 pub mod interp;
 pub mod library;
 pub mod linker;
@@ -40,6 +41,7 @@ pub mod world;
 
 pub use containment::run_contained;
 pub use cov::Cov;
+pub use exec::ExecOutcome;
 pub use library::shared_library;
 pub use outcome::{JvmError, JvmErrorKind, Outcome, Phase};
 pub use spec::{FinalSuperError, JreGeneration, Vendor, VmSpec};

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Bench-smoke gate: runs the three gated benchmark scenarios on fixed
+# Bench-smoke gate: runs the four gated benchmark scenarios on fixed
 # seeds and fails CI on regression. Extra flags pass through to covbench
 # for every scenario (e.g. --repeats 3).
 #
@@ -36,6 +36,15 @@
 #     the cold path, or exceed the committed count by more than 20%
 #     (counted by the covbench binary's counting global allocator).
 #
+# Scenario `exec` — the --exec-diff observer's cost on top of a
+# startup-only five-VM evaluation of the same pinned batch
+# (crates/bench/src/execbench.rs) → BENCH_exec.json. Fails when
+#
+#   * the differencing path's throughput regresses more than 20% against
+#     the committed BENCH_exec.baseline.json, or
+#   * the in-run exec-vs-startup overhead ratio drops below 0.5 —
+#     execution differencing may at most double the evaluation cost.
+#
 # Timings are medians over repeated runs so one scheduler hiccup cannot
 # fail CI; the committed baselines are deliberately pessimistic (see
 # their "_note" fields).
@@ -64,4 +73,12 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --baseline BENCH_mutate.baseline.json \
     --max-regression 1.2 \
     --min-speedup 2.0 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario exec \
+    --out BENCH_exec.json \
+    --baseline BENCH_exec.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 0.5 \
     "$@"

@@ -20,10 +20,12 @@ cargo test -q --test no_panic
 cargo clippy --workspace --all-targets -- -D warnings
 # No new panic sites in the hot-path crates (classfile/vm/core).
 sh scripts/panic_gate.sh
-# Bench smoke, all three scenarios: the coverage hot-path microbenchmarks
+# Bench smoke, all four scenarios: the coverage hot-path microbenchmarks
 # vs. BENCH_coverage.baseline.json (20% budget + 5x speedup floor), the
 # end-to-end harness batch vs. BENCH_harness.baseline.json (20% budget +
-# 2x shared-vs-cold and shared-vs-old-path floors), and the mutate hot
+# 2x shared-vs-cold and shared-vs-old-path floors), the mutate hot
 # loop vs. BENCH_mutate.baseline.json (20% budget + 2x scratch-vs-cold
-# floor + allocation-count ceiling).
+# floor + allocation-count ceiling), and the --exec-diff observer vs.
+# BENCH_exec.baseline.json (20% budget + 0.5 exec-vs-startup ratio
+# floor).
 sh scripts/bench_gate.sh
