@@ -14,9 +14,13 @@
 //! * `--scenario exec`: the `--exec-diff` observer's overhead on top of a
 //!   startup-only five-VM evaluation (`classfuzz_bench::execbench`) →
 //!   `BENCH_exec.json`.
+//! * `--scenario scale`: async-engine shard scaling plus the fixed-budget
+//!   async-vs-lockstep discrepancy cross-check
+//!   (`classfuzz_bench::scalebench`) → `BENCH_scale.json`. Single-core
+//!   machines assert no-regression vs lockstep instead of a speedup floor.
 //!
 //! ```text
-//! covbench [--scenario coverage|harness|mutate|exec] [--out PATH]
+//! covbench [--scenario coverage|harness|mutate|exec|scale] [--out PATH]
 //!          [--baseline PATH] [--suite-size N] [--repeats N]
 //!          [--max-regression X] [--min-speedup X]
 //! ```
@@ -28,6 +32,7 @@ use classfuzz_bench::covbench::{check_report, run_coverage_bench};
 use classfuzz_bench::execbench::{check_exec_report, run_exec_bench};
 use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
 use classfuzz_bench::mutatebench::{check_mutate_report, run_mutate_bench};
+use classfuzz_bench::scalebench::{check_scale_report, run_scale_bench};
 
 /// The mutate scenario's allocation counts come from here; registered only
 /// in this binary so library tests stay on the plain system allocator.
@@ -40,6 +45,7 @@ enum Scenario {
     Harness,
     Mutate,
     Exec,
+    Scale,
 }
 
 struct Options {
@@ -56,13 +62,15 @@ impl Options {
     /// The machine-independent speedup floor: explicit flag, or the
     /// scenario's default (coverage: bitset-vs-baseline ≥5×; harness:
     /// shared-vs-cold ≥2×; mutate: scratch-vs-cold ≥2×; exec:
-    /// exec-vs-startup overhead ratio ≥0.5).
+    /// exec-vs-startup overhead ratio ≥0.5; scale: async shard-scaling
+    /// ≥1.5× — applied only where 2+ cores exist).
     fn speedup_floor(&self) -> f64 {
         self.min_speedup.unwrap_or(match self.scenario {
             Scenario::Coverage => 5.0,
             Scenario::Harness => 2.0,
             Scenario::Mutate => 2.0,
             Scenario::Exec => 0.5,
+            Scenario::Scale => 1.5,
         })
     }
 
@@ -75,6 +83,7 @@ impl Options {
             (None, Scenario::Harness) => Some("BENCH_harness.json".to_string()),
             (None, Scenario::Mutate) => Some("BENCH_mutate.json".to_string()),
             (None, Scenario::Exec) => Some("BENCH_exec.json".to_string()),
+            (None, Scenario::Scale) => Some("BENCH_scale.json".to_string()),
         }
     }
 }
@@ -99,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
                     "harness" => Scenario::Harness,
                     "mutate" => Scenario::Mutate,
                     "exec" => Scenario::Exec,
+                    "scale" => Scenario::Scale,
                     other => return Err(format!("unknown scenario {other}")),
                 }
             }
@@ -192,6 +202,26 @@ fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<
             let summary = format!(
                 "exec overhead ratio {:.2}, budget {:.2}x",
                 report.exec_overhead_ratio, options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Scale => {
+            eprintln!("covbench: scenario=scale repeats={} ...", options.repeats);
+            let report = run_scale_bench(options.repeats);
+            let failures = baseline_json
+                .map(|json| check_scale_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "scaling {:.2}x at {} shards ({} cores), crosscheck {}, budget {:.2}x",
+                report.scaling_ratio,
+                report.shards,
+                report.cores,
+                if report.crosscheck_pass == 1.0 {
+                    "pass"
+                } else {
+                    "FAIL"
+                },
+                options.max_regression
             );
             (report.to_json(), failures, summary)
         }

@@ -12,6 +12,7 @@ pub mod covbench;
 pub mod execbench;
 pub mod harnessbench;
 pub mod mutatebench;
+pub mod scalebench;
 
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};
 use classfuzz_core::diff::DifferentialHarness;

@@ -13,7 +13,8 @@ commands:
   diff   <file.class>                 run on all five profiles
   fuzz   [--seeds N] [--iterations N] [--rng-seed S]
          [--criterion st|stbr|tr] [--jobs N] [--out DIR] [--crash-dir DIR]
-         [--exec-diff]                also difference execution outcomes
+         [--engine async|lockstep]   free-running shards / deterministic rounds
+         [--exec-diff]               also difference execution outcomes
   reduce <file.class> [--out FILE]    minimize a discrepancy or crash trigger
   seeds  --out DIR [--count N] [--rng-seed S]
                                       write a seed corpus as .class files

@@ -7,7 +7,7 @@
 //! classfuzz diff   <file.class>                  run on all five profiles
 //! classfuzz fuzz   [--seeds N] [--iterations N] [--rng-seed S]
 //!                  [--criterion st|stbr|tr] [--jobs N] [--out DIR]
-//!                  [--crash-dir DIR] [--exec-diff]
+//!                  [--crash-dir DIR] [--engine async|lockstep] [--exec-diff]
 //!                                                Algorithm 1 campaign;
 //!                                                discrepancy triggers are
 //!                                                written to DIR as .class,
@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use classfuzz_core::diff::DifferentialHarness;
-use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig};
+use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig, Schedule};
 use classfuzz_core::seeds::SeedCorpus;
 use classfuzz_coverage::UniquenessCriterion;
 use classfuzz_jimple::{
@@ -160,16 +160,30 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
     if jobs == 0 {
         return Err("--jobs expects at least 1".to_string());
     }
+    let schedule = match parsed.flag("engine").unwrap_or("lockstep") {
+        "lockstep" => Schedule::Lockstep,
+        "async" => Schedule::Async,
+        other => return Err(format!("unknown engine {other:?} (async|lockstep)")),
+    };
     let out_dir = parsed.flag("out").map(PathBuf::from);
     let crash_dir = parsed.flag("crash-dir").map(PathBuf::from);
     let exec_diff = parsed.flag_bool("exec-diff");
 
     let corpus = SeedCorpus::generate(seeds, rng_seed).into_classes();
     eprintln!(
-        "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, {jobs} job(s){}",
+        "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, \
+         {jobs} job(s), {schedule} engine{}",
         if exec_diff { ", exec differencing" } else { "" }
     );
-    let mut config = CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed);
+    let mut config = CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed)
+        .with_schedule(schedule);
+    // Output directories are created once, up front — a campaign must
+    // never die (or lose entries) to a directory race inside the
+    // per-discrepancy reporting loop.
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
     if let Some(dir) = &crash_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
@@ -206,10 +220,11 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
             crashing += 1;
             println!("vm crash: encoded {vector} (test class {n})");
             if let Some(dir) = &crash_dir {
-                let file = dir.join(format!("diff_{crashing:04}_{}.class", vector.key()));
-                std::fs::write(&file, generated.bytes.as_slice())
-                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
-                println!("  written to {}", file.display());
+                if let Some(file) =
+                    persist_corpus_entry(dir, "diff", crashing, &vector.key(), &generated.bytes)
+                {
+                    println!("  written to {}", file.display());
+                }
             }
         }
         if !vector.is_discrepancy() {
@@ -218,12 +233,11 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
         found += 1;
         println!("discrepancy #{found}: encoded {vector} (test class {n})");
         if let Some(dir) = &out_dir {
-            std::fs::create_dir_all(dir)
-                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-            let file = dir.join(format!("trigger_{found:04}_{}.class", vector.key()));
-            std::fs::write(&file, generated.bytes.as_slice())
-                .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
-            println!("  written to {}", file.display());
+            if let Some(file) =
+                persist_corpus_entry(dir, "trigger", found, &vector.key(), &generated.bytes)
+            {
+                println!("  written to {}", file.display());
+            }
         }
     }
     println!(
@@ -243,12 +257,15 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
                 report.startup_key, report.exec_key
             );
             if let Some(dir) = &out_dir {
-                std::fs::create_dir_all(dir)
-                    .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-                let file = dir.join(format!("exec_{exec_found:04}_{}.class", report.startup_key));
-                std::fs::write(&file, result.gen_classes[report.gen_index].bytes.as_slice())
-                    .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
-                println!("  written to {}", file.display());
+                if let Some(file) = persist_corpus_entry(
+                    dir,
+                    "exec",
+                    exec_found,
+                    &report.startup_key,
+                    &result.gen_classes[report.gen_index].bytes,
+                ) {
+                    println!("  written to {}", file.display());
+                }
             }
         }
         println!(
@@ -259,17 +276,68 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Best-effort, collision-safe corpus write: claims
+/// `{prefix}_{NNNN}_{tag}.class` with `create_new`, bumping the index past
+/// files left by earlier runs, so re-running a campaign into a populated
+/// directory appends instead of overwriting. Failures are warnings — a
+/// lost corpus entry must never lose the campaign report.
+fn persist_corpus_entry(
+    dir: &Path,
+    prefix: &str,
+    index: usize,
+    tag: &str,
+    bytes: &[u8],
+) -> Option<PathBuf> {
+    use std::io::Write as _;
+    let mut idx = index;
+    loop {
+        let file = dir.join(format!("{prefix}_{idx:04}_{tag}.class"));
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&file)
+        {
+            Ok(mut f) => match f.write_all(bytes) {
+                Ok(()) => return Some(file),
+                Err(e) => {
+                    eprintln!("warning: cannot write {}: {e}", file.display());
+                    return None;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => idx += 1,
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", file.display());
+                return None;
+            }
+        }
+    }
+}
+
 fn seeds(parsed: &Parsed) -> Result<(), String> {
     let count: usize = parsed.flag_parse("count", 50)?;
     let rng_seed: u64 = parsed.flag_parse("rng-seed", 20160613)?;
     let dir = PathBuf::from(parsed.flag("out").ok_or("seeds needs --out DIR")?);
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let corpus = SeedCorpus::generate(count, rng_seed);
+    // Filenames come from the *full* class name (`/` → `_`), so two seeds
+    // whose names differ only by package cannot collapse into one file;
+    // the distinct-name check turns any residual collision into an error
+    // instead of a silently smaller corpus.
+    let mut names = std::collections::BTreeSet::new();
     for (class, bytes) in corpus.classes().iter().zip(corpus.to_bytes()) {
-        let simple = class.name.rsplit('/').next().unwrap_or("Seed");
-        let file = dir.join(format!("{simple}.class"));
+        let name = format!("{}.class", class.name.replace('/', "_"));
+        names.insert(name.clone());
+        let file = dir.join(name);
         std::fs::write(&file, bytes)
             .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    }
+    if names.len() != corpus.classes().len() {
+        return Err(format!(
+            "seed filename collision: {} classes mapped to {} files in {}",
+            corpus.classes().len(),
+            names.len(),
+            dir.display()
+        ));
     }
     println!("wrote {count} seed classfiles to {}", dir.display());
     Ok(())

@@ -36,6 +36,33 @@ use rand::{Rng, SeedableRng};
 
 use crate::diff::{DifferentialHarness, ExecDiscrepancy};
 
+mod async_mode;
+
+/// How a parallel campaign schedules its worker shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Lockstep rounds with a coordinator barrier: deterministic for a
+    /// fixed `(config, num_shards)`, bit-identical to the sequential
+    /// engine at one shard. The replay/CI oracle.
+    #[default]
+    Lockstep,
+    /// Free-running shards over shared atomic acceptance state: no round
+    /// barrier, so throughput scales with cores, but multi-shard runs are
+    /// nondeterministic (acceptance order depends on thread interleaving).
+    /// A one-shard async run still replays the sequential campaign — see
+    /// DESIGN.md, "Free-running async campaign scheduler".
+    Async,
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Schedule::Lockstep => "lockstep",
+            Schedule::Async => "async",
+        })
+    }
+}
+
 /// Which fuzzing algorithm a campaign runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
@@ -109,6 +136,16 @@ pub struct CampaignConfig {
     /// [`ExecReport`] per acceptance. Off by default — the startup matrix
     /// and all its snapshots are bit-identical with this disabled.
     pub exec_diff: bool,
+    /// Scheduling discipline for [`run_campaign_parallel`]: deterministic
+    /// lockstep rounds (the default) or the free-running async engine.
+    /// Ignored by the sequential [`run_campaign`].
+    pub schedule: Schedule,
+    /// Fault-injection self-test hook for the async engine: the named
+    /// shard panics *outside* the per-iteration containment right after
+    /// its setup, exercising the ShardDied last-gasp protocol without a
+    /// mutator in the loop. Ignored by the lockstep engine (which has its
+    /// own coverage via channel-teardown tests).
+    pub inject_shard_death: Option<usize>,
 }
 
 impl CampaignConfig {
@@ -122,7 +159,21 @@ impl CampaignConfig {
             crash_dir: None,
             inject_panic_mutator: false,
             exec_diff: false,
+            schedule: Schedule::default(),
+            inject_shard_death: None,
         }
+    }
+
+    /// Select the parallel scheduling discipline.
+    pub fn with_schedule(mut self, schedule: Schedule) -> CampaignConfig {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Make the named shard die outside containment (async self-test).
+    pub fn with_shard_death_injection(mut self, shard_id: usize) -> CampaignConfig {
+        self.inject_shard_death = Some(shard_id);
+        self
     }
 
     /// Persist crash-corpus entries under `dir`.
@@ -458,11 +509,33 @@ fn record_crash(crashes: &mut Vec<CrashRecord>, crash_dir: Option<&Path>, record
 /// Best-effort crash-corpus write: `crash_NNNN_<site>.class` holds the
 /// offending bytes, the matching `.txt` the panic description. Failures go
 /// to stderr — losing a corpus entry must never lose the campaign.
+///
+/// Collision-safe: the classfile is claimed with `create_new`, bumping to
+/// the next free index when `crash_{index:04}` already exists, so
+/// re-running a campaign into a populated `--crash-dir` appends after the
+/// previous run's reproducers instead of overwriting them. In a fresh
+/// directory the claimed index is always `index` itself, which keeps
+/// filenames bit-identical with earlier releases.
 fn persist_crash(dir: &Path, index: usize, record: &CrashRecord) {
-    let stem = format!("crash_{index:04}_{}", record.site.label());
+    use std::io::Write as _;
     let write = || -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join(format!("{stem}.class")), &record.bytes)?;
+        let mut idx = index;
+        let stem = loop {
+            let stem = format!("crash_{idx:04}_{}", record.site.label());
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(dir.join(format!("{stem}.class")))
+            {
+                Ok(mut file) => {
+                    file.write_all(&record.bytes)?;
+                    break stem;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => idx += 1,
+                Err(e) => return Err(e),
+            }
+        };
         let sidecar = format!(
             "shard: {}\nsite: {}\ndetail: {}\n",
             record.shard_id,
@@ -472,7 +545,11 @@ fn persist_crash(dir: &Path, index: usize, record: &CrashRecord) {
         std::fs::write(dir.join(format!("{stem}.txt")), sidecar)
     };
     if let Err(e) = write() {
-        eprintln!("warning: cannot persist {stem} to {}: {e}", dir.display());
+        eprintln!(
+            "warning: cannot persist crash_{index:04}_{} to {}: {e}",
+            record.site.label(),
+            dir.display()
+        );
     }
 }
 
@@ -843,6 +920,10 @@ struct RoundReply {
 
 /// Runs one campaign sharded across `num_shards` worker threads.
 ///
+/// When [`CampaignConfig::schedule`] is [`Schedule::Async`] this dispatches
+/// to the free-running engine (see [`Schedule`] and DESIGN.md §14);
+/// everything below describes the default lockstep discipline.
+///
 /// Each shard owns its own RNG (seeded by [`shard_rng_seed`]), its own
 /// reference [`Jvm`], selector, and mutation-pool replica; the coordinator
 /// (the calling thread) owns the global acceptance state and arbitrates
@@ -873,6 +954,9 @@ pub fn run_campaign_parallel(
     config: &CampaignConfig,
     num_shards: usize,
 ) -> Result<CampaignResult, EngineError> {
+    if config.schedule == Schedule::Async {
+        return async_mode::run_campaign_async(seeds, config, num_shards);
+    }
     let num_shards = num_shards.max(1);
     let start = Instant::now();
     let mutator_count = campaign_mutators(config).len();

@@ -1,0 +1,582 @@
+//! The free-running asynchronous campaign engine (ROADMAP item 2).
+//!
+//! Shards run unsynchronized over shared acceptance state: accepted traces
+//! are published into a global bitset by word-wise `AtomicU64::fetch_or`
+//! ([`AtomicCoverage`]), the candidate pool lives behind an `RwLock` that
+//! shards read opportunistically and append to under a short write lock,
+//! and the iteration budget is a single `fetch_add` counter — no round
+//! barrier, so the slowest candidate in flight never gates its peers.
+//!
+//! Determinism is deliberately scoped to the lockstep engine: with two or
+//! more free-running shards the acceptance *order* depends on thread
+//! interleaving, so `gen_classes` ordering and (for the uniqueness
+//! criteria) the exact accepted set may vary run to run. What is invariant
+//! is soundness: every accepted candidate was unique (or coverage-growing)
+//! relative to the accepted set at its acceptance point, because the final
+//! verdict is always taken under the index write lock (uniqueness) or
+//! through the atomic-OR publication itself (greedy), where each bit's
+//! 0→1 transition is observed by exactly one thread. A one-shard async run
+//! replays the sequential campaign bit for bit — same RNG stream, same
+//! pool contents at every pick, same acceptance sequence — which is what
+//! the replay-with-lockstep workflow in the README leans on. See
+//! DESIGN.md §14 for the full argument.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread;
+use std::time::Instant;
+
+use classfuzz_coverage::{AtomicCoverage, SuiteIndex, TraceFile, UniquenessCriterion};
+use classfuzz_jimple::{lower::LowerScratch, IrClass};
+use classfuzz_mcmc::{merge_stat_tables, AcceptanceTelemetry, MutatorStats};
+use classfuzz_mutation::Mutator;
+use classfuzz_vm::{run_contained, Jvm, VmSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::{
+    campaign_mutators, diff_execution, make_selector, needs_trace, next_candidate, record_crash,
+    seed_entries, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult, CrashRecord,
+    CrashSite, EngineError, ExecReport, GeneratedClass, PoolEntry, Produced, ShardStats,
+};
+use crate::diff::DifferentialHarness;
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    // A panicking shard is already contained as ShardDied; its poison bit
+    // must not cascade into every peer (same policy as SiteUniverse).
+    lock.read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Acceptance-path counters shared by all shards. The async engine cannot
+/// read them out of the `SuiteIndex` (shards also resolve offers on the
+/// read-lock probe and the `[tr]` lock-free fast path, which the index
+/// counters never see), so it tallies its own.
+#[derive(Debug, Default)]
+struct AsyncCounters {
+    offered: AtomicU64,
+    accepted: AtomicU64,
+    fingerprint_fast_path: AtomicU64,
+    word_compare_fallbacks: AtomicU64,
+}
+
+impl AsyncCounters {
+    fn telemetry(&self) -> AcceptanceTelemetry {
+        AcceptanceTelemetry {
+            offered: self.offered.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            fingerprint_fast_path: self.fingerprint_fast_path.load(Ordering::Relaxed),
+            word_compare_fallbacks: self.word_compare_fallbacks.load(Ordering::Relaxed),
+            exec_runs: 0,
+            exec_discrepancies: 0,
+        }
+    }
+}
+
+/// The shared acceptance state — the async counterpart of the private
+/// `Acceptance` enum, callable from any shard without a coordinator.
+enum AsyncAcceptance {
+    /// Uniqueness acceptance: the suite index behind an `RwLock`
+    /// (double-checked — read-lock probe, write-lock re-check-and-insert),
+    /// plus the accepted suite's union coverage published through
+    /// atomic-OR. The published bitset powers the `[tr]` lock-free fast
+    /// accept: a trace holding a site no accepted trace covers cannot
+    /// equal any of them, so novelty in the bitset proves uniqueness
+    /// before any lock is taken.
+    Unique {
+        criterion: UniquenessCriterion,
+        index: RwLock<SuiteIndex>,
+        published: AtomicCoverage,
+    },
+    /// Greedy acceptance is fully lock-free: `AtomicCoverage::absorb`
+    /// attributes each bit's 0→1 transition to exactly one caller, so
+    /// "did this trace grow accumulated coverage?" has a sound concurrent
+    /// answer with no lock at all.
+    Greedy(AtomicCoverage),
+    /// Randfuzz: accept everything.
+    All,
+}
+
+impl AsyncAcceptance {
+    fn new(algorithm: Algorithm) -> AsyncAcceptance {
+        let unique = |criterion| AsyncAcceptance::Unique {
+            criterion,
+            index: RwLock::new(SuiteIndex::new(criterion)),
+            published: AtomicCoverage::new(),
+        };
+        match algorithm {
+            Algorithm::Classfuzz(criterion) => unique(criterion),
+            Algorithm::Uniquefuzz => unique(UniquenessCriterion::StBr),
+            Algorithm::Greedyfuzz => AsyncAcceptance::Greedy(AtomicCoverage::new()),
+            Algorithm::Randfuzz => AsyncAcceptance::All,
+        }
+    }
+
+    /// Algorithm 1 line 1 (TestClasses ← Seeds), against the shared state.
+    /// Runs before any shard spawns, so plain sequential inserts suffice.
+    fn seed(&self, seed_pool: &[PoolEntry], reference: &Jvm, scratch: &mut TraceFile) {
+        match self {
+            AsyncAcceptance::Unique {
+                index, published, ..
+            } => {
+                let mut index = write_lock(index);
+                for seed in seed_pool {
+                    reference.run_traced_into(&seed.bytes, scratch);
+                    index.insert(scratch);
+                    published.absorb(scratch);
+                }
+            }
+            AsyncAcceptance::Greedy(published) => {
+                for seed in seed_pool {
+                    reference.run_traced_into(&seed.bytes, scratch);
+                    published.absorb(scratch);
+                }
+            }
+            AsyncAcceptance::All => {}
+        }
+    }
+
+    /// The shard-side acceptance decision. Sound under concurrency: the
+    /// verdict that admits a candidate is always taken while holding the
+    /// index write lock (uniqueness) or through the atomic absorb itself
+    /// (greedy), so two shards can never both accept equal traces.
+    fn decide(&self, counters: &AsyncCounters, trace: Option<&TraceFile>, fp: Option<u64>) -> bool {
+        let (criterion, index, published) = match self {
+            AsyncAcceptance::All => return true,
+            AsyncAcceptance::Greedy(published) => {
+                return trace.is_some_and(|t| published.absorb(t));
+            }
+            AsyncAcceptance::Unique {
+                criterion,
+                index,
+                published,
+            } => (*criterion, index, published),
+        };
+        let Some(trace) = trace else {
+            return false;
+        };
+        counters.offered.fetch_add(1, Ordering::Relaxed);
+        let fp = fp.unwrap_or_else(|| trace.fingerprint());
+        // `[tr]` lock-free fast accept: a bit not yet in the published
+        // union means no accepted trace covers it, so this trace equals
+        // none of them — skip the read probe and go straight to the
+        // insert. (The write-lock insert still re-checks; the bitset only
+        // routes, it never decides.)
+        if criterion == UniquenessCriterion::Tr && published.would_grow(trace) {
+            counters
+                .fingerprint_fast_path
+                .fetch_add(1, Ordering::Relaxed);
+            return self.insert(counters, index, published, trace, fp);
+        }
+        // Double-checked acceptance, step 1: a read-only probe under the
+        // shared lock. "Not unique" is final (suite entries are never
+        // removed); "unique" must be re-checked under the write lock,
+        // because a peer may insert an equal trace between the two steps.
+        let (unique, fast) = read_lock(index).probe_with_fingerprint(trace, fp);
+        if criterion == UniquenessCriterion::Tr {
+            let path = if fast {
+                &counters.fingerprint_fast_path
+            } else {
+                &counters.word_compare_fallbacks
+            };
+            path.fetch_add(1, Ordering::Relaxed);
+        }
+        if !unique {
+            return false;
+        }
+        self.insert(counters, index, published, trace, fp)
+    }
+
+    /// Step 2: re-check and insert under the write lock, then publish the
+    /// accepted trace's bits for the fast path and the coverage report.
+    fn insert(
+        &self,
+        counters: &AsyncCounters,
+        index: &RwLock<SuiteIndex>,
+        published: &AtomicCoverage,
+        trace: &TraceFile,
+        fp: u64,
+    ) -> bool {
+        let inserted = write_lock(index).insert_if_unique_with_fingerprint(trace, fp);
+        if inserted {
+            published.absorb(trace);
+            counters.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        inserted
+    }
+}
+
+/// Everything the free-running shards share.
+struct AsyncShared<'a> {
+    config: &'a CampaignConfig,
+    seeds: &'a [IrClass],
+    /// The global candidate pool: seeds plus every accepted mutant, in
+    /// acceptance order. Writers append under a short write lock; readers
+    /// sync their local replica from `pool[local.len()..]` (the shared
+    /// pool is append-only, so a replica is always a prefix of it).
+    pool: RwLock<Vec<PoolEntry>>,
+    /// `pool.len()`, readable without the lock — shards poll this each
+    /// iteration and only take the read lock when there is news.
+    pool_len: AtomicUsize,
+    acceptance: AsyncAcceptance,
+    counters: AsyncCounters,
+    /// The shared iteration budget: each shard claims iterations with
+    /// `fetch_add(1)` until the configured total is spent. Work-stealing
+    /// by construction — a stalled shard's budget flows to its peers.
+    next_iteration: AtomicUsize,
+    /// Raised by the collector on ShardDied so free-running peers wind
+    /// down promptly instead of spending the rest of the budget on a
+    /// campaign that will error out anyway.
+    stop: AtomicBool,
+}
+
+/// What a shard streams to the collector. Unlike the lockstep `Work`, the
+/// acceptance verdict rides along — it was already decided shard-side.
+enum AsyncWork {
+    Generated {
+        class: Arc<IrClass>,
+        bytes: Arc<Vec<u8>>,
+        mutator_id: usize,
+        accepted: bool,
+        vm_crash: Option<String>,
+    },
+    NoCandidate,
+    MutatorCrash {
+        mutator_id: usize,
+        input_bytes: Vec<u8>,
+        detail: String,
+    },
+    /// Last gasp: the shard's loop died outside the contained regions.
+    ShardDied(String),
+}
+
+struct AsyncReport {
+    shard_id: usize,
+    work: AsyncWork,
+}
+
+/// One shard's free-running loop: claim an iteration, opportunistically
+/// sync the pool replica, generate (same `next_candidate` as the other
+/// engines), decide acceptance against the shared state, publish accepted
+/// entries, and stream the result to the collector. Never blocks on a
+/// peer: the only lock held across a decision is the index write lock,
+/// and the mpsc send is unbounded.
+fn shard_loop(
+    shared: &AsyncShared<'_>,
+    shard_id: usize,
+    report_tx: &mpsc::Sender<AsyncReport>,
+) -> Vec<MutatorStats> {
+    if shared.config.inject_shard_death == Some(shard_id) {
+        panic!("injected shard death (async containment self-test)");
+    }
+    let mutators: Vec<Mutator> = campaign_mutators(shared.config);
+    let mut rng = StdRng::seed_from_u64(shard_rng_seed(shared.config.rng_seed, shard_id));
+    let mut selector = make_selector(shared.config, mutators.len());
+    let reference = Jvm::new(VmSpec::hotspot9());
+    let tracing = needs_trace(shared.config.algorithm).then_some(&reference);
+    let mut scratch = TraceFile::new();
+    let mut lower = LowerScratch::new();
+    // The shard's pool replica starts at the seeds (the shared pool holds
+    // exactly those until somebody accepts) and stays a prefix-consistent
+    // copy of the shared pool from then on.
+    let mut pool: Vec<PoolEntry> = read_lock(&shared.pool).clone();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if shared.next_iteration.fetch_add(1, Ordering::Relaxed) >= shared.config.iterations {
+            break;
+        }
+        // Opportunistic replica sync: no lock unless a peer published.
+        if shared.pool_len.load(Ordering::Acquire) > pool.len() {
+            let shared_pool = read_lock(&shared.pool);
+            pool.extend(shared_pool[pool.len()..].iter().cloned());
+        }
+        let produced = next_candidate(
+            &pool,
+            shared.seeds,
+            &mutators,
+            &mut selector,
+            &mut rng,
+            tracing,
+            &mut scratch,
+            &mut lower,
+        );
+        let work = match produced {
+            Produced::NotApplicable => AsyncWork::NoCandidate,
+            Produced::MutatorCrash {
+                mutator_id,
+                input_bytes,
+                detail,
+            } => AsyncWork::MutatorCrash {
+                mutator_id,
+                input_bytes,
+                detail,
+            },
+            Produced::Candidate(cand) => {
+                let cand = *cand;
+                let accepted =
+                    shared
+                        .acceptance
+                        .decide(&shared.counters, cand.trace.as_ref(), cand.trace_fp);
+                let class = Arc::new(cand.class);
+                let bytes = Arc::new(cand.bytes);
+                if accepted {
+                    selector.record_success(cand.mutator_id);
+                    let entry = PoolEntry {
+                        class: Arc::clone(&class),
+                        bytes: Arc::clone(&bytes),
+                    };
+                    let mut shared_pool = write_lock(&shared.pool);
+                    // Sync the replica up to the shared tip first, then
+                    // append our own entry to both — the replica stays a
+                    // prefix of the shared pool, so no entry is ever
+                    // duplicated or skipped.
+                    pool.extend(shared_pool[pool.len()..].iter().cloned());
+                    shared_pool.push(entry.clone());
+                    pool.push(entry);
+                    shared.pool_len.store(shared_pool.len(), Ordering::Release);
+                }
+                AsyncWork::Generated {
+                    class,
+                    bytes,
+                    mutator_id: cand.mutator_id,
+                    accepted,
+                    vm_crash: cand.vm_crash,
+                }
+            }
+        };
+        if report_tx.send(AsyncReport { shard_id, work }).is_err() {
+            break;
+        }
+    }
+    selector.stats()
+}
+
+/// Runs one campaign across `num_shards` free-running worker threads —
+/// the [`super::Schedule::Async`] implementation behind
+/// [`super::run_campaign_parallel`].
+///
+/// The collector (the calling thread) drains the report channel as shards
+/// stream results: `gen_classes` lands in arrival order, crash records and
+/// exec-diff reports are handled exactly as in the lockstep engine, and a
+/// ShardDied last gasp raises the stop flag so peers wind down instead of
+/// wedging — then surfaces as a structured [`EngineError`] naming the
+/// shard and its iteration count at death.
+pub(super) fn run_campaign_async(
+    seeds: &[IrClass],
+    config: &CampaignConfig,
+    num_shards: usize,
+) -> Result<CampaignResult, EngineError> {
+    let num_shards = num_shards.max(1);
+    let start = Instant::now();
+    let crash_dir = config.crash_dir.as_deref();
+
+    let reference = Jvm::new(VmSpec::hotspot9());
+    let acceptance = AsyncAcceptance::new(config.algorithm);
+    let mut seed_scratch = TraceFile::new();
+    let seed_pool = seed_entries(seeds);
+    acceptance.seed(&seed_pool, &reference, &mut seed_scratch);
+    let exec_harness = config.exec_diff.then(DifferentialHarness::paper_five);
+
+    let mut gen_classes: Vec<GeneratedClass> = Vec::new();
+    let mut test_classes: Vec<usize> = Vec::new();
+    let mut crashes: Vec<CrashRecord> = Vec::new();
+    let mut exec_reports: Vec<ExecReport> = Vec::new();
+    let mut shard_stats: Vec<ShardStats> = (0..num_shards)
+        .map(|shard_id| ShardStats {
+            shard_id,
+            iterations: 0,
+            generated: 0,
+            accepted: 0,
+        })
+        .collect();
+
+    let shared = AsyncShared {
+        config,
+        seeds,
+        pool_len: AtomicUsize::new(seed_pool.len()),
+        pool: RwLock::new(seed_pool),
+        acceptance,
+        counters: AsyncCounters::default(),
+        next_iteration: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+    };
+
+    // No seeds (empty pool) or no budget: nothing to run.
+    if seeds.is_empty() || config.iterations == 0 {
+        let mutator_count = campaign_mutators(config).len();
+        return Ok(CampaignResult {
+            algorithm: config.algorithm,
+            iterations: config.iterations,
+            gen_classes,
+            test_classes,
+            mutator_stats: make_selector(config, mutator_count).stats(),
+            elapsed: start.elapsed(),
+            seed_count: seeds.len(),
+            shard_stats,
+            crashes,
+            acceptance: async_telemetry(&shared, &exec_reports),
+            exec_reports,
+        });
+    }
+
+    let mut stat_tables: Vec<Vec<MutatorStats>> = vec![Vec::new(); num_shards];
+    let mut engine_error: Option<EngineError> = None;
+    let mut last_bytes: Vec<Option<Arc<Vec<u8>>>> = vec![None; num_shards];
+    thread::scope(|scope| {
+        let (report_tx, report_rx) = mpsc::channel::<AsyncReport>();
+        let shared = &shared;
+        let mut handles = Vec::with_capacity(num_shards);
+        for shard_id in 0..num_shards {
+            let report_tx = report_tx.clone();
+            handles.push(scope.spawn(move || -> Vec<MutatorStats> {
+                // Mutation and VM startup contain their own panics; this
+                // outer containment turns anything that escapes into a
+                // ShardDied last gasp so the collector can stop the
+                // campaign diagnosably.
+                match run_contained(|| shard_loop(shared, shard_id, &report_tx)) {
+                    Ok(stats) => stats,
+                    Err(detail) => {
+                        let _ = report_tx.send(AsyncReport {
+                            shard_id,
+                            work: AsyncWork::ShardDied(detail),
+                        });
+                        Vec::new()
+                    }
+                }
+            }));
+        }
+        drop(report_tx);
+
+        // Collector: drain until every shard hangs up. Shards never wait
+        // for the collector (sends are unbounded), so draining to
+        // disconnect cannot wedge, even mid-failure.
+        for report in report_rx.iter() {
+            let AsyncReport { shard_id, work } = report;
+            if let AsyncWork::ShardDied(detail) = &work {
+                if engine_error.is_none() {
+                    engine_error = Some(EngineError {
+                        shard_id: Some(shard_id),
+                        round: shard_stats[shard_id].iterations,
+                        last_candidate: last_bytes[shard_id].take().map(|b| b.as_ref().clone()),
+                        message: format!("worker shard died outside containment: {detail}"),
+                    });
+                }
+                // Free-running peers poll this each iteration; a dead
+                // shard must not leave them burning the rest of the
+                // budget on a campaign that will error out.
+                shared.stop.store(true, Ordering::Relaxed);
+                continue;
+            }
+            shard_stats[shard_id].iterations += 1;
+            match work {
+                AsyncWork::ShardDied(_) => {} // handled above
+                AsyncWork::NoCandidate => {}
+                AsyncWork::MutatorCrash {
+                    mutator_id,
+                    input_bytes,
+                    detail,
+                } => {
+                    record_crash(
+                        &mut crashes,
+                        crash_dir,
+                        CrashRecord {
+                            shard_id,
+                            site: CrashSite::Mutator { mutator_id },
+                            bytes: input_bytes,
+                            detail,
+                        },
+                    );
+                }
+                AsyncWork::Generated {
+                    class,
+                    bytes,
+                    mutator_id,
+                    accepted,
+                    vm_crash,
+                } => {
+                    if let Some(detail) = vm_crash {
+                        record_crash(
+                            &mut crashes,
+                            crash_dir,
+                            CrashRecord {
+                                shard_id,
+                                site: CrashSite::ReferenceVm,
+                                bytes: bytes.as_ref().clone(),
+                                detail,
+                            },
+                        );
+                    }
+                    shard_stats[shard_id].generated += 1;
+                    let gen_index = gen_classes.len();
+                    last_bytes[shard_id] = Some(Arc::clone(&bytes));
+                    gen_classes.push(GeneratedClass {
+                        class,
+                        bytes: Arc::clone(&bytes),
+                        mutator_id,
+                        accepted,
+                    });
+                    if accepted {
+                        test_classes.push(gen_index);
+                        shard_stats[shard_id].accepted += 1;
+                        if let Some(harness) = &exec_harness {
+                            exec_reports.push(diff_execution(harness, gen_index, &bytes));
+                        }
+                    }
+                }
+            }
+        }
+
+        for (shard_id, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(stats) => stat_tables[shard_id] = stats,
+                Err(_) => {
+                    if engine_error.is_none() {
+                        engine_error = Some(EngineError {
+                            shard_id: Some(shard_id),
+                            round: shard_stats[shard_id].iterations,
+                            last_candidate: last_bytes[shard_id].take().map(|b| b.as_ref().clone()),
+                            message: "worker shard panicked past its containment".to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some(error) = engine_error {
+        return Err(error);
+    }
+    Ok(CampaignResult {
+        algorithm: config.algorithm,
+        iterations: config.iterations,
+        gen_classes,
+        test_classes,
+        mutator_stats: merge_stat_tables(&stat_tables),
+        elapsed: start.elapsed(),
+        seed_count: seeds.len(),
+        shard_stats,
+        crashes,
+        acceptance: async_telemetry(&shared, &exec_reports),
+        exec_reports,
+    })
+}
+
+/// The campaign's telemetry, read back from the shared atomic counters
+/// (all-zero for greedyfuzz/randfuzz, mirroring the lockstep engine).
+fn async_telemetry(shared: &AsyncShared<'_>, exec_reports: &[ExecReport]) -> AcceptanceTelemetry {
+    let mut telemetry = match shared.acceptance {
+        AsyncAcceptance::Unique { .. } => shared.counters.telemetry(),
+        AsyncAcceptance::Greedy(_) | AsyncAcceptance::All => AcceptanceTelemetry::default(),
+    };
+    telemetry.exec_runs = exec_reports.len() as u64;
+    telemetry.exec_discrepancies = exec_reports
+        .iter()
+        .filter(|r| r.is_exec_discrepancy())
+        .count() as u64;
+    telemetry
+}

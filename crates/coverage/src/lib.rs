@@ -50,6 +50,7 @@ pub mod baseline;
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A statement-site or branch-site identifier.
@@ -576,6 +577,31 @@ impl SuiteIndex {
         }
     }
 
+    /// A read-only uniqueness probe with a caller-supplied fingerprint:
+    /// returns `(is_unique, settled_by_fast_path)`, where the second
+    /// component reports whether a `[tr]` query was answered by the
+    /// fingerprint table alone (no word-level trace comparison). Under the
+    /// statistic criteria the second component is always `false`.
+    ///
+    /// Unlike the `insert_if_unique*` family this touches no counters and
+    /// never mutates, so concurrent engines can probe through a shared
+    /// read lock and reserve the write lock for actual insertions (see
+    /// DESIGN.md, "Free-running asynchronous campaigns").
+    pub fn probe_with_fingerprint(&self, trace: &TraceFile, fp: u64) -> (bool, bool) {
+        match self.criterion {
+            UniquenessCriterion::St | UniquenessCriterion::StBr => {
+                (!self.seen_stats.contains(&self.key(trace.stats())), false)
+            }
+            UniquenessCriterion::Tr => match self.fp_buckets.get(&fp) {
+                None => (true, true),
+                Some(bucket) => (
+                    !bucket.iter().any(|&i| self.traces[i as usize] == *trace),
+                    false,
+                ),
+            },
+        }
+    }
+
     /// Records `trace` as accepted (caller has already checked uniqueness
     /// or wants to force-seed the suite).
     pub fn insert(&mut self, trace: &TraceFile) {
@@ -707,6 +733,148 @@ impl GlobalCoverage {
         let stmt_grew = or_into(&mut self.stmt_words, &other.stmt_words);
         let branch_grew = or_into(&mut self.branch_words, &other.branch_words);
         stmt_grew || branch_grew
+    }
+}
+
+// --- AtomicCoverage ---------------------------------------------------------
+
+/// A shared, thread-safe accumulated-coverage bitset: the atomic view of
+/// the [`GlobalCoverage`] word layout, used by the free-running campaign
+/// engine to publish accepted traces without a coordinator round barrier.
+///
+/// The word arrays are the exact `Vec<u64>` layout of [`TraceFile`] /
+/// [`GlobalCoverage`], reinterpreted as `AtomicU64`s: publication is a
+/// word-wise `fetch_or`, so concurrent absorptions commute (OR is
+/// associative, commutative, and idempotent) and the final bitset equals
+/// the sequential merge of the same traces in any order. Growth detection
+/// stays exact per *bit*: `fetch_or` returns the pre-OR word, and a bit
+/// transitions 0→1 exactly once process-wide, so for any single new site
+/// exactly one absorbing thread observes the growth — the property that
+/// makes the greedyfuzz acceptance rule sound without locks.
+///
+/// The `RwLock` around each array guards *capacity* only (the slot
+/// universe grows as new probe sites fire): readers OR through a shared
+/// read lock, and the write lock is taken only to extend the array with
+/// zero words. Lock poisoning is ignored for the same reason as in
+/// [`SiteUniverse`]: every critical section is a resize or a set of
+/// atomic ORs, neither of which can be observed half-done.
+#[derive(Debug, Default)]
+pub struct AtomicCoverage {
+    stmt_words: RwLock<Vec<AtomicU64>>,
+    branch_words: RwLock<Vec<AtomicU64>>,
+}
+
+fn atomic_read(lock: &RwLock<Vec<AtomicU64>>) -> RwLockReadGuard<'_, Vec<AtomicU64>> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Word-wise `fetch_or` of `src` into the shared array, growing it first
+/// when `src` is longer; returns `true` when any bit of `src` was not
+/// already set.
+fn atomic_or_words(dst: &RwLock<Vec<AtomicU64>>, src: &[u64]) -> bool {
+    let src = trimmed(src);
+    if src.is_empty() {
+        return false;
+    }
+    loop {
+        {
+            let words = atomic_read(dst);
+            if words.len() >= src.len() {
+                let mut grew = false;
+                for (d, &s) in words.iter().zip(src) {
+                    if s == 0 {
+                        continue;
+                    }
+                    let prev = d.fetch_or(s, Ordering::Relaxed);
+                    grew |= prev & s != s;
+                }
+                return grew;
+            }
+        }
+        let mut words = dst.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+        if words.len() < src.len() {
+            words.resize_with(src.len(), || AtomicU64::new(0));
+        }
+    }
+}
+
+/// Read-only variant: would `src` contribute any bit the shared array does
+/// not have? Never grows the array (missing capacity means missing bits).
+fn atomic_would_grow(dst: &RwLock<Vec<AtomicU64>>, src: &[u64]) -> bool {
+    let src = trimmed(src);
+    let words = atomic_read(dst);
+    if src.len() > words.len() {
+        return true;
+    }
+    words
+        .iter()
+        .zip(src)
+        .any(|(d, &s)| d.load(Ordering::Relaxed) & s != s)
+}
+
+impl AtomicCoverage {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        AtomicCoverage::default()
+    }
+
+    /// Publishes `trace` into the shared bitset (word-wise `fetch_or`);
+    /// returns `true` when it contributed at least one new site — the
+    /// lock-free form of [`GlobalCoverage::absorb`].
+    pub fn absorb(&self, trace: &TraceFile) -> bool {
+        // `|` not `||`: both maps must be published even when the first
+        // already grew.
+        atomic_or_words(&self.stmt_words, &trace.stmt_words)
+            | atomic_or_words(&self.branch_words, &trace.branch_words)
+    }
+
+    /// Read-only growth check: would [`AtomicCoverage::absorb`] report
+    /// growth for `trace` right now? A `true` answer proves `trace` covers
+    /// at least one site *no* previously published trace covered (bits are
+    /// only ever set, never cleared), which the async engine uses as a
+    /// lock-free `[tr]`-uniqueness fast path. A `false` answer proves
+    /// nothing — publication by another thread may race this probe — so
+    /// callers must fall back to an exact check.
+    pub fn would_grow(&self, trace: &TraceFile) -> bool {
+        atomic_would_grow(&self.stmt_words, &trace.stmt_words)
+            || atomic_would_grow(&self.branch_words, &trace.branch_words)
+    }
+
+    /// Total accumulated statistics (popcounts over a point-in-time load
+    /// of each word).
+    pub fn stats(&self) -> CoverageStats {
+        self.snapshot().stats()
+    }
+
+    /// A plain [`GlobalCoverage`] copy of the current contents.
+    ///
+    /// Taken under the capacity read lock, loading each word once: a
+    /// *consistent-per-word* snapshot (bits are monotone, so the snapshot
+    /// is the union of some prefix of the absorb history).
+    pub fn snapshot(&self) -> GlobalCoverage {
+        let load = |lock: &RwLock<Vec<AtomicU64>>| -> Vec<u64> {
+            atomic_read(lock)
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect()
+        };
+        GlobalCoverage {
+            stmt_words: load(&self.stmt_words),
+            branch_words: load(&self.branch_words),
+        }
+    }
+}
+
+impl From<&GlobalCoverage> for AtomicCoverage {
+    /// Seeds an atomic accumulator from an existing merge result.
+    fn from(global: &GlobalCoverage) -> AtomicCoverage {
+        let lift = |words: &[u64]| -> RwLock<Vec<AtomicU64>> {
+            RwLock::new(trimmed(words).iter().map(|&w| AtomicU64::new(w)).collect())
+        };
+        AtomicCoverage {
+            stmt_words: lift(&global.stmt_words),
+            branch_words: lift(&global.branch_words),
+        }
     }
 }
 
@@ -954,5 +1122,95 @@ mod tests {
         let t = TraceFile::new();
         assert!(t.is_empty());
         assert_eq!(t.stats(), CoverageStats::default());
+    }
+
+    #[test]
+    fn atomic_absorb_matches_global_coverage() {
+        let traces = [
+            trace(&[1, 2], &[(5, true)]),
+            trace(&[2, 3], &[(5, false)]),
+            trace(&[1], &[]),
+        ];
+        let atomic = AtomicCoverage::new();
+        let mut global = GlobalCoverage::new();
+        for t in &traces {
+            assert_eq!(atomic.absorb(t), global.absorb(t), "growth verdicts agree");
+        }
+        assert_eq!(atomic.snapshot(), global);
+        assert_eq!(atomic.stats(), global.stats());
+        // Re-absorbing anything already covered reports no growth.
+        assert!(!atomic.absorb(&traces[0]));
+        assert!(!atomic.would_grow(&traces[1]));
+        assert!(atomic.would_grow(&trace(&[99], &[])));
+    }
+
+    #[test]
+    fn atomic_seeding_from_global() {
+        let mut global = GlobalCoverage::new();
+        global.absorb(&trace(&[1, 2], &[(5, true)]));
+        let atomic = AtomicCoverage::from(&global);
+        assert_eq!(atomic.snapshot(), global);
+        assert!(!atomic.would_grow(&trace(&[1], &[])));
+        assert!(atomic.would_grow(&trace(&[3], &[])));
+    }
+
+    #[test]
+    fn concurrent_absorbs_equal_sequential_union() {
+        // 4 threads × 64 traces; the final bitset must equal the
+        // sequential merge regardless of interleaving, and each
+        // single-site trace's growth must be observed by exactly one
+        // absorbing thread.
+        let shared = std::sync::Arc::new(AtomicCoverage::new());
+        let site = |k: u32| trace(&[0x4000 + k], &[(0x200 + k / 2, k.is_multiple_of(2))]);
+        let growths: Vec<usize> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let shared = std::sync::Arc::clone(&shared);
+                    scope.spawn(move || (0..64).filter(|&k| shared.absorb(&site(k))).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("absorber thread"))
+                .collect()
+        });
+        let mut sequential = GlobalCoverage::new();
+        for k in 0..64 {
+            sequential.absorb(&site(k));
+        }
+        assert_eq!(shared.snapshot(), sequential);
+        // Every trace here carries a site no *other* trace carries, so of
+        // the 4 competing absorptions of trace k exactly one grew: the
+        // total growth count equals the number of distinct traces.
+        assert_eq!(growths.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn probe_with_fingerprint_is_read_only_and_exact() {
+        for criterion in [
+            UniquenessCriterion::St,
+            UniquenessCriterion::StBr,
+            UniquenessCriterion::Tr,
+        ] {
+            let mut idx = SuiteIndex::new(criterion);
+            let a = trace(&[1, 2], &[(9, true)]);
+            let b = trace(&[1, 3], &[(9, true)]);
+            idx.insert(&a);
+            let before = idx.counters();
+            let (a_unique, _) = idx.probe_with_fingerprint(&a, a.fingerprint());
+            let (b_unique, b_fast) = idx.probe_with_fingerprint(&b, b.fingerprint());
+            assert!(!a_unique, "{criterion}: duplicate must probe non-unique");
+            assert_eq!(
+                b_unique,
+                idx.is_unique(&b),
+                "{criterion}: probe agrees with is_unique"
+            );
+            if criterion == UniquenessCriterion::Tr {
+                assert!(b_fast, "new fingerprint settles on the fast path");
+            } else {
+                assert!(!b_fast, "statistic criteria never report a fast path");
+            }
+            assert_eq!(idx.counters(), before, "probe must not touch counters");
+            assert_eq!(idx.len(), 1, "probe must not insert");
+        }
     }
 }

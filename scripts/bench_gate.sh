@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Bench-smoke gate: runs the four gated benchmark scenarios on fixed
+# Bench-smoke gate: runs the five gated benchmark scenarios on fixed
 # seeds and fails CI on regression. Extra flags pass through to covbench
 # for every scenario (e.g. --repeats 3).
 #
@@ -45,6 +45,19 @@
 #   * the in-run exec-vs-startup overhead ratio drops below 0.5 —
 #     execution differencing may at most double the evaluation cost.
 #
+# Scenario `scale` — the free-running async engine's shard scaling and
+# the fixed-budget async-vs-lockstep discrepancy cross-check
+# (crates/bench/src/scalebench.rs) → BENCH_scale.json. Fails when
+#
+#   * the one-shard async-vs-lockstep discrepancy cross-check finds
+#     differing OutcomeVector key sets (unconditional),
+#   * on 2+ cores, the async scaling ratio at 2+ shards drops below 1.5x
+#     (machine-independent floor; on a single core — the CI container —
+#     the gate instead requires one async shard within the regression
+#     budget of one lockstep shard), or
+#   * one-shard async throughput regresses more than 20% against the
+#     committed BENCH_scale.baseline.json.
+#
 # Timings are medians over repeated runs so one scheduler hiccup cannot
 # fail CI; the committed baselines are deliberately pessimistic (see
 # their "_note" fields).
@@ -81,4 +94,12 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --baseline BENCH_exec.baseline.json \
     --max-regression 1.2 \
     --min-speedup 0.5 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario scale \
+    --out BENCH_scale.json \
+    --baseline BENCH_scale.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 1.5 \
     "$@"

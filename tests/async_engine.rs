@@ -1,0 +1,214 @@
+//! The free-running async engine's contract (see DESIGN.md §14):
+//!
+//! * a one-shard async run replays the sequential campaign bit for bit
+//!   (same RNG stream, same pool at every pick, same acceptance sequence);
+//! * multi-shard runs are nondeterministic in *order* but sound in
+//!   *acceptance* (no duplicate traces enter the suite) and equivalent in
+//!   *findings* (the fixed-budget discrepancy key set matches lockstep's);
+//! * a shard dying outside containment ends the campaign with a
+//!   structured `EngineError` without wedging its free-running peers.
+
+use std::collections::BTreeSet;
+
+use classfuzz::core::diff::DifferentialHarness;
+use classfuzz::core::engine::{
+    run_campaign, run_campaign_parallel, Algorithm, CampaignConfig, CampaignResult, Schedule,
+};
+use classfuzz::core::seeds::SeedCorpus;
+use classfuzz::coverage::{GlobalCoverage, UniquenessCriterion};
+use classfuzz::jimple::lower::lower_class;
+use classfuzz::vm::{Jvm, VmSpec};
+
+fn small_seeds() -> Vec<classfuzz::jimple::IrClass> {
+    SeedCorpus::generate(10, 93).into_classes()
+}
+
+/// The union reference-VM coverage of a campaign's accepted suite.
+fn suite_coverage(result: &CampaignResult) -> GlobalCoverage {
+    let reference = Jvm::new(VmSpec::hotspot9());
+    let mut global = GlobalCoverage::new();
+    for bytes in result.test_bytes() {
+        let trace = reference
+            .run_traced(&bytes)
+            .trace
+            .expect("accepted classes have reference traces");
+        global.absorb(&trace);
+    }
+    global
+}
+
+/// The set of startup-phase discrepancy keys a campaign's suite triggers.
+fn discrepancy_keys(result: &CampaignResult) -> BTreeSet<String> {
+    let harness = DifferentialHarness::paper_five();
+    result
+        .test_bytes()
+        .iter()
+        .map(|bytes| harness.run(bytes))
+        .filter(|vector| vector.is_discrepancy())
+        .map(|vector| vector.key())
+        .collect()
+}
+
+#[test]
+fn one_shard_async_replays_sequential_for_every_algorithm() {
+    let seeds = small_seeds();
+    for algorithm in Algorithm::table4_lineup() {
+        let config = CampaignConfig::new(algorithm, 60, 17).with_schedule(Schedule::Async);
+        let sequential = run_campaign(&seeds, &config);
+        let parallel = run_campaign_parallel(&seeds, &config, 1).expect("engine error");
+
+        assert_eq!(
+            sequential.test_classes, parallel.test_classes,
+            "{algorithm}: accepted indices diverge"
+        );
+        assert_eq!(
+            sequential
+                .gen_classes
+                .iter()
+                .map(|g| (&g.bytes, g.mutator_id, g.accepted))
+                .collect::<Vec<_>>(),
+            parallel
+                .gen_classes
+                .iter()
+                .map(|g| (&g.bytes, g.mutator_id, g.accepted))
+                .collect::<Vec<_>>(),
+            "{algorithm}: generated streams diverge"
+        );
+        assert_eq!(
+            sequential.mutator_stats, parallel.mutator_stats,
+            "{algorithm}"
+        );
+        assert_eq!(sequential.crashes, parallel.crashes, "{algorithm}");
+        // The ISSUE's floor is superset-of-or-equal coverage; bit-identical
+        // replay gives exact equality.
+        assert_eq!(
+            suite_coverage(&sequential).stats(),
+            suite_coverage(&parallel).stats(),
+            "{algorithm}: accepted-suite coverage diverges"
+        );
+    }
+}
+
+#[test]
+fn async_discrepancy_key_set_matches_lockstep_at_fixed_budget() {
+    // The fixed-budget cross-check, run where discrepancy-set equality is
+    // well-defined: at one shard both schedules are deterministic (each
+    // replays the sequential campaign), so the async engine must surface
+    // *exactly* the lockstep engine's discrepancy keys from the same
+    // pinned corpus and budget. At two or more shards the accepted set is
+    // interleaving-dependent and the key sets only overlap — that weaker
+    // property is asserted separately below. See DESIGN.md §14.
+    let seeds = SeedCorpus::generate(12, 21).into_classes();
+    let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 600, 21);
+    let lockstep = run_campaign_parallel(&seeds, &config, 1).expect("lockstep engine error");
+    let async_run =
+        run_campaign_parallel(&seeds, &config.clone().with_schedule(Schedule::Async), 1)
+            .expect("async engine error");
+    let lockstep_keys = discrepancy_keys(&lockstep);
+    let async_keys = discrepancy_keys(&async_run);
+    assert!(
+        !lockstep_keys.is_empty(),
+        "the pinned corpus must trigger discrepancies"
+    );
+    assert_eq!(
+        lockstep_keys, async_keys,
+        "async and lockstep must find the same discrepancy key set"
+    );
+}
+
+#[test]
+fn multi_shard_async_finds_overlapping_discrepancy_keys() {
+    // At three free-running shards the candidate stream depends on thread
+    // interleaving, so exact key-set equality is not a defined property;
+    // what must hold is that the async engine keeps *finding* the corpus's
+    // discrepancies — a non-empty key set sharing its core with lockstep's.
+    let seeds = SeedCorpus::generate(12, 21).into_classes();
+    let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 600, 21);
+    let lockstep = run_campaign_parallel(&seeds, &config, 3).expect("lockstep engine error");
+    let async_run =
+        run_campaign_parallel(&seeds, &config.clone().with_schedule(Schedule::Async), 3)
+            .expect("async engine error");
+    let lockstep_keys = discrepancy_keys(&lockstep);
+    let async_keys = discrepancy_keys(&async_run);
+    assert!(!async_keys.is_empty(), "async found no discrepancies");
+    assert!(
+        lockstep_keys.intersection(&async_keys).next().is_some(),
+        "async ({async_keys:?}) and lockstep ({lockstep_keys:?}) share no keys"
+    );
+}
+
+#[test]
+fn async_multi_shard_acceptance_rejects_duplicate_statistics() {
+    // Soundness under concurrency: the double-checked write-lock insert
+    // must never let two shards both accept equal [stbr] statistics.
+    let seeds = small_seeds();
+    let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 150, 5)
+        .with_schedule(Schedule::Async);
+    let result = run_campaign_parallel(&seeds, &config, 4).expect("engine error");
+    assert!(!result.test_classes.is_empty(), "campaign accepted nothing");
+
+    let reference = Jvm::new(VmSpec::hotspot9());
+    let mut seen = BTreeSet::new();
+    for seed in &seeds {
+        let bytes = lower_class(seed).to_bytes();
+        if let Some(trace) = reference.run_traced(&bytes).trace {
+            seen.insert((trace.stats().stmt, trace.stats().br));
+        }
+    }
+    for bytes in result.test_bytes() {
+        let trace = reference
+            .run_traced(&bytes)
+            .trace
+            .expect("accepted classes have reference traces");
+        let key = (trace.stats().stmt, trace.stats().br);
+        assert!(
+            seen.insert(key),
+            "accepted mutant duplicates the [stbr] statistic {key:?}"
+        );
+    }
+    // Every iteration of the shared budget was claimed by somebody.
+    let iterations: usize = result.shard_stats.iter().map(|s| s.iterations).sum();
+    assert_eq!(iterations, 150);
+    let accepted: usize = result.shard_stats.iter().map(|s| s.accepted).sum();
+    assert_eq!(accepted, result.test_classes.len());
+}
+
+#[test]
+fn async_shard_death_surfaces_structured_engine_error() {
+    let seeds = small_seeds();
+    let config = CampaignConfig::new(Algorithm::Classfuzz(UniquenessCriterion::StBr), 400, 7)
+        .with_schedule(Schedule::Async)
+        .with_shard_death_injection(1);
+    let err = run_campaign_parallel(&seeds, &config, 3)
+        .expect_err("an injected shard death must fail the campaign");
+    assert_eq!(err.shard_id, Some(1), "the dead shard must be named");
+    assert!(
+        err.message.contains("died outside containment"),
+        "message: {}",
+        err.message
+    );
+    assert!(
+        err.message.contains("injected shard death"),
+        "the panic detail must ride along: {}",
+        err.message
+    );
+    // The surviving shards wound down through the stop flag rather than
+    // wedging — reaching this line at all is the real assertion, but the
+    // injection fired before shard 1 consumed any budget, so its peers
+    // can never have spent the whole 400.
+}
+
+#[test]
+fn async_degenerate_campaigns_return_empty_results() {
+    let config = CampaignConfig::new(Algorithm::Randfuzz, 50, 1).with_schedule(Schedule::Async);
+    let empty = run_campaign_parallel(&[], &config, 4).expect("engine error");
+    assert!(empty.gen_classes.is_empty());
+    assert!(empty.test_classes.is_empty());
+    let none = run_campaign_parallel(
+        &small_seeds(),
+        &CampaignConfig::new(Algorithm::Randfuzz, 0, 1).with_schedule(Schedule::Async),
+        4,
+    )
+    .expect("engine error");
+    assert!(none.gen_classes.is_empty());
+}

@@ -115,6 +115,42 @@ fn parallel_engine_writes_the_crash_corpus() {
 }
 
 #[test]
+fn rerunning_into_a_populated_crash_dir_preserves_prior_reproducers() {
+    let dir = temp_dir("crashrerun");
+    let seeds = small_seeds();
+    let config = chaos_config(120).with_crash_dir(dir.clone());
+    let first = run_campaign_parallel(&seeds, &config, 2).expect("engine error");
+    assert!(!first.crashes.is_empty());
+    let before: std::collections::BTreeMap<String, Vec<u8>> = std::fs::read_dir(&dir)
+        .expect("read corpus dir")
+        .map(|e| {
+            let path = e.expect("dir entry").path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            (name.clone(), std::fs::read(&path).expect("read entry"))
+        })
+        .collect();
+
+    // Same campaign again, same directory: persist_crash must bump past
+    // the first run's files instead of overwriting them.
+    let second = run_campaign_parallel(&seeds, &config, 2).expect("engine error");
+    assert_eq!(first.crashes, second.crashes, "chaos replay must match");
+    for (name, bytes) in &before {
+        assert_eq!(
+            std::fs::read(dir.join(name)).ok().as_deref(),
+            Some(bytes.as_slice()),
+            "first-run reproducer {name} was clobbered by the rerun"
+        );
+    }
+    let entries = std::fs::read_dir(&dir).expect("read corpus dir").count();
+    assert_eq!(
+        entries,
+        (first.crashes.len() + second.crashes.len()) * 2,
+        "every crash of both runs keeps its own classfile + sidecar pair"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn chaos_iterations_still_count_toward_selector_stats() {
     let seeds = small_seeds();
     let result = run_campaign_parallel(&seeds, &chaos_config(60), 2).expect("engine error");
