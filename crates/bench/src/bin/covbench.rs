@@ -18,9 +18,13 @@
 //!   async-vs-lockstep discrepancy cross-check
 //!   (`classfuzz_bench::scalebench`) → `BENCH_scale.json`. Single-core
 //!   machines assert no-regression vs lockstep instead of a speedup floor.
+//! * `--scenario yield`: distinct discrepancy keys per fixed iteration
+//!   budget, uniform seeding vs max-cover selection + distillation
+//!   (`classfuzz_bench::yieldbench`) → `BENCH_yield.json`. Fully
+//!   deterministic — both arms replay bit for bit on any machine.
 //!
 //! ```text
-//! covbench [--scenario coverage|harness|mutate|exec|scale] [--out PATH]
+//! covbench [--scenario coverage|harness|mutate|exec|scale|yield] [--out PATH]
 //!          [--baseline PATH] [--suite-size N] [--repeats N]
 //!          [--max-regression X] [--min-speedup X]
 //! ```
@@ -33,6 +37,7 @@ use classfuzz_bench::execbench::{check_exec_report, run_exec_bench};
 use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
 use classfuzz_bench::mutatebench::{check_mutate_report, run_mutate_bench};
 use classfuzz_bench::scalebench::{check_scale_report, run_scale_bench};
+use classfuzz_bench::yieldbench::{check_yield_report, run_yield_bench};
 
 /// The mutate scenario's allocation counts come from here; registered only
 /// in this binary so library tests stay on the plain system allocator.
@@ -46,6 +51,7 @@ enum Scenario {
     Mutate,
     Exec,
     Scale,
+    Yield,
 }
 
 struct Options {
@@ -63,7 +69,8 @@ impl Options {
     /// scenario's default (coverage: bitset-vs-baseline ≥5×; harness:
     /// shared-vs-cold ≥2×; mutate: scratch-vs-cold ≥2×; exec:
     /// exec-vs-startup overhead ratio ≥0.5; scale: async shard-scaling
-    /// ≥1.5× — applied only where 2+ cores exist).
+    /// ≥1.5× — applied only where 2+ cores exist; yield:
+    /// maxcover-vs-uniform distinct-key ratio ≥1.2×).
     fn speedup_floor(&self) -> f64 {
         self.min_speedup.unwrap_or(match self.scenario {
             Scenario::Coverage => 5.0,
@@ -71,6 +78,7 @@ impl Options {
             Scenario::Mutate => 2.0,
             Scenario::Exec => 0.5,
             Scenario::Scale => 1.5,
+            Scenario::Yield => 1.2,
         })
     }
 
@@ -84,6 +92,7 @@ impl Options {
             (None, Scenario::Mutate) => Some("BENCH_mutate.json".to_string()),
             (None, Scenario::Exec) => Some("BENCH_exec.json".to_string()),
             (None, Scenario::Scale) => Some("BENCH_scale.json".to_string()),
+            (None, Scenario::Yield) => Some("BENCH_yield.json".to_string()),
         }
     }
 }
@@ -109,6 +118,7 @@ fn parse_args() -> Result<Options, String> {
                     "mutate" => Scenario::Mutate,
                     "exec" => Scenario::Exec,
                     "scale" => Scenario::Scale,
+                    "yield" => Scenario::Yield,
                     other => return Err(format!("unknown scenario {other}")),
                 }
             }
@@ -221,6 +231,21 @@ fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<
                 } else {
                     "FAIL"
                 },
+                options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Yield => {
+            eprintln!("covbench: scenario=yield (deterministic; repeats ignored) ...");
+            let report = run_yield_bench(options.repeats);
+            let failures = baseline_json
+                .map(|json| check_yield_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "yield {:.2}x ({} maxcover vs {} uniform keys), budget {:.2}x",
+                report.yield_ratio,
+                report.maxcover_keys,
+                report.uniform_keys,
                 options.max_regression
             );
             (report.to_json(), failures, summary)

@@ -13,6 +13,7 @@ pub mod execbench;
 pub mod harnessbench;
 pub mod mutatebench;
 pub mod scalebench;
+pub mod yieldbench;
 
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};
 use classfuzz_core::diff::DifferentialHarness;

@@ -15,8 +15,15 @@ commands:
          [--criterion st|stbr|tr] [--jobs N] [--out DIR] [--crash-dir DIR]
          [--engine async|lockstep]   free-running shards / deterministic rounds
          [--exec-diff]               also difference execution outcomes
+         [--seed-select uniform|maxcover]
+                                     initial pool: whole corpus / greedy
+                                     max-cover over startup coverage
+         [--pool-cap N]              distill the pool to <= N entries at
+                                     fixed iteration boundaries
+         [--seed-shape classic|deep|wide|exotic|versioned|mixed]
+                                     seed template family (default classic)
   reduce <file.class> [--out FILE]    minimize a discrepancy or crash trigger
-  seeds  --out DIR [--count N] [--rng-seed S]
+  seeds  --out DIR [--count N] [--rng-seed S] [--shape SHAPE]
                                       write a seed corpus as .class files
   help                                this text
 

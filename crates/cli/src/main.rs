@@ -8,6 +8,8 @@
 //! classfuzz fuzz   [--seeds N] [--iterations N] [--rng-seed S]
 //!                  [--criterion st|stbr|tr] [--jobs N] [--out DIR]
 //!                  [--crash-dir DIR] [--engine async|lockstep] [--exec-diff]
+//!                  [--seed-select uniform|maxcover] [--pool-cap N]
+//!                  [--seed-shape classic|deep|wide|exotic|versioned|mixed]
 //!                                                Algorithm 1 campaign;
 //!                                                discrepancy triggers are
 //!                                                written to DIR as .class,
@@ -19,7 +21,7 @@
 //!                                                on execution outcome
 //! classfuzz reduce <file.class> [--out FILE]     HDD-minimize a trigger
 //!                                                (discrepancy or VM crash)
-//! classfuzz seeds  --out DIR [--count N] [--rng-seed S]
+//! classfuzz seeds  --out DIR [--count N] [--rng-seed S] [--shape SHAPE]
 //!                                                write a seed corpus as .class files
 //! ```
 //!
@@ -29,8 +31,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use classfuzz_core::diff::DifferentialHarness;
-use classfuzz_core::engine::{run_campaign_parallel, Algorithm, CampaignConfig, Schedule};
-use classfuzz_core::seeds::SeedCorpus;
+use classfuzz_core::engine::{
+    run_campaign_parallel, Algorithm, CampaignConfig, Schedule, SeedSelect,
+};
+use classfuzz_core::seeds::{SeedCorpus, SeedShape};
 use classfuzz_coverage::UniquenessCriterion;
 use classfuzz_jimple::{
     lift::lift_class,
@@ -168,15 +172,38 @@ fn fuzz(parsed: &Parsed) -> Result<(), String> {
     let out_dir = parsed.flag("out").map(PathBuf::from);
     let crash_dir = parsed.flag("crash-dir").map(PathBuf::from);
     let exec_diff = parsed.flag_bool("exec-diff");
+    let seed_select = match parsed.flag("seed-select").unwrap_or("uniform") {
+        "uniform" => SeedSelect::Uniform,
+        "maxcover" => SeedSelect::MaxCover,
+        other => return Err(format!("unknown seed-select {other:?} (uniform|maxcover)")),
+    };
+    let pool_cap: Option<usize> = match parsed.flag("pool-cap") {
+        None => None,
+        Some(_) => {
+            let cap: usize = parsed.flag_parse("pool-cap", 0)?;
+            if cap == 0 {
+                return Err("--pool-cap expects at least 1".to_string());
+            }
+            Some(cap)
+        }
+    };
+    let shape: SeedShape = parsed.flag_parse("seed-shape", SeedShape::Classic)?;
 
-    let corpus = SeedCorpus::generate(seeds, rng_seed).into_classes();
+    let corpus = SeedCorpus::generate_shaped(seeds, rng_seed, shape).into_classes();
     eprintln!(
-        "fuzzing: {seeds} seeds, {iterations} iterations, criterion {criterion}, \
-         {jobs} job(s), {schedule} engine{}",
+        "fuzzing: {seeds} seeds ({shape}), {iterations} iterations, criterion {criterion}, \
+         {jobs} job(s), {schedule} engine, {seed_select} selection{}{}",
+        pool_cap
+            .map(|c| format!(", pool cap {c}"))
+            .unwrap_or_default(),
         if exec_diff { ", exec differencing" } else { "" }
     );
     let mut config = CampaignConfig::new(Algorithm::Classfuzz(criterion), iterations, rng_seed)
-        .with_schedule(schedule);
+        .with_schedule(schedule)
+        .with_seed_select(seed_select);
+    if let Some(cap) = pool_cap {
+        config = config.with_pool_cap(cap);
+    }
     // Output directories are created once, up front — a campaign must
     // never die (or lose entries) to a directory race inside the
     // per-discrepancy reporting loop.
@@ -316,9 +343,10 @@ fn persist_corpus_entry(
 fn seeds(parsed: &Parsed) -> Result<(), String> {
     let count: usize = parsed.flag_parse("count", 50)?;
     let rng_seed: u64 = parsed.flag_parse("rng-seed", 20160613)?;
+    let shape: SeedShape = parsed.flag_parse("shape", SeedShape::Classic)?;
     let dir = PathBuf::from(parsed.flag("out").ok_or("seeds needs --out DIR")?);
     std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    let corpus = SeedCorpus::generate(count, rng_seed);
+    let corpus = SeedCorpus::generate_shaped(count, rng_seed, shape);
     // Filenames come from the *full* class name (`/` → `_`), so two seeds
     // whose names differ only by package cannot collapse into one file;
     // the distinct-name check turns any residual collision into an error

@@ -21,7 +21,10 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use classfuzz_coverage::{GlobalCoverage, SuiteIndex, TraceFile, UniquenessCriterion};
+use classfuzz_coverage::{
+    distill_keep_mask, greedy_max_cover_order, GlobalCoverage, SuiteIndex, TraceFile,
+    UniquenessCriterion,
+};
 use classfuzz_jimple::{
     lower::{lower_class_bytes, LowerScratch},
     IrClass,
@@ -59,6 +62,30 @@ impl fmt::Display for Schedule {
         f.write_str(match self {
             Schedule::Lockstep => "lockstep",
             Schedule::Async => "async",
+        })
+    }
+}
+
+/// How the initial mutation pool is chosen from the generated seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedSelect {
+    /// Every seed enters the pool, uniformly weighted — the original
+    /// behavior and the baseline every snapshot test pins.
+    #[default]
+    Uniform,
+    /// Greedy max-cover over the seeds' startup-coverage bitsets: seeds are
+    /// picked in order of marginal coverage gain (word-wise OR/popcount),
+    /// zero-gain seeds are dropped, and the pick list is truncated to the
+    /// pool cap when one is set. RNG-free, so selection is a deterministic
+    /// function of the seed corpus.
+    MaxCover,
+}
+
+impl fmt::Display for SeedSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SeedSelect::Uniform => "uniform",
+            SeedSelect::MaxCover => "maxcover",
         })
     }
 }
@@ -146,6 +173,14 @@ pub struct CampaignConfig {
     /// mutator in the loop. Ignored by the lockstep engine (which has its
     /// own coverage via channel-teardown tests).
     pub inject_shard_death: Option<usize>,
+    /// How the initial pool is chosen from the seeds (`--seed-select`).
+    pub seed_select: SeedSelect,
+    /// Live corpus-distillation cap (`--pool-cap`): when set, the pool is
+    /// distilled at fixed iteration boundaries — entries whose coverage is
+    /// subsumed by the union of the rest are evicted, then the
+    /// smallest-coverage entries are dropped until the pool fits the cap.
+    /// `None` (the default) restores the grow-only pool.
+    pub pool_cap: Option<usize>,
 }
 
 impl CampaignConfig {
@@ -161,6 +196,8 @@ impl CampaignConfig {
             exec_diff: false,
             schedule: Schedule::default(),
             inject_shard_death: None,
+            seed_select: SeedSelect::default(),
+            pool_cap: None,
         }
     }
 
@@ -193,6 +230,19 @@ impl CampaignConfig {
         self.exec_diff = true;
         self
     }
+
+    /// Select the initial-pool strategy.
+    pub fn with_seed_select(mut self, seed_select: SeedSelect) -> CampaignConfig {
+        self.seed_select = seed_select;
+        self
+    }
+
+    /// Enable live corpus distillation bounded by `cap` (clamped to ≥ 1 so
+    /// the pool can never distill to nothing).
+    pub fn with_pool_cap(mut self, cap: usize) -> CampaignConfig {
+        self.pool_cap = Some(cap.max(1));
+        self
+    }
 }
 
 /// One generated mutant.
@@ -220,6 +270,11 @@ pub struct GeneratedClass {
 struct PoolEntry {
     class: Arc<IrClass>,
     bytes: Arc<Vec<u8>>,
+    /// The entry's startup trace on the reference VM, recorded once —
+    /// at seeding for seeds, at acceptance for mutants. `None` when the
+    /// campaign never traces (randfuzz without a pool cap); distillation
+    /// never evicts untraced entries.
+    trace: Option<Arc<TraceFile>>,
 }
 
 impl PoolEntry {
@@ -227,20 +282,119 @@ impl PoolEntry {
         PoolEntry {
             class: Arc::new(seed.clone()),
             bytes: Arc::new(lower_class_bytes(seed, lower)),
+            trace: None,
         }
     }
 }
 
-/// Lowers each seed exactly once (through one shared scratch), producing
-/// the pool every engine starts from; the parallel engine shares the
-/// entries with all of its shard replicas by `Arc` handle instead of
-/// re-lowering per shard.
-fn seed_entries(seeds: &[IrClass]) -> Vec<PoolEntry> {
+/// How often (in executed iterations — lockstep rounds, async claimed
+/// iterations) a capped campaign distills its pool. Fixed so eviction
+/// points are a deterministic function of the iteration count alone.
+const DISTILL_INTERVAL: usize = 32;
+
+/// Distills `pool` in place: evicts entries whose coverage is subsumed by
+/// the union of the rest ([`distill_keep_mask`]), then — if still over
+/// `cap` — drops the smallest-coverage entries (ties toward the oldest)
+/// until the pool fits. Survivors keep their relative order, so every
+/// engine's replica distills to the same pool. Returns the eviction count.
+fn distill_pool(pool: &mut Vec<PoolEntry>, cap: usize) -> usize {
+    if pool.len() <= 1 {
+        return 0;
+    }
+    let traces: Vec<Option<&TraceFile>> = pool.iter().map(|e| e.trace.as_deref()).collect();
+    let mut keep = distill_keep_mask(&traces);
+    if !keep.iter().any(|&k| k) {
+        // All traces subsumed (e.g. every entry is empty-coverage): the
+        // pool must never distill to nothing, or the pick RNG has no range.
+        keep[0] = true;
+    }
+    let kept: Vec<usize> = (0..pool.len()).filter(|&i| keep[i]).collect();
+    if kept.len() > cap {
+        let mut by_size: Vec<(usize, usize)> = kept
+            .iter()
+            .map(|&i| {
+                let size = pool[i].trace.as_ref().map_or(0, |t| {
+                    let s = t.stats();
+                    s.stmt + s.br
+                });
+                (size, i)
+            })
+            .collect();
+        by_size.sort_unstable();
+        for &(_, i) in by_size.iter().take(kept.len() - cap) {
+            keep[i] = false;
+        }
+    }
+    let before = pool.len();
+    let mut flags = keep.iter();
+    // The mask is one flag per entry by construction; a (impossible)
+    // short mask degrades to keeping the tail rather than panicking.
+    pool.retain(|_| flags.next().copied().unwrap_or(true));
+    before - pool.len()
+}
+
+/// Distillation telemetry from one engine's (replica's) boundary passes.
+#[derive(Debug, Clone, Copy, Default)]
+struct DistillCounters {
+    passes: u64,
+    evicted: u64,
+}
+
+impl DistillCounters {
+    fn run(&mut self, pool: &mut Vec<PoolEntry>, cap: usize) {
+        self.evicted += distill_pool(pool, cap) as u64;
+        self.passes += 1;
+    }
+}
+
+/// Lowers each seed exactly once (through one shared scratch), optionally
+/// tracing each seed's startup run, then applies the configured selection
+/// strategy — producing the pool every engine starts from. The parallel
+/// engines share the entries with all of their shard replicas by `Arc`
+/// handle instead of re-lowering per shard.
+///
+/// Traces are recorded whenever the algorithm consults coverage *or* the
+/// seed-intelligence knobs need them (max-cover selection, distillation);
+/// with every knob off and a non-tracing algorithm this is byte-identical
+/// to the old untraced seeding.
+fn prepare_seed_pool(
+    seeds: &[IrClass],
+    config: &CampaignConfig,
+    reference: &Jvm,
+    scratch: &mut TraceFile,
+) -> Vec<PoolEntry> {
     let mut lower = LowerScratch::new();
-    seeds
+    let want_traces = needs_trace(config.algorithm)
+        || config.seed_select == SeedSelect::MaxCover
+        || config.pool_cap.is_some();
+    let mut entries: Vec<PoolEntry> = seeds
         .iter()
-        .map(|s| PoolEntry::from_seed(s, &mut lower))
-        .collect()
+        .map(|s| {
+            let mut entry = PoolEntry::from_seed(s, &mut lower);
+            if want_traces {
+                reference.run_traced_into(&entry.bytes, scratch);
+                entry.trace = Some(Arc::new(scratch.snapshot()));
+            }
+            entry
+        })
+        .collect();
+    if config.seed_select == SeedSelect::MaxCover {
+        let traces: Vec<Option<&TraceFile>> = entries.iter().map(|e| e.trace.as_deref()).collect();
+        let order = greedy_max_cover_order(&traces, config.pool_cap.unwrap_or(usize::MAX));
+        if !order.is_empty() {
+            let mut taken: Vec<Option<PoolEntry>> = entries.into_iter().map(Some).collect();
+            // Max-cover picks are unique, in-range indices by construction;
+            // filter_map rather than index so a malformed order could only
+            // shrink the pool, never panic a campaign.
+            entries = order
+                .iter()
+                .filter_map(|&i| taken.get_mut(i)?.take())
+                .collect();
+        }
+        // An empty pick list (every seed zero-coverage) falls back to the
+        // full corpus rather than an unrunnable empty pool.
+    }
+    entries
 }
 
 /// Per-shard contribution to a campaign, reported in [`CampaignResult`].
@@ -595,28 +749,27 @@ fn diff_execution(harness: &DifferentialHarness, gen_index: usize, bytes: &[u8])
     }
 }
 
-/// Seeds the acceptance state with the seeds' own traces (Algorithm 1
+/// Seeds the acceptance state with the selected seeds' traces (Algorithm 1
 /// line 1: TestClasses ← Seeds), so mutants must differ from seeds too.
-/// Records into `scratch`, the same reusable buffer the campaign loop uses.
-/// Reads each seed's bytes from the pool cache — seeds were lowered once,
-/// in [`seed_entries`].
-fn seed_acceptance(
-    acceptance: &mut Acceptance,
-    seed_pool: &[PoolEntry],
-    reference: &Jvm,
-    scratch: &mut TraceFile,
-) {
+/// Reads each seed's trace from the pool cache — seeds were lowered and
+/// traced once, in [`prepare_seed_pool`], which always records traces for
+/// the coverage-consulting algorithms this function acts on. Under
+/// max-cover selection only the *selected* seeds enter the suite, matching
+/// the pool the campaign actually mutates.
+fn seed_acceptance(acceptance: &mut Acceptance, seed_pool: &[PoolEntry]) {
     match acceptance {
         Acceptance::Unique(index) => {
             for seed in seed_pool {
-                reference.run_traced_into(&seed.bytes, scratch);
-                index.insert(scratch);
+                if let Some(trace) = &seed.trace {
+                    index.insert(trace);
+                }
             }
         }
         Acceptance::Greedy(global) => {
             for seed in seed_pool {
-                reference.run_traced_into(&seed.bytes, scratch);
-                global.absorb(scratch);
+                if let Some(trace) = &seed.trace {
+                    global.absorb(trace);
+                }
             }
         }
         Acceptance::All => {}
@@ -768,10 +921,10 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
     // for the generate half of the loop.
     let mut scratch = TraceFile::new();
     let mut lower = LowerScratch::new();
-    // The mutation pool: seeds plus accepted mutants (line 14), each with
-    // its lowered bytes cached alongside.
-    let pool_seeds = seed_entries(seeds);
-    seed_acceptance(&mut acceptance, &pool_seeds, &reference, &mut scratch);
+    // The mutation pool: selected seeds plus accepted mutants (line 14),
+    // each with its lowered bytes cached alongside.
+    let pool_seeds = prepare_seed_pool(seeds, config, &reference, &mut scratch);
+    seed_acceptance(&mut acceptance, &pool_seeds);
     let tracing = needs_trace(config.algorithm).then_some(&reference);
     let crash_dir = config.crash_dir.as_deref();
     let exec_harness = config.exec_diff.then(DifferentialHarness::paper_five);
@@ -782,10 +935,19 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
     let mut crashes: Vec<CrashRecord> = Vec::new();
     let mut exec_reports: Vec<ExecReport> = Vec::new();
     let mut executed = 0usize;
+    let mut distill = DistillCounters::default();
 
     for _ in 0..config.iterations {
         if pool.is_empty() {
             break;
+        }
+        // Boundary distillation runs *between* iterations — after every
+        // DISTILL_INTERVAL-th executed iteration, before the next pick —
+        // the same points the parallel engines' replicas distill at.
+        if let Some(cap) = config.pool_cap {
+            if executed > 0 && executed.is_multiple_of(DISTILL_INTERVAL) {
+                distill.run(&mut pool, cap);
+            }
         }
         executed += 1;
         let cand = match next_candidate(
@@ -845,7 +1007,11 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
             if let Some(harness) = &exec_harness {
                 exec_reports.push(diff_execution(harness, gen_index, &bytes));
             }
-            pool.push(PoolEntry { class, bytes });
+            pool.push(PoolEntry {
+                class,
+                bytes,
+                trace: cand.trace.map(Arc::new),
+            });
             selector.record_success(cand.mutator_id);
         }
     }
@@ -856,6 +1022,9 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         generated: gen_classes.len(),
         accepted: test_classes.len(),
     }];
+    let mut acceptance = acceptance_telemetry(&acceptance, &exec_reports);
+    acceptance.distill_passes = distill.passes;
+    acceptance.distill_evicted = distill.evicted;
     CampaignResult {
         algorithm: config.algorithm,
         iterations: config.iterations,
@@ -866,7 +1035,7 @@ pub fn run_campaign(seeds: &[IrClass], config: &CampaignConfig) -> CampaignResul
         seed_count: seeds.len(),
         shard_stats,
         crashes,
-        acceptance: acceptance_telemetry(&acceptance, &exec_reports),
+        acceptance,
         exec_reports,
     }
 }
@@ -904,6 +1073,16 @@ enum Work {
 struct Report {
     shard_id: usize,
     work: Work,
+}
+
+/// What a lockstep shard hands back when its loop finishes: the selector's
+/// stats table plus the replica's distillation telemetry. Replicas distill
+/// identically, so the coordinator reports shard 0's counters (the shard
+/// with the full round count — the one a sequential run mirrors).
+#[derive(Default)]
+struct ShardOutcome {
+    stats: Vec<MutatorStats>,
+    distill: DistillCounters,
 }
 
 /// The coordinator's per-round verdict, broadcast to every active shard.
@@ -972,10 +1151,11 @@ pub fn run_campaign_parallel(
     let reference = Jvm::new(VmSpec::hotspot9());
     let mut acceptance = make_acceptance(config.algorithm);
     let mut seed_scratch = TraceFile::new();
-    // Seeds are lowered exactly once, here; every shard's pool replica
-    // shares these entries by `Arc` handle.
-    let seed_pool = seed_entries(seeds);
-    seed_acceptance(&mut acceptance, &seed_pool, &reference, &mut seed_scratch);
+    // Seeds are lowered (and, when needed, traced and selected) exactly
+    // once, here; every shard's pool replica shares these entries by `Arc`
+    // handle.
+    let seed_pool = prepare_seed_pool(seeds, config, &reference, &mut seed_scratch);
+    seed_acceptance(&mut acceptance, &seed_pool);
     let tracing = needs_trace(config.algorithm);
     // Execution differencing happens coordinator-side, in acceptance order
     // (round-major, shard-minor) — identical to the sequential engine's
@@ -1014,6 +1194,7 @@ pub fn run_campaign_parallel(
     }
 
     let mut stat_tables: Vec<Vec<MutatorStats>> = vec![Vec::new(); num_shards];
+    let mut shard_distill: Vec<DistillCounters> = vec![DistillCounters::default(); num_shards];
     let mut engine_error: Option<EngineError> = None;
     // Per-shard last generated classfile — attached to an EngineError as
     // the prime suspect when that shard dies. `Arc` handles: recording the
@@ -1029,13 +1210,13 @@ pub fn run_campaign_parallel(
             reply_txs.push(reply_tx);
             let report_tx = report_tx.clone();
             let shard_pool = seed_pool.clone();
-            handles.push(scope.spawn(move || -> Vec<MutatorStats> {
+            handles.push(scope.spawn(move || -> ShardOutcome {
                 // Mutation and VM startup contain their own panics; this
                 // outer containment is the shard's last line of defence —
                 // an escaped panic becomes a ShardDied report (so the
                 // coordinator can abort diagnosably) instead of a scope
                 // abort that loses the whole campaign's progress.
-                let shard_loop = || -> Vec<MutatorStats> {
+                let shard_loop = || -> ShardOutcome {
                     let mutators: Vec<Mutator> = campaign_mutators(config);
                     let mut rng = StdRng::seed_from_u64(shard_rng_seed(config.rng_seed, shard_id));
                     let mut selector = make_selector(config, mutators.len());
@@ -1051,7 +1232,8 @@ pub fn run_campaign_parallel(
                     // before each use.
                     let mut scratch = TraceFile::new();
                     let mut lower = LowerScratch::new();
-                    for _round in 0..my_iterations {
+                    let mut distill = DistillCounters::default();
+                    for round in 0..my_iterations {
                         let produced = next_candidate(
                             &pool,
                             seeds,
@@ -1093,17 +1275,31 @@ pub fn run_campaign_parallel(
                             }
                         }
                         pool.extend(reply.additions);
+                        // The same between-iterations boundary the
+                        // sequential engine distills at: after every
+                        // DISTILL_INTERVAL-th completed round, skipping
+                        // the no-op pass after this shard's final round.
+                        if let Some(cap) = config.pool_cap {
+                            if (round + 1).is_multiple_of(DISTILL_INTERVAL)
+                                && round + 1 < my_iterations
+                            {
+                                distill.run(&mut pool, cap);
+                            }
+                        }
                     }
-                    selector.stats()
+                    ShardOutcome {
+                        stats: selector.stats(),
+                        distill,
+                    }
                 };
                 match run_contained(shard_loop) {
-                    Ok(stats) => stats,
+                    Ok(outcome) => outcome,
                     Err(detail) => {
                         let _ = report_tx.send(Report {
                             shard_id,
                             work: Work::ShardDied(detail),
                         });
-                        Vec::new()
+                        ShardOutcome::default()
                     }
                 }
             }));
@@ -1209,7 +1405,11 @@ pub fn run_campaign_parallel(
                             if let Some(harness) = &exec_harness {
                                 exec_reports.push(diff_execution(harness, gen_index, &bytes));
                             }
-                            additions.push(PoolEntry { class, bytes });
+                            additions.push(PoolEntry {
+                                class,
+                                bytes,
+                                trace: cand.trace.map(Arc::new),
+                            });
                             accepted_flags[shard_id] = true;
                             shard_stats[shard_id].accepted += 1;
                         }
@@ -1228,7 +1428,10 @@ pub fn run_campaign_parallel(
         drop(reply_txs);
         for (shard_id, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(stats) => stat_tables[shard_id] = stats,
+                Ok(outcome) => {
+                    stat_tables[shard_id] = outcome.stats;
+                    shard_distill[shard_id] = outcome.distill;
+                }
                 Err(_) => {
                     if engine_error.is_none() {
                         engine_error = Some(EngineError {
@@ -1246,6 +1449,9 @@ pub fn run_campaign_parallel(
     if let Some(error) = engine_error {
         return Err(error);
     }
+    let mut acceptance = acceptance_telemetry(&acceptance, &exec_reports);
+    acceptance.distill_passes = shard_distill[0].passes;
+    acceptance.distill_evicted = shard_distill[0].evicted;
     Ok(CampaignResult {
         algorithm: config.algorithm,
         iterations: config.iterations,
@@ -1256,7 +1462,7 @@ pub fn run_campaign_parallel(
         seed_count: seeds.len(),
         shard_stats,
         crashes,
-        acceptance: acceptance_telemetry(&acceptance, &exec_reports),
+        acceptance,
         exec_reports,
     })
 }

@@ -35,9 +35,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use super::{
-    campaign_mutators, diff_execution, make_selector, needs_trace, next_candidate, record_crash,
-    seed_entries, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult, CrashRecord,
-    CrashSite, EngineError, ExecReport, GeneratedClass, PoolEntry, Produced, ShardStats,
+    campaign_mutators, diff_execution, distill_pool, make_selector, needs_trace, next_candidate,
+    prepare_seed_pool, record_crash, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult,
+    CrashRecord, CrashSite, EngineError, ExecReport, GeneratedClass, PoolEntry, Produced,
+    ShardStats, DISTILL_INTERVAL,
 };
 use crate::diff::DifferentialHarness;
 
@@ -61,6 +62,8 @@ struct AsyncCounters {
     accepted: AtomicU64,
     fingerprint_fast_path: AtomicU64,
     word_compare_fallbacks: AtomicU64,
+    distill_passes: AtomicU64,
+    distill_evicted: AtomicU64,
 }
 
 impl AsyncCounters {
@@ -72,6 +75,8 @@ impl AsyncCounters {
             word_compare_fallbacks: self.word_compare_fallbacks.load(Ordering::Relaxed),
             exec_runs: 0,
             exec_discrepancies: 0,
+            distill_passes: self.distill_passes.load(Ordering::Relaxed),
+            distill_evicted: self.distill_evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,22 +122,27 @@ impl AsyncAcceptance {
 
     /// Algorithm 1 line 1 (TestClasses ← Seeds), against the shared state.
     /// Runs before any shard spawns, so plain sequential inserts suffice.
-    fn seed(&self, seed_pool: &[PoolEntry], reference: &Jvm, scratch: &mut TraceFile) {
+    /// Seed traces come from the pool cache — recorded once by
+    /// [`prepare_seed_pool`], which always traces for the
+    /// coverage-consulting algorithms this acts on.
+    fn seed(&self, seed_pool: &[PoolEntry]) {
         match self {
             AsyncAcceptance::Unique {
                 index, published, ..
             } => {
                 let mut index = write_lock(index);
                 for seed in seed_pool {
-                    reference.run_traced_into(&seed.bytes, scratch);
-                    index.insert(scratch);
-                    published.absorb(scratch);
+                    if let Some(trace) = &seed.trace {
+                        index.insert(trace);
+                        published.absorb(trace);
+                    }
                 }
             }
             AsyncAcceptance::Greedy(published) => {
                 for seed in seed_pool {
-                    reference.run_traced_into(&seed.bytes, scratch);
-                    published.absorb(scratch);
+                    if let Some(trace) = &seed.trace {
+                        published.absorb(trace);
+                    }
                 }
             }
             AsyncAcceptance::All => {}
@@ -209,18 +219,27 @@ impl AsyncAcceptance {
     }
 }
 
+/// The shared candidate pool as a versioned immutable snapshot. Writers
+/// (accept appends and distillation passes) build a fresh `Arc<Vec<_>>`
+/// under the write lock and bump `version`; readers clone the `Arc` and
+/// work from the snapshot lock-free. Distillation can therefore *remove*
+/// entries without breaking readers — the old prefix-sync replica scheme
+/// assumed an append-only pool, which eviction violates.
+struct PoolState {
+    version: u64,
+    entries: Arc<Vec<PoolEntry>>,
+}
+
 /// Everything the free-running shards share.
 struct AsyncShared<'a> {
     config: &'a CampaignConfig,
     seeds: &'a [IrClass],
-    /// The global candidate pool: seeds plus every accepted mutant, in
-    /// acceptance order. Writers append under a short write lock; readers
-    /// sync their local replica from `pool[local.len()..]` (the shared
-    /// pool is append-only, so a replica is always a prefix of it).
-    pool: RwLock<Vec<PoolEntry>>,
-    /// `pool.len()`, readable without the lock — shards poll this each
+    /// The global candidate pool: seeds plus every accepted mutant minus
+    /// distilled evictions, published as a versioned snapshot.
+    pool: RwLock<PoolState>,
+    /// `pool.version`, readable without the lock — shards poll this each
     /// iteration and only take the read lock when there is news.
-    pool_len: AtomicUsize,
+    pool_version: AtomicU64,
     acceptance: AsyncAcceptance,
     counters: AsyncCounters,
     /// The shared iteration budget: each shard claims iterations with
@@ -279,21 +298,26 @@ fn shard_loop(
     let tracing = needs_trace(shared.config.algorithm).then_some(&reference);
     let mut scratch = TraceFile::new();
     let mut lower = LowerScratch::new();
-    // The shard's pool replica starts at the seeds (the shared pool holds
-    // exactly those until somebody accepts) and stays a prefix-consistent
-    // copy of the shared pool from then on.
-    let mut pool: Vec<PoolEntry> = read_lock(&shared.pool).clone();
+    // The shard's replica is an `Arc` clone of the latest published
+    // snapshot — distillation may shrink the shared pool, so replicas
+    // track whole snapshots (cheap: one `Arc` clone), not prefixes.
+    let (mut pool, mut pool_version) = {
+        let state = read_lock(&shared.pool);
+        (Arc::clone(&state.entries), state.version)
+    };
     loop {
         if shared.stop.load(Ordering::Relaxed) {
             break;
         }
-        if shared.next_iteration.fetch_add(1, Ordering::Relaxed) >= shared.config.iterations {
+        let it = shared.next_iteration.fetch_add(1, Ordering::Relaxed);
+        if it >= shared.config.iterations {
             break;
         }
-        // Opportunistic replica sync: no lock unless a peer published.
-        if shared.pool_len.load(Ordering::Acquire) > pool.len() {
-            let shared_pool = read_lock(&shared.pool);
-            pool.extend(shared_pool[pool.len()..].iter().cloned());
+        // Opportunistic snapshot sync: no lock unless a peer published.
+        if shared.pool_version.load(Ordering::Acquire) != pool_version {
+            let state = read_lock(&shared.pool);
+            pool = Arc::clone(&state.entries);
+            pool_version = state.version;
         }
         let produced = next_candidate(
             &pool,
@@ -329,16 +353,20 @@ fn shard_loop(
                     let entry = PoolEntry {
                         class: Arc::clone(&class),
                         bytes: Arc::clone(&bytes),
+                        trace: cand.trace.map(Arc::new),
                     };
-                    let mut shared_pool = write_lock(&shared.pool);
-                    // Sync the replica up to the shared tip first, then
-                    // append our own entry to both — the replica stays a
-                    // prefix of the shared pool, so no entry is ever
-                    // duplicated or skipped.
-                    pool.extend(shared_pool[pool.len()..].iter().cloned());
-                    shared_pool.push(entry.clone());
-                    pool.push(entry);
-                    shared.pool_len.store(shared_pool.len(), Ordering::Release);
+                    // Copy-on-write publish: build the next snapshot under
+                    // the write lock, bump the version, and adopt it as the
+                    // local replica — readers holding the old `Arc` are
+                    // unaffected.
+                    let mut state = write_lock(&shared.pool);
+                    let mut next = state.entries.as_ref().clone();
+                    next.push(entry);
+                    state.entries = Arc::new(next);
+                    state.version += 1;
+                    shared.pool_version.store(state.version, Ordering::Release);
+                    pool = Arc::clone(&state.entries);
+                    pool_version = state.version;
                 }
                 AsyncWork::Generated {
                     class,
@@ -349,6 +377,33 @@ fn shard_loop(
                 }
             }
         };
+        // Boundary distillation mirrors the other engines: after the
+        // iteration whose 1-based index hits the interval completes (and
+        // only if the campaign continues past it), so a one-shard async
+        // run prunes at exactly the sequential engine's boundaries.
+        if let Some(cap) = shared.config.pool_cap {
+            if (it + 1).is_multiple_of(DISTILL_INTERVAL) && it + 1 < shared.config.iterations {
+                let mut state = write_lock(&shared.pool);
+                let mut next = state.entries.as_ref().clone();
+                let evicted = distill_pool(&mut next, cap);
+                if evicted > 0 {
+                    state.entries = Arc::new(next);
+                    state.version += 1;
+                    shared.pool_version.store(state.version, Ordering::Release);
+                }
+                pool = Arc::clone(&state.entries);
+                pool_version = state.version;
+                drop(state);
+                shared
+                    .counters
+                    .distill_passes
+                    .fetch_add(1, Ordering::Relaxed);
+                shared
+                    .counters
+                    .distill_evicted
+                    .fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+        }
         if report_tx.send(AsyncReport { shard_id, work }).is_err() {
             break;
         }
@@ -378,8 +433,8 @@ pub(super) fn run_campaign_async(
     let reference = Jvm::new(VmSpec::hotspot9());
     let acceptance = AsyncAcceptance::new(config.algorithm);
     let mut seed_scratch = TraceFile::new();
-    let seed_pool = seed_entries(seeds);
-    acceptance.seed(&seed_pool, &reference, &mut seed_scratch);
+    let seed_pool = prepare_seed_pool(seeds, config, &reference, &mut seed_scratch);
+    acceptance.seed(&seed_pool);
     let exec_harness = config.exec_diff.then(DifferentialHarness::paper_five);
 
     let mut gen_classes: Vec<GeneratedClass> = Vec::new();
@@ -398,8 +453,11 @@ pub(super) fn run_campaign_async(
     let shared = AsyncShared {
         config,
         seeds,
-        pool_len: AtomicUsize::new(seed_pool.len()),
-        pool: RwLock::new(seed_pool),
+        pool_version: AtomicU64::new(0),
+        pool: RwLock::new(PoolState {
+            version: 0,
+            entries: Arc::new(seed_pool),
+        }),
         acceptance,
         counters: AsyncCounters::default(),
         next_iteration: AtomicUsize::new(0),
@@ -573,6 +631,10 @@ fn async_telemetry(shared: &AsyncShared<'_>, exec_reports: &[ExecReport]) -> Acc
         AsyncAcceptance::Unique { .. } => shared.counters.telemetry(),
         AsyncAcceptance::Greedy(_) | AsyncAcceptance::All => AcceptanceTelemetry::default(),
     };
+    // Distillation runs for every algorithm (it is a pool property, not an
+    // acceptance property), so its counters ride along unconditionally.
+    telemetry.distill_passes = shared.counters.distill_passes.load(Ordering::Relaxed);
+    telemetry.distill_evicted = shared.counters.distill_evicted.load(Ordering::Relaxed);
     telemetry.exec_runs = exec_reports.len() as u64;
     telemetry.exec_discrepancies = exec_reports
         .iter()

@@ -44,6 +44,7 @@ pub use analyze::{evaluate_suite, SuiteEvaluation};
 pub use diff::{DifferentialHarness, ExecDiscrepancy, OutcomeVector};
 pub use engine::{
     run_campaign, run_campaign_parallel, shard_rng_seed, Algorithm, CampaignConfig, CampaignResult,
-    CrashRecord, CrashSite, EngineError, ExecReport, GeneratedClass, Schedule, ShardStats,
+    CrashRecord, CrashSite, EngineError, ExecReport, GeneratedClass, Schedule, SeedSelect,
+    ShardStats,
 };
-pub use seeds::SeedCorpus;
+pub use seeds::{SeedCorpus, SeedShape};

@@ -18,6 +18,64 @@ use classfuzz_jimple::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Which template family a generated corpus draws from — the targeted
+/// generation knob behind `--seed-shape`. `Classic` reproduces the
+/// historical corpus byte for byte; the targeted shapes bias toward
+/// structures known to stress different loader/verifier paths, and
+/// `Mixed` blends all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedShape {
+    /// The original template mix (the default; exact old RNG stream).
+    #[default]
+    Classic,
+    /// Deep library hierarchies: subclasses of library supers layering
+    /// interfaces and overrides, stressing resolution and dispatch.
+    Deep,
+    /// Wide constant pools: dozens of distinct string/long/double
+    /// constants, stressing constant-pool indexing and wide entries.
+    Wide,
+    /// Exotic attributes: synthetic/bridge/varargs methods, volatile and
+    /// transient fields, multi-entry `throws` clauses, typed
+    /// ConstantValue attributes.
+    Exotic,
+    /// Version-gated library references plus non-default classfile major
+    /// versions (50–53), splitting the VM profile matrix by design.
+    Versioned,
+    /// A blend: roughly half classic, half drawn from the targeted shapes.
+    Mixed,
+}
+
+impl std::fmt::Display for SeedShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SeedShape::Classic => "classic",
+            SeedShape::Deep => "deep",
+            SeedShape::Wide => "wide",
+            SeedShape::Exotic => "exotic",
+            SeedShape::Versioned => "versioned",
+            SeedShape::Mixed => "mixed",
+        })
+    }
+}
+
+impl std::str::FromStr for SeedShape {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SeedShape, String> {
+        match s {
+            "classic" => Ok(SeedShape::Classic),
+            "deep" => Ok(SeedShape::Deep),
+            "wide" => Ok(SeedShape::Wide),
+            "exotic" => Ok(SeedShape::Exotic),
+            "versioned" => Ok(SeedShape::Versioned),
+            "mixed" => Ok(SeedShape::Mixed),
+            other => Err(format!(
+                "unknown seed shape `{other}` (expected classic|deep|wide|exotic|versioned|mixed)"
+            )),
+        }
+    }
+}
+
 /// A deterministic seed corpus.
 #[derive(Debug, Clone)]
 pub struct SeedCorpus {
@@ -25,12 +83,19 @@ pub struct SeedCorpus {
 }
 
 impl SeedCorpus {
-    /// Generates `count` seed classes from `seed`.
+    /// Generates `count` seed classes from `seed` with the classic
+    /// template mix (identical stream to all historical campaigns).
     pub fn generate(count: usize, seed: u64) -> SeedCorpus {
+        SeedCorpus::generate_shaped(count, seed, SeedShape::Classic)
+    }
+
+    /// Generates `count` seed classes from `seed`, drawing templates from
+    /// the given shape family.
+    pub fn generate_shaped(count: usize, seed: u64, shape: SeedShape) -> SeedCorpus {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut classes = Vec::with_capacity(count);
         for i in 0..count {
-            classes.push(generate_seed_class(i, &mut rng));
+            classes.push(generate_shaped_class(i, &mut rng, shape));
         }
         SeedCorpus { classes }
     }
@@ -52,6 +117,38 @@ impl SeedCorpus {
             .map(|c| classfuzz_jimple::lower::lower_class(c).to_bytes())
             .collect()
     }
+}
+
+fn generate_shaped_class(index: usize, rng: &mut StdRng, shape: SeedShape) -> IrClass {
+    let mut class = match shape {
+        SeedShape::Classic => return generate_seed_class(index, rng),
+        SeedShape::Deep => deep_hierarchy_class(&shaped_name("D", index), rng),
+        SeedShape::Wide => wide_constant_pool_class(&shaped_name("W", index), rng),
+        SeedShape::Exotic => exotic_attribute_class(&shaped_name("X", index), rng),
+        SeedShape::Versioned => version_gated_class(&shaped_name("V", index), rng),
+        SeedShape::Mixed => {
+            // One roll routes between the families so the blend is part of
+            // the same deterministic stream as the per-template rolls.
+            return match rng.gen_range(0..100u32) {
+                0..=51 => generate_seed_class(index, rng),
+                52..=67 => generate_shaped_class(index, rng, SeedShape::Deep),
+                68..=79 => generate_shaped_class(index, rng, SeedShape::Wide),
+                80..=89 => generate_shaped_class(index, rng, SeedShape::Exotic),
+                _ => generate_shaped_class(index, rng, SeedShape::Versioned),
+            };
+        }
+    };
+    if !class.is_interface() {
+        class.ensure_main("Completed!");
+    }
+    class
+}
+
+fn shaped_name(tag: &str, index: usize) -> String {
+    format!(
+        "seed/{tag}{}{index}",
+        1_430_000_000u64 + index as u64 * 7919
+    )
 }
 
 fn generate_seed_class(index: usize, rng: &mut StdRng) -> IrClass {
@@ -604,6 +701,220 @@ fn environment_sensitive_class(name: &str, rng: &mut StdRng) -> IrClass {
     class
 }
 
+/// Deep library hierarchies: a library super plus layered interfaces and
+/// concrete overrides, so resolution walks real inheritance chains.
+fn deep_hierarchy_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let supers = [
+        "java/lang/Thread",
+        "java/lang/Exception",
+        "java/util/HashMap",
+        "java/lang/Object",
+    ];
+    let sup = supers[rng.gen_range(0..supers.len())];
+    let mut class = IrClass::new(name);
+    class.super_class = Some(sup.to_string());
+    class.methods.push(default_constructor(sup));
+    class.interfaces.push("java/lang/Runnable".into());
+    if rng.gen_bool(0.6) {
+        class.interfaces.push("java/lang/Cloneable".into());
+    }
+    if rng.gen_bool(0.4) {
+        class.interfaces.push("java/io/Serializable".into());
+    }
+    // The Runnable override, plus a chain of small methods calling down
+    // one level each — dispatch depth without dynamic allocation.
+    class.methods.push(
+        MethodBuilder::new("run", MethodAccess::PUBLIC)
+            .ret()
+            .build(),
+    );
+    let depth = rng.gen_range(2..5usize);
+    for d in 0..depth {
+        let mut builder = MethodBuilder::new(
+            format!("level{d}"),
+            MethodAccess::PUBLIC | MethodAccess::STATIC,
+        )
+        .returns(JType::Int)
+        .local("v", JType::Int);
+        builder = if d + 1 < depth {
+            builder.assign(
+                "v",
+                Expr::Invoke(InvokeExpr {
+                    kind: InvokeKind::Static,
+                    class: name.to_string(),
+                    name: format!("level{}", d + 1),
+                    params: vec![],
+                    ret: Some(JType::Int),
+                    receiver: None,
+                    args: vec![],
+                }),
+            )
+        } else {
+            builder.assign("v", Expr::Use(Value::int(rng.gen_range(1..50))))
+        };
+        class
+            .methods
+            .push(builder.ret_value(Value::local("v")).build());
+    }
+    class
+}
+
+/// Wide constant pools: dozens of distinct typed constants as
+/// ConstantValue fields plus string folding in a method body, pushing the
+/// pool well past the sizes the classic templates produce.
+fn wide_constant_pool_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    class.methods.push(default_constructor("java/lang/Object"));
+    let width = rng.gen_range(24..48usize);
+    for k in 0..width {
+        let (ty, constant) = match k % 4 {
+            0 => (
+                JType::string(),
+                Const::Str(format!("pool-{k}-{}", rng.gen_range(0..100_000u32))),
+            ),
+            1 => (
+                JType::Long,
+                Const::Long(i64::from(rng.gen_range(0..i32::MAX)) << 16),
+            ),
+            2 => (
+                JType::Double,
+                Const::Double(rng.gen_range(0..1_000_000) as f64 / 7.0),
+            ),
+            _ => (JType::Int, Const::Int(rng.gen_range(i32::MIN..i32::MAX))),
+        };
+        class.fields.push(IrField {
+            access: FieldAccess::PUBLIC | FieldAccess::STATIC | FieldAccess::FINAL,
+            name: format!("K{k}"),
+            ty,
+            constant_value: Some(constant),
+        });
+    }
+    let m = MethodBuilder::new("sample", MethodAccess::PUBLIC | MethodAccess::STATIC)
+        .returns(JType::string())
+        .local("s", JType::string())
+        .assign("s", Expr::Use(Value::str(format!("w{width}"))))
+        .assign(
+            "s",
+            Expr::Invoke(InvokeExpr {
+                kind: InvokeKind::Virtual,
+                class: "java/lang/String".into(),
+                name: "concat".into(),
+                params: vec![JType::string()],
+                ret: Some(JType::string()),
+                receiver: Some(Value::local("s")),
+                args: vec![Value::str(format!("c{}", rng.gen_range(0..1000)))],
+            }),
+        )
+        .ret_value(Value::local("s"))
+        .build();
+    class.methods.push(m);
+    class
+}
+
+/// Exotic attribute combinations: synthetic/bridge/varargs method flags,
+/// volatile and transient fields, multi-entry `throws` clauses, and typed
+/// ConstantValue attributes — the attribute corners mutants rarely reach
+/// from the classic templates.
+fn exotic_attribute_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = IrClass::new(name);
+    if rng.gen_bool(0.3) {
+        class.access |= ClassAccess::SYNTHETIC;
+    }
+    class.methods.push(default_constructor("java/lang/Object"));
+    class.fields.push(IrField {
+        access: FieldAccess::PRIVATE | FieldAccess::VOLATILE,
+        name: "state".into(),
+        ty: JType::Int,
+        constant_value: None,
+    });
+    class.fields.push(IrField {
+        access: FieldAccess::PROTECTED | FieldAccess::TRANSIENT,
+        name: "cache".into(),
+        ty: JType::object("java/util/Map"),
+        constant_value: None,
+    });
+    let typed_constant = match rng.gen_range(0..4u32) {
+        0 => (
+            JType::Float,
+            Const::Float(rng.gen_range(1..100) as f32 / 3.0),
+        ),
+        1 => (
+            JType::Double,
+            Const::Double(rng.gen_range(1..100) as f64 / 9.0),
+        ),
+        2 => (
+            JType::Long,
+            Const::Long(i64::from(rng.gen_range(0..i32::MAX)) * 3),
+        ),
+        _ => (
+            JType::string(),
+            Const::Str(format!("x{}", rng.gen_range(0..999))),
+        ),
+    };
+    class.fields.push(IrField {
+        access: FieldAccess::PUBLIC | FieldAccess::STATIC | FieldAccess::FINAL,
+        name: "SEED".into(),
+        ty: typed_constant.0,
+        constant_value: Some(typed_constant.1),
+    });
+    let mut risky = MethodBuilder::new(
+        "risky",
+        MethodAccess::PUBLIC | MethodAccess::STATIC | MethodAccess::SYNTHETIC,
+    )
+    .throws("java/io/IOException")
+    .ret()
+    .build();
+    risky
+        .exceptions
+        .push("java/lang/InterruptedException".into());
+    if rng.gen_bool(0.5) {
+        risky.exceptions.push("java/lang/RuntimeException".into());
+    }
+    class.methods.push(risky);
+    let mut variadic = MethodBuilder::new(
+        "join",
+        MethodAccess::PUBLIC | MethodAccess::STATIC | MethodAccess::VARARGS,
+    )
+    .param(JType::array(JType::string()))
+    .returns(JType::Int)
+    .local("n", JType::Int)
+    .local("a", JType::array(JType::string()))
+    .bind_param("a", 0)
+    .assign("n", Expr::ArrayLen(Value::local("a")))
+    .ret_value(Value::local("n"))
+    .build();
+    if rng.gen_bool(0.3) {
+        variadic.access |= MethodAccess::BRIDGE;
+    }
+    class.methods.push(variadic);
+    class
+}
+
+/// Version-gated shapes: non-default classfile major versions (50–53)
+/// combined (sometimes) with generation-sensitive library refs. Majors
+/// above a profile's `max_class_version` are rejected at the load phase,
+/// so these seeds split the VM matrix by construction.
+fn version_gated_class(name: &str, rng: &mut StdRng) -> IrClass {
+    let mut class = if rng.gen_bool(0.4) {
+        environment_sensitive_class(name, rng)
+    } else {
+        let mut c = IrClass::new(name);
+        c.methods.push(default_constructor("java/lang/Object"));
+        let m = MethodBuilder::new("tag", MethodAccess::PUBLIC | MethodAccess::STATIC)
+            .returns(JType::Int)
+            .local("v", JType::Int)
+            .assign("v", Expr::Use(Value::int(rng.gen_range(1..100))))
+            .ret_value(Value::local("v"))
+            .build();
+        c.methods.push(m);
+        c
+    };
+    // hotspot7/gij cap at 51, hotspot8/j9 at 52, hotspot9 at 53 — each
+    // step up the major ladder peels another profile off the matrix.
+    class.major_version = rng.gen_range(50..=53);
+    class
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +927,62 @@ mod tests {
         assert_eq!(a.classes(), b.classes());
         let c = SeedCorpus::generate(50, 10);
         assert_ne!(a.classes(), c.classes());
+    }
+
+    #[test]
+    fn classic_shape_is_the_default_stream() {
+        let classic = SeedCorpus::generate_shaped(40, 9, SeedShape::Classic);
+        let default = SeedCorpus::generate(40, 9);
+        assert_eq!(classic.classes(), default.classes());
+    }
+
+    #[test]
+    fn shaped_corpora_are_deterministic_and_valid() {
+        let jvm = Jvm::new(VmSpec::hotspot9());
+        for shape in [
+            SeedShape::Deep,
+            SeedShape::Wide,
+            SeedShape::Exotic,
+            SeedShape::Versioned,
+            SeedShape::Mixed,
+        ] {
+            let a = SeedCorpus::generate_shaped(30, 11, shape);
+            let b = SeedCorpus::generate_shaped(30, 11, shape);
+            assert_eq!(a.classes(), b.classes(), "{shape} not deterministic");
+            // Most shaped seeds must at least survive creation & loading
+            // on the reference VM (version-gated library refs may not).
+            let loaded = a
+                .to_bytes()
+                .iter()
+                .filter(|bytes| jvm.run(bytes).outcome.phase() != Phase::Loading)
+                .count();
+            assert!(
+                loaded * 10 >= a.classes().len() * 7,
+                "{shape}: only {loaded}/30 load on hotspot9"
+            );
+        }
+    }
+
+    #[test]
+    fn versioned_seeds_split_the_vm_matrix() {
+        let corpus = SeedCorpus::generate_shaped(40, 13, SeedShape::Versioned);
+        let jvms: Vec<Jvm> = VmSpec::all_five().into_iter().map(Jvm::new).collect();
+        let split = corpus
+            .to_bytes()
+            .iter()
+            .map(|bytes| {
+                let phases: Vec<u8> = jvms
+                    .iter()
+                    .map(|j| j.run(bytes).outcome.phase().code())
+                    .collect();
+                phases.iter().any(|&p| p != phases[0])
+            })
+            .filter(|&d| d)
+            .count();
+        assert!(
+            split > 0,
+            "no versioned seed split the profile matrix by phase"
+        );
     }
 
     #[test]

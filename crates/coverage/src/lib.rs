@@ -239,6 +239,25 @@ fn or_into(dst: &mut Vec<u64>, src: &[u64]) -> bool {
     grew
 }
 
+/// Bits of `src` not covered by `acc`, as a popcount. Both arrays may be
+/// untrimmed; missing `acc` capacity counts as zero words.
+fn words_gain(acc: &[u64], src: &[u64]) -> usize {
+    trimmed(src)
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s & !acc.get(i).copied().unwrap_or(0)).count_ones() as usize)
+        .sum()
+}
+
+/// Is every bit of `src` covered by `a | b`? (Word-wise subset test against
+/// the union of two accumulators, without materializing the union.)
+fn words_covered_by_pair(src: &[u64], a: &[u64], b: &[u64]) -> bool {
+    trimmed(src).iter().enumerate().all(|(i, &s)| {
+        let cover = a.get(i).copied().unwrap_or(0) | b.get(i).copied().unwrap_or(0);
+        s & !cover == 0
+    })
+}
+
 /// The FxHash multiplier, used for trace fingerprints: not cryptographic,
 /// but cheap and well-mixing over machine words.
 const FX_K: u64 = 0x517c_c1b7_2722_0a95;
@@ -734,6 +753,97 @@ impl GlobalCoverage {
         let branch_grew = or_into(&mut self.branch_words, &other.branch_words);
         stmt_grew || branch_grew
     }
+
+    /// Number of sites `trace` covers that this accumulator does not — the
+    /// marginal-gain term of greedy max-cover, as a word-wise
+    /// `popcount(src & !acc)` without materializing the difference.
+    pub fn gain(&self, trace: &TraceFile) -> usize {
+        words_gain(&self.stmt_words, &trace.stmt_words)
+            + words_gain(&self.branch_words, &trace.branch_words)
+    }
+
+    /// Subsumption test: does this accumulator already cover every site of
+    /// `trace`? (`trace ⊆ self`, word-wise.)
+    pub fn covers(&self, trace: &TraceFile) -> bool {
+        self.gain(trace) == 0
+    }
+}
+
+// --- Seed selection and corpus distillation ---------------------------------
+
+/// Greedy max-cover over a set of optional traces: repeatedly picks the
+/// trace with the largest marginal coverage gain (ties broken toward the
+/// lowest index), stopping when no remaining trace adds coverage or `cap`
+/// picks were made. Returns the picked indices in pick order; `None`
+/// entries (untraced) and zero-gain entries are never picked.
+///
+/// Purely word-wise (OR + popcount) and RNG-free, so the selection is a
+/// deterministic function of the input traces.
+pub fn greedy_max_cover_order(traces: &[Option<&TraceFile>], cap: usize) -> Vec<usize> {
+    let mut union = GlobalCoverage::new();
+    let mut picked = vec![false; traces.len()];
+    let mut order = Vec::new();
+    while order.len() < cap.min(traces.len()) {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, t) in traces.iter().enumerate() {
+            if picked[i] {
+                continue;
+            }
+            let Some(t) = t else { continue };
+            let gain = union.gain(t);
+            if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        picked[i] = true;
+        union.absorb(traces[i].expect("picked entries are Some"));
+        order.push(i);
+    }
+    order
+}
+
+/// Corpus-distillation keep mask: entry `i` is evicted exactly when its
+/// trace is subsumed by the union of everything already kept before it and
+/// everything not yet processed after it. Untraced (`None`) entries are
+/// always kept.
+///
+/// The single left-to-right pass preserves the invariant that the union of
+/// (kept ∪ unprocessed) never shrinks, so the surviving entries cover
+/// exactly the union the full input covered — distillation loses no sites.
+/// Duplicates are handled correctly: of `k` identical traces the last one
+/// survives. The pass is deterministic and idempotent (distilling a
+/// distilled pool evicts nothing), which is what lets the campaign engines
+/// run it at fixed iteration boundaries without perturbing replay.
+pub fn distill_keep_mask(traces: &[Option<&TraceFile>]) -> Vec<bool> {
+    let n = traces.len();
+    // suffix[i] = union of traces[i..]; suffix[n] is empty.
+    let mut suffix: Vec<GlobalCoverage> = Vec::with_capacity(n + 1);
+    suffix.push(GlobalCoverage::new());
+    for t in traces.iter().rev() {
+        let mut u = suffix.last().expect("non-empty").clone();
+        if let Some(t) = t {
+            u.absorb(t);
+        }
+        suffix.push(u);
+    }
+    suffix.reverse();
+    let mut kept = GlobalCoverage::new();
+    let mut keep = vec![true; n];
+    for (i, t) in traces.iter().enumerate() {
+        let Some(t) = t else { continue };
+        let after = &suffix[i + 1];
+        let stmt_covered =
+            words_covered_by_pair(&t.stmt_words, &kept.stmt_words, &after.stmt_words);
+        let branch_covered =
+            words_covered_by_pair(&t.branch_words, &kept.branch_words, &after.branch_words);
+        if stmt_covered && branch_covered {
+            keep[i] = false;
+        } else {
+            kept.absorb(t);
+        }
+    }
+    keep
 }
 
 // --- AtomicCoverage ---------------------------------------------------------
@@ -1182,6 +1292,77 @@ mod tests {
         // the 4 competing absorptions of trace k exactly one grew: the
         // total growth count equals the number of distinct traces.
         assert_eq!(growths.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn gain_and_covers_are_word_wise_set_difference() {
+        let mut g = GlobalCoverage::new();
+        g.absorb(&trace(&[1, 2], &[(5, true)]));
+        assert_eq!(g.gain(&trace(&[1, 2], &[(5, true)])), 0);
+        assert!(g.covers(&trace(&[1], &[])));
+        assert_eq!(g.gain(&trace(&[1, 3], &[(5, false)])), 2);
+        assert!(!g.covers(&trace(&[3], &[])));
+        // An empty trace is covered by anything, including an empty union.
+        assert!(GlobalCoverage::new().covers(&TraceFile::new()));
+    }
+
+    #[test]
+    fn greedy_max_cover_picks_by_marginal_gain() {
+        let a = trace(&[1, 2, 3], &[]); // 3 sites
+        let b = trace(&[1, 2], &[]); // subset of a: gain 0 once a is in
+        let c = trace(&[4], &[(9, true)]); // 2 fresh sites
+        let d = trace(&[3], &[]); // subsumed
+        let traces = [Some(&a), Some(&b), Some(&c), Some(&d), None];
+        let order = greedy_max_cover_order(&traces, usize::MAX);
+        assert_eq!(order, vec![0, 2], "zero-gain and untraced entries dropped");
+        // Cap truncates the pick list.
+        assert_eq!(greedy_max_cover_order(&traces, 1), vec![0]);
+        // Ties break toward the lowest index.
+        let x = trace(&[10], &[]);
+        let y = trace(&[11], &[]);
+        assert_eq!(greedy_max_cover_order(&[Some(&x), Some(&y)], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn distill_keeps_exactly_the_non_subsumed() {
+        let a = trace(&[1, 2], &[]);
+        let b = trace(&[1], &[]); // ⊆ a: evicted
+        let c = trace(&[3], &[(9, false)]); // unique sites: kept
+        let keep = distill_keep_mask(&[Some(&a), Some(&b), Some(&c), None]);
+        assert_eq!(keep, vec![true, false, true, true]);
+        // Union is preserved: of k identical traces the last survives.
+        let dup = trace(&[7], &[]);
+        let keep = distill_keep_mask(&[Some(&dup), Some(&dup), Some(&dup)]);
+        assert_eq!(keep, vec![false, false, true]);
+        // Idempotent: a distilled set distills to itself.
+        let keep = distill_keep_mask(&[Some(&a), Some(&c)]);
+        assert_eq!(keep, vec![true, true]);
+        // Empty traces carry no sites and are always subsumed.
+        let empty = TraceFile::new();
+        assert_eq!(distill_keep_mask(&[Some(&empty)]), vec![false]);
+    }
+
+    #[test]
+    fn distill_preserves_total_coverage() {
+        let traces = [
+            trace(&[1, 2], &[(5, true)]),
+            trace(&[2], &[(5, true)]),
+            trace(&[2, 3], &[]),
+            trace(&[1, 2, 3], &[(5, true)]), // subsumes everything above
+            trace(&[9], &[]),
+        ];
+        let refs: Vec<Option<&TraceFile>> = traces.iter().map(Some).collect();
+        let keep = distill_keep_mask(&refs);
+        let mut full = GlobalCoverage::new();
+        let mut kept = GlobalCoverage::new();
+        for (t, &k) in traces.iter().zip(&keep) {
+            full.absorb(t);
+            if k {
+                kept.absorb(t);
+            }
+        }
+        assert_eq!(kept, full, "distillation must not lose sites");
+        assert!(keep.iter().filter(|&&k| k).count() < traces.len());
     }
 
     #[test]

@@ -284,6 +284,12 @@ pub struct AcceptanceTelemetry {
     /// Of those, how many diverged in execution verdict under a uniform
     /// startup key — the discrepancies the phase matrix cannot see.
     pub exec_discrepancies: u64,
+    /// Pool-distillation passes run at fixed iteration boundaries; zero
+    /// unless the campaign set a pool cap.
+    pub distill_passes: u64,
+    /// Pool entries evicted by distillation (coverage subsumed by the rest
+    /// of the pool, or dropped by the cap's smallest-coverage-first rule).
+    pub distill_evicted: u64,
 }
 
 impl AcceptanceTelemetry {
@@ -295,6 +301,8 @@ impl AcceptanceTelemetry {
         self.word_compare_fallbacks += other.word_compare_fallbacks;
         self.exec_runs += other.exec_runs;
         self.exec_discrepancies += other.exec_discrepancies;
+        self.distill_passes += other.distill_passes;
+        self.distill_evicted += other.distill_evicted;
     }
 
     /// Fraction of `[tr]` offers the fingerprint fast path settled; `None`
@@ -314,6 +322,8 @@ impl From<classfuzz_coverage::IndexCounters> for AcceptanceTelemetry {
             word_compare_fallbacks: c.word_compare_fallbacks,
             exec_runs: 0,
             exec_discrepancies: 0,
+            distill_passes: 0,
+            distill_evicted: 0,
         }
     }
 }
@@ -527,6 +537,8 @@ mod tests {
             word_compare_fallbacks: 2,
             exec_runs: 4,
             exec_discrepancies: 1,
+            distill_passes: 2,
+            distill_evicted: 3,
         };
         let b = AcceptanceTelemetry {
             offered: 5,
@@ -535,12 +547,16 @@ mod tests {
             word_compare_fallbacks: 0,
             exec_runs: 1,
             exec_discrepancies: 0,
+            distill_passes: 1,
+            distill_evicted: 0,
         };
         a.merge(&b);
         assert_eq!(a.offered, 15);
         assert_eq!(a.accepted, 5);
         assert_eq!(a.exec_runs, 5);
         assert_eq!(a.exec_discrepancies, 1);
+        assert_eq!(a.distill_passes, 3);
+        assert_eq!(a.distill_evicted, 3);
         assert_eq!(a.fast_path_rate(), Some(0.8));
         assert_eq!(AcceptanceTelemetry::default().fast_path_rate(), None);
     }

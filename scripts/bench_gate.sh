@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Bench-smoke gate: runs the five gated benchmark scenarios on fixed
+# Bench-smoke gate: runs the six gated benchmark scenarios on fixed
 # seeds and fails CI on regression. Extra flags pass through to covbench
 # for every scenario (e.g. --repeats 3).
 #
@@ -58,6 +58,19 @@
 #   * one-shard async throughput regresses more than 20% against the
 #     committed BENCH_scale.baseline.json.
 #
+# Scenario `yield` — distinct discrepancy keys per fixed iteration
+# budget, uniform seeding vs greedy max-cover selection + live corpus
+# distillation (crates/bench/src/yieldbench.rs) → BENCH_yield.json.
+# Fully deterministic (both arms replay bit for bit on any machine);
+# fails when
+#
+#   * the maxcover+distill arm's distinct-key yield drops below 1.2x the
+#     uniform arm's (machine-independent floor),
+#   * the uniform arm finds no keys or the maxcover arm never distills
+#     (degenerate measurements), or
+#   * maxcover_keys falls more than 20% below the committed
+#     BENCH_yield.baseline.json.
+#
 # Timings are medians over repeated runs so one scheduler hiccup cannot
 # fail CI; the committed baselines are deliberately pessimistic (see
 # their "_note" fields).
@@ -102,4 +115,12 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --baseline BENCH_scale.baseline.json \
     --max-regression 1.2 \
     --min-speedup 1.5 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario yield \
+    --out BENCH_yield.json \
+    --baseline BENCH_yield.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 1.2 \
     "$@"

@@ -6,29 +6,58 @@
 # The root manifest is both a package and the workspace root, so plain
 # `cargo build`/`cargo test` would cover only the facade crate; every step
 # here passes --workspace to reach all member crates and binaries.
-set -eu
+#
+# Each step runs through `step NAME cmd...`, which times it and, on
+# failure, names the broken gate before exiting — so a red CI log says
+# "FAILED at step <name>" at the bottom instead of burying the culprit.
+# A per-step timing summary prints on success.
+set -u
 
 cd "$(dirname "$0")/.."
 
+TIMINGS=""
+
+step() {
+    step_name="$1"
+    shift
+    echo "==> ${step_name}: $*"
+    step_start=$(date +%s)
+    "$@"
+    step_status=$?
+    step_end=$(date +%s)
+    if [ "${step_status}" -ne 0 ]; then
+        echo "FAILED at step ${step_name} (exit ${step_status}, $((step_end - step_start))s)" >&2
+        exit "${step_status}"
+    fi
+    TIMINGS="${TIMINGS}$(printf '  %-12s %4ss' "${step_name}" "$((step_end - step_start))")
+"
+}
+
 # Formatting first: cheapest check, fails fastest.
-cargo fmt --all --check
-cargo build --release --workspace
-cargo test -q --workspace
+step fmt cargo fmt --all --check
+step build cargo build --release --workspace
+step test cargo test -q --workspace
 # The adversarial-input suite on its own line so a containment regression
 # is visible as such, not buried in the workspace run.
-cargo test -q --test no_panic
-cargo clippy --workspace --all-targets -- -D warnings
+step no_panic cargo test -q --test no_panic
+step clippy cargo clippy --workspace --all-targets -- -D warnings
 # No new panic sites in the hot-path crates (classfile/vm/core).
-sh scripts/panic_gate.sh
-# Bench smoke, all five scenarios: the coverage hot-path microbenchmarks
+step panic_gate sh scripts/panic_gate.sh
+# Bench smoke, all six scenarios: the coverage hot-path microbenchmarks
 # vs. BENCH_coverage.baseline.json (20% budget + 5x speedup floor), the
 # end-to-end harness batch vs. BENCH_harness.baseline.json (20% budget +
 # 2x shared-vs-cold and shared-vs-old-path floors), the mutate hot
 # loop vs. BENCH_mutate.baseline.json (20% budget + 2x scratch-vs-cold
 # floor + allocation-count ceiling), the --exec-diff observer vs.
 # BENCH_exec.baseline.json (20% budget + 0.5 exec-vs-startup ratio
-# floor), and the async engine's shard scaling + discrepancy cross-check
+# floor), the async engine's shard scaling + discrepancy cross-check
 # vs. BENCH_scale.baseline.json (20% budget + 1.5x scaling floor where
 # 2+ cores exist, a no-regression-vs-lockstep guard on one core, and an
-# unconditional async-vs-lockstep key-set cross-check).
-sh scripts/bench_gate.sh
+# unconditional async-vs-lockstep key-set cross-check), and the
+# deterministic seed-selection yield comparison vs.
+# BENCH_yield.baseline.json (20% budget + 1.2x maxcover-vs-uniform
+# distinct-discrepancy-key floor).
+step bench_gate sh scripts/bench_gate.sh
+
+echo "All gates passed. Step timings:"
+printf '%s' "${TIMINGS}"

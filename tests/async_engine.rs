@@ -90,6 +90,52 @@ fn one_shard_async_replays_sequential_for_every_algorithm() {
 }
 
 #[test]
+fn one_shard_async_replays_sequential_with_seed_intelligence_on() {
+    // The §14 replay contract must survive the seed-intelligence layer
+    // (DESIGN.md §15): with max-cover selection reordering the initial
+    // pool and distillation evicting at iteration boundaries, a one-shard
+    // async run still replays the sequential campaign bit for bit —
+    // selection happens before the loop, and both engines distill the
+    // identical pool at the identical boundaries.
+    use classfuzz::core::engine::SeedSelect;
+    let seeds = small_seeds();
+    for algorithm in Algorithm::table4_lineup() {
+        let config = CampaignConfig::new(algorithm, 90, 17)
+            .with_schedule(Schedule::Async)
+            .with_seed_select(SeedSelect::MaxCover)
+            .with_pool_cap(4);
+        let sequential = run_campaign(&seeds, &config);
+        let parallel = run_campaign_parallel(&seeds, &config, 1).expect("engine error");
+
+        assert_eq!(
+            sequential.test_classes, parallel.test_classes,
+            "{algorithm}: accepted indices diverge under maxcover + distill"
+        );
+        assert_eq!(
+            sequential
+                .gen_classes
+                .iter()
+                .map(|g| (&g.bytes, g.mutator_id, g.accepted))
+                .collect::<Vec<_>>(),
+            parallel
+                .gen_classes
+                .iter()
+                .map(|g| (&g.bytes, g.mutator_id, g.accepted))
+                .collect::<Vec<_>>(),
+            "{algorithm}: generated streams diverge under maxcover + distill"
+        );
+        assert_eq!(
+            sequential.acceptance.distill_passes, parallel.acceptance.distill_passes,
+            "{algorithm}: distillation pass counts diverge"
+        );
+        assert_eq!(
+            sequential.acceptance.distill_evicted, parallel.acceptance.distill_evicted,
+            "{algorithm}: distillation eviction counts diverge"
+        );
+    }
+}
+
+#[test]
 fn async_discrepancy_key_set_matches_lockstep_at_fixed_budget() {
     // The fixed-budget cross-check, run where discrepancy-set equality is
     // well-defined: at one shard both schedules are deterministic (each
