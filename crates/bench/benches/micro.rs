@@ -122,6 +122,74 @@ fn bench_harness(c: &mut Criterion) {
     });
 }
 
+fn bench_interp(c: &mut Criterion) {
+    // The prepare-once pivot (PR 9): one `main` execution of the
+    // switch-heavy interp bench class, with per-call preparation (the
+    // pre-PR behavior, `Machine::uncached`) vs through the warm
+    // per-class prepared-method table (`Machine::new`).
+    use classfuzz_bench::interpbench::bench_class;
+    use classfuzz_vm::interp::{Machine, RtValue};
+    use classfuzz_vm::Cov;
+    let spec = VmSpec::hotspot9();
+    let class = UserClass::summarize(ClassFile::from_bytes(&bench_class()).unwrap());
+    let world = World::new(&spec, vec![class.clone()]);
+    let run = |cold: bool| {
+        let mut machine = if cold {
+            Machine::uncached(&world, &spec)
+        } else {
+            Machine::new(&world, &spec)
+        };
+        machine.prepare_statics(&class);
+        machine
+            .call_static(
+                &class,
+                "main",
+                "([Ljava/lang/String;)V",
+                vec![RtValue::Ref(None)],
+                &mut Cov::disabled(),
+            )
+            .unwrap()
+    };
+    run(false); // warm the shared prepared table
+    c.bench_function("interp/execute-cold", |b| {
+        b.iter(|| run(std::hint::black_box(true)))
+    });
+    c.bench_function("interp/execute-prepared", |b| {
+        b.iter(|| run(std::hint::black_box(false)))
+    });
+
+    // Dispatch resolution alone: `main` is one invoke of a trivial
+    // helper, so the superclass walk + verify re-check (cold) vs the
+    // integer-keyed method cache (cached) dominates.
+    let hello = UserClass::summarize(ClassFile::from_bytes(&hello_bytes()).unwrap());
+    let hello_world = World::new(&spec, vec![hello.clone()]);
+    let dispatch = |cold: bool| {
+        let mut machine = if cold {
+            Machine::uncached(&hello_world, &spec)
+        } else {
+            Machine::new(&hello_world, &spec)
+        };
+        machine.prepare_statics(&hello);
+        for _ in 0..100 {
+            machine
+                .call_static(
+                    &hello,
+                    "main",
+                    "([Ljava/lang/String;)V",
+                    vec![RtValue::Ref(None)],
+                    &mut Cov::disabled(),
+                )
+                .unwrap();
+        }
+    };
+    c.bench_function("dispatch/resolve-cold", |b| {
+        b.iter(|| dispatch(std::hint::black_box(true)))
+    });
+    c.bench_function("dispatch/resolve-cached", |b| {
+        b.iter(|| dispatch(std::hint::black_box(false)))
+    });
+}
+
 fn bench_mutation(c: &mut Criterion) {
     let mutators = registry::all_mutators();
     let donors = vec![IrClass::with_hello_main("bench/Donor", "d")];
@@ -245,6 +313,7 @@ criterion_group!(
     bench_vm_startup,
     bench_world,
     bench_harness,
+    bench_interp,
     bench_mutation,
     bench_mcmc,
     bench_coverage,

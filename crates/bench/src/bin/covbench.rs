@@ -14,6 +14,9 @@
 //! * `--scenario exec`: the `--exec-diff` observer's overhead on top of a
 //!   startup-only five-VM evaluation (`classfuzz_bench::execbench`) →
 //!   `BENCH_exec.json`.
+//! * `--scenario interp`: interpreter throughput with the prepare-once
+//!   `PreparedCode` layer vs cold per-call preparation
+//!   (`classfuzz_bench::interpbench`) → `BENCH_interp.json`.
 //! * `--scenario scale`: async-engine shard scaling plus the fixed-budget
 //!   async-vs-lockstep discrepancy cross-check
 //!   (`classfuzz_bench::scalebench`) → `BENCH_scale.json`. Single-core
@@ -24,7 +27,7 @@
 //!   deterministic — both arms replay bit for bit on any machine.
 //!
 //! ```text
-//! covbench [--scenario coverage|harness|mutate|exec|scale|yield] [--out PATH]
+//! covbench [--scenario coverage|harness|mutate|exec|interp|scale|yield] [--out PATH]
 //!          [--baseline PATH] [--suite-size N] [--repeats N]
 //!          [--max-regression X] [--min-speedup X]
 //! ```
@@ -35,6 +38,7 @@ use classfuzz_bench::alloc_count::CountingAllocator;
 use classfuzz_bench::covbench::{check_report, run_coverage_bench};
 use classfuzz_bench::execbench::{check_exec_report, run_exec_bench};
 use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
+use classfuzz_bench::interpbench::{check_interp_report, run_interp_bench};
 use classfuzz_bench::mutatebench::{check_mutate_report, run_mutate_bench};
 use classfuzz_bench::scalebench::{check_scale_report, run_scale_bench};
 use classfuzz_bench::yieldbench::{check_yield_report, run_yield_bench};
@@ -50,6 +54,7 @@ enum Scenario {
     Harness,
     Mutate,
     Exec,
+    Interp,
     Scale,
     Yield,
 }
@@ -68,7 +73,8 @@ impl Options {
     /// The machine-independent speedup floor: explicit flag, or the
     /// scenario's default (coverage: bitset-vs-baseline ≥5×; harness:
     /// shared-vs-cold ≥2×; mutate: scratch-vs-cold ≥2×; exec:
-    /// exec-vs-startup overhead ratio ≥0.5; scale: async shard-scaling
+    /// exec-vs-startup overhead ratio ≥0.5; interp: prepared-vs-cold
+    /// interpreter throughput ≥2×; scale: async shard-scaling
     /// ≥1.5× — applied only where 2+ cores exist; yield:
     /// maxcover-vs-uniform distinct-key ratio ≥1.2×).
     fn speedup_floor(&self) -> f64 {
@@ -77,6 +83,7 @@ impl Options {
             Scenario::Harness => 2.0,
             Scenario::Mutate => 2.0,
             Scenario::Exec => 0.5,
+            Scenario::Interp => 2.0,
             Scenario::Scale => 1.5,
             Scenario::Yield => 1.2,
         })
@@ -91,6 +98,7 @@ impl Options {
             (None, Scenario::Harness) => Some("BENCH_harness.json".to_string()),
             (None, Scenario::Mutate) => Some("BENCH_mutate.json".to_string()),
             (None, Scenario::Exec) => Some("BENCH_exec.json".to_string()),
+            (None, Scenario::Interp) => Some("BENCH_interp.json".to_string()),
             (None, Scenario::Scale) => Some("BENCH_scale.json".to_string()),
             (None, Scenario::Yield) => Some("BENCH_yield.json".to_string()),
         }
@@ -117,6 +125,7 @@ fn parse_args() -> Result<Options, String> {
                     "harness" => Scenario::Harness,
                     "mutate" => Scenario::Mutate,
                     "exec" => Scenario::Exec,
+                    "interp" => Scenario::Interp,
                     "scale" => Scenario::Scale,
                     "yield" => Scenario::Yield,
                     other => return Err(format!("unknown scenario {other}")),
@@ -212,6 +221,23 @@ fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<
             let summary = format!(
                 "exec overhead ratio {:.2}, budget {:.2}x",
                 report.exec_overhead_ratio, options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Interp => {
+            eprintln!("covbench: scenario=interp repeats={} ...", options.repeats);
+            // ~200 executions per sample keeps a timing sample well above
+            // clock resolution while the whole scenario stays CI-sized.
+            let report = run_interp_bench(200, options.repeats);
+            let failures = baseline_json
+                .map(|json| check_interp_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "prepared speedup {:.2}x ({:.0}/s vs {:.0}/s cold), budget {:.2}x",
+                report.prepared_speedup,
+                report.execs_per_sec_prepared,
+                report.execs_per_sec_cold,
+                options.max_regression
             );
             (report.to_json(), failures, summary)
         }

@@ -11,6 +11,7 @@ pub mod alloc_count;
 pub mod covbench;
 pub mod execbench;
 pub mod harnessbench;
+pub mod interpbench;
 pub mod mutatebench;
 pub mod scalebench;
 pub mod yieldbench;

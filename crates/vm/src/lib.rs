@@ -34,6 +34,7 @@ pub mod library;
 pub mod linker;
 pub mod loader;
 pub mod outcome;
+pub mod prepared;
 pub mod spec;
 pub mod startup;
 pub mod verifier;
@@ -44,6 +45,7 @@ pub use cov::Cov;
 pub use exec::ExecOutcome;
 pub use library::shared_library;
 pub use outcome::{JvmError, JvmErrorKind, Outcome, Phase};
+pub use prepared::{prepare_method, PreparedCode, PreparedTable};
 pub use spec::{FinalSuperError, JreGeneration, Vendor, VmSpec};
 pub use startup::{preparse, ExecutionResult, Jvm, PreparsedClass};
 pub use world::{UserClass, World};

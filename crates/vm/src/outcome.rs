@@ -95,6 +95,9 @@ pub enum JvmErrorKind {
     OutOfMemoryError,
     /// Execution exceeded the interpreter's deterministic step budget.
     ExecutionBudgetExceeded,
+    /// The interpreter's bounded superclass-resolution walk ran out of
+    /// hops before reaching the root of the chain.
+    ResolutionDepthExceeded,
     /// A user (or library) exception propagated out of `main`.
     UncaughtException,
     /// The VM itself gave up in a way no specified error covers.
@@ -133,6 +136,7 @@ impl JvmErrorKind {
             JvmErrorKind::StackOverflowError => "java.lang.StackOverflowError",
             JvmErrorKind::OutOfMemoryError => "java.lang.OutOfMemoryError",
             JvmErrorKind::ExecutionBudgetExceeded => "Error: execution budget exceeded",
+            JvmErrorKind::ResolutionDepthExceeded => "Error: superclass resolution depth exceeded",
             JvmErrorKind::UncaughtException => "Exception in thread \"main\"",
             JvmErrorKind::InternalError => "java.lang.InternalError",
             JvmErrorKind::InternalVmError => {

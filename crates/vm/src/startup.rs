@@ -418,7 +418,8 @@ fn linkage_phase(kind: JvmErrorKind) -> Phase {
         | JvmErrorKind::AbstractMethodError
         | JvmErrorKind::InstantiationError
         | JvmErrorKind::IncompatibleClassChangeError
-        | JvmErrorKind::UnsatisfiedLinkError => Phase::Runtime,
+        | JvmErrorKind::UnsatisfiedLinkError
+        | JvmErrorKind::ResolutionDepthExceeded => Phase::Runtime,
         _ => Phase::Runtime,
     }
 }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use classfuzz_classfile::{ClassFile, FieldAccess, FieldType, MethodAccess, MethodDescriptor};
 
 use crate::library::{shared_library, LibClass};
+use crate::prepared::PreparedTable;
 use crate::spec::VmSpec;
 
 /// Summary of a user-class method, with descriptor pre-parsed.
@@ -56,6 +57,11 @@ pub struct UserClass {
     pub methods: Vec<MethodSummary>,
     /// Field summaries, in declaration order.
     pub fields: Vec<FieldSummary>,
+    /// Per-method prepared-code table, filled lazily on first execution.
+    /// `Arc`-shared: cloning the class (or sharing its preparse handle
+    /// across the five profiles) shares the slots, which is sound because
+    /// prepared code is a pure function of `cf`.
+    pub prepared: PreparedTable,
 }
 
 impl UserClass {
@@ -104,6 +110,7 @@ impl UserClass {
                 }
             })
             .collect();
+        let prepared = PreparedTable::for_methods(cf.methods.len());
         UserClass {
             cf,
             name,
@@ -111,6 +118,7 @@ impl UserClass {
             interfaces,
             methods,
             fields,
+            prepared,
         }
     }
 
@@ -178,6 +186,13 @@ impl World {
     /// User-class lookup.
     pub fn user_class(&self, name: &str) -> Option<&UserClass> {
         self.user.get(name).map(Arc::as_ref)
+    }
+
+    /// User-class lookup returning the shared handle, so callers that
+    /// need an owned class (the interpreter's dispatch) pay a refcount
+    /// bump instead of a deep classfile clone.
+    pub fn user_class_arc(&self, name: &str) -> Option<&Arc<UserClass>> {
+        self.user.get(name)
     }
 
     /// Is `name` declared final? `None` when the class is unknown.

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Bench-smoke gate: runs the six gated benchmark scenarios on fixed
+# Bench-smoke gate: runs the seven gated benchmark scenarios on fixed
 # seeds and fails CI on regression. Extra flags pass through to covbench
 # for every scenario (e.g. --repeats 3).
 #
@@ -44,6 +44,16 @@
 #     the committed BENCH_exec.baseline.json, or
 #   * the in-run exec-vs-startup overhead ratio drops below 0.5 —
 #     execution differencing may at most double the evaluation cost.
+#
+# Scenario `interp` — interpreter throughput with the prepare-once
+# PreparedCode layer vs cold per-call preparation on a switch-heavy
+# hand-assembled workload (crates/bench/src/interpbench.rs)
+# → BENCH_interp.json. Fails when
+#
+#   * the prepared path's executions/sec regress more than 20% against
+#     the committed BENCH_interp.baseline.json, or
+#   * the in-run prepared-vs-cold speedup drops below 2x — the
+#     prepare-once layer must at least halve execution cost.
 #
 # Scenario `scale` — the free-running async engine's shard scaling and
 # the fixed-budget async-vs-lockstep discrepancy cross-check
@@ -107,6 +117,14 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --baseline BENCH_exec.baseline.json \
     --max-regression 1.2 \
     --min-speedup 0.5 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario interp \
+    --out BENCH_interp.json \
+    --baseline BENCH_interp.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 2.0 \
     "$@"
 
 cargo run --release -q -p classfuzz-bench --bin covbench -- \

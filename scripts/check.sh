@@ -43,14 +43,16 @@ step no_panic cargo test -q --test no_panic
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 # No new panic sites in the hot-path crates (classfile/vm/core).
 step panic_gate sh scripts/panic_gate.sh
-# Bench smoke, all six scenarios: the coverage hot-path microbenchmarks
+# Bench smoke, all seven scenarios: the coverage hot-path microbenchmarks
 # vs. BENCH_coverage.baseline.json (20% budget + 5x speedup floor), the
 # end-to-end harness batch vs. BENCH_harness.baseline.json (20% budget +
 # 2x shared-vs-cold and shared-vs-old-path floors), the mutate hot
 # loop vs. BENCH_mutate.baseline.json (20% budget + 2x scratch-vs-cold
 # floor + allocation-count ceiling), the --exec-diff observer vs.
 # BENCH_exec.baseline.json (20% budget + 0.5 exec-vs-startup ratio
-# floor), the async engine's shard scaling + discrepancy cross-check
+# floor), the prepare-once interpreter vs. BENCH_interp.baseline.json
+# (20% budget + 2x prepared-vs-cold floor), the async engine's shard
+# scaling + discrepancy cross-check
 # vs. BENCH_scale.baseline.json (20% budget + 1.5x scaling floor where
 # 2+ cores exist, a no-regression-vs-lockstep guard on one core, and an
 # unconditional async-vs-lockstep key-set cross-check), and the

@@ -189,6 +189,29 @@ fn fixed_seed_campaign_finds_pure_execution_discrepancies() {
     }
 }
 
+// The PR 9 snapshot: the prepare-once interpreter must leave the
+// exec-diff campaign bit-identical — same accepted classes, same RNG
+// stream, same divergence keys. Any probe added to or removed from the
+// execution path shifts acceptance decisions and breaks these counts.
+#[test]
+fn exec_diff_campaign_snapshot_is_pinned() {
+    let seeds = SeedCorpus::generate(SNAP_SEEDS, SNAP_SEED_RNG).into_classes();
+    let result = run_campaign(&seeds, &exec_campaign_config());
+    assert_eq!(
+        (result.gen_classes.len(), result.test_classes.len()),
+        (326, 73),
+        "exec-diff campaign diverged from the PR 9 snapshot"
+    );
+    let mut keys: Vec<&str> = result
+        .exec_reports
+        .iter()
+        .filter(|r| r.is_exec_discrepancy())
+        .map(|r| r.exec_key.as_str())
+        .collect();
+    keys.sort_unstable();
+    assert_eq!(keys.len(), 4, "pinned divergence count");
+}
+
 #[test]
 fn one_shard_parallel_campaign_matches_sequential_exec_reports() {
     let seeds = SeedCorpus::generate(SNAP_SEEDS, SNAP_SEED_RNG).into_classes();

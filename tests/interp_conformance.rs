@@ -16,8 +16,8 @@
 //! replay-stable (see the fuel comment at the interpreter loop head).
 
 use classfuzz::classfile::{
-    CodeAttribute, ConstIndex, ConstantPool, ExceptionTableEntry, Instruction, LookupSwitch,
-    MethodAccess, Opcode, TableSwitch,
+    CodeAttribute, ConstIndex, ConstantPool, ExceptionTableEntry, FieldAccess, Instruction,
+    LookupSwitch, MethodAccess, Opcode, TableSwitch,
 };
 use classfuzz::vm::interp::{ExecError, Machine, RtValue};
 use classfuzz::vm::{
@@ -102,6 +102,36 @@ fn build_main(
                 max_locals,
                 instructions,
                 exception_table,
+                attributes: Vec::new(),
+            },
+        )
+        .build()
+        .to_bytes()
+}
+
+/// Like [`build_main`], but the class also declares a `static int flag`
+/// (zero-initialized by static preparation) and the build closure
+/// receives its field-ref — the verifiable way to carry loop state, since
+/// the dataflow verifier rejects reads of uninitialized locals.
+fn build_flag_main(
+    name: &str,
+    build: impl FnOnce(&mut ConstantPool, ConstIndex) -> Vec<Instruction>,
+) -> Vec<u8> {
+    let mut builder = classfuzz::classfile::ClassFile::builder(name)
+        .super_class("java/lang/Object")
+        .field(FieldAccess::PUBLIC | FieldAccess::STATIC, "flag", "I");
+    let flag = builder.constant_pool_mut().field_ref(name, "flag", "I");
+    let (instructions, _) = resolve_targets(build(builder.constant_pool_mut(), flag));
+    builder
+        .method(
+            MethodAccess::PUBLIC | MethodAccess::STATIC,
+            "main",
+            "([Ljava/lang/String;)V",
+            CodeAttribute {
+                max_stack: 2,
+                max_locals: 1,
+                instructions,
+                exception_table: Vec::new(),
                 attributes: Vec::new(),
             },
         )
@@ -491,4 +521,282 @@ fn budget_exhaustion_charges_identical_fuel_everywhere() {
     // engines route every VM run through.
     let contained = run_contained(|| steps_at_exhaustion(&VmSpec::gij()));
     assert_eq!(contained, Ok(VmSpec::gij().step_budget + 1));
+}
+
+// --- Prepared ≡ cold equivalence ---------------------------------------
+//
+// PR 9 split interpretation into a prepare-once cached path
+// (`Machine::new`, the production configuration) and a cold
+// prepare-per-call path (`Machine::uncached`, the bench baseline). The
+// two must be observably identical: same result value, same captured
+// stdout, same consumed fuel — on every profile, for every preparation
+// corner (switch targets at the first/last instruction, a backward
+// `goto` landing on index 0, exception-handler ranges, recursion at the
+// depth guard).
+
+/// Runs `main` on a bare [`Machine`] in the requested mode and returns
+/// everything observable: the call result, captured stdout, and fuel.
+#[allow(clippy::type_complexity)]
+fn run_bare(
+    bytes: &[u8],
+    spec: &VmSpec,
+    cold: bool,
+) -> (Result<Option<RtValue>, ExecError>, Vec<String>, u64) {
+    let cf = classfuzz::classfile::ClassFile::from_bytes(bytes).expect("decodes");
+    let class = UserClass::summarize(cf);
+    let world = World::new(spec, vec![class.clone()]);
+    let mut machine = if cold {
+        Machine::uncached(&world, spec)
+    } else {
+        Machine::new(&world, spec)
+    };
+    machine.prepare_statics(&class);
+    let result = machine.call_static(
+        &class,
+        "main",
+        "([Ljava/lang/String;)V",
+        vec![RtValue::Ref(None)],
+        &mut Cov::disabled(),
+    );
+    let stdout = machine.stdout.clone();
+    let steps = machine.steps();
+    (result, stdout, steps)
+}
+
+/// The equivalence oracle: prepared and cold execution of `bytes` agree
+/// on all five profiles, and a second prepared run (now hitting the
+/// warm per-class cache) agrees again.
+fn assert_prepared_matches_cold(bytes: &[u8], what: &str) {
+    for spec in VmSpec::all_five() {
+        let prepared = run_bare(bytes, &spec, false);
+        let cold = run_bare(bytes, &spec, true);
+        assert_eq!(prepared, cold, "{what}: prepared != cold on {}", spec.name);
+        let rewarmed = run_bare(bytes, &spec, false);
+        assert_eq!(
+            prepared, rewarmed,
+            "{what}: warm rerun drifted on {}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn prepared_matches_cold_on_switch_boundary_targets() {
+    // A tableswitch whose arm targets *instruction 0* (byte offset 0, the
+    // smallest resolvable target) and whose default targets the *last*
+    // instruction. A static flag makes the backward hop terminate: the
+    // second visit to instruction 0 exits through the print.
+    let ts_first = build_flag_main("conf/PrepTsFirst", |cp, flag| {
+        let k = cp.integer(7);
+        let mut insns = vec![
+            Instruction::Field(Opcode::Getstatic, flag), // 0: switch target, byte 0
+            Instruction::Branch(Opcode::Ifne, 6),        // 1: second visit -> exit
+            Instruction::Simple(Opcode::Iconst1),        // 2
+            Instruction::Field(Opcode::Putstatic, flag), // 3
+            Instruction::Ldc(k),                         // 4
+            Instruction::TableSwitch(TableSwitch {
+                default: 9, // 5: default -> last instruction
+                low: 7,
+                high: 7,
+                targets: vec![0],
+            }),
+        ];
+        insns.extend(println_int(cp, Instruction::Bipush(1))); // 6..=8
+        insns.push(Instruction::Simple(Opcode::Return)); // 9: default target + exit
+        insns
+    });
+    assert_prepared_matches_cold(&ts_first, "tableswitch arm at instruction 0");
+    expect_printed(&ts_first, "1", "tableswitch backward arm to byte 0");
+
+    // A lookupswitch whose only pair targets the *last* instruction.
+    let ls_last = build_main("conf/PrepLsLast", 2, 2, |cp| {
+        let k = cp.integer(-1);
+        let mut insns = vec![
+            Instruction::Ldc(k),
+            Instruction::LookupSwitch(LookupSwitch {
+                default: 2,
+                pairs: vec![(-1, 5)],
+            }),
+        ];
+        insns.extend(println_int(cp, Instruction::Bipush(3))); // 2..=4: default arm
+        insns.push(Instruction::Simple(Opcode::Return)); // 5: matched arm
+        (insns, Vec::new())
+    });
+    assert_prepared_matches_cold(&ls_last, "lookupswitch target at last instruction");
+}
+
+#[test]
+fn prepared_matches_cold_on_backward_goto_to_zero() {
+    // A two-pass loop whose backedge is a `goto` to instruction index 0 —
+    // byte offset 0, the smallest possible branch target.
+    let bytes = build_flag_main("conf/PrepBack", |cp, flag| {
+        let mut insns = vec![
+            Instruction::Field(Opcode::Getstatic, flag), // 0: loop head, byte 0
+            Instruction::Branch(Opcode::Ifne, 5),        // 1: second pass -> exit
+            Instruction::Simple(Opcode::Iconst1),        // 2
+            Instruction::Field(Opcode::Putstatic, flag), // 3
+            Instruction::Branch(Opcode::Goto, 0),        // 4: backedge to 0
+        ];
+        insns.extend(println_int(cp, Instruction::Bipush(7))); // 5..=7
+        insns.push(Instruction::Simple(Opcode::Return)); // 8
+        insns
+    });
+    assert_prepared_matches_cold(&bytes, "backward goto to instruction 0");
+    expect_printed(&bytes, "7", "loop exits after the backward hop");
+}
+
+#[test]
+fn prepared_matches_cold_on_exception_handler_ranges() {
+    // Handler-range semantics must survive preparation: the two-clause
+    // table-order classes throw inside a protected range and recover.
+    for (name, first, second) in [
+        (
+            "conf/PrepCatchA",
+            "java/lang/RuntimeException",
+            "java/lang/ArithmeticException",
+        ),
+        (
+            "conf/PrepCatchB",
+            "java/lang/ArithmeticException",
+            "java/lang/RuntimeException",
+        ),
+    ] {
+        let bytes = two_handler_class(name, first, second);
+        assert_prepared_matches_cold(&bytes, "two-clause handler dispatch");
+        expect_printed(&bytes, "1", "handler order after preparation");
+    }
+    // And an *uncaught* throw outside every protected range propagates
+    // identically on both paths.
+    let uncaught = build_main("conf/PrepUncaught", 2, 3, |cp| {
+        let c = cp.class("java/lang/IllegalStateException");
+        let insns = vec![
+            Instruction::Simple(Opcode::Iconst1), // 0
+            Instruction::Simple(Opcode::Iconst0), // 1
+            Instruction::Simple(Opcode::Idiv),    // 2: throws outside 3..4
+            Instruction::Simple(Opcode::Pop),     // 3
+            Instruction::Simple(Opcode::Return),  // 4
+        ];
+        let handlers = vec![Handler {
+            start: 3,
+            end: 4,
+            handler: 4,
+            catch_type: c,
+        }];
+        (insns, handlers)
+    });
+    assert_prepared_matches_cold(&uncaught, "throw outside the protected range");
+}
+
+#[test]
+fn prepared_matches_cold_at_the_recursion_guard() {
+    // `main` calls itself unconditionally: the interpreter's depth guard
+    // (depth > 24 -> StackOverflowError) must trip at the same depth with
+    // the same verdict on both paths — the nested invokes all hit the
+    // same prepared method through the per-class cache.
+    let bytes = build_main("conf/PrepRecurse", 2, 1, |cp| {
+        let me = cp.method_ref("conf/PrepRecurse", "main", "([Ljava/lang/String;)V");
+        (
+            vec![
+                Instruction::Simple(Opcode::AconstNull),
+                Instruction::Invoke(Opcode::Invokestatic, me),
+                Instruction::Simple(Opcode::Return),
+            ],
+            Vec::new(),
+        )
+    });
+    assert_prepared_matches_cold(&bytes, "unbounded recursion at the depth guard");
+    assert_uniform_verdict(
+        &bytes,
+        &ExecOutcome::Trapped {
+            kind: JvmErrorKind::StackOverflowError,
+        },
+        "self-recursive main",
+    );
+}
+
+// --- Bounded superclass resolution -------------------------------------
+
+/// An empty class `deep/C<i>` extending `sup`; the chain root also
+/// carries a static `ping()V` so the probed method *exists* — just too
+/// far up the chain for the bounded walk to reach.
+fn chain_class(i: usize, sup: &str, with_ping: bool) -> Vec<u8> {
+    let mut builder =
+        classfuzz::classfile::ClassFile::builder(&format!("deep/C{i}")).super_class(sup);
+    if with_ping {
+        builder = builder.method(
+            MethodAccess::PUBLIC | MethodAccess::STATIC,
+            "ping",
+            "()V",
+            CodeAttribute {
+                max_stack: 1,
+                max_locals: 1,
+                instructions: vec![Instruction::Simple(Opcode::Return)],
+                exception_table: Vec::new(),
+                attributes: Vec::new(),
+            },
+        );
+    }
+    builder.build().to_bytes()
+}
+
+/// `main` invoking `deep/C0.ping()` statically, with a `depth`-class
+/// chain `C0 -> C1 -> ... -> C{depth-1} -> Object` on the classpath and
+/// `ping` defined only on the chain root.
+fn deep_chain_setup(depth: usize) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let main = build_main("deep/Main", 1, 1, |cp| {
+        let ping = cp.method_ref("deep/C0", "ping", "()V");
+        (
+            vec![
+                Instruction::Invoke(Opcode::Invokestatic, ping),
+                Instruction::Simple(Opcode::Return),
+            ],
+            Vec::new(),
+        )
+    });
+    let classpath: Vec<Vec<u8>> = (0..depth)
+        .map(|i| {
+            let sup = if i + 1 == depth {
+                "java/lang/Object".to_string()
+            } else {
+                format!("deep/C{}", i + 1)
+            };
+            chain_class(i, &sup, i + 1 == depth)
+        })
+        .collect();
+    (main, classpath)
+}
+
+#[test]
+fn deep_inheritance_chain_raises_resolution_depth_exceeded() {
+    // 40 hops needed, 32 allowed: every profile reports the dedicated
+    // depth error instead of silently claiming the method doesn't exist.
+    let (main, classpath) = deep_chain_setup(40);
+    for spec in VmSpec::all_five() {
+        let name = spec.name.clone();
+        let result = Jvm::new(spec).run_with_options(&main, &classpath, false);
+        match &result.outcome {
+            Outcome::Rejected { phase, error } => {
+                assert_eq!(*phase, Phase::Runtime, "phase on {name}");
+                assert_eq!(
+                    error.kind,
+                    JvmErrorKind::ResolutionDepthExceeded,
+                    "kind on {name}: {error:?}"
+                );
+            }
+            other => panic!("expected depth rejection on {name}, got {other:?}"),
+        }
+    }
+
+    // Control: the same shape within the hop budget resolves and runs.
+    let (main, classpath) = deep_chain_setup(8);
+    for spec in VmSpec::all_five() {
+        let name = spec.name.clone();
+        let result = Jvm::new(spec).run_with_options(&main, &classpath, false);
+        assert_eq!(
+            result.outcome.phase(),
+            Phase::Invoked,
+            "short chain on {name}: {:?}",
+            result.outcome
+        );
+    }
 }
