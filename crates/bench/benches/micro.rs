@@ -190,6 +190,64 @@ fn bench_interp(c: &mut Criterion) {
     });
 }
 
+fn bench_verify(c: &mut Criterion) {
+    // The analyze-once pivot (PR 10), method level: verifying the
+    // analysis-heavy startup bench class with per-call analysis (the
+    // pre-PR behavior, `verify_class_cold`) vs through the per-class
+    // `AnalysisTable` (`verify_class`, warmed).
+    use classfuzz_vm::{verifier, Cov};
+    let spec = VmSpec::hotspot9();
+    let class = UserClass::summarize(
+        ClassFile::from_bytes(&classfuzz_bench::startupbench::bench_class()).unwrap(),
+    );
+    let world = World::new(&spec, vec![class.clone()]);
+    // Warm the shared table so `verify/analyzed` measures the steady state.
+    verifier::verify_class(&world, &class, &spec, &mut Cov::disabled()).unwrap();
+    c.bench_function("verify/cold", |b| {
+        b.iter(|| {
+            verifier::verify_class_cold(
+                std::hint::black_box(&world),
+                std::hint::black_box(&class),
+                &spec,
+                &mut Cov::disabled(),
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("verify/analyzed", |b| {
+        b.iter(|| {
+            verifier::verify_class(
+                std::hint::black_box(&world),
+                std::hint::black_box(&class),
+                &spec,
+                &mut Cov::disabled(),
+            )
+            .unwrap()
+        })
+    });
+
+    // The whole startup-bench iteration: preparse once, start all five
+    // profiles — analysis shared across profiles vs re-derived per
+    // profile.
+    let bytes = classfuzz_bench::startupbench::bench_class();
+    c.bench_function("startup/five-profiles-cold", |b| {
+        b.iter(|| {
+            let parsed = preparse(std::hint::black_box(&bytes));
+            for spec in VmSpec::all_five() {
+                Jvm::cold_verify(spec).run_parsed(&parsed);
+            }
+        })
+    });
+    c.bench_function("startup/five-profiles-shared", |b| {
+        b.iter(|| {
+            let parsed = preparse(std::hint::black_box(&bytes));
+            for spec in VmSpec::all_five() {
+                Jvm::new(spec).run_parsed(&parsed);
+            }
+        })
+    });
+}
+
 fn bench_mutation(c: &mut Criterion) {
     let mutators = registry::all_mutators();
     let donors = vec![IrClass::with_hello_main("bench/Donor", "d")];
@@ -314,6 +372,7 @@ criterion_group!(
     bench_world,
     bench_harness,
     bench_interp,
+    bench_verify,
     bench_mutation,
     bench_mcmc,
     bench_coverage,

@@ -25,9 +25,12 @@
 //!   budget, uniform seeding vs max-cover selection + distillation
 //!   (`classfuzz_bench::yieldbench`) → `BENCH_yield.json`. Fully
 //!   deterministic — both arms replay bit for bit on any machine.
+//! * `--scenario startup`: five-profile startup throughput with the
+//!   analyze-once verification table vs cold per-profile analysis
+//!   (`classfuzz_bench::startupbench`) → `BENCH_startup.json`.
 //!
 //! ```text
-//! covbench [--scenario coverage|harness|mutate|exec|interp|scale|yield] [--out PATH]
+//! covbench [--scenario coverage|harness|mutate|exec|interp|scale|yield|startup] [--out PATH]
 //!          [--baseline PATH] [--suite-size N] [--repeats N]
 //!          [--max-regression X] [--min-speedup X]
 //! ```
@@ -41,6 +44,7 @@ use classfuzz_bench::harnessbench::{check_harness_report, run_harness_bench};
 use classfuzz_bench::interpbench::{check_interp_report, run_interp_bench};
 use classfuzz_bench::mutatebench::{check_mutate_report, run_mutate_bench};
 use classfuzz_bench::scalebench::{check_scale_report, run_scale_bench};
+use classfuzz_bench::startupbench::{check_startup_report, run_startup_bench};
 use classfuzz_bench::yieldbench::{check_yield_report, run_yield_bench};
 
 /// The mutate scenario's allocation counts come from here; registered only
@@ -57,6 +61,7 @@ enum Scenario {
     Interp,
     Scale,
     Yield,
+    Startup,
 }
 
 struct Options {
@@ -76,7 +81,8 @@ impl Options {
     /// exec-vs-startup overhead ratio ≥0.5; interp: prepared-vs-cold
     /// interpreter throughput ≥2×; scale: async shard-scaling
     /// ≥1.5× — applied only where 2+ cores exist; yield:
-    /// maxcover-vs-uniform distinct-key ratio ≥1.2×).
+    /// maxcover-vs-uniform distinct-key ratio ≥1.2×; startup:
+    /// shared-vs-cold five-profile startup throughput ≥2×).
     fn speedup_floor(&self) -> f64 {
         self.min_speedup.unwrap_or(match self.scenario {
             Scenario::Coverage => 5.0,
@@ -86,6 +92,7 @@ impl Options {
             Scenario::Interp => 2.0,
             Scenario::Scale => 1.5,
             Scenario::Yield => 1.2,
+            Scenario::Startup => 2.0,
         })
     }
 
@@ -101,6 +108,7 @@ impl Options {
             (None, Scenario::Interp) => Some("BENCH_interp.json".to_string()),
             (None, Scenario::Scale) => Some("BENCH_scale.json".to_string()),
             (None, Scenario::Yield) => Some("BENCH_yield.json".to_string()),
+            (None, Scenario::Startup) => Some("BENCH_startup.json".to_string()),
         }
     }
 }
@@ -128,6 +136,7 @@ fn parse_args() -> Result<Options, String> {
                     "interp" => Scenario::Interp,
                     "scale" => Scenario::Scale,
                     "yield" => Scenario::Yield,
+                    "startup" => Scenario::Startup,
                     other => return Err(format!("unknown scenario {other}")),
                 }
             }
@@ -272,6 +281,24 @@ fn run_scenario(options: &Options, baseline_json: Option<&str>) -> (String, Vec<
                 report.yield_ratio,
                 report.maxcover_keys,
                 report.uniform_keys,
+                options.max_regression
+            );
+            (report.to_json(), failures, summary)
+        }
+        Scenario::Startup => {
+            eprintln!("covbench: scenario=startup repeats={} ...", options.repeats);
+            // ~60 five-profile startups per sample keeps a timing sample
+            // well above clock resolution while the scenario stays
+            // CI-sized.
+            let report = run_startup_bench(60, options.repeats);
+            let failures = baseline_json
+                .map(|json| check_startup_report(&report, json, options.max_regression, floor))
+                .unwrap_or_default();
+            let summary = format!(
+                "shared speedup {:.2}x ({:.0}/s vs {:.0}/s cold), budget {:.2}x",
+                report.shared_speedup,
+                report.startups_per_sec_shared,
+                report.startups_per_sec_cold,
                 options.max_regression
             );
             (report.to_json(), failures, summary)

@@ -14,6 +14,7 @@ pub mod harnessbench;
 pub mod interpbench;
 pub mod mutatebench;
 pub mod scalebench;
+pub mod startupbench;
 pub mod yieldbench;
 
 use classfuzz_core::analyze::{evaluate_suite, SuiteEvaluation};

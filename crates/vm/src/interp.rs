@@ -353,20 +353,22 @@ impl<'a> Machine<'a> {
             return Ok(());
         }
         probe!(cov);
-        match verifier::verify_method(self.world, class, m, self.spec, cov) {
+        let verified = if self.cold {
+            verifier::verify_method_cold(self.world, class, m, self.spec, cov)
+        } else {
+            verifier::verify_method(self.world, class, m, self.spec, cov)
+        };
+        match verified {
             Ok(()) => {
                 self.verified.insert(key);
                 Ok(())
             }
             Err(outcome) => {
-                let msg = outcome
-                    .error()
-                    .map(|e| e.message.clone())
-                    .unwrap_or_else(|| "verification failed".into());
-                Err(ExecError::Linkage {
-                    kind: JvmErrorKind::VerifyError,
-                    message: msg,
-                })
+                let (kind, message) = match outcome.error() {
+                    Some(e) => (e.kind, e.message.clone()),
+                    None => (JvmErrorKind::VerifyError, "verification failed".into()),
+                };
+                Err(ExecError::Linkage { kind, message })
             }
         }
     }

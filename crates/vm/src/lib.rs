@@ -26,6 +26,7 @@
 //! }
 //! ```
 
+pub mod analysis;
 pub mod containment;
 pub mod cov;
 pub mod exec;
@@ -40,6 +41,7 @@ pub mod startup;
 pub mod verifier;
 pub mod world;
 
+pub use analysis::{analyze_method, AnalysisTable, MethodAnalysis};
 pub use containment::run_contained;
 pub use cov::Cov;
 pub use exec::ExecOutcome;

@@ -112,6 +112,11 @@ pub struct Jvm {
     /// The cached bootstrap library; `None` forces a cold rebuild per run
     /// (the pre-sharing behavior, kept measurable for the bench gate).
     base: Option<Arc<BTreeMap<String, LibClass>>>,
+    /// Rebuild the per-method verification analysis on every verify
+    /// instead of serving the class's shared [`AnalysisTable`]
+    /// (crate::analysis::AnalysisTable) — the pre-analyze-once verifier,
+    /// kept constructible for the `startup` bench baseline.
+    cold_verify: bool,
 }
 
 impl Jvm {
@@ -119,14 +124,36 @@ impl Jvm {
     /// process-wide bootstrap library for its JRE generation.
     pub fn new(spec: VmSpec) -> Jvm {
         let base = Some(shared_library(spec.jre));
-        Jvm { spec, base }
+        Jvm {
+            spec,
+            base,
+            cold_verify: false,
+        }
     }
 
-    /// Creates a JVM that rebuilds its bootstrap library on every run —
-    /// the old cold-world behavior. Only useful as the benchmark
-    /// baseline; campaigns should use [`Jvm::new`].
+    /// Creates a JVM that rebuilds its bootstrap library on every run and
+    /// re-analyzes every method per verification — the old cold-world
+    /// behavior. Only useful as the benchmark baseline; campaigns should
+    /// use [`Jvm::new`].
     pub fn uncached(spec: VmSpec) -> Jvm {
-        Jvm { spec, base: None }
+        Jvm {
+            spec,
+            base: None,
+            cold_verify: true,
+        }
+    }
+
+    /// Creates a JVM that shares the bootstrap library but rebuilds the
+    /// per-method verification analysis on every verify — isolating the
+    /// analyze-once win from library caching, as the `startup` bench
+    /// scenario's baseline arm.
+    pub fn cold_verify(spec: VmSpec) -> Jvm {
+        let base = Some(shared_library(spec.jre));
+        Jvm {
+            spec,
+            base,
+            cold_verify: true,
+        }
     }
 
     /// The policy profile.
@@ -297,7 +324,15 @@ impl Jvm {
 
         // --- Linking: verification (eager VMs verify every method) -----
         if probe_branch!(cov, !self.spec.lazy_method_verification) {
-            if let Err(outcome) = verifier::verify_class(&world, main_class, &self.spec, cov) {
+            // Both arms run the same inner verifier (and fire the same
+            // probes); `cold_verify` only selects whether the shared
+            // analysis table is consulted.
+            let verified = if self.cold_verify {
+                verifier::verify_class_cold(&world, main_class, &self.spec, cov)
+            } else {
+                verifier::verify_class(&world, main_class, &self.spec, cov)
+            };
+            if let Err(outcome) = verified {
                 return outcome;
             }
         }

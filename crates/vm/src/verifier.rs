@@ -11,97 +11,79 @@
 //!   types is an error (HotSpot silently widens to `Top`);
 //! * `check_param_cast` (GIJ) — reference arguments must be provably
 //!   assignable (HotSpot assumes assignability for unloaded classes).
+//!
+//! Everything profile-invariant — instruction layout, branch/handler
+//! target tables, descriptor parsing, constant-pool resolution — lives in
+//! a [`MethodAnalysis`](crate::analysis::MethodAnalysis) built once per
+//! method and shared across all five profiles through the `AnalysisTable`
+//! on [`UserClass`]; the dataflow here consumes those facts by reference
+//! and applies only the [`VmSpec`]-specific policy. The `*_cold` entry
+//! points rebuild the analysis per call (the bench baseline); both paths
+//! run the same inner functions, so they fire the exact same coverage
+//! probes and produce bit-identical traces.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
-use classfuzz_classfile::{
-    CodeAttribute, FieldType, Instruction, MethodAccess, MethodDescriptor, Opcode,
+use classfuzz_classfile::{ConstIndex, FieldType, MethodAccess, Opcode};
+
+use crate::analysis::{
+    analyze_method, vtype_of, ACall, AClass, AField, AInsn, AInvoke, ALdc, ALdc2, ASig, ATarget,
+    MethodAnalysis,
 };
-
+pub use crate::analysis::{InvokeShape, VType};
 use crate::cov::Cov;
 use crate::outcome::{JvmErrorKind, Outcome, Phase};
 use crate::spec::VmSpec;
 use crate::world::{MethodSummary, UserClass, World};
 use crate::{probe, probe_branch};
 
-/// A verification type (one stack/local slot).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum VType {
-    /// Unusable/unknown.
-    Top,
-    /// `int` and its sub-word kin.
-    Int,
-    /// `float`.
-    Float,
-    /// `long` (first slot; followed by [`VType::Hi`]).
-    Long,
-    /// `double` (first slot; followed by [`VType::Hi`]).
-    Double,
-    /// Second slot of a wide value.
-    Hi,
-    /// The `null` reference.
-    Null,
-    /// A reference of the given class (or array descriptor) name.
-    Ref(String),
-    /// A `new`-allocated object not yet initialized (keyed by allocation pc).
-    Uninit(u32),
-    /// `this` in an `<init>` before the superclass constructor call.
-    UninitThis,
-}
-
-impl VType {
-    fn is_reference(&self) -> bool {
-        matches!(
-            self,
-            VType::Null | VType::Ref(_) | VType::Uninit(_) | VType::UninitThis
-        )
-    }
-
-    fn is_uninitialized(&self) -> bool {
-        matches!(self, VType::Uninit(_) | VType::UninitThis)
-    }
-
-    fn width(&self) -> usize {
-        match self {
-            VType::Long | VType::Double => 2,
-            _ => 1,
-        }
-    }
-}
-
-fn vtype_of(ft: &FieldType) -> VType {
-    match ft {
-        FieldType::Boolean
-        | FieldType::Byte
-        | FieldType::Char
-        | FieldType::Short
-        | FieldType::Int => VType::Int,
-        FieldType::Float => VType::Float,
-        FieldType::Long => VType::Long,
-        FieldType::Double => VType::Double,
-        FieldType::Object(n) => VType::Ref(n.clone()),
-        FieldType::Array(_) => VType::Ref(ft.to_descriptor()),
-    }
-}
-
-#[derive(Debug, Clone, PartialEq)]
+/// A dataflow frame: the abstract state at one instruction.
+#[derive(Debug, PartialEq)]
 struct Frame {
     locals: Vec<VType>,
     stack: Vec<VType>,
 }
 
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        Frame {
+            locals: self.locals.clone(),
+            stack: self.stack.clone(),
+        }
+    }
+
+    // The worklist loop re-materializes the in-frame into one scratch
+    // frame per iteration; delegating to `Vec::clone_from` reuses the
+    // scratch buffers instead of reallocating per step.
+    fn clone_from(&mut self, source: &Frame) {
+        self.locals.clone_from(&source.locals);
+        self.stack.clone_from(&source.stack);
+    }
+}
+
 /// An in-flight verification failure; converted to a linking-phase
-/// `VerifyError` outcome at the boundary.
+/// outcome at the boundary. `Internal` marks verifier bookkeeping bugs
+/// (e.g. a worklist index without an in-frame) and surfaces as
+/// `InternalError` instead of blaming the candidate with a `VerifyError`.
 #[derive(Debug, Clone)]
-struct VerifyFail(String);
+enum VerifyFail {
+    Reject(String),
+    Internal(String),
+}
 
 type VResult<T> = Result<T, VerifyFail>;
 
 fn fail<T>(msg: impl Into<String>) -> VResult<T> {
-    Err(VerifyFail(msg.into()))
+    Err(VerifyFail::Reject(msg.into()))
 }
 
-/// Verifies every method of `class` that carries code (eager linking).
+fn internal<T>(msg: impl Into<String>) -> VResult<T> {
+    Err(VerifyFail::Internal(msg.into()))
+}
+
+/// Verifies every method of `class` that carries code (eager linking),
+/// consuming the shared per-class analysis table.
 ///
 /// # Errors
 ///
@@ -113,16 +95,44 @@ pub fn verify_class(
     spec: &VmSpec,
     cov: &mut Cov,
 ) -> Result<(), Outcome> {
+    verify_class_with(world, class, spec, cov, false)
+}
+
+/// [`verify_class`] with the analysis rebuilt per method call — the
+/// pre-sharing baseline kept constructible for the bench gate. Same inner
+/// code, same probes, bit-identical traces.
+///
+/// # Errors
+///
+/// Returns a linking-phase `VerifyError` outcome naming the first offending
+/// method.
+pub fn verify_class_cold(
+    world: &World,
+    class: &UserClass,
+    spec: &VmSpec,
+    cov: &mut Cov,
+) -> Result<(), Outcome> {
+    verify_class_with(world, class, spec, cov, true)
+}
+
+fn verify_class_with(
+    world: &World,
+    class: &UserClass,
+    spec: &VmSpec,
+    cov: &mut Cov,
+    cold: bool,
+) -> Result<(), Outcome> {
     probe!(cov);
     for m in &class.methods {
         if m.has_code {
-            verify_method(world, class, m, spec, cov)?;
+            verify_method_with(world, class, m, spec, cov, cold)?;
         }
     }
     Ok(())
 }
 
-/// Verifies a single method (the unit J9 defers until first invocation).
+/// Verifies a single method (the unit J9 defers until first invocation),
+/// consuming the shared per-class analysis table.
 ///
 /// # Errors
 ///
@@ -134,19 +144,50 @@ pub fn verify_method(
     spec: &VmSpec,
     cov: &mut Cov,
 ) -> Result<(), Outcome> {
+    verify_method_with(world, class, method, spec, cov, false)
+}
+
+/// [`verify_method`] with the analysis rebuilt per call — the bench
+/// baseline. Same inner code, same probes, bit-identical traces.
+///
+/// # Errors
+///
+/// Returns a linking-phase `VerifyError` outcome.
+pub fn verify_method_cold(
+    world: &World,
+    class: &UserClass,
+    method: &MethodSummary,
+    spec: &VmSpec,
+    cov: &mut Cov,
+) -> Result<(), Outcome> {
+    verify_method_with(world, class, method, spec, cov, true)
+}
+
+fn verify_method_with(
+    world: &World,
+    class: &UserClass,
+    method: &MethodSummary,
+    spec: &VmSpec,
+    cov: &mut Cov,
+    cold: bool,
+) -> Result<(), Outcome> {
     probe!(cov);
-    let info = &class.cf.methods[method.index];
-    let code = match info.code() {
-        Some(c) => c,
-        None => return Ok(()),
+    let analysis = if cold {
+        analyze_method(class, method.index).map(Arc::new)
+    } else {
+        class.analysis.get_or_analyze(class, method.index)
     };
-    let desc = match &method.desc {
-        Some(d) => d.clone(),
+    let analysis = match analysis {
+        Some(a) => a,
+        None => return Ok(()), // no Code attribute: nothing to verify
+    };
+    let sig = match &analysis.sig {
+        Some(s) => s,
         None => {
             return Err(reject(
                 class,
                 method,
-                "unparseable method descriptor".into(),
+                VerifyFail::Reject("unparseable method descriptor".into()),
             ))
         }
     };
@@ -154,24 +195,25 @@ pub fn verify_method(
         world,
         spec,
         cov,
-        class_name: class.name.clone(),
+        analysis: &analysis,
+        sig,
         method_static: method.access.contains(MethodAccess::STATIC),
         is_init: method.name == "<init>",
-        desc,
-        code,
-        pcs: Vec::new(),
-        pc_to_idx: BTreeMap::new(),
     };
     match v.run() {
         Ok(()) => Ok(()),
-        Err(VerifyFail(msg)) => Err(reject(class, method, msg)),
+        Err(f) => Err(reject(class, method, f)),
     }
 }
 
-fn reject(class: &UserClass, method: &MethodSummary, msg: String) -> Outcome {
+fn reject(class: &UserClass, method: &MethodSummary, f: VerifyFail) -> Outcome {
+    let (kind, msg) = match f {
+        VerifyFail::Reject(msg) => (JvmErrorKind::VerifyError, msg),
+        VerifyFail::Internal(msg) => (JvmErrorKind::InternalError, msg),
+    };
     Outcome::rejected(
         Phase::Linking,
-        JvmErrorKind::VerifyError,
+        kind,
         format!(
             "(class: {}, method: {} signature: {}) {msg}",
             class.name, method.name, method.desc_text
@@ -179,38 +221,54 @@ fn reject(class: &UserClass, method: &MethodSummary, msg: String) -> Outcome {
     )
 }
 
+/// Records a pre-resolved branch edge, failing when the target was not an
+/// instruction boundary — only now, when the edge is actually checked.
+fn take_target(succs: &mut Vec<usize>, t: &ATarget) -> VResult<()> {
+    if t.idx == u32::MAX {
+        return fail(format!("branch target {} is not an instruction", t.pc));
+    }
+    succs.push(t.idx as usize);
+    Ok(())
+}
+
 struct Verifier<'a> {
     world: &'a World,
     spec: &'a VmSpec,
     cov: &'a mut Cov,
-    class_name: String,
+    analysis: &'a MethodAnalysis,
+    sig: &'a ASig,
     method_static: bool,
     is_init: bool,
-    desc: MethodDescriptor,
-    code: &'a CodeAttribute,
-    pcs: Vec<u32>,
-    pc_to_idx: BTreeMap<u32, usize>,
 }
 
 impl Verifier<'_> {
     fn run(&mut self) -> VResult<()> {
         probe!(self.cov);
-        if probe_branch!(self.cov, self.code.instructions.is_empty()) {
+        let analysis = self.analysis;
+        if probe_branch!(self.cov, analysis.insns.is_empty()) {
             return fail("code array is empty");
-        }
-        // Lay out instruction offsets.
-        let mut pc = 0u32;
-        for (i, insn) in self.code.instructions.iter().enumerate() {
-            self.pcs.push(pc);
-            self.pc_to_idx.insert(pc, i);
-            pc += insn.encoded_len(pc);
         }
 
         let entry = self.entry_frame()?;
-        let mut in_frames: BTreeMap<usize, Frame> = BTreeMap::new();
+        let mut in_frames: Vec<Option<Frame>> = Vec::new();
+        in_frames.resize_with(analysis.insns.len(), || None);
         let mut work: VecDeque<usize> = VecDeque::new();
-        in_frames.insert(0, entry);
+        in_frames[0] = Some(entry);
         work.push_back(0);
+
+        // Reusable scratch: the working frame, the successor list, the
+        // staged handler edges, and the handler entry frame — allocated
+        // once per method instead of once per worklist step.
+        let mut frame = Frame {
+            locals: Vec::new(),
+            stack: Vec::new(),
+        };
+        let mut hframe = Frame {
+            locals: Vec::new(),
+            stack: Vec::new(),
+        };
+        let mut edges: Vec<(usize, Arc<str>)> = Vec::new();
+        let mut succs: Vec<usize> = Vec::new();
 
         let mut steps = 0usize;
         while let Some(idx) = work.pop_front() {
@@ -218,16 +276,27 @@ impl Verifier<'_> {
             if probe_branch!(self.cov, steps > 40_000) {
                 return fail("verification did not converge");
             }
-            let frame = in_frames[&idx].clone();
+            match in_frames.get(idx).and_then(Option::as_ref) {
+                Some(in_frame) => frame.clone_from(in_frame),
+                None => return internal(format!("worklist instruction {idx} has no in-frame")),
+            }
             // Exception handlers covering this instruction observe its
             // locals with a one-element stack.
-            let pc = self.pcs[idx];
-            for (h, handler_frame) in self.handler_edges(&frame, pc)? {
-                self.merge_into(&mut in_frames, &mut work, h, handler_frame, true)?;
+            let pc = analysis.pcs[idx];
+            self.handler_edges(pc, &mut edges)?;
+            for (h, catch) in edges.drain(..) {
+                hframe.locals.clone_from(&frame.locals);
+                hframe.stack.clear();
+                hframe.stack.push(VType::Ref(catch));
+                self.merge_into(&mut in_frames, &mut work, h, &hframe, true)?;
             }
-            let next = self.transfer(idx, frame)?;
-            for (succ, f) in next {
-                self.merge_into(&mut in_frames, &mut work, succ, f, false)?;
+            succs.clear();
+            self.transfer(idx, &mut frame, &mut succs)?;
+            // Every successor of one instruction receives the same
+            // post-transfer frame, so recording indices and merging the
+            // final scratch frame is equivalent to the old per-edge clones.
+            for &s in &succs {
+                self.merge_into(&mut in_frames, &mut work, s, &frame, false)?;
             }
         }
         Ok(())
@@ -235,27 +304,27 @@ impl Verifier<'_> {
 
     fn entry_frame(&mut self) -> VResult<Frame> {
         probe!(self.cov);
-        let max_locals = self.code.max_locals as usize;
+        let analysis = self.analysis;
+        let max_locals = analysis.max_locals as usize;
         let mut locals = vec![VType::Top; max_locals];
         let mut slot = 0usize;
         if !self.method_static {
             if probe_branch!(self.cov, max_locals == 0) {
                 return fail("instance method with max_locals 0");
             }
-            locals[0] = if self.is_init && self.class_name != "java/lang/Object" {
+            locals[0] = if self.is_init && &*analysis.class_name != "java/lang/Object" {
                 VType::UninitThis
             } else {
-                VType::Ref(self.class_name.clone())
+                VType::Ref(analysis.class_name.clone())
             };
             slot = 1;
         }
-        for p in &self.desc.params {
-            let vt = vtype_of(p);
+        for vt in &self.sig.param_vts {
             let w = vt.width();
             if probe_branch!(self.cov, slot + w > max_locals) {
                 return fail("arguments can't fit into locals");
             }
-            locals[slot] = vt;
+            locals[slot] = vt.clone();
             if w == 2 {
                 locals[slot + 1] = VType::Hi;
             }
@@ -267,50 +336,44 @@ impl Verifier<'_> {
         })
     }
 
-    fn handler_edges(&mut self, frame: &Frame, pc: u32) -> VResult<Vec<(usize, Frame)>> {
-        let mut out = Vec::new();
-        for e in &self.code.exception_table {
-            if (e.start_pc as u32..e.end_pc as u32).contains(&pc) {
+    /// Stages the handler edges for the instruction at `pc` into `edges`:
+    /// `(handler index, caught type)` per covering entry, all resolved
+    /// before the caller merges any of them (matching the old all-edges-
+    /// first evaluation order on the error path).
+    fn handler_edges(&mut self, pc: u32, edges: &mut Vec<(usize, Arc<str>)>) -> VResult<()> {
+        let analysis = self.analysis;
+        for h in &analysis.handlers {
+            if (h.start_pc..h.end_pc).contains(&pc) {
                 probe!(self.cov);
-                let idx = match self.pc_to_idx.get(&(e.handler_pc as u32)) {
-                    Some(&i) => i,
+                let idx = match h.handler {
+                    Some(i) => i as usize,
                     None => return fail("exception handler target is not an instruction"),
                 };
-                let catch = if e.catch_type.0 == 0 {
-                    "java/lang/Throwable".to_string()
-                } else {
-                    self.world
-                        .user_class(&self.class_name)
-                        .and_then(|u| u.cf.constant_pool.class_name(e.catch_type))
-                        .unwrap_or_else(|| "java/lang/Throwable".to_string())
-                };
-                out.push((
-                    idx,
-                    Frame {
-                        locals: frame.locals.clone(),
-                        stack: vec![VType::Ref(catch)],
-                    },
-                ));
+                edges.push((idx, h.catch.clone()));
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     fn merge_into(
         &mut self,
-        in_frames: &mut BTreeMap<usize, Frame>,
+        in_frames: &mut [Option<Frame>],
         work: &mut VecDeque<usize>,
         idx: usize,
-        frame: Frame,
+        frame: &Frame,
         is_handler: bool,
     ) -> VResult<()> {
-        match in_frames.get_mut(&idx) {
+        let slot = match in_frames.get_mut(idx) {
+            Some(s) => s,
+            None => return internal(format!("merge target {idx} is out of bounds")),
+        };
+        match slot {
             None => {
-                in_frames.insert(idx, frame);
+                *slot = Some(frame.clone());
                 work.push_back(idx);
             }
             Some(existing) => {
-                let merged = self.merge_frames(existing, &frame, is_handler)?;
+                let merged = self.merge_frames(existing, frame, is_handler)?;
                 if merged != *existing {
                     *existing = merged;
                     work.push_back(idx);
@@ -357,7 +420,7 @@ impl Verifier<'_> {
         }
         let merged = match (a, b) {
             (VType::Null, VType::Ref(n)) | (VType::Ref(n), VType::Null) => VType::Ref(n.clone()),
-            (VType::Ref(x), VType::Ref(y)) => VType::Ref(self.world.common_super(x, y)),
+            (VType::Ref(x), VType::Ref(y)) => VType::Ref(self.world.common_super(x, y).into()),
             _ => VType::Top,
         };
         if probe_branch!(self.cov, on_stack && merged == VType::Top) {
@@ -368,426 +431,404 @@ impl Verifier<'_> {
 
     // ----- transfer -----------------------------------------------------
 
-    /// Applies one instruction; returns successor (index, frame) pairs.
-    fn transfer(&mut self, idx: usize, mut f: Frame) -> VResult<Vec<(usize, Frame)>> {
+    /// Applies one instruction to `f` in place, recording successor
+    /// indices in `succs`.
+    fn transfer(&mut self, idx: usize, f: &mut Frame, succs: &mut Vec<usize>) -> VResult<()> {
         use Opcode::*;
-        let insn = self.code.instructions[idx].clone();
-        let insn = &insn;
-        let pc = self.pcs[idx];
-        let mut succs: Vec<(usize, Frame)> = Vec::new();
+        let analysis = self.analysis;
+        let insn = &analysis.insns[idx];
+        let pc = analysis.pcs[idx];
         let mut falls_through = true;
 
-        macro_rules! branch_to {
-            ($target:expr, $f:expr) => {{
-                let t: u32 = $target;
-                match self.pc_to_idx.get(&t) {
-                    Some(&i) => succs.push((i, $f)),
-                    None => return fail(format!("branch target {t} is not an instruction")),
-                }
-            }};
-        }
-
         match insn {
-            Instruction::Simple(op) => match op {
+            AInsn::Simple(op) => match op {
                 Nop => {}
-                AconstNull => self.push(&mut f, VType::Null)?,
+                AconstNull => self.push(f, VType::Null)?,
                 IconstM1 | Iconst0 | Iconst1 | Iconst2 | Iconst3 | Iconst4 | Iconst5 => {
-                    self.push(&mut f, VType::Int)?
+                    self.push(f, VType::Int)?
                 }
-                Lconst0 | Lconst1 => self.push_wide(&mut f, VType::Long)?,
-                Fconst0 | Fconst1 | Fconst2 => self.push(&mut f, VType::Float)?,
-                Dconst0 | Dconst1 => self.push_wide(&mut f, VType::Double)?,
+                Lconst0 | Lconst1 => self.push_wide(f, VType::Long)?,
+                Fconst0 | Fconst1 | Fconst2 => self.push(f, VType::Float)?,
+                Dconst0 | Dconst1 => self.push_wide(f, VType::Double)?,
                 Iload0 | Iload1 | Iload2 | Iload3 => {
-                    self.load(&mut f, (op.byte() - Iload0.byte()) as u16, VType::Int)?
+                    self.load(f, (op.byte() - Iload0.byte()) as u16, VType::Int)?
                 }
                 Lload0 | Lload1 | Lload2 | Lload3 => {
-                    self.load(&mut f, (op.byte() - Lload0.byte()) as u16, VType::Long)?
+                    self.load(f, (op.byte() - Lload0.byte()) as u16, VType::Long)?
                 }
                 Fload0 | Fload1 | Fload2 | Fload3 => {
-                    self.load(&mut f, (op.byte() - Fload0.byte()) as u16, VType::Float)?
+                    self.load(f, (op.byte() - Fload0.byte()) as u16, VType::Float)?
                 }
                 Dload0 | Dload1 | Dload2 | Dload3 => {
-                    self.load(&mut f, (op.byte() - Dload0.byte()) as u16, VType::Double)?
+                    self.load(f, (op.byte() - Dload0.byte()) as u16, VType::Double)?
                 }
                 Aload0 | Aload1 | Aload2 | Aload3 => {
-                    self.load_ref(&mut f, (op.byte() - Aload0.byte()) as u16)?
+                    self.load_ref(f, (op.byte() - Aload0.byte()) as u16)?
                 }
                 Istore0 | Istore1 | Istore2 | Istore3 => {
-                    self.store(&mut f, (op.byte() - Istore0.byte()) as u16, VType::Int)?
+                    self.store(f, (op.byte() - Istore0.byte()) as u16, VType::Int)?
                 }
                 Lstore0 | Lstore1 | Lstore2 | Lstore3 => {
-                    self.store(&mut f, (op.byte() - Lstore0.byte()) as u16, VType::Long)?
+                    self.store(f, (op.byte() - Lstore0.byte()) as u16, VType::Long)?
                 }
                 Fstore0 | Fstore1 | Fstore2 | Fstore3 => {
-                    self.store(&mut f, (op.byte() - Fstore0.byte()) as u16, VType::Float)?
+                    self.store(f, (op.byte() - Fstore0.byte()) as u16, VType::Float)?
                 }
                 Dstore0 | Dstore1 | Dstore2 | Dstore3 => {
-                    self.store(&mut f, (op.byte() - Dstore0.byte()) as u16, VType::Double)?
+                    self.store(f, (op.byte() - Dstore0.byte()) as u16, VType::Double)?
                 }
                 Astore0 | Astore1 | Astore2 | Astore3 => {
-                    self.store_ref(&mut f, (op.byte() - Astore0.byte()) as u16)?
+                    self.store_ref(f, (op.byte() - Astore0.byte()) as u16)?
                 }
                 Iaload | Baload | Caload | Saload => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
+                    self.push(f, VType::Int)?;
                 }
                 Laload => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 Faload => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
-                    self.push(&mut f, VType::Float)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
+                    self.push(f, VType::Float)?;
                 }
                 Daload => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
-                    self.push_wide(&mut f, VType::Double)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
+                    self.push_wide(f, VType::Double)?;
                 }
                 Aaload => {
-                    self.expect(&mut f, VType::Int)?;
-                    let arr = self.expect_array(&mut f)?;
-                    self.push(&mut f, array_element(&arr))?;
+                    self.expect(f, VType::Int)?;
+                    let arr = self.expect_array(f)?;
+                    self.push(f, array_element(&arr))?;
                 }
                 Iastore | Bastore | Castore | Sastore => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
                 }
                 Lastore => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
                 }
                 Fastore => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
+                    self.expect(f, VType::Float)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
                 }
                 Dastore => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
                 }
                 Aastore => {
-                    self.expect_ref(&mut f, true)?;
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_array(&mut f)?;
+                    self.expect_ref(f, true)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_array(f)?;
                 }
                 Pop => {
-                    let t = self.pop(&mut f)?;
+                    let t = self.pop(f)?;
                     if probe_branch!(self.cov, t.width() == 2 || t == VType::Hi) {
                         return fail("pop on a category-2 value");
                     }
                 }
                 Pop2 => {
-                    self.pop(&mut f)?;
-                    self.pop(&mut f)?;
+                    self.pop(f)?;
+                    self.pop(f)?;
                 }
                 Dup => {
-                    let t = self.pop(&mut f)?;
+                    let t = self.pop(f)?;
                     if probe_branch!(self.cov, t == VType::Hi) {
                         return fail("dup splits a category-2 value");
                     }
-                    self.push(&mut f, t.clone())?;
-                    self.push(&mut f, t)?;
+                    self.push(f, t.clone())?;
+                    self.push(f, t)?;
                 }
                 DupX1 => {
-                    let a = self.pop1(&mut f)?;
-                    let b = self.pop1(&mut f)?;
-                    self.push(&mut f, a.clone())?;
-                    self.push(&mut f, b)?;
-                    self.push(&mut f, a)?;
+                    let a = self.pop1(f)?;
+                    let b = self.pop1(f)?;
+                    self.push(f, a.clone())?;
+                    self.push(f, b)?;
+                    self.push(f, a)?;
                 }
                 DupX2 => {
-                    let a = self.pop1(&mut f)?;
-                    let b = self.pop(&mut f)?;
-                    let c = self.pop(&mut f)?;
-                    self.push(&mut f, a.clone())?;
-                    self.push(&mut f, c)?;
-                    self.push(&mut f, b)?;
-                    self.push(&mut f, a)?;
+                    let a = self.pop1(f)?;
+                    let b = self.pop(f)?;
+                    let c = self.pop(f)?;
+                    self.push(f, a.clone())?;
+                    self.push(f, c)?;
+                    self.push(f, b)?;
+                    self.push(f, a)?;
                 }
                 Dup2 => {
-                    let a = self.pop(&mut f)?;
-                    let b = self.pop(&mut f)?;
-                    self.push(&mut f, b.clone())?;
-                    self.push(&mut f, a.clone())?;
-                    self.push(&mut f, b)?;
-                    self.push(&mut f, a)?;
+                    let a = self.pop(f)?;
+                    let b = self.pop(f)?;
+                    self.push(f, b.clone())?;
+                    self.push(f, a.clone())?;
+                    self.push(f, b)?;
+                    self.push(f, a)?;
                 }
                 Dup2X1 => {
-                    let a = self.pop(&mut f)?;
-                    let b = self.pop(&mut f)?;
-                    let c = self.pop1(&mut f)?;
-                    self.push(&mut f, b.clone())?;
-                    self.push(&mut f, a.clone())?;
-                    self.push(&mut f, c)?;
-                    self.push(&mut f, b)?;
-                    self.push(&mut f, a)?;
+                    let a = self.pop(f)?;
+                    let b = self.pop(f)?;
+                    let c = self.pop1(f)?;
+                    self.push(f, b.clone())?;
+                    self.push(f, a.clone())?;
+                    self.push(f, c)?;
+                    self.push(f, b)?;
+                    self.push(f, a)?;
                 }
                 Dup2X2 => {
-                    let a = self.pop(&mut f)?;
-                    let b = self.pop(&mut f)?;
-                    let c = self.pop(&mut f)?;
-                    let d = self.pop(&mut f)?;
-                    self.push(&mut f, b.clone())?;
-                    self.push(&mut f, a.clone())?;
-                    self.push(&mut f, d)?;
-                    self.push(&mut f, c)?;
-                    self.push(&mut f, b)?;
-                    self.push(&mut f, a)?;
+                    let a = self.pop(f)?;
+                    let b = self.pop(f)?;
+                    let c = self.pop(f)?;
+                    let d = self.pop(f)?;
+                    self.push(f, b.clone())?;
+                    self.push(f, a.clone())?;
+                    self.push(f, d)?;
+                    self.push(f, c)?;
+                    self.push(f, b)?;
+                    self.push(f, a)?;
                 }
                 Swap => {
-                    let a = self.pop1(&mut f)?;
-                    let b = self.pop1(&mut f)?;
-                    self.push(&mut f, a)?;
-                    self.push(&mut f, b)?;
+                    let a = self.pop1(f)?;
+                    let b = self.pop1(f)?;
+                    self.push(f, a)?;
+                    self.push(f, b)?;
                 }
                 Iadd | Isub | Imul | Idiv | Irem | Ishl | Ishr | Iushr | Iand | Ior | Ixor => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect(&mut f, VType::Int)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    self.push(f, VType::Int)?;
                 }
                 Ladd | Lsub | Lmul | Ldiv | Lrem | Land | Lor | Lxor => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 Lshl | Lshr | Lushr => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect(f, VType::Int)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 Fadd | Fsub | Fmul | Fdiv | Frem => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.expect(&mut f, VType::Float)?;
-                    self.push(&mut f, VType::Float)?;
+                    self.expect(f, VType::Float)?;
+                    self.expect(f, VType::Float)?;
+                    self.push(f, VType::Float)?;
                 }
                 Dadd | Dsub | Dmul | Ddiv | Drem => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.push_wide(&mut f, VType::Double)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.push_wide(f, VType::Double)?;
                 }
                 Ineg => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    self.push(f, VType::Int)?;
                 }
                 Lneg => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 Fneg => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.push(&mut f, VType::Float)?;
+                    self.expect(f, VType::Float)?;
+                    self.push(f, VType::Float)?;
                 }
                 Dneg => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.push_wide(&mut f, VType::Double)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.push_wide(f, VType::Double)?;
                 }
                 I2l => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect(f, VType::Int)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 I2f => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.push(&mut f, VType::Float)?;
+                    self.expect(f, VType::Int)?;
+                    self.push(f, VType::Float)?;
                 }
                 I2d => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.push_wide(&mut f, VType::Double)?;
+                    self.expect(f, VType::Int)?;
+                    self.push_wide(f, VType::Double)?;
                 }
                 L2i => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push(f, VType::Int)?;
                 }
                 L2f => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push(&mut f, VType::Float)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push(f, VType::Float)?;
                 }
                 L2d => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push_wide(&mut f, VType::Double)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push_wide(f, VType::Double)?;
                 }
                 F2i => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect(f, VType::Float)?;
+                    self.push(f, VType::Int)?;
                 }
                 F2l => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect(f, VType::Float)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 F2d => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.push_wide(&mut f, VType::Double)?;
+                    self.expect(f, VType::Float)?;
+                    self.push_wide(f, VType::Double)?;
                 }
                 D2i => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.push(f, VType::Int)?;
                 }
                 D2l => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.push_wide(&mut f, VType::Long)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.push_wide(f, VType::Long)?;
                 }
                 D2f => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.push(&mut f, VType::Float)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.push(f, VType::Float)?;
                 }
                 I2b | I2c | I2s => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    self.push(f, VType::Int)?;
                 }
                 Lcmp => {
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.expect_wide(&mut f, VType::Long)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.expect_wide(f, VType::Long)?;
+                    self.push(f, VType::Int)?;
                 }
                 Fcmpl | Fcmpg => {
-                    self.expect(&mut f, VType::Float)?;
-                    self.expect(&mut f, VType::Float)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect(f, VType::Float)?;
+                    self.expect(f, VType::Float)?;
+                    self.push(f, VType::Int)?;
                 }
                 Dcmpl | Dcmpg => {
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.expect_wide(&mut f, VType::Double)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.expect_wide(f, VType::Double)?;
+                    self.push(f, VType::Int)?;
                 }
                 Ireturn => {
-                    self.check_return(&mut f, Some(VType::Int))?;
+                    self.check_return(f, Some(VType::Int))?;
                     falls_through = false;
                 }
                 Lreturn => {
-                    self.check_return(&mut f, Some(VType::Long))?;
+                    self.check_return(f, Some(VType::Long))?;
                     falls_through = false;
                 }
                 Freturn => {
-                    self.check_return(&mut f, Some(VType::Float))?;
+                    self.check_return(f, Some(VType::Float))?;
                     falls_through = false;
                 }
                 Dreturn => {
-                    self.check_return(&mut f, Some(VType::Double))?;
+                    self.check_return(f, Some(VType::Double))?;
                     falls_through = false;
                 }
                 Areturn => {
-                    self.check_return(&mut f, Some(VType::Null))?;
+                    self.check_return(f, Some(VType::Null))?;
                     falls_through = false;
                 }
                 Return => {
-                    self.check_return(&mut f, None)?;
+                    self.check_return(f, None)?;
                     falls_through = false;
                 }
                 Arraylength => {
-                    self.expect_array(&mut f)?;
-                    self.push(&mut f, VType::Int)?;
+                    self.expect_array(f)?;
+                    self.push(f, VType::Int)?;
                 }
                 Athrow => {
-                    let t = self.expect_ref(&mut f, false)?;
+                    let t = self.expect_ref(f, false)?;
                     if probe_branch!(self.cov, t.is_uninitialized()) {
                         return fail("throwing an uninitialized object");
                     }
                     falls_through = false;
                 }
                 Monitorenter | Monitorexit => {
-                    self.expect_ref(&mut f, false)?;
+                    self.expect_ref(f, false)?;
                 }
                 other => {
                     probe!(self.cov);
                     return fail(format!("unexpected operand-free opcode {other}"));
                 }
             },
-            Instruction::Bipush(_) | Instruction::Sipush(_) => self.push(&mut f, VType::Int)?,
-            Instruction::Ldc(cpi) | Instruction::LdcW(cpi) => {
-                use classfuzz_classfile::Constant;
+            AInsn::PushInt => self.push(f, VType::Int)?,
+            AInsn::Ldc(kind) => {
                 probe!(self.cov);
-                let user = self.world.user_class(&self.class_name);
-                let entry = user.and_then(|u| u.cf.constant_pool.entry(*cpi)).cloned();
-                match entry {
-                    Some(Constant::Integer(_)) => self.push(&mut f, VType::Int)?,
-                    Some(Constant::Float(_)) => self.push(&mut f, VType::Float)?,
-                    Some(Constant::String(_)) => {
-                        self.push(&mut f, VType::Ref("java/lang/String".into()))?
-                    }
-                    Some(Constant::Class(_)) => {
-                        self.push(&mut f, VType::Ref("java/lang/Class".into()))?
-                    }
-                    _ => return fail("ldc references an unloadable constant"),
+                match kind {
+                    ALdc::Int => self.push(f, VType::Int)?,
+                    ALdc::Float => self.push(f, VType::Float)?,
+                    ALdc::Ref(n) => self.push(f, VType::Ref(n.clone()))?,
+                    ALdc::Unusable => return fail("ldc references an unloadable constant"),
                 }
             }
-            Instruction::Ldc2W(cpi) => {
-                use classfuzz_classfile::Constant;
-                let user = self.world.user_class(&self.class_name);
-                let entry = user.and_then(|u| u.cf.constant_pool.entry(*cpi)).cloned();
-                match entry {
-                    Some(Constant::Long(_)) => self.push_wide(&mut f, VType::Long)?,
-                    Some(Constant::Double(_)) => self.push_wide(&mut f, VType::Double)?,
-                    _ => return fail("ldc2_w references a non-wide constant"),
-                }
-            }
-            Instruction::Local(op, slot) => match op {
-                Iload => self.load(&mut f, *slot, VType::Int)?,
-                Lload => self.load(&mut f, *slot, VType::Long)?,
-                Fload => self.load(&mut f, *slot, VType::Float)?,
-                Dload => self.load(&mut f, *slot, VType::Double)?,
-                Aload => self.load_ref(&mut f, *slot)?,
-                Istore => self.store(&mut f, *slot, VType::Int)?,
-                Lstore => self.store(&mut f, *slot, VType::Long)?,
-                Fstore => self.store(&mut f, *slot, VType::Float)?,
-                Dstore => self.store(&mut f, *slot, VType::Double)?,
-                Astore => self.store_ref(&mut f, *slot)?,
+            AInsn::Ldc2(kind) => match kind {
+                ALdc2::Long => self.push_wide(f, VType::Long)?,
+                ALdc2::Double => self.push_wide(f, VType::Double)?,
+                ALdc2::Unusable => return fail("ldc2_w references a non-wide constant"),
+            },
+            AInsn::Local(op, slot) => match op {
+                Iload => self.load(f, *slot, VType::Int)?,
+                Lload => self.load(f, *slot, VType::Long)?,
+                Fload => self.load(f, *slot, VType::Float)?,
+                Dload => self.load(f, *slot, VType::Double)?,
+                Aload => self.load_ref(f, *slot)?,
+                Istore => self.store(f, *slot, VType::Int)?,
+                Lstore => self.store(f, *slot, VType::Long)?,
+                Fstore => self.store(f, *slot, VType::Float)?,
+                Dstore => self.store(f, *slot, VType::Double)?,
+                Astore => self.store_ref(f, *slot)?,
                 Ret => return fail("jsr/ret are not permitted in version 51 classfiles"),
                 other => return fail(format!("bad local-variable opcode {other}")),
             },
-            Instruction::Iinc { index, .. } => {
-                self.check_local(&mut f, *index, &VType::Int)?;
+            AInsn::Iinc(index) => {
+                self.check_local(f, *index, &VType::Int)?;
             }
-            Instruction::Branch(op, target) => match op {
+            AInsn::Branch(op, t) => match op {
                 Goto | GotoW => {
-                    branch_to!(*target, f.clone());
+                    take_target(succs, t)?;
                     falls_through = false;
                 }
                 Jsr | JsrW => return fail("jsr/ret are not permitted in version 51 classfiles"),
                 Ifeq | Ifne | Iflt | Ifge | Ifgt | Ifle => {
-                    self.expect(&mut f, VType::Int)?;
-                    branch_to!(*target, f.clone());
+                    self.expect(f, VType::Int)?;
+                    take_target(succs, t)?;
                 }
                 IfIcmpeq | IfIcmpne | IfIcmplt | IfIcmpge | IfIcmpgt | IfIcmple => {
-                    self.expect(&mut f, VType::Int)?;
-                    self.expect(&mut f, VType::Int)?;
-                    branch_to!(*target, f.clone());
+                    self.expect(f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
+                    take_target(succs, t)?;
                 }
                 IfAcmpeq | IfAcmpne => {
-                    self.expect_ref(&mut f, false)?;
-                    self.expect_ref(&mut f, false)?;
-                    branch_to!(*target, f.clone());
+                    self.expect_ref(f, false)?;
+                    self.expect_ref(f, false)?;
+                    take_target(succs, t)?;
                 }
                 Ifnull | Ifnonnull => {
-                    self.expect_ref(&mut f, false)?;
-                    branch_to!(*target, f.clone());
+                    self.expect_ref(f, false)?;
+                    take_target(succs, t)?;
                 }
                 other => return fail(format!("bad branch opcode {other}")),
             },
-            Instruction::Field(op, cpi) => {
+            AInsn::Field(op, fact) => {
                 probe!(self.cov);
-                let (_, _, desc) = self.member(*cpi, "field")?;
-                let ft = FieldType::parse(&desc)
-                    .map_err(|_| VerifyFail(format!("bad field descriptor {desc:?}")))?;
-                let vt = vtype_of(&ft);
+                let vt = match fact {
+                    AField::Ok(vt) => vt,
+                    AField::Unresolved(cpi) => return Err(self.member_fail(*cpi, "field")),
+                    AField::BadDesc(desc) => return fail(format!("bad field descriptor {desc:?}")),
+                };
                 match op {
-                    Getstatic => self.push_any(&mut f, vt)?,
-                    Putstatic => self.expect_assignable(&mut f, &ft)?,
+                    Getstatic => self.push_any(f, vt.clone())?,
+                    Putstatic => self.expect_assignable(f, vt)?,
                     Getfield => {
-                        let recv = self.expect_ref(&mut f, false)?;
+                        let recv = self.expect_ref(f, false)?;
                         if probe_branch!(self.cov, recv.is_uninitialized()) {
                             return fail("field access on uninitialized object");
                         }
-                        self.push_any(&mut f, vt)?;
+                        self.push_any(f, vt.clone())?;
                     }
                     Putfield => {
-                        self.expect_assignable(&mut f, &ft)?;
-                        let recv = self.expect_ref(&mut f, false)?;
+                        self.expect_assignable(f, vt)?;
+                        let recv = self.expect_ref(f, false)?;
                         // putfield on `this` before super() is legal only
                         // for fields of the current class; we allow it.
                         if probe_branch!(self.cov, matches!(recv, VType::Uninit(_))) {
@@ -797,93 +838,67 @@ impl Verifier<'_> {
                     other => return fail(format!("bad field opcode {other}")),
                 }
             }
-            Instruction::Invoke(op, cpi) => {
-                let kind = match op {
-                    Invokevirtual => InvokeShape::Virtual,
-                    Invokespecial => InvokeShape::Special,
-                    Invokestatic => InvokeShape::Static,
-                    other => return fail(format!("bad invoke opcode {other}")),
+            AInsn::Invoke { shape, call } => {
+                let shape = match shape {
+                    Ok(s) => *s,
+                    Err(other) => return fail(format!("bad invoke opcode {other}")),
                 };
-                self.invoke(&mut f, *cpi, kind)?;
+                self.invoke(f, call, shape)?;
             }
-            Instruction::InvokeInterface { index, .. } => {
-                self.invoke(&mut f, *index, InvokeShape::Interface)?;
-            }
-            Instruction::InvokeDynamic(_) => {
+            AInsn::InvokeDynamic => {
                 return fail("invokedynamic is not supported by this VM generation")
             }
-            Instruction::New(cpi) => {
-                let name = self.class_at(*cpi)?;
+            AInsn::New(cls) => {
+                let name = self.class_name_of(cls)?;
                 if probe_branch!(self.cov, self.world.is_interface(&name) == Some(true)) {
                     return fail(format!("new of interface {name}"));
                 }
-                self.push(&mut f, VType::Uninit(pc))?;
+                self.push(f, VType::Uninit(pc))?;
             }
-            Instruction::NewArray(atype) => {
+            AInsn::NewArray { atype, desc } => {
                 if probe_branch!(self.cov, !(4..=11).contains(atype)) {
                     return fail(format!("newarray with bad type code {atype}"));
                 }
-                self.expect(&mut f, VType::Int)?;
-                let desc = match atype {
-                    4 => "[Z",
-                    5 => "[C",
-                    6 => "[F",
-                    7 => "[D",
-                    8 => "[B",
-                    9 => "[S",
-                    10 => "[I",
-                    _ => "[J",
-                };
-                self.push(&mut f, VType::Ref(desc.to_string()))?;
+                self.expect(f, VType::Int)?;
+                self.push(f, VType::Ref(desc.clone()))?;
             }
-            Instruction::ANewArray(cpi) => {
-                let name = self.class_at(*cpi)?;
-                self.expect(&mut f, VType::Int)?;
-                let desc = if name.starts_with('[') {
-                    format!("[{name}")
-                } else {
-                    format!("[L{name};")
-                };
-                self.push(&mut f, VType::Ref(desc))?;
+            AInsn::ANewArray(cls) => {
+                // `Ok` carries the pre-rendered array descriptor; the
+                // resolution failure fires first, as on the cold path.
+                let desc = self.class_name_of(cls)?;
+                self.expect(f, VType::Int)?;
+                self.push(f, VType::Ref(desc))?;
             }
-            Instruction::CheckCast(cpi) => {
-                let name = self.class_at(*cpi)?;
-                let v = self.expect_ref(&mut f, false)?;
+            AInsn::CheckCast(cls) => {
+                let name = self.class_name_of(cls)?;
+                let v = self.expect_ref(f, false)?;
                 if probe_branch!(self.cov, v.is_uninitialized()) {
                     return fail("checkcast on uninitialized object");
                 }
-                self.push(&mut f, VType::Ref(name))?;
+                self.push(f, VType::Ref(name))?;
             }
-            Instruction::InstanceOf(cpi) => {
-                let _ = self.class_at(*cpi)?;
-                let v = self.expect_ref(&mut f, false)?;
+            AInsn::InstanceOf(cls) => {
+                let _ = self.class_name_of(cls)?;
+                let v = self.expect_ref(f, false)?;
                 if probe_branch!(self.cov, v.is_uninitialized()) {
                     return fail("instanceof on uninitialized object");
                 }
-                self.push(&mut f, VType::Int)?;
+                self.push(f, VType::Int)?;
             }
-            Instruction::MultiANewArray { dims, .. } => {
+            AInsn::MultiANewArray { dims, vt } => {
                 if probe_branch!(self.cov, *dims == 0) {
                     return fail("multianewarray with zero dimensions");
                 }
                 for _ in 0..*dims {
-                    self.expect(&mut f, VType::Int)?;
+                    self.expect(f, VType::Int)?;
                 }
-                self.push(&mut f, VType::Ref("[Ljava/lang/Object;".into()))?;
+                self.push(f, VType::Ref(vt.clone()))?;
             }
-            Instruction::TableSwitch(ts) => {
-                self.expect(&mut f, VType::Int)?;
-                branch_to!(ts.default, f.clone());
-                for t in &ts.targets {
-                    branch_to!(*t, f.clone());
-                }
-                falls_through = false;
-            }
-            Instruction::LookupSwitch(ls) => {
-                self.expect(&mut f, VType::Int)?;
-                branch_to!(ls.default, f.clone());
-                for (_, t) in &ls.pairs {
-                    branch_to!(*t, f.clone());
+            AInsn::TableSwitch { default, targets } | AInsn::LookupSwitch { default, targets } => {
+                self.expect(f, VType::Int)?;
+                take_target(succs, default)?;
+                for t in targets {
+                    take_target(succs, t)?;
                 }
                 falls_through = false;
             }
@@ -891,18 +906,21 @@ impl Verifier<'_> {
 
         if falls_through {
             probe!(self.cov);
-            if probe_branch!(self.cov, idx + 1 >= self.code.instructions.len()) {
+            if probe_branch!(self.cov, idx + 1 >= analysis.insns.len()) {
                 return fail("execution falls off the end of the code");
             }
-            succs.push((idx + 1, f));
+            succs.push(idx + 1);
         }
-        Ok(succs)
+        Ok(())
     }
 
     // ----- stack/local helpers -------------------------------------------
 
     fn push(&mut self, f: &mut Frame, t: VType) -> VResult<()> {
-        if probe_branch!(self.cov, f.stack.len() + 1 > self.code.max_stack as usize) {
+        if probe_branch!(
+            self.cov,
+            f.stack.len() + 1 > self.analysis.max_stack as usize
+        ) {
             return fail("operand stack overflow (exceeds declared max_stack)");
         }
         f.stack.push(t);
@@ -910,7 +928,10 @@ impl Verifier<'_> {
     }
 
     fn push_wide(&mut self, f: &mut Frame, t: VType) -> VResult<()> {
-        if probe_branch!(self.cov, f.stack.len() + 2 > self.code.max_stack as usize) {
+        if probe_branch!(
+            self.cov,
+            f.stack.len() + 2 > self.analysis.max_stack as usize
+        ) {
             return fail("operand stack overflow (exceeds declared max_stack)");
         }
         f.stack.push(t);
@@ -978,20 +999,18 @@ impl Verifier<'_> {
         Ok(got)
     }
 
-    /// Pops a value that must be assignable to the field type `ft`.
-    fn expect_assignable(&mut self, f: &mut Frame, ft: &FieldType) -> VResult<()> {
-        let want = vtype_of(ft);
+    /// Pops a value that must be assignable to the declared type `want`.
+    fn expect_assignable(&mut self, f: &mut Frame, want: &VType) -> VResult<()> {
         if want.width() == 2 {
-            return self.expect_wide(f, want);
+            return self.expect_wide(f, want.clone());
         }
         let got = self.pop(f)?;
-        self.check_assignable(&got, ft)
+        self.check_assignable(&got, want)
     }
 
-    fn check_assignable(&mut self, got: &VType, ft: &FieldType) -> VResult<()> {
-        let want = vtype_of(ft);
+    fn check_assignable(&mut self, got: &VType, want: &VType) -> VResult<()> {
         probe!(self.cov);
-        match (&want, got) {
+        match (want, got) {
             (VType::Int, VType::Int)
             | (VType::Float, VType::Float)
             | (VType::Long, VType::Long)
@@ -1022,7 +1041,7 @@ impl Verifier<'_> {
                 } else if probe_branch!(self.cov, self.spec.check_param_cast) {
                     // Strict mode: unknown classes are compatible only
                     // nominally.
-                    if src == target || target == "java/lang/Object" {
+                    if src == target || &**target == "java/lang/Object" {
                         Ok(())
                     } else {
                         fail(format!(
@@ -1121,8 +1140,8 @@ impl Verifier<'_> {
 
     fn check_return(&mut self, f: &mut Frame, kind: Option<VType>) -> VResult<()> {
         probe!(self.cov);
-        let ret_ty = self.desc.ret.clone();
-        match (&ret_ty, kind) {
+        let sig = self.sig;
+        match (&sig.ret_vt, kind) {
             (None, None) => {}
             (Some(_), None) => return fail("return in a method expecting a value"),
             (None, Some(_)) => return fail("value return in a void method"),
@@ -1133,14 +1152,14 @@ impl Verifier<'_> {
                     return fail("returning an uninitialized object");
                 }
                 let ret = ret.clone();
-                if let (VType::Ref(_), FieldType::Object(_) | FieldType::Array(_)) = (&got, &ret) {
+                if let (VType::Ref(_), VType::Ref(_)) = (&got, &ret) {
                     self.check_assignable(&got, &ret)?;
-                } else if !matches!(ret, FieldType::Object(_) | FieldType::Array(_)) {
+                } else if !matches!(ret, VType::Ref(_)) {
                     return fail("areturn in a method returning a primitive");
                 }
             }
             (Some(ret), Some(want)) => {
-                let ret_v = vtype_of(ret);
+                let ret_v = ret.clone();
                 if probe_branch!(self.cov, ret_v != want) {
                     return fail(format!(
                         "return opcode for {want:?} in a method returning {ret_v:?}"
@@ -1163,65 +1182,56 @@ impl Verifier<'_> {
         Ok(())
     }
 
-    // ----- constant-pool helpers ------------------------------------------
+    // ----- analysis-fact helpers ------------------------------------------
 
-    fn class_at(&mut self, cpi: classfuzz_classfile::ConstIndex) -> VResult<String> {
-        let user = self.world.user_class(&self.class_name);
-        match user.and_then(|u| u.cf.constant_pool.class_name(cpi)) {
-            Some(n) => Ok(n),
-            None => {
+    /// The single shared failure site for unresolvable class references
+    /// (`new` / `anewarray` / `checkcast` / `instanceof`), matching the
+    /// old `class_at` helper's one probe.
+    fn class_name_of(&mut self, cls: &AClass) -> VResult<Arc<str>> {
+        match cls {
+            AClass::Ok(n) => Ok(n.clone()),
+            AClass::Unresolved(cpi) => {
                 probe!(self.cov);
                 fail(format!("constant pool entry {cpi} is not a class"))
             }
         }
     }
 
-    fn member(
-        &mut self,
-        cpi: classfuzz_classfile::ConstIndex,
-        what: &str,
-    ) -> VResult<(String, String, String)> {
-        let user = self.world.user_class(&self.class_name);
-        match user.and_then(|u| u.cf.constant_pool.member_ref_parts(cpi)) {
-            Some(parts) => Ok(parts),
-            None => {
-                probe!(self.cov);
-                fail(format!(
-                    "constant pool entry {cpi} is not a {what} reference"
-                ))
-            }
-        }
+    /// The single shared failure site for unresolvable member references
+    /// (fields and methods), matching the old `member` helper's one probe.
+    fn member_fail(&mut self, cpi: ConstIndex, what: &str) -> VerifyFail {
+        probe!(self.cov);
+        VerifyFail::Reject(format!(
+            "constant pool entry {cpi} is not a {what} reference"
+        ))
     }
 
-    fn invoke(
-        &mut self,
-        f: &mut Frame,
-        cpi: classfuzz_classfile::ConstIndex,
-        shape: InvokeShape,
-    ) -> VResult<()> {
+    fn invoke(&mut self, f: &mut Frame, call: &AInvoke, shape: InvokeShape) -> VResult<()> {
         probe!(self.cov);
-        let (class, name, desc_text) = self.member(cpi, "method")?;
-        let desc = MethodDescriptor::parse(&desc_text)
-            .map_err(|_| VerifyFail(format!("bad method descriptor {desc_text:?}")))?;
-        if probe_branch!(self.cov, name == "<init>" && shape != InvokeShape::Special) {
+        let call: &ACall = match call {
+            AInvoke::Ok(c) => c,
+            AInvoke::Unresolved(cpi) => return Err(self.member_fail(*cpi, "method")),
+            AInvoke::BadDesc(desc) => return fail(format!("bad method descriptor {desc:?}")),
+        };
+        if probe_branch!(self.cov, call.is_init && shape != InvokeShape::Special) {
             return fail("<init> may only be invoked by invokespecial");
         }
         // Pop arguments right-to-left, checking assignability — the check
         // GIJ applies strictly (Problem 2's M1433982529 example).
-        for p in desc.params.iter().rev() {
+        for p in call.param_vts.iter().rev() {
             self.expect_assignable(f, p)?;
         }
         // Receiver.
         if shape != InvokeShape::Static {
             let recv = self.expect_ref(f, false)?;
-            if name == "<init>" {
+            if call.is_init {
                 probe!(self.cov);
                 match recv {
                     VType::Uninit(alloc_pc) => {
-                        replace_types(f, &VType::Uninit(alloc_pc), VType::Ref(class.clone()));
+                        replace_types(f, &VType::Uninit(alloc_pc), VType::Ref(call.class.clone()));
                     }
                     VType::UninitThis => {
-                        let this = self.class_name.clone();
+                        let this = self.analysis.class_name.clone();
                         replace_types(f, &VType::UninitThis, VType::Ref(this));
                     }
                     _ => {
@@ -1233,34 +1243,27 @@ impl Verifier<'_> {
                 return fail("method invocation on uninitialized object");
             } else if let VType::Ref(recv_name) = &recv {
                 // Receiver compatibility — lenient about unknown classes.
-                let both_known = self.world.exists(recv_name) && self.world.exists(&class);
-                let iface_target = self.world.is_interface(&class) == Some(true);
+                let class = &call.class;
+                let both_known = self.world.exists(recv_name) && self.world.exists(class);
+                let iface_target = self.world.is_interface(class) == Some(true);
                 if probe_branch!(
                     self.cov,
                     both_known
                         && !iface_target
                         && !class.starts_with('[')
                         && !recv_name.starts_with('[')
-                        && !self.world.is_subtype(recv_name, &class)
-                        && !self.world.is_subtype(&class, recv_name)
+                        && !self.world.is_subtype(recv_name, class)
+                        && !self.world.is_subtype(class, recv_name)
                 ) {
                     return fail(format!("receiver {recv_name} is incompatible with {class}"));
                 }
             }
         }
-        if let Some(ret) = &desc.ret {
-            self.push_any(f, vtype_of(ret))?;
+        if let Some(ret) = &call.ret_vt {
+            self.push_any(f, ret.clone())?;
         }
         Ok(())
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum InvokeShape {
-    Virtual,
-    Special,
-    Static,
-    Interface,
 }
 
 fn replace_types(f: &mut Frame, from: &VType, to: VType) {
@@ -1305,6 +1308,22 @@ mod tests {
                 "{} rejected valid code",
                 spec.name
             );
+        }
+    }
+
+    #[test]
+    fn cold_verification_matches_shared_analysis() {
+        let c = IrClass::with_hello_main("v/ColdEq", "Completed!");
+        let user = UserClass::summarize(lower_class(&c));
+        for spec in VmSpec::all_five() {
+            let world = World::new(&spec, vec![user.clone()]);
+            let user = world.user_class(&c.name).unwrap();
+            let shared = verify_class(&world, user, &spec, &mut Cov::disabled());
+            let cold = verify_class_cold(&world, user, &spec, &mut Cov::disabled());
+            assert_eq!(shared.is_ok(), cold.is_ok(), "on {}", spec.name);
+            // A rerun hits the warm analysis table and agrees again.
+            let warm = verify_class(&world, user, &spec, &mut Cov::disabled());
+            assert_eq!(shared.is_ok(), warm.is_ok(), "warm rerun on {}", spec.name);
         }
     }
 

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use classfuzz_classfile::{ClassFile, FieldAccess, FieldType, MethodAccess, MethodDescriptor};
 
+use crate::analysis::AnalysisTable;
 use crate::library::{shared_library, LibClass};
 use crate::prepared::PreparedTable;
 use crate::spec::VmSpec;
@@ -62,6 +63,11 @@ pub struct UserClass {
     /// across the five profiles) shares the slots, which is sound because
     /// prepared code is a pure function of `cf`.
     pub prepared: PreparedTable,
+    /// Per-method verification-analysis table, filled lazily on first
+    /// verification. `Arc`-shared for the same reason as `prepared`:
+    /// analysis is a pure function of `cf`, so every profile's verifier
+    /// can consume the same slots.
+    pub analysis: AnalysisTable,
 }
 
 impl UserClass {
@@ -111,6 +117,7 @@ impl UserClass {
             })
             .collect();
         let prepared = PreparedTable::for_methods(cf.methods.len());
+        let analysis = AnalysisTable::for_methods(cf.methods.len());
         UserClass {
             cf,
             name,
@@ -119,6 +126,7 @@ impl UserClass {
             methods,
             fields,
             prepared,
+            analysis,
         }
     }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# Bench-smoke gate: runs the seven gated benchmark scenarios on fixed
+# Bench-smoke gate: runs the eight gated benchmark scenarios on fixed
 # seeds and fails CI on regression. Extra flags pass through to covbench
 # for every scenario (e.g. --repeats 3).
 #
@@ -81,6 +81,17 @@
 #   * maxcover_keys falls more than 20% below the committed
 #     BENCH_yield.baseline.json.
 #
+# Scenario `startup` — five-profile startup throughput of one preparsed
+# candidate, with the analyze-once verification table shared across
+# profiles vs cold per-profile analysis
+# (crates/bench/src/startupbench.rs) → BENCH_startup.json. Fails when
+#
+#   * the shared path's startups/sec regress more than 20% against the
+#     committed BENCH_startup.baseline.json, or
+#   * the in-run shared-vs-cold speedup drops below 2x — sharing
+#     profile-invariant analysis must at least halve five-profile
+#     startup cost on the verification-heavy workload.
+#
 # Timings are medians over repeated runs so one scheduler hiccup cannot
 # fail CI; the committed baselines are deliberately pessimistic (see
 # their "_note" fields).
@@ -141,4 +152,12 @@ cargo run --release -q -p classfuzz-bench --bin covbench -- \
     --baseline BENCH_yield.baseline.json \
     --max-regression 1.2 \
     --min-speedup 1.2 \
+    "$@"
+
+cargo run --release -q -p classfuzz-bench --bin covbench -- \
+    --scenario startup \
+    --out BENCH_startup.json \
+    --baseline BENCH_startup.baseline.json \
+    --max-regression 1.2 \
+    --min-speedup 2.0 \
     "$@"

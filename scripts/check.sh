@@ -43,7 +43,7 @@ step no_panic cargo test -q --test no_panic
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 # No new panic sites in the hot-path crates (classfile/vm/core).
 step panic_gate sh scripts/panic_gate.sh
-# Bench smoke, all seven scenarios: the coverage hot-path microbenchmarks
+# Bench smoke, all eight scenarios: the coverage hot-path microbenchmarks
 # vs. BENCH_coverage.baseline.json (20% budget + 5x speedup floor), the
 # end-to-end harness batch vs. BENCH_harness.baseline.json (20% budget +
 # 2x shared-vs-cold and shared-vs-old-path floors), the mutate hot
@@ -58,7 +58,9 @@ step panic_gate sh scripts/panic_gate.sh
 # unconditional async-vs-lockstep key-set cross-check), and the
 # deterministic seed-selection yield comparison vs.
 # BENCH_yield.baseline.json (20% budget + 1.2x maxcover-vs-uniform
-# distinct-discrepancy-key floor).
+# distinct-discrepancy-key floor), and the analyze-once five-profile
+# startup throughput vs. BENCH_startup.baseline.json (20% budget + 2x
+# shared-vs-cold floor).
 step bench_gate sh scripts/bench_gate.sh
 
 echo "All gates passed. Step timings:"
